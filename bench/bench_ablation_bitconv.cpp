@@ -1,0 +1,142 @@
+// E10 / Table 5 — design-choice ablations for the bit convergence algorithm
+// (the knobs DESIGN.md calls out):
+//
+//   phase buffering   — the paper adopts received ID pairs only at phase
+//                       boundaries (key to the Lemma VII.1 monotonicity
+//                       framing). Ablation: adopt immediately.
+//   group length g    — the paper fixes groups of 2·log Δ rounds so every
+//                       group contains τ̂ consecutive stable rounds however
+//                       the change windows fall. Ablation: g ∈ {1, 2, 4}.
+//   tag-space β       — ID tags have ⌈β·log N⌉ bits; β controls collision
+//                       probability AND phase length (k groups per phase).
+//                       Ablation: β ∈ {1, 2, 3}.
+//
+// Workload: static star-line 6x32 (the bottleneck family where the
+// algorithm's structure matters most) and τ=1 oblivious relabeling.
+#include "bench_common.hpp"
+
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "harness/predictions.hpp"
+#include "protocols/bit_convergence.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr std::size_t kTrials = 12;
+constexpr std::uint64_t kSeed = 0xf16a;
+
+const Graph& base_graph() {
+  static const Graph g = make_star_line(6, 32);  // n = 198, Δ = 34
+  return g;
+}
+
+Summary measure(const BitConvergenceConfig& pcfg, bool relabel_tau1,
+                std::uint64_t seed) {
+  const Graph& base = base_graph();
+  TrialSpec spec;
+  spec.trials = kTrials;
+  spec.seed = seed;
+  spec.threads = bench::trial_threads();
+  spec.max_rounds = Round{1} << 26;
+  const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
+    BitConvergence proto(
+        BlindGossip::shuffled_uids(base.node_count(), trial_seed), pcfg);
+    std::unique_ptr<DynamicGraphProvider> topo;
+    if (relabel_tau1) {
+      topo = std::make_unique<RelabelingGraphProvider>(base, 1, trial_seed);
+    } else {
+      topo = std::make_unique<StaticGraphProvider>(base);
+    }
+    EngineConfig cfg;
+    cfg.tag_bits = 1;
+    cfg.seed = trial_seed;
+    Engine engine(*topo, proto, cfg);
+    return run_until_stabilized(engine, spec.max_rounds);
+  });
+  return summarize(rounds_of(results));
+}
+
+BitConvergenceConfig default_config() {
+  BitConvergenceConfig cfg;
+  cfg.network_size_bound = base_graph().node_count();
+  cfg.max_degree_bound = base_graph().max_degree();
+  return cfg;
+}
+
+double reference_bound() {
+  const NodeId n = base_graph().node_count();
+  return bit_convergence_bound(
+      n, family_alpha(GraphFamily::kStarLine, n, 32),
+      base_graph().max_degree(), Round{1} << 20);
+}
+
+void BM_PhaseBuffering(benchmark::State& state) {
+  const bool buffering = state.range(0) == 1;
+  const bool relabel = state.range(1) == 1;
+  BitConvergenceConfig cfg = default_config();
+  cfg.phase_buffering = buffering;
+  Summary s;
+  for (auto _ : state) {
+    s = measure(cfg, relabel,
+                kSeed + static_cast<std::uint64_t>(state.range(0) * 2 +
+                                                   state.range(1)));
+  }
+  bench::set_counters(state, s, reference_bound());
+  const std::string label = std::string(buffering ? "buffered (paper)"
+                                                  : "immediate adoption") +
+                            (relabel ? ", relabel tau=1" : ", static");
+  state.SetLabel(label);
+  bench::record_point("E10a bitconv ablation: phase buffering", "variant#",
+                      SeriesPoint{static_cast<double>(state.range(0) * 2 +
+                                                      state.range(1)) +
+                                      1,
+                                  s, reference_bound(), label});
+}
+BENCHMARK(BM_PhaseBuffering)
+    ->ArgsProduct({{1, 0}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GroupLengthFactor(benchmark::State& state) {
+  const auto factor = static_cast<double>(state.range(0));
+  BitConvergenceConfig cfg = default_config();
+  cfg.group_length_factor = factor;
+  Summary s;
+  for (auto _ : state) {
+    s = measure(cfg, /*relabel_tau1=*/true,
+                kSeed + 10 + static_cast<std::uint64_t>(state.range(0)));
+  }
+  bench::set_counters(state, s, reference_bound());
+  bench::record_point(
+      "E10b bitconv ablation: group length factor (relabel tau=1)", "g",
+      SeriesPoint{factor, s, reference_bound(), ""});
+}
+BENCHMARK(BM_GroupLengthFactor)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Beta(benchmark::State& state) {
+  const auto beta = static_cast<double>(state.range(0));
+  BitConvergenceConfig cfg = default_config();
+  cfg.beta = beta;
+  Summary s;
+  for (auto _ : state) {
+    s = measure(cfg, /*relabel_tau1=*/false,
+                kSeed + 20 + static_cast<std::uint64_t>(state.range(0)));
+  }
+  bench::set_counters(state, s, reference_bound());
+  bench::record_point("E10c bitconv ablation: tag-space beta (static)",
+                      "beta", SeriesPoint{beta, s, reference_bound(), ""});
+}
+BENCHMARK(BM_Beta)->Arg(1)->Arg(2)->Arg(3)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mtm
+
+MTM_BENCH_MAIN()

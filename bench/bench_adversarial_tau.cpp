@@ -1,0 +1,151 @@
+// E4b / Figure 3b — dynamics-model ablation for the τ dependence.
+//
+// The paper's τ terms are worst-case over ALL dynamic graphs with stability
+// τ. This bench compares, on the star-line, three dynamics at the harshest
+// rate (τ = 1) against the static graph, for both leader election
+// algorithms:
+//   static                — τ = ∞ reference;
+//   oblivious-relabel     — uniformly random isomorphism every round;
+//   adaptive-confinement  — an adversary that watches the execution and
+//                           re-bottles the current min-holders behind a
+//                           minimal BFS-prefix cut every round.
+//
+// Reproduction finding (recorded in EXPERIMENTS.md): neither oblivious nor
+// adaptive-confinement dynamics realize the Δ^{1/τ̂}·τ̂ penalty — any
+// relabeling destroys the distance structure that makes the static
+// star-line slow, and stabilization gets FASTER under churn. This is
+// empirical support for the paper's closing open question ("it is unclear
+// whether this cost of mobility is fundamental").
+#include "bench_common.hpp"
+
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "harness/predictions.hpp"
+#include "protocols/bit_convergence.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "sim/adversary.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr std::size_t kTrials = 12;
+constexpr std::uint64_t kSeed = 0xf16b;
+
+enum class Dynamics { kStatic, kOblivious, kConfinement };
+
+const char* dynamics_name(Dynamics d) {
+  switch (d) {
+    case Dynamics::kStatic:
+      return "static";
+    case Dynamics::kOblivious:
+      return "oblivious-relabel tau=1";
+    case Dynamics::kConfinement:
+      return "adaptive-confinement tau=1";
+  }
+  return "?";
+}
+
+Summary measure_blind(const Graph& base, Dynamics dynamics,
+                      std::uint64_t seed) {
+  TrialSpec spec;
+  spec.trials = kTrials;
+  spec.seed = seed;
+  spec.threads = bench::trial_threads();
+  spec.max_rounds = Round{1} << 26;
+  const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
+    BlindGossip proto(BlindGossip::shuffled_uids(base.node_count(), trial_seed));
+    std::unique_ptr<DynamicGraphProvider> topo;
+    switch (dynamics) {
+      case Dynamics::kStatic:
+        topo = std::make_unique<StaticGraphProvider>(base);
+        break;
+      case Dynamics::kOblivious:
+        topo = std::make_unique<RelabelingGraphProvider>(base, 1, trial_seed);
+        break;
+      case Dynamics::kConfinement:
+        topo = std::make_unique<ConfinementAdversaryProvider>(
+            base, 1, trial_seed,
+            [&proto](NodeId u) { return proto.min_seen(u) == 0; });
+        break;
+    }
+    EngineConfig cfg;
+    cfg.seed = trial_seed;
+    Engine engine(*topo, proto, cfg);
+    return run_until_stabilized(engine, spec.max_rounds);
+  });
+  return summarize(rounds_of(results));
+}
+
+Summary measure_bitconv(const Graph& base, Dynamics dynamics,
+                        std::uint64_t seed) {
+  TrialSpec spec;
+  spec.trials = kTrials;
+  spec.seed = seed;
+  spec.threads = bench::trial_threads();
+  spec.max_rounds = Round{1} << 26;
+  const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
+    BitConvergenceConfig pcfg;
+    pcfg.network_size_bound = base.node_count();
+    pcfg.max_degree_bound = base.max_degree();
+    BitConvergence proto(
+        BlindGossip::shuffled_uids(base.node_count(), trial_seed), pcfg);
+    std::unique_ptr<DynamicGraphProvider> topo;
+    switch (dynamics) {
+      case Dynamics::kStatic:
+        topo = std::make_unique<StaticGraphProvider>(base);
+        break;
+      case Dynamics::kOblivious:
+        topo = std::make_unique<RelabelingGraphProvider>(base, 1, trial_seed);
+        break;
+      case Dynamics::kConfinement:
+        topo = std::make_unique<ConfinementAdversaryProvider>(
+            base, 1, trial_seed, [&proto](NodeId u) {
+              return proto.buffered_pair(u) == proto.target_pair();
+            });
+        break;
+    }
+    EngineConfig cfg;
+    cfg.tag_bits = 1;
+    cfg.seed = trial_seed;
+    Engine engine(*topo, proto, cfg);
+    return run_until_stabilized(engine, spec.max_rounds);
+  });
+  return summarize(rounds_of(results));
+}
+
+void BM_AdversarialDynamics(benchmark::State& state) {
+  static const Graph kBase = make_star_line(6, 16);  // n = 102, Δ = 18
+  const auto dynamics = static_cast<Dynamics>(state.range(0));
+  const bool blind = state.range(1) == 0;
+  Summary s;
+  for (auto _ : state) {
+    s = blind ? measure_blind(kBase, dynamics, kSeed + state.range(0))
+              : measure_bitconv(kBase, dynamics, kSeed + 50 + state.range(0));
+  }
+  const NodeId n = kBase.node_count();
+  const NodeId delta = kBase.max_degree();
+  const double alpha = family_alpha(GraphFamily::kStarLine, n, 16);
+  const Round eff_tau = dynamics == Dynamics::kStatic ? Round{1} << 20 : 1;
+  const double bound = blind
+                           ? blind_gossip_bound(n, alpha, delta)
+                           : bit_convergence_bound(n, alpha, delta, eff_tau);
+  bench::set_counters(state, s, bound);
+  state.SetLabel(std::string(blind ? "blind-gossip" : "bit-convergence") +
+                 " / " + dynamics_name(dynamics));
+  bench::record_point(
+      blind ? "E4b blind gossip on star-line 6x16 by dynamics model"
+            : "E4b bit convergence on star-line 6x16 by dynamics model",
+      "dynamics#",
+      SeriesPoint{static_cast<double>(state.range(0)) + 1, s, bound,
+                  dynamics_name(dynamics)});
+}
+BENCHMARK(BM_AdversarialDynamics)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mtm
+
+MTM_BENCH_MAIN()

@@ -1,0 +1,129 @@
+// E14 / Table 9 — the power of advertisements (the paper's closing open
+// question: "Investigating the power of advertisements remains a key
+// question about the mobile telephone model").
+//
+// Two sweeps:
+//   (a) width sweep: multibit convergence with advertisement width
+//       b ∈ {1, 2, 4, 8, k} on the static star-line — does showing
+//       neighbors MORE of the candidate tag per group speed leader
+//       election? (width 1 = exactly the paper's bit convergence);
+//   (b) failure robustness: blind gossip and bit convergence vs the
+//       connection-failure probability — the b = 1 targeting should retain
+//       its advantage as links get flaky (failed connections cost a round
+//       either way).
+#include "bench_common.hpp"
+
+#include <map>
+
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/predictions.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/multibit_convergence.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr std::size_t kTrials = 12;
+constexpr std::uint64_t kSeed = 0xf16f;
+
+const Graph& base_graph() {
+  static const Graph g = make_star_line(6, 32);  // n = 198, Δ = 34
+  return g;
+}
+
+Summary measure_width(int width, std::uint64_t seed) {
+  const Graph& base = base_graph();
+  TrialSpec spec;
+  spec.trials = kTrials;
+  spec.seed = seed;
+  spec.threads = bench::trial_threads();
+  spec.max_rounds = Round{1} << 25;
+  const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
+    MultibitConvergenceConfig cfg;
+    cfg.network_size_bound = base.node_count();
+    cfg.max_degree_bound = base.max_degree();
+    cfg.advertisement_width = width;
+    MultibitConvergence proto(
+        BlindGossip::shuffled_uids(base.node_count(), trial_seed), cfg);
+    StaticGraphProvider topo(base);
+    EngineConfig ecfg;
+    ecfg.tag_bits = proto.advertisement_width();
+    ecfg.seed = trial_seed;
+    Engine engine(topo, proto, ecfg);
+    return run_until_stabilized(engine, spec.max_rounds);
+  });
+  return summarize(rounds_of(results));
+}
+
+void BM_AdvertisementWidth(benchmark::State& state) {
+  const auto width = static_cast<int>(state.range(0));
+  Summary s;
+  for (auto _ : state) {
+    s = measure_width(width, kSeed + static_cast<std::uint64_t>(width));
+  }
+  const NodeId n = base_graph().node_count();
+  const double alpha = family_alpha(GraphFamily::kStarLine, n, 32);
+  const double bound = bit_convergence_bound(
+      n, alpha, base_graph().max_degree(), Round{1} << 20);
+  bench::set_counters(state, s, bound);
+  bench::record_point(
+      "E14a leader election rounds vs advertisement width b (static "
+      "star-line 6x32)",
+      "b", SeriesPoint{static_cast<double>(width), s, bound,
+                       width == 1 ? "= paper's bit convergence" : ""});
+}
+BENCHMARK(BM_AdvertisementWidth)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FailureRobustness(benchmark::State& state) {
+  const double p = static_cast<double>(state.range(0)) / 100.0;
+  const bool blind = state.range(1) == 0;
+  const Graph& base = base_graph();
+  LeaderExperiment spec;
+  spec.algo = blind ? LeaderAlgo::kBlindGossip : LeaderAlgo::kBitConvergence;
+  spec.node_count = base.node_count();
+  spec.max_degree_bound = base.max_degree();
+  spec.network_size_bound = base.node_count();
+  spec.topology = static_topology(base);
+  spec.max_rounds = Round{1} << 26;
+  spec.trials = kTrials;
+  spec.seed = kSeed + 31 + static_cast<std::uint64_t>(state.range(0));
+  spec.threads = bench::trial_threads();
+  spec.connection_failure_prob = p;
+  Summary s;
+  for (auto _ : state) {
+    s = measure_leader(spec);
+  }
+  // Reference: failure-free mean scaled by the retry factor 1/(1-p).
+  static std::map<bool, double> baseline;
+  if (p == 0.0) baseline[blind] = s.mean;
+  const double bound =
+      baseline.count(blind) != 0U ? baseline[blind] / (1.0 - p) : s.mean;
+  bench::set_counters(state, s, bound);
+  state.SetLabel(std::string(blind ? "blind-gossip" : "bit-convergence") +
+                 " p=" + format_double(p, 2));
+  bench::record_point(std::string("E14b ") +
+                          (blind ? "blind gossip" : "bit convergence") +
+                          " vs connection failure probability",
+                      "p%",
+                      SeriesPoint{static_cast<double>(state.range(0)) + 1.0,
+                                  s, bound, ""});
+}
+BENCHMARK(BM_FailureRobustness)
+    ->ArgsProduct({{0, 25, 50, 75}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mtm
+
+MTM_BENCH_MAIN()

@@ -1,0 +1,123 @@
+// E12 / Table 7 — extension: pairwise-averaging aggregation (the paper's
+// conclusion names data aggregation as a follow-on problem for the model).
+//
+// Workload: node u starts with value u; we measure rounds until the max-min
+// spread falls below 10⁻³ of the initial spread. Two sweeps:
+//   (a) topology families at n = 64 — convergence should track 1/α exactly
+//       like leader election (the same cut bottleneck limits value mixing);
+//   (b) n sweep on the clique — near-logarithmic growth.
+// The prediction column is (1/α)·log(spread₀/tol)·Δ² for b = 0 dynamics on
+// bottlenecked families (heuristic reference; this is an extension, not a
+// paper theorem — the column anchors the SHAPE comparison only).
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "graph/spectral.hpp"
+#include "harness/predictions.hpp"
+#include "protocols/pairwise_averaging.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr std::size_t kTrials = 12;
+constexpr std::uint64_t kSeed = 0xf16d;
+
+std::vector<double> ramp(NodeId n) {
+  std::vector<double> v(n);
+  for (NodeId u = 0; u < n; ++u) v[u] = static_cast<double>(u);
+  return v;
+}
+
+Summary measure(const Graph& g, std::uint64_t seed) {
+  const NodeId n = g.node_count();
+  const double tolerance = 1e-3 * static_cast<double>(n - 1);
+  TrialSpec spec;
+  spec.trials = kTrials;
+  spec.seed = seed;
+  spec.threads = bench::trial_threads();
+  spec.max_rounds = Round{1} << 26;
+  const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
+    StaticGraphProvider topo(g);
+    PairwiseAveraging proto(ramp(n), tolerance);
+    EngineConfig cfg;
+    cfg.seed = trial_seed;
+    Engine engine(topo, proto, cfg);
+    return run_until_stabilized(engine, spec.max_rounds);
+  });
+  return summarize(rounds_of(results));
+}
+
+void BM_AveragingByFamily(benchmark::State& state) {
+  struct Case {
+    const char* label;
+    Graph graph;
+    double alpha;
+  };
+  static const std::vector<Case> kCases = [] {
+    std::vector<Case> cases;
+    cases.push_back({"clique", make_clique(64),
+                     family_alpha(GraphFamily::kClique, 64)});
+    cases.push_back({"cycle", make_cycle(64),
+                     family_alpha(GraphFamily::kCycle, 64)});
+    cases.push_back({"star-line 4x15", make_star_line(4, 15),
+                     family_alpha(GraphFamily::kStarLine, 64, 15)});
+    Rng rng(kSeed);
+    cases.push_back({"random-regular d=6", make_random_regular(64, 6, rng),
+                     family_alpha(GraphFamily::kRandomRegular, 64, 6)});
+    return cases;
+  }();
+  const auto& c = kCases[static_cast<std::size_t>(state.range(0))];
+  Summary s;
+  double relax = 0.0;
+  for (auto _ : state) {
+    s = measure(c.graph, kSeed + static_cast<std::uint64_t>(state.range(0)));
+    Rng rng(kSeed + 9 + static_cast<std::uint64_t>(state.range(0)));
+    relax = relaxation_time(c.graph, rng);
+  }
+  // Spectral prediction: averaging contracts at the random-walk relaxation
+  // rate, so rounds ≈ relaxation time × ln(spread₀/tol). The per-round
+  // contraction of MTM pairwise gossip differs by the matching-density
+  // constant, so this is a shape column like all others.
+  const double decades = std::log(1e3);
+  const double bound = relax * decades;
+  bench::set_counters(state, s, bound);
+  state.counters["relaxation_time"] = relax;
+  state.SetLabel(c.label);
+  bench::record_point(
+      "E12a pairwise averaging to 0.1% spread by family (extension; bound = "
+      "relaxation time x ln 10^3)",
+      "1/alpha", SeriesPoint{1.0 / c.alpha, s, bound, c.label});
+}
+BENCHMARK(BM_AveragingByFamily)
+    ->DenseRange(0, 3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AveragingScaling(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Summary s;
+  for (auto _ : state) {
+    s = measure(make_clique(n), kSeed + 100 + n);
+  }
+  const double bound = safe_log2(static_cast<double>(n)) * std::log(1e3) * 8.0;
+  bench::set_counters(state, s, bound);
+  bench::record_point(
+      "E12b pairwise averaging on clique vs n (extension)", "n",
+      SeriesPoint{static_cast<double>(n), s, bound, ""});
+}
+BENCHMARK(BM_AveragingScaling)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mtm
+
+MTM_BENCH_MAIN()

@@ -1,0 +1,104 @@
+// E11 / Table 6 — why vertex expansion (not conductance) is the right
+// topology parameter for the mobile telephone model.
+//
+// The paper's related-work discussion (building on [1] and Daum et al.)
+// rests on this separation: classical-model rumor spreading tracks the
+// graph CONDUCTANCE Φ, but once each node may join only one connection per
+// round, progress across any cut is capped by the matching number ν(B(S)) —
+// which tracks the VERTEX EXPANSION α (Lemma V.1). The star is the witness:
+// Φ(star) = 1 (every edge touches the center) yet α(star) = Θ(1/n).
+//
+// Rows: topology families at n = 64. Columns: α and Φ (sampled tight upper
+// bounds), classical PUSH-PULL rounds, mobile PUSH-PULL (b = 0) rounds,
+// PPUSH (b = 1) rounds. Validation claims: (a) on the star, classical is
+// O(1)-fast (Φ predicts it) while every mobile algorithm needs Ω(n) rounds
+// (α predicts it); (b) ranking mobile rounds by 1/α orders the families
+// correctly, ranking by 1/Φ does not.
+#include "bench_common.hpp"
+
+#include "graph/conductance.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr std::size_t kTrials = 16;
+constexpr std::uint64_t kSeed = 0xf16c;
+
+struct FamilyRow {
+  std::string label;
+  Graph graph;
+};
+
+std::vector<FamilyRow> rows() {
+  std::vector<FamilyRow> out;
+  out.push_back({"star n=64", make_star(64)});
+  out.push_back({"clique n=64", make_clique(64)});
+  out.push_back({"cycle n=64", make_cycle(64)});
+  out.push_back({"star-line 4x15 n=64", make_star_line(4, 15)});
+  Rng rng(kSeed);
+  out.push_back({"random-regular d=6 n=64", make_random_regular(64, 6, rng)});
+  out.push_back({"binary-tree n=63", make_binary_tree(63)});
+  return out;
+}
+
+double rumor_mean(RumorAlgo algo, const Graph& g, std::uint64_t seed) {
+  RumorExperiment spec;
+  spec.algo = algo;
+  spec.node_count = g.node_count();
+  spec.topology = static_topology(g);
+  spec.max_rounds = Round{1} << 24;
+  spec.trials = kTrials;
+  spec.seed = seed;
+  spec.threads = bench::trial_threads();
+  return measure_rumor(spec).mean;
+}
+
+void BM_AlphaVsConductance(benchmark::State& state) {
+  static const std::vector<FamilyRow> kRows = rows();
+  const auto& row = kRows[static_cast<std::size_t>(state.range(0))];
+  double alpha = 0, phi = 0, classical = 0, mobile = 0, ppush = 0;
+  for (auto _ : state) {
+    Rng rng(kSeed + static_cast<std::uint64_t>(state.range(0)));
+    alpha = vertex_expansion_upper_bound(row.graph, rng);
+    phi = conductance_upper_bound(row.graph, rng);
+    classical = rumor_mean(RumorAlgo::kClassicalPushPull, row.graph,
+                           kSeed + 1 + static_cast<std::uint64_t>(state.range(0)));
+    mobile = rumor_mean(RumorAlgo::kPushPull, row.graph,
+                        kSeed + 2 + static_cast<std::uint64_t>(state.range(0)));
+    ppush = rumor_mean(RumorAlgo::kPpush, row.graph,
+                       kSeed + 3 + static_cast<std::uint64_t>(state.range(0)));
+  }
+  state.counters["alpha"] = alpha;
+  state.counters["phi"] = phi;
+  state.counters["classical_rounds"] = classical;
+  state.counters["mobile_pushpull_rounds"] = mobile;
+  state.counters["ppush_rounds"] = ppush;
+  state.SetLabel(row.label);
+
+  // Series: mobile rounds vs 1/alpha (should correlate); the label carries
+  // phi so the table shows where conductance fails to predict.
+  Summary s;
+  s.count = kTrials;
+  s.mean = s.median = s.min = s.max = mobile;
+  s.p25 = s.p75 = s.p95 = mobile;
+  bench::record_point(
+      "E11 mobile PUSH-PULL rounds vs 1/alpha per family (alpha predicts, "
+      "phi does not)",
+      "1/alpha",
+      SeriesPoint{1.0 / alpha, s, 1.0 / alpha,
+                  row.label + "  [phi=" + format_double(phi, 3) +
+                      ", classical=" + format_double(classical, 1) +
+                      ", ppush=" + format_double(ppush, 1) + "]"});
+}
+BENCHMARK(BM_AlphaVsConductance)
+    ->DenseRange(0, 5)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mtm
+
+MTM_BENCH_MAIN()

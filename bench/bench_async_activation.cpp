@@ -1,0 +1,161 @@
+// E6 / Figure 5 — Theorem VIII.2: the non-synchronized bit convergence
+// algorithm solves leader election in O((1/α)·Δ^{1/τ̂}·τ̂·log⁸n) rounds
+// AFTER the last node activates, with b = loglog n + O(1).
+//
+// Three sub-experiments:
+//   (a) activation-window sweep: activations uniform in [1, W]; the rounds
+//       measured AFTER the last activation should be roughly flat in W
+//       (the algorithm does not pay for the stagger itself);
+//   (b) n sweep at fixed stagger, against the theorem bound;
+//   (c) self-stabilization: two barbell halves activate 500 rounds apart —
+//       the early component converges alone, then the merged network must
+//       re-stabilize to the single global minimum (Section VIII remark).
+#include "bench_common.hpp"
+
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/predictions.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr std::size_t kTrials = 12;
+constexpr std::uint64_t kSeed = 0xf166;
+
+std::vector<Round> staggered_activations(NodeId n, Round window,
+                                         std::uint64_t seed) {
+  std::vector<Round> act(n, 1);
+  if (window > 1) {
+    Rng rng(derive_seed(seed, {0xacde, window}));
+    for (NodeId u = 0; u < n; ++u) act[u] = 1 + rng.uniform(window);
+    act[0] = window;  // pin the max so "after last activation" is exact
+  }
+  return act;
+}
+
+/// Measures rounds after the last activation for async bit convergence on a
+/// clique of size n with activation window W.
+Summary measure_after_activation(NodeId n, Round window, std::uint64_t seed) {
+  TrialSpec spec;
+  spec.trials = kTrials;
+  spec.seed = seed;
+  spec.threads = bench::trial_threads();
+  spec.max_rounds = Round{1} << 24;
+  const Graph g = make_clique(n);
+  const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
+    LeaderExperiment le;
+    le.algo = LeaderAlgo::kAsyncBitConvergence;
+    le.node_count = n;
+    le.max_degree_bound = n - 1;
+    le.network_size_bound = n;
+    le.topology = static_topology(g);
+    le.activation_rounds = staggered_activations(n, window, trial_seed);
+    le.max_rounds = spec.max_rounds;
+    le.trials = 1;
+    le.seed = trial_seed;
+    return run_leader_experiment(le).front();
+  });
+  std::vector<double> after;
+  for (const RunResult& r : results) {
+    MTM_REQUIRE(r.converged);
+    after.push_back(static_cast<double>(r.rounds_after_last_activation));
+  }
+  return summarize(after);
+}
+
+void BM_ActivationWindow(benchmark::State& state) {
+  const auto window = static_cast<Round>(state.range(0));
+  const NodeId n = 64;
+  Summary s;
+  for (auto _ : state) {
+    s = measure_after_activation(n, window, kSeed + window);
+  }
+  const double bound = async_bit_convergence_bound(
+      n, family_alpha(GraphFamily::kClique, n), n - 1, Round{1} << 20);
+  bench::set_counters(state, s, bound);
+  bench::record_point(
+      "E6a async bitconv: rounds after last activation vs stagger window "
+      "(Thm VIII.2)",
+      "window", SeriesPoint{static_cast<double>(window), s, bound, "n=64"});
+}
+BENCHMARK(BM_ActivationWindow)
+    ->Arg(1)
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(800)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SizeSweep(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Summary s;
+  for (auto _ : state) {
+    s = measure_after_activation(n, 100, kSeed + 31 * n);
+  }
+  const double bound = async_bit_convergence_bound(
+      n, family_alpha(GraphFamily::kClique, n), n - 1, Round{1} << 20);
+  bench::set_counters(state, s, bound);
+  bench::record_point(
+      "E6b async bitconv: rounds after last activation vs n (Thm VIII.2)",
+      "n", SeriesPoint{static_cast<double>(n), s, bound, "window=100"});
+}
+BENCHMARK(BM_SizeSweep)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SelfStabilizationMerge(benchmark::State& state) {
+  // Barbell of two K_16 cliques: clique A activates at round 1, clique B at
+  // round 500 (long after A has converged alone). Measured: rounds after
+  // the last activation until the WHOLE network agrees — i.e. the
+  // re-stabilization cost after "connecting isolated network components
+  // that have been running the algorithm for arbitrary durations".
+  const NodeId k = 16;
+  const Graph g = make_barbell(k);
+  const NodeId n = g.node_count();
+  Summary s;
+  for (auto _ : state) {
+    TrialSpec spec;
+    spec.trials = kTrials;
+    spec.seed = kSeed + 77;
+    spec.threads = bench::trial_threads();
+    spec.max_rounds = Round{1} << 24;
+    const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
+      LeaderExperiment le;
+      le.algo = LeaderAlgo::kAsyncBitConvergence;
+      le.node_count = n;
+      le.max_degree_bound = g.max_degree();
+      le.network_size_bound = n;
+      le.topology = static_topology(g);
+      le.activation_rounds.assign(n, 1);
+      for (NodeId u = k; u < 2 * k; ++u) le.activation_rounds[u] = 500;
+      le.max_rounds = spec.max_rounds;
+      le.trials = 1;
+      le.seed = trial_seed;
+      return run_leader_experiment(le).front();
+    });
+    std::vector<double> after;
+    for (const RunResult& r : results) {
+      MTM_REQUIRE(r.converged);
+      after.push_back(static_cast<double>(r.rounds_after_last_activation));
+    }
+    s = summarize(after);
+  }
+  const double bound = async_bit_convergence_bound(
+      n, family_alpha(GraphFamily::kBarbell, n, k), g.max_degree(),
+      Round{1} << 20);
+  bench::set_counters(state, s, bound);
+  bench::record_point(
+      "E6c async bitconv self-stabilization: merge two converged components",
+      "case", SeriesPoint{1.0, s, bound, "barbell 2xK16, B joins at r=500"});
+}
+BENCHMARK(BM_SelfStabilizationMerge)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mtm
+
+MTM_BENCH_MAIN()

@@ -1,0 +1,103 @@
+// E4 / Figure 3 — Theorem VII.2: bit convergence leader election stabilizes
+// in O((1/α)·Δ^{1/τ̂}·τ̂·log⁵n) rounds, τ̂ = min(τ, log Δ).
+//
+// Sweeps the stability factor τ from 1 to beyond log Δ on two dynamic
+// topologies built from the same base family:
+//   * "relabel": a uniformly random node relabeling every τ rounds — the
+//     maximum change rate the τ contract allows (note: random relabeling is
+//     a MIXING change, not a worst-case adversary; see EXPERIMENTS.md);
+//   * "static": τ = ∞ reference row.
+// The prediction column is the theorem bound; the validation claim is the
+// τ̂ cap: past τ = log Δ the measured rounds flatten to the static value,
+// and the bound's Δ^{1/τ̂}·τ̂ factor upper-bounds the measured degradation
+// at τ = 1.
+#include "bench_common.hpp"
+
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/predictions.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr std::size_t kTrials = 12;
+constexpr std::uint64_t kSeed = 0xf164;
+constexpr Round kStaticSentinel = 0;
+
+Summary measure(const Graph& base, Round tau, std::uint64_t seed) {
+  LeaderExperiment spec;
+  spec.algo = LeaderAlgo::kBitConvergence;
+  spec.node_count = base.node_count();
+  spec.max_degree_bound = base.max_degree();
+  spec.network_size_bound = base.node_count();
+  spec.topology = tau == kStaticSentinel ? static_topology(base)
+                                         : relabeling_topology(base, tau);
+  spec.max_rounds = Round{1} << 24;
+  spec.trials = kTrials;
+  spec.seed = seed;
+  spec.threads = bench::trial_threads();
+  return measure_leader(spec);
+}
+
+void run_case(benchmark::State& state, const Graph& base, double alpha,
+              const std::string& series_name) {
+  const auto tau = static_cast<Round>(state.range(0));
+  Summary s;
+  for (auto _ : state) {
+    s = measure(base, tau, kSeed + tau * 13 + base.node_count());
+  }
+  const NodeId n = base.node_count();
+  const NodeId delta = base.max_degree();
+  const Round effective_tau =
+      tau == kStaticSentinel ? Round{1} << 20 : tau;  // static ≈ τ = ∞
+  const double bound = bit_convergence_bound(n, alpha, delta, effective_tau);
+  bench::set_counters(state, s, bound);
+  bench::record_point(
+      series_name, "tau",
+      SeriesPoint{tau == kStaticSentinel ? 64.0 : static_cast<double>(tau), s,
+                  bound, tau == kStaticSentinel ? "static" : ""});
+}
+
+void BM_StarLineTau(benchmark::State& state) {
+  static const Graph kBase = make_star_line(6, 32);  // n = 198, Δ = 34
+  static const double kAlpha =
+      family_alpha(GraphFamily::kStarLine, kBase.node_count(), 32);
+  run_case(state, kBase, kAlpha,
+           "E4 bit convergence vs tau on star-line 6x32 (Thm VII.2)");
+}
+BENCHMARK(BM_StarLineTau)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(12)
+    ->Arg(kStaticSentinel)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RegularTau(benchmark::State& state) {
+  static const Graph kBase = [] {
+    Rng rng(kSeed);
+    return make_random_regular(128, 8, rng);
+  }();
+  static const double kAlpha =
+      family_alpha(GraphFamily::kRandomRegular, 128, 8);
+  run_case(state, kBase, kAlpha,
+           "E4 bit convergence vs tau on random-regular d=8 (Thm VII.2)");
+}
+BENCHMARK(BM_RegularTau)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(kStaticSentinel)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mtm
+
+MTM_BENCH_MAIN()

@@ -1,0 +1,98 @@
+// E1 / Figure 1 — Theorem VI.1: blind gossip leader election stabilizes in
+// O((1/α)·Δ²·log²n) rounds.
+//
+// Sweeps the network size n over four topology families with very different
+// (α, Δ) profiles and reports measured rounds-to-stabilize against the
+// paper bound (constants dropped). The validation claim is SHAPE: the
+// measured/bound ratio stays roughly flat within each family (the bound
+// captures the growth), and the family ordering matches the bound ordering
+// (clique ≪ random-regular ≪ cycle ≪ star-line at equal n).
+#include "bench_common.hpp"
+
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/predictions.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr std::size_t kTrials = 16;
+constexpr std::uint64_t kSeed = 0xf161;
+
+Summary measure(Graph g, std::uint64_t seed, Round max_rounds) {
+  LeaderExperiment spec;
+  spec.algo = LeaderAlgo::kBlindGossip;
+  spec.node_count = g.node_count();
+  spec.topology = static_topology(std::move(g));
+  spec.max_rounds = max_rounds;
+  spec.trials = kTrials;
+  spec.seed = seed;
+  spec.threads = bench::trial_threads();
+  return measure_leader(spec);
+}
+
+void BM_Clique(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Summary s;
+  for (auto _ : state) {
+    s = measure(make_clique(n), kSeed + n, 1u << 20);
+  }
+  const double bound =
+      blind_gossip_bound(n, family_alpha(GraphFamily::kClique, n), n - 1);
+  bench::set_counters(state, s, bound);
+  bench::record_point("E1 blind gossip on clique (Thm VI.1)", "n",
+                      SeriesPoint{static_cast<double>(n), s, bound, ""});
+}
+BENCHMARK(BM_Clique)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_Cycle(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Summary s;
+  for (auto _ : state) {
+    s = measure(make_cycle(n), kSeed + 2 * n, 1u << 22);
+  }
+  const double bound =
+      blind_gossip_bound(n, family_alpha(GraphFamily::kCycle, n), 2);
+  bench::set_counters(state, s, bound);
+  bench::record_point("E1 blind gossip on cycle (Thm VI.1)", "n",
+                      SeriesPoint{static_cast<double>(n), s, bound, ""});
+}
+BENCHMARK(BM_Cycle)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_RandomRegular(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const NodeId d = 8;
+  Summary s;
+  for (auto _ : state) {
+    Rng rng(derive_seed(kSeed, {3, n}));
+    s = measure(make_random_regular(n, d, rng), kSeed + 3 * n, 1u << 20);
+  }
+  const double bound =
+      blind_gossip_bound(n, family_alpha(GraphFamily::kRandomRegular, n, d), d);
+  bench::set_counters(state, s, bound);
+  bench::record_point("E1 blind gossip on random-regular d=8 (Thm VI.1)", "n",
+                      SeriesPoint{static_cast<double>(n), s, bound, ""});
+}
+BENCHMARK(BM_RandomRegular)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_StarLine(benchmark::State& state) {
+  // Paper shape: s stars of s points, n = s(s+1), Δ = s + 2.
+  const auto stars = static_cast<NodeId>(state.range(0));
+  const NodeId n = stars * (stars + 1);
+  Summary s;
+  for (auto _ : state) {
+    s = measure(make_star_line(stars, stars), kSeed + 5 * stars, 1u << 24);
+  }
+  const double bound = blind_gossip_bound(
+      n, family_alpha(GraphFamily::kStarLine, n, stars), stars + 2);
+  bench::set_counters(state, s, bound);
+  bench::record_point("E1 blind gossip on star-line (Thm VI.1)", "n",
+                      SeriesPoint{static_cast<double>(n), s, bound, ""});
+}
+BENCHMARK(BM_StarLine)->Arg(4)->Arg(6)->Arg(8)->Arg(11)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mtm
+
+MTM_BENCH_MAIN()

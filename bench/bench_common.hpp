@@ -1,0 +1,76 @@
+// Shared plumbing for the experiment benches.
+//
+// Each bench binary registers one google-benchmark entry per sweep point
+// (timed, Iterations(1)) whose body runs the Monte-Carlo measurement and
+// records a SeriesPoint into a process-global registry; after
+// RunSpecifiedBenchmarks() the binary prints every collected series as the
+// paper-comparison table (and mirrors to CSV under $MTM_BENCH_CSV).
+//
+// Counters reported per benchmark:
+//   rounds_mean / rounds_p95 — stabilization rounds across trials
+//   bound                     — the paper's predicted bound (constants
+//                               dropped); shape, not absolute, is the claim.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "core/thread_pool.hpp"
+#include "harness/sweep.hpp"
+
+namespace mtm::bench {
+
+/// Process-global ordered registry of series being built by the bench.
+inline std::map<std::string, ScalingSeries>& series_registry() {
+  static std::map<std::string, ScalingSeries> registry;
+  return registry;
+}
+
+/// Appends a point to series `name` (created on first use with `x_label`).
+inline void record_point(const std::string& name, const std::string& x_label,
+                         SeriesPoint point) {
+  auto& registry = series_registry();
+  auto it = registry.find(name);
+  if (it == registry.end()) {
+    it = registry.emplace(name, ScalingSeries(name, x_label)).first;
+  }
+  it->second.add(std::move(point));
+}
+
+/// Sets the standard counters on a benchmark state.
+inline void set_counters(benchmark::State& state, const Summary& measured,
+                         double bound) {
+  state.counters["rounds_mean"] = measured.mean;
+  state.counters["rounds_p95"] = measured.p95;
+  state.counters["bound"] = bound;
+}
+
+/// Prints every recorded series; call after RunSpecifiedBenchmarks().
+inline void report_all_series() {
+  for (auto& [name, series] : series_registry()) {
+    if (!series.empty()) series.report();
+  }
+}
+
+/// Shared thread budget for Monte-Carlo trials inside one bench entry.
+inline std::size_t trial_threads() {
+  const std::size_t hw = ThreadPool::default_thread_count();
+  return hw < 2 ? 1 : hw;
+}
+
+}  // namespace mtm::bench
+
+/// Standard bench main: google-benchmark run, then series tables.
+#define MTM_BENCH_MAIN()                                        \
+  int main(int argc, char** argv) {                             \
+    ::benchmark::Initialize(&argc, argv);                       \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                                 \
+    }                                                           \
+    ::benchmark::RunSpecifiedBenchmarks();                      \
+    ::benchmark::Shutdown();                                    \
+    ::mtm::bench::report_all_series();                          \
+    return 0;                                                   \
+  }

@@ -1,0 +1,132 @@
+// E9 / Table 4 — simulator ablation: engine throughput and Monte-Carlo
+// scaling. Not a paper result; this pins the cost model behind every other
+// bench (rounds/second by topology size, and trial-level parallel speedup),
+// so regressions in the substrate are visible.
+//
+// These are genuine wall-clock benchmarks (multiple timed iterations), in
+// contrast to the Iterations(1) measurement harnesses of E1–E8.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/ppush.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+void BM_EngineRoundsBlindGossipClique(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Round rounds_per_iter = 256;
+  StaticGraphProvider topo(make_clique(n));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BlindGossip proto(BlindGossip::shuffled_uids(n, 1));
+    EngineConfig cfg;
+    cfg.seed = 1;
+    Engine engine(topo, proto, cfg);
+    state.ResumeTiming();
+    engine.run_rounds(rounds_per_iter);
+    benchmark::DoNotOptimize(engine.telemetry().connections());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rounds_per_iter));
+  state.counters["node_rounds/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * rounds_per_iter * n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineRoundsBlindGossipClique)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EngineRoundsPpushStarLine(benchmark::State& state) {
+  const auto stars = static_cast<NodeId>(state.range(0));
+  const Round rounds_per_iter = 256;
+  StaticGraphProvider topo(make_star_line(stars, stars));
+  const NodeId n = topo.node_count();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Ppush proto({0});
+    EngineConfig cfg;
+    cfg.tag_bits = 1;
+    cfg.seed = 2;
+    Engine engine(topo, proto, cfg);
+    state.ResumeTiming();
+    engine.run_rounds(rounds_per_iter);
+    benchmark::DoNotOptimize(engine.telemetry().connections());
+  }
+  state.counters["node_rounds/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * rounds_per_iter * n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineRoundsPpushStarLine)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DynamicTopologyOverhead(benchmark::State& state) {
+  // Relabeling every round (τ = 1) vs static: the per-round cost of
+  // regenerating a topology.
+  const NodeId n = 256;
+  const auto tau = static_cast<Round>(state.range(0));
+  const Round rounds_per_iter = 64;
+  Rng rng(3);
+  const Graph base = make_random_regular(n, 8, rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BlindGossip proto(BlindGossip::shuffled_uids(n, 3));
+    EngineConfig cfg;
+    cfg.seed = 3;
+    state.ResumeTiming();
+    if (tau == 0) {
+      StaticGraphProvider topo(base);
+      Engine engine(topo, proto, cfg);
+      engine.run_rounds(rounds_per_iter);
+      benchmark::DoNotOptimize(engine.telemetry().connections());
+    } else {
+      RelabelingGraphProvider topo(base, tau, 3);
+      Engine engine(topo, proto, cfg);
+      engine.run_rounds(rounds_per_iter);
+      benchmark::DoNotOptimize(engine.telemetry().connections());
+    }
+  }
+  state.SetLabel(tau == 0 ? "static" : "relabel tau=" + std::to_string(tau));
+}
+BENCHMARK(BM_DynamicTopologyOverhead)
+    ->Arg(0)
+    ->Arg(8)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarloThreadScaling(benchmark::State& state) {
+  // Trial-level parallel speedup of the experiment harness.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const NodeId n = 64;
+  for (auto _ : state) {
+    LeaderExperiment spec;
+    spec.algo = LeaderAlgo::kBlindGossip;
+    spec.node_count = n;
+    spec.topology = static_topology(make_clique(n));
+    spec.max_rounds = 1u << 20;
+    spec.trials = 32;
+    spec.seed = 4;
+    spec.threads = threads;
+    benchmark::DoNotOptimize(measure_leader(spec).mean);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_MonteCarloThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mtm
+
+BENCHMARK_MAIN();

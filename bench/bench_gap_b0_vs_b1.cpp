@@ -1,0 +1,165 @@
+// E5 / Figure 4 — the advertisement-bit gap (Sections VI vs VII).
+//
+// On the same topology, compares leader election with:
+//   b = 0  blind gossip            (Thm VI.1  bound ~ Δ²)
+//   b = 1  bit convergence         (Thm VII.2 bound ~ Δ^{1/τ̂}·τ̂)
+//   b = loglog n  async bit conv.  (Thm VIII.2; run with sync starts here —
+//                                   the larger-b ablation row)
+// swept over τ. The paper's claim: the blind/bit ratio grows from ~Δ at
+// τ = 1 toward ~Δ² at τ >= log Δ (up to polylog factors). We report the
+// measured ratio per τ; the bound column is the predicted ratio
+// blind_bound / bit_bound, so measured/bound ≈ flat is the shape check.
+#include "bench_common.hpp"
+
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/predictions.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr std::size_t kTrials = 10;
+constexpr std::uint64_t kSeed = 0xf165;
+constexpr Round kStaticSentinel = 0;
+
+const Graph& base_graph() {
+  static const Graph g = make_star_line(6, 32);  // n = 198, Δ = 34
+  return g;
+}
+double base_alpha() {
+  return family_alpha(GraphFamily::kStarLine, base_graph().node_count(), 32);
+}
+
+Summary measure(LeaderAlgo algo, Round tau, std::uint64_t seed) {
+  const Graph& base = base_graph();
+  LeaderExperiment spec;
+  spec.algo = algo;
+  spec.node_count = base.node_count();
+  spec.max_degree_bound = base.max_degree();
+  spec.network_size_bound = base.node_count();
+  spec.topology = tau == kStaticSentinel ? static_topology(base)
+                                         : relabeling_topology(base, tau);
+  spec.max_rounds = Round{1} << 25;
+  spec.trials = kTrials;
+  spec.seed = seed;
+  spec.threads = bench::trial_threads();
+  return measure_leader(spec);
+}
+
+void BM_Gap(benchmark::State& state) {
+  const auto tau = static_cast<Round>(state.range(0));
+  Summary blind, bits, async;
+  for (auto _ : state) {
+    blind = measure(LeaderAlgo::kBlindGossip, tau, kSeed + tau);
+    bits = measure(LeaderAlgo::kBitConvergence, tau, kSeed + 100 + tau);
+    async = measure(LeaderAlgo::kAsyncBitConvergence, tau, kSeed + 200 + tau);
+  }
+  const NodeId n = base_graph().node_count();
+  const NodeId delta = base_graph().max_degree();
+  const double alpha = base_alpha();
+  const Round eff_tau = tau == kStaticSentinel ? Round{1} << 20 : tau;
+  const double predicted_ratio = blind_gossip_bound(n, alpha, delta) /
+                                 bit_convergence_bound(n, alpha, delta, eff_tau);
+
+  // Record the measured ratio as a one-sample "summary" so it renders in
+  // the standard series table.
+  Summary ratio;
+  ratio.count = kTrials;
+  ratio.mean = blind.mean / bits.mean;
+  ratio.median = blind.median / bits.median;
+  ratio.min = ratio.mean;
+  ratio.max = ratio.mean;
+  ratio.p25 = ratio.p75 = ratio.p95 = ratio.mean;
+
+  state.counters["blind_rounds"] = blind.mean;
+  state.counters["bitconv_rounds"] = bits.mean;
+  state.counters["async_rounds"] = async.mean;
+  state.counters["measured_ratio"] = ratio.mean;
+  state.counters["bound_ratio"] = predicted_ratio;
+
+  const double x = tau == kStaticSentinel ? 64.0 : static_cast<double>(tau);
+  bench::record_point("E5 gap blind/bitconv ratio vs tau (Sec VII)", "tau",
+                      SeriesPoint{x, ratio, predicted_ratio,
+                                  tau == kStaticSentinel ? "static" : ""});
+  bench::record_point("E5a blind gossip rounds vs tau", "tau",
+                      SeriesPoint{x, blind,
+                                  blind_gossip_bound(n, alpha, delta),
+                                  tau == kStaticSentinel ? "static" : ""});
+  bench::record_point(
+      "E5b bit convergence rounds vs tau", "tau",
+      SeriesPoint{x, bits, bit_convergence_bound(n, alpha, delta, eff_tau),
+                  tau == kStaticSentinel ? "static" : ""});
+  bench::record_point(
+      "E5c async bit convergence (b=loglog n ablation) rounds vs tau", "tau",
+      SeriesPoint{x, async,
+                  async_bit_convergence_bound(n, alpha, delta, eff_tau),
+                  tau == kStaticSentinel ? "static" : ""});
+}
+BENCHMARK(BM_Gap)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(kStaticSentinel)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+Summary measure_on(LeaderAlgo algo, const Graph& g, std::uint64_t seed) {
+  LeaderExperiment spec;
+  spec.algo = algo;
+  spec.node_count = g.node_count();
+  spec.max_degree_bound = g.max_degree();
+  spec.network_size_bound = g.node_count();
+  spec.topology = static_topology(g);
+  spec.max_rounds = Round{1} << 26;
+  spec.trials = kTrials;
+  spec.seed = seed;
+  spec.threads = bench::trial_threads();
+  return measure_leader(spec);
+}
+
+void BM_GapVsDelta(benchmark::State& state) {
+  // The complementary sweep: fix τ = ∞ (static, where τ̂ = log Δ applies)
+  // and grow Δ via the points-per-star; the blind/bitconv advantage should
+  // grow with Δ (paper: toward ~Δ² over polylogs at τ >= log Δ).
+  const auto points = static_cast<NodeId>(state.range(0));
+  const Graph g = make_star_line(6, points);
+  Summary blind, bits;
+  for (auto _ : state) {
+    blind = measure_on(LeaderAlgo::kBlindGossip, g, kSeed + 300 + points);
+    bits = measure_on(LeaderAlgo::kBitConvergence, g, kSeed + 400 + points);
+  }
+  const NodeId n = g.node_count();
+  const NodeId delta = g.max_degree();
+  const double alpha = family_alpha(GraphFamily::kStarLine, n, points);
+  const double predicted_ratio =
+      blind_gossip_bound(n, alpha, delta) /
+      bit_convergence_bound(n, alpha, delta, Round{1} << 20);
+  Summary ratio;
+  ratio.count = kTrials;
+  ratio.mean = blind.mean / bits.mean;
+  ratio.median = blind.median / bits.median;
+  ratio.min = ratio.max = ratio.p25 = ratio.p75 = ratio.p95 = ratio.mean;
+  state.counters["blind_rounds"] = blind.mean;
+  state.counters["bitconv_rounds"] = bits.mean;
+  state.counters["measured_ratio"] = ratio.mean;
+  state.counters["bound_ratio"] = predicted_ratio;
+  bench::record_point(
+      "E5d gap blind/bitconv ratio vs Delta (static star-line, Sec VII)",
+      "Delta",
+      SeriesPoint{static_cast<double>(delta), ratio, predicted_ratio,
+                  "n=" + std::to_string(n)});
+}
+BENCHMARK(BM_GapVsDelta)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mtm
+
+MTM_BENCH_MAIN()

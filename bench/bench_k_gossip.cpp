@@ -1,0 +1,116 @@
+// E13 / Table 8 — extension: all-to-all gossip (every node's rumor to every
+// node; the paper's conclusion names gossip as a follow-on problem).
+//
+// Two sweeps of the random-forwarding k-gossip protocol:
+//   (a) n sweep on the clique against the single-rumor spreading time —
+//       the multiplicative overhead of all-to-all vs one-to-all is the
+//       series' real content (coupon-collector-flavored growth);
+//   (b) family comparison at n = 48 — the same α ordering as every other
+//       spreading process in this library.
+#include "bench_common.hpp"
+
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/predictions.hpp"
+#include "protocols/k_gossip.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr std::size_t kTrials = 12;
+constexpr std::uint64_t kSeed = 0xf16e;
+
+Summary measure_k(const Graph& g, std::uint64_t seed) {
+  TrialSpec spec;
+  spec.trials = kTrials;
+  spec.seed = seed;
+  spec.threads = bench::trial_threads();
+  spec.max_rounds = Round{1} << 26;
+  const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
+    StaticGraphProvider topo(g);
+    KGossip proto;
+    EngineConfig cfg;
+    cfg.seed = trial_seed;
+    Engine engine(topo, proto, cfg);
+    return run_until_stabilized(engine, spec.max_rounds);
+  });
+  return summarize(rounds_of(results));
+}
+
+void BM_KGossipScaling(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = make_clique(n);
+  Summary all, single;
+  for (auto _ : state) {
+    all = measure_k(g, kSeed + n);
+    RumorExperiment one;
+    one.algo = RumorAlgo::kPushPull;
+    one.node_count = n;
+    one.topology = static_topology(g);
+    one.max_rounds = Round{1} << 24;
+    one.trials = kTrials;
+    one.seed = kSeed + 1000 + n;
+    one.threads = bench::trial_threads();
+    single = measure_rumor(one);
+  }
+  state.counters["single_rumor_rounds"] = single.mean;
+  state.counters["all_to_all_rounds"] = all.mean;
+  state.counters["overhead"] = all.mean / single.mean;
+  // Reference column: single-rumor time x log n (random forwarding pays a
+  // coupon-collector factor per node).
+  const double bound = single.mean * safe_log2(static_cast<double>(n));
+  bench::set_counters(state, all, bound);
+  bench::record_point("E13a k-gossip (all-to-all) on clique vs n (extension)",
+                      "n",
+                      SeriesPoint{static_cast<double>(n), all, bound,
+                                  "single-rumor x log n reference"});
+}
+BENCHMARK(BM_KGossipScaling)
+    ->Arg(12)
+    ->Arg(24)
+    ->Arg(48)
+    ->Arg(96)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KGossipByFamily(benchmark::State& state) {
+  struct Case {
+    const char* label;
+    Graph graph;
+    double alpha;
+  };
+  static const std::vector<Case> kCases = [] {
+    std::vector<Case> cases;
+    cases.push_back({"clique", make_clique(48),
+                     family_alpha(GraphFamily::kClique, 48)});
+    cases.push_back({"cycle", make_cycle(48),
+                     family_alpha(GraphFamily::kCycle, 48)});
+    cases.push_back({"star-line 4x11", make_star_line(4, 11),
+                     family_alpha(GraphFamily::kStarLine, 48, 11)});
+    Rng rng(kSeed);
+    cases.push_back({"random-regular d=6", make_random_regular(48, 6, rng),
+                     family_alpha(GraphFamily::kRandomRegular, 48, 6)});
+    return cases;
+  }();
+  const auto& c = kCases[static_cast<std::size_t>(state.range(0))];
+  Summary s;
+  for (auto _ : state) {
+    s = measure_k(c.graph, kSeed + 7 * static_cast<std::uint64_t>(state.range(0)));
+  }
+  const double bound = (1.0 / c.alpha) * 48.0;  // capacity-style reference
+  bench::set_counters(state, s, bound);
+  state.SetLabel(c.label);
+  bench::record_point("E13b k-gossip by family at n=48 (extension)",
+                      "1/alpha", SeriesPoint{1.0 / c.alpha, s, bound, c.label});
+}
+BENCHMARK(BM_KGossipByFamily)
+    ->DenseRange(0, 3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mtm
+
+MTM_BENCH_MAIN()

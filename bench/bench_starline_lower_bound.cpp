@@ -1,0 +1,89 @@
+// E2 / Figure 2 — Section VI lower bound: there is a stable network (the
+// star-line) on which blind gossip needs Ω(Δ²/√α) rounds.
+//
+// Exactly the paper's construction: √n' stars of √n' points in a line, with
+// the smallest UID placed at the FIRST star center (u_1), so Î must hop down
+// the whole line; each hop costs ≈ Δ² rounds (sender lottery × acceptance
+// lottery). Prediction columns:
+//   Δ²·√n  (the Ω(Δ²/√α) bound with α = Θ(1/n))
+// The validation claim: the measured log-log exponent in Δ is ≈ 3
+// (Δ² per hop × Δ hops), matching the bound's exponent and confirming that
+// blind gossip is fundamentally slower than polylog on this family.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "harness/predictions.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr std::size_t kTrials = 12;
+constexpr std::uint64_t kSeed = 0xf162;
+
+/// UIDs with the minimum pinned at the first star center and the rest
+/// shuffled — the adversarial placement of the paper's argument.
+std::vector<Uid> adversarial_uids(NodeId n, std::uint64_t seed) {
+  auto uids = BlindGossip::shuffled_uids(n, seed);
+  // Find where 0 landed and swap it onto node 0 (= star_line_center(0, p)).
+  for (NodeId u = 0; u < n; ++u) {
+    if (uids[u] == 0) {
+      std::swap(uids[u], uids[0]);
+      break;
+    }
+  }
+  return uids;
+}
+
+Summary measure(NodeId stars, std::uint64_t seed) {
+  const Graph g = make_star_line(stars, stars);
+  const NodeId n = g.node_count();
+  TrialSpec spec;
+  spec.trials = kTrials;
+  spec.seed = seed;
+  spec.threads = bench::trial_threads();
+  spec.max_rounds = Round{1} << 26;
+  const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
+    StaticGraphProvider topo(g);
+    BlindGossip proto(adversarial_uids(n, trial_seed));
+    EngineConfig cfg;
+    cfg.seed = trial_seed;
+    Engine engine(topo, proto, cfg);
+    return run_until_stabilized(engine, spec.max_rounds);
+  });
+  return summarize(rounds_of(results));
+}
+
+void BM_StarLineLowerBound(benchmark::State& state) {
+  const auto stars = static_cast<NodeId>(state.range(0));
+  const NodeId n = stars * (stars + 1);
+  const NodeId delta = stars + 2;
+  Summary s;
+  for (auto _ : state) {
+    s = measure(stars, kSeed + stars);
+  }
+  // Ω(Δ²/√α) with α = Θ(1/n): Δ²·√n.
+  const double bound = static_cast<double>(delta) * delta *
+                       std::sqrt(static_cast<double>(n));
+  bench::set_counters(state, s, bound);
+  bench::record_point(
+      "E2 star-line lower bound for blind gossip (Sec VI, vs Delta)", "Delta",
+      SeriesPoint{static_cast<double>(delta), s, bound,
+                  "n=" + std::to_string(n)});
+}
+BENCHMARK(BM_StarLineLowerBound)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(11)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mtm
+
+MTM_BENCH_MAIN()

@@ -1,0 +1,73 @@
+// Crowd mesh: leader election among phones moving through a plaza.
+//
+// The paper motivates the mobile telephone model with scenarios like the
+// Hong Kong protest mesh networks (FireChat): phones form ad-hoc links with
+// whoever is nearby, and "nearby" changes as people move. This example runs
+// the two main leader election algorithms over the random-waypoint mobility
+// substrate and reports how movement speed (i.e. effective topology churn)
+// affects stabilization time.
+//
+//   ./build/examples/crowd_mesh --n=48 --trials=8
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/cli.hpp"
+#include "core/table.hpp"
+#include "core/thread_pool.hpp"
+#include "harness/experiment.hpp"
+#include "sim/mobility.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace mtm;
+  const CliArgs args(argc, argv);
+  const NodeId n = args.get_u32("n", 48);
+  const std::size_t trials = args.get_u64("trials", 8);
+  args.check_unused();
+
+  std::cout << "Crowd mesh: " << n << " phones in a unit-square plaza, "
+            << "radio radius 0.18, topology recomputed every 4 rounds.\n";
+
+  Table table({"speed", "algorithm", "mean rounds", "median", "max"});
+  for (const double speed : {0.0, 0.01, 0.05, 0.15}) {
+    for (const LeaderAlgo algo :
+         {LeaderAlgo::kBlindGossip, LeaderAlgo::kAsyncBitConvergence}) {
+      LeaderExperiment spec;
+      spec.algo = algo;
+      spec.node_count = n;
+      spec.max_degree_bound = n - 1;  // disk graphs can locally crowd
+      spec.network_size_bound = n;
+      spec.topology = [n, speed](std::uint64_t seed) {
+        MobilityConfig cfg;
+        cfg.node_count = n;
+        cfg.radius = 0.18;
+        cfg.speed = speed;
+        cfg.tau = 4;
+        cfg.seed = seed;
+        return std::make_unique<MobilityGraphProvider>(cfg);
+      };
+      spec.max_rounds = Round{1} << 24;
+      spec.trials = trials;
+      spec.seed = 0xc201d;
+      spec.threads = ThreadPool::default_thread_count();
+      const Summary s = measure_leader(spec);
+      table.row()
+          .cell(speed, 2)
+          .cell(leader_algo_name(algo))
+          .cell(s.mean, 1)
+          .cell(s.median, 1)
+          .cell(s.max, 1);
+    }
+  }
+  table.print(std::cout, "leader election in a moving crowd");
+  std::cout << "\nReading: speed 0.00 is a static mesh; higher speeds churn "
+               "the disk graph.\nMovement MIXES the network (carriers "
+               "physically transport the minimum id),\nso moderate mobility "
+               "often speeds stabilization up — the paper's τ bound is a\n"
+               "worst case over adversarial change, not a prediction that "
+               "all change hurts.\n";
+  return EXIT_SUCCESS;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return EXIT_FAILURE;
+}

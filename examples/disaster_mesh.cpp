@@ -1,0 +1,92 @@
+// Disaster mesh: an algorithm shoot-out on a bottlenecked relay topology.
+//
+// After an infrastructure outage, phones cluster around shelters with thin
+// relay chains between clusters — topologically the paper's star-line
+// lower-bound graph. This example pits every leader election algorithm in
+// the library against it and shows the paper's headline separation: blind
+// gossip (b = 0) pays the Δ² proposal lottery at every relay hop, while the
+// bit convergence algorithms (b >= 1) route connections productively.
+//
+//   ./build/examples/disaster_mesh --stars=6 --points=24 --trials=8
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/cli.hpp"
+#include "core/table.hpp"
+#include "core/thread_pool.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/predictions.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace mtm;
+  const CliArgs args(argc, argv);
+  const NodeId stars = args.get_u32("stars", 6);
+  const NodeId points = args.get_u32("points", 24);
+  const std::size_t trials = args.get_u64("trials", 8);
+  args.check_unused();
+
+  const Graph g = make_star_line(stars, points);
+  const NodeId n = g.node_count();
+  const NodeId delta = g.max_degree();
+  const double alpha = family_alpha(GraphFamily::kStarLine, n, points);
+  std::cout << "Disaster mesh: " << static_cast<unsigned>(stars)
+            << " shelters x " << static_cast<unsigned>(points)
+            << " phones, n = " << n << ", max degree = " << delta
+            << ", vertex expansion = " << alpha << ".\n";
+
+  Table table({"algorithm", "b (tag bits)", "mean rounds", "median", "p95",
+               "mean connections", "paper bound"});
+  struct Row {
+    LeaderAlgo algo;
+    const char* bits;
+    double bound;
+  };
+  const Row rows[] = {
+      {LeaderAlgo::kBlindGossip, "0", blind_gossip_bound(n, alpha, delta)},
+      {LeaderAlgo::kBitConvergence, "1",
+       bit_convergence_bound(n, alpha, delta, Round{1} << 20)},
+      {LeaderAlgo::kAsyncBitConvergence, "loglog n",
+       async_bit_convergence_bound(n, alpha, delta, Round{1} << 20)},
+      {LeaderAlgo::kClassicalGossip, "- (classical model)",
+       classical_push_pull_bound(n, alpha)},
+  };
+  for (const Row& row : rows) {
+    LeaderExperiment spec;
+    spec.algo = row.algo;
+    spec.node_count = n;
+    spec.max_degree_bound = delta;
+    spec.network_size_bound = n;
+    spec.topology = static_topology(g);
+    spec.max_rounds = Round{1} << 26;
+    spec.trials = trials;
+    spec.seed = 0xd15a;
+    spec.threads = ThreadPool::default_thread_count();
+    const auto results = run_leader_experiment(spec);
+    const Summary s = summarize(rounds_of(results));
+    double mean_connections = 0;
+    for (const RunResult& r : results) {
+      mean_connections += static_cast<double>(r.connections);
+    }
+    mean_connections /= static_cast<double>(results.size());
+    table.row()
+        .cell(leader_algo_name(row.algo))
+        .cell(row.bits)
+        .cell(s.mean, 1)
+        .cell(s.median, 1)
+        .cell(s.p95, 1)
+        .cell(mean_connections, 0)
+        .cell(row.bound, 0);
+  }
+  table.print(std::cout, "leader election across shelter clusters");
+  std::cout << "\nReading: the classical-model row is the fantasy baseline "
+               "(unbounded accepts);\nblind gossip shows the b = 0 penalty "
+               "the paper proves (Δ² per relay hop);\nbit convergence "
+               "recovers most of the gap with a single advertisement bit.\n";
+  return EXIT_SUCCESS;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return EXIT_FAILURE;
+}

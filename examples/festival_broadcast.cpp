@@ -1,0 +1,143 @@
+// Festival broadcast: watch a rumor spread, round by round.
+//
+// The stage crew's phone knows the set-time change (the rumor); everyone at
+// the festival should learn it over the peer-to-peer mesh. This example
+// contrasts PUSH-PULL (b = 0) with PPUSH (b = 1) on the same topology,
+// recording a per-round progress trace (informed count, connection totals)
+// to CSV and printing the distribution of completion times plus an ASCII
+// curve of a representative run — the "spread curve" view of Corollary VI.6
+// vs PPUSH.
+//
+//   ./build/examples/festival_broadcast --n=96 --trials=24
+//       --trace=festival_trace.csv   (one line)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/cli.hpp"
+#include "core/histogram.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "graph/generators.hpp"
+#include "protocols/ppush.hpp"
+#include "protocols/push_pull.hpp"
+#include "sim/runner.hpp"
+#include "sim/trace.hpp"
+
+namespace mtm {
+namespace {
+
+template <typename ProtocolT>
+std::vector<double> run_many(const Graph& g, NodeId n, std::size_t trials,
+                             int tag_bits, std::uint64_t seed,
+                             ProgressTrace* first_trace) {
+  std::vector<double> rounds;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    StaticGraphProvider topo(g);
+    ProtocolT proto({0});
+    EngineConfig cfg;
+    cfg.tag_bits = tag_bits;
+    cfg.seed = derive_seed(seed, {trial});
+    Engine engine(topo, proto, cfg);
+    ProgressTrace trace({{"informed",
+                          [&proto](const Engine&) {
+                            return static_cast<double>(proto.informed_count());
+                          }},
+                         ProgressTrace::connections_total()});
+    const RunResult result = run_until_stabilized(
+        engine, Round{1} << 24,
+        [&trace](const Engine& e) { trace.sample(e); });
+    if (!result.converged) {
+      throw std::runtime_error("trial failed to converge");
+    }
+    rounds.push_back(static_cast<double>(result.rounds));
+    if (trial == 0 && first_trace != nullptr) {
+      *first_trace = std::move(trace);
+    }
+  }
+  (void)n;
+  return rounds;
+}
+
+std::string ascii_curve(const ProgressTrace& trace, NodeId n,
+                        std::size_t height = 12) {
+  // Render informed-count vs round as a coarse ASCII curve.
+  const auto& informed = trace.column(0);
+  const std::size_t cols = 60;
+  std::string out;
+  for (std::size_t level = height; level > 0; --level) {
+    const double threshold =
+        static_cast<double>(n) * static_cast<double>(level) /
+        static_cast<double>(height);
+    out += "  ";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t idx =
+          informed.empty()
+              ? 0
+              : std::min(informed.size() - 1,
+                         c * informed.size() / cols);
+      out += informed[idx] >= threshold ? '#' : ' ';
+    }
+    out += '\n';
+  }
+  out += "  " + std::string(cols, '-') + "> rounds\n";
+  return out;
+}
+
+int run(const CliArgs& args) {
+  const NodeId n = args.get_u32("n", 96);
+  const std::size_t trials = args.get_u64("trials", 24);
+  const std::uint64_t seed = args.get_u64("seed", 0xfe57);
+  const std::string trace_path = args.get_string("trace", "");
+  args.check_unused();
+
+  // Festival grounds: dense crowd pockets joined by walkways — a star-line.
+  const NodeId stars = 6;
+  const NodeId points = std::max<NodeId>(2, n / stars - 1);
+  const Graph g = make_star_line(stars, points);
+  std::cout << "Festival mesh: " << g.node_count() << " phones in "
+            << static_cast<unsigned>(stars) << " crowd pockets (max degree "
+            << g.max_degree() << ").\n\n";
+
+  ProgressTrace pushpull_trace({{"informed", [](const Engine&) { return 0.0; }}});
+  const auto pushpull = run_many<PushPull>(g, g.node_count(), trials, 0,
+                                           seed, &pushpull_trace);
+  ProgressTrace ppush_trace({{"informed", [](const Engine&) { return 0.0; }}});
+  const auto ppush = run_many<Ppush>(g, g.node_count(), trials, 1, seed + 1,
+                                     &ppush_trace);
+
+  Table table({"algorithm", "b", "mean rounds", "median", "p95"});
+  const Summary sp = summarize(pushpull);
+  const Summary sq = summarize(ppush);
+  table.row().cell("push-pull").cell("0").cell(sp.mean, 1).cell(sp.median, 1).cell(sp.p95, 1);
+  table.row().cell("ppush").cell("1").cell(sq.mean, 1).cell(sq.median, 1).cell(sq.p95, 1);
+  table.print(std::cout, "time to inform the whole festival");
+
+  std::cout << "\ncompletion-round distribution (push-pull):\n";
+  Histogram hist(0.0, summarize(pushpull).max + 1.0, 8);
+  hist.add_all(pushpull);
+  std::cout << hist.render(40);
+
+  std::cout << "\nspread curve of one push-pull run (informed vs time):\n";
+  std::cout << ascii_curve(pushpull_trace, g.node_count());
+
+  if (!trace_path.empty()) {
+    pushpull_trace.write_csv(trace_path);
+    std::cout << "wrote per-round trace to " << trace_path << "\n";
+  }
+  std::cout << "\nReading: the single advertisement bit lets PPUSH aim its "
+               "proposals at\nuninformed phones, cutting the spread time on "
+               "bottlenecked crowds (Cor VI.6\nvs the PPUSH bound of [1]).\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace mtm
+
+int main(int argc, char** argv) {
+  try {
+    return mtm::run(mtm::CliArgs(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}

@@ -1,0 +1,60 @@
+// Quickstart: elect a leader among 32 simulated smartphones.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// This is the smallest end-to-end use of the library:
+//   1. make a topology (a random 4-regular "mesh" of 32 devices),
+//   2. wrap it in a static DynamicGraphProvider,
+//   3. pick an algorithm (blind gossip: needs no advertisements, b = 0),
+//   4. run the engine until the protocol stabilizes,
+//   5. read the elected leader off any node.
+#include <cstdlib>
+#include <iostream>
+
+#include "graph/generators.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "sim/runner.hpp"
+
+int main() {
+  using namespace mtm;
+
+  // 1. Topology: 32 devices, each in radio range of 4 others.
+  Rng graph_rng(2024);
+  Graph mesh = make_random_regular(/*n=*/32, /*d=*/4, graph_rng);
+
+  // 2. A static topology provider (τ = ∞). Swap in RelabelingGraphProvider
+  //    or MobilityGraphProvider to model movement.
+  StaticGraphProvider topology(std::move(mesh));
+
+  // 3. Protocol: blind gossip leader election (paper Section VI). Each
+  //    device gets a unique id; the algorithm converges on the minimum.
+  BlindGossip election(BlindGossip::shuffled_uids(32, /*seed=*/7));
+
+  // 4. Engine + runner. b = 0: no advertisement bits needed.
+  EngineConfig config;
+  config.tag_bits = 0;
+  config.seed = 7;
+  Engine engine(topology, election, config);
+  const RunResult result = run_until_stabilized(engine, /*max_rounds=*/100000);
+
+  // 5. Inspect the outcome.
+  if (!result.converged) {
+    std::cerr << "did not stabilize within the round budget\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "stabilized after " << result.rounds << " rounds\n";
+  std::cout << "elected leader uid: " << election.leader_of(0) << "\n";
+  std::cout << "connections made:   " << engine.telemetry().connections()
+            << " (" << engine.telemetry().connections_per_round()
+            << " per round)\n";
+  for (NodeId u = 0; u < engine.node_count(); ++u) {
+    if (election.leader_of(u) != election.leader_of(0)) {
+      std::cerr << "disagreement at node " << u << "\n";
+      return EXIT_FAILURE;
+    }
+  }
+  std::cout << "all 32 devices agree.\n";
+  return EXIT_SUCCESS;
+}

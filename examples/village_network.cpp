@@ -1,0 +1,100 @@
+// Village network: community structure vs small-world shortcuts.
+//
+// The paper's motivating settings (developing regions conserving cellular
+// data, infrastructure-poor areas) naturally produce COMMUNITY topologies:
+// dense village meshes joined by thin long-distance links. This example
+// compares leader election on two realistic shapes at the same size:
+//   * ring-of-cliques — villages joined in a ring by single portal links;
+//   * small-world      — the same ring once a few residents have shortcut
+//                        contacts (Watts–Strogatz rewiring).
+// The point it demonstrates: a HANDFUL of shortcut edges collapses the
+// election time, because they lift the vertex expansion — the exact
+// parameter the paper's bounds say matters.
+//
+//   ./build/examples/village_network --villages=8 --size=12 --trials=8
+#include <cstdlib>
+#include <iostream>
+
+#include "core/cli.hpp"
+#include "core/table.hpp"
+#include "core/thread_pool.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+
+namespace mtm {
+namespace {
+
+int run(const CliArgs& args) {
+  const NodeId villages = args.get_u32("villages", 8);
+  const NodeId size = args.get_u32("size", 12);
+  const std::size_t trials = args.get_u64("trials", 8);
+  const std::uint64_t seed = args.get_u64("seed", 0x7177a6e);
+  args.check_unused();
+
+  const NodeId n = villages * size;
+  std::cout << "Village network: " << static_cast<unsigned>(villages)
+            << " villages x " << static_cast<unsigned>(size)
+            << " phones (n = " << n << ").\n";
+
+  struct Scenario {
+    std::string label;
+    Graph graph;
+  };
+  Rng topo_rng(seed);
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"ring of villages (portal links only)",
+                       make_ring_of_cliques(villages, size)});
+  scenarios.push_back(
+      {"small world (ring lattice, 20% shortcuts)",
+       make_small_world(n, 2, 0.2, topo_rng)});
+  scenarios.push_back(
+      {"small world (pure ring lattice, no shortcuts)",
+       make_small_world(n, 2, 0.0, topo_rng)});
+
+  Table table({"topology", "alpha (sampled)", "algorithm", "mean rounds",
+               "p95"});
+  for (const Scenario& sc : scenarios) {
+    Rng alpha_rng(seed + 1);
+    const double alpha = vertex_expansion_upper_bound(sc.graph, alpha_rng);
+    for (const LeaderAlgo algo :
+         {LeaderAlgo::kBlindGossip, LeaderAlgo::kBitConvergence}) {
+      LeaderExperiment spec;
+      spec.algo = algo;
+      spec.node_count = n;
+      spec.max_degree_bound = sc.graph.max_degree();
+      spec.network_size_bound = n;
+      spec.topology = static_topology(sc.graph);
+      spec.max_rounds = Round{1} << 26;
+      spec.trials = trials;
+      spec.seed = seed + 2;
+      spec.threads = ThreadPool::default_thread_count();
+      const Summary s = measure_leader(spec);
+      table.row()
+          .cell(sc.label)
+          .cell(alpha, 4)
+          .cell(leader_algo_name(algo))
+          .cell(s.mean, 1)
+          .cell(s.p95, 1);
+    }
+  }
+  table.print(std::cout, "leader election across village topologies");
+  std::cout << "\nReading: the ring of villages and the pure lattice both "
+               "bottleneck on\nsingle links (tiny alpha); 20% shortcut "
+               "contacts raise alpha and collapse\nelection times — "
+               "connectivity, not raw size, is what the model's bounds "
+               "track.\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace mtm
+
+int main(int argc, char** argv) {
+  try {
+    return mtm::run(mtm::CliArgs(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}

@@ -1,0 +1,72 @@
+// Contract-checking macros for the mtm library.
+//
+// MTM_REQUIRE   — precondition on public API arguments; always checked.
+// MTM_ENSURE    — postcondition / internal invariant; always checked.
+// MTM_ASSERT    — hot-path invariant; checked only in debug builds.
+//
+// Violations throw mtm::ContractError carrying the failing expression and
+// source location, so harness code can catch misconfiguration and tests can
+// assert on contract enforcement.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mtm {
+
+/// Thrown when a documented precondition or invariant is violated.
+class ContractError : public std::logic_error {
+ public:
+  ContractError(const char* kind, const char* expr, const char* file, int line,
+                const std::string& msg)
+      : std::logic_error(format(kind, expr, file, line, msg)) {}
+
+ private:
+  static std::string format(const char* kind, const char* expr,
+                            const char* file, int line,
+                            const std::string& msg) {
+    std::string out;
+    out += kind;
+    out += " violated: (";
+    out += expr;
+    out += ") at ";
+    out += file;
+    out += ":";
+    out += std::to_string(line);
+    if (!msg.empty()) {
+      out += " — ";
+      out += msg;
+    }
+    return out;
+  }
+};
+
+}  // namespace mtm
+
+#define MTM_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      throw ::mtm::ContractError("precondition", #expr, __FILE__,      \
+                                 __LINE__, (msg));                     \
+    }                                                                  \
+  } while (0)
+
+#define MTM_REQUIRE(expr) MTM_REQUIRE_MSG(expr, std::string{})
+
+#define MTM_ENSURE_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      throw ::mtm::ContractError("invariant", #expr, __FILE__,         \
+                                 __LINE__, (msg));                     \
+    }                                                                  \
+  } while (0)
+
+#define MTM_ENSURE(expr) MTM_ENSURE_MSG(expr, std::string{})
+
+#ifndef NDEBUG
+#define MTM_ASSERT(expr) MTM_ENSURE(expr)
+#else
+#define MTM_ASSERT(expr) \
+  do {                   \
+  } while (0)
+#endif

@@ -1,0 +1,55 @@
+// Small bit-manipulation helpers used throughout the library.
+//
+// The paper (Section II) assumes the maximum degree Δ is a power of two so
+// that log Δ is integral; these helpers implement the roundings the
+// algorithms need when that assumption does not hold exactly.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+/// True iff x is a power of two (x > 0).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)); requires x > 0.
+constexpr int floor_log2(std::uint64_t x) {
+  MTM_REQUIRE(x > 0);
+  return 63 - std::countl_zero(x);
+}
+
+/// ceil(log2(x)); requires x > 0. ceil_log2(1) == 0.
+constexpr int ceil_log2(std::uint64_t x) {
+  MTM_REQUIRE(x > 0);
+  return x == 1 ? 0 : floor_log2(x - 1) + 1;
+}
+
+/// Smallest power of two >= x; requires x > 0.
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  MTM_REQUIRE(x > 0);
+  return std::uint64_t{1} << ceil_log2(x);
+}
+
+/// Bit of `value` at position `pos`, counting positions from the MOST
+/// significant end of a `width`-bit representation: pos 1 is the most
+/// significant bit, pos `width` the least. This matches the paper's tag
+/// indexing convention (Section VIII: "t[1] is the most significant bit and
+/// t[k] is the least").
+constexpr int bit_at_msb(std::uint64_t value, int pos, int width) {
+  MTM_REQUIRE(width >= 1 && width <= 64);
+  MTM_REQUIRE(pos >= 1 && pos <= width);
+  return static_cast<int>((value >> (width - pos)) & 1u);
+}
+
+/// Number of bits needed to write any value in [0, n). bits_for(1) == 1.
+constexpr int bits_for(std::uint64_t n) {
+  MTM_REQUIRE(n > 0);
+  return n == 1 ? 1 : ceil_log2(n);
+}
+
+}  // namespace mtm

@@ -1,0 +1,85 @@
+#include "core/cli.hpp"
+
+#include <stdexcept>
+
+namespace mtm {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      throw std::invalid_argument("unrecognized argument: '" + arg +
+                                  "' (expected --key=value or --flag)");
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg.substr(2)] = "";
+    } else {
+      const std::string key = arg.substr(2, eq - 2);
+      if (key.empty()) {
+        throw std::invalid_argument("empty option name in '" + arg + "'");
+      }
+      values_[key] = arg.substr(eq + 1);
+    }
+  }
+  for (const auto& [key, value] : values_) consumed_[key] = false;
+}
+
+const std::string* CliArgs::find(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return nullptr;
+  consumed_[key] = true;
+  return &it->second;
+}
+
+bool CliArgs::has(const std::string& key) const { return find(key) != nullptr; }
+
+std::uint32_t CliArgs::get_u32(const std::string& key,
+                               std::uint32_t fallback) const {
+  return static_cast<std::uint32_t>(get_u64(key, fallback));
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& key,
+                               std::uint64_t fallback) const {
+  const std::string* raw = find(key);
+  if (raw == nullptr) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t value = std::stoull(*raw, &pos);
+    if (pos != raw->size()) throw std::invalid_argument("trailing chars");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + " expects an unsigned integer, got '" +
+                                *raw + "'");
+  }
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const std::string* raw = find(key);
+  if (raw == nullptr) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(*raw, &pos);
+    if (pos != raw->size()) throw std::invalid_argument("trailing chars");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + " expects a number, got '" + *raw +
+                                "'");
+  }
+}
+
+std::string CliArgs::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const std::string* raw = find(key);
+  return raw == nullptr ? fallback : *raw;
+}
+
+void CliArgs::check_unused() const {
+  for (const auto& [key, used] : consumed_) {
+    if (!used) {
+      throw std::invalid_argument("unknown option --" + key);
+    }
+  }
+}
+
+}  // namespace mtm

@@ -1,0 +1,44 @@
+// Minimal --key=value command-line parsing for the example binaries.
+//
+// Usage:
+//   CliArgs args(argc, argv);
+//   const auto n = args.get_u32("n", 48);
+//   const auto speed = args.get_double("speed", 0.05);
+//   if (args.has("help")) { ... }
+//   args.check_unused();  // reject typos like --nodse=10
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mtm {
+
+class CliArgs {
+ public:
+  /// Parses "--key=value" and bare "--flag" arguments; anything else throws
+  /// std::invalid_argument (examples have no positional arguments).
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters with defaults; throw std::invalid_argument on malformed
+  /// values. Each get marks the key as consumed.
+  std::uint32_t get_u32(const std::string& key, std::uint32_t fallback) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+
+  /// Throws std::invalid_argument naming any provided key never consumed by
+  /// a getter — catches misspelled options.
+  void check_unused() const;
+
+ private:
+  const std::string* find(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace mtm

@@ -1,0 +1,60 @@
+#include "core/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/table.hpp"
+
+namespace mtm {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  MTM_REQUIRE(bins >= 1);
+  MTM_REQUIRE(hi > lo);
+}
+
+void Histogram::add(double value) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::int64_t>(std::floor((value - lo_) / width));
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& values) {
+  for (double v : values) add(v);
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  MTM_REQUIRE(bin < counts_.size());
+  return counts_[bin];
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+  MTM_REQUIRE(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return {lo_ + width * static_cast<double>(bin),
+          lo_ + width * static_cast<double>(bin + 1)};
+}
+
+std::string Histogram::render(std::size_t width) const {
+  MTM_REQUIRE(width >= 1);
+  const std::uint64_t peak =
+      *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const auto [lo, hi] = bin_range(bin);
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(std::llround(
+                        static_cast<double>(counts_[bin]) * static_cast<double>(width) /
+                        static_cast<double>(peak)));
+    os << '[' << format_double(lo, 1) << ", " << format_double(hi, 1)
+       << ") " << std::string(bar, '#') << ' ' << counts_[bin] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mtm

@@ -1,0 +1,38 @@
+// Fixed-bin histogram with ASCII rendering, for round-distribution reports
+// in examples and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins over [lo, hi); values outside are clamped into
+  /// the edge bins (so every add() is counted).
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const;
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Inclusive-exclusive range [lo, hi) of a bin.
+  std::pair<double, double> bin_range(std::size_t bin) const;
+
+  /// ASCII bar chart, one line per bin, bars scaled to `width` columns.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mtm

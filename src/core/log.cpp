@@ -1,0 +1,44 @@
+#include "core/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace mtm {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() noexcept {
+  return g_threshold.load(std::memory_order_relaxed);
+}
+
+void set_log_threshold(LogLevel level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void log_emit(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << "[mtm:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace mtm

@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// The simulator is a library, so logging is off by default and routed through
+// a process-wide sink that examples/benches can raise to Info/Debug. Thread
+// safe: a single mutex serializes emission (logging is never on a hot path).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mtm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the current global threshold (default kWarn).
+LogLevel log_threshold() noexcept;
+/// Sets the global threshold; messages below it are dropped.
+void set_log_threshold(LogLevel level) noexcept;
+
+/// Emits one formatted line ("[level] message") to stderr if enabled.
+void log_emit(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace mtm
+
+#define MTM_LOG(level) ::mtm::detail::LogLine(level)
+#define MTM_LOG_DEBUG MTM_LOG(::mtm::LogLevel::kDebug)
+#define MTM_LOG_INFO MTM_LOG(::mtm::LogLevel::kInfo)
+#define MTM_LOG_WARN MTM_LOG(::mtm::LogLevel::kWarn)
+#define MTM_LOG_ERROR MTM_LOG(::mtm::LogLevel::kError)

@@ -1,0 +1,15 @@
+#include "core/rng.hpp"
+
+namespace mtm {
+
+std::vector<Rng> make_node_streams(std::uint64_t master_seed,
+                                   std::uint32_t node_count) {
+  std::vector<Rng> streams;
+  streams.reserve(node_count);
+  for (std::uint32_t u = 0; u < node_count; ++u) {
+    streams.emplace_back(derive_seed(master_seed, {0x6e6f6465ULL /*"node"*/, u}));
+  }
+  return streams;
+}
+
+}  // namespace mtm

@@ -1,0 +1,192 @@
+// Deterministic random number generation.
+//
+// Every simulation trial must be exactly reproducible from a
+// (master_seed, trial_id) pair and independent of thread scheduling, so the
+// library does not use std::random_device or global generators. Instead:
+//
+//  * SplitMix64 turns an arbitrary 64-bit seed into a well-mixed stream and
+//    is used only for seeding.
+//  * Xoshiro256** is the workhorse generator (fast, 256-bit state, passes
+//    BigCrush); it satisfies UniformRandomBitGenerator so it composes with
+//    <random> distributions, but we provide exact bounded sampling (Lemire)
+//    to avoid libstdc++-version-dependent streams.
+//  * derive_stream(seed, ids...) deterministically derives independent
+//    sub-streams (per node, per trial, per provider) from a master seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+/// SplitMix64 step: advances `state` and returns the next output.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (the standard seeding recipe for xoshiro).
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** generator (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x2545f4914f6cdd1dULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls to operator(); used to fan out non-overlapping
+  /// parallel streams from one seeded generator.
+  void jump() noexcept {
+    static constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (std::uint64_t{1} << bit)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Stateless SplitMix64 finalizer: a strong 64-bit mixing function.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministically derives an independent stream seed from a master seed
+/// and a list of identifiers (e.g. {trial, node}) by hashing the ids into a
+/// chain of mix64 applications — nearby ids give decorrelated seeds.
+inline std::uint64_t derive_seed(std::uint64_t master,
+                                 std::initializer_list<std::uint64_t> ids) {
+  std::uint64_t s = mix64(master + 0x9e3779b97f4a7c15ULL);
+  for (std::uint64_t id : ids) {
+    s = mix64(s ^ mix64(id + 0x9e3779b97f4a7c15ULL));
+  }
+  return s;
+}
+
+/// Random helper wrapping Xoshiro256 with exact bounded sampling. The bounded
+/// methods use Lemire's unbiased multiply-shift rejection method so streams
+/// are identical across standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : gen_(seed) {}
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64() { return gen_(); }
+
+  /// Uniform integer in [0, bound); requires bound > 0.
+  std::uint64_t uniform(std::uint64_t bound) {
+    MTM_REQUIRE(bound > 0);
+    // Lemire's method: unbiased, no modulo in the common case.
+    std::uint64_t x = gen_();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = gen_();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_in(std::int64_t lo, std::int64_t hi) {
+    MTM_REQUIRE(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform(span));
+  }
+
+  /// Fair coin: true with probability 1/2.
+  bool coin() { return (gen_() >> 63) != 0; }
+
+  /// Bernoulli(p) for p in [0,1].
+  bool bernoulli(double p) {
+    MTM_REQUIRE(p >= 0.0 && p <= 1.0);
+    return uniform_double() < p;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform_double() {
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Random permutation of {0, 1, ..., n-1}.
+  std::vector<std::uint32_t> permutation(std::uint32_t n) {
+    std::vector<std::uint32_t> p(n);
+    for (std::uint32_t i = 0; i < n; ++i) p[i] = i;
+    shuffle(p);
+    return p;
+  }
+
+  /// Picks one element uniformly from a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    MTM_REQUIRE(!v.empty());
+    return v[static_cast<std::size_t>(uniform(v.size()))];
+  }
+
+  Xoshiro256& generator() { return gen_; }
+
+ private:
+  Xoshiro256 gen_;
+};
+
+/// Builds one Rng per node from a master seed; stream i is decorrelated from
+/// stream j for i != j. Used by the engine for per-node local coins.
+std::vector<Rng> make_node_streams(std::uint64_t master_seed,
+                                   std::uint32_t node_count);
+
+}  // namespace mtm

@@ -1,0 +1,119 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  MTM_REQUIRE(!sorted.empty());
+  MTM_REQUIRE(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> samples) {
+  MTM_REQUIRE(!samples.empty());
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  RunningStats rs;
+  for (double x : sorted) rs.add(x);
+  Summary s;
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = sorted.front();
+  s.p25 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.50);
+  s.p75 = quantile_sorted(sorted, 0.75);
+  s.p95 = quantile_sorted(sorted, 0.95);
+  s.max = sorted.back();
+  return s;
+}
+
+Interval bootstrap_mean_ci(std::span<const double> samples, double confidence,
+                           std::size_t resamples, std::uint64_t seed) {
+  MTM_REQUIRE(!samples.empty());
+  MTM_REQUIRE(confidence > 0.0 && confidence < 1.0);
+  MTM_REQUIRE(resamples >= 10);
+  Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  const std::size_t n = samples.size();
+  for (std::size_t b = 0; b < resamples; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += samples[static_cast<std::size_t>(rng.uniform(n))];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+  const double tail = (1.0 - confidence) / 2.0;
+  return Interval{quantile_sorted(means, tail), quantile_sorted(means, 1.0 - tail)};
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  MTM_REQUIRE(x.size() == y.size());
+  MTM_REQUIRE(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  MTM_REQUIRE_MSG(sxx > 0.0, "x values must not all be equal");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+LinearFit log_log_fit(std::span<const double> x, std::span<const double> y) {
+  MTM_REQUIRE(x.size() == y.size());
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    MTM_REQUIRE_MSG(x[i] > 0.0 && y[i] > 0.0,
+                    "log-log fit requires positive samples");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+}  // namespace mtm

@@ -1,0 +1,90 @@
+// Descriptive statistics for Monte-Carlo experiment results.
+//
+// The experiment harness aggregates rounds-to-stabilize samples across trials
+// and reports central tendency, spread, quantiles, bootstrap confidence
+// intervals, and (for scaling experiments) fitted log-log exponents.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace mtm {
+
+/// Streaming accumulator using Welford's algorithm (numerically stable).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1 || x < min_) min_ = x;
+    if (count_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Sample variance (Bessel-corrected); 0 for fewer than two samples.
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of one sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a full summary of `samples` (copies and sorts internally).
+Summary summarize(std::span<const double> samples);
+
+/// Linearly interpolated quantile of a SORTED sample vector, q in [0,1].
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Percentile-bootstrap confidence interval for the mean.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Interval bootstrap_mean_ci(std::span<const double> samples, double confidence,
+                           std::size_t resamples, std::uint64_t seed);
+
+/// Ordinary least squares fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Fits y ≈ C * x^e via OLS in log-log space and returns the exponent fit
+/// (slope = e, intercept = ln C). All inputs must be positive.
+LinearFit log_log_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace mtm

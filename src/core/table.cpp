@@ -1,0 +1,127 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+std::string format_double(double value, int precision) {
+  if (std::isnan(value)) return "-";
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MTM_REQUIRE(!headers_.empty());
+}
+
+Table& Table::row() {
+  check_complete_row();
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+void Table::check_complete_row() const {
+  if (!rows_.empty()) {
+    MTM_ENSURE_MSG(rows_.back().size() == headers_.size(),
+                   "previous row is incomplete");
+  }
+}
+
+Table& Table::cell(const std::string& value) {
+  MTM_REQUIRE_MSG(!rows_.empty(), "call row() before cell()");
+  MTM_REQUIRE_MSG(rows_.back().size() < headers_.size(), "row overflow");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+Table& Table::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+std::string Table::to_string() const {
+  check_complete_row();
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  check_complete_row();
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  os << "\n== " << title << " ==\n" << to_string();
+}
+
+bool Table::maybe_write_csv(const std::string& name) const {
+  const char* dir = std::getenv("MTM_BENCH_CSV");
+  if (dir == nullptr || *dir == '\0') return false;
+  std::ofstream out(std::string(dir) + "/" + name + ".csv");
+  if (!out) return false;
+  out << to_csv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace mtm

@@ -1,0 +1,54 @@
+// Console table and CSV rendering for experiment output.
+//
+// Every benchmark binary prints its series/table as an aligned console table
+// (the "figure data" of the reproduction) and can mirror it to CSV when the
+// MTM_BENCH_CSV environment variable names a directory.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mtm {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with sensible precision. Rows must match the header width.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; returns *this for chaining cell() calls.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const noexcept { return headers_.size(); }
+
+  /// Renders as an aligned ASCII table.
+  std::string to_string() const;
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Prints the table to `os` with a title line.
+  void print(std::ostream& os, const std::string& title) const;
+
+  /// Writes CSV to `<dir>/<name>.csv` if env var MTM_BENCH_CSV is set to a
+  /// directory path; returns true when a file was written.
+  bool maybe_write_csv(const std::string& name) const;
+
+ private:
+  void check_complete_row() const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing garbage, "-" for NaN).
+std::string format_double(double value, int precision);
+
+}  // namespace mtm

@@ -1,0 +1,109 @@
+#include "graph/conductance.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <queue>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+std::uint64_t volume(const Graph& g, const std::vector<bool>& in_s) {
+  MTM_REQUIRE(in_s.size() == g.node_count());
+  std::uint64_t vol = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (in_s[u]) vol += g.degree(u);
+  }
+  return vol;
+}
+
+std::uint64_t cut_edge_count(const Graph& g, const std::vector<bool>& in_s) {
+  MTM_REQUIRE(in_s.size() == g.node_count());
+  std::uint64_t count = 0;
+  for (const Edge& e : g.edges()) {
+    if (in_s[e.a] != in_s[e.b]) ++count;
+  }
+  return count;
+}
+
+double conductance_of_set(const Graph& g, const std::vector<bool>& in_s) {
+  const std::uint64_t vol_s = volume(g, in_s);
+  const std::uint64_t vol_total = 2 * g.edge_count();
+  MTM_REQUIRE_MSG(vol_s > 0 && vol_s < vol_total,
+                  "conductance needs positive volume on both sides");
+  const std::uint64_t smaller = std::min(vol_s, vol_total - vol_s);
+  return static_cast<double>(cut_edge_count(g, in_s)) /
+         static_cast<double>(smaller);
+}
+
+double conductance_exact(const Graph& g) {
+  const NodeId n = g.node_count();
+  MTM_REQUIRE_MSG(n >= 2 && n <= 20, "exact conductance requires n <= 20");
+  MTM_REQUIRE_MSG(g.edge_count() > 0, "conductance needs at least one edge");
+  double best = 1.0;
+  std::vector<bool> in_s(n, false);
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 1; mask + 1 < limit; ++mask) {
+    for (NodeId u = 0; u < n; ++u) in_s[u] = (mask >> u) & 1u;
+    const std::uint64_t vol_s = volume(g, in_s);
+    if (vol_s == 0 || vol_s == 2 * g.edge_count()) continue;
+    best = std::min(best, conductance_of_set(g, in_s));
+  }
+  return best;
+}
+
+namespace {
+
+void fold_bfs_sweep_phi(const Graph& g, NodeId source, double& best) {
+  const NodeId n = g.node_count();
+  const std::uint64_t vol_total = 2 * g.edge_count();
+  std::vector<bool> in_s(n, false);
+  std::vector<bool> visited(n, false);
+  std::queue<NodeId> frontier;
+  visited[source] = true;
+  frontier.push(source);
+  std::uint64_t vol_s = 0;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    in_s[u] = true;
+    vol_s += g.degree(u);
+    if (vol_s >= vol_total) break;
+    if (2 * vol_s > vol_total) break;  // only evaluate the smaller side
+    if (vol_s > 0) best = std::min(best, conductance_of_set(g, in_s));
+    for (NodeId v : g.neighbors(u)) {
+      if (!visited[v]) {
+        visited[v] = true;
+        frontier.push(v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double conductance_upper_bound(const Graph& g, Rng& rng,
+                               std::size_t random_samples) {
+  const NodeId n = g.node_count();
+  MTM_REQUIRE(n >= 2);
+  MTM_REQUIRE(g.edge_count() > 0);
+  double best = 1.0;
+  for (NodeId u = 0; u < n; ++u) fold_bfs_sweep_phi(g, u, best);
+
+  const std::uint64_t vol_total = 2 * g.edge_count();
+  std::vector<bool> in_s(n, false);
+  for (std::size_t s = 0; s < random_samples; ++s) {
+    std::fill(in_s.begin(), in_s.end(), false);
+    const auto size =
+        static_cast<std::uint32_t>(1 + rng.uniform(std::max<NodeId>(n / 2, 1)));
+    const auto perm = rng.permutation(n);
+    for (std::uint32_t i = 0; i < size; ++i) in_s[perm[i]] = true;
+    const std::uint64_t vol_s = volume(g, in_s);
+    if (vol_s == 0 || vol_s >= vol_total) continue;
+    best = std::min(best, conductance_of_set(g, in_s));
+  }
+  return best;
+}
+
+}  // namespace mtm

@@ -1,0 +1,39 @@
+// Graph conductance Φ — the spectral-style cut measure that rumor-spreading
+// work used BEFORE vertex expansion.
+//
+//   Φ(S) = |E(S, V\S)| / min(vol(S), vol(V\S)),   Φ = min over S of Φ(S),
+//
+// with vol(S) the sum of degrees in S. The paper's related-work discussion
+// (and [1]) hinge on the separation between Φ and α in the mobile telephone
+// model: the star has Φ = Θ(1) (every edge touches the center) yet
+// α = Θ(1/n) — and with one connection per node per round it is the VERTEX
+// expansion that bounds progress. bench_alpha_vs_conductance regenerates
+// that comparison table.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace mtm {
+
+/// Sum of degrees over S.
+std::uint64_t volume(const Graph& g, const std::vector<bool>& in_s);
+
+/// Number of edges with exactly one endpoint in S.
+std::uint64_t cut_edge_count(const Graph& g, const std::vector<bool>& in_s);
+
+/// Φ(S); requires both sides to have positive volume.
+double conductance_of_set(const Graph& g, const std::vector<bool>& in_s);
+
+/// Exact conductance via subset enumeration; requires 2 <= n <= 20 and at
+/// least one edge.
+double conductance_exact(const Graph& g);
+
+/// Upper bound on Φ from the same candidate-set battery as
+/// vertex_expansion_upper_bound (BFS balls, degree sweeps, random sets).
+double conductance_upper_bound(const Graph& g, Rng& rng,
+                               std::size_t random_samples = 256);
+
+}  // namespace mtm

@@ -1,0 +1,74 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+Components connected_components(const Graph& g) {
+  Components result;
+  result.label.assign(g.node_count(), kUnreachable);
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (result.label[s] != kUnreachable) continue;
+    const NodeId id = result.count++;
+    result.label[s] = id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : g.neighbors(u)) {
+        if (result.label[v] == kUnreachable) {
+          result.label[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g) {
+  return connected_components(g).count == 1;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  MTM_REQUIRE(source < g.node_count());
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    MTM_REQUIRE_MSG(d != kUnreachable, "eccentricity requires connectivity");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  std::uint32_t best = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    best = std::max(best, eccentricity(g, u));
+  }
+  return best;
+}
+
+}  // namespace mtm

@@ -1,0 +1,35 @@
+// BFS-based connectivity queries: components, distances, diameter.
+//
+// The mobile telephone model assumes a connected topology in every round
+// (paper Section III); dynamic-graph providers use these checks to validate
+// (and the mobility provider to repair) generated topologies.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mtm {
+
+/// Component label per node (labels are 0..k-1 in first-seen order).
+struct Components {
+  std::vector<NodeId> label;
+  NodeId count = 0;
+};
+
+Components connected_components(const Graph& g);
+
+/// True iff the graph is connected (always true for n == 1).
+bool is_connected(const Graph& g);
+
+/// BFS distances from `source`; unreachable nodes get kUnreachable.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Eccentricity of `source` (max finite BFS distance); requires connected g.
+std::uint32_t eccentricity(const Graph& g, NodeId source);
+
+/// Exact diameter via all-sources BFS. O(n·m); intended for n up to ~10^4.
+std::uint32_t diameter(const Graph& g);
+
+}  // namespace mtm

@@ -1,0 +1,136 @@
+#include "graph/exact_chain.hpp"
+
+#include <bit>
+#include <map>
+
+#include "core/assert.hpp"
+#include "graph/connectivity.hpp"
+
+namespace mtm {
+
+namespace {
+
+/// Per-node action in one round: kReceive, or the index of the neighbor the
+/// node proposes to.
+struct RoundEnumerator {
+  const Graph& g;
+  std::uint32_t informed;
+  std::map<std::uint32_t, double>& out;
+
+  // decision[u]: -1 = receive, otherwise index into g.neighbors(u).
+  std::vector<int> decision;
+
+  void enumerate_decisions(NodeId u, double prob) {
+    const NodeId n = g.node_count();
+    if (u == n) {
+      resolve(prob);
+      return;
+    }
+    const auto nbrs = g.neighbors(u);
+    // Receive with probability 1/2.
+    decision[u] = -1;
+    enumerate_decisions(u + 1, prob * 0.5);
+    // Send to each neighbor with probability (1/2)·(1/deg).
+    const double send_prob = 0.5 / static_cast<double>(nbrs.size());
+    for (int j = 0; j < static_cast<int>(nbrs.size()); ++j) {
+      decision[u] = j;
+      enumerate_decisions(u + 1, prob * send_prob);
+    }
+    decision[u] = -1;
+  }
+
+  /// With decisions fixed, enumerate receivers' uniform acceptance choices.
+  void resolve(double prob) {
+    const NodeId n = g.node_count();
+    std::vector<std::vector<NodeId>> incoming(n);
+    for (NodeId u = 0; u < n; ++u) {
+      if (decision[u] >= 0) {
+        const NodeId target =
+            g.neighbors(u)[static_cast<std::size_t>(decision[u])];
+        if (decision[target] < 0) {  // target is receiving
+          incoming[target].push_back(u);
+        }
+      }
+    }
+    std::vector<NodeId> receivers;
+    for (NodeId v = 0; v < n; ++v) {
+      if (decision[v] < 0 && !incoming[v].empty()) receivers.push_back(v);
+    }
+    std::vector<NodeId> accepted(receivers.size(), 0);
+    enumerate_acceptances(0, prob, receivers, incoming, accepted);
+  }
+
+  void enumerate_acceptances(std::size_t index, double prob,
+                             const std::vector<NodeId>& receivers,
+                             const std::vector<std::vector<NodeId>>& incoming,
+                             std::vector<NodeId>& accepted) {
+    if (index == receivers.size()) {
+      std::uint32_t next = informed;
+      for (std::size_t i = 0; i < receivers.size(); ++i) {
+        const NodeId v = receivers[i];
+        const NodeId u = accepted[i];
+        const std::uint32_t pair_mask =
+            (std::uint32_t{1} << u) | (std::uint32_t{1} << v);
+        // Bidirectional exchange: if either endpoint knows, both learn.
+        if ((informed & pair_mask) != 0) next |= pair_mask;
+      }
+      out[next] += prob;
+      return;
+    }
+    const auto& senders = incoming[receivers[index]];
+    const double each = prob / static_cast<double>(senders.size());
+    for (NodeId u : senders) {
+      accepted[index] = u;
+      enumerate_acceptances(index + 1, each, receivers, incoming, accepted);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::pair<std::uint32_t, double>> push_pull_round_distribution(
+    const Graph& g, std::uint32_t informed) {
+  const NodeId n = g.node_count();
+  MTM_REQUIRE(n >= 2 && n <= 16);
+  MTM_REQUIRE_MSG(informed != 0 && informed < (std::uint32_t{1} << n),
+                  "informed mask must be a non-empty subset of nodes");
+  std::map<std::uint32_t, double> out;
+  RoundEnumerator enumerator{g, informed, out, std::vector<int>(n, -1)};
+  enumerator.enumerate_decisions(0, 1.0);
+  return {out.begin(), out.end()};
+}
+
+double push_pull_expected_rounds(const Graph& g, NodeId source) {
+  const NodeId n = g.node_count();
+  MTM_REQUIRE(n >= 2 && n <= 6);
+  MTM_REQUIRE(source < n);
+  MTM_REQUIRE_MSG(is_connected(g), "expected rounds require connectivity");
+  const std::uint32_t full = (std::uint32_t{1} << n) - 1;
+
+  // The informed set only grows, so the chain is a DAG over subsets (plus
+  // self loops): solve T(S) in decreasing order of popcount.
+  std::vector<double> expected(full + 1, 0.0);
+  // Group masks by popcount descending.
+  for (int bits = static_cast<int>(n) - 1; bits >= 1; --bits) {
+    for (std::uint32_t mask = 1; mask <= full; ++mask) {
+      if (std::popcount(mask) != bits) continue;
+      const auto dist = push_pull_round_distribution(g, mask);
+      double self_prob = 0.0;
+      double acc = 1.0;  // the +1 for this round
+      for (const auto& [next, p] : dist) {
+        if (next == mask) {
+          self_prob = p;
+        } else {
+          MTM_ENSURE_MSG((next & mask) == mask, "informed set must grow");
+          acc += p * expected[next];
+        }
+      }
+      MTM_ENSURE_MSG(self_prob < 1.0 - 1e-12,
+                     "connected graphs always make progress w.p. > 0");
+      expected[mask] = acc / (1.0 - self_prob);
+    }
+  }
+  return expected[std::uint32_t{1} << source];
+}
+
+}  // namespace mtm

@@ -1,0 +1,38 @@
+// Exact Markov-chain analysis of PUSH-PULL rumor spreading on tiny graphs.
+//
+// For n <= ~6 the full per-round randomness of the blind PUSH-PULL process
+// (every node's send/receive coin, every sender's uniform neighbor choice,
+// every receiver's uniform acceptance) can be enumerated exhaustively,
+// yielding the EXACT transition distribution over informed sets and, since
+// the process is monotone (a DAG over subsets), the exact expected
+// stabilization time in closed form.
+//
+// This is the strongest validation tool in the repository: it checks the
+// simulator's round mechanics (proposal resolution, the sender-cannot-
+// receive rule, uniform acceptance, bidirectional exchange) against
+// first-principles probability with no simulation in the loop. The tests
+// compare Monte-Carlo means from the real engine against these exact
+// expectations.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mtm {
+
+/// Exact one-round transition: from informed set `informed` (bitmask over
+/// nodes, bit u = node u knows the rumor), returns the probability
+/// distribution over successor informed sets as (mask, probability) pairs
+/// (successors are supersets; probabilities sum to 1). Requires n <= 16 for
+/// the mask and practically n <= 6 for the enumeration.
+std::vector<std::pair<std::uint32_t, double>> push_pull_round_distribution(
+    const Graph& g, std::uint32_t informed);
+
+/// Exact expected number of rounds for PUSH-PULL to inform all nodes from
+/// `source`, by solving the absorbing chain over the subset DAG.
+/// Requires a connected graph with 2 <= n <= 6 (state space 2^n; each
+/// round enumeration is exponential in n).
+double push_pull_expected_rounds(const Graph& g, NodeId source);
+
+}  // namespace mtm

@@ -1,0 +1,196 @@
+#include "graph/expansion.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+std::uint32_t boundary_size(const Graph& g, const std::vector<bool>& in_s) {
+  MTM_REQUIRE(in_s.size() == g.node_count());
+  std::uint32_t count = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (in_s[v]) continue;
+    for (NodeId u : g.neighbors(v)) {
+      if (in_s[u]) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+double alpha_of_set(const Graph& g, const std::vector<bool>& in_s) {
+  const auto size = static_cast<std::uint32_t>(
+      std::count(in_s.begin(), in_s.end(), true));
+  MTM_REQUIRE(size > 0);
+  return static_cast<double>(boundary_size(g, in_s)) / size;
+}
+
+double vertex_expansion_exact(const Graph& g) {
+  const NodeId n = g.node_count();
+  MTM_REQUIRE_MSG(n >= 2 && n <= 20, "exact expansion requires n <= 20");
+  double best = static_cast<double>(n);
+  std::vector<bool> in_s(n, false);
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 1; mask + 1 < limit; ++mask) {
+    const int size = std::popcount(mask);
+    if (size == 0 || static_cast<NodeId>(2 * size) > n) continue;
+    for (NodeId u = 0; u < n; ++u) in_s[u] = (mask >> u) & 1u;
+    best = std::min(best, alpha_of_set(g, in_s));
+  }
+  return best;
+}
+
+namespace {
+
+/// Evaluates α(S) for every BFS-ball prefix around `source` with
+/// 1 <= |S| <= n/2 and folds the minimum into `best`.
+void fold_bfs_sweep(const Graph& g, NodeId source, double& best) {
+  const NodeId n = g.node_count();
+  std::vector<bool> in_s(n, false);
+  std::vector<bool> visited(n, false);
+  std::queue<NodeId> frontier;
+  visited[source] = true;
+  frontier.push(source);
+  std::uint32_t size = 0;
+  while (!frontier.empty() && 2 * (size + 1) <= n) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    in_s[u] = true;
+    ++size;
+    for (NodeId v : g.neighbors(u)) {
+      if (!visited[v]) {
+        visited[v] = true;
+        frontier.push(v);
+      }
+    }
+    best = std::min(best, alpha_of_set(g, in_s));
+  }
+}
+
+}  // namespace
+
+double vertex_expansion_upper_bound(const Graph& g, Rng& rng,
+                                    std::size_t random_samples) {
+  const NodeId n = g.node_count();
+  MTM_REQUIRE(n >= 2);
+  double best = static_cast<double>(n);
+
+  // BFS-grown prefixes from every node: catches "cluster" cuts (cliques on a
+  // bridge, star-line halves, grid halves).
+  for (NodeId u = 0; u < n; ++u) fold_bfs_sweep(g, u, best);
+
+  // Degree-ascending sweep: catches cuts that isolate many low-degree nodes.
+  {
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&g](NodeId a, NodeId b) {
+      return g.degree(a) < g.degree(b);
+    });
+    std::vector<bool> in_s(n, false);
+    for (std::uint32_t size = 1; 2 * size <= n; ++size) {
+      in_s[order[size - 1]] = true;
+      best = std::min(best, alpha_of_set(g, in_s));
+    }
+  }
+
+  // Random subsets of random sizes.
+  std::vector<bool> in_s(n, false);
+  for (std::size_t s = 0; s < random_samples; ++s) {
+    std::fill(in_s.begin(), in_s.end(), false);
+    const auto size =
+        static_cast<std::uint32_t>(1 + rng.uniform(std::max<NodeId>(n / 2, 1)));
+    const auto perm = rng.permutation(n);
+    for (std::uint32_t i = 0; i < size; ++i) in_s[perm[i]] = true;
+    best = std::min(best, alpha_of_set(g, in_s));
+  }
+  return best;
+}
+
+const char* family_name(GraphFamily family) {
+  switch (family) {
+    case GraphFamily::kClique:
+      return "clique";
+    case GraphFamily::kPath:
+      return "path";
+    case GraphFamily::kCycle:
+      return "cycle";
+    case GraphFamily::kStar:
+      return "star";
+    case GraphFamily::kStarLine:
+      return "star-line";
+    case GraphFamily::kRandomRegular:
+      return "random-regular";
+    case GraphFamily::kGrid:
+      return "grid";
+    case GraphFamily::kHypercube:
+      return "hypercube";
+    case GraphFamily::kBinaryTree:
+      return "binary-tree";
+    case GraphFamily::kBarbell:
+      return "barbell";
+  }
+  return "?";
+}
+
+double family_alpha(GraphFamily family, NodeId n, NodeId shape) {
+  MTM_REQUIRE(n >= 2);
+  const double half = std::floor(static_cast<double>(n) / 2.0);
+  switch (family) {
+    case GraphFamily::kClique:
+      // S of size floor(n/2): every outside node borders S.
+      return (static_cast<double>(n) - half) / half;
+    case GraphFamily::kPath:
+      // End segment of floor(n/2) nodes has boundary 1.
+      return 1.0 / half;
+    case GraphFamily::kCycle:
+      // Contiguous arc of floor(n/2) nodes has boundary 2.
+      return 2.0 / half;
+    case GraphFamily::kStar:
+      // floor(n/2) leaves have boundary {center} = 1.
+      return 1.0 / half;
+    case GraphFamily::kStarLine:
+      // `shape` = points per star. Take a prefix of whole stars plus
+      // enough leaves of the next star to total exactly floor(n/2) nodes:
+      // its boundary is the single next center, so alpha = 1/floor(n/2)
+      // exactly (for >= 2 stars the remainder always fits in one star's
+      // leaf set).
+      MTM_REQUIRE_MSG(shape >= 1, "star-line alpha needs points-per-star");
+      MTM_REQUIRE_MSG(n >= 2 * (shape + 1),
+                      "star-line alpha needs >= 2 stars");
+      return 1.0 / half;
+    case GraphFamily::kRandomRegular:
+      // d-regular random graphs (d = shape >= 3) are expanders w.h.p.;
+      // α = Θ(1). We use the conservative constant 1/2.
+      MTM_REQUIRE(shape >= 3);
+      return 0.5;
+    case GraphFamily::kGrid:
+      // rows = shape (<= cols). Halving across the longer side exposes a
+      // boundary of `rows` nodes.
+      MTM_REQUIRE(shape >= 1);
+      return static_cast<double>(shape) / half;
+    case GraphFamily::kHypercube:
+      // Harper's theorem: the half cube's boundary is the middle binomial
+      // layer, C(d, d/2) ≈ 2^d·sqrt(2/(π·d)); α ≈ sqrt(8/(π·d))·(1/2)... we
+      // report the Θ(1/sqrt(d)) estimate.
+      MTM_REQUIRE(shape >= 1);
+      return 1.0 / std::sqrt(static_cast<double>(shape));
+    case GraphFamily::kBinaryTree:
+      // A subtree of ~n/2 nodes has boundary {parent} = 1.
+      return 1.0 / half;
+    case GraphFamily::kBarbell:
+      // One clique K_k (k = shape) has boundary 1 (the bridge endpoint).
+      MTM_REQUIRE(shape >= 2);
+      return 1.0 / static_cast<double>(shape);
+  }
+  MTM_ENSURE_MSG(false, "unknown family");
+  return 0.0;
+}
+
+}  // namespace mtm

@@ -1,0 +1,60 @@
+// Vertex expansion α (paper Section II).
+//
+//   α(S) = |∂S| / |S|,   α = min over S ⊂ V, 0 < |S| <= n/2 of α(S),
+//
+// where ∂S is the set of nodes outside S adjacent to S. Computing α exactly
+// is intractable in general, so the library offers three tiers:
+//   1. exact subset enumeration for n <= 20 (tests, Lemma V.1 validation);
+//   2. closed forms for the generator families (used by benches to scale the
+//      theory-prediction columns);
+//   3. a sampled upper bound (BFS balls + random subsets + sweep cuts) for
+//      arbitrary graphs.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace mtm {
+
+/// |∂S| for the set marked by in_s.
+std::uint32_t boundary_size(const Graph& g, const std::vector<bool>& in_s);
+
+/// α(S) = |∂S|/|S|; requires 0 < |S|.
+double alpha_of_set(const Graph& g, const std::vector<bool>& in_s);
+
+/// Exact vertex expansion via subset enumeration; requires 2 <= n <= 20.
+double vertex_expansion_exact(const Graph& g);
+
+/// Upper bound on α from sampled candidate sets: BFS balls around every
+/// node, random subsets, and degree-ordered sweep prefixes. Never below the
+/// true α; in practice tight on the structured families used here.
+double vertex_expansion_upper_bound(const Graph& g, Rng& rng,
+                                    std::size_t random_samples = 256);
+
+/// Named generator families with closed-form (or tight-up-to-constant)
+/// vertex expansion; used by the experiment harness to build theory columns.
+enum class GraphFamily {
+  kClique,
+  kPath,
+  kCycle,
+  kStar,
+  kStarLine,
+  kRandomRegular,
+  kGrid,
+  kHypercube,
+  kBinaryTree,
+  kBarbell,
+};
+
+/// Closed-form α for a family instance with n nodes (second parameter is the
+/// family-specific shape argument documented per family in the .cpp).
+/// Exact for clique/path/cycle/star/star-line/binary-tree/barbell; a
+/// Θ-tight estimate for grid, hypercube, and random-regular.
+double family_alpha(GraphFamily family, NodeId n, NodeId shape = 0);
+
+/// Human-readable family name ("clique", "star-line", ...).
+const char* family_name(GraphFamily family);
+
+}  // namespace mtm

@@ -1,0 +1,308 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/assert.hpp"
+#include "graph/connectivity.hpp"
+
+namespace mtm {
+
+Graph make_clique(NodeId n) {
+  MTM_REQUIRE(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) edges.push_back({a, b});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_path(NodeId n) {
+  MTM_REQUIRE(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (NodeId u = 0; u + 1 < n; ++u) edges.push_back({u, u + 1});
+  return Graph(n, std::move(edges));
+}
+
+Graph make_cycle(NodeId n) {
+  MTM_REQUIRE(n >= 3);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (NodeId u = 0; u + 1 < n; ++u) edges.push_back({u, u + 1});
+  edges.push_back({0, n - 1});
+  return Graph(n, std::move(edges));
+}
+
+Graph make_star(NodeId n) {
+  MTM_REQUIRE(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (NodeId u = 1; u < n; ++u) edges.push_back({0, u});
+  return Graph(n, std::move(edges));
+}
+
+NodeId star_line_center(NodeId star_index, NodeId points_per_star) {
+  return star_index * (points_per_star + 1);
+}
+
+Graph make_star_line(NodeId num_stars, NodeId points_per_star) {
+  MTM_REQUIRE(num_stars >= 1);
+  MTM_REQUIRE(points_per_star >= 1);
+  const NodeId n = num_stars * (points_per_star + 1);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < num_stars; ++i) {
+    const NodeId center = star_line_center(i, points_per_star);
+    for (NodeId leaf = 1; leaf <= points_per_star; ++leaf) {
+      edges.push_back({center, center + leaf});
+    }
+    if (i + 1 < num_stars) {
+      edges.push_back({center, star_line_center(i + 1, points_per_star)});
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_random_regular(NodeId n, NodeId d, Rng& rng) {
+  MTM_REQUIRE(d >= 3 && d < n);
+  MTM_REQUIRE_MSG((static_cast<std::uint64_t>(n) * d) % 2 == 0,
+                  "n*d must be even for a d-regular graph");
+  // Steger–Wormald pairing: repeatedly connect two uniformly random free
+  // stubs, rejecting self loops and parallel edges. Unlike whole-graph
+  // rejection (acceptance ≈ exp(-(d²-1)/4), hopeless already for d = 8),
+  // only the occasional dead end near completion forces a restart, so the
+  // generator is practical for any d < n/2. The output distribution is
+  // asymptotically uniform over simple d-regular graphs (Steger & Wormald,
+  // 1999); we additionally condition on connectivity, which for d >= 3
+  // holds w.h.p. anyway.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<NodeId> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId j = 0; j < d; ++j) stubs.push_back(u);
+    }
+    std::set<Edge> edges;
+    bool stuck = false;
+    while (!stubs.empty() && !stuck) {
+      bool paired = false;
+      // Fast path: random stub pairs.
+      for (int tries = 0; tries < 64; ++tries) {
+        const auto i = static_cast<std::size_t>(rng.uniform(stubs.size()));
+        auto j = static_cast<std::size_t>(rng.uniform(stubs.size()));
+        if (i == j) continue;
+        NodeId a = stubs[i];
+        NodeId b = stubs[j];
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        if (edges.contains(Edge{a, b})) continue;
+        edges.insert(Edge{a, b});
+        // Remove both stubs (larger index first).
+        const auto hi = std::max(i, j);
+        const auto lo = std::min(i, j);
+        stubs[hi] = stubs.back();
+        stubs.pop_back();
+        stubs[lo] = stubs.back();
+        stubs.pop_back();
+        paired = true;
+        break;
+      }
+      if (paired) continue;
+      // Slow path near completion: scan for ANY legal pair; none -> restart.
+      paired = false;
+      for (std::size_t i = 0; i < stubs.size() && !paired; ++i) {
+        for (std::size_t j = i + 1; j < stubs.size() && !paired; ++j) {
+          NodeId a = stubs[i];
+          NodeId b = stubs[j];
+          if (a == b) continue;
+          if (a > b) std::swap(a, b);
+          if (edges.contains(Edge{a, b})) continue;
+          edges.insert(Edge{a, b});
+          stubs[j] = stubs.back();
+          stubs.pop_back();
+          stubs[i] = stubs.back();
+          stubs.pop_back();
+          paired = true;
+        }
+      }
+      stuck = !paired;
+    }
+    if (stuck) continue;
+    Graph g(n, std::vector<Edge>(edges.begin(), edges.end()));
+    if (is_connected(g)) return g;
+  }
+  throw ContractError("invariant", "random_regular attempts", __FILE__,
+                      __LINE__, "could not sample a simple connected graph");
+}
+
+Graph make_erdos_renyi_connected(NodeId n, double p, Rng& rng,
+                                 int max_attempts) {
+  MTM_REQUIRE(n >= 2);
+  MTM_REQUIRE(p > 0.0 && p <= 1.0);
+  MTM_REQUIRE(max_attempts >= 1);
+  std::vector<Edge> edges;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    edges.clear();
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = a + 1; b < n; ++b) {
+        if (rng.bernoulli(p)) edges.push_back({a, b});
+      }
+    }
+    Graph g(n, edges);
+    if (is_connected(g)) return g;
+  }
+  // Stitch: connect each extra component to component 0 through one edge,
+  // choosing endpoints uniformly. Keeps the degree distribution intact up to
+  // +1 per stitched component.
+  Graph g(n, edges);
+  const Components comps = connected_components(g);
+  std::vector<std::vector<NodeId>> members(comps.count);
+  for (NodeId u = 0; u < n; ++u) members[comps.label[u]].push_back(u);
+  for (NodeId c = 1; c < comps.count; ++c) {
+    const NodeId a = rng.pick(members[0]);
+    const NodeId b = rng.pick(members[c]);
+    edges.push_back({std::min(a, b), std::max(a, b)});
+  }
+  Graph stitched(n, std::move(edges));
+  MTM_ENSURE(is_connected(stitched));
+  return stitched;
+}
+
+Graph make_grid(NodeId rows, NodeId cols) {
+  MTM_REQUIRE(rows >= 1 && cols >= 1);
+  MTM_REQUIRE(static_cast<std::uint64_t>(rows) * cols >= 2);
+  const NodeId n = rows * cols;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(2) * n);
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_hypercube(int dim) {
+  MTM_REQUIRE(dim >= 1 && dim <= 20);
+  const NodeId n = NodeId{1} << dim;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(dim) / 2);
+  for (NodeId u = 0; u < n; ++u) {
+    for (int bit = 0; bit < dim; ++bit) {
+      const NodeId v = u ^ (NodeId{1} << bit);
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_complete_bipartite(NodeId a, NodeId b) {
+  MTM_REQUIRE(a >= 1 && b >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(a) * b);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) edges.push_back({u, a + v});
+  }
+  return Graph(a + b, std::move(edges));
+}
+
+Graph make_binary_tree(NodeId n) {
+  MTM_REQUIRE(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (NodeId u = 1; u < n; ++u) edges.push_back({(u - 1) / 2, u});
+  return Graph(n, std::move(edges));
+}
+
+Graph make_barbell(NodeId k, NodeId bridge_len) {
+  MTM_REQUIRE(k >= 2);
+  const NodeId n = 2 * k + bridge_len;
+  std::vector<Edge> edges;
+  auto add_clique = [&edges](NodeId base, NodeId size) {
+    for (NodeId a = 0; a < size; ++a) {
+      for (NodeId b = a + 1; b < size; ++b) {
+        edges.push_back({base + a, base + b});
+      }
+    }
+  };
+  add_clique(0, k);
+  add_clique(k, k);
+  // Bridge path between node k-1 (clique A) and node k (clique B), routed
+  // through the bridge nodes [2k, 2k + bridge_len).
+  NodeId prev = k - 1;
+  for (NodeId i = 0; i < bridge_len; ++i) {
+    const NodeId mid = 2 * k + i;
+    edges.push_back({std::min(prev, mid), std::max(prev, mid)});
+    prev = mid;
+  }
+  edges.push_back({std::min(prev, k), std::max(prev, k)});
+  return Graph(n, std::move(edges));
+}
+
+Graph make_ring_of_cliques(NodeId clique_count, NodeId clique_size) {
+  MTM_REQUIRE(clique_count >= 3);
+  MTM_REQUIRE(clique_size >= 2);
+  const NodeId n = clique_count * clique_size;
+  std::vector<Edge> edges;
+  auto base_of = [clique_size](NodeId c) { return c * clique_size; };
+  for (NodeId c = 0; c < clique_count; ++c) {
+    const NodeId base = base_of(c);
+    for (NodeId a = 0; a < clique_size; ++a) {
+      for (NodeId b = a + 1; b < clique_size; ++b) {
+        edges.push_back({base + a, base + b});
+      }
+    }
+    // Portal edge: this clique's node 1 to the next clique's node 0.
+    const NodeId next_base = base_of((c + 1) % clique_count);
+    const NodeId out = base + std::min<NodeId>(1, clique_size - 1);
+    edges.push_back({std::min(out, next_base), std::max(out, next_base)});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_small_world(NodeId n, NodeId k_half, double beta, Rng& rng) {
+  MTM_REQUIRE(k_half >= 1);
+  MTM_REQUIRE(n > 2 * k_half);
+  MTM_REQUIRE(beta >= 0.0 && beta <= 1.0);
+  // Ring lattice, then Watts–Strogatz rewiring of each lattice edge's far
+  // endpoint with probability beta (skipping rewires that would create a
+  // self loop or duplicate).
+  std::set<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId d = 1; d <= k_half; ++d) {
+      const NodeId v = (u + d) % n;
+      edges.insert({std::min(u, v), std::max(u, v)});
+    }
+  }
+  std::vector<Edge> lattice(edges.begin(), edges.end());
+  for (const Edge& e : lattice) {
+    if (!rng.bernoulli(beta)) continue;
+    const NodeId u = e.a;
+    const NodeId w = static_cast<NodeId>(rng.uniform(n));
+    if (w == u || w == e.b) continue;
+    const Edge candidate{std::min(u, w), std::max(u, w)};
+    if (edges.contains(candidate)) continue;
+    edges.erase(e);
+    edges.insert(candidate);
+  }
+  Graph g(n, std::vector<Edge>(edges.begin(), edges.end()));
+  const Components comps = connected_components(g);
+  if (comps.count == 1) return g;
+  // Stitch components (rare for beta < 1 with k_half >= 2).
+  std::vector<Edge> stitched(g.edges());
+  std::vector<std::vector<NodeId>> members(comps.count);
+  for (NodeId u = 0; u < n; ++u) members[comps.label[u]].push_back(u);
+  for (NodeId c = 1; c < comps.count; ++c) {
+    const NodeId a = rng.pick(members[0]);
+    const NodeId b = rng.pick(members[c]);
+    stitched.push_back({std::min(a, b), std::max(a, b)});
+  }
+  Graph repaired(n, std::move(stitched));
+  MTM_ENSURE(is_connected(repaired));
+  return repaired;
+}
+
+}  // namespace mtm

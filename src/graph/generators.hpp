@@ -1,0 +1,91 @@
+// Topology generators used by tests, examples, and the experiment harness.
+//
+// Each family notes its maximum degree Δ and the qualitative vertex
+// expansion α the paper's bounds depend on (closed forms are centralized in
+// graph/expansion.hpp::family_alpha). All generated graphs are connected.
+//
+// The star-line family is the paper's Section VI lower-bound construction:
+// "arrange √n nodes in a line ... connect each u_i to its own collection of
+// √n nodes — resulting in a line of √n stars each consisting of √n points."
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace mtm {
+
+/// Complete graph K_n. Δ = n-1; α ≥ 1 (min over |S| ≤ n/2 of (n-|S|)/|S|).
+Graph make_clique(NodeId n);
+
+/// Path P_n (0-1-2-...-(n-1)). Δ = 2; α = Θ(1/n).
+Graph make_path(NodeId n);
+
+/// Cycle C_n; requires n >= 3. Δ = 2; α = Θ(1/n).
+Graph make_cycle(NodeId n);
+
+/// Star S_n with center 0; requires n >= 2. Δ = n-1; α = Θ(1/n)
+/// (take S = all leaves of one half).
+Graph make_star(NodeId n);
+
+/// The paper's Section VI lower-bound graph: `num_stars` star centers
+/// u_0..u_{s-1} arranged in a line, each center attached to
+/// `points_per_star` private leaf nodes. Node ids: center i is node
+/// i*(points_per_star+1); its leaves follow it.
+/// n = s·(p+1); Δ = p+2 (interior centers); α = Θ(1/n).
+Graph make_star_line(NodeId num_stars, NodeId points_per_star);
+
+/// Node id of star-line center i (see make_star_line id layout).
+NodeId star_line_center(NodeId star_index, NodeId points_per_star);
+
+/// Random d-regular graph via the configuration model with rejection of
+/// self loops/multi-edges, retried until simple AND connected.
+/// Requires n·d even, 3 <= d < n. Δ = d; α = Ω(1) w.h.p. for d >= 3.
+Graph make_random_regular(NodeId n, NodeId d, Rng& rng);
+
+/// Erdős–Rényi G(n, p) conditioned on connectivity: sampled repeatedly; if
+/// still unconnected after `max_attempts`, the components are stitched with
+/// minimal extra edges (documented deviation, keeps Δ within +2).
+Graph make_erdos_renyi_connected(NodeId n, double p, Rng& rng,
+                                 int max_attempts = 32);
+
+/// rows × cols grid; requires rows, cols >= 1 and rows*cols >= 2.
+/// Δ = 4; α = Θ(1/min(rows, cols)).
+Graph make_grid(NodeId rows, NodeId cols);
+
+/// Hypercube Q_dim on 2^dim nodes; requires 1 <= dim <= 20.
+/// Δ = dim; α = Θ(1/√dim).
+Graph make_hypercube(int dim);
+
+/// Complete bipartite K_{a,b}; left part is nodes [0, a).
+Graph make_complete_bipartite(NodeId a, NodeId b);
+
+/// Complete binary tree on n nodes (heap layout, node 0 root); n >= 2.
+/// Δ = 3; α = Θ(1/n).
+Graph make_binary_tree(NodeId n);
+
+/// Barbell: two cliques K_k joined by a path of `bridge_len` extra nodes
+/// (bridge_len == 0 joins the cliques with a single edge). Classic
+/// low-expansion / high-degree stress topology. n = 2k + bridge_len.
+Graph make_barbell(NodeId k, NodeId bridge_len = 0);
+
+/// Ring of cliques: `clique_count` cliques K_{clique_size} arranged in a
+/// cycle, consecutive cliques joined by one edge between designated portal
+/// nodes (clique i's portal-out is its node 1, portal-in its node 0).
+/// Models community structure (crowd pockets with thin inter-pocket links);
+/// n = clique_count · clique_size; Δ = clique_size (the portal-in and
+/// portal-out roles fall on different nodes, each gaining one edge over the
+/// clique-internal degree of clique_size − 1); α = Θ(1/n).
+/// Requires clique_count >= 3, clique_size >= 2.
+Graph make_ring_of_cliques(NodeId clique_count, NodeId clique_size);
+
+/// Watts–Strogatz small world: a ring lattice where every node connects to
+/// its `k_half` nearest neighbors on each side, then each lattice edge is
+/// rewired (its far endpoint re-targeted uniformly) with probability
+/// `beta`. If rewiring disconnects the graph, components are stitched with
+/// minimal extra edges (same policy as make_erdos_renyi_connected).
+/// Requires n > 2·k_half >= 2, beta in [0, 1].
+Graph make_small_world(NodeId n, NodeId k_half, double beta, Rng& rng);
+
+}  // namespace mtm

@@ -1,0 +1,71 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+Graph::Graph(NodeId node_count, std::vector<Edge> edges)
+    : node_count_(node_count) {
+  MTM_REQUIRE(node_count > 0);
+  for (auto& e : edges) {
+    MTM_REQUIRE_MSG(e.a != e.b, "self loops are not allowed");
+    MTM_REQUIRE_MSG(e.a < node_count && e.b < node_count,
+                    "edge endpoint out of range");
+    if (e.a > e.b) std::swap(e.a, e.b);
+  }
+  std::sort(edges.begin(), edges.end());
+  MTM_REQUIRE_MSG(
+      std::adjacent_find(edges.begin(), edges.end()) == edges.end(),
+      "duplicate edges are not allowed");
+  edges_ = std::move(edges);
+
+  std::vector<std::size_t> degree(node_count, 0);
+  for (const auto& e : edges_) {
+    ++degree[e.a];
+    ++degree[e.b];
+  }
+  offsets_.assign(node_count + 1, 0);
+  for (NodeId u = 0; u < node_count; ++u) {
+    offsets_[u + 1] = offsets_[u] + degree[u];
+    max_degree_ = std::max<NodeId>(max_degree_, static_cast<NodeId>(degree[u]));
+  }
+  adjacency_.resize(offsets_[node_count]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& e : edges_) {
+    adjacency_[cursor[e.a]++] = e.b;
+    adjacency_[cursor[e.b]++] = e.a;
+  }
+  for (NodeId u = 0; u < node_count; ++u) {
+    auto nbrs = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]);
+    std::sort(nbrs, nbrs + static_cast<std::ptrdiff_t>(degree[u]));
+  }
+}
+
+Graph Graph::empty(NodeId node_count) {
+  return Graph(node_count, {});
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  MTM_REQUIRE(u < node_count_ && v < node_count_);
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+Graph relabel(const Graph& g, std::span<const NodeId> perm) {
+  MTM_REQUIRE(perm.size() == g.node_count());
+  std::vector<bool> seen(g.node_count(), false);
+  for (NodeId p : perm) {
+    MTM_REQUIRE_MSG(p < g.node_count() && !seen[p], "perm must be a bijection");
+    seen[p] = true;
+  }
+  std::vector<Edge> edges;
+  edges.reserve(g.edge_count());
+  for (const auto& e : g.edges()) {
+    edges.push_back(Edge{perm[e.a], perm[e.b]});
+  }
+  return Graph(g.node_count(), std::move(edges));
+}
+
+}  // namespace mtm

@@ -1,0 +1,73 @@
+// Static undirected graph in compressed sparse row (CSR) form.
+//
+// This is the network-topology substrate of the mobile telephone model
+// (paper Section II): connected, undirected, no self loops, no parallel
+// edges. CSR keeps the per-round neighborhood scans cache friendly; a graph
+// is immutable after construction (dynamic topologies are sequences of these,
+// see sim/dynamic_graph.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace mtm {
+
+using NodeId = std::uint32_t;
+
+/// An undirected edge; canonical form has a < b.
+struct Edge {
+  NodeId a;
+  NodeId b;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Immutable CSR undirected graph.
+class Graph {
+ public:
+  /// Builds from an edge list over nodes {0..n-1}. Duplicate edges (in either
+  /// orientation) are rejected; self loops are rejected.
+  Graph(NodeId node_count, std::vector<Edge> edges);
+
+  /// Empty graph on n isolated nodes.
+  static Graph empty(NodeId node_count);
+
+  NodeId node_count() const noexcept { return node_count_; }
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  /// Neighbors of u in ascending id order.
+  std::span<const NodeId> neighbors(NodeId u) const {
+    return {adjacency_.data() + offsets_[u],
+            offsets_[u + 1] - offsets_[u]};
+  }
+
+  NodeId degree(NodeId u) const { return static_cast<NodeId>(offsets_[u + 1] - offsets_[u]); }
+
+  /// Maximum degree Δ over all nodes (0 for an edgeless graph).
+  NodeId max_degree() const noexcept { return max_degree_; }
+
+  /// True iff {u, v} is an edge (binary search, O(log deg)).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Canonical (a < b) edge list in sorted order.
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+ private:
+  Graph() = default;
+
+  NodeId node_count_ = 0;
+  NodeId max_degree_ = 0;
+  std::vector<std::size_t> offsets_;
+  std::vector<NodeId> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+/// Deterministically relabels nodes: node u in `g` becomes perm[u]. The
+/// result is isomorphic to `g`; used by dynamic-graph providers to model
+/// adversarial topology changes that preserve Δ and α (paper Section III).
+Graph relabel(const Graph& g, std::span<const NodeId> perm);
+
+}  // namespace mtm

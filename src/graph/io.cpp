@@ -1,0 +1,89 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.node_count() << ' ' << g.edge_count() << '\n';
+  for (const Edge& e : g.edges()) {
+    os << e.a << ' ' << e.b << '\n';
+  }
+}
+
+namespace {
+/// Reads the next non-comment token line-wise aware stream.
+std::istream& skip_comments(std::istream& is) {
+  while (is >> std::ws && is.peek() == '#') {
+    std::string line;
+    std::getline(is, line);
+  }
+  return is;
+}
+}  // namespace
+
+Graph read_edge_list(std::istream& is) {
+  std::uint64_t n = 0, m = 0;
+  if (!(skip_comments(is) >> n)) {
+    throw GraphParseError("edge list: missing node count");
+  }
+  if (!(skip_comments(is) >> m)) {
+    throw GraphParseError("edge list: missing edge count");
+  }
+  if (n == 0 || n > 0xffffffffull) {
+    throw GraphParseError("edge list: node count out of range");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t a = 0, b = 0;
+    if (!(skip_comments(is) >> a >> b)) {
+      throw GraphParseError("edge list: truncated at edge " +
+                            std::to_string(i));
+    }
+    if (a >= n || b >= n) {
+      throw GraphParseError("edge list: endpoint out of range at edge " +
+                            std::to_string(i));
+    }
+    edges.push_back(Edge{static_cast<NodeId>(a), static_cast<NodeId>(b)});
+  }
+  return Graph(static_cast<NodeId>(n), std::move(edges));
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw GraphParseError("cannot open for writing: " + path);
+  write_edge_list(out, g);
+  if (!out) throw GraphParseError("write failed: " + path);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw GraphParseError("cannot open for reading: " + path);
+  return read_edge_list(in);
+}
+
+std::string to_dot(const Graph& g, const std::vector<bool>* highlight) {
+  if (highlight != nullptr) {
+    MTM_REQUIRE(highlight->size() == g.node_count());
+  }
+  std::ostringstream os;
+  os << "graph g {\n  node [shape=circle];\n";
+  if (highlight != nullptr) {
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      if ((*highlight)[u]) {
+        os << "  " << u << " [style=filled, fillcolor=red];\n";
+      }
+    }
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  " << e.a << " -- " << e.b << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mtm

@@ -1,0 +1,42 @@
+// Graph serialization: a plain edge-list text format plus Graphviz export.
+//
+// Edge-list format (whitespace/newline separated):
+//   line 1:  "<node_count> <edge_count>"
+//   then edge_count lines: "<a> <b>"
+// Lines starting with '#' are comments and ignored. The format round-trips
+// exactly (canonical a < b ordering, sorted).
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mtm {
+
+/// Thrown on malformed input when parsing a graph.
+class GraphParseError : public std::runtime_error {
+ public:
+  explicit GraphParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Writes the edge-list format to a stream.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses the edge-list format (throws GraphParseError on malformed input,
+/// ContractError on semantically invalid graphs like duplicate edges).
+Graph read_edge_list(std::istream& is);
+
+/// Convenience file wrappers; throw GraphParseError if the file cannot be
+/// opened.
+void save_edge_list(const std::string& path, const Graph& g);
+Graph load_edge_list(const std::string& path);
+
+/// Graphviz DOT export ("graph g { ... }"); `highlight` optionally marks a
+/// node set (filled red) — used by examples to visualize informed sets.
+std::string to_dot(const Graph& g, const std::vector<bool>* highlight = nullptr);
+
+}  // namespace mtm

@@ -1,0 +1,153 @@
+#include "graph/matching.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <queue>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+BipartiteMatcher::BipartiteMatcher(std::uint32_t left_count,
+                                   std::uint32_t right_count)
+    : left_count_(left_count),
+      right_count_(right_count),
+      adj_(left_count),
+      match_l_(left_count, kUnmatched),
+      match_r_(right_count, kUnmatched),
+      layer_(left_count, 0) {}
+
+void BipartiteMatcher::add_edge(std::uint32_t l, std::uint32_t r) {
+  MTM_REQUIRE(l < left_count_ && r < right_count_);
+  MTM_REQUIRE_MSG(!solved_, "add_edge after solve()");
+  adj_[l].push_back(r);
+}
+
+bool BipartiteMatcher::bfs_layers() {
+  constexpr std::uint32_t kInf = 0xffffffffu;
+  std::queue<std::uint32_t> frontier;
+  for (std::uint32_t l = 0; l < left_count_; ++l) {
+    if (match_l_[l] == kUnmatched) {
+      layer_[l] = 0;
+      frontier.push(l);
+    } else {
+      layer_[l] = kInf;
+    }
+  }
+  bool found_augmenting = false;
+  while (!frontier.empty()) {
+    const std::uint32_t l = frontier.front();
+    frontier.pop();
+    for (std::uint32_t r : adj_[l]) {
+      const std::uint32_t next = match_r_[r];
+      if (next == kUnmatched) {
+        found_augmenting = true;
+      } else if (layer_[next] == kInf) {
+        layer_[next] = layer_[l] + 1;
+        frontier.push(next);
+      }
+    }
+  }
+  return found_augmenting;
+}
+
+bool BipartiteMatcher::dfs_augment(std::uint32_t l) {
+  for (std::uint32_t r : adj_[l]) {
+    const std::uint32_t next = match_r_[r];
+    if (next == kUnmatched ||
+        (layer_[next] == layer_[l] + 1 && dfs_augment(next))) {
+      match_l_[l] = r;
+      match_r_[r] = l;
+      return true;
+    }
+  }
+  layer_[l] = 0xffffffffu;  // dead end for this phase
+  return false;
+}
+
+std::uint32_t BipartiteMatcher::solve() {
+  if (!solved_) {
+    while (bfs_layers()) {
+      for (std::uint32_t l = 0; l < left_count_; ++l) {
+        if (match_l_[l] == kUnmatched) {
+          (void)dfs_augment(l);
+        }
+      }
+    }
+    solved_ = true;
+  }
+  std::uint32_t size = 0;
+  for (std::uint32_t partner : match_l_) {
+    if (partner != kUnmatched) ++size;
+  }
+  return size;
+}
+
+CutGraph build_cut_graph(const Graph& g, const std::vector<bool>& in_s) {
+  MTM_REQUIRE(in_s.size() == g.node_count());
+  CutGraph cut;
+  std::vector<std::uint32_t> index(g.node_count(), 0);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (in_s[u]) {
+      index[u] = static_cast<std::uint32_t>(cut.left_nodes.size());
+      cut.left_nodes.push_back(u);
+    } else {
+      index[u] = static_cast<std::uint32_t>(cut.right_nodes.size());
+      cut.right_nodes.push_back(u);
+    }
+  }
+  MTM_REQUIRE_MSG(!cut.left_nodes.empty() && !cut.right_nodes.empty(),
+                  "cut requires 0 < |S| < n");
+  for (const Edge& e : g.edges()) {
+    if (in_s[e.a] != in_s[e.b]) {
+      const NodeId s_end = in_s[e.a] ? e.a : e.b;
+      const NodeId t_end = in_s[e.a] ? e.b : e.a;
+      cut.edges.emplace_back(index[s_end], index[t_end]);
+    }
+  }
+  return cut;
+}
+
+std::uint32_t cut_matching_size(const Graph& g,
+                                const std::vector<bool>& in_s) {
+  const CutGraph cut = build_cut_graph(g, in_s);
+  BipartiteMatcher matcher(static_cast<std::uint32_t>(cut.left_nodes.size()),
+                           static_cast<std::uint32_t>(cut.right_nodes.size()));
+  for (const auto& [l, r] : cut.edges) matcher.add_edge(l, r);
+  return matcher.solve();
+}
+
+std::uint32_t cut_greedy_matching_size(const Graph& g,
+                                       const std::vector<bool>& in_s) {
+  const CutGraph cut = build_cut_graph(g, in_s);
+  std::vector<bool> left_used(cut.left_nodes.size(), false);
+  std::vector<bool> right_used(cut.right_nodes.size(), false);
+  std::uint32_t size = 0;
+  for (const auto& [l, r] : cut.edges) {
+    if (!left_used[l] && !right_used[r]) {
+      left_used[l] = true;
+      right_used[r] = true;
+      ++size;
+    }
+  }
+  return size;
+}
+
+double gamma_exact(const Graph& g) {
+  const NodeId n = g.node_count();
+  MTM_REQUIRE_MSG(n >= 2 && n <= 20, "gamma_exact is exhaustive; n must be <= 20");
+  double best = static_cast<double>(n);  // ν/|S| <= n always
+  std::vector<bool> in_s(n, false);
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 1; mask + 1 < limit; ++mask) {
+    const int size = std::popcount(mask);
+    if (size == 0 || static_cast<NodeId>(2 * size) > n) continue;
+    for (NodeId u = 0; u < n; ++u) in_s[u] = (mask >> u) & 1u;
+    const double ratio =
+        static_cast<double>(cut_matching_size(g, in_s)) / size;
+    best = std::min(best, ratio);
+  }
+  return best;
+}
+
+}  // namespace mtm

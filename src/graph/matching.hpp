@@ -1,0 +1,73 @@
+// Bipartite maximum matching and cut graphs B(S).
+//
+// Paper Section V: for S ⊂ V, B(S) is the bipartite graph with bipartitions
+// (S, V\S) and the edges of G crossing the cut. Its edge independence number
+// ν(B(S)) — the size of a maximum matching — is exactly the number of
+// concurrent connections the mobile telephone model can support across the
+// cut in one round, because each node joins at most one connection.
+// Lemma V.1 states ν(B(S))/|S| ≥ α/4 for all |S| ≤ n/2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mtm {
+
+/// Hopcroft–Karp maximum matching solver for a bipartite graph given as an
+/// adjacency list from left vertices to right vertices. O(E·√V).
+class BipartiteMatcher {
+ public:
+  BipartiteMatcher(std::uint32_t left_count, std::uint32_t right_count);
+
+  /// Adds an edge (left l) — (right r).
+  void add_edge(std::uint32_t l, std::uint32_t r);
+
+  /// Computes and returns the maximum matching size. Idempotent.
+  std::uint32_t solve();
+
+  /// After solve(): right partner matched to left l, or kUnmatched.
+  static constexpr std::uint32_t kUnmatched = 0xffffffffu;
+  const std::vector<std::uint32_t>& left_match() const { return match_l_; }
+  const std::vector<std::uint32_t>& right_match() const { return match_r_; }
+
+ private:
+  bool bfs_layers();
+  bool dfs_augment(std::uint32_t l);
+
+  std::uint32_t left_count_;
+  std::uint32_t right_count_;
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::vector<std::uint32_t> match_l_;
+  std::vector<std::uint32_t> match_r_;
+  std::vector<std::uint32_t> layer_;
+  bool solved_ = false;
+};
+
+/// Bipartite cut graph B(S) of `g`: left vertices are the members of S (in
+/// ascending node id), right vertices the members of V\S; edges are the cut
+/// edges of g. Keeps id maps both ways.
+struct CutGraph {
+  std::vector<NodeId> left_nodes;    // left index  -> node id (members of S)
+  std::vector<NodeId> right_nodes;   // right index -> node id (members of V\S)
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;  // (l, r) pairs
+};
+
+/// Builds B(S) where in_s[u] marks membership of u in S.
+/// Requires 0 < |S| < n.
+CutGraph build_cut_graph(const Graph& g, const std::vector<bool>& in_s);
+
+/// ν(B(S)): size of a maximum matching across the cut.
+std::uint32_t cut_matching_size(const Graph& g, const std::vector<bool>& in_s);
+
+/// Size of a simple greedy matching across the cut (first-fit over cut
+/// edges); used as a baseline to contrast with the optimum.
+std::uint32_t cut_greedy_matching_size(const Graph& g,
+                                       const std::vector<bool>& in_s);
+
+/// min over all S with 0 < |S| <= n/2 of ν(B(S))/|S| — the γ of Lemma V.1.
+/// Exhaustive over subsets; requires n <= 20.
+double gamma_exact(const Graph& g);
+
+}  // namespace mtm

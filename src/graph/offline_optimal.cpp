@@ -1,0 +1,100 @@
+#include "graph/offline_optimal.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+#include "core/bits.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/matching.hpp"
+
+namespace mtm {
+
+OfflineSpreadResult greedy_matching_spread(
+    const Graph& g, const std::vector<NodeId>& sources) {
+  MTM_REQUIRE(!sources.empty());
+  MTM_REQUIRE_MSG(is_connected(g), "offline spread requires connectivity");
+  const NodeId n = g.node_count();
+  std::vector<bool> informed(n, false);
+  std::uint32_t informed_count = 0;
+  for (NodeId s : sources) {
+    MTM_REQUIRE(s < n);
+    if (!informed[s]) {
+      informed[s] = true;
+      ++informed_count;
+    }
+  }
+
+  OfflineSpreadResult result;
+  result.informed_counts.push_back(informed_count);
+  while (informed_count < n) {
+    // Maximum matching across the informed/uninformed cut; every matched
+    // uninformed endpoint becomes informed this round.
+    const CutGraph cut = build_cut_graph(g, informed);
+    BipartiteMatcher matcher(
+        static_cast<std::uint32_t>(cut.left_nodes.size()),
+        static_cast<std::uint32_t>(cut.right_nodes.size()));
+    for (const auto& [l, r] : cut.edges) matcher.add_edge(l, r);
+    const std::uint32_t matched = matcher.solve();
+    MTM_ENSURE_MSG(matched > 0, "connected graph must have a cut edge");
+    const auto& right_match = matcher.right_match();
+    for (std::uint32_t r = 0; r < right_match.size(); ++r) {
+      if (right_match[r] != BipartiteMatcher::kUnmatched) {
+        informed[cut.right_nodes[r]] = true;
+      }
+    }
+    informed_count += matched;
+    ++result.rounds;
+    result.informed_counts.push_back(informed_count);
+  }
+  return result;
+}
+
+std::uint32_t greedy_matching_spread_rounds(
+    const Graph& g, const std::vector<NodeId>& sources) {
+  return greedy_matching_spread(g, sources).rounds;
+}
+
+std::uint32_t certified_spread_lower_bound(
+    const Graph& g, const std::vector<NodeId>& sources) {
+  MTM_REQUIRE(!sources.empty());
+  MTM_REQUIRE_MSG(is_connected(g), "lower bound requires connectivity");
+  const NodeId n = g.node_count();
+
+  // Distance bound: multi-source BFS depth.
+  std::vector<std::uint32_t> best(n, kUnreachable);
+  std::vector<NodeId> frontier;
+  std::uint32_t distinct_sources = 0;
+  for (NodeId s : sources) {
+    MTM_REQUIRE(s < n);
+    if (best[s] == kUnreachable) {
+      best[s] = 0;
+      frontier.push_back(s);
+      ++distinct_sources;
+    }
+  }
+  std::uint32_t depth = 0;
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      for (NodeId v : g.neighbors(u)) {
+        if (best[v] == kUnreachable) {
+          best[v] = best[u] + 1;
+          next.push_back(v);
+        }
+      }
+    }
+    if (!next.empty()) ++depth;
+    frontier.swap(next);
+  }
+
+  // Doubling bound: from s sources, after r rounds at most s·2^r nodes are
+  // informed, so r >= ceil(log2(ceil(n/s))).
+  const std::uint64_t per_source =
+      (static_cast<std::uint64_t>(n) + distinct_sources - 1) /
+      distinct_sources;
+  const auto doubling = static_cast<std::uint32_t>(ceil_log2(per_source));
+
+  return std::max(depth, doubling);
+}
+
+}  // namespace mtm

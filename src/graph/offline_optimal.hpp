@@ -1,0 +1,57 @@
+// Offline spreading references (paper footnote 1).
+//
+// When the paper says efficient spreading is "possible" or "impossible" in
+// the mobile telephone model it is "describing the performance of an
+// offline optimal algorithm". Computing that optimum exactly is a hard
+// scheduling problem, so this module provides a certified SANDWICH around
+// it for static graphs:
+//
+//  * greedy_matching_spread — a feasible offline schedule: each round,
+//    connect a maximum matching across the informed/uninformed cut (the
+//    exact per-round capacity ν(B(S)) of the model) and inform every
+//    matched node. Being feasible, its round count UPPER-bounds the true
+//    offline optimum. By Lemma V.1 it completes in O((1/α)·log n) rounds.
+//    Caveat: maximum matchings are not forward-looking — on heterogeneous
+//    graphs (e.g. the star-line) informing a hub now beats informing a leaf
+//    now, so greedy can exceed the optimum (and even lose to lucky online
+//    runs); on symmetric families (clique, path, cycle, star) it is exactly
+//    optimal.
+//
+//  * certified_spread_lower_bound — a bound NO schedule (offline or online)
+//    can beat: max of the distance bound (information moves one hop per
+//    round: rounds >= max over v of dist(sources, v)) and the doubling
+//    bound (each connection informs at most one new node, and every
+//    informed node joins at most one connection, so the informed set at
+//    most doubles per round: rounds >= ceil(log2(n / |sources|))).
+//
+// true offline optimum ∈ [certified_spread_lower_bound, greedy rounds].
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mtm {
+
+struct OfflineSpreadResult {
+  /// Rounds until all nodes are informed.
+  std::uint32_t rounds = 0;
+  /// informed_counts[r] = number informed AFTER round r (index 0 = initial).
+  std::vector<std::uint32_t> informed_counts;
+};
+
+/// The greedy maximum-matching schedule on a STATIC graph from the given
+/// source set. Requires a connected graph and at least one source.
+OfflineSpreadResult greedy_matching_spread(const Graph& g,
+                                           const std::vector<NodeId>& sources);
+
+/// Convenience: just the round count of the greedy schedule.
+std::uint32_t greedy_matching_spread_rounds(const Graph& g,
+                                            const std::vector<NodeId>& sources);
+
+/// Certified lower bound on EVERY spreading schedule in the mobile
+/// telephone model (see header comment).
+std::uint32_t certified_spread_lower_bound(const Graph& g,
+                                           const std::vector<NodeId>& sources);
+
+}  // namespace mtm

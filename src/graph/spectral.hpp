@@ -1,0 +1,29 @@
+// Spectral analysis of the normalized adjacency matrix.
+//
+// For the lazy random walk / averaging dynamics on a graph, convergence is
+// governed by the second-largest eigenvalue magnitude of the normalized
+// adjacency N = D^{-1/2} A D^{-1/2}: the relaxation time is ≈ 1/(1 − λ₂).
+// The library uses this as the sharpened prediction column for the
+// pairwise-averaging extension (E12) and as another lens on the α-vs-Φ
+// discussion (Cheeger: Φ²/2 <= 1 − λ₂ <= 2Φ).
+#pragma once
+
+#include "core/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace mtm {
+
+/// Second-largest eigenvalue of N = D^{-1/2} A D^{-1/2}, estimated by power
+/// iteration with deflation of the known top eigenvector (√deg, eigenvalue
+/// 1). Requires a connected graph with at least one edge. `iterations`
+/// trades accuracy for time; 10³ gives ~3 digits on the families here.
+/// Returns a value in [-1, 1); note this is the second largest by VALUE,
+/// not magnitude (bipartite graphs have eigenvalue −1, which does not slow
+/// lazy dynamics).
+double lambda2_normalized_adjacency(const Graph& g, Rng& rng,
+                                    int iterations = 2000);
+
+/// Spectral-gap relaxation-time estimate 1/(1 − λ₂) for lazy dynamics.
+double relaxation_time(const Graph& g, Rng& rng, int iterations = 2000);
+
+}  // namespace mtm

@@ -1,0 +1,58 @@
+#include "graph/temporal.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+std::vector<Round> foremost_arrival_rounds(DynamicGraphProvider& topology,
+                                           const std::vector<NodeId>& sources,
+                                           Round max_rounds) {
+  MTM_REQUIRE(!sources.empty());
+  MTM_REQUIRE(max_rounds >= 1);
+  const NodeId n = topology.node_count();
+  std::vector<Round> arrival(n, kUnreachableRound);
+  NodeId reached = 0;
+  for (NodeId s : sources) {
+    MTM_REQUIRE(s < n);
+    if (arrival[s] == kUnreachableRound) {
+      arrival[s] = 0;
+      ++reached;
+    }
+  }
+
+  // One synchronous expansion per round over that round's edges: a node
+  // reached by round r-1 (strictly earlier) reaches all its round-r
+  // neighbors by round r; a node first reached in round r forwards only
+  // from round r+1 on (one hop per round).
+  for (Round r = 1; r <= max_rounds && reached < n; ++r) {
+    const Graph& g = topology.graph_at(r);
+    for (NodeId u = 0; u < n; ++u) {
+      if (arrival[u] >= r) continue;  // unreached, or reached only this round
+      for (NodeId v : g.neighbors(u)) {
+        if (arrival[v] == kUnreachableRound) {
+          arrival[v] = r;
+          ++reached;
+        }
+      }
+    }
+  }
+  return arrival;
+}
+
+Round temporal_spread_lower_bound(DynamicGraphProvider& topology,
+                                  const std::vector<NodeId>& sources,
+                                  Round max_rounds) {
+  const auto arrival =
+      foremost_arrival_rounds(topology, sources, max_rounds);
+  Round worst = 0;
+  for (Round a : arrival) {
+    MTM_REQUIRE_MSG(a != kUnreachableRound,
+                    "node unreachable within max_rounds; raise the cap");
+    worst = std::max(worst, a);
+  }
+  return worst;
+}
+
+}  // namespace mtm

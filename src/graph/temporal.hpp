@@ -1,0 +1,37 @@
+// Temporal reachability in dynamic graphs.
+//
+// In the mobile telephone model information crosses at most one edge per
+// round, so the *foremost arrival time* under the current topology
+// schedule — the earliest round each node could possibly hear from a
+// source if capacity were unlimited — is a certified lower bound on ANY
+// spreading or leader-election process over the same dynamic graph. It is
+// the dynamic-graph analog of the static distance bound in
+// graph/offline_optimal.hpp, and is what "the adversary cannot beat
+// physics" means for the providers in sim/dynamic_graph.hpp.
+#pragma once
+
+#include <vector>
+
+#include "sim/dynamic_graph.hpp"
+
+namespace mtm {
+
+/// Foremost arrival rounds from `sources` under `topology`'s schedule:
+/// result[u] is the earliest round r such that u can be reached by a
+/// time-respecting path using one edge per round from rounds 1..r
+/// (0 for the sources themselves). Nodes not reached within `max_rounds`
+/// get kUnreachableRound.
+inline constexpr Round kUnreachableRound = ~Round{0};
+std::vector<Round> foremost_arrival_rounds(DynamicGraphProvider& topology,
+                                           const std::vector<NodeId>& sources,
+                                           Round max_rounds);
+
+/// max over nodes of the foremost arrival round — a certified lower bound
+/// on full dissemination over this dynamic graph. Throws if some node is
+/// unreachable within max_rounds (per-round connectivity makes that
+/// impossible for max_rounds >= n).
+Round temporal_spread_lower_bound(DynamicGraphProvider& topology,
+                                  const std::vector<NodeId>& sources,
+                                  Round max_rounds);
+
+}  // namespace mtm

@@ -1,0 +1,205 @@
+#include "harness/experiment.hpp"
+
+#include "core/assert.hpp"
+#include "protocols/async_bit_convergence.hpp"
+#include "protocols/bit_convergence.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/classical.hpp"
+#include "protocols/ppush.hpp"
+#include "protocols/productive_push_pull.hpp"
+#include "protocols/push_pull.hpp"
+
+namespace mtm {
+
+const char* leader_algo_name(LeaderAlgo algo) {
+  switch (algo) {
+    case LeaderAlgo::kBlindGossip:
+      return "blind-gossip";
+    case LeaderAlgo::kBitConvergence:
+      return "bit-convergence";
+    case LeaderAlgo::kAsyncBitConvergence:
+      return "async-bit-convergence";
+    case LeaderAlgo::kClassicalGossip:
+      return "classical-gossip";
+  }
+  return "?";
+}
+
+const char* rumor_algo_name(RumorAlgo algo) {
+  switch (algo) {
+    case RumorAlgo::kPushPull:
+      return "push-pull(b=0)";
+    case RumorAlgo::kPpush:
+      return "ppush(b=1)";
+    case RumorAlgo::kClassicalPushPull:
+      return "classical-push-pull";
+    case RumorAlgo::kProductivePushPull:
+      return "productive-push-pull(b=1)";
+  }
+  return "?";
+}
+
+namespace {
+
+struct LeaderProtocolBundle {
+  std::unique_ptr<LeaderElectionProtocol> protocol;
+  int tag_bits = 0;
+  bool classical = false;
+};
+
+LeaderProtocolBundle make_leader_protocol(const LeaderExperiment& spec,
+                                          std::uint64_t trial_seed) {
+  const NodeId n = spec.node_count;
+  const std::uint64_t size_bound =
+      spec.network_size_bound != 0 ? spec.network_size_bound : n;
+  const NodeId degree_bound =
+      spec.max_degree_bound != 0 ? spec.max_degree_bound
+                                 : std::max<NodeId>(n - 1, 1);
+  auto uids = BlindGossip::shuffled_uids(n, trial_seed);
+
+  LeaderProtocolBundle bundle;
+  switch (spec.algo) {
+    case LeaderAlgo::kBlindGossip:
+      bundle.protocol = std::make_unique<BlindGossip>(std::move(uids));
+      bundle.tag_bits = 0;
+      break;
+    case LeaderAlgo::kBitConvergence: {
+      MTM_REQUIRE_MSG(spec.activation_rounds.empty(),
+                      "bit convergence assumes synchronized starts; use "
+                      "kAsyncBitConvergence for staggered activations");
+      BitConvergenceConfig cfg;
+      cfg.network_size_bound = size_bound;
+      cfg.max_degree_bound = degree_bound;
+      bundle.protocol =
+          std::make_unique<BitConvergence>(std::move(uids), cfg);
+      bundle.tag_bits = 1;
+      break;
+    }
+    case LeaderAlgo::kAsyncBitConvergence: {
+      AsyncBitConvergenceConfig cfg;
+      cfg.network_size_bound = size_bound;
+      cfg.max_degree_bound = degree_bound;
+      auto proto =
+          std::make_unique<AsyncBitConvergence>(std::move(uids), cfg);
+      bundle.tag_bits = proto->required_advertisement_bits();
+      bundle.protocol = std::move(proto);
+      break;
+    }
+    case LeaderAlgo::kClassicalGossip:
+      bundle.protocol = std::make_unique<ClassicalGossip>(std::move(uids));
+      bundle.tag_bits = 0;
+      bundle.classical = true;
+      break;
+  }
+  return bundle;
+}
+
+}  // namespace
+
+std::vector<RunResult> run_leader_experiment(const LeaderExperiment& spec) {
+  MTM_REQUIRE(spec.topology != nullptr);
+  MTM_REQUIRE(spec.node_count >= 1);
+  MTM_REQUIRE(spec.max_rounds >= 1);
+
+  TrialSpec trial_spec;
+  trial_spec.trials = spec.trials;
+  trial_spec.seed = spec.seed;
+  trial_spec.threads = spec.threads;
+  trial_spec.max_rounds = spec.max_rounds;
+
+  return run_trials(trial_spec, [&spec](std::uint64_t trial_seed) {
+    auto topology = spec.topology(trial_seed);
+    MTM_ENSURE(topology->node_count() == spec.node_count);
+    LeaderProtocolBundle bundle = make_leader_protocol(spec, trial_seed);
+    EngineConfig cfg;
+    cfg.tag_bits = bundle.tag_bits;
+    cfg.classical_mode = bundle.classical;
+    cfg.seed = trial_seed;
+    cfg.activation_rounds = spec.activation_rounds;
+    cfg.connection_failure_prob = spec.connection_failure_prob;
+    Engine engine(*topology, *bundle.protocol, cfg);
+    return run_until_stabilized(engine, spec.max_rounds);
+  });
+}
+
+std::vector<RunResult> run_rumor_experiment(const RumorExperiment& spec) {
+  MTM_REQUIRE(spec.topology != nullptr);
+  MTM_REQUIRE(spec.node_count >= 1);
+  MTM_REQUIRE(spec.max_rounds >= 1);
+  MTM_REQUIRE(!spec.sources.empty());
+
+  TrialSpec trial_spec;
+  trial_spec.trials = spec.trials;
+  trial_spec.seed = spec.seed;
+  trial_spec.threads = spec.threads;
+  trial_spec.max_rounds = spec.max_rounds;
+
+  return run_trials(trial_spec, [&spec](std::uint64_t trial_seed) {
+    auto topology = spec.topology(trial_seed);
+    MTM_ENSURE(topology->node_count() == spec.node_count);
+    std::unique_ptr<RumorProtocol> protocol;
+    int tag_bits = 0;
+    bool classical = false;
+    switch (spec.algo) {
+      case RumorAlgo::kPushPull:
+        protocol = std::make_unique<PushPull>(spec.sources);
+        break;
+      case RumorAlgo::kPpush:
+        protocol = std::make_unique<Ppush>(spec.sources);
+        tag_bits = 1;
+        break;
+      case RumorAlgo::kClassicalPushPull:
+        protocol = std::make_unique<ClassicalPushPull>(spec.sources);
+        classical = true;
+        break;
+      case RumorAlgo::kProductivePushPull:
+        protocol = std::make_unique<ProductivePushPull>(spec.sources);
+        tag_bits = 1;
+        break;
+    }
+    EngineConfig cfg;
+    cfg.tag_bits = tag_bits;
+    cfg.classical_mode = classical;
+    cfg.seed = trial_seed;
+    cfg.connection_failure_prob = spec.connection_failure_prob;
+    Engine engine(*topology, *protocol, cfg);
+    return run_until_stabilized(engine, spec.max_rounds);
+  });
+}
+
+Summary measure_leader(const LeaderExperiment& spec) {
+  const auto results = run_leader_experiment(spec);
+  const auto rounds = rounds_of(results);
+  return summarize(rounds);
+}
+
+Summary measure_rumor(const RumorExperiment& spec) {
+  const auto results = run_rumor_experiment(spec);
+  const auto rounds = rounds_of(results);
+  return summarize(rounds);
+}
+
+TopologyFactory static_topology(Graph g) {
+  auto shared = std::make_shared<Graph>(std::move(g));
+  return [shared](std::uint64_t /*seed*/) {
+    return std::make_unique<StaticGraphProvider>(*shared);
+  };
+}
+
+TopologyFactory relabeling_topology(Graph base, Round tau) {
+  auto shared = std::make_shared<Graph>(std::move(base));
+  return [shared, tau](std::uint64_t seed) {
+    return std::make_unique<RelabelingGraphProvider>(*shared, tau, seed);
+  };
+}
+
+TopologyFactory regenerating_topology(
+    std::function<Graph(Rng&)> graph_factory, Round tau) {
+  return [graph_factory = std::move(graph_factory),
+          tau](std::uint64_t seed) {
+    return std::make_unique<RegeneratingGraphProvider>(graph_factory, tau,
+                                                       seed);
+  };
+}
+
+}  // namespace mtm

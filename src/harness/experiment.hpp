@@ -1,0 +1,91 @@
+// Monte-Carlo experiment runners: one call measures rounds-to-stabilize for
+// a (protocol, topology) pair over many independent, deterministic trials.
+//
+// Each trial t derives its own seed from (experiment seed, t), constructs a
+// fresh topology provider and protocol instance, runs the engine to
+// stabilization, and reports the stabilization round. Trials run in parallel
+// across threads; results are identical for any thread count.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "sim/dynamic_graph.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+
+/// Builds a fresh topology provider for one trial. Receives the trial seed
+/// so dynamic topologies vary across trials while staying deterministic.
+using TopologyFactory =
+    std::function<std::unique_ptr<DynamicGraphProvider>(std::uint64_t seed)>;
+
+enum class LeaderAlgo {
+  kBlindGossip,         ///< Section VI, b = 0
+  kBitConvergence,      ///< Section VII, b = 1
+  kAsyncBitConvergence, ///< Section VIII, b = loglog n + O(1)
+  kClassicalGossip,     ///< classical-model baseline (unbounded accepts)
+};
+
+enum class RumorAlgo {
+  kPushPull,            ///< Corollary VI.6, b = 0
+  kPpush,               ///< Theorem V.2 strategy, b = 1
+  kClassicalPushPull,   ///< classical-model baseline
+  kProductivePushPull,  ///< b = 1 push/pull-alternating ablation
+};
+
+const char* leader_algo_name(LeaderAlgo algo);
+const char* rumor_algo_name(RumorAlgo algo);
+
+struct LeaderExperiment {
+  LeaderAlgo algo = LeaderAlgo::kBlindGossip;
+  TopologyFactory topology;          ///< required
+  NodeId node_count = 0;             ///< n (must match the factory's graphs)
+  std::uint64_t network_size_bound = 0;  ///< N >= n (bit convergence); 0 -> n
+  NodeId max_degree_bound = 0;       ///< Δ bound (bit convergence); 0 -> n-1
+  /// Activation rounds; empty = synchronized starts. Ignored activations are
+  /// a contract violation for kBitConvergence (it assumes sync starts).
+  std::vector<Round> activation_rounds;
+  Round max_rounds = 0;              ///< required; trials failing it throw in rounds_of()
+  std::size_t trials = 32;
+  std::uint64_t seed = 1;
+  std::size_t threads = 1;
+  /// Failure injection passthrough (see EngineConfig).
+  double connection_failure_prob = 0.0;
+};
+
+/// Runs the experiment; element t is trial t's result.
+std::vector<RunResult> run_leader_experiment(const LeaderExperiment& spec);
+
+struct RumorExperiment {
+  RumorAlgo algo = RumorAlgo::kPushPull;
+  TopologyFactory topology;
+  NodeId node_count = 0;
+  std::vector<NodeId> sources = {0};
+  Round max_rounds = 0;
+  std::size_t trials = 32;
+  std::uint64_t seed = 1;
+  std::size_t threads = 1;
+  /// Failure injection passthrough (see EngineConfig).
+  double connection_failure_prob = 0.0;
+};
+
+std::vector<RunResult> run_rumor_experiment(const RumorExperiment& spec);
+
+/// Shorthand: run a leader experiment and summarize the stabilization
+/// rounds (throws if any trial hit max_rounds).
+Summary measure_leader(const LeaderExperiment& spec);
+/// Same for rumor spreading.
+Summary measure_rumor(const RumorExperiment& spec);
+
+/// Convenience factories for the common topology setups.
+TopologyFactory static_topology(Graph g);
+/// Relabels `base` every tau rounds (adversarial change at rate τ).
+TopologyFactory relabeling_topology(Graph base, Round tau);
+/// Regenerates from `factory` every tau rounds.
+TopologyFactory regenerating_topology(
+    std::function<Graph(Rng&)> graph_factory, Round tau);
+
+}  // namespace mtm

@@ -1,0 +1,66 @@
+#include "harness/predictions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+#include "core/bits.hpp"
+
+namespace mtm {
+
+double safe_log2(double n) {
+  MTM_REQUIRE(n >= 1.0);
+  return std::max(1.0, std::log2(n));
+}
+
+double tau_hat(Round tau, NodeId delta) {
+  MTM_REQUIRE(tau >= 1);
+  MTM_REQUIRE(delta >= 1);
+  const double log_delta =
+      std::max(1.0, static_cast<double>(ceil_log2(std::max<NodeId>(delta, 2))));
+  return std::min(static_cast<double>(tau), log_delta);
+}
+
+double ppush_f(double r, NodeId delta, NodeId n) {
+  MTM_REQUIRE(r >= 1.0);
+  return std::pow(static_cast<double>(delta), 1.0 / r) * r *
+         safe_log2(static_cast<double>(n));
+}
+
+double blind_gossip_bound(NodeId n, double alpha, NodeId delta) {
+  MTM_REQUIRE(alpha > 0.0);
+  const double log_n = safe_log2(static_cast<double>(n));
+  return (1.0 / alpha) * static_cast<double>(delta) *
+         static_cast<double>(delta) * log_n * log_n;
+}
+
+double blind_gossip_lower_bound(NodeId delta, double alpha) {
+  MTM_REQUIRE(alpha > 0.0);
+  return static_cast<double>(delta) * static_cast<double>(delta) /
+         std::sqrt(alpha);
+}
+
+double bit_convergence_bound(NodeId n, double alpha, NodeId delta, Round tau) {
+  MTM_REQUIRE(alpha > 0.0);
+  const double th = tau_hat(tau, delta);
+  const double log_n = safe_log2(static_cast<double>(n));
+  return (1.0 / alpha) * std::pow(static_cast<double>(delta), 1.0 / th) * th *
+         std::pow(log_n, 5.0);
+}
+
+double async_bit_convergence_bound(NodeId n, double alpha, NodeId delta,
+                                   Round tau) {
+  MTM_REQUIRE(alpha > 0.0);
+  const double th = tau_hat(tau, delta);
+  const double log_n = safe_log2(static_cast<double>(n));
+  return (1.0 / alpha) * std::pow(static_cast<double>(delta), 1.0 / th) * th *
+         std::pow(log_n, 8.0);
+}
+
+double classical_push_pull_bound(NodeId n, double alpha) {
+  MTM_REQUIRE(alpha > 0.0);
+  const double log_n = safe_log2(static_cast<double>(n));
+  return (1.0 / alpha) * log_n * log_n;
+}
+
+}  // namespace mtm

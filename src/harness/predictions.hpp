@@ -1,0 +1,43 @@
+// Closed-form theory predictions from the paper, used as comparison columns
+// in the benchmark tables (EXPERIMENTS.md pins measured vs predicted shape).
+//
+// All formulas drop the paper's unspecified leading constants (c = 1) — the
+// reproduction validates growth SHAPE (exponents, crossovers, orderings),
+// not absolute constants.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "sim/model.hpp"
+
+namespace mtm {
+
+/// log2(n), floored at 1 so bounds never vanish on tiny inputs.
+double safe_log2(double n);
+
+/// τ̂ = min(τ, log Δ) (paper Section VII analysis preliminaries).
+double tau_hat(Round tau, NodeId delta);
+
+/// f(r) = Δ^{1/r} · r · log n — the PPUSH approximation factor of
+/// Theorem V.2 (with c = 1).
+double ppush_f(double r, NodeId delta, NodeId n);
+
+/// Theorem VI.1 / Corollary VI.6: (1/α)·Δ²·log²n.
+double blind_gossip_bound(NodeId n, double alpha, NodeId delta);
+
+/// Section VI lower bound for blind gossip on the star-line: Δ²/√α.
+double blind_gossip_lower_bound(NodeId delta, double alpha);
+
+/// Theorem VII.2: (1/α)·Δ^{1/τ̂}·τ̂·log⁵n.
+double bit_convergence_bound(NodeId n, double alpha, NodeId delta, Round tau);
+
+/// Theorem VIII.2: (1/α)·Δ^{1/τ̂}·τ̂·log⁸n.
+double async_bit_convergence_bound(NodeId n, double alpha, NodeId delta,
+                                   Round tau);
+
+/// Classical-model PUSH-PULL on a stable graph: (1/α)·polylog(n); we use
+/// (1/α)·log²n as the comparison column.
+double classical_push_pull_bound(NodeId n, double alpha);
+
+}  // namespace mtm

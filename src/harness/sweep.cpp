@@ -1,0 +1,104 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+ScalingSeries::ScalingSeries(std::string name, std::string x_label)
+    : name_(std::move(name)), x_label_(std::move(x_label)) {}
+
+void ScalingSeries::add(SeriesPoint point) {
+  MTM_REQUIRE(point.x > 0.0);
+  MTM_REQUIRE(point.measured.count >= 1);
+  points_.push_back(std::move(point));
+}
+
+namespace {
+std::vector<double> xs_of(const std::vector<SeriesPoint>& pts) {
+  std::vector<double> xs;
+  xs.reserve(pts.size());
+  for (const auto& p : pts) xs.push_back(p.x);
+  return xs;
+}
+}  // namespace
+
+LinearFit ScalingSeries::measured_exponent() const {
+  std::vector<double> ys;
+  ys.reserve(points_.size());
+  for (const auto& p : points_) ys.push_back(p.measured.mean);
+  return log_log_fit(xs_of(points_), ys);
+}
+
+LinearFit ScalingSeries::predicted_exponent() const {
+  std::vector<double> ys;
+  ys.reserve(points_.size());
+  for (const auto& p : points_) ys.push_back(p.predicted);
+  return log_log_fit(xs_of(points_), ys);
+}
+
+double ScalingSeries::mean_ratio() const {
+  MTM_REQUIRE(!points_.empty());
+  double sum = 0.0;
+  for (const auto& p : points_) {
+    MTM_REQUIRE(p.predicted > 0.0);
+    sum += p.measured.mean / p.predicted;
+  }
+  return sum / static_cast<double>(points_.size());
+}
+
+double ScalingSeries::ratio_spread() const {
+  MTM_REQUIRE(!points_.empty());
+  double lo = points_.front().measured.mean / points_.front().predicted;
+  double hi = lo;
+  for (const auto& p : points_) {
+    const double r = p.measured.mean / p.predicted;
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  return hi / lo;
+}
+
+Table ScalingSeries::to_table() const {
+  Table table({x_label_, "label", "trials", "mean", "median", "p95", "max",
+               "paper-bound", "measured/bound"});
+  for (const auto& p : points_) {
+    table.row()
+        .cell(p.x, p.x == static_cast<double>(static_cast<std::int64_t>(p.x))
+                       ? 0
+                       : 3)
+        .cell(p.label.empty() ? "-" : p.label)
+        .cell(p.measured.count)
+        .cell(p.measured.mean, 1)
+        .cell(p.measured.median, 1)
+        .cell(p.measured.p95, 1)
+        .cell(p.measured.max, 1)
+        .cell(p.predicted, 1)
+        .cell(p.measured.mean / p.predicted, 4);
+  }
+  return table;
+}
+
+void ScalingSeries::report() const {
+  Table table = to_table();
+  table.print(std::cout, name_);
+  if (points_.size() >= 2) {
+    const LinearFit measured = measured_exponent();
+    const LinearFit predicted = predicted_exponent();
+    std::cout << "   log-log growth in " << x_label_
+              << ": measured exponent = " << format_double(measured.slope, 3)
+              << " (r^2 " << format_double(measured.r_squared, 3)
+              << "), paper-bound exponent = "
+              << format_double(predicted.slope, 3) << "\n";
+  }
+  std::string file_name = name_;
+  for (char& c : file_name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0)) c = '_';
+  }
+  (void)table.maybe_write_csv(file_name);
+}
+
+}  // namespace mtm

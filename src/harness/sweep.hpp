@@ -1,0 +1,59 @@
+// Scaling-series helper: collects (x, measured, predicted) points for one
+// experiment sweep, fits log-log growth exponents, and renders the table
+// every bench prints (the "figure data" of the reproduction).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/table.hpp"
+
+namespace mtm {
+
+struct SeriesPoint {
+  double x = 0.0;          ///< sweep variable (n, Δ, τ, ...)
+  Summary measured;        ///< rounds-to-stabilize across trials
+  double predicted = 0.0;  ///< paper bound (constants dropped)
+  std::string label;       ///< optional row annotation
+};
+
+class ScalingSeries {
+ public:
+  /// `name` heads the printed table; `x_label` names the sweep column.
+  ScalingSeries(std::string name, std::string x_label);
+
+  void add(SeriesPoint point);
+
+  const std::vector<SeriesPoint>& points() const noexcept { return points_; }
+  bool empty() const noexcept { return points_.empty(); }
+
+  /// Log-log fit of measured mean vs x (requires >= 2 points, positive).
+  LinearFit measured_exponent() const;
+  /// Log-log fit of the predicted column vs x.
+  LinearFit predicted_exponent() const;
+
+  /// Mean of measured/predicted across points — if the paper bound captures
+  /// the shape, this ratio is roughly constant and the per-point deviation
+  /// (max/min ratio spread) is small.
+  double mean_ratio() const;
+  /// max ratio / min ratio across points (1.0 = perfectly proportional).
+  double ratio_spread() const;
+
+  /// Renders the series with measured stats, prediction, and ratio columns.
+  Table to_table() const;
+
+  /// Prints to stdout and mirrors to CSV (see Table::maybe_write_csv) under
+  /// a sanitized version of the series name.
+  void report() const;
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::string x_label_;
+  std::vector<SeriesPoint> points_;
+};
+
+}  // namespace mtm

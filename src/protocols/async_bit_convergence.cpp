@@ -1,0 +1,115 @@
+#include "protocols/async_bit_convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+#include "core/bits.hpp"
+#include "protocols/detail.hpp"
+
+namespace mtm {
+
+AsyncBitConvergence::AsyncBitConvergence(
+    std::vector<Uid> uids, const AsyncBitConvergenceConfig& config)
+    : uids_(std::move(uids)), config_(config) {
+  MTM_REQUIRE(!uids_.empty());
+  MTM_REQUIRE_MSG(config_.network_size_bound >= uids_.size(),
+                  "N must upper-bound the network size");
+  MTM_REQUIRE(config_.max_degree_bound >= 1);
+  MTM_REQUIRE(config_.beta >= 1.0);
+  (void)protocol_detail::require_unique_uids(uids_);
+
+  const double k_raw =
+      config_.beta * std::log2(static_cast<double>(config_.network_size_bound));
+  k_ = static_cast<int>(std::clamp(std::ceil(k_raw), 1.0, 63.0));
+  group_len_ =
+      2 * static_cast<Round>(std::max(1, ceil_log2(config_.max_degree_bound)));
+}
+
+int AsyncBitConvergence::required_advertisement_bits() const noexcept {
+  return bits_for(static_cast<std::uint64_t>(k_)) + 1;
+}
+
+Tag AsyncBitConvergence::encode_tag(int position, int bit) const {
+  MTM_REQUIRE(position >= 1 && position <= k_);
+  MTM_REQUIRE(bit == 0 || bit == 1);
+  return (static_cast<Tag>(position - 1) << 1) | static_cast<Tag>(bit);
+}
+
+void AsyncBitConvergence::init(NodeId node_count, std::span<Rng> node_rngs) {
+  MTM_REQUIRE(node_count == uids_.size());
+  MTM_REQUIRE(node_rngs.size() == node_count);
+  node_count_ = node_count;
+
+  smallest_ = protocol_detail::draw_id_pairs(uids_, node_rngs, k_,
+                                             config_.ensure_unique_tags);
+  position_.assign(node_count, 1);
+  min_pair_ = *std::min_element(smallest_.begin(), smallest_.end());
+  at_min_ = 0;
+  for (NodeId u = 0; u < node_count; ++u) {
+    if (smallest_[u] == min_pair_) ++at_min_;
+  }
+}
+
+Tag AsyncBitConvergence::advertise(NodeId u, Round local_round, Rng& rng) {
+  // "Each node u, at the beginning of each of its groups, selects a bit
+  //  position i ∈ [k] with uniform randomness."
+  if ((local_round - 1) % group_len_ == 0) {
+    position_[u] = 1 + static_cast<int>(rng.uniform(static_cast<std::uint64_t>(k_)));
+  }
+  const int bit = bit_at_msb(smallest_[u].tag, position_[u], k_);
+  return encode_tag(position_[u], bit);
+}
+
+Decision AsyncBitConvergence::decide(NodeId u, Round /*local_round*/,
+                                     std::span<const NeighborInfo> view,
+                                     Rng& rng) {
+  const int my_pos = position_[u];
+  const int my_bit = bit_at_msb(smallest_[u].tag, my_pos, k_);
+  if (my_bit == 1) return Decision::receive();
+  // 0-bit node: propose to a uniform neighbor advertising the SAME position
+  // with bit value 1 (paper: "nodes only want to deal with other nodes that
+  // happen to be advertising the same ID tag bit position in that round").
+  const Tag wanted = encode_tag(my_pos, 1);
+  return protocol_detail::propose_uniform_if(
+      view, rng, [wanted](const NeighborInfo& ni) { return ni.tag == wanted; });
+}
+
+Payload AsyncBitConvergence::make_payload(NodeId u, NodeId /*peer*/,
+                                          Round /*local_round*/) {
+  Payload p;
+  p.push_uid(smallest_[u].uid);
+  p.push_bits(smallest_[u].tag, k_);
+  return p;
+}
+
+void AsyncBitConvergence::receive_payload(NodeId u, NodeId /*peer*/,
+                                          const Payload& payload,
+                                          Round /*local_round*/) {
+  // >= rather than == : wrappers (e.g. LeaderConsensus) piggyback extra
+  // fields after the ID pair; this protocol reads only its own prefix.
+  MTM_REQUIRE(payload.uid_count() >= 1);
+  MTM_REQUIRE(payload.extra_bit_count() >= k_);
+  const IdPair incoming{payload.uid(0), payload.read_bits(0, k_)};
+  if (incoming < smallest_[u]) {
+    const bool was_min = smallest_[u] == min_pair_;
+    smallest_[u] = incoming;
+    if (!was_min && smallest_[u] == min_pair_) ++at_min_;
+  }
+}
+
+bool AsyncBitConvergence::stabilized() const {
+  return at_min_ == node_count_;
+}
+
+Uid AsyncBitConvergence::leader_of(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return smallest_[u].uid;
+}
+
+IdPair AsyncBitConvergence::smallest_pair(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return smallest_[u];
+}
+
+}  // namespace mtm

@@ -1,0 +1,79 @@
+// Non-synchronized bit convergence leader election (paper Section VIII).
+//
+// Setting: asynchronous activations (each node has only a local round
+// counter starting at its activation), tag length b = ⌈log k⌉ + 1 =
+// log log n + O(1).
+//
+// As in Section VII, each node pairs its UID with a random k-bit ID tag and
+// tracks the smallest (tag, UID) pair seen. Rounds are grouped into local
+// groups of 2·log Δ rounds, but group boundaries are NOT aligned across
+// nodes. At each local group start a node picks a bit position i ∈ [k]
+// uniformly at random and, for the whole group, advertises (i, bit i of its
+// current smallest tag). Nodes advertising a 0 in position i propose to
+// neighbors advertising (i, 1) — only peers that happen to be advertising
+// the *same* position interact. Connected pairs trade smallest ID pairs and
+// adopt immediately (no phase buffering — the algorithm is self-stabilizing:
+// merging converged components re-converges within the same bound).
+//
+// Theorem VIII.2: stabilizes in O((1/α)·Δ^{1/τ̂}·τ̂·log⁸ n) rounds after the
+// last activation, w.h.p.
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace mtm {
+
+struct AsyncBitConvergenceConfig {
+  std::uint64_t network_size_bound = 0;  ///< N >= n
+  NodeId max_degree_bound = 0;           ///< Δ bound
+  double beta = 2.0;                     ///< tag-space exponent
+  bool ensure_unique_tags = true;        ///< see BitConvergenceConfig
+};
+
+class AsyncBitConvergence final : public LeaderElectionProtocol {
+ public:
+  AsyncBitConvergence(std::vector<Uid> uids,
+                      const AsyncBitConvergenceConfig& config);
+
+  int tag_bit_count() const noexcept { return k_; }
+  Round group_length() const noexcept { return group_len_; }
+
+  /// The advertisement width this protocol needs from the engine:
+  /// ⌈log₂ k⌉ bits of position plus one value bit.
+  int required_advertisement_bits() const noexcept;
+
+  std::string name() const override { return "async-bit-convergence"; }
+  void init(NodeId node_count, std::span<Rng> node_rngs) override;
+  Tag advertise(NodeId u, Round local_round, Rng& rng) override;
+  Decision decide(NodeId u, Round local_round,
+                  std::span<const NeighborInfo> view, Rng& rng) override;
+  Payload make_payload(NodeId u, NodeId peer, Round local_round) override;
+  void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                       Round local_round) override;
+  bool stabilized() const override;
+
+  Uid leader_of(NodeId u) const override;
+  IdPair smallest_pair(NodeId u) const;
+  IdPair target_pair() const noexcept { return min_pair_; }
+
+  /// Encodes/decodes the (position, bit) advertisement.
+  Tag encode_tag(int position, int bit) const;
+  int tag_position(Tag tag) const { return static_cast<int>(tag >> 1) + 1; }
+  int tag_bit(Tag tag) const { return static_cast<int>(tag & 1); }
+
+ private:
+  std::vector<Uid> uids_;
+  AsyncBitConvergenceConfig config_;
+  int k_ = 0;
+  Round group_len_ = 0;
+
+  NodeId node_count_ = 0;
+  std::vector<IdPair> smallest_;
+  std::vector<int> position_;  // bit position chosen for the current group
+  IdPair min_pair_{};
+  NodeId at_min_ = 0;
+};
+
+}  // namespace mtm

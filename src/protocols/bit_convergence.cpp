@@ -1,0 +1,144 @@
+#include "protocols/bit_convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+#include "core/bits.hpp"
+#include "protocols/detail.hpp"
+
+namespace mtm {
+
+BitConvergence::BitConvergence(std::vector<Uid> uids,
+                               const BitConvergenceConfig& config)
+    : uids_(std::move(uids)), config_(config) {
+  MTM_REQUIRE(!uids_.empty());
+  MTM_REQUIRE_MSG(config_.network_size_bound >= uids_.size(),
+                  "N must upper-bound the network size");
+  MTM_REQUIRE(config_.max_degree_bound >= 1);
+  MTM_REQUIRE(config_.beta >= 1.0);
+  (void)protocol_detail::require_unique_uids(uids_);
+
+  MTM_REQUIRE(config_.group_length_factor >= 1.0);
+
+  const double k_raw =
+      config_.beta * std::log2(static_cast<double>(config_.network_size_bound));
+  k_ = static_cast<int>(std::clamp(std::ceil(k_raw), 1.0, 63.0));
+  const auto log_delta =
+      static_cast<double>(std::max(1, ceil_log2(config_.max_degree_bound)));
+  group_len_ = static_cast<Round>(
+      std::max(1.0, std::ceil(config_.group_length_factor * log_delta)));
+}
+
+void BitConvergence::init(NodeId node_count, std::span<Rng> node_rngs) {
+  MTM_REQUIRE(node_count == uids_.size());
+  MTM_REQUIRE(node_rngs.size() == node_count);
+  node_count_ = node_count;
+
+  smallest_ = protocol_detail::draw_id_pairs(uids_, node_rngs, k_,
+                                             config_.ensure_unique_tags);
+  buffer_ = smallest_;
+  leader_.resize(node_count);
+  for (NodeId u = 0; u < node_count; ++u) leader_[u] = uids_[u];
+
+  min_pair_ = *std::min_element(smallest_.begin(), smallest_.end());
+  buffers_at_min_ = 0;
+  leaders_at_min_ = 0;
+  for (NodeId u = 0; u < node_count; ++u) {
+    if (buffer_[u] == min_pair_) ++buffers_at_min_;
+    if (leader_[u] == min_pair_.uid) ++leaders_at_min_;
+  }
+}
+
+int BitConvergence::position_of(Round local_round) const {
+  const Round group_index = ((local_round - 1) / group_len_) %
+                            static_cast<Round>(k_);
+  return static_cast<int>(group_index) + 1;  // 1-based, msb first
+}
+
+void BitConvergence::adopt_phase_start(NodeId u, Round local_round) {
+  if ((local_round - 1) % phase_length() != 0) return;
+  // "At the beginning of each phase, each node u sets (Î_u, t̂_u) to the
+  //  smallest ID pair it has encountered up to this point ... then sets
+  //  leader ← Î_u."
+  smallest_[u] = buffer_[u];
+  if (leader_[u] != smallest_[u].uid) {
+    if (leader_[u] == min_pair_.uid) --leaders_at_min_;
+    leader_[u] = smallest_[u].uid;
+    if (leader_[u] == min_pair_.uid) ++leaders_at_min_;
+  }
+}
+
+Tag BitConvergence::advertise(NodeId u, Round local_round, Rng& /*rng*/) {
+  adopt_phase_start(u, local_round);
+  const int pos = position_of(local_round);
+  return static_cast<Tag>(bit_at_msb(smallest_[u].tag, pos, k_));
+}
+
+Decision BitConvergence::decide(NodeId u, Round local_round,
+                                std::span<const NeighborInfo> view,
+                                Rng& rng) {
+  const int pos = position_of(local_round);
+  const int my_bit = bit_at_msb(smallest_[u].tag, pos, k_);
+  if (my_bit == 1) return Decision::receive();
+  // 0-bit node: PPUSH toward neighbors advertising a 1 in this position.
+  return protocol_detail::propose_uniform_if(
+      view, rng, [](const NeighborInfo& ni) { return ni.tag == 1; });
+}
+
+Payload BitConvergence::make_payload(NodeId u, NodeId /*peer*/,
+                                     Round /*local_round*/) {
+  // Connected nodes trade their (phase-locked) smallest ID pairs.
+  Payload p;
+  p.push_uid(smallest_[u].uid);
+  p.push_bits(smallest_[u].tag, k_);
+  return p;
+}
+
+void BitConvergence::receive_payload(NodeId u, NodeId /*peer*/,
+                                     const Payload& payload,
+                                     Round /*local_round*/) {
+  MTM_REQUIRE(payload.uid_count() == 1);
+  MTM_REQUIRE(payload.extra_bit_count() == k_);
+  const IdPair incoming{payload.uid(0), payload.read_bits(0, k_)};
+  // "ID pairs received during a phase are stored locally until the next
+  //  update" — buffered, adopted at the phase boundary.
+  if (incoming < buffer_[u]) {
+    const bool was_min = buffer_[u] == min_pair_;
+    buffer_[u] = incoming;
+    if (!was_min && buffer_[u] == min_pair_) ++buffers_at_min_;
+  }
+  if (!config_.phase_buffering && buffer_[u] < smallest_[u]) {
+    // Ablation: adopt (and re-point leader) immediately instead of waiting
+    // for the phase boundary.
+    smallest_[u] = buffer_[u];
+    if (leader_[u] != smallest_[u].uid) {
+      if (leader_[u] == min_pair_.uid) --leaders_at_min_;
+      leader_[u] = smallest_[u].uid;
+      if (leader_[u] == min_pair_.uid) ++leaders_at_min_;
+    }
+  }
+}
+
+bool BitConvergence::stabilized() const {
+  // Once every buffer holds the global minimum pair and every leader
+  // variable equals its UID, no leader can ever change again.
+  return buffers_at_min_ == node_count_ && leaders_at_min_ == node_count_;
+}
+
+Uid BitConvergence::leader_of(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return leader_[u];
+}
+
+IdPair BitConvergence::smallest_pair(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return smallest_[u];
+}
+
+IdPair BitConvergence::buffered_pair(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return buffer_[u];
+}
+
+}  // namespace mtm

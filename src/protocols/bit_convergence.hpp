@@ -1,0 +1,98 @@
+// Bit convergence leader election (paper Section VII).
+//
+// Setting: b = 1, synchronized starts, any τ >= 1 (no knowledge of τ).
+//
+// Each node u pairs its UID with a random ID tag t_u of k = ⌈β·log N⌉ bits.
+// Rounds are partitioned into groups of 2·log Δ rounds, and groups into
+// phases of k groups. At the start of each phase u adopts the smallest
+// (tag, UID) pair it has encountered — its "smallest ID pair" (Î_u, t̂_u) —
+// and sets leader ← Î_u. During group i of a phase, u runs PPUSH using bit i
+// of t̂_u (most significant first) as its 1-bit advertisement: nodes with a 0
+// in position i propose to neighbors advertising a 1, sending them a
+// potentially smaller pair. Pairs received mid-phase are buffered and only
+// adopted at the next phase boundary.
+//
+// Theorem VII.2: stabilizes in O((1/α)·Δ^{1/τ̂}·τ̂·log⁵ n) rounds w.h.p.,
+// where τ̂ = min(τ, log Δ).
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace mtm {
+
+struct BitConvergenceConfig {
+  /// Polynomial upper bound N >= n on the network size (paper Section IV).
+  std::uint64_t network_size_bound = 0;
+  /// Upper bound on the maximum degree Δ (paper assumes Δ known and a power
+  /// of two; we take ⌈log₂ Δ⌉ of whatever bound is given).
+  NodeId max_degree_bound = 0;
+  /// The β >= 1 constant sizing the tag space n^β (k = ⌈β·log₂ N⌉ bits).
+  double beta = 2.0;
+  /// Resample colliding ID tags at init. The paper's analysis conditions on
+  /// all tags being distinct (w.h.p. by the choice of β); resampling makes
+  /// the probability-1 stabilization guarantee unconditional without
+  /// changing the conditioned distribution.
+  bool ensure_unique_tags = true;
+  /// ABLATION (default = the paper's algorithm): buffer pairs received
+  /// mid-phase and adopt only at phase boundaries. Setting false adopts
+  /// immediately (and moves `leader` with it) — this breaks the analysis'
+  /// Lemma VII.1 framing (S_i can now change mid-phase) but not safety;
+  /// bench_ablation_bitconv measures what the buffering actually buys.
+  bool phase_buffering = true;
+  /// ABLATION: group length multiplier g in group_len = g·⌈log₂ Δ⌉.
+  /// The paper fixes g = 2 so every group contains τ̂ consecutive stable
+  /// rounds for any change phase; bench_ablation_bitconv sweeps it.
+  double group_length_factor = 2.0;
+};
+
+class BitConvergence final : public LeaderElectionProtocol {
+ public:
+  BitConvergence(std::vector<Uid> uids, const BitConvergenceConfig& config);
+
+  /// Number of tag bits k = ⌈β·log₂ N⌉ (clamped to [1, 63]).
+  int tag_bit_count() const noexcept { return k_; }
+  /// Rounds per group: 2·max(1, ⌈log₂ Δ⌉).
+  Round group_length() const noexcept { return group_len_; }
+  /// Rounds per phase: k · group_length().
+  Round phase_length() const noexcept { return group_len_ * static_cast<Round>(k_); }
+
+  std::string name() const override { return "bit-convergence(b=1)"; }
+  void init(NodeId node_count, std::span<Rng> node_rngs) override;
+  Tag advertise(NodeId u, Round local_round, Rng& rng) override;
+  Decision decide(NodeId u, Round local_round,
+                  std::span<const NeighborInfo> view, Rng& rng) override;
+  Payload make_payload(NodeId u, NodeId peer, Round local_round) override;
+  void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                       Round local_round) override;
+  bool stabilized() const override;
+
+  Uid leader_of(NodeId u) const override;
+  /// u's phase-locked smallest ID pair (Î_u, t̂_u).
+  IdPair smallest_pair(NodeId u) const;
+  /// u's buffered minimum (includes pairs received mid-phase).
+  IdPair buffered_pair(NodeId u) const;
+  /// The globally minimal ID pair every node converges to.
+  IdPair target_pair() const noexcept { return min_pair_; }
+
+ private:
+  /// 1-based bit position (msb-first) advertised in `local_round`.
+  int position_of(Round local_round) const;
+  void adopt_phase_start(NodeId u, Round local_round);
+
+  std::vector<Uid> uids_;
+  BitConvergenceConfig config_;
+  int k_ = 0;
+  Round group_len_ = 0;
+
+  NodeId node_count_ = 0;
+  std::vector<IdPair> smallest_;  // phase-locked pair
+  std::vector<IdPair> buffer_;    // min pair encountered so far
+  std::vector<Uid> leader_;
+  IdPair min_pair_{};
+  NodeId buffers_at_min_ = 0;
+  NodeId leaders_at_min_ = 0;
+};
+
+}  // namespace mtm

@@ -1,0 +1,68 @@
+#include "protocols/blind_gossip.hpp"
+
+#include "core/assert.hpp"
+#include "protocols/detail.hpp"
+
+namespace mtm {
+
+BlindGossip::BlindGossip(std::vector<Uid> uids) : uids_(std::move(uids)) {
+  global_min_ = protocol_detail::require_unique_uids(uids_);
+}
+
+std::vector<Uid> BlindGossip::shuffled_uids(NodeId node_count,
+                                            std::uint64_t seed) {
+  Rng rng(derive_seed(seed, {0x75696473ULL /*"uids"*/}));
+  std::vector<Uid> uids(node_count);
+  for (NodeId u = 0; u < node_count; ++u) uids[u] = u;
+  rng.shuffle(uids);
+  return uids;
+}
+
+void BlindGossip::init(NodeId node_count, std::span<Rng> /*node_rngs*/) {
+  MTM_REQUIRE_MSG(node_count == uids_.size(),
+                  "UID list size must match the topology node count");
+  node_count_ = node_count;
+  min_seen_ = uids_;
+  holders_ = 1;
+}
+
+Tag BlindGossip::advertise(NodeId /*u*/, Round /*local_round*/, Rng& /*rng*/) {
+  return 0;  // b = 0: nothing to advertise
+}
+
+Decision BlindGossip::decide(NodeId /*u*/, Round /*local_round*/,
+                             std::span<const NeighborInfo> view, Rng& rng) {
+  // "flip a fair coin to decide whether to receive or initiate connections;
+  //  if the latter, choose a neighbor at random."
+  if (view.empty() || !rng.coin()) return Decision::receive();
+  return Decision::send(view[rng.uniform(view.size())].id);
+}
+
+Payload BlindGossip::make_payload(NodeId u, NodeId /*peer*/,
+                                  Round /*local_round*/) {
+  Payload p;
+  p.push_uid(min_seen_[u]);
+  return p;
+}
+
+void BlindGossip::receive_payload(NodeId u, NodeId /*peer*/,
+                                  const Payload& payload,
+                                  Round /*local_round*/) {
+  MTM_REQUIRE(payload.uid_count() == 1);
+  const Uid incoming = payload.uid(0);
+  if (incoming < min_seen_[u]) {
+    if (incoming == global_min_) ++holders_;
+    min_seen_[u] = incoming;
+  }
+}
+
+bool BlindGossip::stabilized() const { return holders_ == node_count_; }
+
+Uid BlindGossip::leader_of(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return min_seen_[u];
+}
+
+Uid BlindGossip::min_seen(NodeId u) const { return leader_of(u); }
+
+}  // namespace mtm

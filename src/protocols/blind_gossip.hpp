@@ -1,0 +1,56 @@
+// Blind gossip leader election (paper Section VI).
+//
+// Setting: b = 0 (no advertisements), any τ >= 1, no knowledge of τ.
+// Each round every node flips a fair coin to send or receive; a sender picks
+// a uniform neighbor for its proposal; a connected pair trades the smallest
+// UIDs each has seen and both adopt the minimum as `leader`.
+//
+// Theorem VI.1: stabilizes in O((1/α)·Δ²·log²n) rounds w.h.p.; the paper
+// also exhibits a star-line network needing Ω(Δ²/√α) rounds.
+//
+// Because the algorithm ignores tags and round numbers entirely, it also
+// works unchanged with asynchronous activations (paper footnote 2).
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace mtm {
+
+class BlindGossip final : public LeaderElectionProtocol {
+ public:
+  /// `uids[u]` is node u's UID; UIDs must be unique.
+  explicit BlindGossip(std::vector<Uid> uids);
+
+  /// Convenience: UIDs 0..n-1 permuted by `seed` so the minimum is placed
+  /// uniformly at random.
+  static std::vector<Uid> shuffled_uids(NodeId node_count, std::uint64_t seed);
+
+  std::string name() const override { return "blind-gossip"; }
+  void init(NodeId node_count, std::span<Rng> node_rngs) override;
+  Tag advertise(NodeId u, Round local_round, Rng& rng) override;
+  Decision decide(NodeId u, Round local_round,
+                  std::span<const NeighborInfo> view, Rng& rng) override;
+  Payload make_payload(NodeId u, NodeId peer, Round local_round) override;
+  void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                       Round local_round) override;
+  bool stabilized() const override;
+
+  Uid leader_of(NodeId u) const override;
+  /// Smallest UID node u has seen so far (== leader for this protocol).
+  Uid min_seen(NodeId u) const;
+  /// The UID every node must converge to.
+  Uid target_leader() const noexcept { return global_min_; }
+  /// Number of nodes currently holding the global minimum.
+  NodeId holders_of_min() const noexcept { return holders_; }
+
+ private:
+  std::vector<Uid> uids_;
+  std::vector<Uid> min_seen_;
+  Uid global_min_ = 0;
+  NodeId holders_ = 0;
+  NodeId node_count_ = 0;
+};
+
+}  // namespace mtm

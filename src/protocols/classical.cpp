@@ -1,0 +1,114 @@
+#include "protocols/classical.hpp"
+
+#include "core/assert.hpp"
+#include "protocols/detail.hpp"
+
+namespace mtm {
+
+ClassicalPushPull::ClassicalPushPull(std::vector<NodeId> sources, Uid rumor)
+    : sources_(std::move(sources)), rumor_(rumor) {
+  MTM_REQUIRE(!sources_.empty());
+}
+
+void ClassicalPushPull::init(NodeId node_count, std::span<Rng> /*node_rngs*/) {
+  node_count_ = node_count;
+  informed_.assign(node_count, false);
+  informed_count_ = 0;
+  for (NodeId s : sources_) {
+    MTM_REQUIRE(s < node_count);
+    if (!informed_[s]) {
+      informed_[s] = true;
+      ++informed_count_;
+    }
+  }
+}
+
+Tag ClassicalPushPull::advertise(NodeId /*u*/, Round /*local_round*/,
+                                 Rng& /*rng*/) {
+  return 0;
+}
+
+Decision ClassicalPushPull::decide(NodeId /*u*/, Round /*local_round*/,
+                                   std::span<const NeighborInfo> view,
+                                   Rng& rng) {
+  if (view.empty()) return Decision::receive();
+  return Decision::send(view[rng.uniform(view.size())].id);
+}
+
+Payload ClassicalPushPull::make_payload(NodeId u, NodeId /*peer*/,
+                                        Round /*local_round*/) {
+  Payload p;
+  if (informed_[u]) p.push_uid(rumor_);
+  return p;
+}
+
+void ClassicalPushPull::receive_payload(NodeId u, NodeId /*peer*/,
+                                        const Payload& payload,
+                                        Round /*local_round*/) {
+  if (payload.uid_count() == 0) return;
+  MTM_REQUIRE(payload.uid(0) == rumor_);
+  if (!informed_[u]) {
+    informed_[u] = true;
+    ++informed_count_;
+  }
+}
+
+bool ClassicalPushPull::stabilized() const {
+  return informed_count_ == node_count_;
+}
+
+bool ClassicalPushPull::informed(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return informed_[u];
+}
+
+ClassicalGossip::ClassicalGossip(std::vector<Uid> uids)
+    : uids_(std::move(uids)) {
+  global_min_ = protocol_detail::require_unique_uids(uids_);
+}
+
+void ClassicalGossip::init(NodeId node_count, std::span<Rng> /*node_rngs*/) {
+  MTM_REQUIRE(node_count == uids_.size());
+  node_count_ = node_count;
+  min_seen_ = uids_;
+  holders_ = 1;
+}
+
+Tag ClassicalGossip::advertise(NodeId /*u*/, Round /*local_round*/,
+                               Rng& /*rng*/) {
+  return 0;
+}
+
+Decision ClassicalGossip::decide(NodeId /*u*/, Round /*local_round*/,
+                                 std::span<const NeighborInfo> view,
+                                 Rng& rng) {
+  if (view.empty()) return Decision::receive();
+  return Decision::send(view[rng.uniform(view.size())].id);
+}
+
+Payload ClassicalGossip::make_payload(NodeId u, NodeId /*peer*/,
+                                      Round /*local_round*/) {
+  Payload p;
+  p.push_uid(min_seen_[u]);
+  return p;
+}
+
+void ClassicalGossip::receive_payload(NodeId u, NodeId /*peer*/,
+                                      const Payload& payload,
+                                      Round /*local_round*/) {
+  MTM_REQUIRE(payload.uid_count() == 1);
+  const Uid incoming = payload.uid(0);
+  if (incoming < min_seen_[u]) {
+    if (incoming == global_min_) ++holders_;
+    min_seen_[u] = incoming;
+  }
+}
+
+bool ClassicalGossip::stabilized() const { return holders_ == node_count_; }
+
+Uid ClassicalGossip::leader_of(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return min_seen_[u];
+}
+
+}  // namespace mtm

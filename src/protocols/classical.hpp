@@ -1,0 +1,74 @@
+// Classical telephone model baselines (paper Section I, related work).
+//
+// The classical model differs from the mobile telephone model in allowing a
+// node to accept an unbounded number of incoming connections per round; the
+// engine's classical_mode implements that. These protocols exist so the
+// experiment harness can reproduce the paper's comparison: PUSH-PULL is fast
+// in the classical model (O((1/α)·polylog n) for stable graphs) but pays a
+// Δ² penalty once the one-connection bound applies.
+//
+// They MUST be run with EngineConfig::classical_mode = true (init() cannot
+// check this, so the contract lives here and in the runner helpers).
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace mtm {
+
+/// Classical PUSH-PULL rumor spreading: every node calls one uniformly
+/// random neighbor each round; both push and pull happen on the call.
+class ClassicalPushPull final : public RumorProtocol {
+ public:
+  ClassicalPushPull(std::vector<NodeId> sources, Uid rumor = 1);
+
+  std::string name() const override { return "classical-push-pull"; }
+  void init(NodeId node_count, std::span<Rng> node_rngs) override;
+  Tag advertise(NodeId u, Round local_round, Rng& rng) override;
+  Decision decide(NodeId u, Round local_round,
+                  std::span<const NeighborInfo> view, Rng& rng) override;
+  Payload make_payload(NodeId u, NodeId peer, Round local_round) override;
+  void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                       Round local_round) override;
+  bool stabilized() const override;
+
+  bool informed(NodeId u) const override;
+  NodeId informed_count() const override { return informed_count_; }
+
+ private:
+  std::vector<NodeId> sources_;
+  Uid rumor_;
+  std::vector<bool> informed_;
+  NodeId informed_count_ = 0;
+  NodeId node_count_ = 0;
+};
+
+/// Classical min-UID gossip leader election: every node calls one uniformly
+/// random neighbor each round; both adopt the smaller of their minima.
+class ClassicalGossip final : public LeaderElectionProtocol {
+ public:
+  explicit ClassicalGossip(std::vector<Uid> uids);
+
+  std::string name() const override { return "classical-gossip"; }
+  void init(NodeId node_count, std::span<Rng> node_rngs) override;
+  Tag advertise(NodeId u, Round local_round, Rng& rng) override;
+  Decision decide(NodeId u, Round local_round,
+                  std::span<const NeighborInfo> view, Rng& rng) override;
+  Payload make_payload(NodeId u, NodeId peer, Round local_round) override;
+  void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                       Round local_round) override;
+  bool stabilized() const override;
+
+  Uid leader_of(NodeId u) const override;
+  Uid target_leader() const noexcept { return global_min_; }
+
+ private:
+  std::vector<Uid> uids_;
+  std::vector<Uid> min_seen_;
+  Uid global_min_ = 0;
+  NodeId holders_ = 0;
+  NodeId node_count_ = 0;
+};
+
+}  // namespace mtm

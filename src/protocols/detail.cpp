@@ -1,0 +1,17 @@
+#include "protocols/detail.hpp"
+
+#include <algorithm>
+
+namespace mtm::protocol_detail {
+
+Uid require_unique_uids(const std::vector<Uid>& uids) {
+  MTM_REQUIRE(!uids.empty());
+  auto sorted = uids;
+  std::sort(sorted.begin(), sorted.end());
+  MTM_REQUIRE_MSG(
+      std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+      "UIDs must be unique");
+  return sorted.front();
+}
+
+}  // namespace mtm::protocol_detail

@@ -1,0 +1,77 @@
+// Shared building blocks for the protocol implementations.
+//
+// These helpers are BEHAVIOR-DEFINING, not conveniences: several protocols
+// must make identical random choices in identical stream order (the golden
+// regression tests pin the exact executions), so the common logic lives in
+// one place.
+#pragma once
+
+#include <set>
+#include <span>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "sim/model.hpp"
+#include "sim/protocol.hpp"
+
+namespace mtm::protocol_detail {
+
+/// Draws one k-bit ID tag per node (uniform over [0, 2^k)) from that node's
+/// stream, pairing it with the node's UID. When `ensure_unique`, colliding
+/// tags are resampled (each node redrawing from its own stream, scanning
+/// nodes in id order until collision-free) — the distribution conditioned
+/// on distinctness is unchanged, and probability-1 convergence claims
+/// become unconditional. Stream consumption order: node 0..n-1 one draw
+/// each, then resample sweeps in node order.
+inline std::vector<IdPair> draw_id_pairs(std::span<const Uid> uids,
+                                         std::span<Rng> node_rngs, int k,
+                                         bool ensure_unique) {
+  MTM_REQUIRE(k >= 1 && k <= 63);
+  MTM_REQUIRE(uids.size() == node_rngs.size());
+  const Tag tag_space = Tag{1} << k;
+  std::vector<IdPair> pairs(uids.size());
+  for (std::size_t u = 0; u < uids.size(); ++u) {
+    pairs[u] = IdPair{uids[u], node_rngs[u].uniform(tag_space)};
+  }
+  if (ensure_unique) {
+    for (bool changed = true; changed;) {
+      changed = false;
+      std::set<Tag> seen;
+      for (std::size_t u = 0; u < pairs.size(); ++u) {
+        while (!seen.insert(pairs[u].tag).second) {
+          pairs[u].tag = node_rngs[u].uniform(tag_space);
+          changed = true;
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+/// Proposes to a neighbor chosen uniformly among those satisfying `pred`,
+/// or receives if none qualifies. Consumes exactly one bounded draw from
+/// `rng` when at least one candidate exists (count-then-pick, scanning the
+/// view twice in order — the stream layout every protocol shares).
+template <typename Pred>
+Decision propose_uniform_if(std::span<const NeighborInfo> view, Rng& rng,
+                            Pred&& pred) {
+  std::uint64_t candidates = 0;
+  for (const NeighborInfo& ni : view) {
+    if (pred(ni)) ++candidates;
+  }
+  if (candidates == 0) return Decision::receive();
+  std::uint64_t pick = rng.uniform(candidates);
+  for (const NeighborInfo& ni : view) {
+    if (pred(ni)) {
+      if (pick == 0) return Decision::send(ni.id);
+      --pick;
+    }
+  }
+  MTM_ENSURE_MSG(false, "unreachable: pick not found");
+  return Decision::receive();
+}
+
+/// Validates a UID list (non-empty, all unique); returns the minimum.
+Uid require_unique_uids(const std::vector<Uid>& uids);
+
+}  // namespace mtm::protocol_detail

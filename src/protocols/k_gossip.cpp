@@ -1,0 +1,69 @@
+#include "protocols/k_gossip.hpp"
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+void KGossip::init(NodeId node_count, std::span<Rng> node_rngs) {
+  MTM_REQUIRE(node_count >= 1);
+  MTM_REQUIRE(node_rngs.size() == node_count);
+  node_count_ = node_count;
+  knows_.assign(node_count, std::vector<bool>(node_count, false));
+  known_.assign(node_count, {});
+  forward_rng_.clear();
+  forward_rng_.reserve(node_count);
+  for (NodeId u = 0; u < node_count; ++u) {
+    knows_[u][u] = true;
+    known_[u].push_back(u);
+    forward_rng_.emplace_back(node_rngs[u].next_u64());
+  }
+  coverage_ = node_count;
+}
+
+Tag KGossip::advertise(NodeId /*u*/, Round /*local_round*/, Rng& /*rng*/) {
+  return 0;  // b = 0
+}
+
+Decision KGossip::decide(NodeId /*u*/, Round /*local_round*/,
+                         std::span<const NeighborInfo> view, Rng& rng) {
+  if (view.empty() || !rng.coin()) return Decision::receive();
+  return Decision::send(view[rng.uniform(view.size())].id);
+}
+
+Payload KGossip::make_payload(NodeId u, NodeId /*peer*/,
+                              Round /*local_round*/) {
+  Payload p;
+  const auto& mine = known_[u];
+  p.push_uid(mine[static_cast<std::size_t>(
+      forward_rng_[u].uniform(mine.size()))]);
+  return p;
+}
+
+void KGossip::receive_payload(NodeId u, NodeId /*peer*/,
+                              const Payload& payload, Round /*local_round*/) {
+  MTM_REQUIRE(payload.uid_count() == 1);
+  const auto rumor = static_cast<NodeId>(payload.uid(0));
+  MTM_REQUIRE(rumor < node_count_);
+  if (!knows_[u][rumor]) {
+    knows_[u][rumor] = true;
+    known_[u].push_back(rumor);
+    ++coverage_;
+  }
+}
+
+bool KGossip::stabilized() const {
+  return coverage_ ==
+         static_cast<std::uint64_t>(node_count_) * node_count_;
+}
+
+NodeId KGossip::known_count(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return static_cast<NodeId>(known_[u].size());
+}
+
+bool KGossip::knows(NodeId u, NodeId rumor) const {
+  MTM_REQUIRE(u < node_count_ && rumor < node_count_);
+  return knows_[u][rumor];
+}
+
+}  // namespace mtm

@@ -1,0 +1,51 @@
+// All-to-all gossip in the mobile telephone model.
+//
+// The paper's conclusion names gossip as a natural follow-on problem: every
+// node starts with its own rumor and ALL nodes must learn ALL n rumors.
+// This protocol uses blind-gossip connection mechanics (b = 0, coin flip,
+// uniform neighbor) and, on each connection, each endpoint forwards ONE
+// rumor chosen uniformly at random from its known set (the "random gossip"
+// strategy) — respecting the O(1)-UIDs-per-connection budget of Section IV.
+// A coupon-collector factor on top of the single-rumor spreading time
+// governs completion.
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace mtm {
+
+class KGossip final : public Protocol {
+ public:
+  /// Node u's initial rumor is its index u (rumor ids are 0..n-1).
+  KGossip() = default;
+
+  std::string name() const override { return "k-gossip"; }
+  void init(NodeId node_count, std::span<Rng> node_rngs) override;
+  Tag advertise(NodeId u, Round local_round, Rng& rng) override;
+  Decision decide(NodeId u, Round local_round,
+                  std::span<const NeighborInfo> view, Rng& rng) override;
+  Payload make_payload(NodeId u, NodeId peer, Round local_round) override;
+  void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                       Round local_round) override;
+  bool stabilized() const override;
+
+  /// Number of distinct rumors node u knows.
+  NodeId known_count(NodeId u) const;
+  bool knows(NodeId u, NodeId rumor) const;
+  /// Total known pairs across all nodes (n² when complete).
+  std::uint64_t coverage() const noexcept { return coverage_; }
+
+ private:
+  NodeId node_count_ = 0;
+  std::vector<std::vector<bool>> knows_;     // knows_[u][rumor]
+  std::vector<std::vector<NodeId>> known_;   // known_[u] = list of rumor ids
+  std::uint64_t coverage_ = 0;
+  // Forwarding choices happen in make_payload (no Rng parameter there), so
+  // each node gets its own stream, seeded deterministically in init() from
+  // the engine-provided node streams.
+  std::vector<Rng> forward_rng_;
+};
+
+}  // namespace mtm

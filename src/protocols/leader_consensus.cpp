@@ -1,0 +1,82 @@
+#include "protocols/leader_consensus.hpp"
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+LeaderConsensus::LeaderConsensus(std::vector<Uid> uids,
+                                 std::vector<std::uint64_t> inputs,
+                                 const AsyncBitConvergenceConfig& config)
+    : election_(uids, config),
+      uids_(std::move(uids)),
+      inputs_(std::move(inputs)) {
+  MTM_REQUIRE_MSG(inputs_.size() == uids_.size(),
+                  "one input per node required");
+}
+
+int LeaderConsensus::required_advertisement_bits() const noexcept {
+  return election_.required_advertisement_bits();
+}
+
+void LeaderConsensus::init(NodeId node_count, std::span<Rng> node_rngs) {
+  MTM_REQUIRE_MSG(inputs_.size() == node_count,
+                  "one input per node required");
+  node_count_ = node_count;
+  election_.init(node_count, node_rngs);
+  decision_ = inputs_;
+}
+
+Tag LeaderConsensus::advertise(NodeId u, Round local_round, Rng& rng) {
+  return election_.advertise(u, local_round, rng);
+}
+
+Decision LeaderConsensus::decide(NodeId u, Round local_round,
+                                 std::span<const NeighborInfo> view,
+                                 Rng& rng) {
+  return election_.decide(u, local_round, view, rng);
+}
+
+Payload LeaderConsensus::make_payload(NodeId u, NodeId peer,
+                                      Round local_round) {
+  // The election pair plus the value that travels with it: u's current
+  // decision IS the input of its adopted pair's owner, so forwarding it
+  // keeps (pair, value) consistent transitively.
+  Payload p = election_.make_payload(u, peer, local_round);
+  p.push_uid(decision_[u]);
+  return p;
+}
+
+void LeaderConsensus::receive_payload(NodeId u, NodeId peer,
+                                      const Payload& payload,
+                                      Round local_round) {
+  MTM_REQUIRE(payload.uid_count() == 2);
+  const IdPair before = election_.smallest_pair(u);
+  election_.receive_payload(u, peer, payload, local_round);
+  if (election_.smallest_pair(u) < before) {
+    decision_[u] = payload.uid(1);
+  }
+}
+
+bool LeaderConsensus::stabilized() const { return election_.stabilized(); }
+
+Uid LeaderConsensus::leader_of(NodeId u) const {
+  return election_.leader_of(u);
+}
+
+std::uint64_t LeaderConsensus::decision_of(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return decision_[u];
+}
+
+std::uint64_t LeaderConsensus::target_decision() const {
+  // The eventual leader is the owner of the globally minimal pair; its
+  // input is the agreed value (UIDs and inputs are parallel arrays).
+  const Uid leader_uid = election_.target_pair().uid;
+  for (NodeId u = 0; u < uids_.size(); ++u) {
+    if (uids_[u] == leader_uid) return inputs_[u];
+  }
+  MTM_ENSURE_MSG(false, "target leader UID not found among nodes");
+  return 0;
+}
+
+}  // namespace mtm

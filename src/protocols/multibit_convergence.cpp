@@ -1,0 +1,134 @@
+#include "protocols/multibit_convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+#include "core/bits.hpp"
+#include "protocols/detail.hpp"
+
+namespace mtm {
+
+MultibitConvergence::MultibitConvergence(
+    std::vector<Uid> uids, const MultibitConvergenceConfig& config)
+    : uids_(std::move(uids)), config_(config) {
+  MTM_REQUIRE(!uids_.empty());
+  MTM_REQUIRE_MSG(config_.network_size_bound >= uids_.size(),
+                  "N must upper-bound the network size");
+  MTM_REQUIRE(config_.max_degree_bound >= 1);
+  MTM_REQUIRE(config_.beta >= 1.0);
+  MTM_REQUIRE(config_.advertisement_width >= 1 &&
+              config_.advertisement_width <= 63);
+  (void)protocol_detail::require_unique_uids(uids_);
+
+  const double k_raw =
+      config_.beta * std::log2(static_cast<double>(config_.network_size_bound));
+  k_ = static_cast<int>(std::clamp(std::ceil(k_raw), 1.0, 63.0));
+  width_ = std::min(config_.advertisement_width, k_);
+  blocks_ = (k_ + width_ - 1) / width_;
+  group_len_ =
+      2 * static_cast<Round>(std::max(1, ceil_log2(config_.max_degree_bound)));
+}
+
+Tag MultibitConvergence::block_value(Tag tag, int index) const {
+  MTM_REQUIRE(index >= 1 && index <= blocks_);
+  const int start = (index - 1) * width_;          // 0-based msb offset
+  const int bits = std::min(width_, k_ - start);   // last block may be short
+  Tag value = 0;
+  for (int i = 0; i < bits; ++i) {
+    value = (value << 1) |
+            static_cast<Tag>(bit_at_msb(tag, start + i + 1, k_));
+  }
+  return value;
+}
+
+void MultibitConvergence::init(NodeId node_count, std::span<Rng> node_rngs) {
+  MTM_REQUIRE(node_count == uids_.size());
+  MTM_REQUIRE(node_rngs.size() == node_count);
+  node_count_ = node_count;
+
+  smallest_ = protocol_detail::draw_id_pairs(uids_, node_rngs, k_,
+                                             config_.ensure_unique_tags);
+  buffer_ = smallest_;
+  leader_.resize(node_count);
+  for (NodeId u = 0; u < node_count; ++u) leader_[u] = uids_[u];
+
+  min_pair_ = *std::min_element(smallest_.begin(), smallest_.end());
+  buffers_at_min_ = 0;
+  leaders_at_min_ = 0;
+  for (NodeId u = 0; u < node_count; ++u) {
+    if (buffer_[u] == min_pair_) ++buffers_at_min_;
+    if (leader_[u] == min_pair_.uid) ++leaders_at_min_;
+  }
+}
+
+int MultibitConvergence::block_of(Round local_round) const {
+  const Round group_index =
+      ((local_round - 1) / group_len_) % static_cast<Round>(blocks_);
+  return static_cast<int>(group_index) + 1;
+}
+
+void MultibitConvergence::adopt_phase_start(NodeId u, Round local_round) {
+  if ((local_round - 1) % phase_length() != 0) return;
+  smallest_[u] = buffer_[u];
+  if (leader_[u] != smallest_[u].uid) {
+    if (leader_[u] == min_pair_.uid) --leaders_at_min_;
+    leader_[u] = smallest_[u].uid;
+    if (leader_[u] == min_pair_.uid) ++leaders_at_min_;
+  }
+}
+
+Tag MultibitConvergence::advertise(NodeId u, Round local_round,
+                                   Rng& /*rng*/) {
+  adopt_phase_start(u, local_round);
+  return block_value(smallest_[u].tag, block_of(local_round));
+}
+
+Decision MultibitConvergence::decide(NodeId u, Round local_round,
+                                     std::span<const NeighborInfo> view,
+                                     Rng& rng) {
+  const Tag mine = block_value(smallest_[u].tag, block_of(local_round));
+  // Propose to a uniform neighbor advertising a strictly LARGER block value
+  // (its tag is larger whenever the preceding blocks agree — the invariant
+  // generalizing the 0->1 targeting of the 1-bit algorithm); receive
+  // otherwise. With width = 1 this reduces exactly to bit convergence.
+  return protocol_detail::propose_uniform_if(
+      view, rng, [mine](const NeighborInfo& ni) { return ni.tag > mine; });
+}
+
+Payload MultibitConvergence::make_payload(NodeId u, NodeId /*peer*/,
+                                          Round /*local_round*/) {
+  Payload p;
+  p.push_uid(smallest_[u].uid);
+  p.push_bits(smallest_[u].tag, k_);
+  return p;
+}
+
+void MultibitConvergence::receive_payload(NodeId u, NodeId /*peer*/,
+                                          const Payload& payload,
+                                          Round /*local_round*/) {
+  MTM_REQUIRE(payload.uid_count() == 1);
+  MTM_REQUIRE(payload.extra_bit_count() == k_);
+  const IdPair incoming{payload.uid(0), payload.read_bits(0, k_)};
+  if (incoming < buffer_[u]) {
+    const bool was_min = buffer_[u] == min_pair_;
+    buffer_[u] = incoming;
+    if (!was_min && buffer_[u] == min_pair_) ++buffers_at_min_;
+  }
+}
+
+bool MultibitConvergence::stabilized() const {
+  return buffers_at_min_ == node_count_ && leaders_at_min_ == node_count_;
+}
+
+Uid MultibitConvergence::leader_of(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return leader_[u];
+}
+
+IdPair MultibitConvergence::smallest_pair(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return smallest_[u];
+}
+
+}  // namespace mtm

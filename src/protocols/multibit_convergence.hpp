@@ -1,0 +1,85 @@
+// Multibit convergence leader election — a b >= 1 generalization of the
+// Section VII algorithm, probing the paper's closing open question
+// ("Investigating the power of advertisements remains a key question about
+// the mobile telephone model").
+//
+// Where bit convergence advertises ONE bit of the phase-locked ID tag per
+// group, this algorithm advertises a BLOCK of `width` bits. Phases shrink
+// from k groups to ⌈k/width⌉ groups, and proposals are targeted at any
+// neighbor whose advertised block value is strictly larger (such a
+// neighbor's tag is strictly larger whenever the earlier blocks agree —
+// the same invariant the 1-bit analysis uses). With width = 1 this is
+// EXACTLY the paper's bit convergence; with width = k every node sees its
+// neighbors' whole tags.
+//
+// bench_advertisement_power (E14) sweeps the width to measure how much the
+// extra advertisement bits actually buy.
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace mtm {
+
+struct MultibitConvergenceConfig {
+  std::uint64_t network_size_bound = 0;  ///< N >= n
+  NodeId max_degree_bound = 0;           ///< Δ bound
+  int advertisement_width = 1;           ///< b = block width in bits (>= 1)
+  double beta = 2.0;
+  bool ensure_unique_tags = true;
+};
+
+class MultibitConvergence final : public LeaderElectionProtocol {
+ public:
+  MultibitConvergence(std::vector<Uid> uids,
+                      const MultibitConvergenceConfig& config);
+
+  int tag_bit_count() const noexcept { return k_; }
+  int advertisement_width() const noexcept { return width_; }
+  /// Number of blocks = groups per phase: ⌈k/width⌉.
+  int block_count() const noexcept { return blocks_; }
+  Round group_length() const noexcept { return group_len_; }
+  Round phase_length() const noexcept {
+    return group_len_ * static_cast<Round>(blocks_);
+  }
+
+  std::string name() const override { return "multibit-convergence"; }
+  void init(NodeId node_count, std::span<Rng> node_rngs) override;
+  Tag advertise(NodeId u, Round local_round, Rng& rng) override;
+  Decision decide(NodeId u, Round local_round,
+                  std::span<const NeighborInfo> view, Rng& rng) override;
+  Payload make_payload(NodeId u, NodeId peer, Round local_round) override;
+  void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                       Round local_round) override;
+  bool stabilized() const override;
+
+  Uid leader_of(NodeId u) const override;
+  IdPair smallest_pair(NodeId u) const;
+  IdPair target_pair() const noexcept { return min_pair_; }
+
+  /// Value of 1-based block `index` of `tag` (msb-first blocks; the last
+  /// block may be narrower than `width`).
+  Tag block_value(Tag tag, int index) const;
+
+ private:
+  int block_of(Round local_round) const;
+  void adopt_phase_start(NodeId u, Round local_round);
+
+  std::vector<Uid> uids_;
+  MultibitConvergenceConfig config_;
+  int k_ = 0;
+  int width_ = 1;
+  int blocks_ = 0;
+  Round group_len_ = 0;
+
+  NodeId node_count_ = 0;
+  std::vector<IdPair> smallest_;
+  std::vector<IdPair> buffer_;
+  std::vector<Uid> leader_;
+  IdPair min_pair_{};
+  NodeId buffers_at_min_ = 0;
+  NodeId leaders_at_min_ = 0;
+};
+
+}  // namespace mtm

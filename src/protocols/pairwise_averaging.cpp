@@ -1,0 +1,74 @@
+#include "protocols/pairwise_averaging.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+PairwiseAveraging::PairwiseAveraging(std::vector<double> values,
+                                     double tolerance)
+    : initial_(std::move(values)), tolerance_(tolerance) {
+  MTM_REQUIRE(!initial_.empty());
+  MTM_REQUIRE(tolerance_ > 0.0);
+  double sum = 0.0;
+  for (double v : initial_) {
+    MTM_REQUIRE_MSG(std::isfinite(v), "inputs must be finite");
+    sum += v;
+  }
+  target_ = sum / static_cast<double>(initial_.size());
+}
+
+void PairwiseAveraging::init(NodeId node_count, std::span<Rng> /*node_rngs*/) {
+  MTM_REQUIRE(node_count == initial_.size());
+  node_count_ = node_count;
+  value_ = initial_;
+}
+
+Tag PairwiseAveraging::advertise(NodeId /*u*/, Round /*local_round*/,
+                                 Rng& /*rng*/) {
+  return 0;  // b = 0
+}
+
+Decision PairwiseAveraging::decide(NodeId /*u*/, Round /*local_round*/,
+                                   std::span<const NeighborInfo> view,
+                                   Rng& rng) {
+  if (view.empty() || !rng.coin()) return Decision::receive();
+  return Decision::send(view[rng.uniform(view.size())].id);
+}
+
+Payload PairwiseAveraging::make_payload(NodeId u, NodeId /*peer*/,
+                                        Round /*local_round*/) {
+  Payload p;
+  p.push_bits(std::bit_cast<std::uint64_t>(value_[u]), 64);
+  return p;
+}
+
+void PairwiseAveraging::receive_payload(NodeId u, NodeId /*peer*/,
+                                        const Payload& payload,
+                                        Round /*local_round*/) {
+  MTM_REQUIRE(payload.extra_bit_count() == 64);
+  const double peer_value = std::bit_cast<double>(payload.read_bits(0, 64));
+  // Both endpoints receive each other's pre-connection value and apply the
+  // same update, so the pair ends the round holding the identical average
+  // and the global sum is preserved.
+  value_[u] = (value_[u] + peer_value) / 2.0;
+}
+
+double PairwiseAveraging::spread() const {
+  const auto [lo, hi] = std::minmax_element(value_.begin(), value_.end());
+  return *hi - *lo;
+}
+
+bool PairwiseAveraging::stabilized() const {
+  return spread() <= tolerance_;
+}
+
+double PairwiseAveraging::value_of(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return value_[u];
+}
+
+}  // namespace mtm

@@ -1,0 +1,52 @@
+// Pairwise-averaging aggregation in the mobile telephone model.
+//
+// The paper's conclusion names data aggregation as a natural next problem
+// for the model. This is the classic randomized gossip averaging algorithm
+// (Boyd et al.) transplanted onto MTM mechanics: blind-gossip connection
+// dynamics (coin flip to send/receive, uniform neighbor choice, b = 0), and
+// on every connection both endpoints replace their value with the pair's
+// average. The global sum is invariant, so every node's value converges to
+// the network average; the convergence rate is governed by the same
+// connectivity bottlenecks (α) as leader election.
+//
+// Payload: the 64-bit IEEE value rides in the payload's extra bits — well
+// within the O(polylog N) budget of Section IV.
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace mtm {
+
+class PairwiseAveraging final : public Protocol {
+ public:
+  /// `values[u]` is node u's input; `tolerance` is the max-min spread below
+  /// which the protocol reports stabilized().
+  PairwiseAveraging(std::vector<double> values, double tolerance);
+
+  std::string name() const override { return "pairwise-averaging"; }
+  void init(NodeId node_count, std::span<Rng> node_rngs) override;
+  Tag advertise(NodeId u, Round local_round, Rng& rng) override;
+  Decision decide(NodeId u, Round local_round,
+                  std::span<const NeighborInfo> view, Rng& rng) override;
+  Payload make_payload(NodeId u, NodeId peer, Round local_round) override;
+  void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                       Round local_round) override;
+  bool stabilized() const override;
+
+  double value_of(NodeId u) const;
+  /// The exact average of the inputs (the fixed point).
+  double target_average() const noexcept { return target_; }
+  /// Current max - min spread across nodes.
+  double spread() const;
+
+ private:
+  std::vector<double> initial_;
+  double tolerance_;
+  double target_ = 0.0;
+  std::vector<double> value_;
+  NodeId node_count_ = 0;
+};
+
+}  // namespace mtm

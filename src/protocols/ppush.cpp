@@ -1,0 +1,62 @@
+#include "protocols/ppush.hpp"
+
+#include "core/assert.hpp"
+#include "protocols/detail.hpp"
+
+namespace mtm {
+
+Ppush::Ppush(std::vector<NodeId> sources, Uid rumor)
+    : sources_(std::move(sources)), rumor_(rumor) {
+  MTM_REQUIRE(!sources_.empty());
+}
+
+void Ppush::init(NodeId node_count, std::span<Rng> /*node_rngs*/) {
+  node_count_ = node_count;
+  informed_.assign(node_count, false);
+  informed_count_ = 0;
+  for (NodeId s : sources_) {
+    MTM_REQUIRE(s < node_count);
+    if (!informed_[s]) {
+      informed_[s] = true;
+      ++informed_count_;
+    }
+  }
+}
+
+Tag Ppush::advertise(NodeId u, Round /*local_round*/, Rng& /*rng*/) {
+  return informed_[u] ? kInformedTag : kUninformedTag;
+}
+
+Decision Ppush::decide(NodeId u, Round /*local_round*/,
+                       std::span<const NeighborInfo> view, Rng& rng) {
+  if (!informed_[u]) return Decision::receive();
+  // Informed: propose to a uniform neighbor advertising "uninformed".
+  return protocol_detail::propose_uniform_if(
+      view, rng,
+      [](const NeighborInfo& ni) { return ni.tag == kUninformedTag; });
+}
+
+Payload Ppush::make_payload(NodeId u, NodeId /*peer*/, Round /*local_round*/) {
+  Payload p;
+  if (informed_[u]) p.push_uid(rumor_);
+  return p;
+}
+
+void Ppush::receive_payload(NodeId u, NodeId /*peer*/, const Payload& payload,
+                            Round /*local_round*/) {
+  if (payload.uid_count() == 0) return;
+  MTM_REQUIRE(payload.uid(0) == rumor_);
+  if (!informed_[u]) {
+    informed_[u] = true;
+    ++informed_count_;
+  }
+}
+
+bool Ppush::stabilized() const { return informed_count_ == node_count_; }
+
+bool Ppush::informed(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return informed_[u];
+}
+
+}  // namespace mtm

@@ -1,0 +1,52 @@
+// PPUSH (productive push) rumor spreading with b = 1 (paper Section V,
+// from [1]).
+//
+// "At the beginning of each round, if you know the rumor advertise tag 0,
+//  otherwise advertise tag 1. If you advertise 1, you will only receive
+//  connection proposals in this round. If you advertise tag 0, you will
+//  choose a neighbor advertising 1 (if any) uniformly at random to send a
+//  connection proposal. If a 0 connects with a 1 then the former sends the
+//  rumor to the latter."
+//
+// Theorem V.2 bounds its short-term progress across a cut with an
+// m-matching: in r <= log Δ stable rounds, with constant probability at
+// least m/f(r) uninformed endpoints learn the rumor, f(r) = Δ^{1/r}·c·r·log n.
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace mtm {
+
+class Ppush final : public RumorProtocol {
+ public:
+  /// Advertised tags: informed nodes advertise kInformedTag (0), uninformed
+  /// advertise kUninformedTag (1) — the paper's convention.
+  static constexpr Tag kInformedTag = 0;
+  static constexpr Tag kUninformedTag = 1;
+
+  Ppush(std::vector<NodeId> sources, Uid rumor = 1);
+
+  std::string name() const override { return "ppush(b=1)"; }
+  void init(NodeId node_count, std::span<Rng> node_rngs) override;
+  Tag advertise(NodeId u, Round local_round, Rng& rng) override;
+  Decision decide(NodeId u, Round local_round,
+                  std::span<const NeighborInfo> view, Rng& rng) override;
+  Payload make_payload(NodeId u, NodeId peer, Round local_round) override;
+  void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                       Round local_round) override;
+  bool stabilized() const override;
+
+  bool informed(NodeId u) const override;
+  NodeId informed_count() const override { return informed_count_; }
+
+ private:
+  std::vector<NodeId> sources_;
+  Uid rumor_;
+  std::vector<bool> informed_;
+  NodeId informed_count_ = 0;
+  NodeId node_count_ = 0;
+};
+
+}  // namespace mtm

@@ -1,0 +1,69 @@
+#include "protocols/productive_push_pull.hpp"
+
+#include "core/assert.hpp"
+#include "protocols/detail.hpp"
+
+namespace mtm {
+
+ProductivePushPull::ProductivePushPull(std::vector<NodeId> sources, Uid rumor)
+    : sources_(std::move(sources)), rumor_(rumor) {
+  MTM_REQUIRE(!sources_.empty());
+}
+
+void ProductivePushPull::init(NodeId node_count, std::span<Rng> /*node_rngs*/) {
+  node_count_ = node_count;
+  informed_.assign(node_count, false);
+  informed_count_ = 0;
+  for (NodeId s : sources_) {
+    MTM_REQUIRE(s < node_count);
+    if (!informed_[s]) {
+      informed_[s] = true;
+      ++informed_count_;
+    }
+  }
+}
+
+Tag ProductivePushPull::advertise(NodeId u, Round /*local_round*/,
+                                  Rng& /*rng*/) {
+  return informed_[u] ? kInformedTag : kUninformedTag;
+}
+
+Decision ProductivePushPull::decide(NodeId u, Round local_round,
+                                    std::span<const NeighborInfo> view,
+                                    Rng& rng) {
+  const bool push_round = local_round % 2 == 1;
+  const bool initiator = informed_[u] == push_round;
+  if (!initiator) return Decision::receive();
+  const Tag wanted = informed_[u] ? kUninformedTag : kInformedTag;
+  return protocol_detail::propose_uniform_if(
+      view, rng, [wanted](const NeighborInfo& ni) { return ni.tag == wanted; });
+}
+
+Payload ProductivePushPull::make_payload(NodeId u, NodeId /*peer*/,
+                                         Round /*local_round*/) {
+  Payload p;
+  if (informed_[u]) p.push_uid(rumor_);
+  return p;
+}
+
+void ProductivePushPull::receive_payload(NodeId u, NodeId /*peer*/,
+                                         const Payload& payload,
+                                         Round /*local_round*/) {
+  if (payload.uid_count() == 0) return;
+  MTM_REQUIRE(payload.uid(0) == rumor_);
+  if (!informed_[u]) {
+    informed_[u] = true;
+    ++informed_count_;
+  }
+}
+
+bool ProductivePushPull::stabilized() const {
+  return informed_count_ == node_count_;
+}
+
+bool ProductivePushPull::informed(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return informed_[u];
+}
+
+}  // namespace mtm

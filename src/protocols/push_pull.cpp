@@ -1,0 +1,59 @@
+#include "protocols/push_pull.hpp"
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+PushPull::PushPull(std::vector<NodeId> sources, Uid rumor)
+    : sources_(std::move(sources)), rumor_(rumor) {
+  MTM_REQUIRE(!sources_.empty());
+}
+
+void PushPull::init(NodeId node_count, std::span<Rng> /*node_rngs*/) {
+  node_count_ = node_count;
+  informed_.assign(node_count, false);
+  informed_count_ = 0;
+  for (NodeId s : sources_) {
+    MTM_REQUIRE(s < node_count);
+    if (!informed_[s]) {
+      informed_[s] = true;
+      ++informed_count_;
+    }
+  }
+}
+
+Tag PushPull::advertise(NodeId /*u*/, Round /*local_round*/, Rng& /*rng*/) {
+  return 0;
+}
+
+Decision PushPull::decide(NodeId /*u*/, Round /*local_round*/,
+                          std::span<const NeighborInfo> view, Rng& rng) {
+  if (view.empty() || !rng.coin()) return Decision::receive();
+  return Decision::send(view[rng.uniform(view.size())].id);
+}
+
+Payload PushPull::make_payload(NodeId u, NodeId /*peer*/,
+                               Round /*local_round*/) {
+  Payload p;
+  if (informed_[u]) p.push_uid(rumor_);
+  return p;
+}
+
+void PushPull::receive_payload(NodeId u, NodeId /*peer*/,
+                               const Payload& payload, Round /*local_round*/) {
+  if (payload.uid_count() == 0) return;
+  MTM_REQUIRE(payload.uid(0) == rumor_);
+  if (!informed_[u]) {
+    informed_[u] = true;
+    ++informed_count_;
+  }
+}
+
+bool PushPull::stabilized() const { return informed_count_ == node_count_; }
+
+bool PushPull::informed(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return informed_[u];
+}
+
+}  // namespace mtm

@@ -1,0 +1,43 @@
+// PUSH-PULL rumor spreading with b = 0 (paper Section VI, Corollary VI.6).
+//
+// This is the blind-gossip mechanics applied to a single rumor: every round
+// each node flips a coin to send or receive; a connected pair exchanges the
+// rumor in both directions (push and pull). Corollary VI.6 resolves the open
+// question from [1]: this strategy succeeds w.h.p. in O((1/α)·Δ²·log²n)
+// rounds in the mobile telephone model.
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace mtm {
+
+class PushPull final : public RumorProtocol {
+ public:
+  /// `sources` lists the initially informed nodes (at least one).
+  /// `rumor` is the UID-typed token being spread.
+  PushPull(std::vector<NodeId> sources, Uid rumor = 1);
+
+  std::string name() const override { return "push-pull(b=0)"; }
+  void init(NodeId node_count, std::span<Rng> node_rngs) override;
+  Tag advertise(NodeId u, Round local_round, Rng& rng) override;
+  Decision decide(NodeId u, Round local_round,
+                  std::span<const NeighborInfo> view, Rng& rng) override;
+  Payload make_payload(NodeId u, NodeId peer, Round local_round) override;
+  void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                       Round local_round) override;
+  bool stabilized() const override;
+
+  bool informed(NodeId u) const override;
+  NodeId informed_count() const override { return informed_count_; }
+
+ private:
+  std::vector<NodeId> sources_;
+  Uid rumor_;
+  std::vector<bool> informed_;
+  NodeId informed_count_ = 0;
+  NodeId node_count_ = 0;
+};
+
+}  // namespace mtm

@@ -1,0 +1,62 @@
+#include "protocols/round_robin_gossip.hpp"
+
+#include "core/assert.hpp"
+#include "protocols/detail.hpp"
+
+namespace mtm {
+
+RoundRobinGossip::RoundRobinGossip(std::vector<Uid> uids)
+    : uids_(std::move(uids)) {
+  global_min_ = protocol_detail::require_unique_uids(uids_);
+}
+
+void RoundRobinGossip::init(NodeId node_count, std::span<Rng> /*node_rngs*/) {
+  MTM_REQUIRE(node_count == uids_.size());
+  node_count_ = node_count;
+  min_seen_ = uids_;
+  cursor_.assign(node_count, 0);
+  holders_ = 1;
+}
+
+Tag RoundRobinGossip::advertise(NodeId /*u*/, Round /*local_round*/,
+                                Rng& /*rng*/) {
+  return 0;  // b = 0
+}
+
+Decision RoundRobinGossip::decide(NodeId u, Round local_round,
+                                  std::span<const NeighborInfo> view,
+                                  Rng& /*rng*/) {
+  if (view.empty()) return Decision::receive();
+  if ((local_round + u) % 2 != 0) return Decision::receive();
+  const NodeId target =
+      view[static_cast<std::size_t>(cursor_[u] % view.size())].id;
+  ++cursor_[u];
+  return Decision::send(target);
+}
+
+Payload RoundRobinGossip::make_payload(NodeId u, NodeId /*peer*/,
+                                       Round /*local_round*/) {
+  Payload p;
+  p.push_uid(min_seen_[u]);
+  return p;
+}
+
+void RoundRobinGossip::receive_payload(NodeId u, NodeId /*peer*/,
+                                       const Payload& payload,
+                                       Round /*local_round*/) {
+  MTM_REQUIRE(payload.uid_count() == 1);
+  const Uid incoming = payload.uid(0);
+  if (incoming < min_seen_[u]) {
+    if (incoming == global_min_) ++holders_;
+    min_seen_[u] = incoming;
+  }
+}
+
+bool RoundRobinGossip::stabilized() const { return holders_ == node_count_; }
+
+Uid RoundRobinGossip::leader_of(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return min_seen_[u];
+}
+
+}  // namespace mtm

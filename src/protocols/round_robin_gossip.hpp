@@ -1,0 +1,52 @@
+// Round-robin gossip leader election — a derandomization ablation of the
+// Section VI blind gossip algorithm.
+//
+// Blind gossip uses two layers of sender-side randomness: a fair coin to
+// choose send/receive and a uniform neighbor choice. This variant replaces
+// both with deterministic rules:
+//   * node u sends in round r iff (r + u) is even (parity alternation — a
+//     global coin-by-id; note that making ALL nodes send on the same parity
+//     would deadlock: a sender cannot accept, so no proposal could ever be
+//     received);
+//   * the proposal target cycles through the current neighbor list.
+// Receiver-side tie-breaking (which incoming proposal to accept) remains
+// uniform random — that choice belongs to the model, not the algorithm.
+//
+// Used by tests/benches to quantify what the randomization actually buys
+// (on symmetric graphs: little; on adversarial id placements: a lot,
+// since parity classes can starve specific edges).
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace mtm {
+
+class RoundRobinGossip final : public LeaderElectionProtocol {
+ public:
+  explicit RoundRobinGossip(std::vector<Uid> uids);
+
+  std::string name() const override { return "round-robin-gossip"; }
+  void init(NodeId node_count, std::span<Rng> node_rngs) override;
+  Tag advertise(NodeId u, Round local_round, Rng& rng) override;
+  Decision decide(NodeId u, Round local_round,
+                  std::span<const NeighborInfo> view, Rng& rng) override;
+  Payload make_payload(NodeId u, NodeId peer, Round local_round) override;
+  void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                       Round local_round) override;
+  bool stabilized() const override;
+
+  Uid leader_of(NodeId u) const override;
+  Uid target_leader() const noexcept { return global_min_; }
+
+ private:
+  std::vector<Uid> uids_;
+  std::vector<Uid> min_seen_;
+  std::vector<std::uint64_t> cursor_;  // round-robin position per node
+  Uid global_min_ = 0;
+  NodeId holders_ = 0;
+  NodeId node_count_ = 0;
+};
+
+}  // namespace mtm

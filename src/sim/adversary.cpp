@@ -1,0 +1,73 @@
+#include "sim/adversary.hpp"
+
+#include <queue>
+
+#include "core/assert.hpp"
+#include "graph/connectivity.hpp"
+
+namespace mtm {
+
+ConfinementAdversaryProvider::ConfinementAdversaryProvider(
+    Graph base, Round tau, std::uint64_t seed, StateOracle oracle,
+    NodeId anchor)
+    : base_(std::move(base)), tau_(tau), seed_(seed),
+      oracle_(std::move(oracle)) {
+  MTM_REQUIRE(tau_ >= 1);
+  MTM_REQUIRE(oracle_ != nullptr);
+  MTM_REQUIRE(anchor < base_.node_count());
+  MTM_REQUIRE_MSG(is_connected(base_), "base topology must be connected");
+
+  // Fixed BFS ordering of base-graph POSITIONS from the anchor: each prefix
+  // of this order is a connected region with near-minimal boundary.
+  order_.reserve(base_.node_count());
+  std::vector<bool> seen(base_.node_count(), false);
+  std::queue<NodeId> frontier;
+  seen[anchor] = true;
+  frontier.push(anchor);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    order_.push_back(u);
+    for (NodeId v : base_.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        frontier.push(v);
+      }
+    }
+  }
+  MTM_ENSURE(order_.size() == base_.node_count());
+}
+
+void ConfinementAdversaryProvider::rebuild(Round window) {
+  Rng rng(derive_seed(seed_, {0xadf5ULL, window}));
+  std::vector<NodeId> marked, unmarked;
+  marked.reserve(base_.node_count());
+  unmarked.reserve(base_.node_count());
+  for (NodeId u = 0; u < base_.node_count(); ++u) {
+    (oracle_(u) ? marked : unmarked).push_back(u);
+  }
+  // Shuffle within each class so the adversary stays maximally random where
+  // confinement does not constrain it (keeps trials statistically honest).
+  rng.shuffle(marked);
+  rng.shuffle(unmarked);
+  std::vector<NodeId> perm(base_.node_count());
+  for (std::size_t i = 0; i < marked.size(); ++i) {
+    perm[marked[i]] = order_[i];
+  }
+  for (std::size_t j = 0; j < unmarked.size(); ++j) {
+    perm[unmarked[j]] = order_[marked.size() + j];
+  }
+  current_ = std::make_unique<Graph>(relabel(base_, perm));
+  current_window_ = window;
+}
+
+const Graph& ConfinementAdversaryProvider::graph_at(Round r) {
+  MTM_REQUIRE(r >= 1);
+  const Round window = (r - 1) / tau_;
+  if (window != current_window_ || current_ == nullptr) {
+    rebuild(window);
+  }
+  return *current_;
+}
+
+}  // namespace mtm

@@ -1,0 +1,62 @@
+// Adaptive adversarial dynamics.
+//
+// The oblivious providers in dynamic_graph.hpp change the topology without
+// looking at protocol state; empirically such "random churn" MIXES the
+// network and often speeds algorithms up (see EXPERIMENTS.md, E4). The
+// paper's τ terms, however, quantify a WORST CASE over dynamic graphs — an
+// adversary that may pick each next topology knowing the execution so far.
+// This provider implements the classic confinement adversary:
+//
+//   Every τ rounds, relabel the base graph so that the nodes currently
+//   "marked" by a state oracle (e.g. the holders of the smallest UID)
+//   occupy a BFS-prefix of the base graph — a connected region whose
+//   boundary is as small as the base graph's expansion allows. The
+//   informed set is thereby perpetually bottled behind a minimal cut,
+//   pinning the per-window progress to ν(B(prefix)) ≈ α·|S| connections.
+//
+// The topology each round remains isomorphic to the base (same Δ, same α —
+// the parameters the bounds are stated in), and the provider honors the
+// τ-stability contract, so this is a legal dynamic graph for the model.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "sim/dynamic_graph.hpp"
+
+namespace mtm {
+
+class ConfinementAdversaryProvider final : public DynamicGraphProvider {
+ public:
+  /// Returns true when node u currently holds the value whose spread the
+  /// adversary wants to slow (protocol-specific; wired up by the caller).
+  using StateOracle = std::function<bool(NodeId)>;
+
+  /// `base` must be connected. `anchor` selects the BFS root defining the
+  /// confinement prefix (pick an end of the bottleneck, e.g. a leaf of the
+  /// first star of a star-line).
+  ConfinementAdversaryProvider(Graph base, Round tau, std::uint64_t seed,
+                               StateOracle oracle, NodeId anchor = 0);
+
+  const Graph& graph_at(Round r) override;
+  NodeId node_count() const override { return base_.node_count(); }
+  Round stability() const override { return tau_; }
+
+  /// The fixed BFS ordering used for confinement (for tests).
+  const std::vector<NodeId>& prefix_order() const noexcept { return order_; }
+
+ private:
+  void rebuild(Round window);
+
+  Graph base_;
+  Round tau_;
+  std::uint64_t seed_;
+  StateOracle oracle_;
+  std::vector<NodeId> order_;  // BFS order of base graph positions
+  Round current_window_ = ~Round{0};
+  std::unique_ptr<Graph> current_;
+};
+
+}  // namespace mtm

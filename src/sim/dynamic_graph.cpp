@@ -1,0 +1,90 @@
+#include "sim/dynamic_graph.hpp"
+
+#include "core/assert.hpp"
+#include "graph/connectivity.hpp"
+
+namespace mtm {
+
+namespace {
+Round window_of(Round r, Round tau) { return (r - 1) / tau; }
+}  // namespace
+
+StaticGraphProvider::StaticGraphProvider(Graph g) : graph_(std::move(g)) {
+  MTM_REQUIRE_MSG(is_connected(graph_),
+                  "mobile telephone model topologies must be connected");
+}
+
+const Graph& StaticGraphProvider::graph_at(Round r) {
+  MTM_REQUIRE(r >= 1);
+  return graph_;
+}
+
+SequenceGraphProvider::SequenceGraphProvider(std::vector<Graph> graphs,
+                                             Round tau)
+    : graphs_(std::move(graphs)), tau_(tau) {
+  MTM_REQUIRE(!graphs_.empty());
+  MTM_REQUIRE(tau_ >= 1);
+  for (const Graph& g : graphs_) {
+    MTM_REQUIRE(g.node_count() == graphs_.front().node_count());
+    MTM_REQUIRE_MSG(is_connected(g), "all sequence graphs must be connected");
+  }
+}
+
+const Graph& SequenceGraphProvider::graph_at(Round r) {
+  MTM_REQUIRE(r >= 1);
+  return graphs_[static_cast<std::size_t>(window_of(r, tau_) % graphs_.size())];
+}
+
+NodeId SequenceGraphProvider::node_count() const {
+  return graphs_.front().node_count();
+}
+
+RegeneratingGraphProvider::RegeneratingGraphProvider(Factory factory,
+                                                     Round tau,
+                                                     std::uint64_t seed)
+    : factory_(std::move(factory)), tau_(tau), seed_(seed) {
+  MTM_REQUIRE(factory_ != nullptr);
+  MTM_REQUIRE(tau_ >= 1);
+  ensure_window(0);
+}
+
+void RegeneratingGraphProvider::ensure_window(Round window) {
+  if (window == current_window_ && current_ != nullptr) return;
+  Rng rng(derive_seed(seed_, {0x746f706fULL /*"topo"*/, window}));
+  current_ = std::make_unique<Graph>(factory_(rng));
+  MTM_ENSURE_MSG(is_connected(*current_),
+                 "generated topology must be connected");
+  current_window_ = window;
+}
+
+const Graph& RegeneratingGraphProvider::graph_at(Round r) {
+  MTM_REQUIRE(r >= 1);
+  ensure_window(window_of(r, tau_));
+  return *current_;
+}
+
+NodeId RegeneratingGraphProvider::node_count() const {
+  MTM_ENSURE(current_ != nullptr);
+  return current_->node_count();
+}
+
+RelabelingGraphProvider::RelabelingGraphProvider(Graph base, Round tau,
+                                                 std::uint64_t seed)
+    : base_(std::move(base)), tau_(tau), seed_(seed) {
+  MTM_REQUIRE(tau_ >= 1);
+  MTM_REQUIRE_MSG(is_connected(base_), "base topology must be connected");
+}
+
+const Graph& RelabelingGraphProvider::graph_at(Round r) {
+  MTM_REQUIRE(r >= 1);
+  const Round window = window_of(r, tau_);
+  if (window != current_window_ || current_ == nullptr) {
+    Rng rng(derive_seed(seed_, {0x7065726dULL /*"perm"*/, window}));
+    const auto perm = rng.permutation(base_.node_count());
+    current_ = std::make_unique<Graph>(relabel(base_, perm));
+    current_window_ = window;
+  }
+  return *current_;
+}
+
+}  // namespace mtm

@@ -1,0 +1,112 @@
+// Dynamic topologies with a τ-stability contract (paper Sections II–III).
+//
+// A dynamic graph is a sequence G_1, G_2, ... of connected graphs over a
+// fixed node set; the stability factor τ requires at least τ rounds between
+// topology changes (τ = 1 allows a change every round). Providers implement
+// graph_at(r) and promise:
+//   * graph_at(r) is connected for every r >= 1;
+//   * graph_at is constant on windows of at least `stability()` rounds;
+//   * calls with non-decreasing r are O(1) amortized (the engine advances
+//     monotonically; random access may regenerate).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "graph/graph.hpp"
+#include "sim/model.hpp"
+
+namespace mtm {
+
+class DynamicGraphProvider {
+ public:
+  virtual ~DynamicGraphProvider() = default;
+
+  /// Topology during round r (r >= 1). Rounds must be requested in
+  /// non-decreasing order.
+  virtual const Graph& graph_at(Round r) = 0;
+
+  virtual NodeId node_count() const = 0;
+
+  /// The τ this provider guarantees (kInfiniteStability = never changes).
+  virtual Round stability() const = 0;
+
+  static constexpr Round kInfiniteStability = ~Round{0};
+};
+
+/// Fixed topology: τ = ∞.
+class StaticGraphProvider final : public DynamicGraphProvider {
+ public:
+  explicit StaticGraphProvider(Graph g);
+
+  const Graph& graph_at(Round r) override;
+  NodeId node_count() const override { return graph_.node_count(); }
+  Round stability() const override { return kInfiniteStability; }
+
+ private:
+  Graph graph_;
+};
+
+/// Cycles through an explicit list of graphs, switching every `tau` rounds:
+/// rounds [1, tau] use graphs[0], (tau, 2tau] use graphs[1], ... wrapping.
+/// All graphs must share the node count.
+class SequenceGraphProvider final : public DynamicGraphProvider {
+ public:
+  SequenceGraphProvider(std::vector<Graph> graphs, Round tau);
+
+  const Graph& graph_at(Round r) override;
+  NodeId node_count() const override;
+  Round stability() const override { return tau_; }
+
+ private:
+  std::vector<Graph> graphs_;
+  Round tau_;
+};
+
+/// Draws a fresh graph from a generator callback every `tau` rounds. The
+/// callback receives a per-window Rng derived from (seed, window index), so
+/// the schedule of topologies is deterministic and random access works.
+class RegeneratingGraphProvider final : public DynamicGraphProvider {
+ public:
+  using Factory = std::function<Graph(Rng&)>;
+
+  RegeneratingGraphProvider(Factory factory, Round tau, std::uint64_t seed);
+
+  const Graph& graph_at(Round r) override;
+  NodeId node_count() const override;
+  Round stability() const override { return tau_; }
+
+ private:
+  void ensure_window(Round window);
+
+  Factory factory_;
+  Round tau_;
+  std::uint64_t seed_;
+  Round current_window_ = ~Round{0};
+  std::unique_ptr<Graph> current_;
+};
+
+/// Applies a fresh uniformly random node relabeling to a base graph every
+/// `tau` rounds. The topology stays isomorphic to the base (same Δ and α —
+/// the parameters the paper's bounds depend on) while the *assignment* of
+/// nodes to positions changes adversarially: the harshest change rate the
+/// τ contract allows.
+class RelabelingGraphProvider final : public DynamicGraphProvider {
+ public:
+  RelabelingGraphProvider(Graph base, Round tau, std::uint64_t seed);
+
+  const Graph& graph_at(Round r) override;
+  NodeId node_count() const override { return base_.node_count(); }
+  Round stability() const override { return tau_; }
+
+ private:
+  Graph base_;
+  Round tau_;
+  std::uint64_t seed_;
+  Round current_window_ = ~Round{0};
+  std::unique_ptr<Graph> current_;
+};
+
+}  // namespace mtm

@@ -1,0 +1,163 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+Engine::Engine(DynamicGraphProvider& topology, Protocol& protocol,
+               EngineConfig config)
+    : topology_(topology),
+      protocol_(protocol),
+      config_(std::move(config)),
+      node_count_(topology.node_count()) {
+  MTM_REQUIRE(config_.tag_bits >= 0 && config_.tag_bits <= 63);
+  MTM_REQUIRE(config_.connection_failure_prob >= 0.0 &&
+              config_.connection_failure_prob < 1.0);
+  tag_limit_ = Tag{1} << config_.tag_bits;  // b = 0 -> only tag 0 is legal
+
+  if (config_.activation_rounds.empty()) {
+    activation_.assign(node_count_, 1);
+  } else {
+    MTM_REQUIRE_MSG(config_.activation_rounds.size() == node_count_,
+                    "activation_rounds must have one entry per node");
+    activation_ = config_.activation_rounds;
+    for (Round a : activation_) {
+      MTM_REQUIRE_MSG(a >= 1, "activation rounds start at 1");
+      all_active_round_ = std::max(all_active_round_, a);
+    }
+  }
+
+  node_rngs_ = make_node_streams(config_.seed, node_count_);
+  protocol_.init(node_count_, node_rngs_);
+
+  tags_.resize(node_count_);
+  decisions_.resize(node_count_);
+  incoming_.resize(node_count_);
+}
+
+bool Engine::node_active(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return round_ >= activation_[u];
+}
+
+void Engine::exchange(NodeId u, NodeId v, Round global_round) {
+  // Snapshot BOTH payloads before delivering either: the model's connection
+  // is an interactive exchange of current state, so neither endpoint may
+  // observe the other's post-delivery update (matters for protocols whose
+  // payload depends on mutable state, e.g. pairwise averaging).
+  Payload from_u = protocol_.make_payload(u, v, local_round(u, global_round));
+  Payload from_v = protocol_.make_payload(v, u, local_round(v, global_round));
+  telemetry_.count_payload_uids(from_u.uid_count());
+  telemetry_.count_payload_uids(from_v.uid_count());
+  protocol_.receive_payload(v, u, from_u, local_round(v, global_round));
+  protocol_.receive_payload(u, v, from_v, local_round(u, global_round));
+}
+
+void Engine::step() {
+  const Round r = ++round_;
+  const Graph& graph = topology_.graph_at(r);
+  MTM_ENSURE_MSG(graph.node_count() == node_count_,
+                 "topology node count changed mid-execution");
+
+  std::uint32_t active_count = 0;
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (active_in(u, r)) ++active_count;
+  }
+  telemetry_.begin_round(r, active_count, config_.record_rounds);
+
+  // 1. Advertise: each active node selects its b-bit tag for the round.
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (!active_in(u, r)) continue;
+    const Tag tag = protocol_.advertise(u, local_round(u, r), node_rngs_[u]);
+    MTM_ENSURE_MSG(tag < tag_limit_, "protocol advertised more than b bits");
+    tags_[u] = tag;
+  }
+
+  // 2 + 3. Scan and decide. Views contain only active neighbors: an
+  // unactivated device is not discoverable.
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (!active_in(u, r)) {
+      decisions_[u] = Decision::receive();
+      continue;
+    }
+    view_.clear();
+    for (NodeId v : graph.neighbors(u)) {
+      if (active_in(v, r)) view_.push_back(NeighborInfo{v, tags_[v]});
+    }
+    const Decision d =
+        protocol_.decide(u, local_round(u, r), view_, node_rngs_[u]);
+    if (d.is_send()) {
+      const bool in_view =
+          std::any_of(view_.begin(), view_.end(),
+                      [&d](const NeighborInfo& ni) { return ni.id == d.target; });
+      MTM_ENSURE_MSG(in_view, "proposal target must be an active neighbor");
+      telemetry_.count_proposal();
+    }
+    decisions_[u] = d;
+  }
+
+  // 4. Resolve proposals into connections.
+  for (auto& inbox : incoming_) inbox.clear();
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (active_in(u, r) && decisions_[u].is_send()) {
+      incoming_[decisions_[u].target].push_back(u);
+    }
+  }
+
+  if (config_.classical_mode) {
+    // Classical telephone model: every proposal connects, no participation
+    // bound. Exchange is still one bounded payload each way per connection.
+    for (NodeId v = 0; v < node_count_; ++v) {
+      for (NodeId u : incoming_[v]) {
+        telemetry_.count_connection();
+        if (config_.connection_failure_prob > 0.0 &&
+            node_rngs_[v].bernoulli(config_.connection_failure_prob)) {
+          telemetry_.count_failed_connection();
+          continue;
+        }
+        exchange(u, v, r);
+      }
+    }
+  } else {
+    // Mobile telephone model: a node that sent a proposal cannot accept one;
+    // a receiving node accepts one incoming proposal uniformly at random.
+    for (NodeId v = 0; v < node_count_; ++v) {
+      if (!active_in(v, r) || decisions_[v].is_send()) continue;
+      const auto& inbox = incoming_[v];
+      if (inbox.empty()) continue;
+      NodeId u = 0;
+      switch (config_.acceptance) {
+        case AcceptancePolicy::kUniformRandom:
+          u = inbox[static_cast<std::size_t>(
+              node_rngs_[v].uniform(inbox.size()))];
+          break;
+        case AcceptancePolicy::kSmallestId:
+          u = *std::min_element(inbox.begin(), inbox.end());
+          break;
+        case AcceptancePolicy::kLargestId:
+          u = *std::max_element(inbox.begin(), inbox.end());
+          break;
+      }
+      telemetry_.count_connection();
+      if (config_.connection_failure_prob > 0.0 &&
+          node_rngs_[v].bernoulli(config_.connection_failure_prob)) {
+        telemetry_.count_failed_connection();
+        continue;
+      }
+      exchange(u, v, r);
+    }
+  }
+
+  // 6. End-of-round hook.
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (active_in(u, r)) protocol_.finish_round(u, local_round(u, r));
+  }
+}
+
+void Engine::run_rounds(Round count) {
+  for (Round i = 0; i < count; ++i) step();
+}
+
+}  // namespace mtm

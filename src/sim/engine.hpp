@@ -1,0 +1,120 @@
+// The mobile telephone model round engine (paper Section III).
+//
+// One Engine::step() executes a full model round:
+//   1. advertise — each active node picks a b-bit tag (validated);
+//   2. scan      — each active node gets a view of its active neighbors'
+//                  ids and tags;
+//   3. decide    — each active node either sends one proposal (to a
+//                  neighbor in its view) or elects to receive;
+//   4. resolve   — each receiving node with incoming proposals accepts one
+//                  chosen uniformly at random (a node that sent a proposal
+//                  cannot accept one);
+//   5. exchange  — each connected pair trades one bounded payload each way;
+//   6. finish    — per-node end-of-round hook.
+//
+// Classical-telephone mode (paper Section I / related work) removes the
+// one-connection bound: every proposal connects, and a node may take part in
+// any number of connections in a round. It exists so benchmarks can compare
+// against the classical model the paper contrasts with.
+//
+// Asynchronous activation (paper Section VIII): a node with activation round
+// a_u is invisible before round a_u (not scanned, cannot act); its protocol
+// callbacks receive the node-local round r - a_u + 1.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "sim/dynamic_graph.hpp"
+#include "sim/protocol.hpp"
+#include "sim/telemetry.hpp"
+
+namespace mtm {
+
+/// How a receiving node selects among incoming proposals. The paper
+/// (Section III) notes "there are different ways to model how v selects a
+/// proposal to accept" and adopts uniform randomness "for simplicity";
+/// the alternatives let experiments probe how much the analyses depend on
+/// that choice (the Section VI good-edge argument needs the uniform case).
+enum class AcceptancePolicy {
+  kUniformRandom,  ///< the paper's model (default)
+  kSmallestId,     ///< deterministic: lowest-id proposer wins
+  kLargestId,      ///< deterministic: highest-id proposer wins
+};
+
+struct EngineConfig {
+  /// Tag length b >= 0 (paper Section III). Tags are validated to fit.
+  int tag_bits = 0;
+  /// Classical telephone model: unbounded accepts, senders may also receive.
+  bool classical_mode = false;
+  /// Master seed; all node streams derive deterministically from it.
+  std::uint64_t seed = 1;
+  /// Per-node activation rounds (>= 1). Empty means "all activate in
+  /// round 1" (the synchronized-start setting of Sections VI–VII).
+  std::vector<Round> activation_rounds;
+  /// Record per-round telemetry (costs memory on long runs).
+  bool record_rounds = false;
+  /// Failure injection: probability that an ESTABLISHED connection drops
+  /// before any payload is exchanged (models flaky radio links; the real
+  /// services the model abstracts — Multipeer Connectivity et al. — lose
+  /// connections routinely). Both endpoints simply see a wasted round.
+  /// The paper's algorithms are monotone, so they tolerate any p < 1;
+  /// failure-injection tests and benches quantify the slowdown.
+  double connection_failure_prob = 0.0;
+  /// Receiver-side proposal selection (see AcceptancePolicy).
+  AcceptancePolicy acceptance = AcceptancePolicy::kUniformRandom;
+};
+
+class Engine {
+ public:
+  /// Engine keeps references to `topology` and `protocol`; both must outlive
+  /// it. Calls protocol.init() with per-node RNG streams.
+  Engine(DynamicGraphProvider& topology, Protocol& protocol,
+         EngineConfig config);
+
+  /// Executes one round of the model.
+  void step();
+
+  /// Runs `count` additional rounds.
+  void run_rounds(Round count);
+
+  Round rounds_executed() const noexcept { return round_; }
+  NodeId node_count() const noexcept { return node_count_; }
+  const EngineConfig& config() const noexcept { return config_; }
+  const Telemetry& telemetry() const noexcept { return telemetry_; }
+  Protocol& protocol() noexcept { return protocol_; }
+
+  /// True if node u has activated by the *last executed* round.
+  bool node_active(NodeId u) const;
+
+  /// The round in which every node is active (max activation round).
+  Round all_active_round() const noexcept { return all_active_round_; }
+
+ private:
+  bool active_in(NodeId u, Round r) const {
+    return r >= activation_[u];
+  }
+  Round local_round(NodeId u, Round r) const {
+    return r - activation_[u] + 1;
+  }
+  void exchange(NodeId u, NodeId v, Round global_round);
+
+  DynamicGraphProvider& topology_;
+  Protocol& protocol_;
+  EngineConfig config_;
+  NodeId node_count_;
+  Round round_ = 0;
+  Round all_active_round_ = 1;
+  Tag tag_limit_;  // 2^b (0 means only tag 0 is legal... see ctor)
+  std::vector<Round> activation_;
+  std::vector<Rng> node_rngs_;
+  Telemetry telemetry_;
+
+  // Per-round scratch, reused across steps to avoid allocation churn.
+  std::vector<Tag> tags_;
+  std::vector<Decision> decisions_;
+  std::vector<std::vector<NodeId>> incoming_;
+  std::vector<NeighborInfo> view_;
+};
+
+}  // namespace mtm

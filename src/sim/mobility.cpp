@@ -1,0 +1,116 @@
+#include "sim/mobility.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/assert.hpp"
+#include "graph/connectivity.hpp"
+
+namespace mtm {
+
+MobilityGraphProvider::MobilityGraphProvider(const MobilityConfig& config)
+    : config_(config), rng_(derive_seed(config.seed, {0x6d6f6265ULL /*"mobe"*/})) {
+  MTM_REQUIRE(config_.node_count >= 2);
+  MTM_REQUIRE(config_.radius > 0.0 && config_.radius <= 1.5);
+  MTM_REQUIRE(config_.speed >= 0.0);
+  MTM_REQUIRE(config_.tau >= 1);
+  x_.resize(config_.node_count);
+  y_.resize(config_.node_count);
+  wx_.resize(config_.node_count);
+  wy_.resize(config_.node_count);
+  for (NodeId u = 0; u < config_.node_count; ++u) {
+    x_[u] = rng_.uniform_double();
+    y_[u] = rng_.uniform_double();
+    wx_[u] = rng_.uniform_double();
+    wy_[u] = rng_.uniform_double();
+  }
+  advance_window(0);
+}
+
+void MobilityGraphProvider::advance_window(Round window) {
+  MTM_REQUIRE_MSG(current_window_ == ~Round{0} || window >= current_window_,
+                  "mobility provider requires non-decreasing rounds");
+  if (current_ != nullptr && window == current_window_) return;
+  if (current_ == nullptr && window == 0) {
+    current_ = std::make_unique<Graph>(build_graph());
+    current_window_ = 0;
+    return;
+  }
+  while (current_window_ < window) {
+    // Move each node `speed` toward its waypoint; pick a new waypoint on
+    // arrival (standard random-waypoint model).
+    for (NodeId u = 0; u < config_.node_count; ++u) {
+      const double dx = wx_[u] - x_[u];
+      const double dy = wy_[u] - y_[u];
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      if (dist <= config_.speed) {
+        x_[u] = wx_[u];
+        y_[u] = wy_[u];
+        wx_[u] = rng_.uniform_double();
+        wy_[u] = rng_.uniform_double();
+      } else if (dist > 0.0) {
+        x_[u] += config_.speed * dx / dist;
+        y_[u] += config_.speed * dy / dist;
+      }
+    }
+    ++current_window_;
+  }
+  current_ = std::make_unique<Graph>(build_graph());
+}
+
+Graph MobilityGraphProvider::build_graph() {
+  const NodeId n = config_.node_count;
+  const double r2 = config_.radius * config_.radius;
+  std::vector<Edge> edges;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      const double dx = x_[a] - x_[b];
+      const double dy = y_[a] - y_[b];
+      if (dx * dx + dy * dy <= r2) edges.push_back({a, b});
+    }
+  }
+  Graph disk(n, edges);
+  const Components comps = connected_components(disk);
+  repair_edges_ = 0;
+  if (comps.count == 1) return disk;
+
+  // Repair: link each component (after the first) to the nearest node in an
+  // already-linked component. Greedy by component id; adds comps.count - 1
+  // edges total.
+  std::vector<bool> linked(n, false);
+  for (NodeId u = 0; u < n; ++u) linked[u] = comps.label[u] == 0;
+  for (NodeId c = 1; c < comps.count; ++c) {
+    double best = std::numeric_limits<double>::infinity();
+    NodeId best_in = 0, best_out = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (comps.label[u] != c) continue;
+      for (NodeId v = 0; v < n; ++v) {
+        if (!linked[v]) continue;
+        const double dx = x_[u] - x_[v];
+        const double dy = y_[u] - y_[v];
+        const double d2 = dx * dx + dy * dy;
+        if (d2 < best) {
+          best = d2;
+          best_in = u;
+          best_out = v;
+        }
+      }
+    }
+    edges.push_back({std::min(best_in, best_out), std::max(best_in, best_out)});
+    ++repair_edges_;
+    for (NodeId u = 0; u < n; ++u) {
+      if (comps.label[u] == c) linked[u] = true;
+    }
+  }
+  Graph repaired(n, std::move(edges));
+  MTM_ENSURE(is_connected(repaired));
+  return repaired;
+}
+
+const Graph& MobilityGraphProvider::graph_at(Round r) {
+  MTM_REQUIRE(r >= 1);
+  advance_window((r - 1) / config_.tau);
+  return *current_;
+}
+
+}  // namespace mtm

@@ -1,0 +1,62 @@
+// Random-waypoint mobility topology provider.
+//
+// The paper motivates the mobile telephone model with smartphones moving
+// through physical space (crowds, protests, disaster areas) but has no
+// testbed; this provider is the synthetic substitute (see DESIGN.md,
+// substitution 2). Each node is a point in the unit square walking toward a
+// random waypoint; two nodes are adjacent when within `radius`. The geometry
+// advances and the graph is recomputed every `tau` rounds, honoring the
+// τ-stability contract. Because the model requires connectivity, components
+// are repaired by adding one edge between each component and its nearest
+// other component (documented deviation from a pure disk graph; adds at most
+// one edge per extra component).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "sim/dynamic_graph.hpp"
+
+namespace mtm {
+
+struct MobilityConfig {
+  NodeId node_count = 0;
+  /// Connection radius in the unit square.
+  double radius = 0.1;
+  /// Distance a node moves per topology window (per tau rounds).
+  double speed = 0.02;
+  /// Topology recompute interval (the τ of the produced dynamic graph).
+  Round tau = 1;
+  std::uint64_t seed = 1;
+};
+
+class MobilityGraphProvider final : public DynamicGraphProvider {
+ public:
+  explicit MobilityGraphProvider(const MobilityConfig& config);
+
+  const Graph& graph_at(Round r) override;
+  NodeId node_count() const override { return config_.node_count; }
+  Round stability() const override { return config_.tau; }
+
+  /// Positions backing the current graph (x, y pairs); for visualization.
+  const std::vector<double>& xs() const noexcept { return x_; }
+  const std::vector<double>& ys() const noexcept { return y_; }
+
+  /// Number of repair edges added to the current graph to restore
+  /// connectivity (0 when the disk graph was already connected).
+  std::uint32_t repair_edges() const noexcept { return repair_edges_; }
+
+ private:
+  void advance_window(Round window);
+  Graph build_graph();
+
+  MobilityConfig config_;
+  Rng rng_;
+  Round current_window_ = ~Round{0};
+  std::unique_ptr<Graph> current_;
+  std::uint32_t repair_edges_ = 0;
+  std::vector<double> x_, y_;
+  std::vector<double> wx_, wy_;  // waypoints
+};
+
+}  // namespace mtm

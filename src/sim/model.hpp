@@ -1,0 +1,122 @@
+// Core value types of the mobile telephone model (paper Section III–IV).
+//
+//  * Nodes are vertices of the (possibly dynamic) topology graph.
+//  * Each round a node may advertise a b-bit tag, then either send one
+//    connection proposal or receive at most one.
+//  * A connection carries a bounded payload: at most O(1) UIDs plus
+//    O(polylog N) extra bits (paper Section IV). Payload enforces the caps.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/assert.hpp"
+#include "graph/graph.hpp"
+
+namespace mtm {
+
+using Uid = std::uint64_t;
+using Tag = std::uint64_t;
+using Round = std::uint64_t;
+
+/// What a scanning node learns about one neighbor at the start of a round:
+/// its id and its advertised b-bit tag (paper Section III).
+struct NeighborInfo {
+  NodeId id;
+  Tag tag;
+};
+
+/// A node's per-round choice: receive proposals, or send one to `target`.
+struct Decision {
+  enum class Kind : std::uint8_t { kReceive, kSend };
+
+  Kind kind = Kind::kReceive;
+  NodeId target = 0;  // meaningful only when kind == kSend
+
+  static Decision receive() { return Decision{}; }
+  static Decision send(NodeId target) {
+    return Decision{Kind::kSend, target};
+  }
+  bool is_send() const noexcept { return kind == Kind::kSend; }
+};
+
+/// The bounded per-connection message (paper Section IV: "a pair of
+/// connected nodes can exchange at most O(1) UIDs and O(polylog(N))
+/// additional bits"). We fix the constants at 2 UIDs and 128 extra bits,
+/// which is enough for every protocol in the paper (an ID pair is one UID
+/// plus a k = O(log N)-bit tag).
+class Payload {
+ public:
+  static constexpr std::size_t kMaxUids = 2;
+  static constexpr int kMaxExtraBits = 128;
+
+  void push_uid(Uid uid) {
+    MTM_REQUIRE_MSG(uid_count_ < kMaxUids, "payload UID cap exceeded");
+    uids_[uid_count_++] = uid;
+  }
+
+  /// Appends `bits` (1..64) low-order bits of `value`.
+  void push_bits(std::uint64_t value, int bits) {
+    MTM_REQUIRE(bits >= 1 && bits <= 64);
+    MTM_REQUIRE_MSG(extra_bit_count_ + bits <= kMaxExtraBits,
+                    "payload bit cap exceeded");
+    if (bits < 64) {
+      MTM_REQUIRE_MSG(value < (std::uint64_t{1} << bits),
+                      "value wider than declared bit count");
+    }
+    // Append across the two 64-bit words.
+    int offset = extra_bit_count_;
+    for (int i = 0; i < bits; ++i, ++offset) {
+      if ((value >> i) & 1u) {
+        extra_[static_cast<std::size_t>(offset / 64)] |=
+            std::uint64_t{1} << (offset % 64);
+      }
+    }
+    extra_bit_count_ += bits;
+  }
+
+  std::size_t uid_count() const noexcept { return uid_count_; }
+  Uid uid(std::size_t i) const {
+    MTM_REQUIRE(i < uid_count_);
+    return uids_[i];
+  }
+
+  int extra_bit_count() const noexcept { return extra_bit_count_; }
+
+  /// Reads `bits` bits starting at bit `offset` of the extra-bit stream.
+  std::uint64_t read_bits(int offset, int bits) const {
+    MTM_REQUIRE(bits >= 1 && bits <= 64);
+    MTM_REQUIRE(offset >= 0 && offset + bits <= extra_bit_count_);
+    std::uint64_t value = 0;
+    for (int i = 0; i < bits; ++i) {
+      const int pos = offset + i;
+      const std::uint64_t bit =
+          (extra_[static_cast<std::size_t>(pos / 64)] >> (pos % 64)) & 1u;
+      value |= bit << i;
+    }
+    return value;
+  }
+
+ private:
+  std::array<Uid, kMaxUids> uids_{};
+  std::size_t uid_count_ = 0;
+  std::array<std::uint64_t, 2> extra_{};
+  int extra_bit_count_ = 0;
+};
+
+/// An (UID, ID-tag) pair as used by the bit convergence algorithms (paper
+/// Section VII). Ordered by tag first, UID as tiebreak: "If a node u has
+/// received more than one ID pair with the same smallest tag, it can break
+/// ties with the ordering on the UID element."
+struct IdPair {
+  Uid uid = 0;
+  Tag tag = 0;
+
+  friend bool operator==(const IdPair&, const IdPair&) = default;
+  friend bool operator<(const IdPair& a, const IdPair& b) {
+    if (a.tag != b.tag) return a.tag < b.tag;
+    return a.uid < b.uid;
+  }
+};
+
+}  // namespace mtm

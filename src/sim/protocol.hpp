@@ -1,0 +1,75 @@
+// The protocol interface: how a distributed algorithm plugs into the engine.
+//
+// The engine owns global mechanics (topology, proposal resolution, payload
+// delivery, activation); a Protocol owns all per-node algorithm state and is
+// invoked with (node id, node-local round number, node-local RNG). The
+// node-local round counts from the node's activation (paper Section VIII);
+// under synchronized starts it equals the global round.
+//
+// Determinism contract: protocol randomness must come only from the Rng
+// passed in, so a trial replays identically from its seed.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/rng.hpp"
+#include "sim/model.hpp"
+
+namespace mtm {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Algorithm name for reports.
+  virtual std::string name() const = 0;
+
+  /// Called once by the engine before the first round. `node_rngs` has one
+  /// decorrelated stream per node for initial private choices (e.g. the bit
+  /// convergence ID tags).
+  virtual void init(NodeId node_count, std::span<Rng> node_rngs) = 0;
+
+  /// The b-bit tag node u advertises this round (must fit the engine's tag
+  /// width; return 0 when b = 0). `local_round` starts at 1 on activation.
+  virtual Tag advertise(NodeId u, Round local_round, Rng& rng) = 0;
+
+  /// u's proposal decision given its scan of the neighborhood (`view` lists
+  /// currently active neighbors with their tags). A kSend target must be one
+  /// of the listed neighbors.
+  virtual Decision decide(NodeId u, Round local_round,
+                          std::span<const NeighborInfo> view, Rng& rng) = 0;
+
+  /// Payload u sends to `peer` over an established connection.
+  virtual Payload make_payload(NodeId u, NodeId peer, Round local_round) = 0;
+
+  /// Delivery of the peer's payload on an established connection.
+  virtual void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                               Round local_round) = 0;
+
+  /// End-of-round hook (default: nothing).
+  virtual void finish_round(NodeId /*u*/, Round /*local_round*/) {}
+
+  /// True when the protocol has reached a state from which its output can
+  /// never change again (all leaders unanimous and final, or rumor fully
+  /// spread). The runner polls this to find the stabilization round.
+  virtual bool stabilized() const = 0;
+};
+
+/// Extension interface for leader election algorithms (paper Section IV):
+/// exposes each node's `leader` variable for measurement and assertions.
+class LeaderElectionProtocol : public Protocol {
+ public:
+  /// Current value of node u's `leader` variable (a UID).
+  virtual Uid leader_of(NodeId u) const = 0;
+};
+
+/// Extension interface for rumor spreading algorithms (paper Section V).
+class RumorProtocol : public Protocol {
+ public:
+  virtual bool informed(NodeId u) const = 0;
+  /// Number of informed nodes (for per-round progress probes).
+  virtual NodeId informed_count() const = 0;
+};
+
+}  // namespace mtm

@@ -1,0 +1,60 @@
+#include "sim/runner.hpp"
+
+#include "core/assert.hpp"
+#include "core/thread_pool.hpp"
+
+namespace mtm {
+
+RunResult run_until_stabilized(
+    Engine& engine, Round max_rounds,
+    const std::function<void(const Engine&)>& per_round) {
+  MTM_REQUIRE(max_rounds >= 1);
+  RunResult result;
+  if (engine.protocol().stabilized()) {
+    // Trivial instance (e.g. n == 1): already stable before any round.
+    result.converged = true;
+    return result;
+  }
+  while (engine.rounds_executed() < max_rounds) {
+    engine.step();
+    if (per_round) per_round(engine);
+    if (engine.protocol().stabilized()) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.rounds = engine.rounds_executed();
+  const Round all_active = engine.all_active_round();
+  result.rounds_after_last_activation =
+      result.rounds >= all_active ? result.rounds - all_active + 1 : 0;
+  result.connections = engine.telemetry().connections();
+  result.proposals = engine.telemetry().proposals();
+  return result;
+}
+
+std::vector<RunResult> run_trials(const TrialSpec& spec,
+                                  const TrialBody& body) {
+  MTM_REQUIRE(spec.trials >= 1);
+  MTM_REQUIRE(spec.threads >= 1);
+  std::vector<RunResult> results(spec.trials);
+  parallel_for(spec.threads, spec.trials, [&](std::size_t trial) {
+    const std::uint64_t trial_seed =
+        derive_seed(spec.seed, {0x747269616cULL /*"trial"*/, trial});
+    results[trial] = body(trial_seed);
+  });
+  return results;
+}
+
+std::vector<double> rounds_of(const std::vector<RunResult>& results) {
+  std::vector<double> rounds;
+  rounds.reserve(results.size());
+  for (const RunResult& r : results) {
+    MTM_REQUIRE_MSG(r.converged,
+                    "trial did not converge within max_rounds; "
+                    "raise the cap for this experiment");
+    rounds.push_back(static_cast<double>(r.rounds));
+  }
+  return rounds;
+}
+
+}  // namespace mtm

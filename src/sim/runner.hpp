@@ -1,0 +1,58 @@
+// Trial runner: executes an engine until the protocol stabilizes.
+//
+// The paper measures the round by which the system has stabilized with high
+// probability (Section IV). All protocols in this library are monotone, so
+// Protocol::stabilized() flipping to true is permanent and the first true
+// round is the stabilization round.
+#pragma once
+
+#include <functional>
+
+#include "sim/engine.hpp"
+
+namespace mtm {
+
+struct RunResult {
+  /// First round at the end of which the protocol reported stabilized().
+  /// Equal to `rounds_executed` when converged.
+  Round rounds = 0;
+  bool converged = false;
+  /// Rounds counted from the last activation (== rounds under synchronized
+  /// starts). This is the Section VIII measurement convention.
+  Round rounds_after_last_activation = 0;
+  /// Communication cost up to stabilization: established connections and
+  /// sent proposals (from the engine's telemetry). Time (rounds) and
+  /// messages (connections) are different costs — e.g. bit convergence
+  /// spends fewer rounds than blind gossip on bottleneck graphs but makes
+  /// fewer productive connections per round.
+  std::uint64_t connections = 0;
+  std::uint64_t proposals = 0;
+};
+
+/// Steps `engine` until stabilized() or `max_rounds` rounds have run.
+/// `per_round` (optional) observes the engine after each step.
+RunResult run_until_stabilized(
+    Engine& engine, Round max_rounds,
+    const std::function<void(const Engine&)>& per_round = {});
+
+/// Convenience for Monte-Carlo experiments: builds topology + protocol via
+/// the factory pair per trial, runs to stabilization, and returns one
+/// RunResult per trial. Trials are independent and deterministic in
+/// (seed, trial index); they run in parallel on `threads` threads.
+struct TrialSpec {
+  Round max_rounds = 0;
+  std::size_t trials = 1;
+  std::uint64_t seed = 1;
+  std::size_t threads = 1;
+};
+
+using TrialBody = std::function<RunResult(std::uint64_t trial_seed)>;
+
+std::vector<RunResult> run_trials(const TrialSpec& spec, const TrialBody& body);
+
+/// Extracts the rounds of converged trials as doubles; throws if any trial
+/// failed to converge (callers size max_rounds generously instead of
+/// silently dropping censored samples).
+std::vector<double> rounds_of(const std::vector<RunResult>& results);
+
+}  // namespace mtm

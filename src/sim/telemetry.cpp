@@ -1,0 +1,44 @@
+#include "sim/telemetry.hpp"
+
+namespace mtm {
+
+void Telemetry::begin_round(Round r, std::uint32_t active_nodes, bool record) {
+  rounds_ = r;
+  if (record) {
+    per_round_.push_back(RoundStats{r, active_nodes, 0, 0});
+  }
+}
+
+void Telemetry::count_proposal() {
+  ++proposals_;
+  if (!per_round_.empty() && per_round_.back().round == rounds_) {
+    ++per_round_.back().proposals;
+  }
+}
+
+void Telemetry::count_connection() {
+  ++connections_;
+  if (!per_round_.empty() && per_round_.back().round == rounds_) {
+    ++per_round_.back().connections;
+  }
+}
+
+void Telemetry::count_failed_connection() { ++failed_connections_; }
+
+void Telemetry::count_payload_uids(std::size_t uids) {
+  payload_uids_ += uids;
+}
+
+double Telemetry::connections_per_round() const noexcept {
+  return rounds_ == 0
+             ? 0.0
+             : static_cast<double>(connections_) / static_cast<double>(rounds_);
+}
+
+double Telemetry::proposal_success_rate() const noexcept {
+  return proposals_ == 0 ? 0.0
+                         : static_cast<double>(connections_) /
+                               static_cast<double>(proposals_);
+}
+
+}  // namespace mtm

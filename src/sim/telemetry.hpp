@@ -1,0 +1,58 @@
+// Execution counters collected by the engine.
+//
+// Counts are totals across the whole execution; optional per-round records
+// (enabled via EngineConfig::record_rounds) feed example visualizations and
+// tests of engine behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/model.hpp"
+
+namespace mtm {
+
+/// Per-round record (only stored when enabled).
+struct RoundStats {
+  Round round = 0;
+  std::uint32_t active_nodes = 0;
+  std::uint32_t proposals = 0;
+  std::uint32_t connections = 0;
+};
+
+class Telemetry {
+ public:
+  void begin_round(Round r, std::uint32_t active_nodes, bool record);
+  void count_proposal();
+  void count_connection();
+  void count_failed_connection();
+  void count_payload_uids(std::size_t uids);
+
+  Round rounds() const noexcept { return rounds_; }
+  std::uint64_t proposals() const noexcept { return proposals_; }
+  std::uint64_t connections() const noexcept { return connections_; }
+  /// Connections dropped by failure injection (subset of connections()).
+  std::uint64_t failed_connections() const noexcept {
+    return failed_connections_;
+  }
+  std::uint64_t payload_uids() const noexcept { return payload_uids_; }
+
+  /// Mean connections per executed round.
+  double connections_per_round() const noexcept;
+  /// Fraction of proposals that became connections.
+  double proposal_success_rate() const noexcept;
+
+  const std::vector<RoundStats>& per_round() const noexcept {
+    return per_round_;
+  }
+
+ private:
+  Round rounds_ = 0;
+  std::uint64_t proposals_ = 0;
+  std::uint64_t connections_ = 0;
+  std::uint64_t failed_connections_ = 0;
+  std::uint64_t payload_uids_ = 0;
+  std::vector<RoundStats> per_round_;
+};
+
+}  // namespace mtm

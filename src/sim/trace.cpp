@@ -1,0 +1,66 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+ProgressTrace::ProgressTrace(std::vector<TraceColumn> columns)
+    : columns_(std::move(columns)), data_(columns_.size()) {
+  MTM_REQUIRE(!columns_.empty());
+  for (const TraceColumn& c : columns_) {
+    MTM_REQUIRE_MSG(c.probe != nullptr, "trace column needs a probe");
+    MTM_REQUIRE_MSG(!c.name.empty(), "trace column needs a name");
+  }
+}
+
+void ProgressTrace::sample(const Engine& engine) {
+  rounds_.push_back(engine.rounds_executed());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    data_[c].push_back(columns_[c].probe(engine));
+  }
+}
+
+const std::vector<double>& ProgressTrace::column(std::size_t c) const {
+  MTM_REQUIRE(c < data_.size());
+  return data_[c];
+}
+
+std::string ProgressTrace::to_csv() const {
+  std::ostringstream os;
+  os << "round";
+  for (const TraceColumn& c : columns_) os << ',' << c.name;
+  os << '\n';
+  for (std::size_t row = 0; row < rounds_.size(); ++row) {
+    os << rounds_[row];
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << ',' << data_[c][row];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void ProgressTrace::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  out << to_csv();
+  if (!out) throw std::runtime_error("trace write failed: " + path);
+}
+
+TraceColumn ProgressTrace::connections_total() {
+  return {"connections", [](const Engine& e) {
+            return static_cast<double>(e.telemetry().connections());
+          }};
+}
+
+TraceColumn ProgressTrace::proposals_total() {
+  return {"proposals", [](const Engine& e) {
+            return static_cast<double>(e.telemetry().proposals());
+          }};
+}
+
+}  // namespace mtm

@@ -1,0 +1,48 @@
+// Progress traces: per-round scalar series recorded during an execution
+// (informed counts, leader-agreement counts, connection totals) with CSV
+// output — the raw material for the examples' spread curves.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace mtm {
+
+/// One named scalar probed after every round.
+struct TraceColumn {
+  std::string name;
+  std::function<double(const Engine&)> probe;
+};
+
+class ProgressTrace {
+ public:
+  explicit ProgressTrace(std::vector<TraceColumn> columns);
+
+  /// Samples every column; pass as (or call from) the runner's per-round
+  /// callback.
+  void sample(const Engine& engine);
+
+  std::size_t row_count() const noexcept { return rounds_.size(); }
+  const std::vector<Round>& rounds() const noexcept { return rounds_; }
+  /// Values of column c (by declaration order).
+  const std::vector<double>& column(std::size_t c) const;
+
+  /// CSV with a `round` column followed by the declared columns.
+  std::string to_csv() const;
+  /// Writes CSV to a file; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  /// Built-in probes.
+  static TraceColumn connections_total();
+  static TraceColumn proposals_total();
+
+ private:
+  std::vector<TraceColumn> columns_;
+  std::vector<Round> rounds_;
+  std::vector<std::vector<double>> data_;  // data_[c][row]
+};
+
+}  // namespace mtm

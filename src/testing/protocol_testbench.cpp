@@ -1,0 +1,114 @@
+#include "testing/protocol_testbench.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "core/assert.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm::testing {
+
+namespace {
+
+/// Runs one trial to stabilization; returns (converged, rounds).
+std::pair<bool, Round> run_once(const ProtocolFactory& protocol,
+                                const ProviderFactory& topology,
+                                const TestbenchOptions& options,
+                                std::uint64_t seed,
+                                Round extra_soak = 0,
+                                bool* stayed_stable = nullptr) {
+  auto topo = topology(seed);
+  auto proto = protocol(seed);
+  MTM_REQUIRE(topo != nullptr && proto != nullptr);
+  EngineConfig cfg;
+  cfg.tag_bits = options.tag_bits;
+  cfg.classical_mode = options.classical_mode;
+  cfg.seed = seed;
+  Engine engine(*topo, *proto, cfg);
+  const RunResult result = run_until_stabilized(engine, options.max_rounds);
+  if (result.converged && extra_soak > 0) {
+    bool stable = true;
+    for (Round i = 0; i < extra_soak; ++i) {
+      engine.step();
+      stable = stable && proto->stabilized();
+    }
+    if (stayed_stable != nullptr) *stayed_stable = stable;
+  } else if (stayed_stable != nullptr) {
+    *stayed_stable = result.converged;
+  }
+  return {result.converged, result.rounds};
+}
+
+}  // namespace
+
+std::vector<TestbenchFailure> run_protocol_battery(
+    const ProtocolFactory& protocol, const ProviderFactory& topology,
+    const TestbenchOptions& options) {
+  MTM_REQUIRE(protocol != nullptr && topology != nullptr);
+  MTM_REQUIRE(options.seeds >= 2);
+  std::vector<TestbenchFailure> failures;
+
+  // 1 + 2: convergence and post-stabilization stability per seed.
+  std::vector<Round> rounds;
+  for (std::size_t s = 0; s < options.seeds; ++s) {
+    const std::uint64_t seed = derive_seed(options.base_seed, {s});
+    bool stayed = false;
+    const auto [converged, r] =
+        run_once(protocol, topology, options, seed,
+                 options.stability_extra_rounds, &stayed);
+    if (!converged) {
+      std::ostringstream os;
+      os << "seed " << seed << " did not stabilize within "
+         << options.max_rounds << " rounds";
+      failures.push_back({"convergence", os.str()});
+      continue;
+    }
+    rounds.push_back(r);
+    if (!stayed) {
+      std::ostringstream os;
+      os << "seed " << seed << ": stabilized() regressed to false during the "
+         << options.stability_extra_rounds << "-round soak — stabilization "
+         << "must be monotone (the runner and all measurements assume it)";
+      failures.push_back({"stability", os.str()});
+    }
+  }
+
+  // 3: determinism — replay the first seed.
+  if (!rounds.empty()) {
+    const std::uint64_t seed = derive_seed(options.base_seed, {0});
+    const auto [converged, replay] =
+        run_once(protocol, topology, options, seed);
+    if (!converged || replay != rounds.front()) {
+      std::ostringstream os;
+      os << "seed " << seed << " replayed to " << replay << " rounds vs "
+         << rounds.front() << " — protocol randomness must come only from "
+         << "the provided Rngs";
+      failures.push_back({"determinism", os.str()});
+    }
+  }
+
+  // 4: seed variation — at least two distinct outcomes across seeds.
+  if (rounds.size() == options.seeds) {
+    const std::set<Round> distinct(rounds.begin(), rounds.end());
+    if (distinct.size() < 2) {
+      std::ostringstream os;
+      os << "all " << options.seeds << " seeds stabilized in exactly "
+         << rounds.front() << " rounds — the protocol may be ignoring its "
+         << "Rngs (expected for fully deterministic protocols; otherwise "
+         << "investigate)";
+      failures.push_back({"seed-variation", os.str()});
+    }
+  }
+
+  return failures;
+}
+
+std::string format_failures(const std::vector<TestbenchFailure>& failures) {
+  std::ostringstream os;
+  for (const TestbenchFailure& f : failures) {
+    os << "[" << f.check << "] " << f.diagnostic << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mtm::testing

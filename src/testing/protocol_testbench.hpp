@@ -1,0 +1,64 @@
+// Protocol testbench — a reusable validation battery for protocol authors.
+//
+// Anyone implementing a new Protocol against sim/protocol.hpp should run
+// this battery before trusting experiment output. Checks are framework
+// agnostic (they return diagnostics rather than asserting), so they work
+// under gtest, a fuzzer driver, or a quick main(). The library's own
+// protocols pass the full battery (tests/testing/test_protocol_testbench).
+//
+// Checks:
+//   * convergence    — stabilized() becomes true within a round budget on
+//                      the given topology, across several seeds;
+//   * stability      — once stabilized() is true it STAYS true while the
+//                      engine keeps stepping (monotone stabilization, the
+//                      runner's core assumption);
+//   * determinism    — identical seeds produce identical stabilization
+//                      rounds (catches randomness outside the provided
+//                      Rngs: globals, time, uninitialized state);
+//   * seed variation — different seeds produce at least two distinct
+//                      stabilization rounds (catches protocols that ignore
+//                      the Rngs entirely; skipped when the topology is so
+//                      small that all seeds legitimately coincide).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/dynamic_graph.hpp"
+#include "sim/protocol.hpp"
+
+namespace mtm::testing {
+
+/// Builds a fresh protocol instance for one trial.
+using ProtocolFactory =
+    std::function<std::unique_ptr<Protocol>(std::uint64_t seed)>;
+/// Builds a fresh topology provider for one trial.
+using ProviderFactory =
+    std::function<std::unique_ptr<DynamicGraphProvider>(std::uint64_t seed)>;
+
+struct TestbenchOptions {
+  int tag_bits = 0;          ///< EngineConfig::tag_bits for this protocol
+  bool classical_mode = false;
+  Round max_rounds = Round{1} << 22;
+  Round stability_extra_rounds = 256;  ///< post-stabilization soak
+  std::size_t seeds = 4;               ///< distinct seeds per check
+  std::uint64_t base_seed = 0xbea7;
+};
+
+/// One failed check; empty vector = battery passed.
+struct TestbenchFailure {
+  std::string check;      ///< "convergence", "stability", ...
+  std::string diagnostic; ///< human-readable detail
+};
+
+/// Runs the full battery; returns every failure found.
+std::vector<TestbenchFailure> run_protocol_battery(
+    const ProtocolFactory& protocol, const ProviderFactory& topology,
+    const TestbenchOptions& options = {});
+
+/// Formats failures for assertion messages ("" when empty).
+std::string format_failures(const std::vector<TestbenchFailure>& failures);
+
+}  // namespace mtm::testing

@@ -1,0 +1,41 @@
+#include "core/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mtm {
+namespace {
+
+TEST(Contracts, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(MTM_REQUIRE(1 + 1 == 2));
+}
+
+TEST(Contracts, RequireThrowsWithContext) {
+  try {
+    MTM_REQUIRE_MSG(false, "extra detail");
+    FAIL() << "should have thrown";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("extra detail"), std::string::npos);
+    EXPECT_NE(what.find("test_assert.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsureThrowsInvariant) {
+  try {
+    MTM_ENSURE(2 > 3);
+    FAIL() << "should have thrown";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ContractErrorIsLogicError) {
+  EXPECT_THROW(MTM_REQUIRE(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mtm

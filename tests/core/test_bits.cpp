@@ -1,0 +1,92 @@
+#include "core/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtm {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(4));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_TRUE(is_pow2(std::uint64_t{1} << 63));
+  EXPECT_FALSE(is_pow2((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(floor_log2(~std::uint64_t{0}), 63);
+}
+
+TEST(Bits, FloorLog2RejectsZero) {
+  EXPECT_THROW(floor_log2(0), ContractError);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Bits, BitAtMsbIndexing) {
+  // value 0b1011 in width 4: positions 1..4 are 1,0,1,1 (msb first) — the
+  // paper's tag convention (t[1] most significant).
+  EXPECT_EQ(bit_at_msb(0b1011, 1, 4), 1);
+  EXPECT_EQ(bit_at_msb(0b1011, 2, 4), 0);
+  EXPECT_EQ(bit_at_msb(0b1011, 3, 4), 1);
+  EXPECT_EQ(bit_at_msb(0b1011, 4, 4), 1);
+}
+
+TEST(Bits, BitAtMsbWidthOne) {
+  EXPECT_EQ(bit_at_msb(0, 1, 1), 0);
+  EXPECT_EQ(bit_at_msb(1, 1, 1), 1);
+}
+
+TEST(Bits, BitAtMsbBounds) {
+  EXPECT_THROW(bit_at_msb(0, 0, 4), ContractError);
+  EXPECT_THROW(bit_at_msb(0, 5, 4), ContractError);
+  EXPECT_THROW(bit_at_msb(0, 1, 0), ContractError);
+}
+
+TEST(Bits, BitsFor) {
+  EXPECT_EQ(bits_for(1), 1);
+  EXPECT_EQ(bits_for(2), 1);
+  EXPECT_EQ(bits_for(3), 2);
+  EXPECT_EQ(bits_for(4), 2);
+  EXPECT_EQ(bits_for(5), 3);
+  EXPECT_EQ(bits_for(64), 6);
+  EXPECT_EQ(bits_for(65), 7);
+}
+
+TEST(Bits, BitAtMsbReconstructsValue) {
+  const std::uint64_t value = 0xdeadbeef;
+  const int width = 32;
+  std::uint64_t rebuilt = 0;
+  for (int pos = 1; pos <= width; ++pos) {
+    rebuilt = (rebuilt << 1) |
+              static_cast<std::uint64_t>(bit_at_msb(value, pos, width));
+  }
+  EXPECT_EQ(rebuilt, value);
+}
+
+}  // namespace
+}  // namespace mtm

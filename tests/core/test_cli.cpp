@@ -1,0 +1,69 @@
+#include "core/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mtm {
+namespace {
+
+CliArgs make_args(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, ParsesKeyValues) {
+  const CliArgs args = make_args({"--n=48", "--speed=0.5", "--name=mesh"});
+  EXPECT_EQ(args.get_u32("n", 0), 48u);
+  EXPECT_DOUBLE_EQ(args.get_double("speed", 0.0), 0.5);
+  EXPECT_EQ(args.get_string("name", ""), "mesh");
+}
+
+TEST(CliArgs, DefaultsWhenAbsent) {
+  const CliArgs args = make_args({});
+  EXPECT_EQ(args.get_u32("n", 7), 7u);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(args.get_string("s", "dflt"), "dflt");
+  EXPECT_FALSE(args.has("anything"));
+}
+
+TEST(CliArgs, BareFlags) {
+  const CliArgs args = make_args({"--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("quiet"));
+}
+
+TEST(CliArgs, RejectsPositional) {
+  EXPECT_THROW(make_args({"positional"}), std::invalid_argument);
+  EXPECT_THROW(make_args({"-x=1"}), std::invalid_argument);
+  EXPECT_THROW(make_args({"--=5"}), std::invalid_argument);
+}
+
+TEST(CliArgs, RejectsMalformedNumbers) {
+  const CliArgs args = make_args({"--n=abc", "--f=1.5x"});
+  EXPECT_THROW(args.get_u32("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("f", 0), std::invalid_argument);
+}
+
+TEST(CliArgs, CheckUnusedCatchesTypos) {
+  const CliArgs args = make_args({"--nodes=5", "--trails=3"});
+  EXPECT_EQ(args.get_u32("nodes", 0), 5u);
+  // "trails" (typo of "trials") was never consumed.
+  EXPECT_THROW(args.check_unused(), std::invalid_argument);
+}
+
+TEST(CliArgs, CheckUnusedPassesWhenAllConsumed) {
+  const CliArgs args = make_args({"--a=1", "--b"});
+  (void)args.get_u32("a", 0);
+  (void)args.has("b");
+  EXPECT_NO_THROW(args.check_unused());
+}
+
+TEST(CliArgs, U64RoundTrip) {
+  const CliArgs args = make_args({"--seed=12345678901234"});
+  EXPECT_EQ(args.get_u64("seed", 0), 12345678901234ull);
+}
+
+}  // namespace
+}  // namespace mtm

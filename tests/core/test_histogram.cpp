@@ -1,0 +1,71 @@
+#include "core/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtm {
+namespace {
+
+TEST(Histogram, BinsValues) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinRanges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_range(0).first, 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_range(0).second, 12.5);
+  EXPECT_DOUBLE_EQ(h.bin_range(3).second, 20.0);
+  EXPECT_THROW(h.bin_range(4), ContractError);
+}
+
+TEST(Histogram, AddAll) {
+  Histogram h(0.0, 4.0, 4);
+  h.add_all({0.5, 1.5, 1.7, 3.9});
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, RenderShape) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.1);
+  h.add(0.2);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  // Peak bin renders 10 hashes, half-size bin renders 5.
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("#####"), std::string::npos);
+  EXPECT_NE(out.find(" 2"), std::string::npos);
+  EXPECT_NE(out.find(" 1"), std::string::npos);
+}
+
+TEST(Histogram, RenderEmpty) {
+  Histogram h(0.0, 1.0, 3);
+  const std::string out = h.render();
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(Histogram, ValidatesConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractError);
+  EXPECT_THROW(Histogram(1.0, 1.0, 2), ContractError);
+  EXPECT_THROW(Histogram(2.0, 1.0, 2), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,54 @@
+#include "core/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtm {
+namespace {
+
+/// RAII guard restoring the global threshold after each test.
+class ThresholdGuard {
+ public:
+  ThresholdGuard() : saved_(log_threshold()) {}
+  ~ThresholdGuard() { set_log_threshold(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultThresholdIsWarn) {
+  // The library must stay quiet by default (it is a library).
+  ThresholdGuard guard;
+  set_log_threshold(LogLevel::kWarn);
+  EXPECT_EQ(log_threshold(), LogLevel::kWarn);
+}
+
+TEST(Log, ThresholdRoundTrips) {
+  ThresholdGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    set_log_threshold(level);
+    EXPECT_EQ(log_threshold(), level);
+  }
+}
+
+TEST(Log, EmitBelowThresholdIsDropped) {
+  ThresholdGuard guard;
+  set_log_threshold(LogLevel::kOff);
+  // Nothing observable to assert beyond "does not crash/print": capture
+  // stderr via testing::internal is avoided; this exercises the early-out.
+  log_emit(LogLevel::kError, "dropped");
+  MTM_LOG_ERROR << "also dropped";
+  SUCCEED();
+}
+
+TEST(Log, StreamSyntaxCompiles) {
+  ThresholdGuard guard;
+  set_log_threshold(LogLevel::kOff);
+  MTM_LOG_DEBUG << "value=" << 42 << " pi=" << 3.14;
+  MTM_LOG_INFO << "info";
+  MTM_LOG_WARN << "warn";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mtm

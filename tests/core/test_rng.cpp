@@ -1,0 +1,170 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace mtm {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformRejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(0), ContractError);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.uniform(kBound)];
+  // Each bucket expects 10000; allow 5 sigma ≈ 475.
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kSamples / kBound, 500) << "bucket " << v;
+  }
+}
+
+TEST(Rng, CoinIsFair) {
+  Rng rng(13);
+  int heads = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.coin()) ++heads;
+  }
+  EXPECT_NEAR(heads, kSamples / 2, 800);
+}
+
+TEST(Rng, BernoulliMatchesP) {
+  Rng rng(17);
+  constexpr int kSamples = 100000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits, 30000, 800);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(-0.1), ContractError);
+  EXPECT_THROW(rng.bernoulli(1.1), ContractError);
+}
+
+TEST(Rng, UniformDoubleRange) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformInInclusive) {
+  Rng rng(29);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 1000 draws
+}
+
+TEST(Rng, PermutationIsBijection) {
+  Rng rng(31);
+  const auto perm = rng.permutation(100);
+  std::set<std::uint32_t> values(perm.begin(), perm.end());
+  EXPECT_EQ(values.size(), 100u);
+  EXPECT_EQ(*values.begin(), 0u);
+  EXPECT_EQ(*values.rbegin(), 99u);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 2, 3, 5, 8, 13};
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, PickRejectsEmpty) {
+  Rng rng(41);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), ContractError);
+}
+
+TEST(DeriveSeed, DistinctIdsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t trial = 0; trial < 100; ++trial) {
+    for (std::uint64_t node = 0; node < 10; ++node) {
+      seeds.insert(derive_seed(1234, {trial, node}));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, Deterministic) {
+  EXPECT_EQ(derive_seed(5, {1, 2, 3}), derive_seed(5, {1, 2, 3}));
+  EXPECT_NE(derive_seed(5, {1, 2, 3}), derive_seed(5, {1, 3, 2}));
+  EXPECT_NE(derive_seed(5, {1}), derive_seed(6, {1}));
+}
+
+TEST(NodeStreams, IndependentAndDeterministic) {
+  auto streams_a = make_node_streams(99, 8);
+  auto streams_b = make_node_streams(99, 8);
+  ASSERT_EQ(streams_a.size(), 8u);
+  for (std::size_t u = 0; u < 8; ++u) {
+    EXPECT_EQ(streams_a[u].next_u64(), streams_b[u].next_u64());
+  }
+  // Different nodes see different streams.
+  auto fresh = make_node_streams(99, 2);
+  EXPECT_NE(fresh[0].next_u64(), fresh[1].next_u64());
+}
+
+TEST(Xoshiro, JumpChangesState) {
+  Xoshiro256 gen(5);
+  Xoshiro256 jumped(5);
+  jumped.jump();
+  bool differs = false;
+  for (int i = 0; i < 8 && !differs; ++i) {
+    differs = gen() != jumped();
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace mtm

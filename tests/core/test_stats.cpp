@@ -1,0 +1,149 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats rs;
+  rs.add(3.5);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, left, right;
+  std::vector<double> data{1, 2, 3, 10, 20, 30, -5, 0.5};
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    all.add(data[i]);
+    (i < 4 ? left : right).add(data[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> sorted{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0 / 3.0), 20.0);
+}
+
+TEST(Quantile, SingleElement) {
+  std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.3), 7.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  std::vector<double> empty;
+  EXPECT_THROW(quantile_sorted(empty, 0.5), ContractError);
+  std::vector<double> v{1.0};
+  EXPECT_THROW(quantile_sorted(v, -0.1), ContractError);
+  EXPECT_THROW(quantile_sorted(v, 1.1), ContractError);
+}
+
+TEST(Summarize, FullSummary) {
+  std::vector<double> data{5, 1, 4, 2, 3};
+  const Summary s = summarize(data);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+}
+
+TEST(Bootstrap, CoversTrueMean) {
+  // Samples from a known distribution: the CI should cover the sample mean.
+  std::vector<double> data;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    data.push_back(static_cast<double>(rng.uniform(100)));
+  }
+  const Summary s = summarize(data);
+  const Interval ci = bootstrap_mean_ci(data, 0.95, 500, 7);
+  EXPECT_LE(ci.lo, s.mean);
+  EXPECT_GE(ci.hi, s.mean);
+  EXPECT_LT(ci.hi - ci.lo, 20.0);  // reasonably tight for 200 samples
+}
+
+TEST(Bootstrap, Deterministic) {
+  std::vector<double> data{1, 2, 3, 4, 5, 6, 7, 8};
+  const Interval a = bootstrap_mean_ci(data, 0.9, 100, 42);
+  const Interval b = bootstrap_mean_ci(data, 0.9, 100, 42);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{3, 5, 7, 9};  // y = 1 + 2x
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, RejectsDegenerate) {
+  std::vector<double> x{2, 2, 2};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_THROW(linear_fit(x, y), ContractError);
+  std::vector<double> one{1};
+  EXPECT_THROW(linear_fit(one, one), ContractError);
+}
+
+TEST(LogLogFit, RecoversPowerLaw) {
+  // y = 3 * x^2.5
+  std::vector<double> x, y;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 2.5));
+  }
+  const LinearFit fit = log_log_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(LogLogFit, RejectsNonPositive) {
+  std::vector<double> x{1, 2};
+  std::vector<double> y{0, 1};
+  EXPECT_THROW(log_log_fit(x, y), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

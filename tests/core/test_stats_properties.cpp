@@ -1,0 +1,99 @@
+// Statistical properties of the stats toolkit itself: bootstrap CIs must
+// actually cover at (roughly) the nominal rate, and the log-log fitter must
+// recover exponents from noisy power laws. These guard the measurement
+// layer every experiment stands on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(StatsProperties, BootstrapCoverageNearNominal) {
+  // Draw 120 datasets of 60 samples from Uniform{0..99} (true mean 49.5);
+  // the 90% bootstrap CI should cover the true mean in roughly 90% of
+  // datasets. Allow a generous band — this is a sanity property, not a
+  // calibration suite.
+  Rng rng(0x5ca1e);
+  int covered = 0;
+  const int kDatasets = 120;
+  for (int d = 0; d < kDatasets; ++d) {
+    std::vector<double> data;
+    for (int i = 0; i < 60; ++i) {
+      data.push_back(static_cast<double>(rng.uniform(100)));
+    }
+    const Interval ci = bootstrap_mean_ci(
+        data, 0.90, 400, derive_seed(7, {static_cast<std::uint64_t>(d)}));
+    if (ci.lo <= 49.5 && 49.5 <= ci.hi) ++covered;
+  }
+  EXPECT_GE(covered, static_cast<int>(kDatasets * 0.78));
+  EXPECT_LE(covered, static_cast<int>(kDatasets * 0.99));
+}
+
+TEST(StatsProperties, LogLogFitRecoversNoisyExponent) {
+  Rng rng(0xf17);
+  for (double true_exp : {0.5, 1.0, 1.5, 2.0, 3.0}) {
+    std::vector<double> xs, ys;
+    for (double x = 8; x <= 512; x *= 2) {
+      // Multiplicative noise in [0.8, 1.25].
+      const double noise = std::exp((rng.uniform_double() - 0.5) * 0.45);
+      xs.push_back(x);
+      ys.push_back(2.0 * std::pow(x, true_exp) * noise);
+    }
+    const LinearFit fit = log_log_fit(xs, ys);
+    EXPECT_NEAR(fit.slope, true_exp, 0.15) << "exponent " << true_exp;
+  }
+}
+
+TEST(StatsProperties, SummaryQuantilesOrdered) {
+  Rng rng(0xa07);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> data;
+    const std::size_t n = 1 + rng.uniform(200);
+    for (std::size_t i = 0; i < n; ++i) {
+      data.push_back(rng.uniform_double() * 1000 - 500);
+    }
+    const Summary s = summarize(data);
+    EXPECT_LE(s.min, s.p25);
+    EXPECT_LE(s.p25, s.median);
+    EXPECT_LE(s.median, s.p75);
+    EXPECT_LE(s.p75, s.p95);
+    EXPECT_LE(s.p95, s.max);
+    EXPECT_GE(s.mean, s.min);
+    EXPECT_LE(s.mean, s.max);
+    EXPECT_GE(s.stddev, 0.0);
+  }
+}
+
+TEST(StatsProperties, RunningStatsMergeAssociative) {
+  Rng rng(99);
+  std::vector<double> data;
+  for (int i = 0; i < 90; ++i) data.push_back(rng.uniform_double() * 10);
+  // ((A ∪ B) ∪ C) vs (A ∪ (B ∪ C)).
+  RunningStats a1, b1, c1, a2, b2, c2;
+  for (int i = 0; i < 30; ++i) {
+    a1.add(data[i]);
+    a2.add(data[i]);
+  }
+  for (int i = 30; i < 60; ++i) {
+    b1.add(data[i]);
+    b2.add(data[i]);
+  }
+  for (int i = 60; i < 90; ++i) {
+    c1.add(data[i]);
+    c2.add(data[i]);
+  }
+  a1.merge(b1);
+  a1.merge(c1);
+  b2.merge(c2);
+  a2.merge(b2);
+  EXPECT_NEAR(a1.mean(), a2.mean(), 1e-12);
+  EXPECT_NEAR(a1.variance(), a2.variance(), 1e-10);
+  EXPECT_EQ(a1.count(), a2.count());
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,85 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1);
+  t.row().cell("b").cell(22);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(Table, DoubleFormatting) {
+  Table t({"x"});
+  t.row().cell(3.14159, 2);
+  EXPECT_NE(t.to_string().find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.row().cell("plain").cell("has,comma");
+  t.row().cell("has\"quote").cell("x");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("a,b\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, RejectsOverflowAndIncompleteRows) {
+  Table t({"only"});
+  EXPECT_THROW(t.cell("no row yet"), ContractError);
+  t.row().cell("ok");
+  EXPECT_THROW(t.cell("overflow"), ContractError);
+  Table incomplete({"a", "b"});
+  incomplete.row().cell("x");
+  EXPECT_THROW(incomplete.row(), ContractError);
+  EXPECT_THROW(incomplete.to_string(), ContractError);
+}
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), ContractError);
+}
+
+TEST(Table, PrintIncludesTitle) {
+  Table t({"h"});
+  t.row().cell("v");
+  std::ostringstream os;
+  t.print(os, "My Title");
+  EXPECT_NE(os.str().find("== My Title =="), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.column_count(), 3u);
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell(1).cell(2).cell(3);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(FormatDouble, Nan) {
+  EXPECT_EQ(format_double(std::nan(""), 2), "-");
+  EXPECT_EQ(format_double(1.5, 1), "1.5");
+}
+
+TEST(Table, MaybeWriteCsvWithoutEnv) {
+  // No MTM_BENCH_CSV set in the test environment -> no write, returns false.
+  ::unsetenv("MTM_BENCH_CSV");
+  Table t({"h"});
+  t.row().cell("v");
+  EXPECT_FALSE(t.maybe_write_csv("test_table_tmp"));
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,103 @@
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "core/rng.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, RejectsInvalidConfig) {
+  EXPECT_THROW(ThreadPool(0), ContractError);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), ContractError);
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&hits](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCount) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 0, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 16,
+                   [](std::size_t i) {
+                     if (i == 7) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // Pool remains usable afterwards.
+  std::atomic<int> counter{0};
+  parallel_for(pool, 8, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ParallelFor, TransientSerialPath) {
+  std::vector<int> order;
+  parallel_for(std::size_t{1}, std::size_t{5},
+               [&order](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, TransientParallelMatchesSerial) {
+  std::vector<std::atomic<std::uint64_t>> out(200);
+  parallel_for(std::size_t{8}, out.size(), [&out](std::size_t i) {
+    out[i].store(i * i);
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].load(), i * i);
+  }
+}
+
+TEST(ParallelFor, ResultIndependentOfThreadCount) {
+  // Deterministic per-index work must give identical results at any width.
+  auto compute = [](std::size_t threads) {
+    std::vector<std::uint64_t> out(64);
+    parallel_for(threads, out.size(), [&out](std::size_t i) {
+      Rng rng(derive_seed(77, {i}));
+      out[i] = rng.next_u64();
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(4));
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,89 @@
+#include "graph/conductance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(Conductance, VolumeAndCutEdges) {
+  const Graph g = make_path(4);  // degrees 1,2,2,1
+  std::vector<bool> in_s{true, true, false, false};
+  EXPECT_EQ(volume(g, in_s), 3u);
+  EXPECT_EQ(cut_edge_count(g, in_s), 1u);
+  EXPECT_DOUBLE_EQ(conductance_of_set(g, in_s), 1.0 / 3.0);
+}
+
+TEST(Conductance, RejectsDegenerateSets) {
+  const Graph g = make_path(3);
+  std::vector<bool> empty(3, false);
+  EXPECT_THROW(conductance_of_set(g, empty), ContractError);
+  std::vector<bool> all(3, true);
+  EXPECT_THROW(conductance_of_set(g, all), ContractError);
+}
+
+TEST(Conductance, ExactOnClique) {
+  // K6: best cut |S| = 3: cut edges 9, vol(S) = 15 -> 0.6.
+  EXPECT_NEAR(conductance_exact(make_clique(6)), 9.0 / 15.0, 1e-12);
+}
+
+TEST(Conductance, ExactOnCycle) {
+  // C8: arc of 4: cut 2, vol 8 -> 0.25.
+  EXPECT_DOUBLE_EQ(conductance_exact(make_cycle(8)), 0.25);
+}
+
+TEST(Conductance, StarHasConstantConductance) {
+  // The separation the paper leans on: the star's conductance stays Θ(1)
+  // while its vertex expansion collapses as Θ(1/n). Every star cut of
+  // volume v has at least ~v/2 cut edges.
+  for (NodeId n : {8u, 12u, 16u}) {
+    const Graph star = make_star(n);
+    const double phi = conductance_exact(star);
+    const double alpha = vertex_expansion_exact(star);
+    EXPECT_GE(phi, 0.49) << "n = " << n;
+    EXPECT_LE(alpha, 2.0 / static_cast<double>(n - 2)) << "n = " << n;
+    EXPECT_GT(phi / alpha, static_cast<double>(n) / 8.0) << "n = " << n;
+  }
+}
+
+TEST(Conductance, StarLineHasLowBoth) {
+  // The star-line is slow for BOTH measures (a genuine bottleneck).
+  const Graph g = make_star_line(4, 3);  // n = 16
+  EXPECT_LT(conductance_exact(g), 0.1);
+  EXPECT_LT(vertex_expansion_exact(g), 0.2);
+}
+
+TEST(Conductance, UpperBoundNeverBelowExact) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = make_erdos_renyi_connected(12, 0.3, rng);
+    Rng sampler(static_cast<std::uint64_t>(trial));
+    EXPECT_GE(conductance_upper_bound(g, sampler, 128) + 1e-12,
+              conductance_exact(g));
+  }
+}
+
+TEST(Conductance, UpperBoundTightOnStructured) {
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(conductance_upper_bound(make_cycle(16), rng), 0.125);
+  // Star: BFS sweep from a leaf finds {leaf} with phi = 1; from center the
+  // half-volume guard stops early; random sets find ~0.5 cuts. Exact = 0.5
+  // at S = one leaf... vol({leaf}) = 1, cut = 1 -> 1.0; S = half leaves:
+  // cut = vol = k -> 1.0; S = {center, leaf}: vol = n, cut = n - 2... the
+  // exact optimum for star n=10 is (n-2)/n at S = {center, leaf}? Verify
+  // consistency against exact instead of a literal.
+  const Graph star = make_star(10);
+  EXPECT_NEAR(conductance_upper_bound(star, rng),
+              conductance_exact(star), 1e-9);
+}
+
+TEST(Conductance, ExactGuards) {
+  EXPECT_THROW(conductance_exact(make_clique(21)), ContractError);
+  EXPECT_THROW(conductance_exact(Graph::empty(4)), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

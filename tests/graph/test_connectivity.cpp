@@ -1,0 +1,68 @@
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(Connectivity, SingleNodeConnected) {
+  EXPECT_TRUE(is_connected(Graph::empty(1)));
+}
+
+TEST(Connectivity, TwoIsolatedNodesDisconnected) {
+  EXPECT_FALSE(is_connected(Graph::empty(2)));
+}
+
+TEST(Connectivity, ComponentsLabeling) {
+  // Two triangles.
+  Graph g(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[1], c.label[2]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[3]);
+}
+
+TEST(Connectivity, BfsDistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(dist[u], u);
+}
+
+TEST(Connectivity, BfsUnreachableMarked) {
+  Graph g(3, {{0, 1}});
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(Connectivity, EccentricityAndDiameter) {
+  const Graph g = make_path(7);
+  EXPECT_EQ(eccentricity(g, 0), 6u);
+  EXPECT_EQ(eccentricity(g, 3), 3u);
+  EXPECT_EQ(diameter(g), 6u);
+  EXPECT_EQ(diameter(make_clique(5)), 1u);
+  EXPECT_EQ(diameter(make_star(9)), 2u);
+}
+
+TEST(Connectivity, EccentricityRequiresConnected) {
+  Graph g(3, {{0, 1}});
+  EXPECT_THROW(eccentricity(g, 0), ContractError);
+}
+
+TEST(Connectivity, StarLineDiameter) {
+  // Line of s stars: leaf -> center -> ... -> center -> leaf = s + 1 hops.
+  const Graph g = make_star_line(5, 3);
+  EXPECT_EQ(diameter(g), 6u);
+}
+
+TEST(Connectivity, BfsSourceValidated) {
+  const Graph g = make_path(3);
+  EXPECT_THROW(bfs_distances(g, 3), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,137 @@
+#include "graph/exact_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/assert.hpp"
+#include "core/stats.hpp"
+#include "graph/generators.hpp"
+#include "protocols/push_pull.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(ExactChain, DistributionSumsToOne) {
+  for (auto&& g : {make_path(4), make_clique(4), make_star(5)}) {
+    for (std::uint32_t mask = 1;
+         mask < (std::uint32_t{1} << g.node_count()) - 1; ++mask) {
+      double total = 0.0;
+      for (const auto& [next, p] : push_pull_round_distribution(g, mask)) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_EQ(next & mask, mask) << "informed set must not shrink";
+        total += p;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12) << "mask " << mask;
+    }
+  }
+}
+
+TEST(ExactChain, TwoNodePathClosedForm) {
+  // P2, node 0 informed. The rumor crosses iff exactly one endpoint sends
+  // (the other then receives it / pulls it): probability 1/2 per round.
+  // E[T] = 2 exactly.
+  const Graph g = make_path(2);
+  const auto dist = push_pull_round_distribution(g, 0b01);
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_EQ(dist[0].first, 0b01u);
+  EXPECT_NEAR(dist[0].second, 0.5, 1e-12);
+  EXPECT_EQ(dist[1].first, 0b11u);
+  EXPECT_NEAR(dist[1].second, 0.5, 1e-12);
+  EXPECT_NEAR(push_pull_expected_rounds(g, 0), 2.0, 1e-12);
+}
+
+TEST(ExactChain, TriangleFirstStep) {
+  // K3 with node 0 informed: by symmetry P(no progress) can be computed by
+  // brute force; sanity-check structural properties instead of a long
+  // hand-derivation: progress probability must be strictly between 0 and 1
+  // and the expected time must exceed 1 round.
+  const Graph g = make_clique(3);
+  const auto dist = push_pull_round_distribution(g, 0b001);
+  double stay = 0.0;
+  for (const auto& [next, p] : dist) {
+    if (next == 0b001u) stay = p;
+  }
+  EXPECT_GT(stay, 0.0);
+  EXPECT_LT(stay, 1.0);
+  const double expected = push_pull_expected_rounds(g, 0);
+  EXPECT_GT(expected, 1.0);
+  EXPECT_LT(expected, 20.0);
+}
+
+TEST(ExactChain, SymmetryAcrossSources) {
+  // On vertex-transitive graphs the expected time is source-independent.
+  const Graph cycle = make_cycle(5);
+  const double from0 = push_pull_expected_rounds(cycle, 0);
+  const double from2 = push_pull_expected_rounds(cycle, 2);
+  EXPECT_NEAR(from0, from2, 1e-9);
+  const Graph clique = make_clique(5);
+  EXPECT_NEAR(push_pull_expected_rounds(clique, 0),
+              push_pull_expected_rounds(clique, 3), 1e-9);
+}
+
+TEST(ExactChain, StarLeafVsCenter) {
+  // Star: starting at a leaf costs strictly more than starting at the
+  // center (the leaf first has to reach the center).
+  const Graph g = make_star(5);
+  EXPECT_GT(push_pull_expected_rounds(g, 1),
+            push_pull_expected_rounds(g, 0));
+}
+
+// The headline validation: the ENGINE's Monte-Carlo mean must match the
+// exact chain expectation within sampling error. This exercises proposal
+// resolution, the sender-cannot-receive rule, uniform acceptance, and the
+// bidirectional exchange — any systematic deviation in the simulator's
+// mechanics shows up here as a biased mean.
+class EngineVsExactChain : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineVsExactChain, MonteCarloMeanMatchesExactExpectation) {
+  Graph g = [&]() -> Graph {
+    switch (GetParam()) {
+      case 0:
+        return make_path(4);
+      case 1:
+        return make_clique(4);
+      case 2:
+        return make_star(5);
+      case 3:
+        return make_cycle(5);
+      default:
+        return make_path(5);
+    }
+  }();
+  const double exact = push_pull_expected_rounds(g, 0);
+
+  constexpr std::size_t kTrials = 4000;
+  RunningStats stats;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    StaticGraphProvider topo(g);
+    PushPull proto({0});
+    EngineConfig cfg;
+    cfg.seed = derive_seed(0xe8ac7, {static_cast<std::uint64_t>(GetParam()),
+                                     trial});
+    Engine engine(topo, proto, cfg);
+    const RunResult r = run_until_stabilized(engine, 1u << 20);
+    ASSERT_TRUE(r.converged);
+    stats.add(static_cast<double>(r.rounds));
+  }
+  const double sem = stats.stddev() / std::sqrt(static_cast<double>(kTrials));
+  EXPECT_NEAR(stats.mean(), exact, 4.5 * sem)
+      << "engine mean deviates from the exact chain expectation ("
+      << stats.mean() << " vs " << exact << ", sem " << sem << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, EngineVsExactChain,
+                         ::testing::Range(0, 5));
+
+TEST(ExactChain, Validates) {
+  EXPECT_THROW(push_pull_expected_rounds(make_clique(7), 0), ContractError);
+  EXPECT_THROW(push_pull_expected_rounds(make_path(4), 4), ContractError);
+  EXPECT_THROW(push_pull_round_distribution(make_path(4), 0), ContractError);
+  EXPECT_THROW(push_pull_round_distribution(make_path(4), 1u << 4),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,138 @@
+#include "graph/expansion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(Expansion, BoundarySizeOnPath) {
+  const Graph g = make_path(5);
+  std::vector<bool> in_s{true, true, false, false, false};
+  EXPECT_EQ(boundary_size(g, in_s), 1u);  // node 2 borders S
+  std::vector<bool> middle{false, false, true, false, false};
+  EXPECT_EQ(boundary_size(g, middle), 2u);  // nodes 1 and 3
+}
+
+TEST(Expansion, AlphaOfSet) {
+  const Graph g = make_clique(4);
+  std::vector<bool> in_s{true, true, false, false};
+  EXPECT_DOUBLE_EQ(alpha_of_set(g, in_s), 1.0);  // 2 outside both border S
+}
+
+TEST(Expansion, ExactCliqueEven) {
+  // K6: min over |S| <= 3 of (6-|S|)/|S| = 1 at |S| = 3.
+  EXPECT_DOUBLE_EQ(vertex_expansion_exact(make_clique(6)), 1.0);
+}
+
+TEST(Expansion, ExactCliqueOdd) {
+  // K7: |S| = 3 gives 4/3.
+  EXPECT_NEAR(vertex_expansion_exact(make_clique(7)), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Expansion, ExactPath) {
+  // P8: end segment of 4 has boundary 1 -> alpha = 1/4.
+  EXPECT_DOUBLE_EQ(vertex_expansion_exact(make_path(8)), 0.25);
+}
+
+TEST(Expansion, ExactCycle) {
+  // C8: arc of 4 has boundary 2 -> alpha = 1/2.
+  EXPECT_DOUBLE_EQ(vertex_expansion_exact(make_cycle(8)), 0.5);
+}
+
+TEST(Expansion, ExactStar) {
+  // S10 (center + 9 leaves): 5 leaves have boundary {center} -> 1/5.
+  EXPECT_DOUBLE_EQ(vertex_expansion_exact(make_star(10)), 0.2);
+}
+
+TEST(Expansion, ExactStarLine) {
+  // 3 stars of 3 points: n = 12, half = 6 = one star + 2 extra... the best
+  // cut grabs whole stars; exact value must match the closed form within
+  // the family_alpha contract for even splits.
+  const Graph g = make_star_line(4, 2);  // n = 12, star size 3
+  const double exact = vertex_expansion_exact(g);
+  EXPECT_DOUBLE_EQ(exact, family_alpha(GraphFamily::kStarLine, 12, 2));
+  EXPECT_DOUBLE_EQ(exact, 1.0 / 6.0);
+}
+
+TEST(Expansion, ExactStarLineNonDivisibleHalf) {
+  // (3 stars of 3 points): n = 12, star size 4 does NOT divide half = 6.
+  // The optimal cut takes star 0 plus two leaves of star 1 (a DISCONNECTED
+  // set!) with boundary {center 1}: alpha = 1/6 exactly — the closed form
+  // must match.
+  const Graph g = make_star_line(3, 3);
+  EXPECT_DOUBLE_EQ(vertex_expansion_exact(g), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(family_alpha(GraphFamily::kStarLine, 12, 3), 1.0 / 6.0);
+}
+
+TEST(Expansion, ExactMatchesUpperBoundOnSmallGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = make_erdos_renyi_connected(10, 0.35, rng);
+    const double exact = vertex_expansion_exact(g);
+    Rng sampler(trial);
+    const double upper = vertex_expansion_upper_bound(g, sampler, 128);
+    EXPECT_GE(upper + 1e-12, exact);
+  }
+}
+
+TEST(Expansion, UpperBoundTightOnStructuredFamilies) {
+  Rng rng(9);
+  // The BFS-sweep candidates find the optimal cut on these families.
+  EXPECT_DOUBLE_EQ(vertex_expansion_upper_bound(make_path(16), rng), 0.125);
+  EXPECT_DOUBLE_EQ(vertex_expansion_upper_bound(make_cycle(16), rng), 0.25);
+  EXPECT_DOUBLE_EQ(vertex_expansion_upper_bound(make_star_line(4, 3), rng),
+                   family_alpha(GraphFamily::kStarLine, 16, 3));
+}
+
+TEST(Expansion, ExactRejectsLargeN) {
+  EXPECT_THROW(vertex_expansion_exact(make_clique(21)), ContractError);
+}
+
+TEST(FamilyAlpha, ClosedForms) {
+  EXPECT_DOUBLE_EQ(family_alpha(GraphFamily::kClique, 6), 1.0);
+  EXPECT_NEAR(family_alpha(GraphFamily::kClique, 7), 4.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(family_alpha(GraphFamily::kPath, 8), 0.25);
+  EXPECT_DOUBLE_EQ(family_alpha(GraphFamily::kCycle, 8), 0.5);
+  EXPECT_DOUBLE_EQ(family_alpha(GraphFamily::kStar, 10), 0.2);
+  EXPECT_DOUBLE_EQ(family_alpha(GraphFamily::kBinaryTree, 8), 0.25);
+  EXPECT_DOUBLE_EQ(family_alpha(GraphFamily::kBarbell, 10, 5), 0.2);
+  EXPECT_DOUBLE_EQ(family_alpha(GraphFamily::kRandomRegular, 100, 4), 0.5);
+  EXPECT_GT(family_alpha(GraphFamily::kHypercube, 16, 4), 0.0);
+}
+
+TEST(FamilyAlpha, ExactAgreementOnSmallInstances) {
+  EXPECT_DOUBLE_EQ(family_alpha(GraphFamily::kClique, 8),
+                   vertex_expansion_exact(make_clique(8)));
+  EXPECT_DOUBLE_EQ(family_alpha(GraphFamily::kPath, 10),
+                   vertex_expansion_exact(make_path(10)));
+  EXPECT_DOUBLE_EQ(family_alpha(GraphFamily::kCycle, 10),
+                   vertex_expansion_exact(make_cycle(10)));
+  EXPECT_DOUBLE_EQ(family_alpha(GraphFamily::kStar, 12),
+                   vertex_expansion_exact(make_star(12)));
+}
+
+TEST(FamilyAlpha, StarLineNeedsShape) {
+  EXPECT_THROW(family_alpha(GraphFamily::kStarLine, 16, 0), ContractError);
+}
+
+TEST(FamilyAlpha, Names) {
+  EXPECT_STREQ(family_name(GraphFamily::kClique), "clique");
+  EXPECT_STREQ(family_name(GraphFamily::kStarLine), "star-line");
+  EXPECT_STREQ(family_name(GraphFamily::kRandomRegular), "random-regular");
+}
+
+TEST(Expansion, AlphaAtMostOneForConnectedBalancedFamilies) {
+  // The paper notes alpha <= 1 always... more precisely alpha(S) can exceed
+  // 1 for some S but the min over |S| <= n/2 never exceeds (n - n/2)/(n/2).
+  Rng rng(21);
+  for (NodeId n : {8u, 12u, 16u}) {
+    const Graph g = make_erdos_renyi_connected(n, 0.4, rng);
+    EXPECT_LE(vertex_expansion_exact(g), 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace mtm

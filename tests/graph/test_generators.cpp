@@ -1,0 +1,234 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/connectivity.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(Generators, Clique) {
+  const Graph g = make_clique(6);
+  EXPECT_EQ(g.node_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_EQ(g.max_degree(), 5u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Path) {
+  const Graph g = make_path(5);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(4), 1u);
+  EXPECT_EQ(diameter(g), 4u);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = make_cycle(6);
+  EXPECT_EQ(g.edge_count(), 6u);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(g.degree(u), 2u);
+  EXPECT_EQ(diameter(g), 3u);
+  EXPECT_THROW(make_cycle(2), ContractError);
+}
+
+TEST(Generators, Star) {
+  const Graph g = make_star(10);
+  EXPECT_EQ(g.degree(0), 9u);
+  for (NodeId u = 1; u < 10; ++u) EXPECT_EQ(g.degree(u), 1u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Generators, StarLineStructure) {
+  // 4 stars of 3 points each: n = 16.
+  const Graph g = make_star_line(4, 3);
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_TRUE(is_connected(g));
+  // Interior centers: 3 leaves + 2 line neighbors = 5; Δ = p + 2.
+  EXPECT_EQ(g.max_degree(), 5u);
+  const NodeId c0 = star_line_center(0, 3);
+  const NodeId c1 = star_line_center(1, 3);
+  EXPECT_EQ(c0, 0u);
+  EXPECT_EQ(c1, 4u);
+  EXPECT_TRUE(g.has_edge(c0, c1));
+  EXPECT_EQ(g.degree(c0), 4u);  // end star: 3 leaves + 1 line neighbor
+  EXPECT_EQ(g.degree(c1), 5u);  // interior
+  // Leaves connect only to their center.
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_TRUE(g.has_edge(c0, 1));
+}
+
+TEST(Generators, StarLineSingleStarIsStar) {
+  const Graph g = make_star_line(1, 4);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.degree(0), 4u);
+}
+
+TEST(Generators, StarLinePaperShape) {
+  // The paper's construction: sqrt(n) stars of sqrt(n) points.
+  const NodeId s = 8;
+  const Graph g = make_star_line(s, s);
+  EXPECT_EQ(g.node_count(), s * (s + 1));
+  EXPECT_EQ(g.max_degree(), s + 2);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, RandomRegular) {
+  Rng rng(5);
+  const Graph g = make_random_regular(20, 4, rng);
+  EXPECT_EQ(g.node_count(), 20u);
+  for (NodeId u = 0; u < 20; ++u) EXPECT_EQ(g.degree(u), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, RandomRegularOddProductRejected) {
+  Rng rng(5);
+  EXPECT_THROW(make_random_regular(7, 3, rng), ContractError);
+  EXPECT_THROW(make_random_regular(10, 2, rng), ContractError);   // d < 3
+  EXPECT_THROW(make_random_regular(4, 4, rng), ContractError);    // d >= n
+}
+
+TEST(Generators, RandomRegularDeterministicPerSeed) {
+  Rng a(9), b(9);
+  const Graph ga = make_random_regular(16, 4, a);
+  const Graph gb = make_random_regular(16, 4, b);
+  EXPECT_EQ(ga.edges(), gb.edges());
+}
+
+TEST(Generators, ErdosRenyiConnected) {
+  Rng rng(11);
+  const Graph g = make_erdos_renyi_connected(30, 0.2, rng);
+  EXPECT_EQ(g.node_count(), 30u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, ErdosRenyiStitchesSparse) {
+  Rng rng(13);
+  // p so small the raw sample is almost surely disconnected: stitching must
+  // still deliver a connected graph.
+  const Graph g = make_erdos_renyi_connected(40, 0.01, rng, 2);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Grid) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3u + 2u * 4u);  // 17
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);  // corner
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, GridSingleRowIsPath) {
+  const Graph g = make_grid(1, 5);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.node_count(), 16u);
+  for (NodeId u = 0; u < 16; ++u) EXPECT_EQ(g.degree(u), 4u);
+  EXPECT_EQ(diameter(g), 4u);
+  EXPECT_THROW(make_hypercube(0), ContractError);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = make_complete_bipartite(3, 5);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_EQ(g.degree(0), 5u);
+  EXPECT_EQ(g.degree(3), 3u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(3, 4));
+  EXPECT_TRUE(g.has_edge(0, 3));
+}
+
+TEST(Generators, BinaryTree) {
+  const Graph g = make_binary_tree(7);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, BarbellDirect) {
+  const Graph g = make_barbell(4);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.has_edge(3, 4));  // bridge edge
+  EXPECT_EQ(g.max_degree(), 4u);  // bridge endpoints have degree k
+}
+
+TEST(Generators, RingOfCliques) {
+  const Graph g = make_ring_of_cliques(4, 5);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_TRUE(is_connected(g));
+  // Intra: 4 * C(5,2) = 40, portals: 4 -> 44 edges.
+  EXPECT_EQ(g.edge_count(), 44u);
+  // Portal nodes have degree (clique_size - 1) + 1 = clique_size = 5.
+  EXPECT_EQ(g.max_degree(), 5u);
+  // Portal edges: clique 0's node 1 to clique 1's node 0 (= node 5).
+  EXPECT_TRUE(g.has_edge(1, 5));
+  EXPECT_TRUE(g.has_edge(6, 10));
+  EXPECT_TRUE(g.has_edge(16, 0));  // wraps around
+  EXPECT_THROW(make_ring_of_cliques(2, 4), ContractError);
+  EXPECT_THROW(make_ring_of_cliques(3, 1), ContractError);
+}
+
+TEST(Generators, RingOfCliquesMinimalSizes) {
+  const Graph g = make_ring_of_cliques(3, 2);
+  EXPECT_EQ(g.node_count(), 6u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, SmallWorldLatticeAtBetaZero) {
+  Rng rng(1);
+  const Graph g = make_small_world(12, 2, 0.0, rng);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 24u);  // n * k_half
+  for (NodeId u = 0; u < 12; ++u) EXPECT_EQ(g.degree(u), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 11));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, SmallWorldRewiringShrinksDiameter) {
+  Rng rng(2);
+  const Graph lattice = make_small_world(64, 2, 0.0, rng);
+  const Graph rewired = make_small_world(64, 2, 0.3, rng);
+  EXPECT_TRUE(is_connected(rewired));
+  EXPECT_EQ(rewired.node_count(), 64u);
+  // The small-world effect: shortcuts cut the diameter well below the
+  // lattice's n/(2k) ≈ 16.
+  EXPECT_LT(diameter(rewired), diameter(lattice));
+}
+
+TEST(Generators, SmallWorldAlwaysConnected) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    EXPECT_TRUE(is_connected(make_small_world(30, 1, 0.8, rng)));
+  }
+}
+
+TEST(Generators, SmallWorldValidates) {
+  Rng rng(3);
+  EXPECT_THROW(make_small_world(4, 2, 0.1, rng), ContractError);
+  EXPECT_THROW(make_small_world(10, 0, 0.1, rng), ContractError);
+  EXPECT_THROW(make_small_world(10, 2, 1.5, rng), ContractError);
+}
+
+TEST(Generators, BarbellWithBridgePath) {
+  const Graph g = make_barbell(3, 2);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_TRUE(is_connected(g));
+  // bridge path: 2 - 6 - 7 - 3
+  EXPECT_TRUE(g.has_edge(2, 6));
+  EXPECT_TRUE(g.has_edge(6, 7));
+  EXPECT_TRUE(g.has_edge(7, 3));
+}
+
+}  // namespace
+}  // namespace mtm

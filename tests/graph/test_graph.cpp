@@ -1,0 +1,105 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(Graph, TriangleBasics) {
+  Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(Graph, NeighborsSortedAscending) {
+  Graph g(5, {{0, 4}, {0, 2}, {0, 1}, {0, 3}});
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[3], 4u);
+}
+
+TEST(Graph, EdgeOrientationNormalized) {
+  Graph g(3, {{2, 0}});
+  EXPECT_EQ(g.edges().front(), (Edge{0, 2}));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW(Graph(3, {{1, 1}}), ContractError);
+}
+
+TEST(Graph, RejectsDuplicateEdges) {
+  EXPECT_THROW(Graph(3, {{0, 1}, {1, 0}}), ContractError);
+  EXPECT_THROW(Graph(3, {{0, 1}, {0, 1}}), ContractError);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  EXPECT_THROW(Graph(3, {{0, 3}}), ContractError);
+  EXPECT_THROW(Graph(0, {}), ContractError);
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g = Graph::empty(4);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, IsolatedNodeAllowed) {
+  Graph g(4, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Relabel, PreservesStructure) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});  // path 0-1-2-3
+  const std::vector<NodeId> perm{3, 2, 1, 0};  // reverse
+  const Graph h = relabel(g, perm);
+  EXPECT_EQ(h.edge_count(), 3u);
+  EXPECT_TRUE(h.has_edge(3, 2));
+  EXPECT_TRUE(h.has_edge(2, 1));
+  EXPECT_TRUE(h.has_edge(1, 0));
+  EXPECT_FALSE(h.has_edge(0, 3));
+  EXPECT_EQ(h.max_degree(), g.max_degree());
+}
+
+TEST(Relabel, IdentityIsNoop) {
+  Graph g(3, {{0, 1}, {1, 2}});
+  const std::vector<NodeId> id{0, 1, 2};
+  const Graph h = relabel(g, id);
+  EXPECT_EQ(h.edges(), g.edges());
+}
+
+TEST(Relabel, RejectsNonBijection) {
+  Graph g(3, {{0, 1}});
+  const std::vector<NodeId> dup{0, 0, 1};
+  EXPECT_THROW(relabel(g, dup), ContractError);
+  const std::vector<NodeId> short_perm{0, 1};
+  EXPECT_THROW(relabel(g, short_perm), ContractError);
+}
+
+TEST(Graph, LargeStarDegrees) {
+  std::vector<Edge> edges;
+  const NodeId n = 1000;
+  for (NodeId u = 1; u < n; ++u) edges.push_back({0, u});
+  Graph g(n, std::move(edges));
+  EXPECT_EQ(g.max_degree(), n - 1);
+  EXPECT_EQ(g.degree(0), n - 1);
+  EXPECT_EQ(g.degree(500), 1u);
+}
+
+}  // namespace
+}  // namespace mtm

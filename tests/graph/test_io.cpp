@@ -1,0 +1,94 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(GraphIo, WriteReadRoundTrip) {
+  Rng rng(1);
+  const Graph g = make_erdos_renyi_connected(20, 0.25, rng);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  EXPECT_EQ(back.node_count(), g.node_count());
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(GraphIo, CommentsIgnored) {
+  std::stringstream in("# a comment\n3 2\n# another\n0 1\n1 2\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(GraphIo, MalformedInputsThrowParseError) {
+  {
+    std::stringstream in("");
+    EXPECT_THROW(read_edge_list(in), GraphParseError);
+  }
+  {
+    std::stringstream in("3");
+    EXPECT_THROW(read_edge_list(in), GraphParseError);
+  }
+  {
+    std::stringstream in("3 2\n0 1\n");  // truncated edge list
+    EXPECT_THROW(read_edge_list(in), GraphParseError);
+  }
+  {
+    std::stringstream in("3 1\n0 7\n");  // endpoint out of range
+    EXPECT_THROW(read_edge_list(in), GraphParseError);
+  }
+  {
+    std::stringstream in("0 0\n");  // zero nodes
+    EXPECT_THROW(read_edge_list(in), GraphParseError);
+  }
+}
+
+TEST(GraphIo, SemanticErrorsThrowContractError) {
+  std::stringstream in("3 2\n0 1\n1 0\n");  // duplicate edge
+  EXPECT_THROW(read_edge_list(in), ContractError);
+  std::stringstream loops("3 1\n1 1\n");  // self loop
+  EXPECT_THROW(read_edge_list(loops), ContractError);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mtm_io_test_graph.txt";
+  const Graph g = make_star_line(3, 3);
+  save_edge_list(path, g);
+  const Graph back = load_edge_list(path);
+  EXPECT_EQ(back.edges(), g.edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/dir/graph.txt"), GraphParseError);
+}
+
+TEST(GraphIo, DotExport) {
+  const Graph g = make_path(3);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("graph g {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+}
+
+TEST(GraphIo, DotHighlight) {
+  const Graph g = make_path(3);
+  std::vector<bool> mark{false, true, false};
+  const std::string dot = to_dot(g, &mark);
+  EXPECT_NE(dot.find("1 [style=filled"), std::string::npos);
+  EXPECT_EQ(dot.find("0 [style=filled"), std::string::npos);
+  std::vector<bool> wrong_size{true};
+  EXPECT_THROW(to_dot(g, &wrong_size), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

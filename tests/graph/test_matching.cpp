@@ -1,0 +1,145 @@
+#include "graph/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(BipartiteMatcher, PerfectMatchingOnIdentity) {
+  BipartiteMatcher m(4, 4);
+  for (std::uint32_t i = 0; i < 4; ++i) m.add_edge(i, i);
+  EXPECT_EQ(m.solve(), 4u);
+}
+
+TEST(BipartiteMatcher, AugmentingPathNeeded) {
+  // Classic case where greedy can get 1 but optimum is 2:
+  // l0 - {r0, r1}, l1 - {r0}.
+  BipartiteMatcher m(2, 2);
+  m.add_edge(0, 0);
+  m.add_edge(0, 1);
+  m.add_edge(1, 0);
+  EXPECT_EQ(m.solve(), 2u);
+}
+
+TEST(BipartiteMatcher, NoEdges) {
+  BipartiteMatcher m(3, 3);
+  EXPECT_EQ(m.solve(), 0u);
+}
+
+TEST(BipartiteMatcher, StarLimitedToOne) {
+  BipartiteMatcher m(1, 5);
+  for (std::uint32_t r = 0; r < 5; ++r) m.add_edge(0, r);
+  EXPECT_EQ(m.solve(), 1u);
+}
+
+TEST(BipartiteMatcher, MatchArraysConsistent) {
+  BipartiteMatcher m(3, 3);
+  m.add_edge(0, 1);
+  m.add_edge(1, 0);
+  m.add_edge(2, 2);
+  EXPECT_EQ(m.solve(), 3u);
+  const auto& lm = m.left_match();
+  const auto& rm = m.right_match();
+  for (std::uint32_t l = 0; l < 3; ++l) {
+    ASSERT_NE(lm[l], BipartiteMatcher::kUnmatched);
+    EXPECT_EQ(rm[lm[l]], l);
+  }
+}
+
+TEST(BipartiteMatcher, SolveIdempotent) {
+  BipartiteMatcher m(2, 2);
+  m.add_edge(0, 0);
+  m.add_edge(1, 1);
+  EXPECT_EQ(m.solve(), 2u);
+  EXPECT_EQ(m.solve(), 2u);
+}
+
+TEST(BipartiteMatcher, AddEdgeAfterSolveRejected) {
+  BipartiteMatcher m(2, 2);
+  m.add_edge(0, 0);
+  m.solve();
+  EXPECT_THROW(m.add_edge(1, 1), ContractError);
+}
+
+TEST(BipartiteMatcher, RejectsOutOfRange) {
+  BipartiteMatcher m(2, 2);
+  EXPECT_THROW(m.add_edge(2, 0), ContractError);
+  EXPECT_THROW(m.add_edge(0, 2), ContractError);
+}
+
+TEST(CutGraph, BuildsCrossEdgesOnly) {
+  // Path 0-1-2-3, S = {0, 1}: cut edge is only {1, 2}.
+  const Graph g = make_path(4);
+  std::vector<bool> in_s{true, true, false, false};
+  const CutGraph cut = build_cut_graph(g, in_s);
+  EXPECT_EQ(cut.left_nodes, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(cut.right_nodes, (std::vector<NodeId>{2, 3}));
+  ASSERT_EQ(cut.edges.size(), 1u);
+  EXPECT_EQ(cut.left_nodes[cut.edges[0].first], 1u);
+  EXPECT_EQ(cut.right_nodes[cut.edges[0].second], 2u);
+}
+
+TEST(CutGraph, RejectsTrivialCuts) {
+  const Graph g = make_path(3);
+  std::vector<bool> all_true{true, true, true};
+  EXPECT_THROW(build_cut_graph(g, all_true), ContractError);
+  std::vector<bool> all_false{false, false, false};
+  EXPECT_THROW(build_cut_graph(g, all_false), ContractError);
+}
+
+TEST(CutMatching, CliqueHalfCut) {
+  const Graph g = make_clique(8);
+  std::vector<bool> in_s(8, false);
+  for (NodeId u = 0; u < 4; ++u) in_s[u] = true;
+  // K8 across a 4/4 cut contains a perfect matching of size 4.
+  EXPECT_EQ(cut_matching_size(g, in_s), 4u);
+}
+
+TEST(CutMatching, StarCenterCut) {
+  const Graph g = make_star(6);
+  std::vector<bool> in_s(6, false);
+  in_s[0] = true;  // center only
+  EXPECT_EQ(cut_matching_size(g, in_s), 1u);
+  // Leaves-only S: every cut edge goes to the center -> matching 1.
+  std::vector<bool> leaves(6, true);
+  leaves[0] = false;
+  EXPECT_EQ(cut_matching_size(g, leaves), 1u);
+}
+
+TEST(CutMatching, GreedyNeverExceedsOptimal) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = make_erdos_renyi_connected(12, 0.3, rng);
+    std::vector<bool> in_s(12, false);
+    for (NodeId u = 0; u < 12; ++u) in_s[u] = rng.coin();
+    // Ensure non-trivial cut.
+    in_s[0] = true;
+    in_s[11] = false;
+    EXPECT_LE(cut_greedy_matching_size(g, in_s), cut_matching_size(g, in_s));
+    // Greedy maximal matching is a 2-approximation.
+    EXPECT_GE(2 * cut_greedy_matching_size(g, in_s),
+              cut_matching_size(g, in_s));
+  }
+}
+
+TEST(GammaExact, CliqueIsOne) {
+  // For K_n and any |S| <= n/2 there is a perfect matching on S across the
+  // cut, so gamma = 1.
+  EXPECT_DOUBLE_EQ(gamma_exact(make_clique(6)), 1.0);
+}
+
+TEST(GammaExact, StarIsSmall) {
+  // S = floor(n/2) leaves matches only via the center: gamma = 1/|S|.
+  const Graph g = make_star(9);
+  EXPECT_DOUBLE_EQ(gamma_exact(g), 1.0 / 4.0);
+}
+
+TEST(GammaExact, RejectsLargeN) {
+  EXPECT_THROW(gamma_exact(make_clique(21)), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

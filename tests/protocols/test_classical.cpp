@@ -1,0 +1,94 @@
+#include "protocols/classical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/push_pull.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(ClassicalPushPull, SpreadsFastOnStar) {
+  // The star is the classical model's showcase: the center accepts every
+  // call, so the rumor reaches all leaves in a handful of rounds — exactly
+  // the capability the mobile telephone model removes.
+  StaticGraphProvider topo(make_star(64));
+  ClassicalPushPull proto({0});
+  EngineConfig cfg;
+  cfg.classical_mode = true;
+  cfg.seed = 1;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1000);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(r.rounds, 5u);  // every leaf calls the center w.p. 1 each round
+}
+
+TEST(ClassicalPushPull, MuchFasterThanMobileOnStar) {
+  const NodeId n = 32;
+  auto classical = [&](std::uint64_t seed) {
+    StaticGraphProvider topo(make_star(n));
+    ClassicalPushPull proto({0});
+    EngineConfig cfg;
+    cfg.classical_mode = true;
+    cfg.seed = seed;
+    Engine engine(topo, proto, cfg);
+    return run_until_stabilized(engine, 100000).rounds;
+  };
+  auto mobile = [&](std::uint64_t seed) {
+    StaticGraphProvider topo(make_star(n));
+    PushPull proto({0});
+    EngineConfig cfg;
+    cfg.seed = seed;
+    Engine engine(topo, proto, cfg);
+    return run_until_stabilized(engine, 1000000).rounds;
+  };
+  double classical_total = 0, mobile_total = 0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    classical_total += static_cast<double>(classical(s));
+    mobile_total += static_cast<double>(mobile(s));
+  }
+  // Mobile star spreading serializes on the center (one accept per round,
+  // n-1 leaves): the gap is at least ~n/ log n >> 3.
+  EXPECT_GT(mobile_total, 3 * classical_total);
+}
+
+TEST(ClassicalGossip, ElectsMinimum) {
+  StaticGraphProvider topo(make_cycle(16));
+  ClassicalGossip proto(BlindGossip::shuffled_uids(16, 2));
+  EngineConfig cfg;
+  cfg.classical_mode = true;
+  cfg.seed = 2;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 100000);
+  ASSERT_TRUE(r.converged);
+  for (NodeId u = 0; u < 16; ++u) {
+    EXPECT_EQ(proto.leader_of(u), proto.target_leader());
+  }
+}
+
+TEST(ClassicalGossip, EveryNodeProposesEveryRound) {
+  StaticGraphProvider topo(make_clique(8));
+  ClassicalGossip proto(BlindGossip::shuffled_uids(8, 3));
+  EngineConfig cfg;
+  cfg.classical_mode = true;
+  cfg.seed = 3;
+  Engine engine(topo, proto, cfg);
+  engine.step();
+  EXPECT_EQ(engine.telemetry().proposals(), 8u);
+  EXPECT_EQ(engine.telemetry().connections(), 8u);  // all accepted
+}
+
+TEST(ClassicalGossip, ValidatesUids) {
+  EXPECT_THROW(ClassicalGossip({}), ContractError);
+  EXPECT_THROW(ClassicalGossip({3, 3}), ContractError);
+}
+
+TEST(ClassicalPushPull, ValidatesSources) {
+  EXPECT_THROW(ClassicalPushPull({}), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,130 @@
+#include "protocols/leader_consensus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+AsyncBitConvergenceConfig config_for(NodeId n, NodeId delta) {
+  AsyncBitConvergenceConfig cfg;
+  cfg.network_size_bound = n;
+  cfg.max_degree_bound = delta;
+  return cfg;
+}
+
+std::vector<Uid> uids_for(NodeId n) {
+  std::vector<Uid> uids(n);
+  for (NodeId u = 0; u < n; ++u) uids[u] = 500 + u;
+  return uids;
+}
+
+std::vector<std::uint64_t> inputs_for(NodeId n) {
+  std::vector<std::uint64_t> in(n);
+  for (NodeId u = 0; u < n; ++u) in[u] = 9000 + 7ull * u;
+  return in;
+}
+
+TEST(LeaderConsensus, AgreementAndValidityOnClique) {
+  const NodeId n = 12;
+  StaticGraphProvider topo(make_clique(n));
+  LeaderConsensus proto(uids_for(n), inputs_for(n), config_for(n, n - 1));
+  EngineConfig cfg;
+  cfg.tag_bits = proto.required_advertisement_bits();
+  cfg.seed = 1;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1000000);
+  ASSERT_TRUE(r.converged);
+  const std::uint64_t agreed = proto.decision_of(0);
+  // Agreement: everyone decides the same value.
+  for (NodeId u = 0; u < n; ++u) {
+    EXPECT_EQ(proto.decision_of(u), agreed);
+  }
+  // Validity: the decision is some node's input — specifically the eventual
+  // leader's.
+  EXPECT_EQ(agreed, proto.target_decision());
+  const auto inputs = inputs_for(n);
+  bool is_an_input = false;
+  for (std::uint64_t v : inputs) is_an_input |= v == agreed;
+  EXPECT_TRUE(is_an_input);
+}
+
+TEST(LeaderConsensus, DecisionFollowsLeader) {
+  const NodeId n = 10;
+  StaticGraphProvider topo(make_star_line(2, 4));
+  LeaderConsensus proto(uids_for(n), inputs_for(n), config_for(n, 6));
+  EngineConfig cfg;
+  cfg.tag_bits = proto.required_advertisement_bits();
+  cfg.seed = 2;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1000000);
+  ASSERT_TRUE(r.converged);
+  // The decided value is the input of the node whose UID was elected.
+  const Uid leader = proto.leader_of(0);
+  const auto uids = uids_for(n);
+  const auto inputs = inputs_for(n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (uids[u] == leader) {
+      EXPECT_EQ(proto.decision_of(0), inputs[u]);
+    }
+  }
+}
+
+TEST(LeaderConsensus, WorksWithStaggeredActivations) {
+  const NodeId n = 8;
+  StaticGraphProvider topo(make_clique(n));
+  LeaderConsensus proto(uids_for(n), inputs_for(n), config_for(n, n - 1));
+  EngineConfig cfg;
+  cfg.tag_bits = proto.required_advertisement_bits();
+  cfg.seed = 3;
+  cfg.activation_rounds = {1, 9, 3, 21, 5, 15, 7, 11};
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1000000);
+  ASSERT_TRUE(r.converged);
+  for (NodeId u = 1; u < n; ++u) {
+    EXPECT_EQ(proto.decision_of(u), proto.decision_of(0));
+  }
+}
+
+TEST(LeaderConsensus, WorksUnderTopologyChange) {
+  const NodeId n = 12;
+  RelabelingGraphProvider topo(make_cycle(n), 1, 4);
+  LeaderConsensus proto(uids_for(n), inputs_for(n), config_for(n, 2));
+  EngineConfig cfg;
+  cfg.tag_bits = proto.required_advertisement_bits();
+  cfg.seed = 4;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 5000000);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(proto.decision_of(5), proto.target_decision());
+}
+
+TEST(LeaderConsensus, InitialDecisionIsOwnInput) {
+  const NodeId n = 4;
+  StaticGraphProvider topo(make_clique(n));
+  LeaderConsensus proto(uids_for(n), inputs_for(n), config_for(n, 3));
+  EngineConfig cfg;
+  cfg.tag_bits = proto.required_advertisement_bits();
+  Engine engine(topo, proto, cfg);
+  const auto inputs = inputs_for(n);
+  for (NodeId u = 0; u < n; ++u) {
+    EXPECT_EQ(proto.decision_of(u), inputs[u]);
+  }
+}
+
+TEST(LeaderConsensus, ValidatesInputs) {
+  EXPECT_THROW(
+      LeaderConsensus(uids_for(4), inputs_for(3), config_for(4, 3)),
+      ContractError);
+  StaticGraphProvider topo(make_clique(4));
+  LeaderConsensus wrong(uids_for(3), inputs_for(3), config_for(4, 3));
+  EngineConfig cfg;
+  cfg.tag_bits = wrong.required_advertisement_bits();
+  EXPECT_THROW(Engine(topo, wrong, cfg), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,131 @@
+#include "protocols/multibit_convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "protocols/bit_convergence.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+std::vector<Uid> uids_for(NodeId n) {
+  std::vector<Uid> uids(n);
+  for (NodeId u = 0; u < n; ++u) uids[u] = 300 + u;
+  return uids;
+}
+
+MultibitConvergenceConfig config_for(NodeId n, NodeId delta, int width) {
+  MultibitConvergenceConfig cfg;
+  cfg.network_size_bound = n;
+  cfg.max_degree_bound = delta;
+  cfg.advertisement_width = width;
+  return cfg;
+}
+
+TEST(MultibitConvergence, BlockArithmetic) {
+  // n = 16 -> k = 8 bits; width 3 -> 3 blocks of sizes 3, 3, 2.
+  MultibitConvergence proto(uids_for(16), config_for(16, 8, 3));
+  EXPECT_EQ(proto.tag_bit_count(), 8);
+  EXPECT_EQ(proto.block_count(), 3);
+  EXPECT_EQ(proto.phase_length(), 3u * proto.group_length());
+  // tag 0b10110101: blocks (msb-first) 101, 101, 01.
+  const Tag tag = 0b10110101;
+  EXPECT_EQ(proto.block_value(tag, 1), 0b101u);
+  EXPECT_EQ(proto.block_value(tag, 2), 0b101u);
+  EXPECT_EQ(proto.block_value(tag, 3), 0b01u);
+  EXPECT_THROW(proto.block_value(tag, 0), ContractError);
+  EXPECT_THROW(proto.block_value(tag, 4), ContractError);
+}
+
+TEST(MultibitConvergence, WidthClampedToTagBits) {
+  MultibitConvergence proto(uids_for(16), config_for(16, 8, 63));
+  EXPECT_EQ(proto.advertisement_width(), proto.tag_bit_count());
+  EXPECT_EQ(proto.block_count(), 1);
+}
+
+TEST(MultibitConvergence, WidthOneMatchesBitConvergenceSemantics) {
+  // With width = 1 the decide() rule is exactly the paper's: 0-advertisers
+  // propose to 1-advertisers, never the reverse.
+  MultibitConvergence proto(uids_for(8), config_for(8, 7, 1));
+  StaticGraphProvider topo(make_clique(8));
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  Engine engine(topo, proto, cfg);
+  Rng rng(1);
+  const Tag my_bit =
+      proto.block_value(proto.smallest_pair(0).tag, 1);
+  std::vector<NeighborInfo> mixed{{1, 0}, {2, 1}};
+  const Decision d = proto.decide(0, 1, mixed, rng);
+  if (my_bit == 0) {
+    ASSERT_TRUE(d.is_send());
+    EXPECT_EQ(d.target, 2u);  // only the 1-advertiser is larger
+  } else {
+    EXPECT_FALSE(d.is_send());  // nothing larger than 1 exists
+  }
+}
+
+class MultibitWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultibitWidths, ElectsOnCliqueAndStarLine) {
+  const int width = GetParam();
+  for (auto&& [g, seed] : {std::pair{make_clique(12), 11ull},
+                           std::pair{make_star_line(3, 3), 12ull}}) {
+    const NodeId n = g.node_count();
+    MultibitConvergence proto(uids_for(n),
+                              config_for(n, g.max_degree(), width));
+    StaticGraphProvider topo(g);
+    EngineConfig cfg;
+    cfg.tag_bits = width;
+    cfg.seed = seed;
+    Engine engine(topo, proto, cfg);
+    const RunResult r = run_until_stabilized(engine, 1u << 22);
+    ASSERT_TRUE(r.converged) << "width " << width;
+    for (NodeId u = 0; u < n; ++u) {
+      EXPECT_EQ(proto.leader_of(u), proto.target_pair().uid);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MultibitWidths, ::testing::Values(1, 2, 4, 8));
+
+TEST(MultibitConvergence, EngineEnforcesWidth) {
+  // Advertising a 3-bit block needs tag_bits >= 3.
+  MultibitConvergence proto(uids_for(8), config_for(8, 7, 3));
+  StaticGraphProvider topo(make_clique(8));
+  EngineConfig cfg;
+  cfg.tag_bits = 1;  // too narrow
+  Engine engine(topo, proto, cfg);
+  // Some node will advertise a block value >= 2 within the first phase.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 200; ++i) engine.step();
+      },
+      ContractError);
+}
+
+TEST(MultibitConvergence, ElectsUnderTopologyChange) {
+  Rng gen(13);
+  RelabelingGraphProvider topo(make_random_regular(12, 4, gen), 1, 13);
+  MultibitConvergence proto(uids_for(12), config_for(12, 4, 2));
+  EngineConfig cfg;
+  cfg.tag_bits = 2;
+  cfg.seed = 13;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1u << 23);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(MultibitConvergence, ValidatesConfig) {
+  EXPECT_THROW(MultibitConvergence({}, config_for(4, 3, 1)), ContractError);
+  EXPECT_THROW(MultibitConvergence(uids_for(4), config_for(4, 3, 0)),
+               ContractError);
+  EXPECT_THROW(MultibitConvergence(uids_for(4), config_for(4, 3, 64)),
+               ContractError);
+  EXPECT_THROW(MultibitConvergence(uids_for(4), config_for(2, 3, 1)),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,119 @@
+#include "protocols/pairwise_averaging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+std::vector<double> ramp(NodeId n) {
+  std::vector<double> v(n);
+  for (NodeId u = 0; u < n; ++u) v[u] = static_cast<double>(u);
+  return v;
+}
+
+TEST(PairwiseAveraging, ConvergesToAverageOnClique) {
+  const NodeId n = 16;
+  StaticGraphProvider topo(make_clique(n));
+  PairwiseAveraging proto(ramp(n), 1e-9);
+  EngineConfig cfg;
+  cfg.seed = 1;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1000000);
+  ASSERT_TRUE(r.converged);
+  for (NodeId u = 0; u < n; ++u) {
+    EXPECT_NEAR(proto.value_of(u), proto.target_average(), 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(proto.target_average(), 7.5);
+}
+
+TEST(PairwiseAveraging, ConvergesOnPath) {
+  const NodeId n = 10;
+  StaticGraphProvider topo(make_path(n));
+  PairwiseAveraging proto(ramp(n), 1e-6);
+  EngineConfig cfg;
+  cfg.seed = 2;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 10000000);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(proto.spread(), 1e-6);
+}
+
+TEST(PairwiseAveraging, SumConservedEveryRound) {
+  // The pair updates are symmetric averages of pre-connection values, so
+  // the global sum is invariant (up to fp rounding).
+  const NodeId n = 12;
+  StaticGraphProvider topo(make_cycle(n));
+  PairwiseAveraging proto(ramp(n), 1e-12);
+  EngineConfig cfg;
+  cfg.seed = 3;
+  Engine engine(topo, proto, cfg);
+  const double target_sum = proto.target_average() * n;
+  for (int round = 0; round < 300; ++round) {
+    engine.step();
+    double sum = 0;
+    for (NodeId u = 0; u < n; ++u) sum += proto.value_of(u);
+    EXPECT_NEAR(sum, target_sum, 1e-9) << "round " << round;
+  }
+}
+
+TEST(PairwiseAveraging, SpreadMonotoneNonIncreasing) {
+  const NodeId n = 10;
+  StaticGraphProvider topo(make_clique(n));
+  PairwiseAveraging proto(ramp(n), 1e-12);
+  EngineConfig cfg;
+  cfg.seed = 4;
+  Engine engine(topo, proto, cfg);
+  double prev = proto.spread();
+  for (int round = 0; round < 200; ++round) {
+    engine.step();
+    EXPECT_LE(proto.spread(), prev + 1e-12);
+    prev = proto.spread();
+  }
+}
+
+TEST(PairwiseAveraging, HandlesNegativeAndFractionalInputs) {
+  StaticGraphProvider topo(make_clique(4));
+  PairwiseAveraging proto({-10.0, 0.25, 3.5, -1.75}, 1e-9);
+  EngineConfig cfg;
+  cfg.seed = 5;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 100000);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(proto.value_of(0), -2.0, 1e-6);
+}
+
+TEST(PairwiseAveraging, UniformInputsImmediatelyStable) {
+  StaticGraphProvider topo(make_path(3));
+  PairwiseAveraging proto({5.0, 5.0, 5.0}, 1e-9);
+  Engine engine(topo, proto, EngineConfig{});
+  EXPECT_TRUE(proto.stabilized());
+}
+
+TEST(PairwiseAveraging, WorksUnderChangingTopology) {
+  const NodeId n = 12;
+  RelabelingGraphProvider topo(make_cycle(n), 1, 6);
+  PairwiseAveraging proto(ramp(n), 1e-6);
+  EngineConfig cfg;
+  cfg.seed = 6;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 10000000);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(PairwiseAveraging, ValidatesInputs) {
+  EXPECT_THROW(PairwiseAveraging({}, 1e-6), ContractError);
+  EXPECT_THROW(PairwiseAveraging({1.0}, 0.0), ContractError);
+  EXPECT_THROW(PairwiseAveraging({std::nan("")}, 1e-6), ContractError);
+  StaticGraphProvider topo(make_path(3));
+  PairwiseAveraging wrong_size({1.0, 2.0}, 1e-6);
+  EXPECT_THROW(Engine(topo, wrong_size, EngineConfig{}), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

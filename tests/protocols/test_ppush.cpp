@@ -1,0 +1,116 @@
+#include "protocols/ppush.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "protocols/push_pull.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(Ppush, SpreadsOnClique) {
+  StaticGraphProvider topo(make_clique(20));
+  Ppush proto({0});
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 1;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 10000);
+  ASSERT_TRUE(r.converged);
+  for (NodeId u = 0; u < 20; ++u) EXPECT_TRUE(proto.informed(u));
+}
+
+TEST(Ppush, RequiresTagBitOne) {
+  // With b = 0 the engine rejects the 1-bit advertisement of an uninformed
+  // node: PPUSH genuinely needs b = 1.
+  StaticGraphProvider topo(make_clique(4));
+  Ppush proto({0});
+  Engine engine(topo, proto, EngineConfig{});  // tag_bits = 0
+  EXPECT_THROW(engine.step(), ContractError);
+}
+
+TEST(Ppush, InformedAdvertiseZeroUninformedOne) {
+  StaticGraphProvider topo(make_path(3));
+  Ppush proto({1});
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  Engine engine(topo, proto, cfg);
+  Rng dummy(1);
+  EXPECT_EQ(proto.advertise(1, 1, dummy), Ppush::kInformedTag);
+  EXPECT_EQ(proto.advertise(0, 1, dummy), Ppush::kUninformedTag);
+}
+
+TEST(Ppush, UninformedNeverProposes) {
+  StaticGraphProvider topo(make_clique(6));
+  Ppush proto({0});
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  Engine engine(topo, proto, cfg);
+  // decide() for an uninformed node is always receive.
+  Rng rng(1);
+  std::vector<NeighborInfo> view{{0, Ppush::kInformedTag}};
+  const Decision d = proto.decide(3, 1, view, rng);
+  EXPECT_FALSE(d.is_send());
+}
+
+TEST(Ppush, InformedTargetsOnlyUninformedTags) {
+  Ppush proto({0});
+  StaticGraphProvider topo(make_clique(4));
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  Engine engine(topo, proto, cfg);
+  Rng rng(2);
+  // All neighbors informed -> no proposal.
+  std::vector<NeighborInfo> informed_view{{1, Ppush::kInformedTag},
+                                          {2, Ppush::kInformedTag}};
+  EXPECT_FALSE(proto.decide(0, 1, informed_view, rng).is_send());
+  // Mixed view -> must target an uninformed-tagged neighbor.
+  std::vector<NeighborInfo> mixed{{1, Ppush::kInformedTag},
+                                  {2, Ppush::kUninformedTag},
+                                  {3, Ppush::kUninformedTag}};
+  for (int i = 0; i < 20; ++i) {
+    const Decision d = proto.decide(0, 1, mixed, rng);
+    ASSERT_TRUE(d.is_send());
+    EXPECT_NE(d.target, 1u);
+  }
+}
+
+TEST(Ppush, FasterThanPushPullOnStarLine) {
+  // The headline b=0 vs b=1 gap (paper Sections V–VI): on the star-line,
+  // PPUSH avoids the Δ² proposal lottery and spreads much faster.
+  const Graph g = make_star_line(6, 8);
+  const NodeId n = g.node_count();
+  auto run_ppush = [&](std::uint64_t seed) {
+    StaticGraphProvider topo(g);
+    Ppush proto({0});
+    EngineConfig cfg;
+    cfg.tag_bits = 1;
+    cfg.seed = seed;
+    Engine engine(topo, proto, cfg);
+    return run_until_stabilized(engine, 1000000).rounds;
+  };
+  auto run_pushpull = [&](std::uint64_t seed) {
+    StaticGraphProvider topo(g);
+    PushPull proto({0});
+    EngineConfig cfg;
+    cfg.seed = seed;
+    Engine engine(topo, proto, cfg);
+    return run_until_stabilized(engine, 1000000).rounds;
+  };
+  double ppush_total = 0, pushpull_total = 0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    ppush_total += static_cast<double>(run_ppush(s));
+    pushpull_total += static_cast<double>(run_pushpull(s));
+  }
+  (void)n;
+  EXPECT_LT(ppush_total * 2, pushpull_total);  // at least 2x faster
+}
+
+TEST(Ppush, ValidatesSources) {
+  EXPECT_THROW(Ppush({}), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,109 @@
+#include "protocols/productive_push_pull.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "protocols/ppush.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(ProductivePushPull, SpreadsOnClique) {
+  StaticGraphProvider topo(make_clique(20));
+  ProductivePushPull proto({0});
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 1;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 100000);
+  ASSERT_TRUE(r.converged);
+  for (NodeId u = 0; u < 20; ++u) EXPECT_TRUE(proto.informed(u));
+}
+
+TEST(ProductivePushPull, AlternatesInitiative) {
+  ProductivePushPull proto({0});
+  StaticGraphProvider topo(make_clique(4));
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  Engine engine(topo, proto, cfg);
+  Rng rng(2);
+  std::vector<NeighborInfo> mixed{
+      {1, ProductivePushPull::kUninformedTag},
+      {2, ProductivePushPull::kInformedTag}};
+  // Odd round: informed node 0 pushes (targets the uninformed tag).
+  {
+    const Decision d = proto.decide(0, 1, mixed, rng);
+    ASSERT_TRUE(d.is_send());
+    EXPECT_EQ(d.target, 1u);
+  }
+  // Even round: informed node 0 receives.
+  EXPECT_FALSE(proto.decide(0, 2, mixed, rng).is_send());
+  // Odd round: uninformed node 3 receives.
+  EXPECT_FALSE(proto.decide(3, 1, mixed, rng).is_send());
+  // Even round: uninformed node 3 pulls (targets the informed tag).
+  {
+    const Decision d = proto.decide(3, 2, mixed, rng);
+    ASSERT_TRUE(d.is_send());
+    EXPECT_EQ(d.target, 2u);
+  }
+}
+
+TEST(ProductivePushPull, PullRoundAloneCanFinish) {
+  // Two nodes, rumor at node 1. Round 1 (push): node 1 proposes to node 0.
+  // Whether via push or pull, it must finish fast on P2.
+  StaticGraphProvider topo(make_path(2));
+  ProductivePushPull proto({1});
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 3;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 100);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(r.rounds, 2u);
+}
+
+TEST(ProductivePushPull, ComparableToPpushOnStarLine) {
+  const Graph g = make_star_line(4, 8);
+  auto measure = [&](auto make_proto) {
+    double total = 0;
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      StaticGraphProvider topo(g);
+      auto proto = make_proto();
+      EngineConfig cfg;
+      cfg.tag_bits = 1;
+      cfg.seed = seed;
+      Engine engine(topo, *proto, cfg);
+      total +=
+          static_cast<double>(run_until_stabilized(engine, 1u << 22).rounds);
+    }
+    return total / 6.0;
+  };
+  const double alternating = measure(
+      [] { return std::make_unique<ProductivePushPull>(std::vector<NodeId>{0}); });
+  const double push_only = measure(
+      [] { return std::make_unique<Ppush>(std::vector<NodeId>{0}); });
+  // Same capacity bound; within a small constant of each other.
+  EXPECT_LT(alternating, 4.0 * push_only);
+  EXPECT_LT(push_only, 4.0 * alternating);
+}
+
+TEST(ProductivePushPull, WorksUnderChangingTopology) {
+  Rng gen(5);
+  RelabelingGraphProvider topo(make_random_regular(16, 4, gen), 1, 5);
+  ProductivePushPull proto({0});
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 5;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1u << 22);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(ProductivePushPull, ValidatesSources) {
+  EXPECT_THROW(ProductivePushPull({}), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,105 @@
+#include "protocols/push_pull.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(PushPull, SpreadsOnClique) {
+  StaticGraphProvider topo(make_clique(20));
+  PushPull proto({0});
+  EngineConfig cfg;
+  cfg.seed = 1;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 100000);
+  ASSERT_TRUE(r.converged);
+  for (NodeId u = 0; u < 20; ++u) EXPECT_TRUE(proto.informed(u));
+}
+
+TEST(PushPull, SpreadsOnStarLine) {
+  StaticGraphProvider topo(make_star_line(4, 4));
+  PushPull proto({0});
+  EngineConfig cfg;
+  cfg.seed = 2;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1000000);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(PushPull, InformedCountMonotone) {
+  StaticGraphProvider topo(make_cycle(12));
+  PushPull proto({0});
+  EngineConfig cfg;
+  cfg.seed = 3;
+  Engine engine(topo, proto, cfg);
+  NodeId prev = proto.informed_count();
+  EXPECT_EQ(prev, 1u);
+  for (int round = 0; round < 200; ++round) {
+    engine.step();
+    EXPECT_GE(proto.informed_count(), prev);
+    prev = proto.informed_count();
+  }
+}
+
+TEST(PushPull, PullDirectionWorks) {
+  // Two nodes, only the *other* one knows the rumor: when the uninformed
+  // node's proposal connects, it pulls the rumor back.
+  StaticGraphProvider topo(make_path(2));
+  PushPull proto({1});
+  EngineConfig cfg;
+  cfg.seed = 4;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1000);
+  ASSERT_TRUE(r.converged);
+  EXPECT_TRUE(proto.informed(0));
+}
+
+TEST(PushPull, MultipleSources) {
+  StaticGraphProvider topo(make_path(9));
+  PushPull proto({0, 8});  // both ends
+  EngineConfig cfg;
+  cfg.seed = 5;
+  Engine engine(topo, proto, cfg);
+  EXPECT_EQ(proto.informed_count(), 2u);
+  const RunResult r = run_until_stabilized(engine, 100000);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(PushPull, DuplicateSourcesCollapse) {
+  StaticGraphProvider topo(make_path(3));
+  PushPull proto({0, 0, 0});
+  Engine engine(topo, proto, EngineConfig{});
+  EXPECT_EQ(proto.informed_count(), 1u);
+}
+
+TEST(PushPull, ValidatesSources) {
+  EXPECT_THROW(PushPull({}), ContractError);
+  StaticGraphProvider topo(make_path(3));
+  PushPull proto({7});  // out of range for n = 3
+  EXPECT_THROW(Engine(topo, proto, EngineConfig{}), ContractError);
+}
+
+TEST(PushPull, AllSourcesImmediatelyStable) {
+  StaticGraphProvider topo(make_path(3));
+  PushPull proto({0, 1, 2});
+  Engine engine(topo, proto, EngineConfig{});
+  EXPECT_TRUE(proto.stabilized());
+}
+
+TEST(PushPull, WorksUnderTauOneChange) {
+  Rng rng(9);
+  RelabelingGraphProvider topo(make_random_regular(16, 4, rng), 1, 9);
+  PushPull proto({0});
+  EngineConfig cfg;
+  cfg.seed = 9;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1000000);
+  EXPECT_TRUE(r.converged);
+}
+
+}  // namespace
+}  // namespace mtm

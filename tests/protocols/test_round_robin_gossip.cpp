@@ -1,0 +1,124 @@
+#include "protocols/round_robin_gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(RoundRobinGossip, ElectsMinimumOnClique) {
+  StaticGraphProvider topo(make_clique(12));
+  RoundRobinGossip proto(BlindGossip::shuffled_uids(12, 1));
+  EngineConfig cfg;
+  cfg.seed = 1;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 100000);
+  ASSERT_TRUE(r.converged);
+  for (NodeId u = 0; u < 12; ++u) {
+    EXPECT_EQ(proto.leader_of(u), proto.target_leader());
+  }
+}
+
+TEST(RoundRobinGossip, ElectsOnBipartiteParityGraph) {
+  // On C_n the parity rule splits senders/receivers alternately; ensure no
+  // starvation on an even cycle (a bipartite graph where parity classes
+  // coincide with the bipartition is the adversarial case).
+  StaticGraphProvider topo(make_cycle(12));
+  RoundRobinGossip proto(BlindGossip::shuffled_uids(12, 2));
+  EngineConfig cfg;
+  cfg.seed = 2;
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1000000);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(RoundRobinGossip, DecisionIsDeterministic) {
+  // Same node, same round, same view -> same decision regardless of rng.
+  RoundRobinGossip proto(BlindGossip::shuffled_uids(4, 3));
+  StaticGraphProvider topo(make_clique(4));
+  Engine engine(topo, proto, EngineConfig{});
+  std::vector<NeighborInfo> view{{1, 0}, {2, 0}, {3, 0}};
+  Rng a(1), b(999);
+  // Fresh protocol state per decide call comparison: cursor advances, so
+  // compare two separately-initialized instances.
+  RoundRobinGossip p1(BlindGossip::shuffled_uids(4, 3));
+  RoundRobinGossip p2(BlindGossip::shuffled_uids(4, 3));
+  StaticGraphProvider t1(make_clique(4)), t2(make_clique(4));
+  Engine e1(t1, p1, EngineConfig{}), e2(t2, p2, EngineConfig{});
+  for (Round r = 2; r <= 8; r += 2) {  // rounds where node 0 sends
+    const Decision d1 = p1.decide(0, r, view, a);
+    const Decision d2 = p2.decide(0, r, view, b);
+    EXPECT_EQ(d1.is_send(), d2.is_send());
+    if (d1.is_send()) {
+      EXPECT_EQ(d1.target, d2.target);
+    }
+  }
+}
+
+TEST(RoundRobinGossip, ParityAlternation) {
+  RoundRobinGossip proto(BlindGossip::shuffled_uids(4, 4));
+  StaticGraphProvider topo(make_clique(4));
+  Engine engine(topo, proto, EngineConfig{});
+  std::vector<NeighborInfo> view{{1, 0}, {2, 0}, {3, 0}};
+  Rng rng(1);
+  // Node 0: sends on even rounds, receives on odd.
+  EXPECT_FALSE(proto.decide(0, 1, view, rng).is_send());
+  EXPECT_TRUE(proto.decide(0, 2, view, rng).is_send());
+  // Node 1: opposite parity.
+  EXPECT_TRUE(proto.decide(1, 1, view, rng).is_send());
+  EXPECT_FALSE(proto.decide(1, 2, view, rng).is_send());
+}
+
+TEST(RoundRobinGossip, CursorCyclesThroughNeighbors) {
+  RoundRobinGossip proto(BlindGossip::shuffled_uids(5, 5));
+  StaticGraphProvider topo(make_clique(5));
+  Engine engine(topo, proto, EngineConfig{});
+  std::vector<NeighborInfo> view{{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  Rng rng(1);
+  std::vector<NodeId> targets;
+  for (Round r = 2; r <= 8; r += 2) {
+    const Decision d = proto.decide(0, r, view, rng);
+    ASSERT_TRUE(d.is_send());
+    targets.push_back(d.target);
+  }
+  EXPECT_EQ(targets, (std::vector<NodeId>{1, 2, 3, 4}));
+}
+
+TEST(RoundRobinGossip, ComparableToBlindGossipOnClique) {
+  // The derandomized variant should be in the same ballpark as blind gossip
+  // on a symmetric topology (randomization is not load-bearing there).
+  const NodeId n = 16;
+  auto measure = [&](auto&& make_proto) {
+    double total = 0;
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      StaticGraphProvider topo(make_clique(n));
+      auto proto = make_proto(seed);
+      EngineConfig cfg;
+      cfg.seed = seed;
+      Engine engine(topo, *proto, cfg);
+      total += static_cast<double>(
+          run_until_stabilized(engine, 1000000).rounds);
+    }
+    return total / 6.0;
+  };
+  const double rr = measure([&](std::uint64_t s) {
+    return std::make_unique<RoundRobinGossip>(BlindGossip::shuffled_uids(n, s));
+  });
+  const double blind = measure([&](std::uint64_t s) {
+    return std::make_unique<BlindGossip>(BlindGossip::shuffled_uids(n, s));
+  });
+  EXPECT_LT(rr, 5.0 * blind);
+  EXPECT_LT(blind, 5.0 * rr);
+}
+
+TEST(RoundRobinGossip, ValidatesUids) {
+  EXPECT_THROW(RoundRobinGossip({}), ContractError);
+  EXPECT_THROW(RoundRobinGossip({1, 1}), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,164 @@
+// Golden regression pins: exact stabilization rounds for fixed
+// (algorithm, topology, seed) combinations.
+//
+// The library promises bit-for-bit reproducibility from seeds, so these
+// values must never drift. A failure here means the random stream layout,
+// engine round mechanics, or an algorithm's decision logic changed —
+// which invalidates every recorded experiment in EXPERIMENTS.md. If a
+// change is INTENTIONAL (e.g. a deliberate protocol fix), regenerate the
+// constants and re-run the full bench suite.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/k_gossip.hpp"
+#include "protocols/leader_consensus.hpp"
+#include "protocols/multibit_convergence.hpp"
+#include "protocols/pairwise_averaging.hpp"
+#include "protocols/round_robin_gossip.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+/// Runs three seeded trials of `make(trial)` on K10 and returns the rounds.
+template <typename Factory>
+std::vector<Round> clique10_rounds(Factory make, int tag_bits,
+                                   std::uint64_t seed) {
+  std::vector<Round> out;
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    StaticGraphProvider topo(make_clique(10));
+    auto proto = make(t);
+    EngineConfig cfg;
+    cfg.tag_bits = tag_bits;
+    cfg.seed = derive_seed(seed, {t});
+    Engine engine(topo, *proto, cfg);
+    out.push_back(run_until_stabilized(engine, 1u << 22).rounds);
+  }
+  return out;
+}
+
+std::vector<Round> leader_rounds(LeaderAlgo algo, Graph g,
+                                 std::uint64_t seed) {
+  LeaderExperiment spec;
+  spec.algo = algo;
+  spec.node_count = g.node_count();
+  spec.max_degree_bound = g.max_degree();
+  spec.network_size_bound = g.node_count();
+  spec.topology = static_topology(std::move(g));
+  spec.max_rounds = 1u << 22;
+  spec.trials = 3;
+  spec.seed = seed;
+  std::vector<Round> out;
+  for (const RunResult& r : run_leader_experiment(spec)) {
+    out.push_back(r.rounds);
+  }
+  return out;
+}
+
+TEST(Golden, BlindGossipClique12) {
+  EXPECT_EQ(leader_rounds(LeaderAlgo::kBlindGossip, make_clique(12), 101),
+            (std::vector<Round>{8, 11, 14}));
+}
+
+TEST(Golden, BlindGossipStarLine3x4) {
+  EXPECT_EQ(
+      leader_rounds(LeaderAlgo::kBlindGossip, make_star_line(3, 4), 102),
+      (std::vector<Round>{33, 100, 86}));
+}
+
+TEST(Golden, BitConvergenceClique12) {
+  EXPECT_EQ(
+      leader_rounds(LeaderAlgo::kBitConvergence, make_clique(12), 103),
+      (std::vector<Round>{65, 129, 129}));
+}
+
+TEST(Golden, AsyncBitConvergenceStarLine3x4) {
+  EXPECT_EQ(leader_rounds(LeaderAlgo::kAsyncBitConvergence,
+                          make_star_line(3, 4), 104),
+            (std::vector<Round>{319, 223, 661}));
+}
+
+TEST(Golden, ClassicalGossipCycle12) {
+  EXPECT_EQ(
+      leader_rounds(LeaderAlgo::kClassicalGossip, make_cycle(12), 105),
+      (std::vector<Round>{5, 6, 4}));
+}
+
+TEST(Golden, PpushStarLine3x4) {
+  RumorExperiment spec;
+  spec.algo = RumorAlgo::kPpush;
+  spec.node_count = 15;
+  spec.topology = static_topology(make_star_line(3, 4));
+  spec.max_rounds = 1u << 22;
+  spec.trials = 3;
+  spec.seed = 106;
+  std::vector<Round> out;
+  for (const RunResult& r : run_rumor_experiment(spec)) {
+    out.push_back(r.rounds);
+  }
+  EXPECT_EQ(out, (std::vector<Round>{10, 11, 10}));
+}
+
+TEST(Golden, MultibitConvergenceWidth2Clique10) {
+  const auto rounds = clique10_rounds(
+      [](std::uint64_t t) {
+        MultibitConvergenceConfig c;
+        c.network_size_bound = 10;
+        c.max_degree_bound = 9;
+        c.advertisement_width = 2;
+        return std::make_unique<MultibitConvergence>(
+            BlindGossip::shuffled_uids(10, t), c);
+      },
+      2, 201);
+  EXPECT_EQ(rounds, (std::vector<Round>{97, 65, 65}));
+}
+
+TEST(Golden, LeaderConsensusClique10) {
+  const auto rounds = clique10_rounds(
+      [](std::uint64_t) {
+        AsyncBitConvergenceConfig c;
+        c.network_size_bound = 10;
+        c.max_degree_bound = 9;
+        std::vector<Uid> uids(10);
+        std::vector<std::uint64_t> inputs(10);
+        for (NodeId u = 0; u < 10; ++u) {
+          uids[u] = 40 + u;
+          inputs[u] = 1000 + u;
+        }
+        return std::make_unique<LeaderConsensus>(uids, inputs, c);
+      },
+      5, 202);
+  EXPECT_EQ(rounds, (std::vector<Round>{57, 65, 89}));
+}
+
+TEST(Golden, PairwiseAveragingClique10) {
+  const auto rounds = clique10_rounds(
+      [](std::uint64_t) {
+        std::vector<double> values(10);
+        for (int i = 0; i < 10; ++i) values[i] = i;
+        return std::make_unique<PairwiseAveraging>(values, 1e-6);
+      },
+      0, 203);
+  EXPECT_EQ(rounds, (std::vector<Round>{104, 94, 141}));
+}
+
+TEST(Golden, KGossipClique10) {
+  const auto rounds = clique10_rounds(
+      [](std::uint64_t) { return std::make_unique<KGossip>(); }, 0, 204);
+  EXPECT_EQ(rounds, (std::vector<Round>{109, 130, 148}));
+}
+
+TEST(Golden, RoundRobinGossipClique10) {
+  const auto rounds = clique10_rounds(
+      [](std::uint64_t t) {
+        return std::make_unique<RoundRobinGossip>(
+            BlindGossip::shuffled_uids(10, t));
+      },
+      0, 205);
+  EXPECT_EQ(rounds, (std::vector<Round>{25, 13, 19}));
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,177 @@
+// The acceptance-policy model variation point (paper Section III: uniform
+// randomness is chosen "for simplicity" among several possibilities).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/push_pull.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+/// Star center receives from all leaves; checks who gets accepted.
+class AllLeavesPropose : public Protocol {
+ public:
+  std::string name() const override { return "all-leaves-propose"; }
+  void init(NodeId n, std::span<Rng>) override { node_count_ = n; }
+  Tag advertise(NodeId, Round, Rng&) override { return 0; }
+  Decision decide(NodeId u, Round, std::span<const NeighborInfo> view,
+                  Rng&) override {
+    if (u == 0 || view.empty()) return Decision::receive();
+    return Decision::send(0);
+  }
+  Payload make_payload(NodeId u, NodeId, Round) override {
+    Payload p;
+    p.push_uid(u);
+    return p;
+  }
+  void receive_payload(NodeId u, NodeId peer, const Payload&,
+                       Round) override {
+    if (u == 0) accepted_senders.push_back(peer);
+  }
+  bool stabilized() const override { return false; }
+
+  NodeId node_count_ = 0;
+  std::vector<NodeId> accepted_senders;
+};
+
+TEST(AcceptancePolicy, SmallestIdIsDeterministic) {
+  StaticGraphProvider topo(make_star(6));
+  AllLeavesPropose proto;
+  EngineConfig cfg;
+  cfg.acceptance = AcceptancePolicy::kSmallestId;
+  cfg.seed = 1;
+  Engine engine(topo, proto, cfg);
+  engine.run_rounds(10);
+  ASSERT_EQ(proto.accepted_senders.size(), 10u);
+  for (NodeId s : proto.accepted_senders) EXPECT_EQ(s, 1u);
+}
+
+TEST(AcceptancePolicy, LargestIdIsDeterministic) {
+  StaticGraphProvider topo(make_star(6));
+  AllLeavesPropose proto;
+  EngineConfig cfg;
+  cfg.acceptance = AcceptancePolicy::kLargestId;
+  cfg.seed = 1;
+  Engine engine(topo, proto, cfg);
+  engine.run_rounds(10);
+  for (NodeId s : proto.accepted_senders) EXPECT_EQ(s, 5u);
+}
+
+TEST(AcceptancePolicy, UniformSpreadsAcceptances) {
+  std::map<NodeId, int> counts;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    StaticGraphProvider topo(make_star(6));
+    AllLeavesPropose proto;
+    EngineConfig cfg;
+    cfg.acceptance = AcceptancePolicy::kUniformRandom;
+    cfg.seed = seed;
+    Engine engine(topo, proto, cfg);
+    engine.step();
+    ASSERT_EQ(proto.accepted_senders.size(), 1u);
+    ++counts[proto.accepted_senders[0]];
+  }
+  for (NodeId leaf = 1; leaf < 6; ++leaf) {
+    EXPECT_GT(counts[leaf], 15) << "leaf " << leaf;  // ~40 expected
+  }
+}
+
+class PolicyConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyConvergence, ProtocolsConvergeUnderEveryPolicy) {
+  // The Section VI analysis leans on uniform acceptance for its
+  // independence argument, but CORRECTNESS (probability-1 stabilization)
+  // survives any acceptance policy: sender-side randomness alone
+  // suffices to realize every needed connection eventually.
+  const auto policy = static_cast<AcceptancePolicy>(GetParam());
+  {
+    StaticGraphProvider topo(make_star_line(3, 4));
+    BlindGossip proto(BlindGossip::shuffled_uids(15, 3));
+    EngineConfig cfg;
+    cfg.acceptance = policy;
+    cfg.seed = 3;
+    Engine engine(topo, proto, cfg);
+    EXPECT_TRUE(run_until_stabilized(engine, 1u << 22).converged);
+  }
+  {
+    StaticGraphProvider topo(make_clique(12));
+    PushPull proto({0});
+    EngineConfig cfg;
+    cfg.acceptance = policy;
+    cfg.seed = 4;
+    Engine engine(topo, proto, cfg);
+    EXPECT_TRUE(run_until_stabilized(engine, 1u << 22).converged);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicyConvergence,
+    ::testing::Values(static_cast<int>(AcceptancePolicy::kUniformRandom),
+                      static_cast<int>(AcceptancePolicy::kSmallestId),
+                      static_cast<int>(AcceptancePolicy::kLargestId)));
+
+TEST(AcceptancePolicy, GoodEdgeFrequencyMeetsSectionSixBound) {
+  // Definition VI.2 / the 1/(4Δ²) bound: under uniform acceptance, a fixed
+  // ordered edge (u, v) connects with probability >= 1/(4Δ²). Measure the
+  // bottleneck center-center edge of a star-line over many one-round
+  // trials of blind gossip.
+  const Graph g = make_star_line(2, 6);  // centers 0 and 7, Δ = 7
+  const NodeId u = star_line_center(0, 6);
+  const NodeId v = star_line_center(1, 6);
+  const double delta = g.max_degree();
+  int connected = 0;
+  const int kTrials = 40000;
+  /// Observes connections via payload receipts, delegating to blind gossip.
+  class Probe : public Protocol {
+   public:
+    explicit Probe(BlindGossip& inner) : inner_(inner) {}
+    std::string name() const override { return "probe"; }
+    void init(NodeId n, std::span<Rng> rngs) override { inner_.init(n, rngs); }
+    Tag advertise(NodeId a, Round r, Rng& rng) override {
+      return inner_.advertise(a, r, rng);
+    }
+    Decision decide(NodeId a, Round r, std::span<const NeighborInfo> view,
+                    Rng& rng) override {
+      return inner_.decide(a, r, view, rng);
+    }
+    Payload make_payload(NodeId a, NodeId p, Round r) override {
+      return inner_.make_payload(a, p, r);
+    }
+    void receive_payload(NodeId at, NodeId peer, const Payload& p,
+                         Round r) override {
+      inner_.receive_payload(at, peer, p, r);
+      pairs.emplace_back(at, peer);
+    }
+    bool stabilized() const override { return inner_.stabilized(); }
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+
+   private:
+    BlindGossip& inner_;
+  };
+  for (int trial = 0; trial < kTrials; ++trial) {
+    StaticGraphProvider topo(g);
+    BlindGossip inner(BlindGossip::shuffled_uids(
+        g.node_count(), static_cast<std::uint64_t>(trial)));
+    Probe proto(inner);
+    EngineConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(trial) + 1;
+    Engine engine(topo, proto, cfg);
+    engine.step();
+    for (const auto& [at, peer] : proto.pairs) {
+      if ((at == u && peer == v) || (at == v && peer == u)) {
+        ++connected;
+        break;
+      }
+    }
+  }
+  const double freq = static_cast<double>(connected) / kTrials;
+  // The connection event is a superset of the ordered good events in both
+  // directions; the bound for one ordered edge is 1/(4Δ²).
+  EXPECT_GE(freq, 1.0 / (4.0 * delta * delta));
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,120 @@
+#include "sim/dynamic_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(StaticProvider, AlwaysSameGraph) {
+  StaticGraphProvider provider(make_cycle(5));
+  const Graph& g1 = provider.graph_at(1);
+  const Graph& g100 = provider.graph_at(100);
+  EXPECT_EQ(&g1, &g100);
+  EXPECT_EQ(provider.stability(), DynamicGraphProvider::kInfiniteStability);
+  EXPECT_EQ(provider.node_count(), 5u);
+}
+
+TEST(StaticProvider, RejectsDisconnected) {
+  EXPECT_THROW(StaticGraphProvider(Graph::empty(3)), ContractError);
+}
+
+TEST(StaticProvider, RejectsRoundZero) {
+  StaticGraphProvider provider(make_cycle(5));
+  EXPECT_THROW(provider.graph_at(0), ContractError);
+}
+
+TEST(SequenceProvider, SwitchesEveryTau) {
+  std::vector<Graph> graphs;
+  graphs.push_back(make_path(4));
+  graphs.push_back(make_cycle(4));
+  SequenceGraphProvider provider(std::move(graphs), 3);
+  // Rounds 1-3: path (3 edges); rounds 4-6: cycle (4 edges); round 7 wraps.
+  EXPECT_EQ(provider.graph_at(1).edge_count(), 3u);
+  EXPECT_EQ(provider.graph_at(3).edge_count(), 3u);
+  EXPECT_EQ(provider.graph_at(4).edge_count(), 4u);
+  EXPECT_EQ(provider.graph_at(6).edge_count(), 4u);
+  EXPECT_EQ(provider.graph_at(7).edge_count(), 3u);
+  EXPECT_EQ(provider.stability(), 3u);
+}
+
+TEST(SequenceProvider, ValidatesInputs) {
+  EXPECT_THROW(SequenceGraphProvider({}, 1), ContractError);
+  std::vector<Graph> mismatch;
+  mismatch.push_back(make_path(3));
+  mismatch.push_back(make_path(4));
+  EXPECT_THROW(SequenceGraphProvider(std::move(mismatch), 1), ContractError);
+}
+
+TEST(RegeneratingProvider, StableWithinWindowFreshAcross) {
+  RegeneratingGraphProvider provider(
+      [](Rng& rng) { return make_random_regular(12, 4, rng); }, 5, 42);
+  const auto edges_r1 = provider.graph_at(1).edges();
+  EXPECT_EQ(provider.graph_at(3).edges(), edges_r1);
+  EXPECT_EQ(provider.graph_at(5).edges(), edges_r1);
+  const auto edges_r6 = provider.graph_at(6).edges();
+  EXPECT_NE(edges_r6, edges_r1);  // fresh sample (w.h.p. for this seed)
+  EXPECT_EQ(provider.node_count(), 12u);
+}
+
+TEST(RegeneratingProvider, DeterministicSchedule) {
+  auto build = [] {
+    return RegeneratingGraphProvider(
+        [](Rng& rng) { return make_random_regular(10, 3, rng); }, 2, 7);
+  };
+  auto a = build();
+  auto b = build();
+  for (Round r = 1; r <= 10; ++r) {
+    EXPECT_EQ(a.graph_at(r).edges(), b.graph_at(r).edges()) << "round " << r;
+  }
+}
+
+TEST(RelabelingProvider, PreservesDegreeSequence) {
+  RelabelingGraphProvider provider(make_star_line(3, 4), 2, 5);
+  const Graph& base = provider.graph_at(1);
+  const NodeId delta = base.max_degree();
+  const std::size_t edges = base.edge_count();
+  for (Round r = 1; r <= 20; ++r) {
+    const Graph& g = provider.graph_at(r);
+    EXPECT_EQ(g.max_degree(), delta);
+    EXPECT_EQ(g.edge_count(), edges);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(RelabelingProvider, ChangesAcrossWindowsOnly) {
+  RelabelingGraphProvider provider(make_path(6), 3, 11);
+  const auto e1 = provider.graph_at(1).edges();
+  EXPECT_EQ(provider.graph_at(2).edges(), e1);
+  EXPECT_EQ(provider.graph_at(3).edges(), e1);
+  const auto e4 = provider.graph_at(4).edges();
+  EXPECT_NE(e4, e1);  // new permutation (w.h.p. for n=6 and this seed)
+}
+
+TEST(RelabelingProvider, TauOneChangesEveryRound) {
+  RelabelingGraphProvider provider(make_cycle(8), 1, 3);
+  const auto e1 = provider.graph_at(1).edges();
+  const auto e2 = provider.graph_at(2).edges();
+  const auto e3 = provider.graph_at(3).edges();
+  EXPECT_TRUE(e1 != e2 || e2 != e3);  // at least one change in 3 rounds
+}
+
+TEST(Providers, TauStabilityContractHolds) {
+  // Property: for each provider with stability tau, graph_at is constant on
+  // every window [k*tau+1, (k+1)*tau].
+  const Round tau = 4;
+  RelabelingGraphProvider provider(make_cycle(10), tau, 17);
+  for (Round window = 0; window < 5; ++window) {
+    const auto first = provider.graph_at(window * tau + 1).edges();
+    for (Round offset = 2; offset <= tau; ++offset) {
+      EXPECT_EQ(provider.graph_at(window * tau + offset).edges(), first)
+          << "window " << window << " offset " << offset;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mtm

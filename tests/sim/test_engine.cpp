@@ -1,0 +1,285 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "sim/dynamic_graph.hpp"
+
+namespace mtm {
+namespace {
+
+/// Scriptable protocol for engine unit tests: records every callback and
+/// follows per-node instructions for tags and decisions.
+class ScriptedProtocol : public Protocol {
+ public:
+  std::string name() const override { return "scripted"; }
+
+  void init(NodeId node_count, std::span<Rng> node_rngs) override {
+    node_count_ = node_count;
+    init_rng_count_ = node_rngs.size();
+  }
+
+  Tag advertise(NodeId u, Round local_round, Rng&) override {
+    advertise_calls.push_back({u, local_round});
+    auto it = tags.find(u);
+    return it == tags.end() ? 0 : it->second;
+  }
+
+  Decision decide(NodeId u, Round local_round,
+                  std::span<const NeighborInfo> view, Rng&) override {
+    decide_calls.push_back({u, local_round});
+    views[u].assign(view.begin(), view.end());
+    auto it = sends.find(u);
+    if (it == sends.end()) return Decision::receive();
+    return Decision::send(it->second);
+  }
+
+  Payload make_payload(NodeId u, NodeId, Round) override {
+    Payload p;
+    p.push_uid(u);
+    return p;
+  }
+
+  void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                       Round) override {
+    received[u].push_back(peer);
+    EXPECT_EQ(payload.uid(0), peer);
+  }
+
+  void finish_round(NodeId u, Round) override { finished.push_back(u); }
+
+  bool stabilized() const override { return false; }
+
+  NodeId node_count_ = 0;
+  std::size_t init_rng_count_ = 0;
+  std::map<NodeId, Tag> tags;
+  std::map<NodeId, NodeId> sends;  // node -> proposal target
+  std::vector<std::pair<NodeId, Round>> advertise_calls;
+  std::vector<std::pair<NodeId, Round>> decide_calls;
+  std::map<NodeId, std::vector<NeighborInfo>> views;
+  std::map<NodeId, std::vector<NodeId>> received;
+  std::vector<NodeId> finished;
+};
+
+TEST(Engine, InitPassesNodeCountAndStreams) {
+  StaticGraphProvider topo(make_path(4));
+  ScriptedProtocol proto;
+  Engine engine(topo, proto, EngineConfig{});
+  EXPECT_EQ(proto.node_count_, 4u);
+  EXPECT_EQ(proto.init_rng_count_, 4u);
+  EXPECT_EQ(engine.node_count(), 4u);
+  EXPECT_EQ(engine.rounds_executed(), 0u);
+}
+
+TEST(Engine, ProposalToReceiverConnects) {
+  StaticGraphProvider topo(make_path(2));
+  ScriptedProtocol proto;
+  proto.sends[0] = 1;  // 0 proposes to 1; 1 receives
+  Engine engine(topo, proto, EngineConfig{});
+  engine.step();
+  ASSERT_EQ(proto.received[1].size(), 1u);
+  EXPECT_EQ(proto.received[1][0], 0u);
+  ASSERT_EQ(proto.received[0].size(), 1u);
+  EXPECT_EQ(proto.received[0][0], 1u);
+  EXPECT_EQ(engine.telemetry().connections(), 1u);
+  EXPECT_EQ(engine.telemetry().proposals(), 1u);
+}
+
+TEST(Engine, SenderCannotReceive) {
+  // Both endpoints send to each other: neither may accept (paper: "A node
+  // that sends a proposal cannot also receive a proposal").
+  StaticGraphProvider topo(make_path(2));
+  ScriptedProtocol proto;
+  proto.sends[0] = 1;
+  proto.sends[1] = 0;
+  Engine engine(topo, proto, EngineConfig{});
+  engine.step();
+  EXPECT_TRUE(proto.received[0].empty());
+  EXPECT_TRUE(proto.received[1].empty());
+  EXPECT_EQ(engine.telemetry().connections(), 0u);
+  EXPECT_EQ(engine.telemetry().proposals(), 2u);
+}
+
+TEST(Engine, ReceiverAcceptsExactlyOne) {
+  // Star: all 4 leaves propose to the center, which receives.
+  StaticGraphProvider topo(make_star(5));
+  ScriptedProtocol proto;
+  for (NodeId leaf = 1; leaf < 5; ++leaf) proto.sends[leaf] = 0;
+  Engine engine(topo, proto, EngineConfig{});
+  engine.step();
+  EXPECT_EQ(proto.received[0].size(), 1u);  // exactly one accepted
+  EXPECT_EQ(engine.telemetry().connections(), 1u);
+  // The accepted sender got the center's payload; the rest got nothing.
+  std::size_t senders_with_reply = 0;
+  for (NodeId leaf = 1; leaf < 5; ++leaf) {
+    senders_with_reply += proto.received[leaf].size();
+  }
+  EXPECT_EQ(senders_with_reply, 1u);
+}
+
+TEST(Engine, AcceptanceIsUniformAcrossSenders) {
+  // Run many independent rounds; each of 4 proposers to the star center
+  // should be accepted roughly 1/4 of the time.
+  std::map<NodeId, int> accepted;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    StaticGraphProvider topo(make_star(5));
+    ScriptedProtocol proto;
+    for (NodeId leaf = 1; leaf < 5; ++leaf) proto.sends[leaf] = 0;
+    EngineConfig cfg;
+    cfg.seed = seed;
+    Engine engine(topo, proto, cfg);
+    engine.step();
+    ASSERT_EQ(proto.received[0].size(), 1u);
+    ++accepted[proto.received[0][0]];
+  }
+  for (NodeId leaf = 1; leaf < 5; ++leaf) {
+    EXPECT_GT(accepted[leaf], 55) << "leaf " << leaf;   // expect ~100
+    EXPECT_LT(accepted[leaf], 145) << "leaf " << leaf;
+  }
+}
+
+TEST(Engine, TagsVisibleInNeighborViews) {
+  StaticGraphProvider topo(make_path(3));
+  ScriptedProtocol proto;
+  proto.tags[0] = 1;
+  proto.tags[1] = 0;
+  proto.tags[2] = 1;
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  Engine engine(topo, proto, cfg);
+  engine.step();
+  ASSERT_EQ(proto.views[1].size(), 2u);
+  EXPECT_EQ(proto.views[1][0].id, 0u);
+  EXPECT_EQ(proto.views[1][0].tag, 1u);
+  EXPECT_EQ(proto.views[1][1].id, 2u);
+  EXPECT_EQ(proto.views[1][1].tag, 1u);
+  ASSERT_EQ(proto.views[0].size(), 1u);
+  EXPECT_EQ(proto.views[0][0].tag, 0u);
+}
+
+TEST(Engine, TagWidthEnforced) {
+  StaticGraphProvider topo(make_path(2));
+  ScriptedProtocol proto;
+  proto.tags[0] = 1;  // needs b >= 1
+  Engine engine(topo, proto, EngineConfig{});  // b = 0
+  EXPECT_THROW(engine.step(), ContractError);
+}
+
+TEST(Engine, ProposalTargetMustBeNeighbor) {
+  StaticGraphProvider topo(make_path(3));  // 0-1-2
+  ScriptedProtocol proto;
+  proto.sends[0] = 2;  // not adjacent to 0
+  Engine engine(topo, proto, EngineConfig{});
+  EXPECT_THROW(engine.step(), ContractError);
+}
+
+TEST(Engine, ClassicalModeAcceptsAll) {
+  StaticGraphProvider topo(make_star(5));
+  ScriptedProtocol proto;
+  for (NodeId leaf = 1; leaf < 5; ++leaf) proto.sends[leaf] = 0;
+  EngineConfig cfg;
+  cfg.classical_mode = true;
+  Engine engine(topo, proto, cfg);
+  engine.step();
+  EXPECT_EQ(proto.received[0].size(), 4u);  // all proposals connect
+  EXPECT_EQ(engine.telemetry().connections(), 4u);
+}
+
+TEST(Engine, ClassicalModeSenderAlsoReceives) {
+  // 0 -> 1 and 1 -> 0 both connect in classical mode.
+  StaticGraphProvider topo(make_path(2));
+  ScriptedProtocol proto;
+  proto.sends[0] = 1;
+  proto.sends[1] = 0;
+  EngineConfig cfg;
+  cfg.classical_mode = true;
+  Engine engine(topo, proto, cfg);
+  engine.step();
+  EXPECT_EQ(proto.received[0].size(), 2u);
+  EXPECT_EQ(proto.received[1].size(), 2u);
+}
+
+TEST(Engine, InactiveNodesInvisibleAndIdle) {
+  StaticGraphProvider topo(make_path(3));
+  ScriptedProtocol proto;
+  EngineConfig cfg;
+  cfg.activation_rounds = {1, 3, 1};  // node 1 activates in round 3
+  Engine engine(topo, proto, cfg);
+  engine.step();  // round 1
+  // Node 1 never advertised/decided; nodes 0 and 2 see empty views (their
+  // only neighbor is 1, which is inactive).
+  for (const auto& [u, lr] : proto.advertise_calls) EXPECT_NE(u, 1u);
+  EXPECT_TRUE(proto.views[0].empty());
+  EXPECT_TRUE(proto.views[2].empty());
+  engine.step();  // round 2: still inactive
+  engine.step();  // round 3: active now
+  bool node1_advertised = false;
+  for (const auto& [u, lr] : proto.advertise_calls) {
+    if (u == 1) {
+      node1_advertised = true;
+      EXPECT_EQ(lr, 1u);  // local round restarts at activation
+    }
+  }
+  EXPECT_TRUE(node1_advertised);
+  EXPECT_EQ(engine.all_active_round(), 3u);
+}
+
+TEST(Engine, LocalRoundsOffsetByActivation) {
+  StaticGraphProvider topo(make_path(2));
+  ScriptedProtocol proto;
+  EngineConfig cfg;
+  cfg.activation_rounds = {1, 2};
+  Engine engine(topo, proto, cfg);
+  engine.run_rounds(3);
+  // Node 0 local rounds: 1,2,3. Node 1: 1,2 (activated at round 2).
+  std::map<NodeId, std::vector<Round>> seen;
+  for (const auto& [u, lr] : proto.advertise_calls) seen[u].push_back(lr);
+  EXPECT_EQ(seen[0], (std::vector<Round>{1, 2, 3}));
+  EXPECT_EQ(seen[1], (std::vector<Round>{1, 2}));
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run = [] {
+    StaticGraphProvider topo(make_clique(6));
+    ScriptedProtocol proto;
+    proto.sends[0] = 1;
+    proto.sends[2] = 1;
+    proto.sends[3] = 4;
+    EngineConfig cfg;
+    cfg.seed = 99;
+    Engine engine(topo, proto, cfg);
+    engine.run_rounds(5);
+    return proto.received;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Engine, ValidatesConfig) {
+  StaticGraphProvider topo(make_path(2));
+  ScriptedProtocol proto;
+  EngineConfig bad_bits;
+  bad_bits.tag_bits = 64;
+  EXPECT_THROW(Engine(topo, proto, bad_bits), ContractError);
+  EngineConfig bad_activation;
+  bad_activation.activation_rounds = {1};  // wrong size
+  EXPECT_THROW(Engine(topo, proto, bad_activation), ContractError);
+  EngineConfig zero_activation;
+  zero_activation.activation_rounds = {1, 0};
+  EXPECT_THROW(Engine(topo, proto, zero_activation), ContractError);
+}
+
+TEST(Engine, PayloadUidTelemetry) {
+  StaticGraphProvider topo(make_path(2));
+  ScriptedProtocol proto;
+  proto.sends[0] = 1;
+  Engine engine(topo, proto, EngineConfig{});
+  engine.step();
+  EXPECT_EQ(engine.telemetry().payload_uids(), 2u);  // one uid each way
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,116 @@
+// Failure injection: dropped connections slow but never break the paper's
+// monotone algorithms.
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(FailureInjection, DropRateMatchesConfig) {
+  StaticGraphProvider topo(make_clique(16));
+  BlindGossip proto(BlindGossip::shuffled_uids(16, 1));
+  EngineConfig cfg;
+  cfg.seed = 1;
+  cfg.connection_failure_prob = 0.5;
+  Engine engine(topo, proto, cfg);
+  engine.run_rounds(500);
+  const auto& t = engine.telemetry();
+  ASSERT_GT(t.connections(), 500u);
+  const double rate = static_cast<double>(t.failed_connections()) /
+                      static_cast<double>(t.connections());
+  EXPECT_NEAR(rate, 0.5, 0.06);
+}
+
+TEST(FailureInjection, ZeroProbabilityIsByteIdentical) {
+  // p = 0 must not consume any extra randomness: identical execution to a
+  // default-config run (protects the golden pins).
+  auto run = [](double p) {
+    StaticGraphProvider topo(make_clique(10));
+    BlindGossip proto(BlindGossip::shuffled_uids(10, 2));
+    EngineConfig cfg;
+    cfg.seed = 2;
+    cfg.connection_failure_prob = p;
+    Engine engine(topo, proto, cfg);
+    return run_until_stabilized(engine, 100000).rounds;
+  };
+  EXPECT_EQ(run(0.0), run(0.0));
+  StaticGraphProvider topo(make_clique(10));
+  BlindGossip proto(BlindGossip::shuffled_uids(10, 2));
+  EngineConfig cfg;
+  cfg.seed = 2;
+  Engine engine(topo, proto, cfg);
+  EXPECT_EQ(run(0.0), run_until_stabilized(engine, 100000).rounds);
+}
+
+TEST(FailureInjection, NoPayloadOnDroppedConnections) {
+  StaticGraphProvider topo(make_path(2));
+  BlindGossip proto(BlindGossip::shuffled_uids(2, 3));
+  EngineConfig cfg;
+  cfg.seed = 3;
+  cfg.connection_failure_prob = 0.999;  // nearly everything drops
+  Engine engine(topo, proto, cfg);
+  engine.run_rounds(100);
+  const auto& t = engine.telemetry();
+  // Payload UIDs flow only on surviving connections (2 per survivor).
+  EXPECT_EQ(t.payload_uids(),
+            2 * (t.connections() - t.failed_connections()));
+}
+
+class FailureConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FailureConvergence, AllLeaderAlgosSurviveHeavyLoss) {
+  const auto algo = static_cast<LeaderAlgo>(GetParam());
+  LeaderExperiment spec;
+  spec.algo = algo;
+  spec.node_count = 12;
+  spec.max_degree_bound = 11;
+  spec.network_size_bound = 12;
+  spec.topology = static_topology(make_clique(12));
+  spec.max_rounds = 1u << 23;
+  spec.trials = 3;
+  spec.seed = 4;
+  spec.connection_failure_prob = 0.7;
+  for (const RunResult& r : run_leader_experiment(spec)) {
+    EXPECT_TRUE(r.converged) << leader_algo_name(algo);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, FailureConvergence,
+    ::testing::Values(static_cast<int>(LeaderAlgo::kBlindGossip),
+                      static_cast<int>(LeaderAlgo::kBitConvergence),
+                      static_cast<int>(LeaderAlgo::kAsyncBitConvergence),
+                      static_cast<int>(LeaderAlgo::kClassicalGossip)));
+
+TEST(FailureInjection, LossSlowsConvergence) {
+  auto mean_rounds = [](double p) {
+    LeaderExperiment spec;
+    spec.algo = LeaderAlgo::kBlindGossip;
+    spec.node_count = 16;
+    spec.topology = static_topology(make_clique(16));
+    spec.max_rounds = 1u << 23;
+    spec.trials = 8;
+    spec.seed = 5;
+    spec.connection_failure_prob = p;
+    return measure_leader(spec).mean;
+  };
+  EXPECT_GT(mean_rounds(0.8), mean_rounds(0.0));
+}
+
+TEST(FailureInjection, ValidatesProbability) {
+  StaticGraphProvider topo(make_path(2));
+  BlindGossip proto(BlindGossip::shuffled_uids(2, 6));
+  EngineConfig bad;
+  bad.connection_failure_prob = 1.0;  // would deadlock every protocol
+  EXPECT_THROW(Engine(topo, proto, bad), ContractError);
+  bad.connection_failure_prob = -0.1;
+  EXPECT_THROW(Engine(topo, proto, bad), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

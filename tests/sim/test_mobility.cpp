@@ -1,0 +1,95 @@
+#include "sim/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/connectivity.hpp"
+
+namespace mtm {
+namespace {
+
+MobilityConfig small_config() {
+  MobilityConfig cfg;
+  cfg.node_count = 30;
+  cfg.radius = 0.25;
+  cfg.speed = 0.05;
+  cfg.tau = 2;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Mobility, AlwaysConnected) {
+  MobilityGraphProvider provider(small_config());
+  for (Round r = 1; r <= 40; ++r) {
+    EXPECT_TRUE(is_connected(provider.graph_at(r))) << "round " << r;
+  }
+}
+
+TEST(Mobility, RespectsTauContract) {
+  MobilityGraphProvider provider(small_config());
+  for (Round window = 0; window < 10; ++window) {
+    const auto first = provider.graph_at(window * 2 + 1).edges();
+    EXPECT_EQ(provider.graph_at(window * 2 + 2).edges(), first);
+  }
+}
+
+TEST(Mobility, TopologyEventuallyChanges) {
+  MobilityGraphProvider provider(small_config());
+  const auto initial = provider.graph_at(1).edges();
+  bool changed = false;
+  for (Round r = 3; r <= 60 && !changed; r += 2) {
+    changed = provider.graph_at(r).edges() != initial;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Mobility, DeterministicFromSeed) {
+  MobilityGraphProvider a(small_config());
+  MobilityGraphProvider b(small_config());
+  for (Round r = 1; r <= 20; ++r) {
+    EXPECT_EQ(a.graph_at(r).edges(), b.graph_at(r).edges());
+  }
+}
+
+TEST(Mobility, PositionsStayInUnitSquare) {
+  MobilityGraphProvider provider(small_config());
+  (void)provider.graph_at(50);
+  for (double x : provider.xs()) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+  for (double y : provider.ys()) {
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 1.0);
+  }
+}
+
+TEST(Mobility, SparseRadiusTriggersRepair) {
+  MobilityConfig cfg = small_config();
+  cfg.node_count = 20;
+  cfg.radius = 0.02;  // almost surely disconnected disk graph
+  MobilityGraphProvider provider(cfg);
+  EXPECT_TRUE(is_connected(provider.graph_at(1)));
+  EXPECT_GT(provider.repair_edges(), 0u);
+}
+
+TEST(Mobility, RejectsNonMonotonicRounds) {
+  MobilityGraphProvider provider(small_config());
+  (void)provider.graph_at(10);
+  EXPECT_THROW(provider.graph_at(1), ContractError);
+}
+
+TEST(Mobility, ValidatesConfig) {
+  MobilityConfig bad = small_config();
+  bad.node_count = 1;
+  EXPECT_THROW(MobilityGraphProvider{bad}, ContractError);
+  bad = small_config();
+  bad.radius = 0.0;
+  EXPECT_THROW(MobilityGraphProvider{bad}, ContractError);
+  bad = small_config();
+  bad.tau = 0;
+  EXPECT_THROW(MobilityGraphProvider{bad}, ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

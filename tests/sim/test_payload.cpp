@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "sim/model.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(Payload, UidRoundTrip) {
+  Payload p;
+  p.push_uid(42);
+  p.push_uid(7);
+  ASSERT_EQ(p.uid_count(), 2u);
+  EXPECT_EQ(p.uid(0), 42u);
+  EXPECT_EQ(p.uid(1), 7u);
+}
+
+TEST(Payload, UidCapEnforced) {
+  Payload p;
+  p.push_uid(1);
+  p.push_uid(2);
+  EXPECT_THROW(p.push_uid(3), ContractError);
+}
+
+TEST(Payload, UidIndexValidated) {
+  Payload p;
+  p.push_uid(1);
+  EXPECT_THROW(p.uid(1), ContractError);
+}
+
+TEST(Payload, BitsRoundTrip) {
+  Payload p;
+  p.push_bits(0b1011, 4);
+  p.push_bits(0xffff, 16);
+  EXPECT_EQ(p.extra_bit_count(), 20);
+  EXPECT_EQ(p.read_bits(0, 4), 0b1011u);
+  EXPECT_EQ(p.read_bits(4, 16), 0xffffu);
+}
+
+TEST(Payload, BitsCrossWordBoundary) {
+  Payload p;
+  p.push_bits(0x123456789abcdef0ull, 64);
+  p.push_bits(0x5a5a, 16);
+  EXPECT_EQ(p.read_bits(0, 64), 0x123456789abcdef0ull);
+  EXPECT_EQ(p.read_bits(64, 16), 0x5a5au);
+  // Read straddling the word boundary.
+  const std::uint64_t tail4 = p.read_bits(60, 8);
+  EXPECT_EQ(tail4 & 0xf, 0x1u);          // top nibble of first word
+  EXPECT_EQ((tail4 >> 4) & 0xf, 0xau);   // bottom nibble of 0x5a5a
+}
+
+TEST(Payload, BitCapEnforced) {
+  Payload p;
+  p.push_bits(0, 64);
+  p.push_bits(0, 64);
+  EXPECT_THROW(p.push_bits(0, 1), ContractError);
+}
+
+TEST(Payload, ValueWiderThanDeclaredRejected) {
+  Payload p;
+  EXPECT_THROW(p.push_bits(4, 2), ContractError);  // 4 needs 3 bits
+}
+
+TEST(Payload, ReadBoundsValidated) {
+  Payload p;
+  p.push_bits(1, 4);
+  EXPECT_THROW(p.read_bits(1, 4), ContractError);
+  EXPECT_THROW(p.read_bits(-1, 2), ContractError);
+  EXPECT_THROW(p.read_bits(0, 0), ContractError);
+}
+
+TEST(IdPair, OrderingTagFirstThenUid) {
+  EXPECT_LT((IdPair{5, 1}), (IdPair{1, 2}));  // smaller tag wins
+  EXPECT_LT((IdPair{1, 3}), (IdPair{2, 3}));  // tie on tag -> smaller uid
+  EXPECT_FALSE((IdPair{1, 3}) < (IdPair{1, 3}));
+  EXPECT_EQ((IdPair{1, 3}), (IdPair{1, 3}));
+}
+
+TEST(Decision, Factories) {
+  const Decision r = Decision::receive();
+  EXPECT_FALSE(r.is_send());
+  const Decision s = Decision::send(9);
+  EXPECT_TRUE(s.is_send());
+  EXPECT_EQ(s.target, 9u);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,136 @@
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/push_pull.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(Runner, StopsAtStabilization) {
+  StaticGraphProvider topo(make_clique(8));
+  BlindGossip proto(BlindGossip::shuffled_uids(8, 1));
+  EngineConfig cfg;
+  cfg.seed = 1;
+  Engine engine(topo, proto, cfg);
+  const RunResult result = run_until_stabilized(engine, 10000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.rounds, 0u);
+  EXPECT_LT(result.rounds, 10000u);
+  EXPECT_TRUE(proto.stabilized());
+  EXPECT_EQ(result.rounds, engine.rounds_executed());
+  EXPECT_EQ(result.rounds_after_last_activation, result.rounds);
+  // Communication-cost fields mirror the engine telemetry.
+  EXPECT_EQ(result.connections, engine.telemetry().connections());
+  EXPECT_EQ(result.proposals, engine.telemetry().proposals());
+  EXPECT_GT(result.connections, 0u);
+  EXPECT_GE(result.proposals, result.connections);
+}
+
+TEST(Runner, RespectsMaxRounds) {
+  // A two-node path with push-pull: cap at 1 round may not converge; cap is
+  // honored either way.
+  StaticGraphProvider topo(make_star_line(8, 8));
+  BlindGossip proto(BlindGossip::shuffled_uids(72, 2));
+  Engine engine(topo, proto, EngineConfig{});
+  const RunResult result = run_until_stabilized(engine, 5);
+  EXPECT_EQ(engine.rounds_executed(), 5u);
+  EXPECT_FALSE(result.converged);  // star-line needs far more than 5 rounds
+}
+
+TEST(Runner, PerRoundCallbackInvoked) {
+  StaticGraphProvider topo(make_clique(4));
+  BlindGossip proto(BlindGossip::shuffled_uids(4, 3));
+  Engine engine(topo, proto, EngineConfig{});
+  Round callbacks = 0;
+  const RunResult result = run_until_stabilized(
+      engine, 1000, [&callbacks](const Engine&) { ++callbacks; });
+  EXPECT_EQ(callbacks, result.rounds);
+}
+
+TEST(Runner, TrivialSingleNodeAlreadyStable) {
+  StaticGraphProvider topo(Graph::empty(1));
+  PushPull proto({0});
+  Engine engine(topo, proto, EngineConfig{});
+  const RunResult result = run_until_stabilized(engine, 100);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(Runner, RejectsZeroMaxRounds) {
+  StaticGraphProvider topo(make_clique(4));
+  BlindGossip proto(BlindGossip::shuffled_uids(4, 4));
+  Engine engine(topo, proto, EngineConfig{});
+  EXPECT_THROW(run_until_stabilized(engine, 0), ContractError);
+}
+
+TEST(RunTrials, DeterministicAndThreadInvariant) {
+  auto body = [](std::uint64_t trial_seed) {
+    StaticGraphProvider topo(make_clique(10));
+    BlindGossip proto(BlindGossip::shuffled_uids(10, trial_seed));
+    EngineConfig cfg;
+    cfg.seed = trial_seed;
+    Engine engine(topo, proto, cfg);
+    return run_until_stabilized(engine, 10000);
+  };
+  TrialSpec serial{10000, 8, 77, 1};
+  TrialSpec parallel{10000, 8, 77, 4};
+  const auto a = run_trials(serial, body);
+  const auto b = run_trials(parallel, body);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rounds, b[i].rounds) << "trial " << i;
+  }
+}
+
+TEST(RunTrials, DifferentTrialsDiffer) {
+  auto body = [](std::uint64_t trial_seed) {
+    StaticGraphProvider topo(make_cycle(16));
+    BlindGossip proto(BlindGossip::shuffled_uids(16, trial_seed));
+    EngineConfig cfg;
+    cfg.seed = trial_seed;
+    Engine engine(topo, proto, cfg);
+    return run_until_stabilized(engine, 100000);
+  };
+  const auto results = run_trials(TrialSpec{100000, 8, 5, 2}, body);
+  bool any_differ = false;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    any_differ |= results[i].rounds != results[0].rounds;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(RoundsOf, ExtractsConvergedRounds) {
+  std::vector<RunResult> results(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    results[i].converged = true;
+    results[i].rounds = 10 * (i + 1);
+  }
+  const auto rounds = rounds_of(results);
+  EXPECT_EQ(rounds, (std::vector<double>{10, 20, 30}));
+}
+
+TEST(RoundsOf, ThrowsOnCensoredTrial) {
+  std::vector<RunResult> results(1);
+  results[0].converged = false;
+  EXPECT_THROW(rounds_of(results), ContractError);
+}
+
+TEST(Runner, RoundsAfterLastActivation) {
+  StaticGraphProvider topo(make_clique(6));
+  BlindGossip proto(BlindGossip::shuffled_uids(6, 9));
+  EngineConfig cfg;
+  cfg.activation_rounds = {1, 1, 1, 1, 1, 4};
+  cfg.seed = 9;
+  Engine engine(topo, proto, cfg);
+  const RunResult result = run_until_stabilized(engine, 10000);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GE(result.rounds, 4u);
+  EXPECT_EQ(result.rounds_after_last_activation, result.rounds - 3);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,85 @@
+#include "sim/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(Telemetry, CountersAccumulate) {
+  Telemetry t;
+  t.begin_round(1, 4, false);
+  t.count_proposal();
+  t.count_proposal();
+  t.count_connection();
+  t.count_payload_uids(2);
+  EXPECT_EQ(t.rounds(), 1u);
+  EXPECT_EQ(t.proposals(), 2u);
+  EXPECT_EQ(t.connections(), 1u);
+  EXPECT_EQ(t.payload_uids(), 2u);
+  EXPECT_DOUBLE_EQ(t.proposal_success_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(t.connections_per_round(), 1.0);
+}
+
+TEST(Telemetry, EmptyRates) {
+  Telemetry t;
+  EXPECT_DOUBLE_EQ(t.proposal_success_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(t.connections_per_round(), 0.0);
+}
+
+TEST(Telemetry, PerRoundRecordingOptIn) {
+  Telemetry off;
+  off.begin_round(1, 3, false);
+  off.count_proposal();
+  EXPECT_TRUE(off.per_round().empty());
+
+  Telemetry on;
+  on.begin_round(1, 3, true);
+  on.count_proposal();
+  on.count_connection();
+  on.begin_round(2, 3, true);
+  on.count_proposal();
+  ASSERT_EQ(on.per_round().size(), 2u);
+  EXPECT_EQ(on.per_round()[0].proposals, 1u);
+  EXPECT_EQ(on.per_round()[0].connections, 1u);
+  EXPECT_EQ(on.per_round()[1].proposals, 1u);
+  EXPECT_EQ(on.per_round()[1].connections, 0u);
+  EXPECT_EQ(on.per_round()[1].active_nodes, 3u);
+}
+
+TEST(Telemetry, EngineRecordsPerRoundWhenEnabled) {
+  StaticGraphProvider topo(make_clique(6));
+  BlindGossip proto(BlindGossip::shuffled_uids(6, 1));
+  EngineConfig cfg;
+  cfg.record_rounds = true;
+  Engine engine(topo, proto, cfg);
+  engine.run_rounds(10);
+  ASSERT_EQ(engine.telemetry().per_round().size(), 10u);
+  for (const RoundStats& rs : engine.telemetry().per_round()) {
+    EXPECT_EQ(rs.active_nodes, 6u);
+    EXPECT_LE(rs.connections, 3u);  // at most n/2 connections per round
+    EXPECT_LE(rs.connections, rs.proposals);
+  }
+}
+
+TEST(Telemetry, ConnectionsBoundedByHalfNodes) {
+  // Mobile telephone model invariant: each node in at most one connection,
+  // so connections per round <= n/2.
+  StaticGraphProvider topo(make_clique(10));
+  BlindGossip proto(BlindGossip::shuffled_uids(10, 2));
+  EngineConfig cfg;
+  cfg.record_rounds = true;
+  cfg.seed = 5;
+  Engine engine(topo, proto, cfg);
+  engine.run_rounds(50);
+  for (const RoundStats& rs : engine.telemetry().per_round()) {
+    EXPECT_LE(rs.connections, 5u);
+  }
+}
+
+}  // namespace
+}  // namespace mtm

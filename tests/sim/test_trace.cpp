@@ -1,0 +1,89 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "protocols/push_pull.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(ProgressTrace, SamplesPerRound) {
+  StaticGraphProvider topo(make_clique(8));
+  PushPull proto({0});
+  EngineConfig cfg;
+  cfg.seed = 1;
+  Engine engine(topo, proto, cfg);
+
+  ProgressTrace trace({{"informed",
+                        [&proto](const Engine&) {
+                          return static_cast<double>(proto.informed_count());
+                        }},
+                       ProgressTrace::connections_total()});
+  const RunResult result = run_until_stabilized(
+      engine, 10000, [&trace](const Engine& e) { trace.sample(e); });
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(trace.row_count(), result.rounds);
+  // Informed counts are monotone and end at n.
+  const auto& informed = trace.column(0);
+  for (std::size_t i = 1; i < informed.size(); ++i) {
+    EXPECT_GE(informed[i], informed[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(informed.back(), 8.0);
+  // Rounds are 1..R.
+  EXPECT_EQ(trace.rounds().front(), 1u);
+  EXPECT_EQ(trace.rounds().back(), result.rounds);
+}
+
+TEST(ProgressTrace, CsvFormat) {
+  StaticGraphProvider topo(make_path(2));
+  PushPull proto({0});
+  Engine engine(topo, proto, EngineConfig{});
+  ProgressTrace trace({{"x", [](const Engine&) { return 1.5; }}});
+  engine.step();
+  trace.sample(engine);
+  const std::string csv = trace.to_csv();
+  EXPECT_EQ(csv, "round,x\n1,1.5\n");
+}
+
+TEST(ProgressTrace, WriteCsvFile) {
+  const std::string path = ::testing::TempDir() + "/mtm_trace_test.csv";
+  StaticGraphProvider topo(make_path(2));
+  PushPull proto({0});
+  Engine engine(topo, proto, EngineConfig{});
+  ProgressTrace trace({ProgressTrace::proposals_total()});
+  engine.step();
+  trace.sample(engine);
+  trace.write_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "round,proposals");
+  std::remove(path.c_str());
+}
+
+TEST(ProgressTrace, WriteCsvFailureThrows) {
+  ProgressTrace trace({ProgressTrace::connections_total()});
+  EXPECT_THROW(trace.write_csv("/nonexistent/dir/trace.csv"),
+               std::runtime_error);
+}
+
+TEST(ProgressTrace, ValidatesColumns) {
+  EXPECT_THROW(ProgressTrace({}), ContractError);
+  EXPECT_THROW(ProgressTrace({{"x", nullptr}}), ContractError);
+  EXPECT_THROW(ProgressTrace({{"", [](const Engine&) { return 0.0; }}}),
+               ContractError);
+}
+
+TEST(ProgressTrace, ColumnIndexValidated) {
+  ProgressTrace trace({ProgressTrace::connections_total()});
+  EXPECT_THROW(trace.column(1), ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,165 @@
+#include "testing/protocol_testbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/bit_convergence.hpp"
+#include "protocols/ppush.hpp"
+#include "protocols/push_pull.hpp"
+
+namespace mtm {
+namespace {
+
+using testing::ProtocolFactory;
+using testing::ProviderFactory;
+using testing::TestbenchOptions;
+using testing::format_failures;
+using testing::run_protocol_battery;
+
+ProviderFactory clique_topology(NodeId n) {
+  return [n](std::uint64_t) {
+    return std::make_unique<StaticGraphProvider>(make_clique(n));
+  };
+}
+
+TEST(ProtocolTestbench, BlindGossipPasses) {
+  ProtocolFactory factory = [](std::uint64_t seed) {
+    return std::make_unique<BlindGossip>(BlindGossip::shuffled_uids(12, seed));
+  };
+  const auto failures =
+      run_protocol_battery(factory, clique_topology(12), TestbenchOptions{});
+  EXPECT_TRUE(failures.empty()) << format_failures(failures);
+}
+
+TEST(ProtocolTestbench, BitConvergencePasses) {
+  ProtocolFactory factory = [](std::uint64_t seed) {
+    BitConvergenceConfig cfg;
+    cfg.network_size_bound = 12;
+    cfg.max_degree_bound = 11;
+    return std::make_unique<BitConvergence>(
+        BlindGossip::shuffled_uids(12, seed), cfg);
+  };
+  TestbenchOptions options;
+  options.tag_bits = 1;
+  const auto failures =
+      run_protocol_battery(factory, clique_topology(12), options);
+  EXPECT_TRUE(failures.empty()) << format_failures(failures);
+}
+
+TEST(ProtocolTestbench, PpushPasses) {
+  ProtocolFactory factory = [](std::uint64_t) {
+    return std::make_unique<Ppush>(std::vector<NodeId>{0});
+  };
+  TestbenchOptions options;
+  options.tag_bits = 1;
+  const auto failures =
+      run_protocol_battery(factory, clique_topology(16), options);
+  EXPECT_TRUE(failures.empty()) << format_failures(failures);
+}
+
+/// A deliberately broken protocol: reports stabilized() based on round
+/// parity after convergence — the stability check must flag it.
+class FlappingProtocol : public Protocol {
+ public:
+  std::string name() const override { return "flapping"; }
+  void init(NodeId n, std::span<Rng>) override { node_count_ = n; }
+  Tag advertise(NodeId, Round, Rng&) override { return 0; }
+  Decision decide(NodeId, Round, std::span<const NeighborInfo> view,
+                  Rng& rng) override {
+    if (view.empty() || !rng.coin()) return Decision::receive();
+    return Decision::send(view[rng.uniform(view.size())].id);
+  }
+  Payload make_payload(NodeId, NodeId, Round) override { return {}; }
+  void receive_payload(NodeId, NodeId, const Payload&, Round) override {}
+  void finish_round(NodeId, Round local_round) override {
+    last_round_ = std::max(last_round_, local_round);
+  }
+  bool stabilized() const override {
+    // Flaps with round parity once past a warm-up — non-monotone by design.
+    return last_round_ > 20 && last_round_ % 2 == 0;
+  }
+
+ private:
+  NodeId node_count_ = 0;
+  Round last_round_ = 0;
+};
+
+TEST(ProtocolTestbench, FlagsNonMonotoneStabilization) {
+  ProtocolFactory factory = [](std::uint64_t) {
+    return std::make_unique<FlappingProtocol>();
+  };
+  const auto failures =
+      run_protocol_battery(factory, clique_topology(8), TestbenchOptions{});
+  bool flagged_stability = false;
+  for (const auto& f : failures) {
+    flagged_stability |= f.check == "stability";
+  }
+  EXPECT_TRUE(flagged_stability) << format_failures(failures);
+}
+
+/// A protocol with hidden global state: ignores the provided Rngs and uses
+/// a process-global counter — the determinism check must flag it.
+class GlobalStateProtocol : public Protocol {
+ public:
+  std::string name() const override { return "global-state"; }
+  void init(NodeId n, std::span<Rng>) override {
+    node_count_ = n;
+    informed_.assign(n, false);
+    informed_[0] = true;
+    count_ = 1;
+  }
+  Tag advertise(NodeId, Round, Rng&) override { return 0; }
+  Decision decide(NodeId u, Round, std::span<const NeighborInfo> view,
+                  Rng&) override {
+    if (view.empty()) return Decision::receive();
+    // Process-global pseudo-randomness: differs across replays.
+    global_counter_ = global_counter_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    if ((global_counter_ >> 62) == 0) return Decision::receive();
+    return Decision::send(
+        view[static_cast<std::size_t>(global_counter_ % view.size())].id);
+  }
+  Payload make_payload(NodeId u, NodeId, Round) override {
+    Payload p;
+    if (informed_[u]) {
+      p.push_uid(1);
+    }
+    return p;
+  }
+  void receive_payload(NodeId u, NodeId, const Payload& p, Round) override {
+    if (p.uid_count() > 0 && !informed_[u]) {
+      informed_[u] = true;
+      ++count_;
+    }
+  }
+  bool stabilized() const override { return count_ == node_count_; }
+
+ private:
+  static std::uint64_t global_counter_;
+  NodeId node_count_ = 0;
+  std::vector<bool> informed_;
+  NodeId count_ = 0;
+};
+
+std::uint64_t GlobalStateProtocol::global_counter_ = 12345;
+
+TEST(ProtocolTestbench, FlagsHiddenGlobalState) {
+  ProtocolFactory factory = [](std::uint64_t) {
+    return std::make_unique<GlobalStateProtocol>();
+  };
+  const auto failures =
+      run_protocol_battery(factory, clique_topology(10), TestbenchOptions{});
+  bool flagged = false;
+  for (const auto& f : failures) {
+    flagged |= f.check == "determinism";
+  }
+  EXPECT_TRUE(flagged) << format_failures(failures);
+}
+
+TEST(ProtocolTestbench, FormatFailuresEmpty) {
+  EXPECT_EQ(format_failures({}), "");
+  EXPECT_NE(format_failures({{"x", "y"}}).find("[x] y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtm
