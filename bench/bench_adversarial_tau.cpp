@@ -30,7 +30,7 @@ namespace mtm {
 namespace {
 
 constexpr std::size_t kTrials = 12;
-constexpr std::uint64_t kSeed = 0xf16b;
+const std::uint64_t kSeed = bench::bench_seed(0xf16b);
 
 enum class Dynamics { kStatic, kOblivious, kConfinement };
 

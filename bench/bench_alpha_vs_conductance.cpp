@@ -25,7 +25,7 @@ namespace mtm {
 namespace {
 
 constexpr std::size_t kTrials = 16;
-constexpr std::uint64_t kSeed = 0xf16c;
+const std::uint64_t kSeed = bench::bench_seed(0xf16c);
 
 struct FamilyRow {
   std::string label;

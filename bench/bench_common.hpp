@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <string>
 
@@ -21,6 +23,17 @@
 #include "harness/sweep.hpp"
 
 namespace mtm::bench {
+
+/// Master seed for a bench binary: `fallback` (the recorded EXPERIMENTS.md
+/// seed) unless $MTM_BENCH_SEED overrides it. The override re-runs every
+/// sweep on a fresh seed to check that a recorded finding is not a
+/// seed-lottery artifact, without editing the bench.
+inline std::uint64_t bench_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("MTM_BENCH_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return fallback;
+}
 
 /// Process-global ordered registry of series being built by the bench.
 inline std::map<std::string, ScalingSeries>& series_registry() {

@@ -22,7 +22,7 @@ namespace mtm {
 namespace {
 
 constexpr std::size_t kTrials = 12;
-constexpr std::uint64_t kSeed = 0xf170;
+const std::uint64_t kSeed = bench::bench_seed(0xf170);
 
 void BM_MessageComplexity(benchmark::State& state) {
   struct Case {

@@ -22,7 +22,7 @@ namespace mtm {
 namespace {
 
 constexpr std::size_t kTrials = 12;
-constexpr std::uint64_t kSeed = 0xf162;
+const std::uint64_t kSeed = bench::bench_seed(0xf162);
 
 /// UIDs with the minimum pinned at the first star center and the rest
 /// shuffled — the adversarial placement of the paper's argument.

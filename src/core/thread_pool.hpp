@@ -4,7 +4,9 @@
 // determinism); the pool fans trials out across cores. parallel_for assigns
 // indices to tasks statically so the result layout never depends on
 // scheduling, and exceptions from workers are captured and rethrown on the
-// caller thread (first one wins).
+// caller thread (first one wins). A task submitted directly via submit()
+// that throws is captured too and rethrown by the next wait_idle() — a
+// throwing task never takes down a worker or the process.
 #pragma once
 
 #include <condition_variable>
@@ -32,7 +34,9 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has completed.
+  /// Blocks until every submitted task has completed, then rethrows the
+  /// first exception any task raised since the last wait_idle() (clearing
+  /// it, so the pool stays usable). Later exceptions are discarded.
   void wait_idle();
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
@@ -50,6 +54,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;  // guarded by mutex_
 };
 
 /// Runs body(i) for i in [0, count) using `pool`, blocking until complete.

@@ -1,0 +1,274 @@
+#include "testing/differential.hpp"
+
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace mtm::testing {
+
+namespace {
+
+const char* kind_name(ProtocolEvent::Kind kind) {
+  switch (kind) {
+    case ProtocolEvent::Kind::kAdvertise:
+      return "advertise";
+    case ProtocolEvent::Kind::kDecide:
+      return "decide";
+    case ProtocolEvent::Kind::kMakePayload:
+      return "make_payload";
+    case ProtocolEvent::Kind::kReceivePayload:
+      return "receive_payload";
+    case ProtocolEvent::Kind::kFinishRound:
+      return "finish_round";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_string(const ProtocolEvent& event) {
+  std::ostringstream out;
+  out << kind_name(event.kind) << "(node=" << event.node;
+  if (event.kind == ProtocolEvent::Kind::kMakePayload ||
+      event.kind == ProtocolEvent::Kind::kReceivePayload) {
+    out << ", peer=" << event.peer;
+  }
+  out << ", local_round=" << event.local_round << ") = 0x" << std::hex
+      << event.value;
+  return out.str();
+}
+
+std::uint64_t payload_hash(const Payload& payload) {
+  std::uint64_t h = mix64(0x70617979ULL ^ payload.uid_count());
+  for (std::size_t i = 0; i < payload.uid_count(); ++i) {
+    h = mix64(h ^ payload.uid(i));
+  }
+  h = mix64(h ^ static_cast<std::uint64_t>(payload.extra_bit_count()));
+  for (int offset = 0; offset < payload.extra_bit_count(); offset += 64) {
+    const int bits = std::min(64, payload.extra_bit_count() - offset);
+    h = mix64(h ^ payload.read_bits(offset, bits));
+  }
+  return h;
+}
+
+std::uint64_t encode_decision(const Decision& d) {
+  return d.is_send() ? (std::uint64_t{1} << 32) | d.target : 0;
+}
+
+std::uint64_t protocol_state_hash(const Protocol& protocol,
+                                  NodeId node_count) {
+  std::uint64_t h = mix64(0x57a7e ^ (protocol.stabilized() ? 1u : 0u));
+  if (const auto* leader =
+          dynamic_cast<const LeaderElectionProtocol*>(&protocol)) {
+    for (NodeId u = 0; u < node_count; ++u) {
+      h = mix64(h ^ leader->leader_of(u));
+    }
+  }
+  if (const auto* rumor = dynamic_cast<const RumorProtocol*>(&protocol)) {
+    for (NodeId u = 0; u < node_count; ++u) {
+      h = mix64(h ^ (rumor->informed(u) ? 0x1ULL : 0x2ULL));
+    }
+    h = mix64(h ^ rumor->informed_count());
+  }
+  return h;
+}
+
+void RecordingProtocol::record(ProtocolEvent event) {
+  hash_ = mix64(hash_ ^ mix64(static_cast<std::uint64_t>(event.kind)) ^
+                mix64(event.node) ^ mix64(event.peer) ^
+                mix64(event.local_round) ^ mix64(event.value));
+  events_.push_back(event);
+}
+
+void RecordingProtocol::init(NodeId node_count, std::span<Rng> node_rngs) {
+  node_count_ = node_count;
+  inner_.init(node_count, node_rngs);
+}
+
+Tag RecordingProtocol::advertise(NodeId u, Round local_round, Rng& rng) {
+  const Tag tag = inner_.advertise(u, local_round, rng);
+  record({ProtocolEvent::Kind::kAdvertise, u, 0, local_round, tag});
+  return tag;
+}
+
+Decision RecordingProtocol::decide(NodeId u, Round local_round,
+                                   std::span<const NeighborInfo> view,
+                                   Rng& rng) {
+  const Decision d = inner_.decide(u, local_round, view, rng);
+  record({ProtocolEvent::Kind::kDecide, u, 0, local_round,
+          encode_decision(d)});
+  return d;
+}
+
+Payload RecordingProtocol::make_payload(NodeId u, NodeId peer,
+                                        Round local_round) {
+  Payload p = inner_.make_payload(u, peer, local_round);
+  record({ProtocolEvent::Kind::kMakePayload, u, peer, local_round,
+          payload_hash(p)});
+  return p;
+}
+
+void RecordingProtocol::receive_payload(NodeId u, NodeId peer,
+                                        const Payload& payload,
+                                        Round local_round) {
+  record({ProtocolEvent::Kind::kReceivePayload, u, peer, local_round,
+          payload_hash(payload)});
+  inner_.receive_payload(u, peer, payload, local_round);
+}
+
+void RecordingProtocol::finish_round(NodeId u, Round local_round) {
+  record({ProtocolEvent::Kind::kFinishRound, u, 0, local_round, 0});
+  inner_.finish_round(u, local_round);
+}
+
+std::string to_string(const Divergence& divergence) {
+  std::ostringstream out;
+  out << "divergence at round " << divergence.round << " in "
+      << divergence.field << ": " << divergence.detail;
+  return out.str();
+}
+
+namespace {
+
+/// Compares one counter; fills `out` on mismatch.
+bool counters_match(const char* name, std::uint64_t engine_value,
+                    std::uint64_t reference_value, Round round,
+                    std::optional<Divergence>& out) {
+  if (engine_value == reference_value) return true;
+  std::ostringstream detail;
+  detail << "engine=" << engine_value << " reference=" << reference_value;
+  out = Divergence{round, std::string("telemetry.") + name, detail.str()};
+  return false;
+}
+
+/// Finds the first mismatching event at or after `from`.
+std::optional<Divergence> compare_events(const RecordingProtocol& engine_rec,
+                                         const RecordingProtocol& ref_rec,
+                                         std::size_t from, Round round) {
+  const auto& a = engine_rec.events();
+  const auto& b = ref_rec.events();
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = from; i < n; ++i) {
+    if (a[i] == b[i]) continue;
+    std::ostringstream detail;
+    detail << "event #" << i << ": engine " << to_string(a[i])
+           << " vs reference " << to_string(b[i]);
+    return Divergence{round, "events", detail.str()};
+  }
+  if (a.size() != b.size()) {
+    std::ostringstream detail;
+    detail << "engine recorded " << a.size() << " events, reference "
+           << b.size() << "; first extra: "
+           << (a.size() > b.size() ? to_string(a[n]) : to_string(b[n]));
+    return Divergence{round, "events", detail.str()};
+  }
+  return std::nullopt;
+}
+
+void dump_round_trace(std::ostream& out, Round round,
+                      const Engine& engine,
+                      const RecordingProtocol& engine_rec,
+                      std::size_t events_before,
+                      std::uint64_t engine_state,
+                      std::uint64_t reference_state) {
+  out << "round " << round << ": proposals="
+      << engine.telemetry().proposals()
+      << " connections=" << engine.telemetry().connections()
+      << " failed=" << engine.telemetry().failed_connections()
+      << " payload_uids=" << engine.telemetry().payload_uids()
+      << " state=0x" << std::hex << engine_state << "/0x" << reference_state
+      << std::dec << "\n";
+  for (std::size_t i = events_before; i < engine_rec.events().size(); ++i) {
+    out << "  " << to_string(engine_rec.events()[i]) << "\n";
+  }
+}
+
+}  // namespace
+
+std::optional<Divergence> run_differential(const Scenario& scenario,
+                                           const DifferentialOptions& options) {
+  MTM_REQUIRE(scenario.make_protocol != nullptr);
+  MTM_REQUIRE(scenario.make_topology != nullptr);
+  MTM_REQUIRE(scenario.rounds >= 1);
+
+  // Per-round telemetry records are part of the comparison surface; they
+  // cost memory but draw no randomness, so forcing them on is stream safe.
+  EngineConfig config = scenario.config;
+  config.record_rounds = true;
+
+  auto engine_protocol = scenario.make_protocol();
+  auto reference_protocol = scenario.make_protocol();
+  auto engine_topology = scenario.make_topology();
+  auto reference_topology = scenario.make_topology();
+
+  RecordingProtocol engine_rec(*engine_protocol);
+  RecordingProtocol reference_rec(*reference_protocol);
+
+  Engine engine(*engine_topology, engine_rec, config);
+  ReferenceEngine reference(*reference_topology, reference_rec, config,
+                            options.mutation);
+
+  const NodeId n = engine.node_count();
+  std::size_t events_seen = 0;
+
+  for (Round r = 1; r <= scenario.rounds; ++r) {
+    try {
+      engine.step();
+    } catch (const std::exception& e) {
+      return Divergence{r, "engine-exception", e.what()};
+    }
+    try {
+      reference.step();
+    } catch (const std::exception& e) {
+      return Divergence{r, "reference-exception", e.what()};
+    }
+
+    if (auto d = compare_events(engine_rec, reference_rec, events_seen, r)) {
+      return d;
+    }
+
+    std::optional<Divergence> out;
+    const Telemetry& et = engine.telemetry();
+    const Telemetry& rt = reference.telemetry();
+    if (!counters_match("proposals", et.proposals(), rt.proposals(), r, out) ||
+        !counters_match("connections", et.connections(), rt.connections(), r,
+                        out) ||
+        !counters_match("failed_connections", et.failed_connections(),
+                        rt.failed_connections(), r, out) ||
+        !counters_match("payload_uids", et.payload_uids(), rt.payload_uids(),
+                        r, out)) {
+      return out;
+    }
+    const RoundStats& es = et.per_round().back();
+    const RoundStats& rs = rt.per_round().back();
+    if (!counters_match("round.active_nodes", es.active_nodes,
+                        rs.active_nodes, r, out) ||
+        !counters_match("round.proposals", es.proposals, rs.proposals, r,
+                        out) ||
+        !counters_match("round.connections", es.connections, rs.connections,
+                        r, out)) {
+      return out;
+    }
+
+    const std::uint64_t engine_state =
+        protocol_state_hash(*engine_protocol, n);
+    const std::uint64_t reference_state =
+        protocol_state_hash(*reference_protocol, n);
+    if (options.trace != nullptr) {
+      dump_round_trace(*options.trace, r, engine, engine_rec, events_seen,
+                       engine_state, reference_state);
+    }
+    if (engine_state != reference_state) {
+      std::ostringstream detail;
+      detail << "engine=0x" << std::hex << engine_state << " reference=0x"
+             << reference_state;
+      return Divergence{r, "state-hash", detail.str()};
+    }
+
+    events_seen = engine_rec.events().size();
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace mtm::testing

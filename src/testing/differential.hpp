@@ -1,0 +1,133 @@
+// Differential correctness checking: the real Engine vs the ReferenceEngine.
+//
+// Both engines are driven in lockstep from identical seeds over fresh
+// instances of the same protocol and topology. Because the engine's only
+// effects flow through Protocol callbacks and Telemetry counters, wrapping
+// each protocol in a RecordingProtocol captures a complete observable
+// event stream per engine: every advertised tag, every decision, every
+// payload exchanged over every established connection. After every round
+// the two streams, the telemetry counters, and a hash of externally visible
+// protocol state must match bit for bit; the first mismatch is reported as
+// a Divergence pinpointing the round, the field, and both sides' values.
+//
+// The harness is itself validated by mutation testing: run_differential with
+// a ReferenceMutation must report a divergence (see tests/testing/
+// test_differential.cpp), proving the oracle has teeth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/dynamic_graph.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+#include "testing/reference_engine.hpp"
+
+namespace mtm::testing {
+
+/// One observed engine→protocol interaction.
+struct ProtocolEvent {
+  enum class Kind : std::uint8_t {
+    kAdvertise,       // value = returned tag
+    kDecide,          // value = encoded decision (see encode_decision)
+    kMakePayload,     // value = payload hash, peer = recipient
+    kReceivePayload,  // value = payload hash, peer = sender
+    kFinishRound,     // value = 0
+  };
+
+  Kind kind = Kind::kAdvertise;
+  NodeId node = 0;
+  NodeId peer = 0;
+  Round local_round = 0;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const ProtocolEvent&, const ProtocolEvent&) = default;
+};
+
+std::string to_string(const ProtocolEvent& event);
+
+/// Order- and content-sensitive hash of a payload.
+std::uint64_t payload_hash(const Payload& payload);
+
+/// Encodes a Decision into one comparable word.
+std::uint64_t encode_decision(const Decision& d);
+
+/// Hash of the externally visible protocol state: the stabilized flag plus
+/// per-node leader variables (LeaderElectionProtocol) or informed flags
+/// (RumorProtocol) when the protocol exposes them.
+std::uint64_t protocol_state_hash(const Protocol& protocol,
+                                  NodeId node_count);
+
+/// Transparent decorator: forwards every callback to `inner` unchanged while
+/// appending a ProtocolEvent per interaction and folding it into a running
+/// hash. Wrapping a protocol must not change an execution (pinned by test).
+class RecordingProtocol final : public Protocol {
+ public:
+  explicit RecordingProtocol(Protocol& inner) : inner_(inner) {}
+
+  std::string name() const override { return inner_.name(); }
+  void init(NodeId node_count, std::span<Rng> node_rngs) override;
+  Tag advertise(NodeId u, Round local_round, Rng& rng) override;
+  Decision decide(NodeId u, Round local_round,
+                  std::span<const NeighborInfo> view, Rng& rng) override;
+  Payload make_payload(NodeId u, NodeId peer, Round local_round) override;
+  void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                       Round local_round) override;
+  void finish_round(NodeId u, Round local_round) override;
+  bool stabilized() const override { return inner_.stabilized(); }
+
+  Protocol& inner() noexcept { return inner_; }
+  const Protocol& inner() const noexcept { return inner_; }
+  const std::vector<ProtocolEvent>& events() const noexcept { return events_; }
+  /// Running hash over all recorded events (order sensitive).
+  std::uint64_t event_hash() const noexcept { return hash_; }
+  NodeId node_count() const noexcept { return node_count_; }
+
+ private:
+  void record(ProtocolEvent event);
+
+  Protocol& inner_;
+  std::vector<ProtocolEvent> events_;
+  std::uint64_t hash_ = 0x9e3779b97f4a7c15ULL;
+  NodeId node_count_ = 0;
+};
+
+/// A complete differential scenario. The factories must produce *fresh,
+/// identically-initialized* instances on every call (each engine needs its
+/// own protocol and topology because both carry mutable state).
+struct Scenario {
+  std::string description;
+  std::function<std::unique_ptr<Protocol>()> make_protocol;
+  std::function<std::unique_ptr<DynamicGraphProvider>()> make_topology;
+  EngineConfig config;
+  Round rounds = 48;
+};
+
+/// First observable mismatch between the two executions.
+struct Divergence {
+  Round round = 0;      ///< global round in which the mismatch surfaced
+  std::string field;    ///< "events", "telemetry.connections", "state-hash"...
+  std::string detail;   ///< both sides' values, human readable
+};
+
+std::string to_string(const Divergence& divergence);
+
+struct DifferentialOptions {
+  /// Fault seeded into the REFERENCE engine (harness validation only).
+  ReferenceMutation mutation = ReferenceMutation::kNone;
+  /// When set, a per-round trace (events, counters, state hashes) is
+  /// streamed here — the replay tool's trace dump.
+  std::ostream* trace = nullptr;
+};
+
+/// Runs both engines in lockstep for scenario.rounds rounds; returns the
+/// first divergence, or nullopt when the executions are identical.
+std::optional<Divergence> run_differential(
+    const Scenario& scenario, const DifferentialOptions& options = {});
+
+}  // namespace mtm::testing

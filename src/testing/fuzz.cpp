@@ -1,0 +1,419 @@
+#include "testing/fuzz.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "protocols/async_bit_convergence.hpp"
+#include "protocols/bit_convergence.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/classical.hpp"
+#include "protocols/ppush.hpp"
+#include "protocols/push_pull.hpp"
+
+namespace mtm::testing {
+
+namespace {
+
+// Stream-id tags for derive_seed (arbitrary, fixed forever).
+constexpr std::uint64_t kTopologySeedTag = 0x66757a7a746f70ULL;  // "fuzztop"
+constexpr std::uint64_t kUidSeedTag = 0x66757a7a756964ULL;       // "fuzzuid"
+constexpr std::uint64_t kActivationSeedTag = 0x66757a7a616374ULL;
+constexpr std::uint64_t kCaseSeedTag = 0x66757a7a63617365ULL;
+
+constexpr const char* kGenerators[] = {
+    "clique",  "cycle",          "path",
+    "star",    "star-line",      "grid",
+    "barbell", "random-regular", "ring-of-cliques",
+};
+
+const char* acceptance_name(AcceptancePolicy policy) {
+  switch (policy) {
+    case AcceptancePolicy::kUniformRandom:
+      return "uniform";
+    case AcceptancePolicy::kSmallestId:
+      return "smallest-id";
+    case AcceptancePolicy::kLargestId:
+      return "largest-id";
+  }
+  return "?";
+}
+
+AcceptancePolicy parse_acceptance(const std::string& name) {
+  if (name == "uniform") return AcceptancePolicy::kUniformRandom;
+  if (name == "smallest-id") return AcceptancePolicy::kSmallestId;
+  if (name == "largest-id") return AcceptancePolicy::kLargestId;
+  throw std::invalid_argument("unknown acceptance policy: " + name);
+}
+
+FuzzProtocol parse_protocol(const std::string& name) {
+  for (int p = 0; p <= static_cast<int>(FuzzProtocol::kPpush); ++p) {
+    const auto protocol = static_cast<FuzzProtocol>(p);
+    if (name == fuzz_protocol_name(protocol)) return protocol;
+  }
+  throw std::invalid_argument("unknown fuzz protocol: " + name);
+}
+
+NodeId isqrt(NodeId n) {
+  auto r = static_cast<NodeId>(std::sqrt(static_cast<double>(n)));
+  while ((r + 1) * (r + 1) <= n) ++r;
+  while (r * r > n) --r;
+  return r;
+}
+
+Round ceil_log2(std::uint64_t x) {
+  Round bits = 0;
+  while ((std::uint64_t{1} << bits) < x) ++bits;
+  return bits;
+}
+
+/// Smallest n the family supports (the shrinker's floor).
+NodeId generator_min_n(const std::string& generator) {
+  if (generator == "cycle") return 3;
+  if (generator == "star-line") return 4;       // 2 stars × (1 leaf + center)
+  if (generator == "barbell") return 4;         // two K_2
+  if (generator == "random-regular") return 6;  // n > d = 3, n·d even
+  if (generator == "ring-of-cliques") return 6; // 3 cliques × K_2
+  return 2;
+}
+
+/// Deterministic topology for a case. The family shapes round n to their
+/// natural parameterizations, so graph.node_count() may differ from case.n.
+Graph build_graph(const FuzzCase& fuzz_case) {
+  const std::string& family = fuzz_case.generator;
+  const NodeId n = std::max(fuzz_case.n, generator_min_n(family));
+  if (family == "clique") return make_clique(n);
+  if (family == "cycle") return make_cycle(n);
+  if (family == "path") return make_path(n);
+  if (family == "star") return make_star(n);
+  if (family == "star-line") {
+    const NodeId stars = std::max<NodeId>(2, isqrt(n));
+    const NodeId points = std::max<NodeId>(1, n / stars - 1);
+    return make_star_line(stars, points);
+  }
+  if (family == "grid") {
+    const NodeId rows = std::max<NodeId>(1, isqrt(n));
+    return make_grid(rows, std::max<NodeId>(2, n / rows));
+  }
+  if (family == "barbell") {
+    const NodeId k = std::max<NodeId>(2, n / 2);
+    return make_barbell(k, n > 2 * k ? n - 2 * k : 0);
+  }
+  if (family == "random-regular") {
+    const NodeId even_n = n % 2 == 0 ? n : n + 1;  // n·d even for d = 3
+    Rng rng(derive_seed(fuzz_case.seed, {kTopologySeedTag}));
+    return make_random_regular(even_n, 3, rng);
+  }
+  if (family == "ring-of-cliques") {
+    const NodeId cliques = std::max<NodeId>(3, n / 3);
+    return make_ring_of_cliques(cliques, std::max<NodeId>(2, n / cliques));
+  }
+  throw std::invalid_argument("unknown fuzz generator: " + family);
+}
+
+}  // namespace
+
+const char* fuzz_protocol_name(FuzzProtocol protocol) {
+  switch (protocol) {
+    case FuzzProtocol::kBlindGossip:
+      return "blind-gossip";
+    case FuzzProtocol::kBitConvergence:
+      return "bit-convergence";
+    case FuzzProtocol::kAsyncBitConvergence:
+      return "async-bit-convergence";
+    case FuzzProtocol::kClassicalGossip:
+      return "classical-gossip";
+    case FuzzProtocol::kPushPull:
+      return "push-pull";
+    case FuzzProtocol::kPpush:
+      return "ppush";
+  }
+  return "?";
+}
+
+std::string to_string(const FuzzCase& fuzz_case) {
+  std::ostringstream out;
+  out << "protocol=" << fuzz_protocol_name(fuzz_case.protocol)
+      << " generator=" << fuzz_case.generator << " n=" << fuzz_case.n
+      << " tau=" << fuzz_case.tau << " seed=" << fuzz_case.seed
+      << " acceptance=" << acceptance_name(fuzz_case.acceptance)
+      << " async=" << (fuzz_case.async_activation ? 1 : 0) << " failure="
+      << std::setprecision(17) << fuzz_case.failure_prob
+      << " rounds=" << fuzz_case.rounds;
+  return out.str();
+}
+
+FuzzCase parse_fuzz_case(const std::string& text) {
+  FuzzCase out;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("fuzz case token without '=': " + token);
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "protocol") out.protocol = parse_protocol(value);
+      else if (key == "generator") out.generator = value;
+      else if (key == "n") out.n = static_cast<NodeId>(std::stoul(value));
+      else if (key == "tau") out.tau = std::stoull(value);
+      else if (key == "seed") out.seed = std::stoull(value);
+      else if (key == "acceptance") out.acceptance = parse_acceptance(value);
+      else if (key == "async") out.async_activation = std::stoi(value) != 0;
+      else if (key == "failure") out.failure_prob = std::stod(value);
+      else if (key == "rounds") out.rounds = std::stoull(value);
+      else throw std::invalid_argument("unknown fuzz case key: " + key);
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad fuzz case value: " + token);
+    }
+  }
+  // Validate the generator name eagerly so replay fails with a clear error.
+  bool known = false;
+  for (const char* g : kGenerators) known = known || out.generator == g;
+  if (!known) {
+    throw std::invalid_argument("unknown fuzz generator: " + out.generator);
+  }
+  return out;
+}
+
+Scenario make_scenario(const FuzzCase& fuzz_case) {
+  Graph graph = build_graph(fuzz_case);
+  const NodeId n = graph.node_count();
+  const NodeId max_degree = graph.max_degree();
+  const std::uint64_t uid_seed = derive_seed(fuzz_case.seed, {kUidSeedTag});
+
+  Scenario scenario;
+  scenario.description = to_string(fuzz_case);
+  scenario.rounds = std::max<Round>(1, fuzz_case.rounds);
+  scenario.config.seed = fuzz_case.seed;
+  scenario.config.acceptance = fuzz_case.acceptance;
+  scenario.config.connection_failure_prob = fuzz_case.failure_prob;
+
+  switch (fuzz_case.protocol) {
+    case FuzzProtocol::kBlindGossip:
+      scenario.make_protocol = [n, uid_seed]() -> std::unique_ptr<Protocol> {
+        return std::make_unique<BlindGossip>(
+            BlindGossip::shuffled_uids(n, uid_seed));
+      };
+      break;
+    case FuzzProtocol::kBitConvergence: {
+      BitConvergenceConfig cfg;
+      cfg.network_size_bound = n;
+      cfg.max_degree_bound = max_degree;
+      scenario.config.tag_bits = 1;
+      scenario.make_protocol = [n, uid_seed,
+                                cfg]() -> std::unique_ptr<Protocol> {
+        return std::make_unique<BitConvergence>(
+            BlindGossip::shuffled_uids(n, uid_seed), cfg);
+      };
+      break;
+    }
+    case FuzzProtocol::kAsyncBitConvergence: {
+      AsyncBitConvergenceConfig cfg;
+      cfg.network_size_bound = n;
+      cfg.max_degree_bound = max_degree;
+      const AsyncBitConvergence probe(BlindGossip::shuffled_uids(n, uid_seed),
+                                      cfg);
+      scenario.config.tag_bits = probe.required_advertisement_bits();
+      scenario.make_protocol = [n, uid_seed,
+                                cfg]() -> std::unique_ptr<Protocol> {
+        return std::make_unique<AsyncBitConvergence>(
+            BlindGossip::shuffled_uids(n, uid_seed), cfg);
+      };
+      break;
+    }
+    case FuzzProtocol::kClassicalGossip:
+      scenario.config.classical_mode = true;
+      scenario.make_protocol = [n, uid_seed]() -> std::unique_ptr<Protocol> {
+        return std::make_unique<ClassicalGossip>(
+            BlindGossip::shuffled_uids(n, uid_seed));
+      };
+      break;
+    case FuzzProtocol::kPushPull:
+      scenario.make_protocol = []() -> std::unique_ptr<Protocol> {
+        return std::make_unique<PushPull>(std::vector<NodeId>{0});
+      };
+      break;
+    case FuzzProtocol::kPpush:
+      scenario.config.tag_bits = 1;
+      scenario.make_protocol = []() -> std::unique_ptr<Protocol> {
+        return std::make_unique<Ppush>(std::vector<NodeId>{0});
+      };
+      break;
+  }
+
+  if (fuzz_case.async_activation) {
+    // Staggered activations within the first half of the budget so every
+    // node is live for at least half the rounds.
+    Rng rng(derive_seed(fuzz_case.seed, {kActivationSeedTag}));
+    const Round window = std::max<Round>(1, scenario.rounds / 2);
+    std::vector<Round> activation(n);
+    for (NodeId u = 0; u < n; ++u) {
+      activation[u] = 1 + rng.uniform(window);
+    }
+    scenario.config.activation_rounds = std::move(activation);
+  }
+
+  const Round tau = fuzz_case.tau;
+  const std::uint64_t topo_seed =
+      derive_seed(fuzz_case.seed, {kTopologySeedTag, 1});
+  if (tau == 0) {
+    scenario.make_topology =
+        [graph]() -> std::unique_ptr<DynamicGraphProvider> {
+      return std::make_unique<StaticGraphProvider>(graph);
+    };
+  } else {
+    scenario.make_topology =
+        [graph, tau, topo_seed]() -> std::unique_ptr<DynamicGraphProvider> {
+      return std::make_unique<RelabelingGraphProvider>(graph, tau, topo_seed);
+    };
+  }
+  return scenario;
+}
+
+FuzzCase random_fuzz_case(Rng& rng) {
+  FuzzCase out;
+  out.protocol = static_cast<FuzzProtocol>(rng.uniform(6));
+  out.generator = kGenerators[rng.uniform(std::size(kGenerators))];
+  out.n = static_cast<NodeId>(4 + rng.uniform(25));  // 4..28 before clamping
+  out.seed = rng.next_u64();
+  switch (rng.uniform(4)) {
+    case 0:
+      out.tau = 0;  // static
+      break;
+    case 1:
+      out.tau = 1;
+      break;
+    case 2:
+      out.tau = 2;
+      break;
+    default:
+      // τ = ⌈log Δ⌉ of the actual topology (the paper's τ̂ breakpoint).
+      out.tau = std::max<Round>(1, ceil_log2(build_graph(out).max_degree()));
+      break;
+  }
+  out.acceptance = static_cast<AcceptancePolicy>(rng.uniform(3));
+  out.async_activation = rng.coin();
+  switch (rng.uniform(4)) {
+    case 0:
+      out.failure_prob = 0.0;
+      break;
+    case 1:
+      out.failure_prob = 0.05;
+      break;
+    case 2:
+      out.failure_prob = 0.15;
+      break;
+    default:
+      out.failure_prob = 0.3;
+      break;
+  }
+  out.rounds = 24 + rng.uniform(41);  // 24..64
+  return out;
+}
+
+FuzzCase shrink_fuzz_case(FuzzCase fuzz_case,
+                          const DifferentialOptions& options) {
+  DifferentialOptions quiet = options;
+  quiet.trace = nullptr;
+  const auto diverges = [&quiet](const FuzzCase& candidate) {
+    return run_differential(make_scenario(candidate), quiet).has_value();
+  };
+  if (!diverges(fuzz_case)) return fuzz_case;
+
+  const NodeId n_floor = generator_min_n(fuzz_case.generator);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    while (fuzz_case.rounds > 2) {
+      FuzzCase candidate = fuzz_case;
+      candidate.rounds = std::max<Round>(2, fuzz_case.rounds / 2);
+      if (!diverges(candidate)) break;
+      fuzz_case = candidate;
+      changed = true;
+    }
+
+    // One-shot simplifications toward the paper's base model.
+    const auto try_simplify = [&](FuzzCase candidate) {
+      if (candidate == fuzz_case || !diverges(candidate)) return;
+      fuzz_case = candidate;
+      changed = true;
+    };
+    {
+      FuzzCase candidate = fuzz_case;
+      candidate.failure_prob = 0.0;
+      try_simplify(candidate);
+    }
+    {
+      FuzzCase candidate = fuzz_case;
+      candidate.async_activation = false;
+      try_simplify(candidate);
+    }
+    {
+      FuzzCase candidate = fuzz_case;
+      candidate.acceptance = AcceptancePolicy::kUniformRandom;
+      try_simplify(candidate);
+    }
+    {
+      FuzzCase candidate = fuzz_case;
+      candidate.tau = 0;
+      try_simplify(candidate);
+    }
+
+    while (fuzz_case.n > n_floor) {
+      FuzzCase candidate = fuzz_case;
+      candidate.n = std::max(n_floor, fuzz_case.n / 2);
+      if (candidate.n == fuzz_case.n || !diverges(candidate)) break;
+      fuzz_case = candidate;
+      changed = true;
+    }
+    while (fuzz_case.n > n_floor) {
+      FuzzCase candidate = fuzz_case;
+      candidate.n = fuzz_case.n - 1;
+      if (!diverges(candidate)) break;
+      fuzz_case = candidate;
+      changed = true;
+    }
+  }
+  return fuzz_case;
+}
+
+std::vector<FuzzFailure> run_fuzz(const FuzzOptions& options) {
+  std::vector<FuzzFailure> failures;
+  DifferentialOptions diff_options;
+  diff_options.mutation = options.mutation;
+  for (std::size_t i = 0; i < options.cases; ++i) {
+    Rng case_rng(derive_seed(options.seed, {kCaseSeedTag, i}));
+    const FuzzCase fuzz_case = random_fuzz_case(case_rng);
+    if (options.on_case) options.on_case(i, fuzz_case);
+    auto divergence = run_differential(make_scenario(fuzz_case), diff_options);
+    if (!divergence) continue;
+    FuzzFailure failure;
+    failure.original = fuzz_case;
+    failure.shrunk = options.shrink
+                         ? shrink_fuzz_case(fuzz_case, diff_options)
+                         : fuzz_case;
+    if (options.shrink) {
+      // Report the shrunk case's divergence (what replay will show).
+      auto shrunk_divergence =
+          run_differential(make_scenario(failure.shrunk), diff_options);
+      failure.divergence =
+          shrunk_divergence ? *shrunk_divergence : *divergence;
+    } else {
+      failure.divergence = *divergence;
+    }
+    failures.push_back(std::move(failure));
+  }
+  return failures;
+}
+
+}  // namespace mtm::testing

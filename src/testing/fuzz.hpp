@@ -1,0 +1,95 @@
+// Schedule/adversary fuzzing for the differential harness.
+//
+// A FuzzCase is a small serializable tuple — (protocol, generator, n, τ,
+// seed, acceptance policy, activation schedule, failure probability, round
+// budget) — that deterministically expands into a differential Scenario.
+// run_fuzz samples random cases across every model dimension (classical
+// mode rides on the protocol choice, τ spans {static, 1, 2, ⌈log Δ⌉},
+// activation schedules are either synchronized or staggered) and checks
+// each one with run_differential; any divergence is greedily shrunk to a
+// minimal still-failing tuple whose to_string form can be fed back to the
+// replay tool (tools/mtm_replay.cpp) byte for byte.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testing/differential.hpp"
+
+namespace mtm::testing {
+
+/// Protocols the fuzzer drives through both engines. The classical variants
+/// set EngineConfig::classical_mode, covering the unbounded-accept branch.
+enum class FuzzProtocol {
+  kBlindGossip,
+  kBitConvergence,
+  kAsyncBitConvergence,
+  kClassicalGossip,
+  kPushPull,
+  kPpush,
+};
+
+const char* fuzz_protocol_name(FuzzProtocol protocol);
+
+struct FuzzCase {
+  FuzzProtocol protocol = FuzzProtocol::kBlindGossip;
+  /// Topology family: clique | cycle | path | star | star-line | grid |
+  /// barbell | random-regular | ring-of-cliques.
+  std::string generator = "clique";
+  /// Target node count; the expansion clamps to the family's minimum and
+  /// may round to the family's shape (see make_scenario).
+  NodeId n = 8;
+  /// 0 = static topology; otherwise the base graph is adversarially
+  /// relabeled every tau rounds (RelabelingGraphProvider).
+  Round tau = 0;
+  std::uint64_t seed = 1;
+  AcceptancePolicy acceptance = AcceptancePolicy::kUniformRandom;
+  /// Staggered activation rounds (derived deterministically from seed);
+  /// false = the synchronized start of Sections VI–VII.
+  bool async_activation = false;
+  double failure_prob = 0.0;
+  Round rounds = 48;
+
+  friend bool operator==(const FuzzCase&, const FuzzCase&) = default;
+};
+
+/// Round-trippable "key=value key=value ..." form (the replay format).
+std::string to_string(const FuzzCase& fuzz_case);
+/// Parses the to_string form; throws std::invalid_argument on bad input.
+FuzzCase parse_fuzz_case(const std::string& text);
+
+/// Expands a case into a runnable differential scenario. Deterministic:
+/// equal cases yield identical executions.
+Scenario make_scenario(const FuzzCase& fuzz_case);
+
+/// Samples one case spanning all model dimensions.
+FuzzCase random_fuzz_case(Rng& rng);
+
+/// Greedily minimizes a diverging case (fewer rounds, no failure injection,
+/// synchronized starts, uniform acceptance, static topology, smaller n)
+/// while it keeps diverging. Returns the input unchanged if it does not
+/// diverge in the first place.
+FuzzCase shrink_fuzz_case(FuzzCase fuzz_case,
+                          const DifferentialOptions& options = {});
+
+struct FuzzFailure {
+  FuzzCase original;
+  FuzzCase shrunk;
+  Divergence divergence;  ///< divergence of the SHRUNK case
+};
+
+struct FuzzOptions {
+  std::size_t cases = 200;
+  std::uint64_t seed = 0xf0c5;
+  bool shrink = true;
+  /// Fault seeded into the reference engine (harness validation only).
+  ReferenceMutation mutation = ReferenceMutation::kNone;
+  /// Progress hook, called before each case runs.
+  std::function<void(std::size_t index, const FuzzCase&)> on_case;
+};
+
+/// Runs `cases` random cases; returns every (shrunk) failure.
+std::vector<FuzzFailure> run_fuzz(const FuzzOptions& options);
+
+}  // namespace mtm::testing

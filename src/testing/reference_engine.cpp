@@ -1,0 +1,240 @@
+#include "testing/reference_engine.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace mtm::testing {
+
+const char* to_string(ReferenceMutation mutation) {
+  switch (mutation) {
+    case ReferenceMutation::kNone:
+      return "none";
+    case ReferenceMutation::kDropOneConnectionBound:
+      return "drop-one-connection-bound";
+    case ReferenceMutation::kAcceptFirstProposal:
+      return "accept-first-proposal";
+    case ReferenceMutation::kSkipPayloadSnapshot:
+      return "skip-payload-snapshot";
+  }
+  return "unknown";
+}
+
+ReferenceEngine::ReferenceEngine(DynamicGraphProvider& topology,
+                                 Protocol& protocol, EngineConfig config,
+                                 ReferenceMutation mutation)
+    : topology_(topology),
+      protocol_(protocol),
+      config_(std::move(config)),
+      mutation_(mutation),
+      node_count_(topology.node_count()) {
+  MTM_REQUIRE(config_.tag_bits >= 0 && config_.tag_bits <= 63);
+  MTM_REQUIRE(config_.connection_failure_prob >= 0.0 &&
+              config_.connection_failure_prob < 1.0);
+  tag_limit_ = Tag{1} << config_.tag_bits;
+
+  if (config_.activation_rounds.empty()) {
+    activation_.assign(node_count_, 1);
+  } else {
+    MTM_REQUIRE_MSG(config_.activation_rounds.size() == node_count_,
+                    "activation_rounds must have one entry per node");
+    activation_ = config_.activation_rounds;
+    for (Round a : activation_) {
+      MTM_REQUIRE_MSG(a >= 1, "activation rounds start at 1");
+      all_active_round_ = std::max(all_active_round_, a);
+    }
+  }
+
+  node_rngs_ = make_node_streams(config_.seed, node_count_);
+  protocol_.init(node_count_, node_rngs_);
+}
+
+// Phase 1 — advertise: each active node selects its b-bit tag for the round.
+// An inactive node has no tag; its slot is left at 0 and must never be read
+// (the scan phase filters inactive neighbors out of every view).
+std::vector<Tag> ReferenceEngine::phase_advertise(const Graph& graph,
+                                                  Round r) {
+  (void)graph;
+  std::vector<Tag> tags(node_count_, 0);
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (!active_in(u, r)) continue;
+    const Tag tag = protocol_.advertise(u, local_round(u, r), node_rngs_[u]);
+    MTM_ENSURE_MSG(tag < tag_limit_, "protocol advertised more than b bits");
+    tags[u] = tag;
+  }
+  return tags;
+}
+
+// Phases 2 + 3 — scan and decide: each active node sees the ids and tags of
+// its *active* neighbors (an unactivated device is not discoverable) and
+// either sends one proposal to a neighbor in that view or elects to receive.
+// Inactive nodes are receivers by definition: they can neither scan nor act.
+std::vector<Decision> ReferenceEngine::phase_scan_and_decide(
+    const Graph& graph, Round r, const std::vector<Tag>& tags) {
+  std::vector<Decision> decisions(node_count_, Decision::receive());
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (!active_in(u, r)) continue;
+    std::vector<NeighborInfo> view;
+    for (NodeId v : graph.neighbors(u)) {
+      if (active_in(v, r)) view.push_back(NeighborInfo{v, tags[v]});
+    }
+    const Decision d =
+        protocol_.decide(u, local_round(u, r), view, node_rngs_[u]);
+    if (d.is_send()) {
+      const bool target_in_view =
+          std::any_of(view.begin(), view.end(), [&d](const NeighborInfo& ni) {
+            return ni.id == d.target;
+          });
+      MTM_ENSURE_MSG(target_in_view,
+                     "proposal target must be an active neighbor");
+      telemetry_.count_proposal();
+    }
+    decisions[u] = d;
+  }
+  return decisions;
+}
+
+// Proposals grouped by target. Inboxes list proposers in ascending id order
+// (part of the pinned contract: the uniform acceptance draw indexes into
+// this ordering).
+std::vector<std::vector<NodeId>> ReferenceEngine::collect_inboxes(
+    const std::vector<Decision>& decisions, Round r) const {
+  std::vector<std::vector<NodeId>> inboxes(node_count_);
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (active_in(u, r) && decisions[u].is_send()) {
+      inboxes[decisions[u].target].push_back(u);
+    }
+  }
+  return inboxes;
+}
+
+// Phase 5 — exchange: one bounded payload each way over an established
+// connection. Both payloads are snapshots of pre-delivery state.
+void ReferenceEngine::exchange(NodeId proposer, NodeId acceptor, Round r) {
+  if (mutation_ == ReferenceMutation::kSkipPayloadSnapshot) {
+    // MUTANT: acceptor's reply is computed after the proposer's payload has
+    // already landed — observably wrong for any state-dependent payload.
+    Payload from_proposer =
+        protocol_.make_payload(proposer, acceptor, local_round(proposer, r));
+    telemetry_.count_payload_uids(from_proposer.uid_count());
+    protocol_.receive_payload(acceptor, proposer, from_proposer,
+                              local_round(acceptor, r));
+    Payload from_acceptor =
+        protocol_.make_payload(acceptor, proposer, local_round(acceptor, r));
+    telemetry_.count_payload_uids(from_acceptor.uid_count());
+    protocol_.receive_payload(proposer, acceptor, from_acceptor,
+                              local_round(proposer, r));
+    return;
+  }
+  Payload from_proposer =
+      protocol_.make_payload(proposer, acceptor, local_round(proposer, r));
+  Payload from_acceptor =
+      protocol_.make_payload(acceptor, proposer, local_round(acceptor, r));
+  telemetry_.count_payload_uids(from_proposer.uid_count());
+  telemetry_.count_payload_uids(from_acceptor.uid_count());
+  protocol_.receive_payload(acceptor, proposer, from_proposer,
+                            local_round(acceptor, r));
+  protocol_.receive_payload(proposer, acceptor, from_acceptor,
+                            local_round(proposer, r));
+}
+
+// Phase 4 (+5) — resolve proposals into connections and run each exchange
+// immediately upon acceptance, acceptors in ascending id order.
+void ReferenceEngine::phase_resolve_and_exchange(
+    const std::vector<Decision>& decisions,
+    const std::vector<std::vector<NodeId>>& inboxes, Round r) {
+  const bool unbounded_accepts =
+      config_.classical_mode ||
+      mutation_ == ReferenceMutation::kDropOneConnectionBound;
+
+  for (NodeId v = 0; v < node_count_; ++v) {
+    const std::vector<NodeId>& inbox = inboxes[v];
+    if (inbox.empty()) continue;
+
+    if (unbounded_accepts) {
+      // Classical telephone model: every proposal connects; a node may take
+      // part in any number of connections in a round (and, unlike the mobile
+      // model, a sender may also accept). The mutant reuses this branch in
+      // mobile mode, which is exactly the one-connection bound being dropped
+      // — except senders still never accept in mobile mode.
+      if (!config_.classical_mode &&
+          (!active_in(v, r) || decisions[v].is_send())) {
+        continue;
+      }
+      for (NodeId proposer : inbox) {
+        telemetry_.count_connection();
+        if (config_.connection_failure_prob > 0.0 &&
+            node_rngs_[v].bernoulli(config_.connection_failure_prob)) {
+          telemetry_.count_failed_connection();
+          continue;
+        }
+        exchange(proposer, v, r);
+      }
+      continue;
+    }
+
+    // Mobile telephone model: a node that sent a proposal cannot accept one,
+    // and a receiving node accepts exactly one incoming proposal.
+    if (!active_in(v, r)) continue;
+    if (decisions[v].is_send()) continue;
+
+    NodeId accepted = 0;
+    switch (config_.acceptance) {
+      case AcceptancePolicy::kUniformRandom:
+        if (mutation_ == ReferenceMutation::kAcceptFirstProposal) {
+          // MUTANT: deterministic accept where the paper's model samples
+          // uniformly (and skips the bounded draw the real engine makes).
+          accepted = inbox.front();
+        } else {
+          accepted = inbox[static_cast<std::size_t>(
+              node_rngs_[v].uniform(inbox.size()))];
+        }
+        break;
+      case AcceptancePolicy::kSmallestId:
+        accepted = *std::min_element(inbox.begin(), inbox.end());
+        break;
+      case AcceptancePolicy::kLargestId:
+        accepted = *std::max_element(inbox.begin(), inbox.end());
+        break;
+    }
+    telemetry_.count_connection();
+    if (config_.connection_failure_prob > 0.0 &&
+        node_rngs_[v].bernoulli(config_.connection_failure_prob)) {
+      telemetry_.count_failed_connection();
+      continue;
+    }
+    exchange(accepted, v, r);
+  }
+}
+
+// Phase 6 — end-of-round hook for every active node.
+void ReferenceEngine::phase_finish(Round r) {
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (active_in(u, r)) protocol_.finish_round(u, local_round(u, r));
+  }
+}
+
+void ReferenceEngine::step() {
+  const Round r = ++round_;
+  const Graph& graph = topology_.graph_at(r);
+  MTM_ENSURE_MSG(graph.node_count() == node_count_,
+                 "topology node count changed mid-execution");
+
+  std::uint32_t active_count = 0;
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (active_in(u, r)) ++active_count;
+  }
+  telemetry_.begin_round(r, active_count, config_.record_rounds);
+
+  const std::vector<Tag> tags = phase_advertise(graph, r);
+  const std::vector<Decision> decisions = phase_scan_and_decide(graph, r, tags);
+  const std::vector<std::vector<NodeId>> inboxes = collect_inboxes(decisions, r);
+  phase_resolve_and_exchange(decisions, inboxes, r);
+  phase_finish(r);
+}
+
+void ReferenceEngine::run_rounds(Round count) {
+  for (Round i = 0; i < count; ++i) step();
+}
+
+}  // namespace mtm::testing

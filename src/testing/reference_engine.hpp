@@ -1,0 +1,117 @@
+// Reference implementation of the mobile telephone model round — the
+// differential oracle for sim/engine.hpp.
+//
+// ReferenceEngine re-implements the Section III round (advertise → scan →
+// decide → resolve → exchange → finish, plus classical mode, asynchronous
+// activation, acceptance policies, and failure injection) as naively and
+// transparently as possible: fresh containers every round, one explicit loop
+// per phase, no scratch reuse, no shortcuts. It exists so that the optimized
+// Engine can be checked against an independent derivation of the same
+// semantics (see testing/differential.hpp); it is far too slow for
+// experiments and must never be used by the harness.
+//
+// Canonical RNG stream layout — this IS part of the pinned model contract
+// (golden values and every recorded experiment depend on it):
+//   init      protocol.init(n, streams) with streams = make_node_streams(seed, n)
+//   phase 1   for u = 0..n-1 ascending, active u draws from streams[u] in
+//             protocol.advertise(u, ...);
+//   phase 2+3 for u = 0..n-1 ascending, active u draws from streams[u] in
+//             protocol.decide(u, ...);
+//   phase 4   for v = 0..n-1 ascending, an accepting v draws ONE bounded
+//             sample uniform(|inbox|) from streams[v] iff the policy is
+//             kUniformRandom (deterministic policies draw nothing), then —
+//             only when connection_failure_prob > 0 — one bernoulli from
+//             streams[v] per established connection. Inboxes list proposers
+//             in ascending id order. In classical mode every proposal
+//             connects and only the failure bernoulli (per proposal, in
+//             inbox order, from streams[v]) is drawn.
+//   phase 5   each established connection (proposer u, acceptor v) exchanges
+//             immediately upon acceptance: make_payload(u, v) then
+//             make_payload(v, u) are both computed BEFORE either delivery
+//             (receive_payload(v, u, ...) then receive_payload(u, v, ...)).
+//   phase 6   for u = 0..n-1 ascending, active u gets finish_round.
+//
+// ReferenceMutation deliberately seeds a semantic fault into this oracle so
+// tests can demonstrate that the differential harness detects each class of
+// drift (mutation testing for the harness itself). Mutations are for those
+// demonstrations only.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "sim/dynamic_graph.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+#include "sim/telemetry.hpp"
+
+namespace mtm::testing {
+
+/// Intentional semantic faults for harness validation.
+enum class ReferenceMutation {
+  kNone,
+  /// Drop the one-connection bound: a receiving node accepts EVERY incoming
+  /// proposal (the defining difference between the mobile and classical
+  /// telephone models, paper Section I).
+  kDropOneConnectionBound,
+  /// Accept the first (smallest-id) proposal instead of sampling uniformly —
+  /// breaks the Section VI good-edge probability argument.
+  kAcceptFirstProposal,
+  /// Deliver the proposer's payload before computing the acceptor's reply,
+  /// leaking post-delivery state into the exchange (the model's connection
+  /// is an interactive exchange of *current* state).
+  kSkipPayloadSnapshot,
+};
+
+const char* to_string(ReferenceMutation mutation);
+
+class ReferenceEngine {
+ public:
+  /// Same contract as Engine: keeps references to `topology` and `protocol`,
+  /// both must outlive it; calls protocol.init() with per-node RNG streams.
+  ReferenceEngine(DynamicGraphProvider& topology, Protocol& protocol,
+                  EngineConfig config,
+                  ReferenceMutation mutation = ReferenceMutation::kNone);
+
+  /// Executes one round of the model, phase by phase.
+  void step();
+
+  /// Runs `count` additional rounds.
+  void run_rounds(Round count);
+
+  Round rounds_executed() const noexcept { return round_; }
+  NodeId node_count() const noexcept { return node_count_; }
+  const EngineConfig& config() const noexcept { return config_; }
+  const Telemetry& telemetry() const noexcept { return telemetry_; }
+  Protocol& protocol() noexcept { return protocol_; }
+  Round all_active_round() const noexcept { return all_active_round_; }
+
+ private:
+  bool active_in(NodeId u, Round r) const { return r >= activation_[u]; }
+  Round local_round(NodeId u, Round r) const { return r - activation_[u] + 1; }
+
+  std::vector<Tag> phase_advertise(const Graph& graph, Round r);
+  std::vector<Decision> phase_scan_and_decide(const Graph& graph, Round r,
+                                              const std::vector<Tag>& tags);
+  std::vector<std::vector<NodeId>> collect_inboxes(
+      const std::vector<Decision>& decisions, Round r) const;
+  void phase_resolve_and_exchange(
+      const std::vector<Decision>& decisions,
+      const std::vector<std::vector<NodeId>>& inboxes, Round r);
+  void phase_finish(Round r);
+  void exchange(NodeId proposer, NodeId acceptor, Round r);
+
+  DynamicGraphProvider& topology_;
+  Protocol& protocol_;
+  EngineConfig config_;
+  ReferenceMutation mutation_;
+  NodeId node_count_;
+  Round round_ = 0;
+  Round all_active_round_ = 1;
+  Tag tag_limit_;
+  std::vector<Round> activation_;
+  std::vector<Rng> node_rngs_;
+  Telemetry telemetry_;
+};
+
+}  // namespace mtm::testing

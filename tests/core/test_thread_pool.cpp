@@ -35,6 +35,47 @@ TEST(ThreadPool, RejectsInvalidConfig) {
   EXPECT_THROW(pool.submit(nullptr), ContractError);
 }
 
+TEST(ThreadPool, WaitIdleRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndErrorIsClearedAfterRethrow) {
+  ThreadPool pool(1);  // one worker => deterministic task order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle() did not rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // The stored error was consumed: the pool is clean and fully usable.
+  pool.wait_idle();
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotDeadlockOrStarveOtherTasks) {
+  // A throwing task must still count as completed (wait_idle returns) and
+  // must not take its worker down: all sibling tasks run to completion.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&counter, i] {
+      if (i % 8 == 3) throw std::runtime_error("sporadic");
+      counter.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 56);  // 64 tasks, 8 throwers
+}
+
 TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);

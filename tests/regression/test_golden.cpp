@@ -11,8 +11,11 @@
 
 #include "graph/generators.hpp"
 #include "harness/experiment.hpp"
+#include "protocols/async_bit_convergence.hpp"
+#include "protocols/bit_convergence.hpp"
 #include "protocols/blind_gossip.hpp"
 #include "protocols/k_gossip.hpp"
+#include "protocols/ppush.hpp"
 #include "protocols/leader_consensus.hpp"
 #include "protocols/multibit_convergence.hpp"
 #include "protocols/pairwise_averaging.hpp"
@@ -158,6 +161,75 @@ TEST(Golden, RoundRobinGossipClique10) {
       },
       0, 205);
   EXPECT_EQ(rounds, (std::vector<Round>{25, 13, 19}));
+}
+
+// Telemetry pins: beyond the stabilization round, these fix the exact
+// communication-cost counters (connections, proposals) of one seeded trial.
+// They fail on any change to the per-round draw schedule even when the
+// stabilization round happens to survive it.
+struct GoldenTrial {
+  Round rounds;
+  std::uint64_t connections;
+  std::uint64_t proposals;
+
+  bool operator==(const GoldenTrial&) const = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const GoldenTrial& t) {
+  return os << "{" << t.rounds << ", " << t.connections << ", "
+            << t.proposals << "}";
+}
+
+GoldenTrial run_golden_trial(Protocol& proto, const Graph& g,
+                             EngineConfig cfg) {
+  StaticGraphProvider topo(g);
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1u << 22);
+  EXPECT_TRUE(r.converged);
+  return {r.rounds, r.connections, r.proposals};
+}
+
+TEST(GoldenTelemetry, BlindGossipStarLine2x5) {
+  const Graph g = make_star_line(2, 5);
+  BlindGossip proto(BlindGossip::shuffled_uids(g.node_count(), 301));
+  EngineConfig cfg;
+  cfg.seed = 301;
+  EXPECT_EQ(run_golden_trial(proto, g, cfg), (GoldenTrial{35, 49, 201}));
+}
+
+TEST(GoldenTelemetry, BitConvergenceClique8) {
+  const Graph g = make_clique(8);
+  BitConvergenceConfig c;
+  c.network_size_bound = g.node_count();
+  c.max_degree_bound = g.max_degree();
+  BitConvergence proto(BlindGossip::shuffled_uids(g.node_count(), 302), c);
+  EngineConfig cfg;
+  cfg.tag_bits = proto.tag_bit_count();
+  cfg.seed = 302;
+  EXPECT_EQ(run_golden_trial(proto, g, cfg), (GoldenTrial{37, 87, 138}));
+}
+
+TEST(GoldenTelemetry, AsyncBitConvergenceCycle8StaggeredActivation) {
+  const Graph g = make_cycle(8);
+  AsyncBitConvergenceConfig c;
+  c.network_size_bound = g.node_count();
+  c.max_degree_bound = g.max_degree();
+  AsyncBitConvergence proto(BlindGossip::shuffled_uids(g.node_count(), 303),
+                            c);
+  EngineConfig cfg;
+  cfg.tag_bits = proto.required_advertisement_bits();
+  cfg.seed = 303;
+  cfg.activation_rounds = {1, 5, 2, 7, 3, 1, 6, 4};
+  EXPECT_EQ(run_golden_trial(proto, g, cfg), (GoldenTrial{93, 13, 13}));
+}
+
+TEST(GoldenTelemetry, PpushStarLine2x5) {
+  const Graph g = make_star_line(2, 5);
+  Ppush proto({0});
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 304;
+  EXPECT_EQ(run_golden_trial(proto, g, cfg), (GoldenTrial{6, 11, 11}));
 }
 
 }  // namespace

@@ -113,6 +113,41 @@ INSTANTIATE_TEST_SUITE_P(
                       static_cast<int>(AcceptancePolicy::kSmallestId),
                       static_cast<int>(AcceptancePolicy::kLargestId)));
 
+TEST(AcceptancePolicy, UniformAcceptanceFrequencyPassesChiSquared) {
+  // Quantitative version of UniformSpreadsAcceptances: with k leaves all
+  // proposing to the star center, kUniformRandom must accept each leaf with
+  // frequency 1/k. Pearson chi-squared over seeded one-round trials against
+  // the uniform expectation; critical values at p = 0.001, so a false alarm
+  // is ~1-in-1000 per k even though every trial is deterministic in seed.
+  struct Case {
+    NodeId leaves;
+    double critical;  // chi2 inverse CDF at 0.999, df = leaves - 1
+  };
+  const Case cases[] = {{2, 10.83}, {3, 13.82}, {5, 18.47}, {8, 24.32}};
+  const int kTrials = 4000;
+  for (const Case& c : cases) {
+    std::map<NodeId, int> counts;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      StaticGraphProvider topo(make_star(c.leaves + 1));
+      AllLeavesPropose proto;
+      EngineConfig cfg;
+      cfg.acceptance = AcceptancePolicy::kUniformRandom;
+      cfg.seed = derive_seed(0xc415, {c.leaves, std::uint64_t(trial)});
+      Engine engine(topo, proto, cfg);
+      engine.step();
+      ASSERT_EQ(proto.accepted_senders.size(), 1u);
+      ++counts[proto.accepted_senders[0]];
+    }
+    const double expected = static_cast<double>(kTrials) / c.leaves;
+    double chi2 = 0.0;
+    for (NodeId leaf = 1; leaf <= c.leaves; ++leaf) {
+      const double deviation = counts[leaf] - expected;
+      chi2 += deviation * deviation / expected;
+    }
+    EXPECT_LT(chi2, c.critical) << "k = " << c.leaves << " leaves";
+  }
+}
+
 TEST(AcceptancePolicy, GoodEdgeFrequencyMeetsSectionSixBound) {
   // Definition VI.2 / the 1/(4Δ²) bound: under uniform acceptance, a fixed
   // ordered edge (u, v) connects with probability >= 1/(4Δ²). Measure the

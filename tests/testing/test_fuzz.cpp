@@ -1,0 +1,127 @@
+// The fuzz-case machinery: serialization round trips, scenario expansion
+// over every topology family, and shrinking of diverging cases.
+#include <gtest/gtest.h>
+
+#include "testing/fuzz.hpp"
+
+namespace mtm::testing {
+namespace {
+
+TEST(FuzzCase, SerializationRoundTrips) {
+  for (std::size_t i = 0; i < 200; ++i) {
+    Rng rng(derive_seed(0x5e71a, {i}));
+    const FuzzCase original = random_fuzz_case(rng);
+    const FuzzCase parsed = parse_fuzz_case(to_string(original));
+    EXPECT_EQ(parsed, original) << to_string(original);
+  }
+}
+
+TEST(FuzzCase, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_fuzz_case("protocol=blind-gossip n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fuzz_case("protocol=unknown-proto generator=clique"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fuzz_case("generator=moebius-strip"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fuzz_case("generator=clique n=banana"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fuzz_case("generator=clique acceptance=psychic"),
+               std::invalid_argument);
+}
+
+TEST(FuzzCase, EveryGeneratorExpandsAcrossTheSizeRange) {
+  const char* generators[] = {"clique",    "cycle",   "path",
+                              "star",      "star-line", "grid",
+                              "barbell",   "random-regular",
+                              "ring-of-cliques"};
+  for (const char* generator : generators) {
+    for (NodeId n = 2; n <= 30; n += 7) {
+      FuzzCase fuzz_case;
+      fuzz_case.generator = generator;
+      fuzz_case.n = n;
+      fuzz_case.seed = 11;
+      fuzz_case.rounds = 4;
+      const Scenario scenario = make_scenario(fuzz_case);
+      auto topology = scenario.make_topology();
+      EXPECT_GE(topology->node_count(), 2u) << generator << " n=" << n;
+      // The scenario must actually run (constructor contracts included).
+      EXPECT_FALSE(run_differential(scenario).has_value())
+          << generator << " n=" << n;
+    }
+  }
+}
+
+TEST(FuzzCase, ScenarioExpansionIsDeterministic) {
+  FuzzCase fuzz_case;
+  fuzz_case.generator = "random-regular";
+  fuzz_case.n = 12;
+  fuzz_case.seed = 99;
+  fuzz_case.tau = 2;
+  fuzz_case.rounds = 8;
+  const Scenario a = make_scenario(fuzz_case);
+  const Scenario b = make_scenario(fuzz_case);
+  const auto ta = a.make_topology();
+  const auto tb = b.make_topology();
+  EXPECT_EQ(ta->graph_at(1).edges(), tb->graph_at(1).edges());
+}
+
+TEST(Shrink, MinimizesADivergingCaseAndKeepsItDiverging) {
+  // Seed a fault into the reference engine so shrinking has a real
+  // divergence to preserve.
+  DifferentialOptions options;
+  options.mutation = ReferenceMutation::kAcceptFirstProposal;
+
+  FuzzCase original;
+  original.protocol = FuzzProtocol::kBlindGossip;
+  original.generator = "star";
+  original.n = 24;
+  original.seed = 7;
+  original.tau = 2;
+  original.async_activation = true;
+  original.failure_prob = 0.15;
+  original.rounds = 64;
+  ASSERT_TRUE(run_differential(make_scenario(original), options).has_value());
+
+  const FuzzCase shrunk = shrink_fuzz_case(original, options);
+  EXPECT_TRUE(run_differential(make_scenario(shrunk), options).has_value());
+  EXPECT_LE(shrunk.n, original.n);
+  EXPECT_LE(shrunk.rounds, original.rounds);
+  // The simplification passes must have stripped the incidental dimensions
+  // (this fault does not need failure injection or staggered starts).
+  EXPECT_EQ(shrunk.failure_prob, 0.0);
+  EXPECT_FALSE(shrunk.async_activation);
+  EXPECT_EQ(shrunk.tau, 0u);
+}
+
+TEST(Shrink, ReturnsNonDivergingCaseUnchanged) {
+  FuzzCase clean;
+  clean.protocol = FuzzProtocol::kPushPull;
+  clean.generator = "clique";
+  clean.n = 8;
+  clean.seed = 5;
+  clean.rounds = 16;
+  EXPECT_EQ(shrink_fuzz_case(clean), clean);
+}
+
+TEST(RunFuzz, FindsAndShrinksSeededFaults) {
+  FuzzOptions options;
+  options.cases = 30;
+  options.seed = 0xfa117;
+  options.mutation = ReferenceMutation::kDropOneConnectionBound;
+  const auto failures = run_fuzz(options);
+  ASSERT_FALSE(failures.empty());
+  for (const FuzzFailure& failure : failures) {
+    EXPECT_LE(failure.shrunk.n, failure.original.n);
+    EXPECT_FALSE(failure.divergence.field.empty());
+    // Every reported tuple replays: parse(to_string(.)) still diverges.
+    DifferentialOptions diff;
+    diff.mutation = options.mutation;
+    const FuzzCase replayed = parse_fuzz_case(to_string(failure.shrunk));
+    EXPECT_TRUE(
+        run_differential(make_scenario(replayed), diff).has_value())
+        << to_string(failure.shrunk);
+  }
+}
+
+}  // namespace
+}  // namespace mtm::testing

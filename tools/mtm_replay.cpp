@@ -1,0 +1,149 @@
+// mtm_replay — differential-harness front end: replay a recorded failing
+// fuzz tuple deterministically (with per-round trace dumps), or burn a
+// bounded fuzz budget and emit shrunk failing tuples for CI artifacts.
+//
+// Examples:
+//   mtm_replay --fuzz=500 --seed=7 --out=fuzz-failures.txt
+//   mtm_replay --case="protocol=blind-gossip generator=star n=6 tau=0
+//               seed=3 acceptance=uniform async=0 failure=0 rounds=8"
+//               --trace                                    (one line)
+//   mtm_replay --case="..." --mutation=drop-one-connection-bound
+//   mtm_replay --help
+//
+// Exit status: 0 when every checked case matches the reference engine,
+// 1 on any divergence (or usage error) — so CI can gate on it directly.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/cli.hpp"
+#include "testing/fuzz.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr const char* kUsage = R"(mtm_replay: differential harness replay/fuzz driver
+
+options:
+  --case=TUPLE      replay one recorded fuzz tuple (the "key=value ..." form
+                    printed by --fuzz failures) through Engine vs
+                    ReferenceEngine and report the first divergence
+  --trace           with --case: dump per-round events, counters and state
+                    hashes while replaying
+  --mutation=M      seed an intentional fault into the reference engine to
+                    demonstrate detection (with --case or --fuzz):
+                    none | drop-one-connection-bound |
+                    accept-first-proposal | skip-payload-snapshot
+  --fuzz=N          run N random differential cases               [default 0]
+  --seed=S          fuzz stream seed                              [default 0xf0c5]
+  --no-shrink       report original failing tuples without minimizing
+  --out=PATH        append failing shrunk tuples to PATH (CI artifact)
+  --help            this text
+)";
+
+testing::ReferenceMutation parse_mutation(const std::string& name) {
+  using testing::ReferenceMutation;
+  for (auto m : {ReferenceMutation::kNone,
+                 ReferenceMutation::kDropOneConnectionBound,
+                 ReferenceMutation::kAcceptFirstProposal,
+                 ReferenceMutation::kSkipPayloadSnapshot}) {
+    if (name == testing::to_string(m)) return m;
+  }
+  throw std::invalid_argument("unknown --mutation=" + name);
+}
+
+int replay_case(const CliArgs& args, const std::string& case_text) {
+  const bool trace = args.has("trace");
+  const auto mutation = parse_mutation(args.get_string("mutation", "none"));
+  args.check_unused();
+
+  const testing::FuzzCase fuzz_case = testing::parse_fuzz_case(case_text);
+  std::cout << "replaying: " << testing::to_string(fuzz_case) << "\n";
+  if (mutation != testing::ReferenceMutation::kNone) {
+    std::cout << "reference mutation: " << testing::to_string(mutation)
+              << "\n";
+  }
+
+  testing::DifferentialOptions options;
+  options.mutation = mutation;
+  if (trace) options.trace = &std::cout;
+  const auto divergence =
+      testing::run_differential(testing::make_scenario(fuzz_case), options);
+  if (!divergence) {
+    std::cout << "no divergence: engine matches reference over "
+              << fuzz_case.rounds << " rounds\n";
+    return 0;
+  }
+  std::cout << testing::to_string(*divergence) << "\n";
+  return 1;
+}
+
+int run_fuzz_budget(const CliArgs& args, std::uint64_t budget) {
+  testing::FuzzOptions options;
+  options.cases = budget;
+  options.seed = args.get_u64("seed", 0xf0c5);
+  options.shrink = !args.has("no-shrink");
+  options.mutation = parse_mutation(args.get_string("mutation", "none"));
+  const std::string out_path = args.get_string("out", "");
+  args.check_unused();
+
+  if (options.mutation != testing::ReferenceMutation::kNone) {
+    std::cout << "reference mutation: " << testing::to_string(options.mutation)
+              << "\n";
+  }
+
+  options.on_case = [](std::size_t index, const testing::FuzzCase&) {
+    if (index > 0 && index % 100 == 0) {
+      std::cout << "..." << index << " cases checked\n";
+    }
+  };
+  const auto failures = testing::run_fuzz(options);
+  std::cout << budget << " cases checked, " << failures.size()
+            << " divergence(s)\n";
+  if (failures.empty()) return 0;
+
+  std::ofstream out;
+  if (!out_path.empty()) {
+    out.open(out_path, std::ios::app);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+  }
+  for (const auto& failure : failures) {
+    std::cout << "FAIL " << testing::to_string(failure.shrunk) << "\n  "
+              << testing::to_string(failure.divergence) << "\n  (original: "
+              << testing::to_string(failure.original) << ")\n";
+    if (out) out << testing::to_string(failure.shrunk) << "\n";
+  }
+  if (out) std::cout << "wrote failing tuples to " << out_path << "\n";
+  return 1;
+}
+
+int run(const CliArgs& args) {
+  const std::string case_text = args.get_string("case", "");
+  const std::uint64_t budget = args.get_u64("fuzz", 0);
+  if (!case_text.empty() && budget > 0) {
+    throw std::invalid_argument("--case and --fuzz are mutually exclusive");
+  }
+  if (!case_text.empty()) return replay_case(args, case_text);
+  if (budget > 0) return run_fuzz_budget(args, budget);
+  throw std::invalid_argument("one of --case or --fuzz is required");
+}
+
+}  // namespace
+}  // namespace mtm
+
+int main(int argc, char** argv) {
+  try {
+    mtm::CliArgs args(argc, argv);
+    if (args.has("help")) {
+      std::cout << mtm::kUsage;
+      return 0;
+    }
+    return mtm::run(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n\n" << mtm::kUsage;
+    return 1;
+  }
+}
