@@ -1,0 +1,229 @@
+// E16 / Tab.11 — fault tolerance: churn vs stabilization, and adversarial
+// leader kills vs re-stabilization (sim/faults.hpp + stable-leader).
+//
+// Two sweeps on a clique of n = 32 running the epoch-based stable-leader
+// protocol:
+//
+//   churn sweep — per-round crash probability in {0, 0.5%, 1%, 2%, 5%}
+//   (recovery probability 25%) vs rounds to FIRST stabilization. Expected
+//   shape: monotone slowdown with censoring at the harsh end — churn both
+//   interrupts the election and resets recovered nodes to epoch 0.
+//
+//   re-stabilization sweep — one oracle kill (leader | min-holder | random)
+//   at round 64, well after the initial election has settled, vs rounds
+//   from the kill to the NEXT stabilized round. Expected shape: the leader
+//   oracle forces a full epoch timeout (24 rounds here) plus a fresh
+//   election every trial; random occasionally hits the leader (1/n);
+//   min-holder degenerates after stabilization (every node "holds" the
+//   minimum, so the smallest-id holder it kills is usually a follower).
+//
+// Output: the standard benchmark counters, plus one JSON document on stdout
+// (between BEGIN/END markers, also written to $MTM_BENCH_JSON when set)
+// with both sweeps — the machine-readable artifact EXPERIMENTS.md records.
+#include "bench_common.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/stable_leader.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr NodeId kN = 32;
+constexpr std::size_t kTrials = 12;
+constexpr Round kMaxRounds = 4096;
+constexpr Round kEpochTimeout = 24;
+constexpr Round kKillRound = 64;
+constexpr Round kRestabCap = 1024;  // per-trial cap after the kill
+const std::uint64_t kSeed = bench::bench_seed(0xfa177);
+
+struct ChurnRow {
+  double crash_prob = 0.0;
+  double recovery_prob = 0.0;
+  ConvergenceSummary convergence;
+};
+
+struct RestabRow {
+  const char* oracle = "?";
+  std::size_t reelected = 0;
+  std::size_t trials = 0;
+  Summary restab;  ///< rounds from kill to re-stabilization (re-elected trials)
+};
+
+std::vector<ChurnRow>& churn_rows() {
+  static std::vector<ChurnRow> rows;
+  return rows;
+}
+
+std::vector<RestabRow>& restab_rows() {
+  static std::vector<RestabRow> rows;
+  return rows;
+}
+
+void BM_ChurnVsStabilization(benchmark::State& state) {
+  const double crash_prob = static_cast<double>(state.range(0)) / 1000.0;
+  ChurnRow row;
+  row.crash_prob = crash_prob;
+  row.recovery_prob = 0.25;
+  for (auto _ : state) {
+    LeaderExperiment spec;
+    spec.algo = LeaderAlgo::kStableLeader;
+    spec.epoch_timeout = kEpochTimeout;
+    spec.node_count = kN;
+    spec.topology = static_topology(make_clique(kN));
+    spec.max_rounds = kMaxRounds;
+    spec.trials = kTrials;
+    spec.seed = derive_seed(
+        kSeed, {0xc417u, static_cast<std::uint64_t>(state.range(0))});
+    spec.threads = bench::trial_threads();
+    spec.faults.crash_prob = crash_prob;
+    spec.faults.recovery_prob = crash_prob > 0.0 ? row.recovery_prob : 0.0;
+    spec.faults.min_alive = kN / 2;  // keep a quorum alive at any churn rate
+    row.convergence = summarize_convergence(run_leader_experiment(spec));
+  }
+  const Summary s = summarize(row.convergence.rounds.empty()
+                                  ? std::vector<double>{0.0}
+                                  : row.convergence.rounds);
+  state.counters["rounds_mean"] = s.mean;
+  state.counters["rounds_p95"] = s.p95;
+  state.counters["converged"] = static_cast<double>(row.convergence.converged);
+  state.counters["censored"] = static_cast<double>(row.convergence.censored);
+  churn_rows().push_back(std::move(row));
+}
+
+/// One trial of the re-stabilization sweep: elect, kill at kKillRound, then
+/// count rounds until the survivors stabilize again. Returns the rounds
+/// past the kill, or kRestabCap when the network never re-stabilized.
+Round restab_trial(CrashTargeting targeting, std::uint64_t trial_seed) {
+  StaticGraphProvider topology(make_clique(kN));
+  StableLeader protocol(BlindGossip::shuffled_uids(kN, trial_seed),
+                        kEpochTimeout);
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = trial_seed;
+  cfg.faults.targeting = targeting;
+  cfg.faults.target_start = kKillRound;
+  cfg.faults.target_every = Round{1} << 40;  // exactly one kill
+  cfg.faults.seed = derive_seed(trial_seed, {0xfa17u});
+  Engine engine(topology, protocol, cfg);
+  engine.run_rounds(kKillRound);  // includes the kill in round kKillRound
+  while (!protocol.stabilized() &&
+         engine.rounds_executed() < kKillRound + kRestabCap) {
+    engine.step();
+  }
+  return engine.rounds_executed() - kKillRound;
+}
+
+void BM_RestabilizationAfterKill(benchmark::State& state) {
+  const auto targeting = static_cast<CrashTargeting>(state.range(0));
+  RestabRow row;
+  row.oracle = to_string(targeting);
+  for (auto _ : state) {
+    std::vector<double> restab_rounds;
+    for (std::size_t t = 0; t < kTrials; ++t) {
+      const std::uint64_t trial_seed = derive_seed(
+          kSeed, {0x4e57u, static_cast<std::uint64_t>(state.range(0)), t});
+      const Round rounds = restab_trial(targeting, trial_seed);
+      if (rounds < kRestabCap) {
+        restab_rounds.push_back(static_cast<double>(rounds));
+      }
+    }
+    row.trials = kTrials;
+    row.reelected = restab_rounds.size();
+    row.restab = summarize(restab_rounds.empty() ? std::vector<double>{0.0}
+                                                 : restab_rounds);
+  }
+  state.counters["restab_mean"] = row.restab.mean;
+  state.counters["restab_p95"] = row.restab.p95;
+  state.counters["reelected"] = static_cast<double>(row.reelected);
+  restab_rows().push_back(std::move(row));
+}
+
+BENCHMARK(BM_ChurnVsStabilization)
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(50)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_RestabilizationAfterKill)
+    ->Arg(static_cast<int>(CrashTargeting::kRandomAlive))
+    ->Arg(static_cast<int>(CrashTargeting::kMinUidHolder))
+    ->Arg(static_cast<int>(CrashTargeting::kLeaderNode))
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+std::string sweep_json() {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"bench\": \"fault_tolerance\",\n"
+      << "  \"topology\": \"clique\",\n"
+      << "  \"n\": " << kN << ",\n"
+      << "  \"epoch_timeout\": " << kEpochTimeout << ",\n"
+      << "  \"trials\": " << kTrials << ",\n"
+      << "  \"seed\": " << kSeed << ",\n"
+      << "  \"churn_sweep\": [\n";
+  for (std::size_t i = 0; i < churn_rows().size(); ++i) {
+    const ChurnRow& row = churn_rows()[i];
+    const Summary s = summarize(row.convergence.rounds.empty()
+                                    ? std::vector<double>{0.0}
+                                    : row.convergence.rounds);
+    out << "    {\"crash_prob\": " << row.crash_prob
+        << ", \"recovery_prob\": " << row.recovery_prob
+        << ", \"converged\": " << row.convergence.converged
+        << ", \"censored\": " << row.convergence.censored
+        << ", \"rounds_mean\": " << s.mean << ", \"rounds_p95\": " << s.p95
+        << "}" << (i + 1 < churn_rows().size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"kill_round\": " << kKillRound << ",\n"
+      << "  \"restabilization_sweep\": [\n";
+  for (std::size_t i = 0; i < restab_rows().size(); ++i) {
+    const RestabRow& row = restab_rows()[i];
+    out << "    {\"oracle\": \"" << row.oracle
+        << "\", \"reelected\": " << row.reelected
+        << ", \"trials\": " << row.trials
+        << ", \"restab_mean\": " << row.restab.mean
+        << ", \"restab_p95\": " << row.restab.p95 << "}"
+        << (i + 1 < restab_rows().size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+void report_json() {
+  const std::string json = sweep_json();
+  std::cout << "=== BEGIN fault_tolerance JSON ===\n"
+            << json << "=== END fault_tolerance JSON ===\n";
+  if (const char* path = std::getenv("MTM_BENCH_JSON")) {
+    std::ofstream out(path);
+    if (out) {
+      out << json;
+      std::cout << "wrote " << path << "\n";
+    } else {
+      std::cerr << "cannot write " << path << "\n";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mtm
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  ::mtm::bench::report_all_series();
+  ::mtm::report_json();
+  return 0;
+}

@@ -8,8 +8,24 @@
 #include "protocols/ppush.hpp"
 #include "protocols/productive_push_pull.hpp"
 #include "protocols/push_pull.hpp"
+#include "protocols/stable_leader.hpp"
 
 namespace mtm {
+
+namespace {
+
+// Stream-id tag for the per-trial fault plan seed (fixed forever).
+constexpr std::uint64_t kTrialFaultSeedTag = 0x7472666c74ULL;  // "trflt"
+
+/// Per-trial fault plan: same dimensions, trial-specific streams.
+FaultPlanConfig trial_faults(const FaultPlanConfig& base,
+                             std::uint64_t trial_seed) {
+  FaultPlanConfig faults = base;
+  faults.seed = derive_seed(trial_seed, {kTrialFaultSeedTag});
+  return faults;
+}
+
+}  // namespace
 
 const char* leader_algo_name(LeaderAlgo algo) {
   switch (algo) {
@@ -21,6 +37,8 @@ const char* leader_algo_name(LeaderAlgo algo) {
       return "async-bit-convergence";
     case LeaderAlgo::kClassicalGossip:
       return "classical-gossip";
+    case LeaderAlgo::kStableLeader:
+      return "stable-leader";
   }
   return "?";
 }
@@ -90,6 +108,11 @@ LeaderProtocolBundle make_leader_protocol(const LeaderExperiment& spec,
       bundle.tag_bits = 0;
       bundle.classical = true;
       break;
+    case LeaderAlgo::kStableLeader:
+      bundle.protocol =
+          std::make_unique<StableLeader>(std::move(uids), spec.epoch_timeout);
+      bundle.tag_bits = 1;
+      break;
   }
   return bundle;
 }
@@ -117,6 +140,7 @@ std::vector<RunResult> run_leader_experiment(const LeaderExperiment& spec) {
     cfg.seed = trial_seed;
     cfg.activation_rounds = spec.activation_rounds;
     cfg.connection_failure_prob = spec.connection_failure_prob;
+    if (spec.faults.enabled()) cfg.faults = trial_faults(spec.faults, trial_seed);
     Engine engine(*topology, *bundle.protocol, cfg);
     return run_until_stabilized(engine, spec.max_rounds);
   });
@@ -162,6 +186,7 @@ std::vector<RunResult> run_rumor_experiment(const RumorExperiment& spec) {
     cfg.classical_mode = classical;
     cfg.seed = trial_seed;
     cfg.connection_failure_prob = spec.connection_failure_prob;
+    if (spec.faults.enabled()) cfg.faults = trial_faults(spec.faults, trial_seed);
     Engine engine(*topology, *protocol, cfg);
     return run_until_stabilized(engine, spec.max_rounds);
   });

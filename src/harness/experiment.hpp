@@ -27,6 +27,7 @@ enum class LeaderAlgo {
   kBitConvergence,      ///< Section VII, b = 1
   kAsyncBitConvergence, ///< Section VIII, b = loglog n + O(1)
   kClassicalGossip,     ///< classical-model baseline (unbounded accepts)
+  kStableLeader,        ///< epoch-based self-healing election, b = 1
 };
 
 enum class RumorAlgo {
@@ -54,6 +55,13 @@ struct LeaderExperiment {
   std::size_t threads = 1;
   /// Failure injection passthrough (see EngineConfig).
   double connection_failure_prob = 0.0;
+  /// Fault plan passthrough (see sim/faults.hpp). The per-trial plan seed is
+  /// derived from the trial seed, so trials stay independent. With churn or
+  /// crash oracles enabled, trials may legitimately censor — aggregate with
+  /// summarize_convergence(), not rounds_of().
+  FaultPlanConfig faults;
+  /// Epoch timeout for kStableLeader (ignored by the other algorithms).
+  Round epoch_timeout = 24;
 };
 
 /// Runs the experiment; element t is trial t's result.
@@ -70,6 +78,8 @@ struct RumorExperiment {
   std::size_t threads = 1;
   /// Failure injection passthrough (see EngineConfig).
   double connection_failure_prob = 0.0;
+  /// Fault plan passthrough (see LeaderExperiment::faults).
+  FaultPlanConfig faults;
 };
 
 std::vector<RunResult> run_rumor_experiment(const RumorExperiment& spec);

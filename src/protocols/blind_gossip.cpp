@@ -56,6 +56,12 @@ void BlindGossip::receive_payload(NodeId u, NodeId /*peer*/,
   }
 }
 
+void BlindGossip::on_restart(NodeId u, Rng& /*rng*/) {
+  MTM_REQUIRE(u < node_count_);
+  if (min_seen_[u] == global_min_ && uids_[u] != global_min_) --holders_;
+  min_seen_[u] = uids_[u];
+}
+
 bool BlindGossip::stabilized() const { return holders_ == node_count_; }
 
 Uid BlindGossip::leader_of(NodeId u) const {
@@ -64,5 +70,12 @@ Uid BlindGossip::leader_of(NodeId u) const {
 }
 
 Uid BlindGossip::min_seen(NodeId u) const { return leader_of(u); }
+
+NodeId BlindGossip::leader_node() const {
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (uids_[u] == global_min_) return u;
+  }
+  return ~NodeId{0};
+}
 
 }  // namespace mtm

@@ -35,9 +35,14 @@ class BlindGossip final : public LeaderElectionProtocol {
   Payload make_payload(NodeId u, NodeId peer, Round local_round) override;
   void receive_payload(NodeId u, NodeId peer, const Payload& payload,
                        Round local_round) override;
+  /// Recovery resets u to its initial state: min_seen reverts to u's own UID
+  /// (the crash wiped everything u had learned).
+  void on_restart(NodeId u, Rng& rng) override;
   bool stabilized() const override;
 
   Uid leader_of(NodeId u) const override;
+  /// The owner of the global minimum UID (the node every execution elects).
+  NodeId leader_node() const override;
   /// Smallest UID node u has seen so far (== leader for this protocol).
   Uid min_seen(NodeId u) const;
   /// The UID every node must converge to.

@@ -1,0 +1,180 @@
+#include "protocols/stable_leader.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+#include "protocols/detail.hpp"
+#include "sim/faults.hpp"
+
+namespace mtm {
+
+StableLeader::StableLeader(std::vector<Uid> uids, Round epoch_timeout)
+    : uids_(std::move(uids)), epoch_timeout_(epoch_timeout) {
+  MTM_REQUIRE_MSG(epoch_timeout_ >= 1, "epoch_timeout must be >= 1");
+  protocol_detail::require_unique_uids(uids_);
+}
+
+void StableLeader::init(NodeId node_count, std::span<Rng> /*node_rngs*/) {
+  MTM_REQUIRE_MSG(node_count == uids_.size(),
+                  "UID list size must match the topology node count");
+  node_count_ = node_count;
+  min_seen_ = uids_;
+  epoch_.assign(node_count_, 0);
+  age_.assign(node_count_, 0);
+  crashed_.assign(node_count_, 0);
+}
+
+// Heartbeat: tag 1 iff u believes it is the leader of its epoch.
+Tag StableLeader::advertise(NodeId u, Round /*local_round*/, Rng& /*rng*/) {
+  return believes_leader(u) ? 1 : 0;
+}
+
+Decision StableLeader::decide(NodeId u, Round /*local_round*/,
+                              std::span<const NeighborInfo> view, Rng& rng) {
+  // A heartbeat from the node u believes to be the leader is direct
+  // liveness evidence; heartbeats from other claimants (recovering nodes,
+  // unconverged candidates) are not, or churn would suppress timeouts
+  // forever.
+  for (const NeighborInfo& ni : view) {
+    if (ni.tag == 1 && uids_[ni.id] == min_seen_[u]) {
+      age_[u] = 0;
+      break;
+    }
+  }
+  // Election within the epoch is exactly blind gossip (Section VI).
+  if (view.empty() || !rng.coin()) return Decision::receive();
+  return Decision::send(view[rng.uniform(view.size())].id);
+}
+
+// Payload: candidate UID + (epoch, silence age) in the extra bits.
+Payload StableLeader::make_payload(NodeId u, NodeId /*peer*/,
+                                   Round /*local_round*/) {
+  Payload p;
+  p.push_uid(min_seen_[u]);
+  p.push_bits(epoch_[u], 32);
+  p.push_bits(std::min<Round>(age_[u], 0xffffffffULL), 32);
+  return p;
+}
+
+void StableLeader::receive_payload(NodeId u, NodeId /*peer*/,
+                                   const Payload& payload,
+                                   Round /*local_round*/) {
+  MTM_REQUIRE(payload.uid_count() == 1);
+  MTM_REQUIRE(payload.extra_bit_count() == 64);
+  const Uid p_min = payload.uid(0);
+  const auto p_epoch = static_cast<std::uint32_t>(payload.read_bits(0, 32));
+  const Round p_age = payload.read_bits(32, 32);
+
+  if (p_epoch > epoch_[u]) {
+    // A newer epoch dominates: join it and re-enter the election with our
+    // own UID as a candidate (the dead leader's UID must not survive).
+    epoch_[u] = p_epoch;
+    min_seen_[u] = std::min(p_min, uids_[u]);
+    age_[u] = p_age;
+  } else if (p_epoch == epoch_[u]) {
+    if (p_min < min_seen_[u]) min_seen_[u] = p_min;
+    if (p_age < age_[u]) age_[u] = p_age;  // fresher liveness evidence
+  }
+  // Stale epochs are ignored.
+}
+
+void StableLeader::finish_round(NodeId u, Round /*local_round*/) {
+  if (believes_leader(u)) {
+    age_[u] = 0;
+    return;
+  }
+  ++age_[u];
+  if (age_[u] > epoch_timeout_) {
+    ++epoch_[u];
+    min_seen_[u] = uids_[u];
+    age_[u] = 0;
+  }
+}
+
+void StableLeader::on_crash(NodeId u) {
+  MTM_REQUIRE(u < node_count_);
+  crashed_[u] = 1;
+}
+
+void StableLeader::on_restart(NodeId u, Rng& /*rng*/) {
+  MTM_REQUIRE(u < node_count_);
+  crashed_[u] = 0;
+  epoch_[u] = 0;
+  min_seen_[u] = uids_[u];
+  age_[u] = 0;
+}
+
+// All alive nodes agree on (epoch, leader) and the agreed leader is alive.
+// NOT monotone under faults: a leader crash un-stabilizes the execution.
+bool StableLeader::stabilized() const {
+  bool found = false;
+  std::uint32_t epoch = 0;
+  Uid min = 0;
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (crashed_[u]) continue;
+    if (!found) {
+      found = true;
+      epoch = epoch_[u];
+      min = min_seen_[u];
+    } else if (epoch_[u] != epoch || min_seen_[u] != min) {
+      return false;
+    }
+  }
+  if (!found) return false;
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (uids_[u] == min) return !crashed_[u];
+  }
+  return false;
+}
+
+Uid StableLeader::leader_of(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return min_seen_[u];
+}
+
+// The owner of the smallest candidate UID in the highest epoch any alive
+// node is in — the node the network is electing (or has elected).
+NodeId StableLeader::leader_node() const {
+  bool found = false;
+  std::uint32_t epoch = 0;
+  Uid min = 0;
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (crashed_[u]) continue;
+    if (!found || epoch_[u] > epoch ||
+        (epoch_[u] == epoch && min_seen_[u] < min)) {
+      found = true;
+      epoch = epoch_[u];
+      min = min_seen_[u];
+    }
+  }
+  if (!found) return kNoNode;
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (uids_[u] == min) return crashed_[u] ? kNoNode : u;
+  }
+  return kNoNode;
+}
+
+std::uint32_t StableLeader::epoch_of(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return epoch_[u];
+}
+
+Round StableLeader::age_of(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return age_[u];
+}
+
+bool StableLeader::crashed(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return crashed_[u] != 0;
+}
+
+std::uint32_t StableLeader::current_epoch() const {
+  std::uint32_t epoch = 0;
+  for (NodeId u = 0; u < node_count_; ++u) {
+    if (!crashed_[u]) epoch = std::max(epoch, epoch_[u]);
+  }
+  return epoch;
+}
+
+}  // namespace mtm

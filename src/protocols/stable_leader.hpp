@@ -1,0 +1,81 @@
+// Self-healing leader election: epoch-numbered re-election on leader death.
+//
+// The paper's algorithms elect a leader once and stop; if that leader later
+// crashes (the regime sim/faults.hpp models — smartphones suspend and die
+// routinely), the network is left following a ghost. StableLeader wraps the
+// blind-gossip election of Section VI in the classic epoch/heartbeat recipe
+// from the self-stabilization literature:
+//
+//   * election — within an epoch, nodes gossip the smallest UID they have
+//     seen exactly like blind gossip (coin flip to send/receive, uniform
+//     neighbor choice); the minimum UID of the epoch wins;
+//   * heartbeat — a node that believes it is the leader (min_seen == own
+//     UID) advertises tag 1 each round (b = 1); everyone else advertises 0.
+//     Hearing any heartbeat in the scan resets the hearer's silence age;
+//   * age gossip — every payload carries the sender's silence age; a
+//     receiver keeps the minimum, so leader liveness evidence spreads
+//     epidemically beyond the leader's immediate neighborhood (its
+//     neighbors' ages reset directly, theirs refresh their neighbors, …);
+//   * re-election — a node whose age exceeds `epoch_timeout` declares the
+//     leader dead: it bumps its epoch, resets its candidate to its own UID,
+//     and re-runs the election. Higher epochs dominate on receipt, so one
+//     timeout anywhere eventually drags the whole network into the new
+//     epoch and a fresh minimum-UID election among the survivors.
+//
+// `epoch_timeout` must exceed the time age-refresh gossip needs to cross
+// the network (a few diameters of gossip rounds) or healthy executions
+// spuriously re-elect; bench_fault_tolerance sweeps this trade-off.
+//
+// Requires b >= 1 (the heartbeat bit). Stabilization is defined over the
+// nodes the fault hooks report alive and is NOT monotone under faults: a
+// leader crash un-stabilizes the run until the next epoch settles.
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace mtm {
+
+class StableLeader final : public LeaderElectionProtocol {
+ public:
+  /// `uids[u]` is node u's UID; UIDs must be unique. `epoch_timeout` is the
+  /// silence age (in local rounds) at which a node declares the leader dead.
+  explicit StableLeader(std::vector<Uid> uids, Round epoch_timeout = 24);
+
+  std::string name() const override { return "stable-leader"; }
+  void init(NodeId node_count, std::span<Rng> node_rngs) override;
+  Tag advertise(NodeId u, Round local_round, Rng& rng) override;
+  Decision decide(NodeId u, Round local_round,
+                  std::span<const NeighborInfo> view, Rng& rng) override;
+  Payload make_payload(NodeId u, NodeId peer, Round local_round) override;
+  void receive_payload(NodeId u, NodeId peer, const Payload& payload,
+                       Round local_round) override;
+  void finish_round(NodeId u, Round local_round) override;
+  void on_crash(NodeId u) override;
+  void on_restart(NodeId u, Rng& rng) override;
+  bool stabilized() const override;
+
+  Uid leader_of(NodeId u) const override;
+  NodeId leader_node() const override;
+
+  Round epoch_timeout() const noexcept { return epoch_timeout_; }
+  std::uint32_t epoch_of(NodeId u) const;
+  Round age_of(NodeId u) const;
+  bool crashed(NodeId u) const;
+  /// Highest epoch any alive node is in (0 before init).
+  std::uint32_t current_epoch() const;
+
+ private:
+  bool believes_leader(NodeId u) const { return min_seen_[u] == uids_[u]; }
+
+  std::vector<Uid> uids_;
+  Round epoch_timeout_;
+  std::vector<Uid> min_seen_;
+  std::vector<std::uint32_t> epoch_;
+  std::vector<Round> age_;
+  std::vector<char> crashed_;
+  NodeId node_count_ = 0;
+};
+
+}  // namespace mtm

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "core/assert.hpp"
 
@@ -20,13 +21,24 @@ Engine::Engine(DynamicGraphProvider& topology, Protocol& protocol,
   if (config_.activation_rounds.empty()) {
     activation_.assign(node_count_, 1);
   } else {
-    MTM_REQUIRE_MSG(config_.activation_rounds.size() == node_count_,
-                    "activation_rounds must have one entry per node");
+    MTM_REQUIRE_MSG(
+        config_.activation_rounds.size() == node_count_,
+        "activation_rounds must have one entry per node (got " +
+            std::to_string(config_.activation_rounds.size()) + " for " +
+            std::to_string(node_count_) + " nodes)");
     activation_ = config_.activation_rounds;
-    for (Round a : activation_) {
-      MTM_REQUIRE_MSG(a >= 1, "activation rounds start at 1");
-      all_active_round_ = std::max(all_active_round_, a);
+    for (NodeId u = 0; u < node_count_; ++u) {
+      MTM_REQUIRE_MSG(activation_[u] >= 1,
+                      "activation rounds start at 1 (node " +
+                          std::to_string(u) + " has activation round " +
+                          std::to_string(activation_[u]) + ")");
+      all_active_round_ = std::max(all_active_round_, activation_[u]);
     }
+  }
+
+  validate(config_.faults);
+  if (config_.faults.enabled()) {
+    fault_plan_ = std::make_unique<FaultPlan>(config_.faults, node_count_);
   }
 
   node_rngs_ = make_node_streams(config_.seed, node_count_);
@@ -37,9 +49,36 @@ Engine::Engine(DynamicGraphProvider& topology, Protocol& protocol,
   incoming_.resize(node_count_);
 }
 
+// Phase 0 — apply the fault plan: recoveries, random crashes, and the
+// adversarial oracle, each notifying the protocol through its hooks. A
+// recovered node re-enters via the activation machinery (activation reset
+// to the current round, so its local rounds restart at 1).
+void Engine::apply_faults(Round r) {
+  const auto activated = [this, r](NodeId u) { return r >= activation_[u]; };
+  const auto eligible = [this, &activated](NodeId u) {
+    return fault_plan_->alive(u) && activated(u);
+  };
+  fault_plan_->round_start(
+      r, activated,
+      [this, &eligible] {
+        return select_crash_target(config_.faults.targeting, protocol_,
+                                   node_count_, eligible,
+                                   fault_plan_->oracle_rng());
+      },
+      [this](NodeId u) {
+        protocol_.on_crash(u);
+        telemetry_.count_crash();
+      },
+      [this, r](NodeId u) {
+        activation_[u] = r;
+        protocol_.on_restart(u, node_rngs_[u]);
+        telemetry_.count_recovery();
+      });
+}
+
 bool Engine::node_active(NodeId u) const {
   MTM_REQUIRE(u < node_count_);
-  return round_ >= activation_[u];
+  return active_in(u, round_);
 }
 
 void Engine::exchange(NodeId u, NodeId v, Round global_round) {
@@ -61,11 +100,16 @@ void Engine::step() {
   MTM_ENSURE_MSG(graph.node_count() == node_count_,
                  "topology node count changed mid-execution");
 
+  telemetry_.begin_round(r, config_.record_rounds);
+
+  // 0. Faults: churn and the crash oracle apply before anyone advertises.
+  if (fault_plan_ != nullptr) apply_faults(r);
+
   std::uint32_t active_count = 0;
   for (NodeId u = 0; u < node_count_; ++u) {
     if (active_in(u, r)) ++active_count;
   }
-  telemetry_.begin_round(r, active_count, config_.record_rounds);
+  telemetry_.set_active_nodes(active_count);
 
   // 1. Advertise: each active node selects its b-bit tag for the round.
   for (NodeId u = 0; u < node_count_; ++u) {
@@ -117,6 +161,11 @@ void Engine::step() {
           telemetry_.count_failed_connection();
           continue;
         }
+        if (fault_plan_ != nullptr && config_.faults.has_link_faults() &&
+            fault_plan_->connection_lost(v, u)) {
+          telemetry_.count_fault_drop();
+          continue;
+        }
         exchange(u, v, r);
       }
     }
@@ -146,6 +195,11 @@ void Engine::step() {
         telemetry_.count_failed_connection();
         continue;
       }
+      if (fault_plan_ != nullptr && config_.faults.has_link_faults() &&
+          fault_plan_->connection_lost(v, u)) {
+        telemetry_.count_fault_drop();
+        continue;
+      }
       exchange(u, v, r);
     }
   }
@@ -154,6 +208,7 @@ void Engine::step() {
   for (NodeId u = 0; u < node_count_; ++u) {
     if (active_in(u, r)) protocol_.finish_round(u, local_round(u, r));
   }
+  telemetry_.end_round();
 }
 
 void Engine::run_rounds(Round count) {

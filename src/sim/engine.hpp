@@ -20,12 +20,22 @@
 // Asynchronous activation (paper Section VIII): a node with activation round
 // a_u is invisible before round a_u (not scanned, cannot act); its protocol
 // callbacks receive the node-local round r - a_u + 1.
+//
+// Fault plans (sim/faults.hpp) extend the round with a phase 0: node
+// crashes/recoveries and the adversarial crash oracle apply before
+// advertising; burst/degradation link faults apply to established
+// connections right after the i.i.d. failure-injection check. A crashed
+// node is treated exactly like a not-yet-activated one; a recovered node
+// re-enters through the activation machinery with its local rounds
+// restarting at 1.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/rng.hpp"
 #include "sim/dynamic_graph.hpp"
+#include "sim/faults.hpp"
 #include "sim/protocol.hpp"
 #include "sim/telemetry.hpp"
 
@@ -63,6 +73,10 @@ struct EngineConfig {
   double connection_failure_prob = 0.0;
   /// Receiver-side proposal selection (see AcceptancePolicy).
   AcceptancePolicy acceptance = AcceptancePolicy::kUniformRandom;
+  /// Node churn, burst link loss, and adversarial crash oracles (see
+  /// sim/faults.hpp). Disabled by default; a disabled plan is byte-identical
+  /// to no plan (no extra randomness is drawn).
+  FaultPlanConfig faults;
 };
 
 class Engine {
@@ -84,19 +98,25 @@ class Engine {
   const Telemetry& telemetry() const noexcept { return telemetry_; }
   Protocol& protocol() noexcept { return protocol_; }
 
-  /// True if node u has activated by the *last executed* round.
+  /// True if node u has activated by the *last executed* round and is not
+  /// currently crashed.
   bool node_active(NodeId u) const;
 
-  /// The round in which every node is active (max activation round).
+  /// The round in which every node is active (max activation round of the
+  /// configured schedule; fault-plan recoveries do not move it).
   Round all_active_round() const noexcept { return all_active_round_; }
+
+  /// The fault plan state, or nullptr when no fault dimension is enabled.
+  const FaultPlan* fault_plan() const noexcept { return fault_plan_.get(); }
 
  private:
   bool active_in(NodeId u, Round r) const {
-    return r >= activation_[u];
+    return r >= activation_[u] && (fault_plan_ == nullptr || fault_plan_->alive(u));
   }
   Round local_round(NodeId u, Round r) const {
     return r - activation_[u] + 1;
   }
+  void apply_faults(Round r);
   void exchange(NodeId u, NodeId v, Round global_round);
 
   DynamicGraphProvider& topology_;
@@ -108,6 +128,7 @@ class Engine {
   Tag tag_limit_;  // 2^b (0 means only tag 0 is legal... see ctor)
   std::vector<Round> activation_;
   std::vector<Rng> node_rngs_;
+  std::unique_ptr<FaultPlan> fault_plan_;  // null when faults are disabled
   Telemetry telemetry_;
 
   // Per-round scratch, reused across steps to avoid allocation churn.

@@ -1,0 +1,205 @@
+#include "sim/faults.hpp"
+
+#include "core/assert.hpp"
+#include "sim/protocol.hpp"
+
+namespace mtm {
+
+namespace {
+
+// Stream-id tags for derive_seed (arbitrary, fixed forever).
+constexpr std::uint64_t kNodeFaultSeedTag = 0x66617563ULL;   // "fauc"
+constexpr std::uint64_t kOracleSeedTag = 0x6661756fULL;      // "fauo"
+constexpr std::uint64_t kEdgeSeedTag = 0x66617565ULL;        // "faue"
+
+/// Deterministic hash of edge {u, v} into [0, 1).
+double edge_hash_unit(std::uint64_t seed, NodeId u, NodeId v) {
+  const NodeId lo = u < v ? u : v;
+  const NodeId hi = u < v ? v : u;
+  const std::uint64_t h = derive_seed(seed, {kEdgeSeedTag, lo, hi});
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* to_string(CrashTargeting targeting) {
+  switch (targeting) {
+    case CrashTargeting::kNone:
+      return "none";
+    case CrashTargeting::kRandomAlive:
+      return "random";
+    case CrashTargeting::kMinUidHolder:
+      return "min-holder";
+    case CrashTargeting::kLeaderNode:
+      return "leader";
+  }
+  return "?";
+}
+
+void validate(const FaultPlanConfig& config) {
+  MTM_REQUIRE_MSG(config.crash_prob >= 0.0 && config.crash_prob < 1.0,
+                  "crash_prob must be in [0, 1)");
+  MTM_REQUIRE_MSG(config.recovery_prob >= 0.0 && config.recovery_prob <= 1.0,
+                  "recovery_prob must be in [0, 1]");
+  MTM_REQUIRE_MSG(config.min_alive >= 1, "min_alive must be at least 1");
+  MTM_REQUIRE_MSG(config.burst.good_to_bad >= 0.0 &&
+                      config.burst.good_to_bad <= 1.0 &&
+                      config.burst.bad_to_good >= 0.0 &&
+                      config.burst.bad_to_good <= 1.0,
+                  "burst transition probabilities must be in [0, 1]");
+  MTM_REQUIRE_MSG(config.burst.loss_good >= 0.0 &&
+                      config.burst.loss_good <= 1.0 &&
+                      config.burst.loss_bad >= 0.0 &&
+                      config.burst.loss_bad <= 1.0,
+                  "burst loss probabilities must be in [0, 1]");
+  MTM_REQUIRE_MSG(
+      config.edge_degradation >= 0.0 && config.edge_degradation < 1.0,
+      "edge_degradation must be in [0, 1)");
+  MTM_REQUIRE_MSG(
+      config.targeting == CrashTargeting::kNone || config.target_every > 0,
+      "an oracle targeting mode needs target_every > 0");
+  MTM_REQUIRE_MSG(config.target_start >= 1, "target_start is a round (>= 1)");
+}
+
+FaultPlan::FaultPlan(FaultPlanConfig config, NodeId node_count)
+    : config_(config),
+      node_count_(node_count),
+      alive_count_(node_count),
+      alive_(node_count, 1),
+      burst_bad_(node_count, 0),
+      oracle_rng_(derive_seed(config.seed, {kOracleSeedTag})) {
+  validate(config_);
+  MTM_REQUIRE_MSG(config_.min_alive <= node_count,
+                  "min_alive exceeds the node count");
+  fault_rngs_.reserve(node_count);
+  for (NodeId u = 0; u < node_count; ++u) {
+    fault_rngs_.emplace_back(derive_seed(config.seed, {kNodeFaultSeedTag, u}));
+  }
+}
+
+bool FaultPlan::oracle_due(Round r) const noexcept {
+  return config_.targeting != CrashTargeting::kNone &&
+         config_.target_every > 0 && r >= config_.target_start &&
+         (r - config_.target_start) % config_.target_every == 0;
+}
+
+void FaultPlan::round_start(Round r,
+                            const std::function<bool(NodeId)>& activated,
+                            const TargetOracle& oracle,
+                            const CrashHook& on_crash,
+                            const RecoveryHook& on_recovery) {
+  // 1. Burst-channel transitions: one draw per node per round, so the fault
+  // streams stay aligned regardless of which connections form later.
+  if (config_.burst.enabled()) {
+    for (NodeId u = 0; u < node_count_; ++u) {
+      const double flip = burst_bad_[u] ? config_.burst.bad_to_good
+                                        : config_.burst.good_to_bad;
+      if (fault_rngs_[u].bernoulli(flip)) burst_bad_[u] = !burst_bad_[u];
+    }
+  }
+
+  // 2. Recoveries before crashes: a node crashed in round r-1 gets its
+  // recovery draw in round r, and a node cannot crash and recover in the
+  // same round.
+  if (config_.recovery_prob > 0.0) {
+    for (NodeId u = 0; u < node_count_; ++u) {
+      if (alive_[u]) continue;
+      if (!fault_rngs_[u].bernoulli(config_.recovery_prob)) continue;
+      alive_[u] = 1;
+      ++alive_count_;
+      if (on_recovery) on_recovery(u);
+    }
+  }
+
+  // 3. Random crashes over alive, activated nodes.
+  if (config_.crash_prob > 0.0) {
+    for (NodeId u = 0; u < node_count_; ++u) {
+      if (!alive_[u] || !activated(u)) continue;
+      if (!fault_rngs_[u].bernoulli(config_.crash_prob)) continue;
+      if (alive_count_ <= config_.min_alive) continue;  // floor reached
+      alive_[u] = 0;
+      --alive_count_;
+      if (on_crash) on_crash(u);
+    }
+  }
+
+  // 4. The adversarial oracle.
+  if (oracle_due(r) && alive_count_ > config_.min_alive) {
+    const NodeId victim = oracle ? oracle() : kNoNode;
+    if (victim != kNoNode) {
+      MTM_ENSURE_MSG(victim < node_count_ && alive_[victim],
+                     "crash oracle picked a dead or out-of-range node");
+      alive_[victim] = 0;
+      --alive_count_;
+      if (on_crash) on_crash(victim);
+    }
+  }
+}
+
+bool FaultPlan::connection_lost(NodeId acceptor, NodeId proposer) {
+  bool lost = false;
+  if (config_.burst.enabled()) {
+    const double loss = burst_bad_[acceptor] ? config_.burst.loss_bad
+                                             : config_.burst.loss_good;
+    // Always draw while the channel is enabled: the stream layout must not
+    // depend on the channel state.
+    if (fault_rngs_[acceptor].bernoulli(loss)) lost = true;
+  }
+  if (config_.edge_degradation > 0.0) {
+    const double p = edge_drop_prob(acceptor, proposer);
+    if (fault_rngs_[acceptor].bernoulli(p)) lost = true;
+  }
+  return lost;
+}
+
+double FaultPlan::edge_drop_prob(NodeId u, NodeId v) const {
+  return config_.edge_degradation * edge_hash_unit(config_.seed, u, v);
+}
+
+NodeId select_crash_target(CrashTargeting targeting, const Protocol& protocol,
+                           NodeId node_count,
+                           const std::function<bool(NodeId)>& eligible,
+                           Rng& oracle_rng) {
+  switch (targeting) {
+    case CrashTargeting::kNone:
+      return kNoNode;
+    case CrashTargeting::kRandomAlive: {
+      std::vector<NodeId> candidates;
+      for (NodeId u = 0; u < node_count; ++u) {
+        if (eligible(u)) candidates.push_back(u);
+      }
+      if (candidates.empty()) return kNoNode;
+      return candidates[static_cast<std::size_t>(
+          oracle_rng.uniform(candidates.size()))];
+    }
+    case CrashTargeting::kMinUidHolder: {
+      const auto* leader_election =
+          dynamic_cast<const LeaderElectionProtocol*>(&protocol.unwrap());
+      if (leader_election == nullptr) return kNoNode;
+      NodeId victim = kNoNode;
+      Uid best = 0;
+      for (NodeId u = 0; u < node_count; ++u) {
+        if (!eligible(u)) continue;
+        const Uid seen = leader_election->leader_of(u);
+        if (victim == kNoNode || seen < best) {
+          victim = u;
+          best = seen;
+        }
+      }
+      return victim;
+    }
+    case CrashTargeting::kLeaderNode: {
+      const auto* leader_election =
+          dynamic_cast<const LeaderElectionProtocol*>(&protocol.unwrap());
+      if (leader_election == nullptr) return kNoNode;
+      const NodeId leader = leader_election->leader_node();
+      if (leader == kNoNode || leader >= node_count || !eligible(leader)) {
+        return kNoNode;
+      }
+      return leader;
+    }
+  }
+  return kNoNode;
+}
+
+}  // namespace mtm

@@ -1,0 +1,182 @@
+// Fault plans: deterministic, seeded schedules of node churn and link decay.
+//
+// The mobile telephone model abstracts smartphone peer-to-peer services
+// (Multipeer Connectivity et al.) whose devices crash, suspend, and rejoin
+// routinely, and whose links fail in bursts rather than i.i.d. A FaultPlan
+// layers that regime on top of any engine execution:
+//
+//   * node churn — every round each activated node crashes with probability
+//     `crash_prob` and each crashed node recovers with probability
+//     `recovery_prob`. A crashed node freezes: it is not scanned, cannot
+//     act, and receives no callbacks (exactly like a not-yet-activated
+//     device). A recovered node re-enters through the asynchronous
+//     activation machinery — its activation round is reset to the recovery
+//     round so local rounds restart at 1 — and Protocol::on_restart resets
+//     its per-node algorithm state;
+//   * burst loss — a per-node two-state Gilbert–Elliott channel: each round
+//     the channel flips between GOOD and BAD states; an established
+//     connection is dropped with the state's loss probability, producing
+//     the correlated loss runs real radios exhibit (vs. the i.i.d.
+//     `connection_failure_prob` knob);
+//   * per-edge degradation — each edge {u, v} carries a fixed drop
+//     probability `edge_degradation · hash_unit(u, v)`, modeling a few
+//     persistently bad links rather than uniformly flaky ones;
+//   * adversarial crash oracles — mirroring ConfinementAdversaryProvider's
+//     state-oracle pattern, every `target_every` rounds the plan kills the
+//     node the targeting mode names: the holder of the smallest seen UID,
+//     the elected leader, or a random alive node. This is the worst-case
+//     schedule for self-healing leader election (protocols/stable_leader).
+//
+// Determinism contract: every fault draw comes from dedicated per-node
+// fault streams (plus one oracle stream) derived from FaultPlanConfig::seed
+// — never from the engine's node streams — so enabling a plan does not
+// perturb protocol randomness, and a disabled plan is byte-identical to no
+// plan at all. The draw order is pinned (see round_start) and mirrored by
+// the reference engine; the differential harness checks it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "sim/model.hpp"
+
+namespace mtm {
+
+class Protocol;
+
+/// Sentinel for "no node" (oracle found no target).
+inline constexpr NodeId kNoNode = ~NodeId{0};
+
+/// Who the adversarial crash oracle kills when it fires.
+enum class CrashTargeting {
+  kNone,          ///< oracle disabled
+  kRandomAlive,   ///< a uniformly random alive, activated node
+  kMinUidHolder,  ///< smallest-id holder of the minimal leader_of() value
+  kLeaderNode,    ///< the protocol's current leader node (leader_node())
+};
+
+const char* to_string(CrashTargeting targeting);
+
+/// Two-state Gilbert–Elliott burst-loss channel, one instance per node.
+/// State transitions happen once per round; loss draws happen once per
+/// established connection at the accepting endpoint.
+struct GilbertElliott {
+  double good_to_bad = 0.0;  ///< per-round P(GOOD -> BAD); 0 disables
+  double bad_to_good = 1.0;  ///< per-round P(BAD -> GOOD)
+  double loss_good = 0.0;    ///< per-connection drop probability in GOOD
+  double loss_bad = 1.0;     ///< per-connection drop probability in BAD
+
+  bool enabled() const noexcept { return good_to_bad > 0.0; }
+};
+
+struct FaultPlanConfig {
+  /// Per-round crash probability of each alive, activated node.
+  double crash_prob = 0.0;
+  /// Per-round recovery probability of each crashed node.
+  double recovery_prob = 0.0;
+  /// Crashes (random and oracle) never reduce the alive population below
+  /// this floor, so an execution cannot go fully dark.
+  NodeId min_alive = 1;
+  /// Burst link loss (see GilbertElliott).
+  GilbertElliott burst;
+  /// Per-edge degradation cap D: edge {u, v} drops established connections
+  /// with fixed probability D · hash_unit(u, v) in [0, D).
+  double edge_degradation = 0.0;
+  /// Adversarial crash oracle: kill `targeting`'s choice every
+  /// `target_every` rounds (0 = never), starting at round `target_start`.
+  CrashTargeting targeting = CrashTargeting::kNone;
+  Round target_every = 0;
+  Round target_start = 1;
+  /// Fault stream seed, independent of the engine seed.
+  std::uint64_t seed = 1;
+
+  /// True when any fault dimension is active. A plan that is not enabled
+  /// draws nothing and changes nothing.
+  bool enabled() const noexcept {
+    return crash_prob > 0.0 || recovery_prob > 0.0 || burst.enabled() ||
+           edge_degradation > 0.0 ||
+           (targeting != CrashTargeting::kNone && target_every > 0);
+  }
+  /// True when established connections can be dropped by this plan.
+  bool has_link_faults() const noexcept {
+    return burst.enabled() || edge_degradation > 0.0;
+  }
+
+  friend bool operator==(const FaultPlanConfig&,
+                         const FaultPlanConfig&) = default;
+};
+
+/// Validates probabilities and oracle parameters (MTM_REQUIRE on failure).
+void validate(const FaultPlanConfig& config);
+
+/// Mutable fault state for one execution. Both the optimized Engine and the
+/// ReferenceEngine own one instance each, constructed from the same config;
+/// because every draw order below is pinned, the two instances evolve
+/// identically when driven by semantically identical engines.
+class FaultPlan {
+ public:
+  /// Fires when node u crashes / recovers during round_start.
+  using CrashHook = std::function<void(NodeId)>;
+  using RecoveryHook = std::function<void(NodeId)>;
+  /// Names the oracle's victim; called only when the oracle is due. Return
+  /// kNoNode to skip the kill (e.g. no leader elected yet).
+  using TargetOracle = std::function<NodeId()>;
+
+  FaultPlan(FaultPlanConfig config, NodeId node_count);
+
+  /// Applies one round of faults. Pinned order (the model contract):
+  ///   1. burst-channel transitions, nodes ascending (one draw per node);
+  ///   2. recoveries, crashed nodes ascending (one draw each);
+  ///   3. random crashes, alive activated nodes ascending (one draw each;
+  ///      `activated(u)` gates eligibility);
+  ///   4. the oracle kill, when due this round.
+  /// Hooks fire immediately per transition, in that same order.
+  void round_start(Round r, const std::function<bool(NodeId)>& activated,
+                   const TargetOracle& oracle, const CrashHook& on_crash,
+                   const RecoveryHook& on_recovery);
+
+  /// True when an established connection with accepting endpoint `acceptor`
+  /// over edge {acceptor, proposer} is dropped by burst loss or edge
+  /// degradation. Draws (in order) one burst bernoulli when the channel is
+  /// enabled, then one degradation bernoulli when edge_degradation > 0,
+  /// both from the acceptor's fault stream.
+  bool connection_lost(NodeId acceptor, NodeId proposer);
+
+  bool alive(NodeId u) const { return alive_[u]; }
+  NodeId alive_count() const noexcept { return alive_count_; }
+  /// True while the burst channel of node u is in the BAD state.
+  bool burst_bad(NodeId u) const { return burst_bad_[u]; }
+  const FaultPlanConfig& config() const noexcept { return config_; }
+
+  /// The fixed degradation probability of edge {u, v} under this config.
+  double edge_drop_prob(NodeId u, NodeId v) const;
+
+  /// True when the oracle fires in round r (regardless of target found).
+  bool oracle_due(Round r) const noexcept;
+
+  /// The oracle's dedicated stream (for select_crash_target's random mode).
+  Rng& oracle_rng() noexcept { return oracle_rng_; }
+
+ private:
+  FaultPlanConfig config_;
+  NodeId node_count_;
+  NodeId alive_count_;
+  std::vector<char> alive_;
+  std::vector<char> burst_bad_;
+  std::vector<Rng> fault_rngs_;
+  Rng oracle_rng_;
+};
+
+/// Shared oracle-target selection so both engines resolve targeting
+/// identically: consults `protocol` (unwrapped through decorators) for the
+/// leader-aware modes; `eligible(u)` must hold for the victim. Random
+/// targeting draws one bounded sample from `oracle_rng` iff at least one
+/// node is eligible.
+NodeId select_crash_target(CrashTargeting targeting, const Protocol& protocol,
+                           NodeId node_count,
+                           const std::function<bool(NodeId)>& eligible,
+                           Rng& oracle_rng);
+
+}  // namespace mtm

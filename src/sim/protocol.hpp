@@ -50,6 +50,23 @@ class Protocol {
   /// End-of-round hook (default: nothing).
   virtual void finish_round(NodeId /*u*/, Round /*local_round*/) {}
 
+  /// Fault-plan hooks (sim/faults.hpp). on_crash reports that node u halted
+  /// at the start of this round: its state freezes and it receives no
+  /// further callbacks until it recovers. on_restart reports that u
+  /// re-entered the execution with local rounds restarting at 1; protocols
+  /// that support recovery reset u's per-node state to its initial value
+  /// (the rng is u's engine stream, for protocols whose initial state is
+  /// random). Both default to keeping state, so a fault-oblivious protocol
+  /// treats a restarted node like an asynchronous late joiner.
+  virtual void on_crash(NodeId /*u*/) {}
+  virtual void on_restart(NodeId /*u*/, Rng& /*rng*/) {}
+
+  /// The protocol that owns algorithm state. Transparent decorators
+  /// (testing::RecordingProtocol) forward to the wrapped instance so
+  /// capability queries — dynamic_casts to the extension interfaces below —
+  /// reach the real algorithm.
+  virtual const Protocol& unwrap() const { return *this; }
+
   /// True when the protocol has reached a state from which its output can
   /// never change again (all leaders unanimous and final, or rumor fully
   /// spread). The runner polls this to find the stabilization round.
@@ -62,6 +79,11 @@ class LeaderElectionProtocol : public Protocol {
  public:
   /// Current value of node u's `leader` variable (a UID).
   virtual Uid leader_of(NodeId u) const = 0;
+
+  /// The node currently acting as leader, for protocols that can name one
+  /// (used by the adversarial crash oracle's leader targeting). Default:
+  /// no identifiable leader node (the sentinel defined in sim/faults.hpp).
+  virtual NodeId leader_node() const { return ~NodeId{0}; }
 };
 
 /// Extension interface for rumor spreading algorithms (paper Section V).

@@ -50,11 +50,26 @@ std::vector<double> rounds_of(const std::vector<RunResult>& results) {
   rounds.reserve(results.size());
   for (const RunResult& r : results) {
     MTM_REQUIRE_MSG(r.converged,
-                    "trial did not converge within max_rounds; "
-                    "raise the cap for this experiment");
+                    "trial did not converge within max_rounds; raise the cap "
+                    "for this experiment, or aggregate censored trials with "
+                    "summarize_convergence()");
     rounds.push_back(static_cast<double>(r.rounds));
   }
   return rounds;
+}
+
+ConvergenceSummary summarize_convergence(
+    const std::vector<RunResult>& results) {
+  ConvergenceSummary summary;
+  for (const RunResult& r : results) {
+    if (r.converged) {
+      ++summary.converged;
+      summary.rounds.push_back(static_cast<double>(r.rounds));
+    } else {
+      ++summary.censored;
+    }
+  }
+  return summary;
 }
 
 }  // namespace mtm

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "sim/engine.hpp"
 
@@ -52,7 +53,28 @@ std::vector<RunResult> run_trials(const TrialSpec& spec, const TrialBody& body);
 
 /// Extracts the rounds of converged trials as doubles; throws if any trial
 /// failed to converge (callers size max_rounds generously instead of
-/// silently dropping censored samples).
+/// silently dropping censored samples). Experiments whose trials may
+/// legitimately censor — fault plans can keep a protocol from ever
+/// stabilizing — must use summarize_convergence instead.
 std::vector<double> rounds_of(const std::vector<RunResult>& results);
+
+///// Censoring-aware aggregation: splits trials into converged and censored
+/// instead of throwing, so fault-plan experiments can report a convergence
+/// rate alongside the rounds of the trials that did stabilize.
+struct ConvergenceSummary {
+  std::size_t converged = 0;
+  std::size_t censored = 0;
+  /// Stabilization rounds of the converged trials only, in trial order.
+  std::vector<double> rounds;
+
+  double convergence_rate() const noexcept {
+    const std::size_t total = converged + censored;
+    return total == 0 ? 0.0
+                      : static_cast<double>(converged) /
+                            static_cast<double>(total);
+  }
+};
+
+ConvergenceSummary summarize_convergence(const std::vector<RunResult>& results);
 
 }  // namespace mtm

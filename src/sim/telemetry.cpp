@@ -2,31 +2,62 @@
 
 namespace mtm {
 
-void Telemetry::begin_round(Round r, std::uint32_t active_nodes, bool record) {
+void Telemetry::begin_round(Round r, bool record) {
   rounds_ = r;
+  round_connections_ = 0;
+  round_dropped_ = 0;
   if (record) {
-    per_round_.push_back(RoundStats{r, active_nodes, 0, 0});
+    per_round_.push_back(RoundStats{r, 0, 0, 0, 0, 0, 0});
+  }
+}
+
+void Telemetry::set_active_nodes(std::uint32_t active_nodes) {
+  if (recording_current_round()) {
+    per_round_.back().active_nodes = active_nodes;
   }
 }
 
 void Telemetry::count_proposal() {
   ++proposals_;
-  if (!per_round_.empty() && per_round_.back().round == rounds_) {
-    ++per_round_.back().proposals;
-  }
+  if (recording_current_round()) ++per_round_.back().proposals;
 }
 
 void Telemetry::count_connection() {
   ++connections_;
-  if (!per_round_.empty() && per_round_.back().round == rounds_) {
-    ++per_round_.back().connections;
-  }
+  ++round_connections_;
+  if (recording_current_round()) ++per_round_.back().connections;
 }
 
-void Telemetry::count_failed_connection() { ++failed_connections_; }
+void Telemetry::count_failed_connection() {
+  ++failed_connections_;
+  ++round_dropped_;
+  if (recording_current_round()) ++per_round_.back().dropped;
+}
+
+void Telemetry::count_fault_drop() {
+  ++fault_dropped_;
+  ++round_dropped_;
+  if (recording_current_round()) ++per_round_.back().dropped;
+}
+
+void Telemetry::count_crash() {
+  ++crashes_;
+  if (recording_current_round()) ++per_round_.back().crashes;
+}
+
+void Telemetry::count_recovery() {
+  ++recoveries_;
+  if (recording_current_round()) ++per_round_.back().recoveries;
+}
 
 void Telemetry::count_payload_uids(std::size_t uids) {
   payload_uids_ += uids;
+}
+
+void Telemetry::end_round() {
+  if (round_connections_ > 0 && round_dropped_ == round_connections_) {
+    ++wasted_rounds_;
+  }
 }
 
 double Telemetry::connections_per_round() const noexcept {

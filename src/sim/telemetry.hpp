@@ -18,15 +18,30 @@ struct RoundStats {
   std::uint32_t active_nodes = 0;
   std::uint32_t proposals = 0;
   std::uint32_t connections = 0;
+  /// Connections dropped this round (failure injection + fault plan).
+  std::uint32_t dropped = 0;
+  /// Fault-plan churn this round.
+  std::uint32_t crashes = 0;
+  std::uint32_t recoveries = 0;
 };
 
 class Telemetry {
  public:
-  void begin_round(Round r, std::uint32_t active_nodes, bool record);
+  void begin_round(Round r, bool record);
+  /// Active-node count of the current round, known only after the fault
+  /// plan has applied churn (so it is set separately from begin_round).
+  void set_active_nodes(std::uint32_t active_nodes);
   void count_proposal();
   void count_connection();
   void count_failed_connection();
+  /// A connection dropped by the fault plan (burst loss / edge degradation).
+  void count_fault_drop();
+  void count_crash();
+  void count_recovery();
   void count_payload_uids(std::size_t uids);
+  /// Closes the round: a round that established connections but delivered
+  /// none counts as wasted (every participant burned the round on drops).
+  void end_round();
 
   Round rounds() const noexcept { return rounds_; }
   std::uint64_t proposals() const noexcept { return proposals_; }
@@ -35,6 +50,21 @@ class Telemetry {
   std::uint64_t failed_connections() const noexcept {
     return failed_connections_;
   }
+  /// Connections dropped by the fault plan (subset of connections(),
+  /// disjoint from failed_connections()).
+  std::uint64_t fault_dropped() const noexcept { return fault_dropped_; }
+  /// All dropped connections: failure injection plus fault plan.
+  std::uint64_t dropped() const noexcept {
+    return failed_connections_ + fault_dropped_;
+  }
+  /// Connections that actually exchanged payloads.
+  std::uint64_t delivered() const noexcept { return connections_ - dropped(); }
+  /// Fault-plan node churn.
+  std::uint64_t crashes() const noexcept { return crashes_; }
+  std::uint64_t recoveries() const noexcept { return recoveries_; }
+  /// Rounds in which every established connection was dropped (and at
+  /// least one was established): pure loss, no progress possible.
+  std::uint64_t wasted_rounds() const noexcept { return wasted_rounds_; }
   std::uint64_t payload_uids() const noexcept { return payload_uids_; }
 
   /// Mean connections per executed round.
@@ -47,11 +77,21 @@ class Telemetry {
   }
 
  private:
+  bool recording_current_round() const {
+    return !per_round_.empty() && per_round_.back().round == rounds_;
+  }
+
   Round rounds_ = 0;
   std::uint64_t proposals_ = 0;
   std::uint64_t connections_ = 0;
   std::uint64_t failed_connections_ = 0;
+  std::uint64_t fault_dropped_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t wasted_rounds_ = 0;
   std::uint64_t payload_uids_ = 0;
+  std::uint32_t round_connections_ = 0;
+  std::uint32_t round_dropped_ = 0;
   std::vector<RoundStats> per_round_;
 };
 

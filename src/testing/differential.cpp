@@ -20,6 +20,10 @@ const char* kind_name(ProtocolEvent::Kind kind) {
       return "receive_payload";
     case ProtocolEvent::Kind::kFinishRound:
       return "finish_round";
+    case ProtocolEvent::Kind::kCrash:
+      return "crash";
+    case ProtocolEvent::Kind::kRestart:
+      return "restart";
   }
   return "?";
 }
@@ -121,6 +125,16 @@ void RecordingProtocol::finish_round(NodeId u, Round local_round) {
   inner_.finish_round(u, local_round);
 }
 
+void RecordingProtocol::on_crash(NodeId u) {
+  record({ProtocolEvent::Kind::kCrash, u, 0, 0, 0});
+  inner_.on_crash(u);
+}
+
+void RecordingProtocol::on_restart(NodeId u, Rng& rng) {
+  record({ProtocolEvent::Kind::kRestart, u, 0, 0, 0});
+  inner_.on_restart(u, rng);
+}
+
 std::string to_string(const Divergence& divergence) {
   std::ostringstream out;
   out << "divergence at round " << divergence.round << " in "
@@ -175,6 +189,9 @@ void dump_round_trace(std::ostream& out, Round round,
       << engine.telemetry().proposals()
       << " connections=" << engine.telemetry().connections()
       << " failed=" << engine.telemetry().failed_connections()
+      << " fault_dropped=" << engine.telemetry().fault_dropped()
+      << " crashes=" << engine.telemetry().crashes()
+      << " recoveries=" << engine.telemetry().recoveries()
       << " payload_uids=" << engine.telemetry().payload_uids()
       << " state=0x" << std::hex << engine_state << "/0x" << reference_state
       << std::dec << "\n";
@@ -235,6 +252,13 @@ std::optional<Divergence> run_differential(const Scenario& scenario,
                         out) ||
         !counters_match("failed_connections", et.failed_connections(),
                         rt.failed_connections(), r, out) ||
+        !counters_match("fault_dropped", et.fault_dropped(),
+                        rt.fault_dropped(), r, out) ||
+        !counters_match("crashes", et.crashes(), rt.crashes(), r, out) ||
+        !counters_match("recoveries", et.recoveries(), rt.recoveries(), r,
+                        out) ||
+        !counters_match("wasted_rounds", et.wasted_rounds(),
+                        rt.wasted_rounds(), r, out) ||
         !counters_match("payload_uids", et.payload_uids(), rt.payload_uids(),
                         r, out)) {
       return out;
@@ -246,7 +270,11 @@ std::optional<Divergence> run_differential(const Scenario& scenario,
         !counters_match("round.proposals", es.proposals, rs.proposals, r,
                         out) ||
         !counters_match("round.connections", es.connections, rs.connections,
-                        r, out)) {
+                        r, out) ||
+        !counters_match("round.dropped", es.dropped, rs.dropped, r, out) ||
+        !counters_match("round.crashes", es.crashes, rs.crashes, r, out) ||
+        !counters_match("round.recoveries", es.recoveries, rs.recoveries, r,
+                        out)) {
       return out;
     }
 

@@ -38,6 +38,8 @@ struct ProtocolEvent {
     kMakePayload,     // value = payload hash, peer = recipient
     kReceivePayload,  // value = payload hash, peer = sender
     kFinishRound,     // value = 0
+    kCrash,           // value = 0 (fault plan crashed the node)
+    kRestart,         // value = 0 (fault plan recovered the node)
   };
 
   Kind kind = Kind::kAdvertise;
@@ -79,7 +81,11 @@ class RecordingProtocol final : public Protocol {
   void receive_payload(NodeId u, NodeId peer, const Payload& payload,
                        Round local_round) override;
   void finish_round(NodeId u, Round local_round) override;
+  void on_crash(NodeId u) override;
+  void on_restart(NodeId u, Rng& rng) override;
   bool stabilized() const override { return inner_.stabilized(); }
+  /// Fault oracles must see through the recorder to the real protocol.
+  const Protocol& unwrap() const override { return inner_.unwrap(); }
 
   Protocol& inner() noexcept { return inner_; }
   const Protocol& inner() const noexcept { return inner_; }

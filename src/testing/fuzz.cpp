@@ -14,6 +14,7 @@
 #include "protocols/classical.hpp"
 #include "protocols/ppush.hpp"
 #include "protocols/push_pull.hpp"
+#include "protocols/stable_leader.hpp"
 
 namespace mtm::testing {
 
@@ -24,6 +25,12 @@ constexpr std::uint64_t kTopologySeedTag = 0x66757a7a746f70ULL;  // "fuzztop"
 constexpr std::uint64_t kUidSeedTag = 0x66757a7a756964ULL;       // "fuzzuid"
 constexpr std::uint64_t kActivationSeedTag = 0x66757a7a616374ULL;
 constexpr std::uint64_t kCaseSeedTag = 0x66757a7a63617365ULL;
+constexpr std::uint64_t kFaultSeedTag = 0x66757a7a666c74ULL;  // "fuzzflt"
+
+/// Epoch timeout the fuzzer fixes for stable-leader cases (long enough for
+/// age gossip to cross every fuzzed topology, short enough to re-elect
+/// within the round budget).
+constexpr Round kFuzzEpochTimeout = 12;
 
 constexpr const char* kGenerators[] = {
     "clique",  "cycle",          "path",
@@ -50,8 +57,16 @@ AcceptancePolicy parse_acceptance(const std::string& name) {
   throw std::invalid_argument("unknown acceptance policy: " + name);
 }
 
+CrashTargeting parse_targeting(const std::string& name) {
+  for (int t = 0; t <= static_cast<int>(CrashTargeting::kLeaderNode); ++t) {
+    const auto targeting = static_cast<CrashTargeting>(t);
+    if (name == mtm::to_string(targeting)) return targeting;
+  }
+  throw std::invalid_argument("unknown crash targeting: " + name);
+}
+
 FuzzProtocol parse_protocol(const std::string& name) {
-  for (int p = 0; p <= static_cast<int>(FuzzProtocol::kPpush); ++p) {
+  for (int p = 0; p <= static_cast<int>(FuzzProtocol::kStableLeader); ++p) {
     const auto protocol = static_cast<FuzzProtocol>(p);
     if (name == fuzz_protocol_name(protocol)) return protocol;
   }
@@ -131,6 +146,8 @@ const char* fuzz_protocol_name(FuzzProtocol protocol) {
       return "push-pull";
     case FuzzProtocol::kPpush:
       return "ppush";
+    case FuzzProtocol::kStableLeader:
+      return "stable-leader";
   }
   return "?";
 }
@@ -144,6 +161,20 @@ std::string to_string(const FuzzCase& fuzz_case) {
       << " async=" << (fuzz_case.async_activation ? 1 : 0) << " failure="
       << std::setprecision(17) << fuzz_case.failure_prob
       << " rounds=" << fuzz_case.rounds;
+  // Fault dimensions are emitted only when set, so pre-fault tuples keep
+  // their historical byte form (recorded failures replay unchanged).
+  if (fuzz_case.crash_prob > 0.0) out << " crash=" << fuzz_case.crash_prob;
+  if (fuzz_case.recovery_prob > 0.0) {
+    out << " recover=" << fuzz_case.recovery_prob;
+  }
+  if (fuzz_case.burst != 0) out << " burst=" << fuzz_case.burst;
+  if (fuzz_case.edge_degradation > 0.0) {
+    out << " degrade=" << fuzz_case.edge_degradation;
+  }
+  if (fuzz_case.targeting != CrashTargeting::kNone) {
+    out << " oracle=" << mtm::to_string(fuzz_case.targeting)
+        << " oracle-every=" << fuzz_case.target_every;
+  }
   return out.str();
 }
 
@@ -168,6 +199,12 @@ FuzzCase parse_fuzz_case(const std::string& text) {
       else if (key == "async") out.async_activation = std::stoi(value) != 0;
       else if (key == "failure") out.failure_prob = std::stod(value);
       else if (key == "rounds") out.rounds = std::stoull(value);
+      else if (key == "crash") out.crash_prob = std::stod(value);
+      else if (key == "recover") out.recovery_prob = std::stod(value);
+      else if (key == "burst") out.burst = std::stoi(value);
+      else if (key == "degrade") out.edge_degradation = std::stod(value);
+      else if (key == "oracle") out.targeting = parse_targeting(value);
+      else if (key == "oracle-every") out.target_every = std::stoull(value);
       else throw std::invalid_argument("unknown fuzz case key: " + key);
     } catch (const std::invalid_argument&) {
       throw;
@@ -180,6 +217,10 @@ FuzzCase parse_fuzz_case(const std::string& text) {
   for (const char* g : kGenerators) known = known || out.generator == g;
   if (!known) {
     throw std::invalid_argument("unknown fuzz generator: " + out.generator);
+  }
+  if (out.burst < 0 || out.burst > 2) {
+    throw std::invalid_argument("burst preset must be 0 (off), 1 (mild) or "
+                                "2 (harsh): " + std::to_string(out.burst));
   }
   return out;
 }
@@ -196,6 +237,22 @@ Scenario make_scenario(const FuzzCase& fuzz_case) {
   scenario.config.seed = fuzz_case.seed;
   scenario.config.acceptance = fuzz_case.acceptance;
   scenario.config.connection_failure_prob = fuzz_case.failure_prob;
+
+  FaultPlanConfig& faults = scenario.config.faults;
+  faults.crash_prob = fuzz_case.crash_prob;
+  faults.recovery_prob = fuzz_case.recovery_prob;
+  faults.edge_degradation = fuzz_case.edge_degradation;
+  faults.targeting = fuzz_case.targeting;
+  faults.target_every = fuzz_case.target_every;
+  faults.target_start = 2;  // let round 1 establish some protocol state
+  faults.seed = derive_seed(fuzz_case.seed, {kFaultSeedTag});
+  if (fuzz_case.burst == 1) {
+    // Mild: rare outages that persist a few rounds, clean GOOD state.
+    faults.burst = GilbertElliott{0.1, 0.3, 0.0, 1.0};
+  } else if (fuzz_case.burst >= 2) {
+    // Harsh: flapping channel with residual loss even in GOOD.
+    faults.burst = GilbertElliott{0.2, 0.2, 0.05, 0.9};
+  }
 
   switch (fuzz_case.protocol) {
     case FuzzProtocol::kBlindGossip:
@@ -248,6 +305,13 @@ Scenario make_scenario(const FuzzCase& fuzz_case) {
         return std::make_unique<Ppush>(std::vector<NodeId>{0});
       };
       break;
+    case FuzzProtocol::kStableLeader:
+      scenario.config.tag_bits = 1;  // the heartbeat bit
+      scenario.make_protocol = [n, uid_seed]() -> std::unique_ptr<Protocol> {
+        return std::make_unique<StableLeader>(
+            BlindGossip::shuffled_uids(n, uid_seed), kFuzzEpochTimeout);
+      };
+      break;
   }
 
   if (fuzz_case.async_activation) {
@@ -279,9 +343,9 @@ Scenario make_scenario(const FuzzCase& fuzz_case) {
   return scenario;
 }
 
-FuzzCase random_fuzz_case(Rng& rng) {
+FuzzCase random_fuzz_case(Rng& rng, bool with_faults) {
   FuzzCase out;
-  out.protocol = static_cast<FuzzProtocol>(rng.uniform(6));
+  out.protocol = static_cast<FuzzProtocol>(rng.uniform(with_faults ? 7 : 6));
   out.generator = kGenerators[rng.uniform(std::size(kGenerators))];
   out.n = static_cast<NodeId>(4 + rng.uniform(25));  // 4..28 before clamping
   out.seed = rng.next_u64();
@@ -317,6 +381,48 @@ FuzzCase random_fuzz_case(Rng& rng) {
       break;
   }
   out.rounds = 24 + rng.uniform(41);  // 24..64
+  if (with_faults) {
+    switch (rng.uniform(4)) {
+      case 0:
+        out.crash_prob = 0.0;
+        break;
+      case 1:
+        out.crash_prob = 0.02;
+        break;
+      case 2:
+        out.crash_prob = 0.05;
+        break;
+      default:
+        out.crash_prob = 0.1;
+        break;
+    }
+    switch (rng.uniform(3)) {
+      case 0:
+        out.recovery_prob = 0.1;
+        break;
+      case 1:
+        out.recovery_prob = 0.3;
+        break;
+      default:
+        out.recovery_prob = 1.0;  // one-round outages
+        break;
+    }
+    out.burst = static_cast<int>(rng.uniform(3));
+    switch (rng.uniform(3)) {
+      case 0:
+        out.edge_degradation = 0.0;
+        break;
+      case 1:
+        out.edge_degradation = 0.25;
+        break;
+      default:
+        out.edge_degradation = 0.5;
+        break;
+    }
+    out.targeting = static_cast<CrashTargeting>(rng.uniform(4));
+    out.target_every =
+        out.targeting == CrashTargeting::kNone ? 0 : 4 + rng.uniform(9);
+  }
   return out;
 }
 
@@ -351,6 +457,28 @@ FuzzCase shrink_fuzz_case(FuzzCase fuzz_case,
     {
       FuzzCase candidate = fuzz_case;
       candidate.failure_prob = 0.0;
+      try_simplify(candidate);
+    }
+    {
+      FuzzCase candidate = fuzz_case;
+      candidate.crash_prob = 0.0;
+      candidate.recovery_prob = 0.0;
+      try_simplify(candidate);
+    }
+    {
+      FuzzCase candidate = fuzz_case;
+      candidate.burst = 0;
+      try_simplify(candidate);
+    }
+    {
+      FuzzCase candidate = fuzz_case;
+      candidate.edge_degradation = 0.0;
+      try_simplify(candidate);
+    }
+    {
+      FuzzCase candidate = fuzz_case;
+      candidate.targeting = CrashTargeting::kNone;
+      candidate.target_every = 0;
       try_simplify(candidate);
     }
     {
@@ -393,7 +521,7 @@ std::vector<FuzzFailure> run_fuzz(const FuzzOptions& options) {
   diff_options.mutation = options.mutation;
   for (std::size_t i = 0; i < options.cases; ++i) {
     Rng case_rng(derive_seed(options.seed, {kCaseSeedTag, i}));
-    const FuzzCase fuzz_case = random_fuzz_case(case_rng);
+    const FuzzCase fuzz_case = random_fuzz_case(case_rng, options.with_faults);
     if (options.on_case) options.on_case(i, fuzz_case);
     auto divergence = run_differential(make_scenario(fuzz_case), diff_options);
     if (!divergence) continue;

@@ -28,6 +28,7 @@ enum class FuzzProtocol {
   kClassicalGossip,
   kPushPull,
   kPpush,
+  kStableLeader,
 };
 
 const char* fuzz_protocol_name(FuzzProtocol protocol);
@@ -50,6 +51,16 @@ struct FuzzCase {
   bool async_activation = false;
   double failure_prob = 0.0;
   Round rounds = 48;
+  /// Fault-plan dimensions (sim/faults.hpp). All default to disabled so
+  /// pre-fault tuples parse unchanged.
+  double crash_prob = 0.0;
+  double recovery_prob = 0.0;
+  /// Burst-loss preset: 0 = off, 1 = mild (rare long outages),
+  /// 2 = harsh (flapping channel with residual loss in GOOD).
+  int burst = 0;
+  double edge_degradation = 0.0;
+  CrashTargeting targeting = CrashTargeting::kNone;
+  Round target_every = 0;
 
   friend bool operator==(const FuzzCase&, const FuzzCase&) = default;
 };
@@ -63,13 +74,16 @@ FuzzCase parse_fuzz_case(const std::string& text);
 /// equal cases yield identical executions.
 Scenario make_scenario(const FuzzCase& fuzz_case);
 
-/// Samples one case spanning all model dimensions.
-FuzzCase random_fuzz_case(Rng& rng);
+/// Samples one case spanning all model dimensions. With `with_faults`, the
+/// fault-plan dimensions (churn, burst loss, degradation, crash oracles)
+/// and the stable-leader protocol join the sampled space; without it, the
+/// pre-fault distribution is reproduced exactly.
+FuzzCase random_fuzz_case(Rng& rng, bool with_faults = false);
 
 /// Greedily minimizes a diverging case (fewer rounds, no failure injection,
-/// synchronized starts, uniform acceptance, static topology, smaller n)
-/// while it keeps diverging. Returns the input unchanged if it does not
-/// diverge in the first place.
+/// no fault plan, synchronized starts, uniform acceptance, static topology,
+/// smaller n) while it keeps diverging. Returns the input unchanged if it
+/// does not diverge in the first place.
 FuzzCase shrink_fuzz_case(FuzzCase fuzz_case,
                           const DifferentialOptions& options = {});
 
@@ -83,6 +97,8 @@ struct FuzzOptions {
   std::size_t cases = 200;
   std::uint64_t seed = 0xf0c5;
   bool shrink = true;
+  /// Sample fault-plan dimensions too (see random_fuzz_case).
+  bool with_faults = false;
   /// Fault seeded into the reference engine (harness validation only).
   ReferenceMutation mutation = ReferenceMutation::kNone;
   /// Progress hook, called before each case runs.

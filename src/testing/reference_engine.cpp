@@ -16,6 +16,8 @@ const char* to_string(ReferenceMutation mutation) {
       return "accept-first-proposal";
     case ReferenceMutation::kSkipPayloadSnapshot:
       return "skip-payload-snapshot";
+    case ReferenceMutation::kSkipRestartReset:
+      return "skip-restart-reset";
   }
   return "unknown";
 }
@@ -45,8 +47,43 @@ ReferenceEngine::ReferenceEngine(DynamicGraphProvider& topology,
     }
   }
 
+  validate(config_.faults);
+  if (config_.faults.enabled()) {
+    fault_plan_ = std::make_unique<FaultPlan>(config_.faults, node_count_);
+  }
+
   node_rngs_ = make_node_streams(config_.seed, node_count_);
   protocol_.init(node_count_, node_rngs_);
+}
+
+// Phase 0 — faults: the plan applies burst transitions, recoveries, random
+// crashes, and the oracle kill, notifying the protocol through its hooks. A
+// recovered node re-enters via the activation machinery (local rounds
+// restart at 1) — unless the kSkipRestartReset mutant is active, in which
+// case the node resumes with its old clock and state.
+void ReferenceEngine::phase_faults(Round r) {
+  const auto activated = [this, r](NodeId u) { return r >= activation_[u]; };
+  const auto eligible = [this, &activated](NodeId u) {
+    return fault_plan_->alive(u) && activated(u);
+  };
+  fault_plan_->round_start(
+      r, activated,
+      [this, &eligible] {
+        return select_crash_target(config_.faults.targeting, protocol_,
+                                   node_count_, eligible,
+                                   fault_plan_->oracle_rng());
+      },
+      [this](NodeId u) {
+        protocol_.on_crash(u);
+        telemetry_.count_crash();
+      },
+      [this, r](NodeId u) {
+        if (mutation_ != ReferenceMutation::kSkipRestartReset) {
+          activation_[u] = r;
+          protocol_.on_restart(u, node_rngs_[u]);
+        }
+        telemetry_.count_recovery();
+      });
 }
 
 // Phase 1 — advertise: each active node selects its b-bit tag for the round.
@@ -168,6 +205,11 @@ void ReferenceEngine::phase_resolve_and_exchange(
           telemetry_.count_failed_connection();
           continue;
         }
+        if (fault_plan_ != nullptr && config_.faults.has_link_faults() &&
+            fault_plan_->connection_lost(v, proposer)) {
+          telemetry_.count_fault_drop();
+          continue;
+        }
         exchange(proposer, v, r);
       }
       continue;
@@ -203,6 +245,11 @@ void ReferenceEngine::phase_resolve_and_exchange(
       telemetry_.count_failed_connection();
       continue;
     }
+    if (fault_plan_ != nullptr && config_.faults.has_link_faults() &&
+        fault_plan_->connection_lost(v, accepted)) {
+      telemetry_.count_fault_drop();
+      continue;
+    }
     exchange(accepted, v, r);
   }
 }
@@ -220,17 +267,22 @@ void ReferenceEngine::step() {
   MTM_ENSURE_MSG(graph.node_count() == node_count_,
                  "topology node count changed mid-execution");
 
+  telemetry_.begin_round(r, config_.record_rounds);
+
+  if (fault_plan_ != nullptr) phase_faults(r);
+
   std::uint32_t active_count = 0;
   for (NodeId u = 0; u < node_count_; ++u) {
     if (active_in(u, r)) ++active_count;
   }
-  telemetry_.begin_round(r, active_count, config_.record_rounds);
+  telemetry_.set_active_nodes(active_count);
 
   const std::vector<Tag> tags = phase_advertise(graph, r);
   const std::vector<Decision> decisions = phase_scan_and_decide(graph, r, tags);
   const std::vector<std::vector<NodeId>> inboxes = collect_inboxes(decisions, r);
   phase_resolve_and_exchange(decisions, inboxes, r);
   phase_finish(r);
+  telemetry_.end_round();
 }
 
 void ReferenceEngine::run_rounds(Round count) {

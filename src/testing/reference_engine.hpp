@@ -13,6 +13,14 @@
 // Canonical RNG stream layout — this IS part of the pinned model contract
 // (golden values and every recorded experiment depend on it):
 //   init      protocol.init(n, streams) with streams = make_node_streams(seed, n)
+//   phase 0   (only when a fault plan is enabled) the FaultPlan applies
+//             burst transitions, recoveries, random crashes, then the
+//             oracle kill — all draws from the plan's OWN streams (see
+//             sim/faults.hpp), never from the node streams. A recovery
+//             resets the node's activation round to r and calls
+//             protocol.on_restart(u, streams[u]); a crash calls
+//             protocol.on_crash(u). Crashed nodes count as inactive in
+//             every later phase.
 //   phase 1   for u = 0..n-1 ascending, active u draws from streams[u] in
 //             protocol.advertise(u, ...);
 //   phase 2+3 for u = 0..n-1 ascending, active u draws from streams[u] in
@@ -21,10 +29,13 @@
 //             sample uniform(|inbox|) from streams[v] iff the policy is
 //             kUniformRandom (deterministic policies draw nothing), then —
 //             only when connection_failure_prob > 0 — one bernoulli from
-//             streams[v] per established connection. Inboxes list proposers
-//             in ascending id order. In classical mode every proposal
-//             connects and only the failure bernoulli (per proposal, in
-//             inbox order, from streams[v]) is drawn.
+//             streams[v] per established connection. Connections surviving
+//             the i.i.d. check are then offered to the fault plan's link
+//             faults (FaultPlan::connection_lost, drawing from the plan's
+//             streams). Inboxes list proposers in ascending id order. In
+//             classical mode every proposal connects and only the failure
+//             bernoulli (per proposal, in inbox order, from streams[v])
+//             plus the link-fault draws are made.
 //   phase 5   each established connection (proposer u, acceptor v) exchanges
 //             immediately upon acceptance: make_payload(u, v) then
 //             make_payload(v, u) are both computed BEFORE either delivery
@@ -61,6 +72,10 @@ enum class ReferenceMutation {
   /// leaking post-delivery state into the exchange (the model's connection
   /// is an interactive exchange of *current* state).
   kSkipPayloadSnapshot,
+  /// Fault path: a recovered node keeps its local-round clock and protocol
+  /// state (no activation reset, no on_restart) — crash/recovery without
+  /// the restart semantics the fault model pins.
+  kSkipRestartReset,
 };
 
 const char* to_string(ReferenceMutation mutation);
@@ -87,9 +102,13 @@ class ReferenceEngine {
   Round all_active_round() const noexcept { return all_active_round_; }
 
  private:
-  bool active_in(NodeId u, Round r) const { return r >= activation_[u]; }
+  bool active_in(NodeId u, Round r) const {
+    return r >= activation_[u] &&
+           (fault_plan_ == nullptr || fault_plan_->alive(u));
+  }
   Round local_round(NodeId u, Round r) const { return r - activation_[u] + 1; }
 
+  void phase_faults(Round r);
   std::vector<Tag> phase_advertise(const Graph& graph, Round r);
   std::vector<Decision> phase_scan_and_decide(const Graph& graph, Round r,
                                               const std::vector<Tag>& tags);
@@ -111,6 +130,7 @@ class ReferenceEngine {
   Tag tag_limit_;
   std::vector<Round> activation_;
   std::vector<Rng> node_rngs_;
+  std::unique_ptr<FaultPlan> fault_plan_;  // null when faults are disabled
   Telemetry telemetry_;
 };
 

@@ -20,6 +20,7 @@
 #include "protocols/multibit_convergence.hpp"
 #include "protocols/pairwise_averaging.hpp"
 #include "protocols/round_robin_gossip.hpp"
+#include "protocols/stable_leader.hpp"
 #include "sim/runner.hpp"
 
 namespace mtm {
@@ -230,6 +231,74 @@ TEST(GoldenTelemetry, PpushStarLine2x5) {
   cfg.tag_bits = 1;
   cfg.seed = 304;
   EXPECT_EQ(run_golden_trial(proto, g, cfg), (GoldenTrial{6, 11, 11}));
+}
+
+// Fault-era pins: failure injection and fault plans join the pinned
+// surface. dropped() (i.i.d. failures + fault drops), crashes() and
+// recoveries() fix the fault-stream draw schedule alongside the
+// stabilization round — a change to fault stream derivation or the pinned
+// round_start order fails here even if the election outcome survives it.
+struct GoldenFaultTrial {
+  Round rounds;
+  std::uint64_t connections;
+  std::uint64_t dropped;
+  std::uint64_t crashes;
+  std::uint64_t recoveries;
+
+  bool operator==(const GoldenFaultTrial&) const = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const GoldenFaultTrial& t) {
+  return os << "{" << t.rounds << ", " << t.connections << ", " << t.dropped
+            << ", " << t.crashes << ", " << t.recoveries << "}";
+}
+
+GoldenFaultTrial run_golden_fault_trial(Protocol& proto, const Graph& g,
+                                        EngineConfig cfg) {
+  StaticGraphProvider topo(g);
+  Engine engine(topo, proto, cfg);
+  const RunResult r = run_until_stabilized(engine, 1u << 22);
+  EXPECT_TRUE(r.converged);
+  const Telemetry& t = engine.telemetry();
+  return {r.rounds, t.connections(), t.dropped(), t.crashes(),
+          t.recoveries()};
+}
+
+TEST(GoldenTelemetry, BlindGossipClique8FailureInjection) {
+  const Graph g = make_clique(8);
+  BlindGossip proto(BlindGossip::shuffled_uids(g.node_count(), 305));
+  EngineConfig cfg;
+  cfg.seed = 305;
+  cfg.connection_failure_prob = 0.2;
+  EXPECT_EQ(run_golden_fault_trial(proto, g, cfg),
+            (GoldenFaultTrial{13, 23, 8, 0, 0}));
+}
+
+TEST(GoldenTelemetry, StableLeaderClique10Churn) {
+  const Graph g = make_clique(10);
+  StableLeader proto(BlindGossip::shuffled_uids(g.node_count(), 306), 16);
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 306;
+  cfg.faults.crash_prob = 0.05;
+  cfg.faults.recovery_prob = 0.5;
+  cfg.faults.min_alive = 4;
+  cfg.faults.seed = 306;
+  EXPECT_EQ(run_golden_fault_trial(proto, g, cfg),
+            (GoldenFaultTrial{21, 39, 0, 8, 8}));
+}
+
+TEST(GoldenTelemetry, BlindGossipStarLine2x4BurstAndDegradation) {
+  const Graph g = make_star_line(2, 4);
+  BlindGossip proto(BlindGossip::shuffled_uids(g.node_count(), 307));
+  EngineConfig cfg;
+  cfg.seed = 307;
+  cfg.connection_failure_prob = 0.1;  // i.i.d. and fault drops both count
+  cfg.faults.burst = GilbertElliott{0.1, 0.3, 0.0, 1.0};
+  cfg.faults.edge_degradation = 0.3;
+  cfg.faults.seed = 307;
+  EXPECT_EQ(run_golden_fault_trial(proto, g, cfg),
+            (GoldenFaultTrial{86, 121, 70, 0, 0}));
 }
 
 }  // namespace

@@ -272,6 +272,46 @@ TEST(Engine, ValidatesConfig) {
   EXPECT_THROW(Engine(topo, proto, zero_activation), ContractError);
 }
 
+TEST(Engine, ActivationErrorsNameTheActualNumbers) {
+  // The validation messages must carry the offending values, not just the
+  // rule: a wrong-size schedule names both counts, a zero entry names the
+  // node and its bogus round.
+  StaticGraphProvider topo(make_path(3));
+  ScriptedProtocol proto;
+  EngineConfig wrong_size;
+  wrong_size.activation_rounds = {1, 2};
+  try {
+    Engine engine(topo, proto, wrong_size);
+    FAIL() << "wrong-size activation schedule must be rejected";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("got 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("3 nodes"), std::string::npos) << what;
+  }
+  EngineConfig zero_entry;
+  zero_entry.activation_rounds = {1, 0, 2};
+  try {
+    Engine engine(topo, proto, zero_entry);
+    FAIL() << "zero activation round must be rejected";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("node 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("activation round 0"), std::string::npos) << what;
+  }
+}
+
+TEST(Engine, ValidatesFaultConfig) {
+  StaticGraphProvider topo(make_path(2));
+  ScriptedProtocol proto;
+  EngineConfig bad_faults;
+  bad_faults.faults.crash_prob = 1.0;
+  EXPECT_THROW(Engine(topo, proto, bad_faults), ContractError);
+  EngineConfig bad_floor;
+  bad_floor.faults.crash_prob = 0.1;
+  bad_floor.faults.min_alive = 3;  // only 2 nodes
+  EXPECT_THROW(Engine(topo, proto, bad_floor), ContractError);
+}
+
 TEST(Engine, PayloadUidTelemetry) {
   StaticGraphProvider topo(make_path(2));
   ScriptedProtocol proto;

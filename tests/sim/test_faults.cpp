@@ -1,0 +1,312 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/push_pull.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+const auto kAlwaysActivated = [](NodeId) { return true; };
+
+/// Drives `rounds` rounds of churn and returns the (crash, recovery) event
+/// log as (round, node) pairs.
+std::vector<std::pair<Round, NodeId>> churn_log(FaultPlan& plan,
+                                                Round rounds) {
+  std::vector<std::pair<Round, NodeId>> events;
+  for (Round r = 1; r <= rounds; ++r) {
+    plan.round_start(
+        r, kAlwaysActivated, nullptr,
+        [&events, r](NodeId u) { events.emplace_back(r, u); },
+        [&events, r](NodeId u) { events.emplace_back(r, u); });
+  }
+  return events;
+}
+
+TEST(FaultPlanConfig, ValidateRejectsBadValues) {
+  const FaultPlanConfig good;
+  validate(good);  // defaults are valid
+
+  auto reject = [](auto&& tweak) {
+    FaultPlanConfig bad;
+    tweak(bad);
+    EXPECT_THROW(validate(bad), ContractError);
+  };
+  reject([](FaultPlanConfig& c) { c.crash_prob = 1.0; });
+  reject([](FaultPlanConfig& c) { c.crash_prob = -0.1; });
+  reject([](FaultPlanConfig& c) { c.recovery_prob = 1.5; });
+  reject([](FaultPlanConfig& c) { c.min_alive = 0; });
+  reject([](FaultPlanConfig& c) { c.edge_degradation = 1.0; });
+  reject([](FaultPlanConfig& c) { c.burst.good_to_bad = 2.0; });
+  reject([](FaultPlanConfig& c) { c.burst.loss_bad = -1.0; });
+  reject([](FaultPlanConfig& c) {
+    c.targeting = CrashTargeting::kRandomAlive;
+    c.target_every = 0;
+  });
+  reject([](FaultPlanConfig& c) { c.target_start = 0; });
+}
+
+TEST(FaultPlanConfig, EnabledReflectsEveryDimension) {
+  EXPECT_FALSE(FaultPlanConfig{}.enabled());
+  FaultPlanConfig c;
+  c.crash_prob = 0.1;
+  EXPECT_TRUE(c.enabled());
+  c = {};
+  c.burst = GilbertElliott{0.1, 0.3, 0.0, 1.0};
+  EXPECT_TRUE(c.enabled());
+  EXPECT_TRUE(c.has_link_faults());
+  c = {};
+  c.edge_degradation = 0.2;
+  EXPECT_TRUE(c.enabled());
+  EXPECT_TRUE(c.has_link_faults());
+  c = {};
+  c.targeting = CrashTargeting::kLeaderNode;
+  EXPECT_FALSE(c.enabled());  // oracle without a period never fires
+  c.target_every = 4;
+  EXPECT_TRUE(c.enabled());
+  EXPECT_FALSE(c.has_link_faults());
+}
+
+TEST(FaultPlan, MinAliveFloorHolds) {
+  FaultPlanConfig cfg;
+  cfg.crash_prob = 0.9;
+  cfg.min_alive = 3;
+  cfg.seed = 7;
+  FaultPlan plan(cfg, 8);
+  for (Round r = 1; r <= 50; ++r) {
+    plan.round_start(r, kAlwaysActivated, nullptr, nullptr, nullptr);
+    EXPECT_GE(plan.alive_count(), 3u);
+  }
+  EXPECT_EQ(plan.alive_count(), 3u);  // p=0.9 for 50 rounds pins the floor
+}
+
+TEST(FaultPlan, MinAliveMustFitNodeCount) {
+  FaultPlanConfig cfg;
+  cfg.min_alive = 9;
+  EXPECT_THROW(FaultPlan(cfg, 8), ContractError);
+}
+
+TEST(FaultPlan, CrashAndRecoveryBookkeepingBalances) {
+  FaultPlanConfig cfg;
+  cfg.crash_prob = 0.3;
+  cfg.recovery_prob = 0.5;
+  cfg.seed = 11;
+  FaultPlan plan(cfg, 16);
+  std::size_t crashes = 0, recoveries = 0;
+  for (Round r = 1; r <= 200; ++r) {
+    plan.round_start(
+        r, kAlwaysActivated, nullptr, [&crashes](NodeId) { ++crashes; },
+        [&recoveries](NodeId) { ++recoveries; });
+    NodeId alive = 0;
+    for (NodeId u = 0; u < 16; ++u) alive += plan.alive(u);
+    EXPECT_EQ(alive, plan.alive_count());
+    EXPECT_EQ(crashes - recoveries, 16u - plan.alive_count());
+  }
+  EXPECT_GT(crashes, 0u);
+  EXPECT_GT(recoveries, 0u);
+}
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  FaultPlanConfig cfg;
+  cfg.crash_prob = 0.2;
+  cfg.recovery_prob = 0.4;
+  cfg.seed = 42;
+  FaultPlan a(cfg, 12);
+  FaultPlan b(cfg, 12);
+  const auto log_a = churn_log(a, 100);
+  EXPECT_EQ(log_a, churn_log(b, 100));
+  cfg.seed = 43;
+  FaultPlan c(cfg, 12);
+  EXPECT_NE(log_a, churn_log(c, 100));  // reseed shifts the plan
+}
+
+TEST(FaultPlan, OracleSchedule) {
+  FaultPlanConfig cfg;
+  cfg.targeting = CrashTargeting::kRandomAlive;
+  cfg.target_every = 5;
+  cfg.target_start = 3;
+  FaultPlan plan(cfg, 4);
+  EXPECT_FALSE(plan.oracle_due(1));
+  EXPECT_FALSE(plan.oracle_due(2));
+  EXPECT_TRUE(plan.oracle_due(3));
+  EXPECT_FALSE(plan.oracle_due(4));
+  EXPECT_TRUE(plan.oracle_due(8));
+  EXPECT_TRUE(plan.oracle_due(13));
+  EXPECT_FALSE(plan.oracle_due(14));
+  EXPECT_FALSE(FaultPlan(FaultPlanConfig{}, 4).oracle_due(3));
+}
+
+TEST(FaultPlan, OracleRespectsMinAliveFloor) {
+  FaultPlanConfig cfg;
+  cfg.targeting = CrashTargeting::kRandomAlive;
+  cfg.target_every = 1;
+  cfg.min_alive = 2;
+  FaultPlan plan(cfg, 4);
+  std::size_t kills = 0;
+  const auto oracle = [&plan]() -> NodeId {
+    for (NodeId u = 0; u < 4; ++u) {
+      if (plan.alive(u)) return u;
+    }
+    return kNoNode;
+  };
+  for (Round r = 1; r <= 10; ++r) {
+    plan.round_start(r, kAlwaysActivated, oracle,
+                     [&kills](NodeId) { ++kills; }, nullptr);
+  }
+  EXPECT_EQ(kills, 2u);  // 4 nodes, floor 2: only two kills ever land
+  EXPECT_EQ(plan.alive_count(), 2u);
+}
+
+TEST(FaultPlan, BurstChannelDropsInBadState) {
+  FaultPlanConfig cfg;
+  cfg.burst = GilbertElliott{1.0, 0.0, 0.0, 1.0};  // sticky all-loss BAD
+  FaultPlan plan(cfg, 2);
+  EXPECT_FALSE(plan.burst_bad(0));
+  EXPECT_FALSE(plan.connection_lost(0, 1));  // GOOD state, loss_good = 0
+  plan.round_start(1, kAlwaysActivated, nullptr, nullptr, nullptr);
+  EXPECT_TRUE(plan.burst_bad(0));
+  EXPECT_TRUE(plan.burst_bad(1));
+  EXPECT_TRUE(plan.connection_lost(0, 1));  // BAD state, loss_bad = 1
+  EXPECT_TRUE(plan.connection_lost(1, 0));
+}
+
+TEST(FaultPlan, EdgeDegradationIsSymmetricDeterministicAndBounded) {
+  FaultPlanConfig cfg;
+  cfg.edge_degradation = 0.4;
+  cfg.seed = 5;
+  FaultPlan plan(cfg, 8);
+  bool any_distinct = false;
+  for (NodeId u = 0; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) {
+      const double p = plan.edge_drop_prob(u, v);
+      EXPECT_EQ(p, plan.edge_drop_prob(v, u));
+      EXPECT_GE(p, 0.0);
+      EXPECT_LT(p, 0.4);
+      any_distinct |= p != plan.edge_drop_prob(0, 1);
+    }
+  }
+  EXPECT_TRUE(any_distinct);  // a hash, not a constant
+  EXPECT_EQ(plan.edge_drop_prob(2, 3), FaultPlan(cfg, 8).edge_drop_prob(2, 3));
+}
+
+TEST(FaultPlan, DisabledPlanDrawsAndChangesNothing) {
+  FaultPlan plan(FaultPlanConfig{}, 4);
+  for (Round r = 1; r <= 20; ++r) {
+    plan.round_start(
+        r, kAlwaysActivated, nullptr, [](NodeId) { FAIL() << "crash"; },
+        [](NodeId) { FAIL() << "recovery"; });
+  }
+  EXPECT_EQ(plan.alive_count(), 4u);
+  EXPECT_FALSE(plan.connection_lost(0, 1));
+}
+
+TEST(SelectCrashTarget, LeaderAwareModesNeedALeaderElectionProtocol) {
+  Rng rng(1);
+  PushPull rumor({0});  // not a LeaderElectionProtocol
+  const auto all = [](NodeId) { return true; };
+  EXPECT_EQ(select_crash_target(CrashTargeting::kMinUidHolder, rumor, 4, all,
+                                rng),
+            kNoNode);
+  EXPECT_EQ(
+      select_crash_target(CrashTargeting::kLeaderNode, rumor, 4, all, rng),
+      kNoNode);
+  EXPECT_EQ(select_crash_target(CrashTargeting::kNone, rumor, 4, all, rng),
+            kNoNode);
+}
+
+TEST(SelectCrashTarget, ModesRespectEligibilityAndPickTheMinimum) {
+  Rng rng(2);
+  // uids: node 0 holds 30, node 1 holds 10 (the minimum), node 2 holds 20.
+  BlindGossip proto({30, 10, 20});
+  StaticGraphProvider topo(make_clique(3));
+  Engine engine(topo, proto, EngineConfig{});  // init()s the protocol
+  const auto all = [](NodeId) { return true; };
+
+  // Pre-gossip, each node's leader_of is its own UID: node 1 is both the
+  // minimal holder and the (target) leader node.
+  EXPECT_EQ(select_crash_target(CrashTargeting::kMinUidHolder, proto, 3, all,
+                                rng),
+            NodeId{1});
+  EXPECT_EQ(
+      select_crash_target(CrashTargeting::kLeaderNode, proto, 3, all, rng),
+      NodeId{1});
+
+  // With node 1 ineligible (already dead), min-holder falls to the next
+  // smallest value and leader targeting finds no eligible victim.
+  const auto not_one = [](NodeId u) { return u != 1; };
+  EXPECT_EQ(select_crash_target(CrashTargeting::kMinUidHolder, proto, 3,
+                                not_one, rng),
+            NodeId{2});
+  EXPECT_EQ(select_crash_target(CrashTargeting::kLeaderNode, proto, 3,
+                                not_one, rng),
+            kNoNode);
+
+  // Random targeting with nobody eligible draws nothing and returns none.
+  const auto nobody = [](NodeId) { return false; };
+  EXPECT_EQ(select_crash_target(CrashTargeting::kRandomAlive, proto, 3,
+                                nobody, rng),
+            kNoNode);
+  const NodeId victim =
+      select_crash_target(CrashTargeting::kRandomAlive, proto, 3, all, rng);
+  EXPECT_LT(victim, 3u);
+}
+
+TEST(EngineFaults, RecoveryOnlyPlanIsByteIdenticalToNoPlan) {
+  // The determinism contract: fault draws never touch the node streams, so
+  // an enabled plan that never fires leaves the execution untouched.
+  const auto run = [](bool with_plan) {
+    StaticGraphProvider topo(make_star_line(2, 4));
+    BlindGossip proto(BlindGossip::shuffled_uids(10, 31));
+    EngineConfig cfg;
+    cfg.seed = 31;
+    if (with_plan) cfg.faults.recovery_prob = 0.5;  // nobody ever crashes
+    Engine engine(topo, proto, cfg);
+    const RunResult r = run_until_stabilized(engine, 1u << 20);
+    return std::pair{r.rounds, engine.telemetry().connections()};
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(EngineFaults, BurstLossDropsCountedSeparately) {
+  // An all-loss burst channel kills every established connection: the
+  // protocol cannot make progress and every drop lands in fault_dropped.
+  StaticGraphProvider topo(make_clique(6));
+  BlindGossip proto(BlindGossip::shuffled_uids(6, 13));
+  EngineConfig cfg;
+  cfg.seed = 13;
+  cfg.faults.burst = GilbertElliott{1.0, 0.0, 1.0, 1.0};
+  Engine engine(topo, proto, cfg);
+  engine.run_rounds(40);
+  EXPECT_FALSE(proto.stabilized());
+  EXPECT_GT(engine.telemetry().fault_dropped(), 0u);
+  EXPECT_EQ(engine.telemetry().fault_dropped(), engine.telemetry().dropped());
+  EXPECT_EQ(engine.telemetry().delivered(), 0u);
+  EXPECT_GT(engine.telemetry().wasted_rounds(), 0u);
+}
+
+TEST(EngineFaults, CrashedNodesAreInvisible) {
+  // Crash everything except the floor: the survivors keep running, the
+  // crashed majority is neither scanned nor called back.
+  StaticGraphProvider topo(make_clique(8));
+  BlindGossip proto(BlindGossip::shuffled_uids(8, 19));
+  EngineConfig cfg;
+  cfg.seed = 19;
+  cfg.faults.crash_prob = 0.9;
+  cfg.faults.min_alive = 2;
+  cfg.faults.seed = 3;
+  Engine engine(topo, proto, cfg);
+  engine.run_rounds(50);
+  EXPECT_EQ(engine.telemetry().crashes(), 6u);
+  EXPECT_EQ(engine.telemetry().recoveries(), 0u);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -119,6 +119,53 @@ TEST(RoundsOf, ThrowsOnCensoredTrial) {
   EXPECT_THROW(rounds_of(results), ContractError);
 }
 
+TEST(SummarizeConvergence, SplitsConvergedFromCensored) {
+  std::vector<RunResult> results(4);
+  results[0].converged = true;
+  results[0].rounds = 12;
+  results[1].converged = false;  // censored at the cap
+  results[1].rounds = 500;
+  results[2].converged = true;
+  results[2].rounds = 30;
+  results[3].converged = false;
+  const ConvergenceSummary s = summarize_convergence(results);
+  EXPECT_EQ(s.converged, 2u);
+  EXPECT_EQ(s.censored, 2u);
+  EXPECT_EQ(s.rounds, (std::vector<double>{12, 30}));  // trial order
+  EXPECT_DOUBLE_EQ(s.convergence_rate(), 0.5);
+}
+
+TEST(SummarizeConvergence, AllCensoredDoesNotThrow) {
+  // The motivating case: rounds_of() throws on any censored trial; the
+  // censoring-aware summary must stay usable even when nothing converged.
+  std::vector<RunResult> results(2);
+  EXPECT_THROW(rounds_of(results), ContractError);
+  const ConvergenceSummary s = summarize_convergence(results);
+  EXPECT_EQ(s.converged, 0u);
+  EXPECT_EQ(s.censored, 2u);
+  EXPECT_TRUE(s.rounds.empty());
+  EXPECT_DOUBLE_EQ(s.convergence_rate(), 0.0);
+}
+
+TEST(SummarizeConvergence, EmptyInputIsEmpty) {
+  const ConvergenceSummary s = summarize_convergence({});
+  EXPECT_EQ(s.converged, 0u);
+  EXPECT_EQ(s.censored, 0u);
+  EXPECT_DOUBLE_EQ(s.convergence_rate(), 0.0);
+}
+
+TEST(RoundsOf, ErrorPointsAtTheCensoringAwareAlternative) {
+  std::vector<RunResult> results(1);
+  results[0].converged = false;
+  try {
+    rounds_of(results);
+    FAIL() << "rounds_of must throw on censored trials";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("summarize_convergence"),
+              std::string::npos);
+  }
+}
+
 TEST(Runner, RoundsAfterLastActivation) {
   StaticGraphProvider topo(make_clique(6));
   BlindGossip proto(BlindGossip::shuffled_uids(6, 9));

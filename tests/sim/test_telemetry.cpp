@@ -12,11 +12,13 @@ namespace {
 
 TEST(Telemetry, CountersAccumulate) {
   Telemetry t;
-  t.begin_round(1, 4, false);
+  t.begin_round(1, false);
+  t.set_active_nodes(4);
   t.count_proposal();
   t.count_proposal();
   t.count_connection();
   t.count_payload_uids(2);
+  t.end_round();
   EXPECT_EQ(t.rounds(), 1u);
   EXPECT_EQ(t.proposals(), 2u);
   EXPECT_EQ(t.connections(), 1u);
@@ -33,16 +35,22 @@ TEST(Telemetry, EmptyRates) {
 
 TEST(Telemetry, PerRoundRecordingOptIn) {
   Telemetry off;
-  off.begin_round(1, 3, false);
+  off.begin_round(1, false);
+  off.set_active_nodes(3);
   off.count_proposal();
+  off.end_round();
   EXPECT_TRUE(off.per_round().empty());
 
   Telemetry on;
-  on.begin_round(1, 3, true);
+  on.begin_round(1, true);
+  on.set_active_nodes(3);
   on.count_proposal();
   on.count_connection();
-  on.begin_round(2, 3, true);
+  on.end_round();
+  on.begin_round(2, true);
+  on.set_active_nodes(3);
   on.count_proposal();
+  on.end_round();
   ASSERT_EQ(on.per_round().size(), 2u);
   EXPECT_EQ(on.per_round()[0].proposals, 1u);
   EXPECT_EQ(on.per_round()[0].connections, 1u);

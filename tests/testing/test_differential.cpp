@@ -126,6 +126,175 @@ TEST(Differential, PayloadSnapshotMutationNeedsStateDependentPayloads) {
       run_differential(star_blind_gossip_scenario(6, 32, 3)).has_value());
 }
 
+class FailureInjectionParity
+    : public ::testing::TestWithParam<AcceptancePolicy> {};
+
+TEST_P(FailureInjectionParity, EveryAcceptancePolicyMatchesUnderDrops) {
+  // connection_failure_prob parity: the engines must agree on which
+  // established connections the i.i.d. injector kills under every
+  // acceptance policy (the drop draw rides on the acceptor's stream, so a
+  // policy change reshuffles the whole schedule).
+  FuzzCase fuzz_case;
+  fuzz_case.protocol = FuzzProtocol::kBlindGossip;
+  fuzz_case.generator = "star-line";
+  fuzz_case.n = 12;
+  fuzz_case.seed = 47;
+  fuzz_case.acceptance = GetParam();
+  fuzz_case.failure_prob = 0.3;
+  fuzz_case.rounds = 48;
+  const auto divergence = run_differential(make_scenario(fuzz_case));
+  EXPECT_FALSE(divergence.has_value())
+      << to_string(fuzz_case) << "\n  " << to_string(*divergence);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, FailureInjectionParity,
+    ::testing::Values(AcceptancePolicy::kUniformRandom,
+                      AcceptancePolicy::kSmallestId,
+                      AcceptancePolicy::kLargestId),
+    [](const ::testing::TestParamInfo<AcceptancePolicy>& param) {
+      switch (param.param) {
+        case AcceptancePolicy::kUniformRandom:
+          return "uniform";
+        case AcceptancePolicy::kSmallestId:
+          return "smallest_id";
+        case AcceptancePolicy::kLargestId:
+          return "largest_id";
+      }
+      return "unknown";
+    });
+
+TEST(FailureInjectionParity, ClassicalModeMatchesUnderDrops) {
+  // Classical mode takes the unbounded-accepts branch in both engines; the
+  // failure draw ordering there is a separate code path worth pinning.
+  FuzzCase fuzz_case;
+  fuzz_case.protocol = FuzzProtocol::kClassicalGossip;
+  fuzz_case.generator = "star-line";
+  fuzz_case.n = 12;
+  fuzz_case.seed = 48;
+  fuzz_case.failure_prob = 0.3;
+  fuzz_case.rounds = 48;
+  const auto divergence = run_differential(make_scenario(fuzz_case));
+  EXPECT_FALSE(divergence.has_value())
+      << to_string(fuzz_case) << "\n  " << to_string(*divergence);
+}
+
+TEST(DifferentialFaults, FaultPlansProduceZeroDivergence) {
+  // Explicit fault-dimension scenarios (beyond the random sweep): churn,
+  // burst loss, degradation, and each oracle, alone and combined, on both
+  // the mobile and classical paths.
+  struct Dimension {
+    const char* label;
+    std::function<void(FuzzCase&)> apply;
+  };
+  const std::vector<Dimension> dimensions = {
+      {"churn",
+       [](FuzzCase& c) {
+         c.crash_prob = 0.1;
+         c.recovery_prob = 0.5;
+       }},
+      {"burst-mild", [](FuzzCase& c) { c.burst = 1; }},
+      {"burst-harsh", [](FuzzCase& c) { c.burst = 2; }},
+      {"degradation", [](FuzzCase& c) { c.edge_degradation = 0.5; }},
+      {"oracle-random",
+       [](FuzzCase& c) {
+         c.targeting = CrashTargeting::kRandomAlive;
+         c.target_every = 6;
+       }},
+      {"oracle-min-holder",
+       [](FuzzCase& c) {
+         c.targeting = CrashTargeting::kMinUidHolder;
+         c.target_every = 6;
+       }},
+      {"oracle-leader",
+       [](FuzzCase& c) {
+         c.targeting = CrashTargeting::kLeaderNode;
+         c.target_every = 6;
+         c.recovery_prob = 0.3;
+       }},
+      {"everything",
+       [](FuzzCase& c) {
+         c.crash_prob = 0.05;
+         c.recovery_prob = 0.5;
+         c.burst = 2;
+         c.edge_degradation = 0.25;
+         c.targeting = CrashTargeting::kRandomAlive;
+         c.target_every = 8;
+       }},
+  };
+  for (const auto protocol :
+       {FuzzProtocol::kBlindGossip, FuzzProtocol::kStableLeader,
+        FuzzProtocol::kClassicalGossip}) {
+    for (const Dimension& dim : dimensions) {
+      FuzzCase fuzz_case;
+      fuzz_case.protocol = protocol;
+      fuzz_case.generator = "star-line";
+      fuzz_case.n = 12;
+      fuzz_case.seed = 53;
+      fuzz_case.rounds = 64;
+      dim.apply(fuzz_case);
+      const auto divergence = run_differential(make_scenario(fuzz_case));
+      EXPECT_FALSE(divergence.has_value())
+          << dim.label << ": " << to_string(fuzz_case) << "\n  "
+          << to_string(*divergence);
+    }
+  }
+}
+
+TEST(DifferentialFaults, CrashAndRestartEventsAreObserved) {
+  // The recorded event streams must include the fault callbacks — that is
+  // what makes recovery semantics diffable between the engines at all.
+  FuzzCase fuzz_case;
+  fuzz_case.protocol = FuzzProtocol::kBlindGossip;
+  fuzz_case.generator = "clique";
+  fuzz_case.n = 8;
+  fuzz_case.seed = 5;
+  fuzz_case.rounds = 60;
+  fuzz_case.crash_prob = 0.1;
+  fuzz_case.recovery_prob = 0.5;
+  const Scenario scenario = make_scenario(fuzz_case);
+
+  auto protocol = scenario.make_protocol();
+  auto topology = scenario.make_topology();
+  RecordingProtocol recorder(*protocol);
+  Engine engine(*topology, recorder, scenario.config);
+  engine.run_rounds(scenario.rounds);
+  std::size_t crashes = 0, restarts = 0;
+  for (const ProtocolEvent& e : recorder.events()) {
+    crashes += e.kind == ProtocolEvent::Kind::kCrash;
+    restarts += e.kind == ProtocolEvent::Kind::kRestart;
+  }
+  EXPECT_EQ(crashes, engine.telemetry().crashes());
+  EXPECT_EQ(restarts, engine.telemetry().recoveries());
+  EXPECT_GT(crashes, 0u);
+  EXPECT_GT(restarts, 0u);
+}
+
+TEST(DifferentialFaults, SkipRestartResetMutationIsCaught) {
+  // The fault-path mutation: a reference engine that revives nodes without
+  // resetting their activation round (local-round clock) or protocol state
+  // must diverge from the real engine as soon as a recovery happens.
+  FuzzCase fuzz_case;
+  fuzz_case.protocol = FuzzProtocol::kBlindGossip;
+  fuzz_case.generator = "clique";
+  fuzz_case.n = 8;
+  fuzz_case.seed = 5;
+  fuzz_case.rounds = 60;
+  fuzz_case.crash_prob = 0.1;
+  fuzz_case.recovery_prob = 0.5;
+
+  // Control: without the mutation the scenario is clean.
+  ASSERT_FALSE(run_differential(make_scenario(fuzz_case)).has_value());
+
+  DifferentialOptions options;
+  options.mutation = ReferenceMutation::kSkipRestartReset;
+  const auto divergence =
+      run_differential(make_scenario(fuzz_case), options);
+  ASSERT_TRUE(divergence.has_value())
+      << "skip-restart-reset mutation was not detected";
+  EXPECT_GE(divergence->round, 1u);
+}
+
 TEST(RecordingProtocol, WrappingDoesNotChangeTheExecution) {
   const Graph g = make_star_line(3, 4);
   const auto run_rounds = [&g](bool wrapped) {

@@ -29,6 +29,98 @@ TEST(FuzzCase, ParseRejectsMalformedInput) {
                std::invalid_argument);
 }
 
+TEST(FuzzCase, FaultTupleSerializationRoundTrips) {
+  for (std::size_t i = 0; i < 200; ++i) {
+    Rng rng(derive_seed(0xfa57a, {i}));
+    const FuzzCase original = random_fuzz_case(rng, /*with_faults=*/true);
+    const FuzzCase parsed = parse_fuzz_case(to_string(original));
+    EXPECT_EQ(parsed, original) << to_string(original);
+  }
+}
+
+TEST(FuzzCase, PreFaultTuplesKeepTheirHistoricalByteForm) {
+  // Tuples recorded before the fault dimensions existed must replay byte
+  // for byte: to_string only emits fault keys when they are non-default.
+  const std::string historical =
+      "protocol=blind-gossip generator=star n=6 tau=0 seed=3 "
+      "acceptance=uniform async=0 failure=0 rounds=8";
+  const FuzzCase parsed = parse_fuzz_case(historical);
+  EXPECT_EQ(to_string(parsed), historical);
+  EXPECT_EQ(parsed.crash_prob, 0.0);
+  EXPECT_EQ(parsed.targeting, CrashTargeting::kNone);
+}
+
+TEST(FuzzCase, FaultKeysParse) {
+  const FuzzCase parsed = parse_fuzz_case(
+      "protocol=stable-leader generator=clique n=8 seed=2 rounds=32 "
+      "crash=0.05 recover=0.3 burst=2 degrade=0.25 oracle=leader "
+      "oracle-every=6");
+  EXPECT_EQ(parsed.protocol, FuzzProtocol::kStableLeader);
+  EXPECT_EQ(parsed.crash_prob, 0.05);
+  EXPECT_EQ(parsed.recovery_prob, 0.3);
+  EXPECT_EQ(parsed.burst, 2);
+  EXPECT_EQ(parsed.edge_degradation, 0.25);
+  EXPECT_EQ(parsed.targeting, CrashTargeting::kLeaderNode);
+  EXPECT_EQ(parsed.target_every, 6u);
+  EXPECT_EQ(parse_fuzz_case(to_string(parsed)), parsed);
+  EXPECT_THROW(parse_fuzz_case("generator=clique oracle=nemesis"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fuzz_case("generator=clique burst=7"),
+               std::invalid_argument);
+}
+
+TEST(RunFuzz, FaultDimensionsSweepCleanly) {
+  // The in-tree smoke version of the CI fault-fuzz job (which runs >= 500
+  // cases): a fault-sampling sweep must produce zero divergences and must
+  // actually exercise the fault dimensions.
+  FuzzOptions options;
+  options.cases = 80;
+  options.seed = 0xfa0b5;
+  options.with_faults = true;
+  std::size_t with_churn = 0, with_links = 0, with_oracle = 0,
+              stable_leader = 0;
+  options.on_case = [&](std::size_t, const FuzzCase& fuzz_case) {
+    with_churn += fuzz_case.crash_prob > 0.0;
+    with_links += fuzz_case.burst > 0 || fuzz_case.edge_degradation > 0.0;
+    with_oracle += fuzz_case.targeting != CrashTargeting::kNone;
+    stable_leader += fuzz_case.protocol == FuzzProtocol::kStableLeader;
+  };
+  const auto failures = run_fuzz(options);
+  EXPECT_TRUE(failures.empty());
+  EXPECT_GT(with_churn, 0u);
+  EXPECT_GT(with_links, 0u);
+  EXPECT_GT(with_oracle, 0u);
+  EXPECT_GT(stable_leader, 0u);
+}
+
+TEST(Shrink, StripsIncidentalFaultDimensions) {
+  // kAcceptFirstProposal has nothing to do with faults, so the shrinker
+  // must strip every fault dimension from a diverging fault-laden tuple.
+  DifferentialOptions options;
+  options.mutation = ReferenceMutation::kAcceptFirstProposal;
+  FuzzCase original;
+  original.protocol = FuzzProtocol::kBlindGossip;
+  original.generator = "star";
+  original.n = 24;
+  original.seed = 7;
+  original.rounds = 64;
+  original.crash_prob = 0.05;
+  original.recovery_prob = 0.5;
+  original.burst = 1;
+  original.edge_degradation = 0.25;
+  original.targeting = CrashTargeting::kRandomAlive;
+  original.target_every = 8;
+  ASSERT_TRUE(run_differential(make_scenario(original), options).has_value());
+  const FuzzCase shrunk = shrink_fuzz_case(original, options);
+  EXPECT_TRUE(run_differential(make_scenario(shrunk), options).has_value());
+  EXPECT_EQ(shrunk.crash_prob, 0.0);
+  EXPECT_EQ(shrunk.recovery_prob, 0.0);
+  EXPECT_EQ(shrunk.burst, 0);
+  EXPECT_EQ(shrunk.edge_degradation, 0.0);
+  EXPECT_EQ(shrunk.targeting, CrashTargeting::kNone);
+  EXPECT_EQ(shrunk.target_every, 0u);
+}
+
 TEST(FuzzCase, EveryGeneratorExpandsAcrossTheSizeRange) {
   const char* generators[] = {"clique",    "cycle",   "path",
                               "star",      "star-line", "grid",

@@ -33,8 +33,13 @@ options:
   --mutation=M      seed an intentional fault into the reference engine to
                     demonstrate detection (with --case or --fuzz):
                     none | drop-one-connection-bound |
-                    accept-first-proposal | skip-payload-snapshot
+                    accept-first-proposal | skip-payload-snapshot |
+                    skip-restart-reset
   --fuzz=N          run N random differential cases               [default 0]
+  --faults          with --fuzz: sample fault-plan dimensions too (node
+                    churn, burst loss, edge degradation, crash oracles;
+                    tuple keys crash/recover/burst/degrade/oracle/
+                    oracle-every — replayed by --case automatically)
   --seed=S          fuzz stream seed                              [default 0xf0c5]
   --no-shrink       report original failing tuples without minimizing
   --out=PATH        append failing shrunk tuples to PATH (CI artifact)
@@ -46,7 +51,8 @@ testing::ReferenceMutation parse_mutation(const std::string& name) {
   for (auto m : {ReferenceMutation::kNone,
                  ReferenceMutation::kDropOneConnectionBound,
                  ReferenceMutation::kAcceptFirstProposal,
-                 ReferenceMutation::kSkipPayloadSnapshot}) {
+                 ReferenceMutation::kSkipPayloadSnapshot,
+                 ReferenceMutation::kSkipRestartReset}) {
     if (name == testing::to_string(m)) return m;
   }
   throw std::invalid_argument("unknown --mutation=" + name);
@@ -83,6 +89,7 @@ int run_fuzz_budget(const CliArgs& args, std::uint64_t budget) {
   options.cases = budget;
   options.seed = args.get_u64("seed", 0xf0c5);
   options.shrink = !args.has("no-shrink");
+  options.with_faults = args.has("faults");
   options.mutation = parse_mutation(args.get_string("mutation", "none"));
   const std::string out_path = args.get_string("out", "");
   args.check_unused();

@@ -29,7 +29,8 @@ constexpr const char* kUsage = R"(mtm_sim: mobile telephone model simulator
 
 options:
   --algo=NAME       blind-gossip | bit-convergence | async-bit-convergence |
-                    classical-gossip | push-pull | ppush | classical-push-pull
+                    classical-gossip | stable-leader | push-pull | ppush |
+                    classical-push-pull
   --topology=NAME   clique | cycle | path | star | star-line | grid |
                     hypercube | random-regular | binary-tree | barbell |
                     mobility | file
@@ -48,8 +49,22 @@ options:
   --max-rounds=M    per-trial round cap                          [default 2^24]
   --failure-prob=P  connection failure injection, P in [0, 1)    [default 0]
   --acceptance=X    uniform | smallest-id | largest-id           [default uniform]
-  --csv=PATH        also write per-trial rounds as CSV
+  --crash=P         per-round node crash probability             [default 0]
+  --recover=P       per-round crashed-node recovery probability  [default 0]
+  --min-alive=K     crash floor: never fewer than K alive nodes  [default 1]
+  --burst=B         burst link loss preset: 0 off | 1 mild | 2 harsh [default 0]
+  --degrade=D       per-edge degradation cap, D in [0, 1)        [default 0]
+  --oracle=MODE     adversarial crash oracle:
+                    none | random | min-holder | leader          [default none]
+  --oracle-every=K  oracle kill period in rounds                 [default 16]
+  --epoch-timeout=T stable-leader re-election silence timeout    [default 24]
+  --csv=PATH        also write per-trial rounds as CSV (converged trials;
+                    censored trials get rounds=-1)
   --help            this text
+
+With faults enabled, trials may legitimately fail to stabilize within
+--max-rounds; the summary then covers converged trials only and reports
+the convergence rate.
 )";
 
 Graph build_graph(const CliArgs& args, const std::string& topology,
@@ -92,6 +107,31 @@ int run(const CliArgs& args) {
   const double failure_prob = args.get_double("failure-prob", 0.0);
   const std::string csv = args.get_string("csv", "");
   const std::string acceptance_name = args.get_string("acceptance", "uniform");
+
+  FaultPlanConfig faults;
+  faults.crash_prob = args.get_double("crash", 0.0);
+  faults.recovery_prob = args.get_double("recover", 0.0);
+  faults.min_alive = args.get_u32("min-alive", 1);
+  faults.edge_degradation = args.get_double("degrade", 0.0);
+  const std::uint64_t burst_preset = args.get_u64("burst", 0);
+  if (burst_preset == 1) {
+    faults.burst = GilbertElliott{0.1, 0.3, 0.0, 1.0};
+  } else if (burst_preset >= 2) {
+    faults.burst = GilbertElliott{0.2, 0.2, 0.05, 0.9};
+  }
+  const std::string oracle_name = args.get_string("oracle", "none");
+  const Round oracle_every = args.get_u64("oracle-every", 16);
+  if (oracle_name == "random") faults.targeting = CrashTargeting::kRandomAlive;
+  else if (oracle_name == "min-holder") faults.targeting = CrashTargeting::kMinUidHolder;
+  else if (oracle_name == "leader") faults.targeting = CrashTargeting::kLeaderNode;
+  else if (oracle_name != "none") {
+    throw std::invalid_argument("unknown --oracle=" + oracle_name);
+  }
+  if (faults.targeting != CrashTargeting::kNone) {
+    faults.target_every = oracle_every;
+  }
+  const Round epoch_timeout = args.get_u64("epoch-timeout", 24);
+  validate(faults);
   // Note: the acceptance policy and failure probability flow through the
   // experiment harness into EngineConfig; the harness currently exposes
   // only failure injection, so non-uniform acceptance is rejected here
@@ -143,6 +183,7 @@ int run(const CliArgs& args) {
     spec.seed = seed;
     spec.threads = ThreadPool::default_thread_count();
     spec.connection_failure_prob = failure_prob;
+    spec.faults = faults;
     results = run_rumor_experiment(spec);
   } else {
     LeaderExperiment spec;
@@ -150,6 +191,7 @@ int run(const CliArgs& args) {
     else if (algo_name == "bit-convergence") spec.algo = LeaderAlgo::kBitConvergence;
     else if (algo_name == "async-bit-convergence") spec.algo = LeaderAlgo::kAsyncBitConvergence;
     else if (algo_name == "classical-gossip") spec.algo = LeaderAlgo::kClassicalGossip;
+    else if (algo_name == "stable-leader") spec.algo = LeaderAlgo::kStableLeader;
     else throw std::invalid_argument("unknown --algo=" + algo_name);
     spec.node_count = node_count;
     spec.topology = std::move(factory);
@@ -158,24 +200,36 @@ int run(const CliArgs& args) {
     spec.seed = seed;
     spec.threads = ThreadPool::default_thread_count();
     spec.connection_failure_prob = failure_prob;
+    spec.faults = faults;
+    spec.epoch_timeout = epoch_timeout;
     results = run_leader_experiment(spec);
   }
 
-  const auto rounds = rounds_of(results);
-  const Summary s = summarize(rounds);
-  Table table({"algo", "topology", "n", "tau", "trials", "mean", "median",
-               "p95", "max"});
+  // Fault plans can legitimately censor trials (a run may never stabilize
+  // under churn); summarize converged trials and report the rate instead of
+  // throwing like rounds_of() would.
+  const ConvergenceSummary convergence = summarize_convergence(results);
+  const Summary s = summarize(convergence.rounds.empty()
+                                  ? std::vector<double>{0.0}
+                                  : convergence.rounds);
+  Table table({"algo", "topology", "n", "tau", "converged", "censored",
+               "mean", "median", "p95", "max"});
   table.row()
       .cell(algo_name)
       .cell(topology)
       .cell(static_cast<std::uint64_t>(node_count))
       .cell(tau == 0 ? std::string("static") : std::to_string(tau))
-      .cell(s.count)
+      .cell(static_cast<std::uint64_t>(convergence.converged))
+      .cell(static_cast<std::uint64_t>(convergence.censored))
       .cell(s.mean, 1)
       .cell(s.median, 1)
       .cell(s.p95, 1)
       .cell(s.max, 1);
-  table.print(std::cout, "rounds to stabilize");
+  table.print(std::cout, "rounds to stabilize (converged trials)");
+  if (convergence.censored > 0) {
+    std::cout << "warning: " << convergence.censored << "/" << results.size()
+              << " trial(s) censored at --max-rounds=" << max_rounds << "\n";
+  }
 
   if (!csv.empty()) {
     std::ofstream out(csv);
@@ -184,8 +238,12 @@ int run(const CliArgs& args) {
       return 1;
     }
     out << "trial,rounds\n";
-    for (std::size_t t = 0; t < rounds.size(); ++t) {
-      out << t << ',' << rounds[t] << '\n';
+    for (std::size_t t = 0; t < results.size(); ++t) {
+      if (results[t].converged) {
+        out << t << ',' << results[t].rounds << '\n';
+      } else {
+        out << t << ",-1\n";
+      }
     }
     std::cout << "wrote " << csv << "\n";
   }
