@@ -37,10 +37,10 @@ Summary measure(const BitConvergenceConfig& pcfg, bool relabel_tau1,
                 std::uint64_t seed) {
   const Graph& base = base_graph();
   TrialSpec spec;
-  spec.trials = kTrials;
-  spec.seed = seed;
-  spec.threads = bench::trial_threads();
-  spec.max_rounds = Round{1} << 26;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = seed;
+  spec.controls.threads = bench::trial_threads();
+  spec.controls.max_rounds = Round{1} << 26;
   const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
     BitConvergence proto(
         BlindGossip::shuffled_uids(base.node_count(), trial_seed), pcfg);
@@ -54,7 +54,7 @@ Summary measure(const BitConvergenceConfig& pcfg, bool relabel_tau1,
     cfg.tag_bits = 1;
     cfg.seed = trial_seed;
     Engine engine(*topo, proto, cfg);
-    return run_until_stabilized(engine, spec.max_rounds);
+    return run_until_stabilized(engine, spec.controls.max_rounds);
   });
   return summarize(rounds_of(results));
 }

@@ -49,10 +49,10 @@ const char* dynamics_name(Dynamics d) {
 Summary measure_blind(const Graph& base, Dynamics dynamics,
                       std::uint64_t seed) {
   TrialSpec spec;
-  spec.trials = kTrials;
-  spec.seed = seed;
-  spec.threads = bench::trial_threads();
-  spec.max_rounds = Round{1} << 26;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = seed;
+  spec.controls.threads = bench::trial_threads();
+  spec.controls.max_rounds = Round{1} << 26;
   const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
     BlindGossip proto(BlindGossip::shuffled_uids(base.node_count(), trial_seed));
     std::unique_ptr<DynamicGraphProvider> topo;
@@ -72,7 +72,7 @@ Summary measure_blind(const Graph& base, Dynamics dynamics,
     EngineConfig cfg;
     cfg.seed = trial_seed;
     Engine engine(*topo, proto, cfg);
-    return run_until_stabilized(engine, spec.max_rounds);
+    return run_until_stabilized(engine, spec.controls.max_rounds);
   });
   return summarize(rounds_of(results));
 }
@@ -80,10 +80,10 @@ Summary measure_blind(const Graph& base, Dynamics dynamics,
 Summary measure_bitconv(const Graph& base, Dynamics dynamics,
                         std::uint64_t seed) {
   TrialSpec spec;
-  spec.trials = kTrials;
-  spec.seed = seed;
-  spec.threads = bench::trial_threads();
-  spec.max_rounds = Round{1} << 26;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = seed;
+  spec.controls.threads = bench::trial_threads();
+  spec.controls.max_rounds = Round{1} << 26;
   const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
     BitConvergenceConfig pcfg;
     pcfg.network_size_bound = base.node_count();
@@ -109,7 +109,7 @@ Summary measure_bitconv(const Graph& base, Dynamics dynamics,
     cfg.tag_bits = 1;
     cfg.seed = trial_seed;
     Engine engine(*topo, proto, cfg);
-    return run_until_stabilized(engine, spec.max_rounds);
+    return run_until_stabilized(engine, spec.controls.max_rounds);
   });
   return summarize(rounds_of(results));
 }

@@ -37,10 +37,10 @@ const Graph& base_graph() {
 Summary measure_width(int width, std::uint64_t seed) {
   const Graph& base = base_graph();
   TrialSpec spec;
-  spec.trials = kTrials;
-  spec.seed = seed;
-  spec.threads = bench::trial_threads();
-  spec.max_rounds = Round{1} << 25;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = seed;
+  spec.controls.threads = bench::trial_threads();
+  spec.controls.max_rounds = Round{1} << 25;
   const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
     MultibitConvergenceConfig cfg;
     cfg.network_size_bound = base.node_count();
@@ -53,7 +53,7 @@ Summary measure_width(int width, std::uint64_t seed) {
     ecfg.tag_bits = proto.advertisement_width();
     ecfg.seed = trial_seed;
     Engine engine(topo, proto, ecfg);
-    return run_until_stabilized(engine, spec.max_rounds);
+    return run_until_stabilized(engine, spec.controls.max_rounds);
   });
   return summarize(rounds_of(results));
 }
@@ -94,11 +94,11 @@ void BM_FailureRobustness(benchmark::State& state) {
   spec.max_degree_bound = base.max_degree();
   spec.network_size_bound = base.node_count();
   spec.topology = static_topology(base);
-  spec.max_rounds = Round{1} << 26;
-  spec.trials = kTrials;
-  spec.seed = kSeed + 31 + static_cast<std::uint64_t>(state.range(0));
-  spec.threads = bench::trial_threads();
-  spec.connection_failure_prob = p;
+  spec.controls.max_rounds = Round{1} << 26;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = kSeed + 31 + static_cast<std::uint64_t>(state.range(0));
+  spec.controls.threads = bench::trial_threads();
+  spec.controls.connection_failure_prob = p;
   Summary s;
   for (auto _ : state) {
     s = measure_leader(spec);

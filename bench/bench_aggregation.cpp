@@ -36,17 +36,17 @@ Summary measure(const Graph& g, std::uint64_t seed) {
   const NodeId n = g.node_count();
   const double tolerance = 1e-3 * static_cast<double>(n - 1);
   TrialSpec spec;
-  spec.trials = kTrials;
-  spec.seed = seed;
-  spec.threads = bench::trial_threads();
-  spec.max_rounds = Round{1} << 26;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = seed;
+  spec.controls.threads = bench::trial_threads();
+  spec.controls.max_rounds = Round{1} << 26;
   const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
     StaticGraphProvider topo(g);
     PairwiseAveraging proto(ramp(n), tolerance);
     EngineConfig cfg;
     cfg.seed = trial_seed;
     Engine engine(topo, proto, cfg);
-    return run_until_stabilized(engine, spec.max_rounds);
+    return run_until_stabilized(engine, spec.controls.max_rounds);
   });
   return summarize(rounds_of(results));
 }

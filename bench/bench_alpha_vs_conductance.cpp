@@ -49,10 +49,10 @@ double rumor_mean(RumorAlgo algo, const Graph& g, std::uint64_t seed) {
   spec.algo = algo;
   spec.node_count = g.node_count();
   spec.topology = static_topology(g);
-  spec.max_rounds = Round{1} << 24;
-  spec.trials = kTrials;
-  spec.seed = seed;
-  spec.threads = bench::trial_threads();
+  spec.controls.max_rounds = Round{1} << 24;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = seed;
+  spec.controls.threads = bench::trial_threads();
   return measure_rumor(spec).mean;
 }
 

@@ -38,10 +38,10 @@ std::vector<Round> staggered_activations(NodeId n, Round window,
 /// clique of size n with activation window W.
 Summary measure_after_activation(NodeId n, Round window, std::uint64_t seed) {
   TrialSpec spec;
-  spec.trials = kTrials;
-  spec.seed = seed;
-  spec.threads = bench::trial_threads();
-  spec.max_rounds = Round{1} << 24;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = seed;
+  spec.controls.threads = bench::trial_threads();
+  spec.controls.max_rounds = Round{1} << 24;
   const Graph g = make_clique(n);
   const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
     LeaderExperiment le;
@@ -51,9 +51,9 @@ Summary measure_after_activation(NodeId n, Round window, std::uint64_t seed) {
     le.network_size_bound = n;
     le.topology = static_topology(g);
     le.activation_rounds = staggered_activations(n, window, trial_seed);
-    le.max_rounds = spec.max_rounds;
-    le.trials = 1;
-    le.seed = trial_seed;
+    le.controls.max_rounds = spec.controls.max_rounds;
+    le.controls.trials = 1;
+    le.controls.seed = trial_seed;
     return run_leader_experiment(le).front();
   });
   std::vector<double> after;
@@ -120,10 +120,10 @@ void BM_SelfStabilizationMerge(benchmark::State& state) {
   Summary s;
   for (auto _ : state) {
     TrialSpec spec;
-    spec.trials = kTrials;
-    spec.seed = kSeed + 77;
-    spec.threads = bench::trial_threads();
-    spec.max_rounds = Round{1} << 24;
+    spec.controls.trials = kTrials;
+    spec.controls.seed = kSeed + 77;
+    spec.controls.threads = bench::trial_threads();
+    spec.controls.max_rounds = Round{1} << 24;
     const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
       LeaderExperiment le;
       le.algo = LeaderAlgo::kAsyncBitConvergence;
@@ -133,9 +133,9 @@ void BM_SelfStabilizationMerge(benchmark::State& state) {
       le.topology = static_topology(g);
       le.activation_rounds.assign(n, 1);
       for (NodeId u = k; u < 2 * k; ++u) le.activation_rounds[u] = 500;
-      le.max_rounds = spec.max_rounds;
-      le.trials = 1;
-      le.seed = trial_seed;
+      le.controls.max_rounds = spec.controls.max_rounds;
+      le.controls.trials = 1;
+      le.controls.seed = trial_seed;
       return run_leader_experiment(le).front();
     });
     std::vector<double> after;

@@ -33,10 +33,10 @@ Summary measure(const Graph& base, Round tau, std::uint64_t seed) {
   spec.network_size_bound = base.node_count();
   spec.topology = tau == kStaticSentinel ? static_topology(base)
                                          : relabeling_topology(base, tau);
-  spec.max_rounds = Round{1} << 24;
-  spec.trials = kTrials;
-  spec.seed = seed;
-  spec.threads = bench::trial_threads();
+  spec.controls.max_rounds = Round{1} << 24;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = seed;
+  spec.controls.threads = bench::trial_threads();
   return measure_leader(spec);
 }
 

@@ -25,10 +25,10 @@ Summary measure(Graph g, std::uint64_t seed, Round max_rounds) {
   spec.algo = LeaderAlgo::kBlindGossip;
   spec.node_count = g.node_count();
   spec.topology = static_topology(std::move(g));
-  spec.max_rounds = max_rounds;
-  spec.trials = kTrials;
-  spec.seed = seed;
-  spec.threads = bench::trial_threads();
+  spec.controls.max_rounds = max_rounds;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = seed;
+  spec.controls.threads = bench::trial_threads();
   return measure_leader(spec);
 }
 

@@ -4,7 +4,10 @@
 // (timed, Iterations(1)) whose body runs the Monte-Carlo measurement and
 // records a SeriesPoint into a process-global registry; after
 // RunSpecifiedBenchmarks() the binary prints every collected series as the
-// paper-comparison table (and mirrors to CSV under $MTM_BENCH_CSV).
+// paper-comparison table — and, when invoked with --out=PATH (or with
+// $MTM_BENCH_JSON set), writes the unified bench JSON artifact
+// (obs/bench_report.hpp): run manifest, every series, the engine phase
+// profile, registered metrics, and any bench-specific extra sections.
 //
 // Counters reported per benchmark:
 //   rounds_mean / rounds_p95 — stabilization rounds across trials
@@ -16,23 +19,37 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 
 #include "core/thread_pool.hpp"
 #include "harness/sweep.hpp"
+#include "obs/bench_report.hpp"
 
 namespace mtm::bench {
+
+/// The resolved master seed of this binary, recorded by bench_seed() for
+/// the run manifest (0 until bench_seed() runs, i.e. for benches without
+/// Monte-Carlo seeding).
+inline std::uint64_t& bench_master_seed() {
+  static std::uint64_t seed = 0;
+  return seed;
+}
 
 /// Master seed for a bench binary: `fallback` (the recorded EXPERIMENTS.md
 /// seed) unless $MTM_BENCH_SEED overrides it. The override re-runs every
 /// sweep on a fresh seed to check that a recorded finding is not a
 /// seed-lottery artifact, without editing the bench.
 inline std::uint64_t bench_seed(std::uint64_t fallback) {
+  std::uint64_t seed = fallback;
   if (const char* env = std::getenv("MTM_BENCH_SEED")) {
-    return std::strtoull(env, nullptr, 0);
+    seed = std::strtoull(env, nullptr, 0);
   }
-  return fallback;
+  bench_master_seed() = seed;
+  return seed;
 }
 
 /// Process-global ordered registry of series being built by the bench.
@@ -50,6 +67,34 @@ inline void record_point(const std::string& name, const std::string& x_label,
     it = registry.emplace(name, ScalingSeries(name, x_label)).first;
   }
   it->second.add(std::move(point));
+}
+
+/// Process-global phase profile: attach to an engine via
+/// set_phase_profile(&bench_phase_profile()) and the per-phase timing
+/// breakdown lands in the bench JSON's "phases" section automatically.
+inline obs::PhaseProfile& bench_phase_profile() {
+  static obs::PhaseProfile profile;
+  return profile;
+}
+
+/// Process-global metric registry, serialized into the bench JSON's
+/// "metrics" section when non-empty (pass &bench_metrics() as
+/// TrialSpec::metrics / LeaderExperiment::metrics to get per-trial wall
+/// times).
+inline obs::MetricRegistry& bench_metrics() {
+  static obs::MetricRegistry registry;
+  return registry;
+}
+
+/// Bench-specific JSON payload, keyed section name -> value; lands under
+/// "extra" in the bench JSON (replaces the bespoke per-bench JSON blocks).
+inline std::map<std::string, obs::JsonValue>& extra_sections() {
+  static std::map<std::string, obs::JsonValue> sections;
+  return sections;
+}
+
+inline void set_extra_section(const std::string& key, obs::JsonValue value) {
+  extra_sections().insert_or_assign(key, std::move(value));
 }
 
 /// Sets the standard counters on a benchmark state.
@@ -73,17 +118,78 @@ inline std::size_t trial_threads() {
   return hw < 2 ? 1 : hw;
 }
 
+/// Removes the shared --out=PATH flag from argv (google-benchmark rejects
+/// flags it does not know) and returns its value, or "" when absent.
+inline std::string consume_out_flag(int* argc, char** argv) {
+  std::string path;
+  int w = 0;
+  for (int r = 0; r < *argc; ++r) {
+    if (std::strncmp(argv[r], "--out=", 6) == 0) {
+      path = argv[r] + 6;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  return path;
+}
+
+/// "bench_engine_throughput" (path stripped) from argv[0].
+inline std::string tool_name_from(const char* argv0) {
+  std::string name = argv0 == nullptr ? "" : argv0;
+  const std::size_t slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name.empty() ? "bench" : name;
+}
+
+/// Assembles the unified bench report and writes it to `out_path` (falling
+/// back to $MTM_BENCH_JSON when the flag was absent). Quiet no-op when
+/// neither names a path. Returns the process exit code.
+inline int finalize_report(const char* argv0, std::string out_path) {
+  if (out_path.empty()) {
+    if (const char* env = std::getenv("MTM_BENCH_JSON")) out_path = env;
+  }
+  if (out_path.empty()) return 0;
+
+  const std::string tool = tool_name_from(argv0);
+  obs::BenchReport report;
+  report.name =
+      tool.rfind("bench_", 0) == 0 ? tool.substr(6) : tool;
+  report.manifest =
+      obs::make_run_manifest(tool, bench_master_seed(), trial_threads());
+  for (auto& [name, series] : series_registry()) {
+    report.series.push_back(&series);
+  }
+  report.phases = &bench_phase_profile();
+  if (!bench_metrics().empty()) report.metrics = &bench_metrics();
+  obs::JsonValue extra = obs::JsonValue::object();
+  for (auto& [key, value] : extra_sections()) extra.set(key, value);
+  report.extra = std::move(extra);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << report.to_json().dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
 }  // namespace mtm::bench
 
-/// Standard bench main: google-benchmark run, then series tables.
-#define MTM_BENCH_MAIN()                                        \
-  int main(int argc, char** argv) {                             \
-    ::benchmark::Initialize(&argc, argv);                       \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
-      return 1;                                                 \
-    }                                                           \
-    ::benchmark::RunSpecifiedBenchmarks();                      \
-    ::benchmark::Shutdown();                                    \
-    ::mtm::bench::report_all_series();                          \
-    return 0;                                                   \
+/// Standard bench main: google-benchmark run, then series tables, then the
+/// unified JSON artifact under --out=PATH / $MTM_BENCH_JSON.
+#define MTM_BENCH_MAIN()                                                 \
+  int main(int argc, char** argv) {                                      \
+    const std::string mtm_bench_out =                                    \
+        ::mtm::bench::consume_out_flag(&argc, argv);                     \
+    ::benchmark::Initialize(&argc, argv);                                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {          \
+      return 1;                                                          \
+    }                                                                    \
+    ::benchmark::RunSpecifiedBenchmarks();                               \
+    ::benchmark::Shutdown();                                             \
+    ::mtm::bench::report_all_series();                                   \
+    return ::mtm::bench::finalize_report(argv[0], mtm_bench_out);        \
   }

@@ -5,7 +5,11 @@
 //
 // These are genuine wall-clock benchmarks (multiple timed iterations), in
 // contrast to the Iterations(1) measurement harnesses of E1–E8.
-#include <benchmark/benchmark.h>
+//
+// With --out=BENCH_engine_throughput.json the binary also emits the unified
+// bench JSON (obs/bench_report.hpp) including the per-phase timing
+// breakdown collected by BM_EnginePhaseBreakdown (E17).
+#include "bench_common.hpp"
 
 #include "graph/generators.hpp"
 #include "harness/experiment.hpp"
@@ -15,6 +19,8 @@
 
 namespace mtm {
 namespace {
+
+const std::uint64_t kSeed = bench::bench_seed(0xe17);
 
 void BM_EngineRoundsBlindGossipClique(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
@@ -103,7 +109,8 @@ BENCHMARK(BM_DynamicTopologyOverhead)
     ->Unit(benchmark::kMillisecond);
 
 void BM_MonteCarloThreadScaling(benchmark::State& state) {
-  // Trial-level parallel speedup of the experiment harness.
+  // Trial-level parallel speedup of the experiment harness. Per-trial wall
+  // times land in the "trial_wall_ms" histogram of the bench JSON.
   const auto threads = static_cast<std::size_t>(state.range(0));
   const NodeId n = 64;
   for (auto _ : state) {
@@ -111,10 +118,11 @@ void BM_MonteCarloThreadScaling(benchmark::State& state) {
     spec.algo = LeaderAlgo::kBlindGossip;
     spec.node_count = n;
     spec.topology = static_topology(make_clique(n));
-    spec.max_rounds = 1u << 20;
-    spec.trials = 32;
-    spec.seed = 4;
-    spec.threads = threads;
+    spec.controls.max_rounds = 1u << 20;
+    spec.controls.trials = 32;
+    spec.controls.seed = 4;
+    spec.controls.threads = threads;
+    spec.metrics = &bench::bench_metrics();
     benchmark::DoNotOptimize(measure_leader(spec).mean);
   }
   state.counters["threads"] = static_cast<double>(threads);
@@ -126,7 +134,40 @@ BENCHMARK(BM_MonteCarloThreadScaling)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+void BM_EnginePhaseBreakdown(benchmark::State& state) {
+  // E17 — where does a round go? Runs blind gossip on a random-regular
+  // graph with the phase profile attached; per-phase totals and fractions
+  // land in the "phases" section of the bench JSON, and the zero-
+  // perturbation contract (engine.hpp) guarantees the attachment changes
+  // no simulated result.
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Round rounds_per_iter = 256;
+  Rng rng(derive_seed(kSeed, {0xb4ea3dULL}));
+  StaticGraphProvider topo(make_random_regular(n, 8, rng));
+  obs::PhaseProfile& profile = bench::bench_phase_profile();
+  for (auto _ : state) {
+    state.PauseTiming();
+    BlindGossip proto(BlindGossip::shuffled_uids(n, kSeed));
+    EngineConfig cfg;
+    cfg.seed = kSeed;
+    Engine engine(topo, proto, cfg);
+    engine.set_phase_profile(&profile);
+    state.ResumeTiming();
+    engine.run_rounds(rounds_per_iter);
+    benchmark::DoNotOptimize(engine.telemetry().connections());
+  }
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    const auto phase = static_cast<obs::Phase>(i);
+    state.counters[std::string("frac_") + obs::phase_name(phase)] =
+        profile.fraction(phase);
+  }
+}
+BENCHMARK(BM_EnginePhaseBreakdown)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace mtm
 
-BENCHMARK_MAIN();
+MTM_BENCH_MAIN();

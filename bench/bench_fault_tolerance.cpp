@@ -17,14 +17,11 @@
 //   min-holder degenerates after stabilization (every node "holds" the
 //   minimum, so the smallest-id holder it kills is usually a follower).
 //
-// Output: the standard benchmark counters, plus one JSON document on stdout
-// (between BEGIN/END markers, also written to $MTM_BENCH_JSON when set)
-// with both sweeps — the machine-readable artifact EXPERIMENTS.md records.
+// Output: the standard benchmark counters, plus both sweeps as "extra"
+// sections of the unified bench JSON (--out=PATH or $MTM_BENCH_JSON) — the
+// machine-readable artifact EXPERIMENTS.md records.
 #include "bench_common.hpp"
 
-#include <fstream>
-#include <iostream>
-#include <sstream>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -78,14 +75,14 @@ void BM_ChurnVsStabilization(benchmark::State& state) {
     spec.epoch_timeout = kEpochTimeout;
     spec.node_count = kN;
     spec.topology = static_topology(make_clique(kN));
-    spec.max_rounds = kMaxRounds;
-    spec.trials = kTrials;
-    spec.seed = derive_seed(
+    spec.controls.max_rounds = kMaxRounds;
+    spec.controls.trials = kTrials;
+    spec.controls.seed = derive_seed(
         kSeed, {0xc417u, static_cast<std::uint64_t>(state.range(0))});
-    spec.threads = bench::trial_threads();
-    spec.faults.crash_prob = crash_prob;
-    spec.faults.recovery_prob = crash_prob > 0.0 ? row.recovery_prob : 0.0;
-    spec.faults.min_alive = kN / 2;  // keep a quorum alive at any churn rate
+    spec.controls.threads = bench::trial_threads();
+    spec.controls.faults.crash_prob = crash_prob;
+    spec.controls.faults.recovery_prob = crash_prob > 0.0 ? row.recovery_prob : 0.0;
+    spec.controls.faults.min_alive = kN / 2;  // keep a quorum alive at any churn rate
     row.convergence = summarize_convergence(run_leader_experiment(spec));
   }
   const Summary s = summarize(row.convergence.rounds.empty()
@@ -162,68 +159,57 @@ BENCHMARK(BM_RestabilizationAfterKill)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-std::string sweep_json() {
-  std::ostringstream out;
-  out << "{\n"
-      << "  \"bench\": \"fault_tolerance\",\n"
-      << "  \"topology\": \"clique\",\n"
-      << "  \"n\": " << kN << ",\n"
-      << "  \"epoch_timeout\": " << kEpochTimeout << ",\n"
-      << "  \"trials\": " << kTrials << ",\n"
-      << "  \"seed\": " << kSeed << ",\n"
-      << "  \"churn_sweep\": [\n";
-  for (std::size_t i = 0; i < churn_rows().size(); ++i) {
-    const ChurnRow& row = churn_rows()[i];
+/// Registers both sweeps as "extra" sections of the unified bench JSON
+/// (replaces the old bespoke stdout JSON block).
+void register_extra_sections() {
+  using obs::JsonValue;
+  JsonValue setup = JsonValue::object();
+  setup.set("topology", JsonValue::string("clique"));
+  setup.set("n", JsonValue::unsigned_number(kN));
+  setup.set("epoch_timeout", JsonValue::unsigned_number(kEpochTimeout));
+  setup.set("trials", JsonValue::unsigned_number(kTrials));
+  setup.set("kill_round", JsonValue::unsigned_number(kKillRound));
+  bench::set_extra_section("setup", std::move(setup));
+
+  JsonValue churn = JsonValue::array();
+  for (const ChurnRow& row : churn_rows()) {
     const Summary s = summarize(row.convergence.rounds.empty()
                                     ? std::vector<double>{0.0}
                                     : row.convergence.rounds);
-    out << "    {\"crash_prob\": " << row.crash_prob
-        << ", \"recovery_prob\": " << row.recovery_prob
-        << ", \"converged\": " << row.convergence.converged
-        << ", \"censored\": " << row.convergence.censored
-        << ", \"rounds_mean\": " << s.mean << ", \"rounds_p95\": " << s.p95
-        << "}" << (i + 1 < churn_rows().size() ? "," : "") << "\n";
+    JsonValue entry = JsonValue::object();
+    entry.set("crash_prob", JsonValue::number(row.crash_prob));
+    entry.set("recovery_prob", JsonValue::number(row.recovery_prob));
+    entry.set("converged", JsonValue::unsigned_number(row.convergence.converged));
+    entry.set("censored", JsonValue::unsigned_number(row.convergence.censored));
+    entry.set("rounds_mean", JsonValue::number(s.mean));
+    entry.set("rounds_p95", JsonValue::number(s.p95));
+    churn.push_back(std::move(entry));
   }
-  out << "  ],\n"
-      << "  \"kill_round\": " << kKillRound << ",\n"
-      << "  \"restabilization_sweep\": [\n";
-  for (std::size_t i = 0; i < restab_rows().size(); ++i) {
-    const RestabRow& row = restab_rows()[i];
-    out << "    {\"oracle\": \"" << row.oracle
-        << "\", \"reelected\": " << row.reelected
-        << ", \"trials\": " << row.trials
-        << ", \"restab_mean\": " << row.restab.mean
-        << ", \"restab_p95\": " << row.restab.p95 << "}"
-        << (i + 1 < restab_rows().size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  return out.str();
-}
+  bench::set_extra_section("churn_sweep", std::move(churn));
 
-void report_json() {
-  const std::string json = sweep_json();
-  std::cout << "=== BEGIN fault_tolerance JSON ===\n"
-            << json << "=== END fault_tolerance JSON ===\n";
-  if (const char* path = std::getenv("MTM_BENCH_JSON")) {
-    std::ofstream out(path);
-    if (out) {
-      out << json;
-      std::cout << "wrote " << path << "\n";
-    } else {
-      std::cerr << "cannot write " << path << "\n";
-    }
+  JsonValue restab = JsonValue::array();
+  for (const RestabRow& row : restab_rows()) {
+    JsonValue entry = JsonValue::object();
+    entry.set("oracle", JsonValue::string(row.oracle));
+    entry.set("reelected", JsonValue::unsigned_number(row.reelected));
+    entry.set("trials", JsonValue::unsigned_number(row.trials));
+    entry.set("restab_mean", JsonValue::number(row.restab.mean));
+    entry.set("restab_p95", JsonValue::number(row.restab.p95));
+    restab.push_back(std::move(entry));
   }
+  bench::set_extra_section("restabilization_sweep", std::move(restab));
 }
 
 }  // namespace
 }  // namespace mtm
 
 int main(int argc, char** argv) {
+  const std::string out = ::mtm::bench::consume_out_flag(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   ::mtm::bench::report_all_series();
-  ::mtm::report_json();
-  return 0;
+  ::mtm::register_extra_sections();
+  return ::mtm::bench::finalize_report(argv[0], out);
 }

@@ -40,10 +40,10 @@ Summary measure(LeaderAlgo algo, Round tau, std::uint64_t seed) {
   spec.network_size_bound = base.node_count();
   spec.topology = tau == kStaticSentinel ? static_topology(base)
                                          : relabeling_topology(base, tau);
-  spec.max_rounds = Round{1} << 25;
-  spec.trials = kTrials;
-  spec.seed = seed;
-  spec.threads = bench::trial_threads();
+  spec.controls.max_rounds = Round{1} << 25;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = seed;
+  spec.controls.threads = bench::trial_threads();
   return measure_leader(spec);
 }
 
@@ -112,10 +112,10 @@ Summary measure_on(LeaderAlgo algo, const Graph& g, std::uint64_t seed) {
   spec.max_degree_bound = g.max_degree();
   spec.network_size_bound = g.node_count();
   spec.topology = static_topology(g);
-  spec.max_rounds = Round{1} << 26;
-  spec.trials = kTrials;
-  spec.seed = seed;
-  spec.threads = bench::trial_threads();
+  spec.controls.max_rounds = Round{1} << 26;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = seed;
+  spec.controls.threads = bench::trial_threads();
   return measure_leader(spec);
 }
 

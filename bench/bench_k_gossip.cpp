@@ -24,17 +24,17 @@ const std::uint64_t kSeed = bench::bench_seed(0xf16e);
 
 Summary measure_k(const Graph& g, std::uint64_t seed) {
   TrialSpec spec;
-  spec.trials = kTrials;
-  spec.seed = seed;
-  spec.threads = bench::trial_threads();
-  spec.max_rounds = Round{1} << 26;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = seed;
+  spec.controls.threads = bench::trial_threads();
+  spec.controls.max_rounds = Round{1} << 26;
   const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
     StaticGraphProvider topo(g);
     KGossip proto;
     EngineConfig cfg;
     cfg.seed = trial_seed;
     Engine engine(topo, proto, cfg);
-    return run_until_stabilized(engine, spec.max_rounds);
+    return run_until_stabilized(engine, spec.controls.max_rounds);
   });
   return summarize(rounds_of(results));
 }
@@ -49,10 +49,10 @@ void BM_KGossipScaling(benchmark::State& state) {
     one.algo = RumorAlgo::kPushPull;
     one.node_count = n;
     one.topology = static_topology(g);
-    one.max_rounds = Round{1} << 24;
-    one.trials = kTrials;
-    one.seed = kSeed + 1000 + n;
-    one.threads = bench::trial_threads();
+    one.controls.max_rounds = Round{1} << 24;
+    one.controls.trials = kTrials;
+    one.controls.seed = kSeed + 1000 + n;
+    one.controls.threads = bench::trial_threads();
     single = measure_rumor(one);
   }
   state.counters["single_rumor_rounds"] = single.mean;

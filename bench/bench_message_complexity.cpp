@@ -44,11 +44,11 @@ void BM_MessageComplexity(benchmark::State& state) {
   spec.max_degree_bound = tc.graph.max_degree();
   spec.network_size_bound = tc.graph.node_count();
   spec.topology = static_topology(tc.graph);
-  spec.max_rounds = Round{1} << 26;
-  spec.trials = kTrials;
-  spec.seed = kSeed + static_cast<std::uint64_t>(state.range(0) * 10 +
+  spec.controls.max_rounds = Round{1} << 26;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = kSeed + static_cast<std::uint64_t>(state.range(0) * 10 +
                                                  state.range(1));
-  spec.threads = bench::trial_threads();
+  spec.controls.threads = bench::trial_threads();
 
   double rounds = 0, connections = 0, proposals = 0;
   for (auto _ : state) {

@@ -42,17 +42,17 @@ Summary measure(NodeId stars, std::uint64_t seed) {
   const Graph g = make_star_line(stars, stars);
   const NodeId n = g.node_count();
   TrialSpec spec;
-  spec.trials = kTrials;
-  spec.seed = seed;
-  spec.threads = bench::trial_threads();
-  spec.max_rounds = Round{1} << 26;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = seed;
+  spec.controls.threads = bench::trial_threads();
+  spec.controls.max_rounds = Round{1} << 26;
   const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
     StaticGraphProvider topo(g);
     BlindGossip proto(adversarial_uids(n, trial_seed));
     EngineConfig cfg;
     cfg.seed = trial_seed;
     Engine engine(topo, proto, cfg);
-    return run_until_stabilized(engine, spec.max_rounds);
+    return run_until_stabilized(engine, spec.controls.max_rounds);
   });
   return summarize(rounds_of(results));
 }

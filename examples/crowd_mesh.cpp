@@ -46,10 +46,10 @@ int main(int argc, char** argv) try {
         cfg.seed = seed;
         return std::make_unique<MobilityGraphProvider>(cfg);
       };
-      spec.max_rounds = Round{1} << 24;
-      spec.trials = trials;
-      spec.seed = 0xc201d;
-      spec.threads = ThreadPool::default_thread_count();
+      spec.controls.max_rounds = Round{1} << 24;
+      spec.controls.trials = trials;
+      spec.controls.seed = 0xc201d;
+      spec.controls.threads = ThreadPool::default_thread_count();
       const Summary s = measure_leader(spec);
       table.row()
           .cell(speed, 2)

@@ -60,10 +60,10 @@ int main(int argc, char** argv) try {
     spec.max_degree_bound = delta;
     spec.network_size_bound = n;
     spec.topology = static_topology(g);
-    spec.max_rounds = Round{1} << 26;
-    spec.trials = trials;
-    spec.seed = 0xd15a;
-    spec.threads = ThreadPool::default_thread_count();
+    spec.controls.max_rounds = Round{1} << 26;
+    spec.controls.trials = trials;
+    spec.controls.seed = 0xd15a;
+    spec.controls.threads = ThreadPool::default_thread_count();
     const auto results = run_leader_experiment(spec);
     const Summary s = summarize(rounds_of(results));
     double mean_connections = 0;

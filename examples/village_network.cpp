@@ -65,10 +65,10 @@ int run(const CliArgs& args) {
       spec.max_degree_bound = sc.graph.max_degree();
       spec.network_size_bound = n;
       spec.topology = static_topology(sc.graph);
-      spec.max_rounds = Round{1} << 26;
-      spec.trials = trials;
-      spec.seed = seed + 2;
-      spec.threads = ThreadPool::default_thread_count();
+      spec.controls.max_rounds = Round{1} << 26;
+      spec.controls.trials = trials;
+      spec.controls.seed = seed + 2;
+      spec.controls.threads = ThreadPool::default_thread_count();
       const Summary s = measure_leader(spec);
       table.row()
           .cell(sc.label)

@@ -122,13 +122,11 @@ LeaderProtocolBundle make_leader_protocol(const LeaderExperiment& spec,
 std::vector<RunResult> run_leader_experiment(const LeaderExperiment& spec) {
   MTM_REQUIRE(spec.topology != nullptr);
   MTM_REQUIRE(spec.node_count >= 1);
-  MTM_REQUIRE(spec.max_rounds >= 1);
+  MTM_REQUIRE(spec.controls.max_rounds >= 1);
 
   TrialSpec trial_spec;
-  trial_spec.trials = spec.trials;
-  trial_spec.seed = spec.seed;
-  trial_spec.threads = spec.threads;
-  trial_spec.max_rounds = spec.max_rounds;
+  trial_spec.controls = spec.controls;
+  trial_spec.metrics = spec.metrics;
 
   return run_trials(trial_spec, [&spec](std::uint64_t trial_seed) {
     auto topology = spec.topology(trial_seed);
@@ -139,24 +137,23 @@ std::vector<RunResult> run_leader_experiment(const LeaderExperiment& spec) {
     cfg.classical_mode = bundle.classical;
     cfg.seed = trial_seed;
     cfg.activation_rounds = spec.activation_rounds;
-    cfg.connection_failure_prob = spec.connection_failure_prob;
-    if (spec.faults.enabled()) cfg.faults = trial_faults(spec.faults, trial_seed);
+    cfg.connection_failure_prob = spec.controls.connection_failure_prob;
+    if (spec.controls.faults.enabled())
+      cfg.faults = trial_faults(spec.controls.faults, trial_seed);
     Engine engine(*topology, *bundle.protocol, cfg);
-    return run_until_stabilized(engine, spec.max_rounds);
+    return run_until_stabilized(engine, spec.controls.max_rounds);
   });
 }
 
 std::vector<RunResult> run_rumor_experiment(const RumorExperiment& spec) {
   MTM_REQUIRE(spec.topology != nullptr);
   MTM_REQUIRE(spec.node_count >= 1);
-  MTM_REQUIRE(spec.max_rounds >= 1);
+  MTM_REQUIRE(spec.controls.max_rounds >= 1);
   MTM_REQUIRE(!spec.sources.empty());
 
   TrialSpec trial_spec;
-  trial_spec.trials = spec.trials;
-  trial_spec.seed = spec.seed;
-  trial_spec.threads = spec.threads;
-  trial_spec.max_rounds = spec.max_rounds;
+  trial_spec.controls = spec.controls;
+  trial_spec.metrics = spec.metrics;
 
   return run_trials(trial_spec, [&spec](std::uint64_t trial_seed) {
     auto topology = spec.topology(trial_seed);
@@ -185,10 +182,11 @@ std::vector<RunResult> run_rumor_experiment(const RumorExperiment& spec) {
     cfg.tag_bits = tag_bits;
     cfg.classical_mode = classical;
     cfg.seed = trial_seed;
-    cfg.connection_failure_prob = spec.connection_failure_prob;
-    if (spec.faults.enabled()) cfg.faults = trial_faults(spec.faults, trial_seed);
+    cfg.connection_failure_prob = spec.controls.connection_failure_prob;
+    if (spec.controls.faults.enabled())
+      cfg.faults = trial_faults(spec.controls.faults, trial_seed);
     Engine engine(*topology, *protocol, cfg);
-    return run_until_stabilized(engine, spec.max_rounds);
+    return run_until_stabilized(engine, spec.controls.max_rounds);
   });
 }
 

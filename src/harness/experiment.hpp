@@ -49,19 +49,15 @@ struct LeaderExperiment {
   /// Activation rounds; empty = synchronized starts. Ignored activations are
   /// a contract violation for kBitConvergence (it assumes sync starts).
   std::vector<Round> activation_rounds;
-  Round max_rounds = 0;              ///< required; trials failing it throw in rounds_of()
-  std::size_t trials = 32;
-  std::uint64_t seed = 1;
-  std::size_t threads = 1;
-  /// Failure injection passthrough (see EngineConfig).
-  double connection_failure_prob = 0.0;
-  /// Fault plan passthrough (see sim/faults.hpp). The per-trial plan seed is
-  /// derived from the trial seed, so trials stay independent. With churn or
-  /// crash oracles enabled, trials may legitimately censor — aggregate with
-  /// summarize_convergence(), not rounds_of().
-  FaultPlanConfig faults;
+  /// Shared trial-control knobs (max_rounds, trials, seed, threads,
+  /// connection_failure_prob, faults) — see sim/runner.hpp. max_rounds is
+  /// required; trials failing it throw in rounds_of() unless the fault plan
+  /// legitimately censors (then use summarize_convergence()).
+  TrialControls controls;
   /// Epoch timeout for kStableLeader (ignored by the other algorithms).
   Round epoch_timeout = 24;
+  /// Optional per-trial wall-time metrics (see TrialSpec::metrics).
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Runs the experiment; element t is trial t's result.
@@ -72,14 +68,10 @@ struct RumorExperiment {
   TopologyFactory topology;
   NodeId node_count = 0;
   std::vector<NodeId> sources = {0};
-  Round max_rounds = 0;
-  std::size_t trials = 32;
-  std::uint64_t seed = 1;
-  std::size_t threads = 1;
-  /// Failure injection passthrough (see EngineConfig).
-  double connection_failure_prob = 0.0;
-  /// Fault plan passthrough (see LeaderExperiment::faults).
-  FaultPlanConfig faults;
+  /// Shared trial-control knobs — see LeaderExperiment::controls.
+  TrialControls controls;
+  /// Optional per-trial wall-time metrics (see TrialSpec::metrics).
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 std::vector<RunResult> run_rumor_experiment(const RumorExperiment& spec);

@@ -1,0 +1,260 @@
+#include "obs/bench_report.hpp"
+
+#include <set>
+
+namespace mtm::obs {
+
+JsonValue series_json(const ScalingSeries& series) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", JsonValue::string(series.name()));
+  JsonValue points = JsonValue::array();
+  for (const SeriesPoint& p : series.points()) {
+    JsonValue point = JsonValue::object();
+    point.set("x", JsonValue::number(p.x));
+    point.set("count", JsonValue::unsigned_number(p.measured.count));
+    point.set("mean", JsonValue::number(p.measured.mean));
+    point.set("stddev", JsonValue::number(p.measured.stddev));
+    point.set("min", JsonValue::number(p.measured.min));
+    point.set("p25", JsonValue::number(p.measured.p25));
+    point.set("median", JsonValue::number(p.measured.median));
+    point.set("p75", JsonValue::number(p.measured.p75));
+    point.set("p95", JsonValue::number(p.measured.p95));
+    point.set("max", JsonValue::number(p.measured.max));
+    point.set("predicted", JsonValue::number(p.predicted));
+    if (!p.label.empty()) point.set("label", JsonValue::string(p.label));
+    points.push_back(std::move(point));
+  }
+  doc.set("points", std::move(points));
+  return doc;
+}
+
+JsonValue BenchReport::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue::string(kBenchJsonSchemaVersion));
+  doc.set("name", JsonValue::string(name));
+  doc.set("manifest", manifest.to_json());
+  JsonValue series_array = JsonValue::array();
+  for (const ScalingSeries* s : series) {
+    if (s != nullptr && !s->empty()) series_array.push_back(series_json(*s));
+  }
+  doc.set("series", std::move(series_array));
+  if (phases != nullptr && phases->total() > 0) {
+    doc.set("phases", phases->to_json());
+  }
+  if (metrics != nullptr) doc.set("metrics", metrics->snapshot());
+  if (extra.is_object() && !extra.members().empty()) doc.set("extra", extra);
+  return doc;
+}
+
+namespace {
+
+class Validator {
+ public:
+  std::vector<std::string> run(const JsonValue& doc) {
+    if (!doc.is_object()) {
+      error("document", "must be a JSON object");
+      return errors_;
+    }
+    check_string_equals(doc, "schema", kBenchJsonSchemaVersion);
+    check_nonempty_string(doc, "name");
+    if (const JsonValue* manifest = require(doc, "manifest")) {
+      check_manifest(*manifest);
+    }
+    if (const JsonValue* series = require(doc, "series")) {
+      check_series(*series);
+    }
+    if (const JsonValue* phases = doc.find("phases")) check_phases(*phases);
+    if (const JsonValue* metrics = doc.find("metrics")) {
+      if (!metrics->is_object()) error("metrics", "must be an object");
+    }
+    if (const JsonValue* extra = doc.find("extra")) {
+      if (!extra->is_object()) error("extra", "must be an object");
+    }
+    return errors_;
+  }
+
+ private:
+  void error(const std::string& where, const std::string& what) {
+    errors_.push_back(where + ": " + what);
+  }
+
+  const JsonValue* require(const JsonValue& doc, const std::string& key) {
+    const JsonValue* v = doc.find(key);
+    if (v == nullptr) error(key, "missing required key");
+    return v;
+  }
+
+  void check_string_equals(const JsonValue& doc, const std::string& key,
+                           const std::string& expected) {
+    const JsonValue* v = require(doc, key);
+    if (v == nullptr) return;
+    if (!v->is_string()) {
+      error(key, "must be a string");
+    } else if (v->as_string() != expected) {
+      error(key, "expected \"" + expected + "\", got \"" + v->as_string() + "\"");
+    }
+  }
+
+  void check_nonempty_string(const JsonValue& doc, const std::string& key) {
+    const JsonValue* v = require(doc, key);
+    if (v == nullptr) return;
+    if (!v->is_string() || v->as_string().empty()) {
+      error(key, "must be a non-empty string");
+    }
+  }
+
+  void check_unsigned(const JsonValue& doc, const std::string& key,
+                      const std::string& where) {
+    const JsonValue* v = doc.find(key);
+    if (v == nullptr) {
+      error(where + "." + key, "missing required key");
+      return;
+    }
+    if (v->kind() != JsonValue::Kind::kUnsigned) {
+      error(where + "." + key, "must be an unsigned integer");
+    }
+  }
+
+  void check_numeric(const JsonValue& doc, const std::string& key,
+                     const std::string& where) {
+    const JsonValue* v = doc.find(key);
+    if (v == nullptr) {
+      error(where + "." + key, "missing required key");
+      return;
+    }
+    // Serialized NaN/Inf degrade to null; a schema-valid report has none.
+    if (!v->is_numeric()) error(where + "." + key, "must be a number");
+  }
+
+  void check_manifest(const JsonValue& manifest) {
+    if (!manifest.is_object()) {
+      error("manifest", "must be an object");
+      return;
+    }
+    const JsonValue* schema = manifest.find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->as_string() != kManifestSchemaVersion) {
+      error("manifest.schema",
+            std::string("must equal \"") + kManifestSchemaVersion + "\"");
+    }
+    check_nonempty_string_at(manifest, "tool", "manifest");
+    check_unsigned(manifest, "seed", "manifest");
+    check_unsigned(manifest, "threads", "manifest");
+    check_nonempty_string_at(manifest, "build", "manifest");
+    check_nonempty_string_at(manifest, "compiler", "manifest");
+    const JsonValue* config = manifest.find("config");
+    if (config == nullptr || !config->is_object()) {
+      error("manifest.config", "must be an object");
+    }
+  }
+
+  void check_nonempty_string_at(const JsonValue& doc, const std::string& key,
+                                const std::string& where) {
+    const JsonValue* v = doc.find(key);
+    if (v == nullptr) {
+      error(where + "." + key, "missing required key");
+      return;
+    }
+    if (!v->is_string() || v->as_string().empty()) {
+      error(where + "." + key, "must be a non-empty string");
+    }
+  }
+
+  void check_series(const JsonValue& series) {
+    if (!series.is_array()) {
+      error("series", "must be an array");
+      return;
+    }
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const std::string where = "series[" + std::to_string(i) + "]";
+      const JsonValue& s = series.at(i);
+      if (!s.is_object()) {
+        error(where, "must be an object");
+        continue;
+      }
+      check_nonempty_string_at(s, "name", where);
+      const JsonValue* points = s.find("points");
+      if (points == nullptr || !points->is_array()) {
+        error(where + ".points", "must be an array");
+        continue;
+      }
+      for (std::size_t j = 0; j < points->size(); ++j) {
+        const JsonValue& p = points->at(j);
+        const std::string pwhere = where + ".points[" + std::to_string(j) + "]";
+        if (!p.is_object()) {
+          error(pwhere, "must be an object");
+          continue;
+        }
+        for (const char* key : {"x", "mean", "stddev", "min", "median", "p95",
+                                "max", "predicted"}) {
+          check_numeric(p, key, pwhere);
+        }
+        check_unsigned(p, "count", pwhere);
+      }
+    }
+  }
+
+  void check_phases(const JsonValue& phases) {
+    if (!phases.is_object()) {
+      error("phases", "must be an object");
+      return;
+    }
+    const JsonValue* unit = phases.find("unit");
+    if (unit == nullptr || !unit->is_string() || unit->as_string() != "ns") {
+      error("phases.unit", "must equal \"ns\"");
+    }
+    check_unsigned(phases, "rounds", "phases");
+    check_unsigned(phases, "total_ns", "phases");
+    const JsonValue* per_phase = phases.find("per_phase");
+    if (per_phase == nullptr || !per_phase->is_array()) {
+      error("phases.per_phase", "must be an array");
+      return;
+    }
+    std::set<std::string> known;
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      known.insert(phase_name(static_cast<Phase>(i)));
+    }
+    if (per_phase->size() != kPhaseCount) {
+      error("phases.per_phase",
+            "must have exactly " + std::to_string(kPhaseCount) + " entries");
+    }
+    for (std::size_t i = 0; i < per_phase->size(); ++i) {
+      const JsonValue& entry = per_phase->at(i);
+      const std::string where = "phases.per_phase[" + std::to_string(i) + "]";
+      if (!entry.is_object()) {
+        error(where, "must be an object");
+        continue;
+      }
+      const JsonValue* phase = entry.find("phase");
+      if (phase == nullptr || !phase->is_string() ||
+          known.find(phase->as_string()) == known.end()) {
+        error(where + ".phase", "must name a known engine phase");
+      }
+      check_unsigned(entry, "total_ns", where);
+      check_unsigned(entry, "calls", where);
+      const JsonValue* fraction = entry.find("fraction");
+      if (fraction == nullptr || !fraction->is_numeric() ||
+          fraction->as_double() < 0.0 || fraction->as_double() > 1.0) {
+        error(where + ".fraction", "must be a number in [0, 1]");
+      }
+    }
+  }
+
+  std::vector<std::string> errors_;
+};
+
+}  // namespace
+
+std::vector<std::string> validate_bench_report(const JsonValue& doc) {
+  return Validator().run(doc);
+}
+
+std::vector<std::string> validate_bench_report_text(const std::string& text) {
+  try {
+    return validate_bench_report(parse_json(text));
+  } catch (const std::exception& e) {
+    return {std::string("parse: ") + e.what()};
+  }
+}
+
+}  // namespace mtm::obs

@@ -1,0 +1,60 @@
+// Unified bench-output JSON: one schema for every BENCH_<name>.json.
+//
+// Every bench binary historically printed ASCII tables (plus one bespoke
+// JSON block in bench_fault_tolerance); nothing machine-readable tracked
+// the perf trajectory across PRs. BenchReport fixes the format once:
+//
+//   {
+//     "schema":   "mtm-bench/1",
+//     "name":     "engine_throughput",
+//     "manifest": { ...RunManifest... },
+//     "series":   [ {name, x_label, points: [...]}, ... ],
+//     "phases":   { ...PhaseProfile... },        // optional
+//     "metrics":  { ...MetricRegistry... },      // optional
+//     "extra":    { bench-specific sections }    // optional
+//   }
+//
+// bench_common.hpp assembles a report from the series registry and writes
+// it under the shared --out flag; validate_bench_report() is the schema
+// check used by the schema tests, the bench-smoke CI job, and the
+// mtm_bench_validate tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
+
+namespace mtm::obs {
+
+inline constexpr const char* kBenchJsonSchemaVersion = "mtm-bench/1";
+
+struct BenchReport {
+  std::string name;  ///< bench name without the "bench_" prefix
+  RunManifest manifest;
+  std::vector<const ScalingSeries*> series;  ///< non-owning
+  const PhaseProfile* phases = nullptr;      ///< optional, non-owning
+  const MetricRegistry* metrics = nullptr;   ///< optional, non-owning
+  /// Bench-specific payload (sweep rows etc.); omitted when empty.
+  JsonValue extra = JsonValue::object();
+
+  JsonValue to_json() const;
+};
+
+/// One series as JSON (shared with BenchReport::to_json).
+JsonValue series_json(const ScalingSeries& series);
+
+/// Structural schema validation of a parsed bench report. Returns every
+/// violation found (empty = valid). Unknown extra keys are allowed; the
+/// schema pins the keys that downstream consumers rely on.
+std::vector<std::string> validate_bench_report(const JsonValue& doc);
+
+/// Parses and validates a serialized report; parse errors come back as a
+/// single-element violation list.
+std::vector<std::string> validate_bench_report_text(const std::string& text);
+
+}  // namespace mtm::obs

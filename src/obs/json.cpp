@@ -1,0 +1,426 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mtm::obs {
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::unsigned_number(std::uint64_t u) {
+  JsonValue v;
+  v.kind_ = Kind::kUnsigned;
+  v.unsigned_ = u;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+namespace {
+
+[[noreturn]] void type_error(const char* expected) {
+  throw std::invalid_argument(std::string("JsonValue: expected ") + expected);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) type_error("bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ == Kind::kNumber) return number_;
+  if (kind_ == Kind::kUnsigned) return static_cast<double>(unsigned_);
+  type_error("number");
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (kind_ == Kind::kUnsigned) return unsigned_;
+  if (kind_ == Kind::kNumber && number_ >= 0.0 &&
+      number_ == std::floor(number_)) {
+    return static_cast<std::uint64_t>(number_);
+  }
+  type_error("unsigned integer");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) type_error("string");
+  return string_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  type_error("array or object");
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  if (kind_ != Kind::kArray) type_error("array");
+  if (i >= array_.size()) throw std::invalid_argument("JsonValue: index out of range");
+  return array_[i];
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) type_error("array");
+  array_.push_back(std::move(v));
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::kObject) type_error("object");
+  return object_;
+}
+
+void JsonValue::set(const std::string& key, JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) type_error("object");
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_number(std::ostringstream& out, double d) {
+  if (std::isnan(d) || std::isinf(d)) {
+    // JSON has no NaN/Inf literals; null keeps documents parseable and makes
+    // the hole visible instead of crashing report generation.
+    out << "null";
+    return;
+  }
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    out << static_cast<long long>(d);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out << buf;
+}
+
+void dump_value(const JsonValue& v, std::ostringstream& out, int indent,
+                int depth) {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+                 : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                 : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      out << "null";
+      break;
+    case JsonValue::Kind::kBool:
+      out << (v.as_bool() ? "true" : "false");
+      break;
+    case JsonValue::Kind::kNumber:
+      write_number(out, v.as_double());
+      break;
+    case JsonValue::Kind::kUnsigned:
+      out << v.as_u64();
+      break;
+    case JsonValue::Kind::kString:
+      out << '"' << json_escape(v.as_string()) << '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      if (v.size() == 0) {
+        out << "[]";
+        break;
+      }
+      out << '[' << nl;
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        out << pad;
+        dump_value(v.at(i), out, indent, depth + 1);
+        if (i + 1 < v.size()) out << ',';
+        out << nl;
+      }
+      out << close_pad << ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      const auto& members = v.members();
+      if (members.empty()) {
+        out << "{}";
+        break;
+      }
+      out << '{' << nl;
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        out << pad << '"' << json_escape(members[i].first) << '"' << colon;
+        dump_value(members[i].second, out, indent, depth + 1);
+        if (i + 1 < members.size()) out << ',';
+        out << nl;
+      }
+      out << close_pad << '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::string(lit).size();
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue::string(parse_string());
+    if (consume_literal("null")) return JsonValue::null();
+    if (consume_literal("true")) return JsonValue::boolean(true);
+    if (consume_literal("false")) return JsonValue::boolean(false);
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The observability layer only ever emits ASCII control escapes;
+          // encode BMP code points as UTF-8 and reject surrogates.
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escape unsupported");
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        integral = c == '-' || c == '+' ? integral : false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected value");
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      if (integral && token[0] != '-') {
+        return JsonValue::unsigned_number(std::stoull(token));
+      }
+      return JsonValue::number(std::stod(token));
+    } catch (const std::exception&) {
+      fail("malformed number '" + token + "'");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v = JsonValue::array();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.push_back(parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v = JsonValue::object();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      expect(':');
+      v.set(key, parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::dump(int indent) const {
+  std::ostringstream out;
+  dump_value(*this, out, indent, 0);
+  return out.str();
+}
+
+JsonValue parse_json(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace mtm::obs

@@ -1,0 +1,80 @@
+// Minimal JSON document model for the observability layer.
+//
+// The repo deliberately carries no third-party JSON dependency, but the
+// observability layer needs one concrete interchange format: trace sinks
+// write JSONL, benches emit schema-versioned BENCH_<name>.json artifacts,
+// and the validator tool / schema tests must read those artifacts back.
+// JsonValue is a small ordered document model with an exact-round-trip
+// unsigned-integer representation (seeds are full 64-bit values, which a
+// double would silently truncate past 2^53).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mtm::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kUnsigned, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double d);
+  static JsonValue unsigned_number(std::uint64_t u);
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  /// Numbers: kUnsigned is a subset of "numeric" preserved exactly.
+  bool is_numeric() const noexcept {
+    return kind_ == Kind::kNumber || kind_ == Kind::kUnsigned;
+  }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool() const;
+  double as_double() const;
+  std::uint64_t as_u64() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  std::size_t size() const;
+  const JsonValue& at(std::size_t i) const;
+  void push_back(JsonValue v);
+
+  /// Object access (insertion-ordered; set() replaces an existing key).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+  void set(const std::string& key, JsonValue v);
+  /// nullptr when missing (or when this is not an object).
+  const JsonValue* find(const std::string& key) const;
+
+  /// Serializes the document. indent == 0 emits one compact line (the JSONL
+  /// form); indent > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::uint64_t unsigned_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Escapes a string for embedding in a JSON document (adds no quotes).
+std::string json_escape(const std::string& text);
+
+/// Parses one JSON document; throws std::invalid_argument with a position
+/// on malformed input. Integers that fit std::uint64_t parse as kUnsigned.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace mtm::obs

@@ -1,0 +1,83 @@
+#include "obs/manifest.hpp"
+
+#include "sim/engine.hpp"
+
+namespace mtm::obs {
+
+JsonValue RunManifest::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue::string(kManifestSchemaVersion));
+  doc.set("tool", JsonValue::string(tool));
+  doc.set("seed", JsonValue::unsigned_number(seed));
+  doc.set("threads", JsonValue::unsigned_number(threads));
+  doc.set("build", JsonValue::string(build_type));
+  doc.set("compiler", JsonValue::string(compiler));
+  doc.set("config", config);
+  return doc;
+}
+
+RunManifest make_run_manifest(std::string tool, std::uint64_t seed,
+                              std::size_t threads) {
+  RunManifest manifest;
+  manifest.tool = std::move(tool);
+  manifest.seed = seed;
+  manifest.threads = threads;
+#ifdef NDEBUG
+  manifest.build_type = "Release";
+#else
+  manifest.build_type = "Debug";
+#endif
+#if defined(__clang__) || defined(__GNUC__)
+  manifest.compiler = __VERSION__;
+#else
+  manifest.compiler = "unknown";
+#endif
+  return manifest;
+}
+
+JsonValue fault_plan_config_json(const FaultPlanConfig& config) {
+  JsonValue doc = JsonValue::object();
+  doc.set("enabled", JsonValue::boolean(config.enabled()));
+  doc.set("crash_prob", JsonValue::number(config.crash_prob));
+  doc.set("recovery_prob", JsonValue::number(config.recovery_prob));
+  doc.set("min_alive", JsonValue::unsigned_number(config.min_alive));
+  JsonValue burst = JsonValue::object();
+  burst.set("good_to_bad", JsonValue::number(config.burst.good_to_bad));
+  burst.set("bad_to_good", JsonValue::number(config.burst.bad_to_good));
+  burst.set("loss_good", JsonValue::number(config.burst.loss_good));
+  burst.set("loss_bad", JsonValue::number(config.burst.loss_bad));
+  doc.set("burst", std::move(burst));
+  doc.set("edge_degradation", JsonValue::number(config.edge_degradation));
+  doc.set("targeting", JsonValue::string(to_string(config.targeting)));
+  doc.set("target_every", JsonValue::unsigned_number(config.target_every));
+  doc.set("target_start", JsonValue::unsigned_number(config.target_start));
+  doc.set("seed", JsonValue::unsigned_number(config.seed));
+  return doc;
+}
+
+JsonValue engine_config_json(const EngineConfig& config) {
+  JsonValue doc = JsonValue::object();
+  doc.set("tag_bits", JsonValue::unsigned_number(
+                          static_cast<std::uint64_t>(config.tag_bits)));
+  doc.set("classical_mode", JsonValue::boolean(config.classical_mode));
+  doc.set("seed", JsonValue::unsigned_number(config.seed));
+  doc.set("record_rounds", JsonValue::boolean(config.record_rounds));
+  doc.set("connection_failure_prob",
+          JsonValue::number(config.connection_failure_prob));
+  const char* acceptance = "?";
+  switch (config.acceptance) {
+    case AcceptancePolicy::kUniformRandom: acceptance = "uniform"; break;
+    case AcceptancePolicy::kSmallestId: acceptance = "smallest-id"; break;
+    case AcceptancePolicy::kLargestId: acceptance = "largest-id"; break;
+  }
+  doc.set("acceptance", JsonValue::string(acceptance));
+  JsonValue activations = JsonValue::array();
+  for (const Round r : config.activation_rounds) {
+    activations.push_back(JsonValue::unsigned_number(r));
+  }
+  doc.set("activation_rounds", std::move(activations));
+  doc.set("faults", fault_plan_config_json(config.faults));
+  return doc;
+}
+
+}  // namespace mtm::obs

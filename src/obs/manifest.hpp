@@ -1,0 +1,49 @@
+// Run manifests: the "what exactly produced this artifact" record.
+//
+// Every machine-readable artifact the observability layer emits (bench
+// JSON, trace files, tool output) should carry enough context to reproduce
+// the run: the full configuration echo, the master seed, the thread count,
+// and the build that produced it. A RunManifest bundles those and renders
+// as one JSON object under a versioned schema.
+//
+// Manifests deliberately carry no timestamps: two runs of the same binary
+// with the same seed produce byte-identical manifests, so artifacts can be
+// diffed across CI runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace mtm {
+struct EngineConfig;
+struct FaultPlanConfig;
+}  // namespace mtm
+
+namespace mtm::obs {
+
+inline constexpr const char* kManifestSchemaVersion = "mtm-manifest/1";
+
+struct RunManifest {
+  std::string tool;          ///< producing binary ("bench_engine_throughput")
+  std::uint64_t seed = 0;    ///< master seed of the run
+  std::size_t threads = 1;   ///< trial-level thread budget
+  std::string build_type;    ///< "Release" (NDEBUG) or "Debug"
+  std::string compiler;      ///< compiler version string
+  JsonValue config = JsonValue::object();  ///< full config echo (free-form)
+
+  JsonValue to_json() const;
+};
+
+/// Manifest with build_type/compiler filled in for this binary.
+RunManifest make_run_manifest(std::string tool, std::uint64_t seed,
+                              std::size_t threads);
+
+/// Full EngineConfig echo (including the embedded fault plan), suitable for
+/// RunManifest::config.
+JsonValue engine_config_json(const EngineConfig& config);
+/// Full FaultPlanConfig echo.
+JsonValue fault_plan_config_json(const FaultPlanConfig& config);
+
+}  // namespace mtm::obs

@@ -1,0 +1,140 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mtm::obs {
+
+FixedHistogram::FixedHistogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1) {
+  if (upper_bounds_.empty()) {
+    throw std::invalid_argument("FixedHistogram: needs at least one bound");
+  }
+  for (std::size_t i = 1; i < upper_bounds_.size(); ++i) {
+    if (upper_bounds_[i] <= upper_bounds_[i - 1]) {
+      throw std::invalid_argument(
+          "FixedHistogram: bounds must be strictly increasing");
+    }
+  }
+}
+
+void FixedHistogram::record(double value) noexcept {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  const auto b = static_cast<std::size_t>(it - upper_bounds_.begin());
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double FixedHistogram::upper_bound(std::size_t b) const {
+  if (b >= counts_.size()) {
+    throw std::invalid_argument("FixedHistogram: bucket out of range");
+  }
+  return b < upper_bounds_.size()
+             ? upper_bounds_[b]
+             : std::numeric_limits<double>::infinity();
+}
+
+std::uint64_t FixedHistogram::bucket(std::size_t b) const {
+  if (b >= counts_.size()) {
+    throw std::invalid_argument("FixedHistogram: bucket out of range");
+  }
+  return counts_[b].load(std::memory_order_relaxed);
+}
+
+double FixedHistogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<double> FixedHistogram::exponential_bounds(double lo, double factor,
+                                                       std::size_t count) {
+  if (lo <= 0.0 || factor <= 1.0 || count == 0) {
+    throw std::invalid_argument(
+        "exponential_bounds: lo > 0, factor > 1, count > 0 required");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = lo;
+  for (std::size_t i = 0; i < count; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+FixedHistogram& MetricRegistry::histogram(const std::string& name,
+                                          std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<FixedHistogram>(std::move(upper_bounds));
+    return *slot;
+  }
+  if (slot->bucket_count() != upper_bounds.size() + 1) {
+    throw std::invalid_argument("MetricRegistry: histogram '" + name +
+                                "' refetched with different bounds");
+  }
+  for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+    if (slot->upper_bound(i) != upper_bounds[i]) {
+      throw std::invalid_argument("MetricRegistry: histogram '" + name +
+                                  "' refetched with different bounds");
+    }
+  }
+  return *slot;
+}
+
+bool MetricRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+JsonValue MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, c] : counters_) {
+    counters.set(name, JsonValue::unsigned_number(c->value()));
+  }
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, g] : gauges_) {
+    gauges.set(name, JsonValue::number(g->value()));
+  }
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, h] : histograms_) {
+    JsonValue doc = JsonValue::object();
+    doc.set("count", JsonValue::unsigned_number(h->count()));
+    doc.set("sum", JsonValue::number(h->sum()));
+    doc.set("mean", JsonValue::number(h->mean()));
+    JsonValue buckets = JsonValue::array();
+    for (std::size_t b = 0; b < h->bucket_count(); ++b) {
+      JsonValue bucket = JsonValue::object();
+      bucket.set("le", JsonValue::number(h->upper_bound(b)));
+      bucket.set("count", JsonValue::unsigned_number(h->bucket(b)));
+      buckets.push_back(std::move(bucket));
+    }
+    doc.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(doc));
+  }
+  JsonValue out = JsonValue::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace mtm::obs

@@ -1,0 +1,113 @@
+// Metric registry: named counters, gauges, and fixed-bucket histograms.
+//
+// The registry is the process-local aggregation point of the observability
+// layer: the trial runner records per-trial wall times, benches record
+// sweep-level totals, and tools can snapshot everything as one JSON object.
+//
+// Thread-safety: metric creation takes a mutex; recording into an existing
+// metric is lock-free (atomics), so Monte-Carlo trials running on the
+// thread pool can record concurrently. References returned by the registry
+// remain valid for its lifetime (metrics are never removed).
+//
+// Determinism contract: metrics observe executions, they never feed back
+// into them. Nothing in this header touches simulation RNG streams, and no
+// simulation code reads metric values, so enabling metrics cannot perturb
+// results (docs/OBSERVABILITY.md spells out the contract).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace mtm::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void increment(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written scalar (e.g. configured thread count, final active nodes).
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts samples <= upper_bounds[i]; one
+/// implicit overflow bucket counts the rest. Bounds are fixed at creation
+/// (no rebinning), so concurrent record() is a relaxed atomic increment.
+class FixedHistogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit FixedHistogram(std::vector<double> upper_bounds);
+
+  void record(double value) noexcept;
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  /// Bucket b's inclusive upper bound; the last bucket is the overflow
+  /// bucket with bound +inf.
+  double upper_bound(std::size_t b) const;
+  std::uint64_t bucket(std::size_t b) const;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept;
+
+  /// Geometric bucket ladder: `count` bounds starting at `lo`, each `factor`
+  /// times the previous (the standard latency-bucket shape).
+  static std::vector<double> exponential_bounds(double lo, double factor,
+                                                std::size_t count);
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricRegistry {
+ public:
+  /// Fetches or creates; the reference stays valid for the registry's life.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Creating and fetching must agree: fetching an existing histogram with
+  /// different bounds is a contract error (throws std::invalid_argument).
+  FixedHistogram& histogram(const std::string& name,
+                            std::vector<double> upper_bounds);
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, mean, buckets: [{le, count}...]}}}.
+  JsonValue snapshot() const;
+
+  /// True while no metric has been created.
+  bool empty() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_;
+};
+
+}  // namespace mtm::obs

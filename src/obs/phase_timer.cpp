@@ -1,0 +1,64 @@
+#include "obs/phase_timer.hpp"
+
+namespace mtm::obs {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kFaults: return "faults";
+    case Phase::kAdvertise: return "advertise";
+    case Phase::kScan: return "scan";
+    case Phase::kDecide: return "decide";
+    case Phase::kResolve: return "resolve";
+    case Phase::kExchange: return "exchange";
+    case Phase::kFinish: return "finish";
+  }
+  return "?";
+}
+
+std::uint64_t PhaseProfile::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (std::uint64_t ns : total_ns) sum += ns;
+  return sum;
+}
+
+double PhaseProfile::fraction(Phase phase) const noexcept {
+  const std::uint64_t sum = total();
+  if (sum == 0) return 0.0;
+  return static_cast<double>(total_ns[static_cast<std::size_t>(phase)]) /
+         static_cast<double>(sum);
+}
+
+void PhaseProfile::merge(const PhaseProfile& other) noexcept {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    total_ns[i] += other.total_ns[i];
+    calls[i] += other.calls[i];
+  }
+  rounds += other.rounds;
+}
+
+void PhaseProfile::reset() noexcept {
+  total_ns.fill(0);
+  calls.fill(0);
+  rounds = 0;
+}
+
+JsonValue PhaseProfile::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("unit", JsonValue::string("ns"));
+  doc.set("rounds", JsonValue::unsigned_number(rounds));
+  doc.set("total_ns", JsonValue::unsigned_number(total()));
+  JsonValue per_phase = JsonValue::array();
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto phase = static_cast<Phase>(i);
+    JsonValue entry = JsonValue::object();
+    entry.set("phase", JsonValue::string(phase_name(phase)));
+    entry.set("total_ns", JsonValue::unsigned_number(total_ns[i]));
+    entry.set("calls", JsonValue::unsigned_number(calls[i]));
+    entry.set("fraction", JsonValue::number(fraction(phase)));
+    per_phase.push_back(std::move(entry));
+  }
+  doc.set("per_phase", std::move(per_phase));
+  return doc;
+}
+
+}  // namespace mtm::obs

@@ -1,0 +1,45 @@
+#include "obs/trace_sink.hpp"
+
+#include <stdexcept>
+
+namespace mtm::obs {
+
+JsonValue TraceEvent::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("kind", JsonValue::string(kind));
+  doc.set("round", JsonValue::unsigned_number(round));
+  for (const auto& [key, value] : fields) doc.set(key, value);
+  return doc;
+}
+
+std::string TraceEvent::to_jsonl() const { return to_json().dump(0); }
+
+void RingTraceSink::emit(const TraceEvent& event) {
+  if (capacity_ > 0 && events_.size() == capacity_) {
+    events_.pop_front();
+    ++evicted_;
+  }
+  events_.push_back(event);
+}
+
+void RingTraceSink::clear() {
+  events_.clear();
+  evicted_ = 0;
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("JsonlTraceSink: cannot open '" + path + "'");
+  }
+}
+
+JsonlTraceSink::~JsonlTraceSink() { out_.flush(); }
+
+void JsonlTraceSink::emit(const TraceEvent& event) {
+  out_ << event.to_jsonl() << '\n';
+  ++events_written_;
+}
+
+void JsonlTraceSink::flush() { out_.flush(); }
+
+}  // namespace mtm::obs

@@ -1,0 +1,115 @@
+// Structured trace events and pluggable sinks.
+//
+// The engine (and any other instrumented component) emits TraceEvents —
+// small, fully deterministic records of what happened — into a TraceSink.
+// Three backends cover the use cases:
+//
+//   * NullTraceSink   — discards everything; the default, zero cost;
+//   * RingTraceSink   — bounded in-memory buffer for tests and tools;
+//   * JsonlTraceSink  — one JSON object per line (the JSONL interchange
+//                       format every log pipeline ingests).
+//
+// Zero-perturbation contract: events carry only values derived from the
+// deterministic simulation state (round numbers, counter deltas, node ids) —
+// never wall-clock times — so a golden test can pin an event stream
+// byte-for-byte, and emitting events cannot perturb an execution. Phase
+// timings live in obs/phase_timer.hpp precisely because they are
+// non-deterministic and must stay out of the event stream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace mtm::obs {
+
+/// One structured event. `kind` names the record type ("round", "crash",
+/// "recover", "run_start", ...); `round` is the simulation round it belongs
+/// to (0 for pre-run events); `fields` hold the kind-specific payload in a
+/// fixed emission order (ordering is part of the golden-trace contract).
+struct TraceEvent {
+  std::string kind;
+  std::uint64_t round = 0;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  TraceEvent() = default;
+  TraceEvent(std::string kind_, std::uint64_t round_)
+      : kind(std::move(kind_)), round(round_) {}
+
+  TraceEvent& with(const std::string& key, std::uint64_t value) {
+    fields.emplace_back(key, JsonValue::unsigned_number(value));
+    return *this;
+  }
+  TraceEvent& with(const std::string& key, double value) {
+    fields.emplace_back(key, JsonValue::number(value));
+    return *this;
+  }
+  TraceEvent& with(const std::string& key, std::string value) {
+    fields.emplace_back(key, JsonValue::string(std::move(value)));
+    return *this;
+  }
+
+  /// {"kind": ..., "round": ..., <fields in emission order>}.
+  JsonValue to_json() const;
+  /// Compact single-line JSON (the JSONL record form).
+  std::string to_jsonl() const;
+
+  friend bool operator==(const TraceEvent& a, const TraceEvent& b) {
+    return a.to_jsonl() == b.to_jsonl();
+  }
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+/// Discards every event.
+class NullTraceSink final : public TraceSink {
+ public:
+  void emit(const TraceEvent&) override {}
+};
+
+/// Keeps the most recent `capacity` events in memory (capacity 0 keeps
+/// everything). Overflow evicts the oldest event and counts it.
+class RingTraceSink final : public TraceSink {
+ public:
+  explicit RingTraceSink(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void emit(const TraceEvent& event) override;
+
+  const std::deque<TraceEvent>& events() const noexcept { return events_; }
+  std::uint64_t evicted() const noexcept { return evicted_; }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t evicted_ = 0;
+};
+
+/// Appends one JSON line per event to a file. Construction truncates the
+/// target; throws std::runtime_error when the file cannot be opened.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(const std::string& path);
+  ~JsonlTraceSink() override;
+
+  void emit(const TraceEvent& event) override;
+  void flush() override;
+
+  std::uint64_t events_written() const noexcept { return events_written_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t events_written_ = 0;
+};
+
+}  // namespace mtm::obs

@@ -65,14 +65,20 @@ void Engine::apply_faults(Round r) {
                                    node_count_, eligible,
                                    fault_plan_->oracle_rng());
       },
-      [this](NodeId u) {
+      [this, r](NodeId u) {
         protocol_.on_crash(u);
         telemetry_.count_crash();
+        if (trace_sink_ != nullptr) {
+          trace_sink_->emit(obs::TraceEvent("crash", r).with("node", std::uint64_t{u}));
+        }
       },
       [this, r](NodeId u) {
         activation_[u] = r;
         protocol_.on_restart(u, node_rngs_[u]);
         telemetry_.count_recovery();
+        if (trace_sink_ != nullptr) {
+          trace_sink_->emit(obs::TraceEvent("recover", r).with("node", std::uint64_t{u}));
+        }
       });
 }
 
@@ -102,8 +108,19 @@ void Engine::step() {
 
   telemetry_.begin_round(r, config_.record_rounds);
 
+  // Snapshot the execution totals so the round trace event can report this
+  // round's deltas (purely derived from deterministic state).
+  const std::uint64_t proposals_before = telemetry_.proposals();
+  const std::uint64_t connections_before = telemetry_.connections();
+  const std::uint64_t dropped_before = telemetry_.dropped();
+  const std::uint64_t crashes_before = telemetry_.crashes();
+  const std::uint64_t recoveries_before = telemetry_.recoveries();
+
   // 0. Faults: churn and the crash oracle apply before anyone advertises.
-  if (fault_plan_ != nullptr) apply_faults(r);
+  if (fault_plan_ != nullptr) {
+    obs::ScopedPhaseTimer timer(phase_profile_, obs::Phase::kFaults);
+    apply_faults(r);
+  }
 
   std::uint32_t active_count = 0;
   for (NodeId u = 0; u < node_count_; ++u) {
@@ -112,24 +129,33 @@ void Engine::step() {
   telemetry_.set_active_nodes(active_count);
 
   // 1. Advertise: each active node selects its b-bit tag for the round.
-  for (NodeId u = 0; u < node_count_; ++u) {
-    if (!active_in(u, r)) continue;
-    const Tag tag = protocol_.advertise(u, local_round(u, r), node_rngs_[u]);
-    MTM_ENSURE_MSG(tag < tag_limit_, "protocol advertised more than b bits");
-    tags_[u] = tag;
+  {
+    obs::ScopedPhaseTimer timer(phase_profile_, obs::Phase::kAdvertise);
+    for (NodeId u = 0; u < node_count_; ++u) {
+      if (!active_in(u, r)) continue;
+      const Tag tag = protocol_.advertise(u, local_round(u, r), node_rngs_[u]);
+      MTM_ENSURE_MSG(tag < tag_limit_, "protocol advertised more than b bits");
+      tags_[u] = tag;
+    }
   }
 
   // 2 + 3. Scan and decide. Views contain only active neighbors: an
-  // unactivated device is not discoverable.
+  // unactivated device is not discoverable. The two phases share one loop
+  // (the view buffer is reused scratch), so the phase timers nest per node:
+  // view construction bills to scan, the protocol callback to decide.
   for (NodeId u = 0; u < node_count_; ++u) {
     if (!active_in(u, r)) {
       decisions_[u] = Decision::receive();
       continue;
     }
-    view_.clear();
-    for (NodeId v : graph.neighbors(u)) {
-      if (active_in(v, r)) view_.push_back(NeighborInfo{v, tags_[v]});
+    {
+      obs::ScopedPhaseTimer timer(phase_profile_, obs::Phase::kScan);
+      view_.clear();
+      for (NodeId v : graph.neighbors(u)) {
+        if (active_in(v, r)) view_.push_back(NeighborInfo{v, tags_[v]});
+      }
     }
+    obs::ScopedPhaseTimer timer(phase_profile_, obs::Phase::kDecide);
     const Decision d =
         protocol_.decide(u, local_round(u, r), view_, node_rngs_[u]);
     if (d.is_send()) {
@@ -142,7 +168,18 @@ void Engine::step() {
     decisions_[u] = d;
   }
 
-  // 4. Resolve proposals into connections.
+  // 4. Resolve proposals into connections; 5. exchange payloads over each
+  // established connection. The two phases interleave in one pass, so the
+  // exchange() calls carry their own timers and the resolve phase is billed
+  // the remainder of the block — the phases stay disjoint and their
+  // fractions sum to 1.
+  std::uint64_t exchange_ns_before = 0;
+  std::chrono::steady_clock::time_point resolve_start{};
+  if (phase_profile_ != nullptr) {
+    exchange_ns_before =
+        phase_profile_->total_ns[static_cast<std::size_t>(obs::Phase::kExchange)];
+    resolve_start = std::chrono::steady_clock::now();
+  }
   for (auto& inbox : incoming_) inbox.clear();
   for (NodeId u = 0; u < node_count_; ++u) {
     if (active_in(u, r) && decisions_[u].is_send()) {
@@ -166,6 +203,7 @@ void Engine::step() {
           telemetry_.count_fault_drop();
           continue;
         }
+        obs::ScopedPhaseTimer timer(phase_profile_, obs::Phase::kExchange);
         exchange(u, v, r);
       }
     }
@@ -200,15 +238,42 @@ void Engine::step() {
         telemetry_.count_fault_drop();
         continue;
       }
+      obs::ScopedPhaseTimer timer(phase_profile_, obs::Phase::kExchange);
       exchange(u, v, r);
     }
   }
 
+  if (phase_profile_ != nullptr) {
+    const auto block = std::chrono::steady_clock::now() - resolve_start;
+    const auto block_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(block).count());
+    const std::uint64_t exchange_ns =
+        phase_profile_->total_ns[static_cast<std::size_t>(obs::Phase::kExchange)] -
+        exchange_ns_before;
+    phase_profile_->add(obs::Phase::kResolve,
+                        block_ns > exchange_ns ? block_ns - exchange_ns : 0);
+  }
+
   // 6. End-of-round hook.
-  for (NodeId u = 0; u < node_count_; ++u) {
-    if (active_in(u, r)) protocol_.finish_round(u, local_round(u, r));
+  {
+    obs::ScopedPhaseTimer timer(phase_profile_, obs::Phase::kFinish);
+    for (NodeId u = 0; u < node_count_; ++u) {
+      if (active_in(u, r)) protocol_.finish_round(u, local_round(u, r));
+    }
   }
   telemetry_.end_round();
+  if (phase_profile_ != nullptr) ++phase_profile_->rounds;
+
+  if (trace_sink_ != nullptr) {
+    obs::TraceEvent event("round", r);
+    event.with("active", std::uint64_t{active_count})
+        .with("proposals", telemetry_.proposals() - proposals_before)
+        .with("connections", telemetry_.connections() - connections_before)
+        .with("dropped", telemetry_.dropped() - dropped_before)
+        .with("crashes", telemetry_.crashes() - crashes_before)
+        .with("recoveries", telemetry_.recoveries() - recoveries_before);
+    trace_sink_->emit(event);
+  }
 }
 
 void Engine::run_rounds(Round count) {

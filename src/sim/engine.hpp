@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/dynamic_graph.hpp"
 #include "sim/faults.hpp"
 #include "sim/protocol.hpp"
@@ -109,6 +111,18 @@ class Engine {
   /// The fault plan state, or nullptr when no fault dimension is enabled.
   const FaultPlan* fault_plan() const noexcept { return fault_plan_.get(); }
 
+  /// Observability attachments (both non-owning, both nullptr by default;
+  /// pass nullptr to detach). Zero-perturbation contract: attaching either
+  /// changes NO simulation result — trace events carry only deterministic
+  /// values (round numbers, counter deltas, node ids) and phase timers only
+  /// write wall-clock totals into the external profile; neither touches the
+  /// engine's RNG streams, telemetry counters, or protocol state. The
+  /// differential test in tests/obs/test_zero_perturbation.cpp enforces it.
+  void set_trace_sink(obs::TraceSink* sink) noexcept { trace_sink_ = sink; }
+  void set_phase_profile(obs::PhaseProfile* profile) noexcept {
+    phase_profile_ = profile;
+  }
+
  private:
   bool active_in(NodeId u, Round r) const {
     return r >= activation_[u] && (fault_plan_ == nullptr || fault_plan_->alive(u));
@@ -130,6 +144,8 @@ class Engine {
   std::vector<Rng> node_rngs_;
   std::unique_ptr<FaultPlan> fault_plan_;  // null when faults are disabled
   Telemetry telemetry_;
+  obs::TraceSink* trace_sink_ = nullptr;       // non-owning
+  obs::PhaseProfile* phase_profile_ = nullptr; // non-owning
 
   // Per-round scratch, reused across steps to avoid allocation churn.
   std::vector<Tag> tags_;

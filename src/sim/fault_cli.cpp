@@ -1,0 +1,64 @@
+#include "sim/fault_cli.hpp"
+
+#include <stdexcept>
+
+namespace mtm {
+
+const char* fault_flags_help() {
+  return R"(  --crash=P         per-round node crash probability             [default 0]
+  --recover=P       per-round crashed-node recovery probability  [default 0]
+  --min-alive=K     crash floor: never fewer than K alive nodes  [default 1]
+  --burst=B         burst link loss preset: 0 off | 1 mild | 2 harsh [default 0]
+  --degrade=D       per-edge degradation cap, D in [0, 1)        [default 0]
+  --oracle=MODE     adversarial crash oracle:
+                    none | random | min-holder | leader          [default none]
+  --oracle-every=K  oracle kill period in rounds                 [default 16]
+)";
+}
+
+GilbertElliott burst_preset(int preset) {
+  switch (preset) {
+    case 0:
+      return GilbertElliott{};  // disabled
+    case 1:
+      // Mild: rare outages that persist a few rounds, clean GOOD state.
+      return GilbertElliott{0.1, 0.3, 0.0, 1.0};
+    case 2:
+      // Harsh: flapping channel with residual loss even in GOOD.
+      return GilbertElliott{0.2, 0.2, 0.05, 0.9};
+    default:
+      throw std::invalid_argument(
+          "burst preset must be 0 (off), 1 (mild) or 2 (harsh): " +
+          std::to_string(preset));
+  }
+}
+
+CrashTargeting parse_crash_targeting(const std::string& name) {
+  for (int t = 0; t <= static_cast<int>(CrashTargeting::kLeaderNode); ++t) {
+    const auto targeting = static_cast<CrashTargeting>(t);
+    if (name == to_string(targeting)) return targeting;
+  }
+  throw std::invalid_argument("unknown crash targeting: " + name);
+}
+
+FaultPlanConfig parse_fault_flags(const CliArgs& args) {
+  FaultPlanConfig faults;
+  faults.crash_prob = args.get_double("crash", 0.0);
+  faults.recovery_prob = args.get_double("recover", 0.0);
+  faults.min_alive = args.get_u32("min-alive", 1);
+  faults.edge_degradation = args.get_double("degrade", 0.0);
+  faults.burst =
+      burst_preset(static_cast<int>(args.get_u64("burst", 0)));
+  faults.targeting = parse_crash_targeting(args.get_string("oracle", "none"));
+  if (faults.targeting != CrashTargeting::kNone) {
+    faults.target_every = args.get_u64("oracle-every", 16);
+  } else {
+    // Consume the flag either way so check_unused() accepts a pre-filled
+    // command line with the oracle toggled off.
+    args.get_u64("oracle-every", 16);
+  }
+  validate(faults);
+  return faults;
+}
+
+}  // namespace mtm

@@ -1,0 +1,40 @@
+// Shared fault-plan CLI surface: one source of truth for the flag names,
+// burst presets, and oracle-mode spellings used by mtm_sim, mtm_replay, and
+// the fuzzer's tuple keys (crash / recover / min-alive / burst / degrade /
+// oracle / oracle-every). Tools must not hand-roll these — the whole point
+// is that a tuple recorded by the fuzzer, a --case override in mtm_replay,
+// and an mtm_sim invocation can never drift apart.
+#pragma once
+
+#include <string>
+
+#include "core/cli.hpp"
+#include "sim/faults.hpp"
+
+namespace mtm {
+
+/// Help-text fragment for the shared flags, formatted to line up with the
+/// two-column option blocks the tools print.
+const char* fault_flags_help();
+
+/// Burst link-loss presets: 0 = off, 1 = mild, 2 = harsh. Presets (not raw
+/// Gilbert–Elliott parameters) keep fuzz tuples shrinkable and CLI flags
+/// terse; the parameter values are pinned here forever because recorded
+/// fuzz tuples reference them by number.
+inline constexpr int kBurstPresetMax = 2;
+
+/// Maps a preset id to its channel; throws std::invalid_argument outside
+/// [0, kBurstPresetMax]. Preset 0 returns a disabled channel.
+GilbertElliott burst_preset(int preset);
+
+/// Parses the oracle-mode names ("none" | "random" | "min-holder" |
+/// "leader" — the to_string(CrashTargeting) spellings); throws
+/// std::invalid_argument on anything else.
+CrashTargeting parse_crash_targeting(const std::string& name);
+
+/// Consumes the shared fault flags from `args` and returns a validated
+/// FaultPlanConfig. The plan seed is left at its default — callers derive
+/// per-trial seeds (see harness/experiment.cpp).
+FaultPlanConfig parse_fault_flags(const CliArgs& args);
+
+}  // namespace mtm

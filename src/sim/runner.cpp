@@ -1,5 +1,7 @@
 #include "sim/runner.hpp"
 
+#include <chrono>
+
 #include "core/assert.hpp"
 #include "core/thread_pool.hpp"
 
@@ -17,11 +19,13 @@ RunResult run_until_stabilized(
   }
   while (engine.rounds_executed() < max_rounds) {
     engine.step();
+    // Contract: the observer sees every executed round's final state —
+    // fire BEFORE deciding whether to exit so the stabilization round (and
+    // the round that exhausts max_rounds, including when both coincide) is
+    // always observed. Pinned by Runner.PerRound* in tests/sim/test_runner.
+    result.converged = engine.protocol().stabilized();
     if (per_round) per_round(engine);
-    if (engine.protocol().stabilized()) {
-      result.converged = true;
-      break;
-    }
+    if (result.converged) break;
   }
   result.rounds = engine.rounds_executed();
   const Round all_active = engine.all_active_round();
@@ -34,13 +38,32 @@ RunResult run_until_stabilized(
 
 std::vector<RunResult> run_trials(const TrialSpec& spec,
                                   const TrialBody& body) {
-  MTM_REQUIRE(spec.trials >= 1);
-  MTM_REQUIRE(spec.threads >= 1);
-  std::vector<RunResult> results(spec.trials);
-  parallel_for(spec.threads, spec.trials, [&](std::size_t trial) {
+  MTM_REQUIRE(spec.controls.trials >= 1);
+  MTM_REQUIRE(spec.controls.threads >= 1);
+  // Per-trial wall-time observability (optional). The histogram covers
+  // 0.01 ms .. ~100 s in geometric buckets; recording happens outside the
+  // deterministic trial body and cannot affect results.
+  obs::FixedHistogram* trial_ms =
+      spec.metrics != nullptr
+          ? &spec.metrics->histogram(
+                "trial_wall_ms",
+                obs::FixedHistogram::exponential_bounds(0.01, 2.0, 24))
+          : nullptr;
+  obs::Counter* trials_run =
+      spec.metrics != nullptr ? &spec.metrics->counter("trials_run") : nullptr;
+  std::vector<RunResult> results(spec.controls.trials);
+  parallel_for(spec.controls.threads, spec.controls.trials,
+               [&](std::size_t trial) {
     const std::uint64_t trial_seed =
-        derive_seed(spec.seed, {0x747269616cULL /*"trial"*/, trial});
+        derive_seed(spec.controls.seed, {0x747269616cULL /*"trial"*/, trial});
+    const auto start = std::chrono::steady_clock::now();
     results[trial] = body(trial_seed);
+    if (trial_ms != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      trial_ms->record(
+          std::chrono::duration<double, std::milli>(elapsed).count());
+      trials_run->increment();
+    }
   });
   return results;
 }

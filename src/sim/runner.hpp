@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace mtm {
@@ -31,20 +32,45 @@ struct RunResult {
 };
 
 /// Steps `engine` until stabilized() or `max_rounds` rounds have run.
-/// `per_round` (optional) observes the engine after each step.
+/// `per_round` (optional) observes the engine after EVERY executed round —
+/// including the stabilization round's final state and the round in which
+/// `max_rounds` is exhausted — in every code path. (The trivial
+/// already-stable case executes zero rounds, so the observer never fires.)
 RunResult run_until_stabilized(
     Engine& engine, Round max_rounds,
     const std::function<void(const Engine&)>& per_round = {});
+
+/// The trial-control knobs shared by every Monte-Carlo entry point
+/// (TrialSpec, LeaderExperiment, RumorExperiment). One struct, one set of
+/// defaults — the per-experiment copies used to drift silently.
+struct TrialControls {
+  Round max_rounds = 0;       ///< per-trial round cap (required, >= 1)
+  std::size_t trials = 32;    ///< independent Monte-Carlo trials
+  std::uint64_t seed = 1;     ///< master seed; trial t derives its own
+  std::size_t threads = 1;    ///< trial-level parallelism
+  /// Failure injection passthrough (see EngineConfig).
+  double connection_failure_prob = 0.0;
+  /// Fault plan passthrough (see sim/faults.hpp). The per-trial plan seed
+  /// is derived from the trial seed, so trials stay independent. With churn
+  /// or crash oracles enabled, trials may legitimately censor — aggregate
+  /// with summarize_convergence(), not rounds_of().
+  FaultPlanConfig faults;
+};
 
 /// Convenience for Monte-Carlo experiments: builds topology + protocol via
 /// the factory pair per trial, runs to stabilization, and returns one
 /// RunResult per trial. Trials are independent and deterministic in
 /// (seed, trial index); they run in parallel on `threads` threads.
+///
+/// run_trials itself consumes trials/seed/threads; the engine-level knobs
+/// (max_rounds, connection_failure_prob, faults) are for the body's
+/// benefit — the experiment runners forward them into EngineConfig.
 struct TrialSpec {
-  Round max_rounds = 0;
-  std::size_t trials = 1;
-  std::uint64_t seed = 1;
-  std::size_t threads = 1;
+  TrialControls controls;
+  /// Optional per-trial wall-time metrics (zero-perturbation: recording
+  /// never feeds back into trial execution). When set, run_trials records
+  /// the "trial_wall_ms" histogram and the "trials_run" counter.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 using TrialBody = std::function<RunResult(std::uint64_t trial_seed)>;

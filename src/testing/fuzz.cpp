@@ -8,6 +8,7 @@
 
 #include "core/assert.hpp"
 #include "graph/generators.hpp"
+#include "sim/fault_cli.hpp"
 #include "protocols/async_bit_convergence.hpp"
 #include "protocols/bit_convergence.hpp"
 #include "protocols/blind_gossip.hpp"
@@ -55,14 +56,6 @@ AcceptancePolicy parse_acceptance(const std::string& name) {
   if (name == "smallest-id") return AcceptancePolicy::kSmallestId;
   if (name == "largest-id") return AcceptancePolicy::kLargestId;
   throw std::invalid_argument("unknown acceptance policy: " + name);
-}
-
-CrashTargeting parse_targeting(const std::string& name) {
-  for (int t = 0; t <= static_cast<int>(CrashTargeting::kLeaderNode); ++t) {
-    const auto targeting = static_cast<CrashTargeting>(t);
-    if (name == mtm::to_string(targeting)) return targeting;
-  }
-  throw std::invalid_argument("unknown crash targeting: " + name);
 }
 
 FuzzProtocol parse_protocol(const std::string& name) {
@@ -203,7 +196,7 @@ FuzzCase parse_fuzz_case(const std::string& text) {
       else if (key == "recover") out.recovery_prob = std::stod(value);
       else if (key == "burst") out.burst = std::stoi(value);
       else if (key == "degrade") out.edge_degradation = std::stod(value);
-      else if (key == "oracle") out.targeting = parse_targeting(value);
+      else if (key == "oracle") out.targeting = parse_crash_targeting(value);
       else if (key == "oracle-every") out.target_every = std::stoull(value);
       else throw std::invalid_argument("unknown fuzz case key: " + key);
     } catch (const std::invalid_argument&) {
@@ -218,10 +211,7 @@ FuzzCase parse_fuzz_case(const std::string& text) {
   if (!known) {
     throw std::invalid_argument("unknown fuzz generator: " + out.generator);
   }
-  if (out.burst < 0 || out.burst > 2) {
-    throw std::invalid_argument("burst preset must be 0 (off), 1 (mild) or "
-                                "2 (harsh): " + std::to_string(out.burst));
-  }
+  burst_preset(out.burst);  // range check against the shared preset table
   return out;
 }
 
@@ -246,13 +236,7 @@ Scenario make_scenario(const FuzzCase& fuzz_case) {
   faults.target_every = fuzz_case.target_every;
   faults.target_start = 2;  // let round 1 establish some protocol state
   faults.seed = derive_seed(fuzz_case.seed, {kFaultSeedTag});
-  if (fuzz_case.burst == 1) {
-    // Mild: rare outages that persist a few rounds, clean GOOD state.
-    faults.burst = GilbertElliott{0.1, 0.3, 0.0, 1.0};
-  } else if (fuzz_case.burst >= 2) {
-    // Harsh: flapping channel with residual loss even in GOOD.
-    faults.burst = GilbertElliott{0.2, 0.2, 0.05, 0.9};
-  }
+  faults.burst = burst_preset(fuzz_case.burst);
 
   switch (fuzz_case.protocol) {
     case FuzzProtocol::kBlindGossip:
@@ -407,7 +391,8 @@ FuzzCase random_fuzz_case(Rng& rng, bool with_faults) {
         out.recovery_prob = 1.0;  // one-round outages
         break;
     }
-    out.burst = static_cast<int>(rng.uniform(3));
+    out.burst = static_cast<int>(
+        rng.uniform(static_cast<std::uint64_t>(kBurstPresetMax) + 1));
     switch (rng.uniform(3)) {
       case 0:
         out.edge_degradation = 0.0;

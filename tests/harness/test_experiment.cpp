@@ -14,10 +14,10 @@ TEST(Experiment, LeaderTrialsDeterministicAcrossThreadCounts) {
     spec.algo = LeaderAlgo::kBlindGossip;
     spec.node_count = 10;
     spec.topology = static_topology(make_clique(10));
-    spec.max_rounds = 100000;
-    spec.trials = 6;
-    spec.seed = 42;
-    spec.threads = threads;
+    spec.controls.max_rounds = 100000;
+    spec.controls.trials = 6;
+    spec.controls.seed = 42;
+    spec.controls.threads = threads;
     return spec;
   };
   const auto a = run_leader_experiment(make_spec(1));
@@ -33,10 +33,10 @@ TEST(Experiment, MeasureLeaderSummarizes) {
   spec.algo = LeaderAlgo::kBlindGossip;
   spec.node_count = 8;
   spec.topology = static_topology(make_clique(8));
-  spec.max_rounds = 100000;
-  spec.trials = 8;
-  spec.seed = 7;
-  spec.threads = 2;
+  spec.controls.max_rounds = 100000;
+  spec.controls.trials = 8;
+  spec.controls.seed = 7;
+  spec.controls.threads = 2;
   const Summary s = measure_leader(spec);
   EXPECT_EQ(s.count, 8u);
   EXPECT_GT(s.mean, 0.0);
@@ -49,8 +49,8 @@ TEST(Experiment, BitConvergenceRejectsActivations) {
   spec.algo = LeaderAlgo::kBitConvergence;
   spec.node_count = 4;
   spec.topology = static_topology(make_clique(4));
-  spec.max_rounds = 1000;
-  spec.trials = 1;
+  spec.controls.max_rounds = 1000;
+  spec.controls.trials = 1;
   spec.activation_rounds = {1, 2, 1, 1};
   EXPECT_THROW(run_leader_experiment(spec), ContractError);
 }
@@ -60,9 +60,9 @@ TEST(Experiment, AsyncAlgoAcceptsActivations) {
   spec.algo = LeaderAlgo::kAsyncBitConvergence;
   spec.node_count = 6;
   spec.topology = static_topology(make_clique(6));
-  spec.max_rounds = 1000000;
-  spec.trials = 2;
-  spec.seed = 9;
+  spec.controls.max_rounds = 1000000;
+  spec.controls.trials = 2;
+  spec.controls.seed = 9;
   spec.activation_rounds = {1, 4, 2, 8, 3, 5};
   const auto results = run_leader_experiment(spec);
   for (const auto& r : results) EXPECT_TRUE(r.converged);
@@ -75,9 +75,9 @@ TEST(Experiment, RumorAlgosAllConvergeOnClique) {
     spec.algo = algo;
     spec.node_count = 12;
     spec.topology = static_topology(make_clique(12));
-    spec.max_rounds = 100000;
-    spec.trials = 3;
-    spec.seed = 11;
+    spec.controls.max_rounds = 100000;
+    spec.controls.trials = 3;
+    spec.controls.seed = 11;
     const Summary s = measure_rumor(spec);
     EXPECT_GT(s.mean, 0.0) << rumor_algo_name(algo);
   }
@@ -86,13 +86,13 @@ TEST(Experiment, RumorAlgosAllConvergeOnClique) {
 TEST(Experiment, ValidatesSpec) {
   LeaderExperiment spec;  // missing topology
   spec.node_count = 4;
-  spec.max_rounds = 10;
+  spec.controls.max_rounds = 10;
   EXPECT_THROW(run_leader_experiment(spec), ContractError);
 
   RumorExperiment rumor;
   rumor.topology = static_topology(make_clique(4));
   rumor.node_count = 4;
-  rumor.max_rounds = 0;  // invalid
+  rumor.controls.max_rounds = 0;  // invalid
   EXPECT_THROW(run_rumor_experiment(rumor), ContractError);
 }
 

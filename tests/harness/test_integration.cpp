@@ -24,10 +24,10 @@ double mean_rounds(LeaderAlgo algo, Graph g, Round tau, std::size_t trials,
   spec.network_size_bound = g.node_count();
   spec.topology = tau == 0 ? static_topology(std::move(g))
                            : relabeling_topology(std::move(g), tau);
-  spec.max_rounds = 5000000;
-  spec.trials = trials;
-  spec.seed = seed;
-  spec.threads = 4;
+  spec.controls.max_rounds = 5000000;
+  spec.controls.trials = trials;
+  spec.controls.seed = seed;
+  spec.controls.threads = 4;
   return measure_leader(spec).mean;
 }
 
@@ -84,10 +84,10 @@ TEST(Integration, RumorOrderingOnStar) {
     spec.algo = algo;
     spec.node_count = 24;
     spec.topology = static_topology(make_star(24));
-    spec.max_rounds = 1000000;
-    spec.trials = 6;
-    spec.seed = seed;
-    spec.threads = 4;
+    spec.controls.max_rounds = 1000000;
+    spec.controls.trials = 6;
+    spec.controls.seed = seed;
+    spec.controls.threads = 4;
     return measure_rumor(spec).mean;
   };
   const double classical = rumor_mean(RumorAlgo::kClassicalPushPull, 4);
@@ -108,10 +108,10 @@ TEST(Integration, ScalingSeriesEndToEnd) {
     spec.algo = LeaderAlgo::kBlindGossip;
     spec.node_count = n;
     spec.topology = static_topology(make_clique(n));
-    spec.max_rounds = 1000000;
-    spec.trials = 6;
-    spec.seed = n;
-    spec.threads = 4;
+    spec.controls.max_rounds = 1000000;
+    spec.controls.trials = 6;
+    spec.controls.seed = n;
+    spec.controls.threads = 4;
     point.measured = measure_leader(spec);
     point.predicted =
         blind_gossip_bound(n, family_alpha(GraphFamily::kClique, n), n - 1);
@@ -128,9 +128,9 @@ TEST(Integration, AsyncActivationMeasuredFromLastStart) {
   spec.algo = LeaderAlgo::kAsyncBitConvergence;
   spec.node_count = 8;
   spec.topology = static_topology(make_clique(8));
-  spec.max_rounds = 1000000;
-  spec.trials = 4;
-  spec.seed = 6;
+  spec.controls.max_rounds = 1000000;
+  spec.controls.trials = 4;
+  spec.controls.seed = 6;
   spec.activation_rounds = {1, 50, 10, 30, 20, 40, 5, 15};
   const auto results = run_leader_experiment(spec);
   for (const RunResult& r : results) {

@@ -1,0 +1,170 @@
+#include "obs/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "harness/sweep.hpp"
+
+namespace mtm::obs {
+namespace {
+
+ScalingSeries make_series() {
+  ScalingSeries series("rounds vs n", "n");
+  const std::vector<double> samples{4.0, 5.0, 6.0, 8.0};
+  series.add(SeriesPoint{16.0, summarize(samples), 4.0, ""});
+  series.add(SeriesPoint{64.0, summarize(samples), 6.0, "dense"});
+  return series;
+}
+
+/// A report exercising every optional section.
+struct FullReport {
+  ScalingSeries series = make_series();
+  PhaseProfile phases;
+  MetricRegistry metrics;
+  BenchReport report;
+
+  FullReport() {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      phases.add(static_cast<Phase>(i), (i + 1) * 100);
+    }
+    phases.rounds = 12;
+    metrics.counter("trials_run").increment(8);
+    report.name = "engine_throughput";
+    report.manifest =
+        make_run_manifest("bench_engine_throughput", 0xe17, 4);
+    report.series.push_back(&series);
+    report.phases = &phases;
+    report.metrics = &metrics;
+    report.extra.set("note", JsonValue::string("test"));
+  }
+};
+
+TEST(BenchReport, FullyPopulatedReportValidatesClean) {
+  const FullReport full;
+  const JsonValue doc = full.report.to_json();
+  const std::vector<std::string> errors = validate_bench_report(doc);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+
+  EXPECT_EQ(doc.find("schema")->as_string(), kBenchJsonSchemaVersion);
+  EXPECT_EQ(doc.find("name")->as_string(), "engine_throughput");
+  EXPECT_EQ(doc.find("manifest")->find("seed")->as_u64(), 0xe17u);
+  ASSERT_EQ(doc.find("series")->size(), 1u);
+  EXPECT_EQ(doc.find("series")->at(0).find("points")->size(), 2u);
+  EXPECT_EQ(doc.find("phases")->find("rounds")->as_u64(), 12u);
+  EXPECT_EQ(doc.find("metrics")->find("counters")->find("trials_run")->as_u64(),
+            8u);
+  EXPECT_EQ(doc.find("extra")->find("note")->as_string(), "test");
+}
+
+TEST(BenchReport, SerializedRoundTripValidatesClean) {
+  const FullReport full;
+  const std::string text = full.report.to_json().dump(2);
+  EXPECT_TRUE(validate_bench_report_text(text).empty());
+}
+
+TEST(BenchReport, OptionalSectionsOmittedWhenEmpty) {
+  BenchReport report;
+  report.name = "minimal";
+  report.manifest = make_run_manifest("bench_minimal", 1, 1);
+  const JsonValue doc = report.to_json();
+  EXPECT_TRUE(validate_bench_report(doc).empty());
+  EXPECT_EQ(doc.find("phases"), nullptr);   // no attached profile
+  EXPECT_EQ(doc.find("metrics"), nullptr);  // no attached registry
+  EXPECT_EQ(doc.find("extra"), nullptr);    // empty extra object
+  EXPECT_EQ(doc.find("series")->size(), 0u);
+}
+
+TEST(BenchReport, EmptyPhaseProfileIsOmitted) {
+  PhaseProfile untouched;
+  BenchReport report;
+  report.name = "minimal";
+  report.manifest = make_run_manifest("bench_minimal", 1, 1);
+  report.phases = &untouched;  // attached but never timed
+  EXPECT_EQ(report.to_json().find("phases"), nullptr);
+}
+
+/// Returns true when some violation message contains `needle`.
+bool has_violation(const std::vector<std::string>& errors,
+                   const std::string& needle) {
+  for (const std::string& e : errors) {
+    if (e.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(BenchReportValidation, CatchesSchemaAndManifestViolations) {
+  const FullReport full;
+  JsonValue doc = full.report.to_json();
+
+  JsonValue wrong_schema = doc;
+  wrong_schema.set("schema", JsonValue::string("mtm-bench/0"));
+  EXPECT_TRUE(has_violation(validate_bench_report(wrong_schema), "schema"));
+
+  JsonValue bad_manifest = doc;
+  JsonValue manifest = JsonValue::object();  // missing every required key
+  bad_manifest.set("manifest", std::move(manifest));
+  const auto errors = validate_bench_report(bad_manifest);
+  EXPECT_TRUE(has_violation(errors, "manifest.schema"));
+  EXPECT_TRUE(has_violation(errors, "manifest.tool"));
+  EXPECT_TRUE(has_violation(errors, "manifest.seed"));
+  EXPECT_TRUE(has_violation(errors, "manifest.threads"));
+  EXPECT_TRUE(has_violation(errors, "manifest.build"));
+  EXPECT_TRUE(has_violation(errors, "manifest.compiler"));
+  EXPECT_TRUE(has_violation(errors, "manifest.config"));
+}
+
+TEST(BenchReportValidation, CatchesPhaseAndMetricsViolations) {
+  const FullReport full;
+  JsonValue doc = full.report.to_json();
+
+  JsonValue bad_phases = doc;
+  JsonValue phases = full.phases.to_json();
+  JsonValue truncated = JsonValue::array();
+  truncated.push_back(phases.find("per_phase")->at(0));
+  phases.set("per_phase", std::move(truncated));
+  bad_phases.set("phases", std::move(phases));
+  EXPECT_TRUE(has_violation(validate_bench_report(bad_phases),
+                            "phases.per_phase"));
+
+  JsonValue bad_fraction = doc;
+  JsonValue phases2 = full.phases.to_json();
+  JsonValue entry = phases2.find("per_phase")->at(0);
+  entry.set("fraction", JsonValue::number(1.5));
+  JsonValue per_phase = *phases2.find("per_phase");
+  // Rebuild with the corrupted first entry.
+  JsonValue rebuilt = JsonValue::array();
+  rebuilt.push_back(std::move(entry));
+  for (std::size_t i = 1; i < per_phase.size(); ++i) {
+    rebuilt.push_back(per_phase.at(i));
+  }
+  phases2.set("per_phase", std::move(rebuilt));
+  bad_fraction.set("phases", std::move(phases2));
+  EXPECT_TRUE(has_violation(validate_bench_report(bad_fraction), "fraction"));
+
+  JsonValue bad_metrics = doc;
+  bad_metrics.set("metrics", JsonValue::string("nope"));
+  EXPECT_TRUE(has_violation(validate_bench_report(bad_metrics), "metrics"));
+}
+
+TEST(BenchReportValidation, MissingTopLevelKeysAreReported) {
+  JsonValue doc = JsonValue::object();
+  const auto errors = validate_bench_report(doc);
+  EXPECT_TRUE(has_violation(errors, "schema"));
+  EXPECT_TRUE(has_violation(errors, "name"));
+  EXPECT_TRUE(has_violation(errors, "manifest"));
+  EXPECT_TRUE(has_violation(errors, "series"));
+  EXPECT_TRUE(has_violation(validate_bench_report(JsonValue::null()),
+                            "must be a JSON object"));
+}
+
+TEST(BenchReportValidation, TextEntryPointReportsParseErrors) {
+  const std::vector<std::string> errors = validate_bench_report_text("{nope");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors.front().rfind("parse:", 0), 0u);
+}
+
+}  // namespace
+}  // namespace mtm::obs

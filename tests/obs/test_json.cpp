@@ -1,0 +1,94 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mtm::obs {
+namespace {
+
+TEST(Json, ScalarKindsAndAccessors) {
+  EXPECT_TRUE(JsonValue::null().is_null());
+  EXPECT_TRUE(JsonValue::boolean(true).as_bool());
+  EXPECT_FALSE(JsonValue::boolean(false).as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::number(1.5).as_double(), 1.5);
+  EXPECT_EQ(JsonValue::unsigned_number(42).as_u64(), 42u);
+  EXPECT_EQ(JsonValue::string("hi").as_string(), "hi");
+}
+
+TEST(Json, UnsignedPreservesFull64Bits) {
+  // Seeds are full 64-bit values; a double representation would truncate
+  // anything past 2^53. This seed has low bits a double cannot hold.
+  const std::uint64_t seed = 0x8000000000000001ULL;
+  const JsonValue v = JsonValue::unsigned_number(seed);
+  EXPECT_EQ(v.as_u64(), seed);
+  const JsonValue back = parse_json(v.dump());
+  EXPECT_EQ(back.kind(), JsonValue::Kind::kUnsigned);
+  EXPECT_EQ(back.as_u64(), seed);
+}
+
+TEST(Json, ObjectIsInsertionOrderedAndSetReplaces) {
+  JsonValue obj = JsonValue::object();
+  obj.set("b", JsonValue::unsigned_number(1));
+  obj.set("a", JsonValue::unsigned_number(2));
+  obj.set("b", JsonValue::unsigned_number(3));  // replace, keep position
+  ASSERT_EQ(obj.members().size(), 2u);
+  EXPECT_EQ(obj.members()[0].first, "b");
+  EXPECT_EQ(obj.members()[1].first, "a");
+  EXPECT_EQ(obj.find("b")->as_u64(), 3u);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_EQ(obj.dump(), R"({"b":3,"a":2})");
+}
+
+TEST(Json, ArrayAccess) {
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue::unsigned_number(1));
+  arr.push_back(JsonValue::string("x"));
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.at(0).as_u64(), 1u);
+  EXPECT_EQ(arr.at(1).as_string(), "x");
+  EXPECT_EQ(arr.dump(), R"([1,"x"])");
+}
+
+TEST(Json, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  const JsonValue v = JsonValue::string("line1\nline2");
+  EXPECT_EQ(parse_json(v.dump()).as_string(), "line1\nline2");
+}
+
+TEST(Json, RoundTripNestedDocument) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", JsonValue::string("bench"));
+  JsonValue inner = JsonValue::array();
+  inner.push_back(JsonValue::number(-2.5));
+  inner.push_back(JsonValue::boolean(true));
+  inner.push_back(JsonValue::null());
+  doc.set("items", std::move(inner));
+  const JsonValue back = parse_json(doc.dump(2));
+  EXPECT_EQ(back.dump(), doc.dump());
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(JsonValue::number(std::nan("")).dump(), "null");
+  EXPECT_EQ(JsonValue::number(HUGE_VAL).dump(), "null");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), std::invalid_argument);
+  EXPECT_THROW(parse_json("{"), std::invalid_argument);
+  EXPECT_THROW(parse_json("[1,]"), std::invalid_argument);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW(parse_json("12 34"), std::invalid_argument);
+  EXPECT_THROW(parse_json("nul"), std::invalid_argument);
+}
+
+TEST(Json, ParseAcceptsNegativeAndFractionalNumbers) {
+  EXPECT_DOUBLE_EQ(parse_json("-3.25").as_double(), -3.25);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_double(), 1000.0);
+  // Negative integers are kNumber (kUnsigned is non-negative only).
+  EXPECT_EQ(parse_json("-7").kind(), JsonValue::Kind::kNumber);
+  EXPECT_EQ(parse_json("7").kind(), JsonValue::Kind::kUnsigned);
+}
+
+}  // namespace
+}  // namespace mtm::obs

@@ -1,0 +1,118 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mtm::obs {
+namespace {
+
+TEST(Counter, IncrementsMonotonically) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.increment(10);
+  EXPECT_EQ(c.value(), 11u);
+}
+
+TEST(Gauge, KeepsLastWrittenValue) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(FixedHistogram, RejectsBadBounds) {
+  EXPECT_THROW(FixedHistogram({}), std::invalid_argument);
+  EXPECT_THROW(FixedHistogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(FixedHistogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(FixedHistogram, BucketsByInclusiveUpperBoundWithOverflow) {
+  FixedHistogram h({1.0, 10.0, 100.0});
+  ASSERT_EQ(h.bucket_count(), 4u);  // 3 bounds + overflow
+  h.record(0.5);    // <= 1
+  h.record(1.0);    // <= 1 (inclusive)
+  h.record(7.0);    // <= 10
+  h.record(100.0);  // <= 100
+  h.record(1e6);    // overflow
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 7.0 + 100.0 + 1e6);
+  EXPECT_DOUBLE_EQ(h.mean(), h.sum() / 5.0);
+  EXPECT_DOUBLE_EQ(h.upper_bound(0), 1.0);
+  EXPECT_TRUE(std::isinf(h.upper_bound(3)));
+}
+
+TEST(FixedHistogram, ExponentialBoundsFormGeometricLadder) {
+  const std::vector<double> bounds = FixedHistogram::exponential_bounds(0.5, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.5);
+  EXPECT_DOUBLE_EQ(bounds[1], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 4.0);
+  EXPECT_THROW(FixedHistogram::exponential_bounds(0.0, 2.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(FixedHistogram::exponential_bounds(0.5, 1.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(FixedHistogram::exponential_bounds(0.5, 2.0, 0),
+               std::invalid_argument);
+}
+
+TEST(MetricRegistry, FetchOrCreateReturnsStableReferences) {
+  MetricRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  Counter& c = reg.counter("trials_run");
+  EXPECT_FALSE(reg.empty());
+  c.increment(3);
+  EXPECT_EQ(&reg.counter("trials_run"), &c);
+  EXPECT_EQ(reg.counter("trials_run").value(), 3u);
+
+  Gauge& g = reg.gauge("threads");
+  g.set(4.0);
+  EXPECT_EQ(&reg.gauge("threads"), &g);
+
+  FixedHistogram& h = reg.histogram("wall_ms", {1.0, 2.0});
+  EXPECT_EQ(&reg.histogram("wall_ms", {1.0, 2.0}), &h);
+}
+
+TEST(MetricRegistry, HistogramRefetchWithDifferentBoundsThrows) {
+  MetricRegistry reg;
+  reg.histogram("wall_ms", {1.0, 2.0});
+  EXPECT_THROW(reg.histogram("wall_ms", {1.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("wall_ms", {1.0}), std::invalid_argument);
+}
+
+TEST(MetricRegistry, SnapshotHasDocumentedShape) {
+  MetricRegistry reg;
+  reg.counter("events").increment(7);
+  reg.gauge("threads").set(2.0);
+  FixedHistogram& h = reg.histogram("lat", {1.0, 10.0});
+  h.record(0.5);
+  h.record(99.0);  // overflow
+
+  const JsonValue snap = reg.snapshot();
+  ASSERT_TRUE(snap.is_object());
+  EXPECT_EQ(snap.find("counters")->find("events")->as_u64(), 7u);
+  EXPECT_DOUBLE_EQ(snap.find("gauges")->find("threads")->as_double(), 2.0);
+
+  const JsonValue* lat = snap.find("histograms")->find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("count")->as_u64(), 2u);
+  EXPECT_DOUBLE_EQ(lat->find("sum")->as_double(), 99.5);
+  EXPECT_DOUBLE_EQ(lat->find("mean")->as_double(), 49.75);
+  const JsonValue* buckets = lat->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->size(), 3u);  // 2 bounds + overflow
+  EXPECT_DOUBLE_EQ(buckets->at(0).find("le")->as_double(), 1.0);
+  EXPECT_EQ(buckets->at(0).find("count")->as_u64(), 1u);
+  EXPECT_EQ(buckets->at(2).find("count")->as_u64(), 1u);
+}
+
+}  // namespace
+}  // namespace mtm::obs

@@ -1,0 +1,101 @@
+#include "obs/phase_timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace mtm::obs {
+namespace {
+
+TEST(PhaseProfile, AddAccumulatesTotalsAndCalls) {
+  PhaseProfile p;
+  EXPECT_EQ(p.total(), 0u);
+  p.add(Phase::kScan, 100);
+  p.add(Phase::kScan, 50);
+  p.add(Phase::kExchange, 350);
+  EXPECT_EQ(p.total(), 500u);
+  EXPECT_EQ(p.total_ns[static_cast<std::size_t>(Phase::kScan)], 150u);
+  EXPECT_EQ(p.calls[static_cast<std::size_t>(Phase::kScan)], 2u);
+  EXPECT_DOUBLE_EQ(p.fraction(Phase::kScan), 150.0 / 500.0);
+  EXPECT_DOUBLE_EQ(p.fraction(Phase::kExchange), 350.0 / 500.0);
+  EXPECT_DOUBLE_EQ(p.fraction(Phase::kFaults), 0.0);
+}
+
+TEST(PhaseProfile, FractionOfUntimedProfileIsZero) {
+  const PhaseProfile p;
+  EXPECT_DOUBLE_EQ(p.fraction(Phase::kScan), 0.0);
+}
+
+TEST(PhaseProfile, MergeAndReset) {
+  PhaseProfile a;
+  a.add(Phase::kDecide, 10);
+  a.rounds = 2;
+  PhaseProfile b;
+  b.add(Phase::kDecide, 5);
+  b.add(Phase::kFinish, 1);
+  b.rounds = 3;
+  a.merge(b);
+  EXPECT_EQ(a.total(), 16u);
+  EXPECT_EQ(a.calls[static_cast<std::size_t>(Phase::kDecide)], 2u);
+  EXPECT_EQ(a.rounds, 5u);
+  a.reset();
+  EXPECT_EQ(a.total(), 0u);
+  EXPECT_EQ(a.rounds, 0u);
+  EXPECT_EQ(a.calls[static_cast<std::size_t>(Phase::kDecide)], 0u);
+}
+
+TEST(PhaseProfile, PhaseNamesAreDistinctAndStable) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    names.insert(phase_name(static_cast<Phase>(i)));
+  }
+  EXPECT_EQ(names.size(), kPhaseCount);
+  EXPECT_EQ(std::string(phase_name(Phase::kFaults)), "faults");
+  EXPECT_EQ(std::string(phase_name(Phase::kExchange)), "exchange");
+}
+
+TEST(PhaseProfile, ToJsonMatchesDocumentedShape) {
+  PhaseProfile p;
+  p.add(Phase::kAdvertise, 40);
+  p.add(Phase::kResolve, 60);
+  p.rounds = 7;
+  const JsonValue doc = p.to_json();
+  EXPECT_EQ(doc.find("unit")->as_string(), "ns");
+  EXPECT_EQ(doc.find("rounds")->as_u64(), 7u);
+  EXPECT_EQ(doc.find("total_ns")->as_u64(), 100u);
+  const JsonValue* per_phase = doc.find("per_phase");
+  ASSERT_NE(per_phase, nullptr);
+  ASSERT_EQ(per_phase->size(), kPhaseCount);
+  double fraction_sum = 0.0;
+  for (std::size_t i = 0; i < per_phase->size(); ++i) {
+    const JsonValue& entry = per_phase->at(i);
+    EXPECT_EQ(entry.find("phase")->as_string(),
+              phase_name(static_cast<Phase>(i)));
+    EXPECT_EQ(entry.find("total_ns")->kind(), JsonValue::Kind::kUnsigned);
+    EXPECT_EQ(entry.find("calls")->kind(), JsonValue::Kind::kUnsigned);
+    fraction_sum += entry.find("fraction")->as_double();
+  }
+  EXPECT_DOUBLE_EQ(fraction_sum, 1.0);
+  EXPECT_DOUBLE_EQ(
+      per_phase->at(static_cast<std::size_t>(Phase::kResolve)).find("fraction")->as_double(),
+      0.6);
+}
+
+TEST(ScopedPhaseTimer, RecordsElapsedTimeIntoProfile) {
+  PhaseProfile p;
+  {
+    ScopedPhaseTimer timer(&p, Phase::kScan);
+    // Do a little work so the elapsed time is measurable on coarse clocks.
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < 10000; ++i) sink = sink + i;
+  }
+  EXPECT_EQ(p.calls[static_cast<std::size_t>(Phase::kScan)], 1u);
+}
+
+TEST(ScopedPhaseTimer, NullProfileIsANoOp) {
+  ScopedPhaseTimer timer(nullptr, Phase::kScan);  // must not crash or record
+}
+
+}  // namespace
+}  // namespace mtm::obs

@@ -1,0 +1,92 @@
+#include "obs/trace_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mtm::obs {
+namespace {
+
+TraceEvent sample_event(std::uint64_t round) {
+  return TraceEvent("round", round)
+      .with("active", std::uint64_t{9})
+      .with("rate", 0.5)
+      .with("note", std::string("ok"));
+}
+
+TEST(TraceEvent, JsonlFormPreservesEmissionOrder) {
+  // Field order is part of the golden-trace contract: kind and round lead,
+  // then the fields exactly as .with() appended them.
+  EXPECT_EQ(sample_event(3).to_jsonl(),
+            R"({"kind":"round","round":3,"active":9,"rate":0.5,"note":"ok"})");
+}
+
+TEST(TraceEvent, EqualityComparesSerializedForm) {
+  EXPECT_EQ(sample_event(3), sample_event(3));
+  EXPECT_FALSE(sample_event(3) == sample_event(4));
+  TraceEvent other = sample_event(3);
+  other.with("extra", std::uint64_t{1});
+  EXPECT_FALSE(sample_event(3) == other);
+}
+
+TEST(RingTraceSink, UnboundedKeepsEverything) {
+  RingTraceSink ring;  // capacity 0 = unbounded
+  for (std::uint64_t r = 1; r <= 100; ++r) ring.emit(sample_event(r));
+  EXPECT_EQ(ring.events().size(), 100u);
+  EXPECT_EQ(ring.evicted(), 0u);
+  EXPECT_EQ(ring.events().front().round, 1u);
+  EXPECT_EQ(ring.events().back().round, 100u);
+}
+
+TEST(RingTraceSink, BoundedEvictsOldestAndCounts) {
+  RingTraceSink ring(3);
+  for (std::uint64_t r = 1; r <= 5; ++r) ring.emit(sample_event(r));
+  ASSERT_EQ(ring.events().size(), 3u);
+  EXPECT_EQ(ring.evicted(), 2u);
+  EXPECT_EQ(ring.events().front().round, 3u);
+  EXPECT_EQ(ring.events().back().round, 5u);
+  ring.clear();
+  EXPECT_TRUE(ring.events().empty());
+  EXPECT_EQ(ring.evicted(), 0u);
+}
+
+TEST(JsonlTraceSink, WritesOneParseableJsonObjectPerLine) {
+  const std::string path = testing::TempDir() + "trace_sink_test.jsonl";
+  {
+    JsonlTraceSink sink(path);
+    sink.emit(sample_event(1));
+    sink.emit(sample_event(2));
+    sink.flush();
+    EXPECT_EQ(sink.events_written(), 2u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::uint64_t expected_round = 1;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    const JsonValue doc = parse_json(line);
+    EXPECT_EQ(doc.find("kind")->as_string(), "round");
+    EXPECT_EQ(doc.find("round")->as_u64(), expected_round++);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(JsonlTraceSink, ThrowsWhenTargetCannotBeOpened) {
+  EXPECT_THROW(JsonlTraceSink("/nonexistent-dir-for-sure/trace.jsonl"),
+               std::runtime_error);
+}
+
+TEST(NullTraceSink, DiscardsSilently) {
+  NullTraceSink null;
+  TraceSink& sink = null;
+  sink.emit(sample_event(1));
+  sink.flush();  // default no-op
+}
+
+}  // namespace
+}  // namespace mtm::obs

@@ -1,0 +1,210 @@
+// The observability layer's central promise: attaching trace sinks and
+// phase profiles to an engine changes NOTHING about the execution. RNG
+// streams, telemetry counters, per-round records, and stabilization
+// behaviour must be byte-identical with and without instrumentation
+// (engine.hpp documents the contract; this file enforces it).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "graph/generators.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace_sink.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+namespace {
+
+/// Everything deterministic an execution produces.
+struct Fingerprint {
+  Round rounds = 0;
+  bool converged = false;
+  std::uint64_t proposals = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t wasted_rounds = 0;
+  std::uint64_t payload_uids = 0;
+  std::vector<RoundStats> per_round;
+};
+
+bool same_stats(const RoundStats& a, const RoundStats& b) {
+  return a.round == b.round && a.active_nodes == b.active_nodes &&
+         a.proposals == b.proposals && a.connections == b.connections &&
+         a.dropped == b.dropped && a.crashes == b.crashes &&
+         a.recoveries == b.recoveries;
+}
+
+bool same_fingerprint(const Fingerprint& a, const Fingerprint& b) {
+  if (a.per_round.size() != b.per_round.size()) return false;
+  for (std::size_t i = 0; i < a.per_round.size(); ++i) {
+    if (!same_stats(a.per_round[i], b.per_round[i])) return false;
+  }
+  return a.rounds == b.rounds && a.converged == b.converged &&
+         a.proposals == b.proposals && a.connections == b.connections &&
+         a.dropped == b.dropped && a.crashes == b.crashes &&
+         a.recoveries == b.recoveries && a.wasted_rounds == b.wasted_rounds &&
+         a.payload_uids == b.payload_uids;
+}
+
+/// A run with every failure mode active: connection failures, churn, and
+/// recoveries, so the differential covers the fault code paths too.
+Fingerprint faulty_run(obs::TraceSink* sink, obs::PhaseProfile* profile) {
+  StaticGraphProvider topo(make_clique(10));
+  BlindGossip proto(BlindGossip::shuffled_uids(10, 77));
+  EngineConfig cfg;
+  cfg.seed = 77;
+  cfg.record_rounds = true;
+  cfg.connection_failure_prob = 0.1;
+  cfg.faults.crash_prob = 0.05;
+  cfg.faults.recovery_prob = 0.5;
+  cfg.faults.min_alive = 4;
+  cfg.faults.seed = derive_seed(77, {0xfau});
+  Engine engine(topo, proto, cfg);
+  if (sink != nullptr) engine.set_trace_sink(sink);
+  if (profile != nullptr) engine.set_phase_profile(profile);
+  const RunResult result = run_until_stabilized(engine, 512);
+
+  Fingerprint fp;
+  fp.rounds = result.rounds;
+  fp.converged = result.converged;
+  const Telemetry& t = engine.telemetry();
+  fp.proposals = t.proposals();
+  fp.connections = t.connections();
+  fp.dropped = t.dropped();
+  fp.crashes = t.crashes();
+  fp.recoveries = t.recoveries();
+  fp.wasted_rounds = t.wasted_rounds();
+  fp.payload_uids = t.payload_uids();
+  fp.per_round = t.per_round();
+  return fp;
+}
+
+TEST(ZeroPerturbation, SinksAndProfileDoNotPerturbExecution) {
+  const Fingerprint bare = faulty_run(nullptr, nullptr);
+  ASSERT_GT(bare.rounds, 0u);
+
+  obs::RingTraceSink ring;
+  obs::PhaseProfile profile;
+  const Fingerprint traced = faulty_run(&ring, &profile);
+  EXPECT_TRUE(same_fingerprint(bare, traced));
+  EXPECT_FALSE(ring.events().empty());
+  EXPECT_EQ(profile.rounds, bare.rounds);
+  EXPECT_GT(profile.calls[static_cast<std::size_t>(obs::Phase::kAdvertise)],
+            0u);
+
+  const std::string path =
+      testing::TempDir() + "zero_perturbation_trace.jsonl";
+  obs::JsonlTraceSink file_sink(path);
+  obs::PhaseProfile profile2;
+  const Fingerprint jsonl_traced = faulty_run(&file_sink, &profile2);
+  EXPECT_TRUE(same_fingerprint(bare, jsonl_traced));
+  EXPECT_GT(file_sink.events_written(), 0u);
+}
+
+TEST(ZeroPerturbation, TraceStreamIsDeterministic) {
+  obs::RingTraceSink first;
+  obs::RingTraceSink second;
+  faulty_run(&first, nullptr);
+  faulty_run(&second, nullptr);
+  ASSERT_EQ(first.events().size(), second.events().size());
+  for (std::size_t i = 0; i < first.events().size(); ++i) {
+    EXPECT_EQ(first.events()[i], second.events()[i]);
+  }
+}
+
+TEST(ZeroPerturbation, RoundEventsMirrorTelemetry) {
+  obs::RingTraceSink ring;
+  const Fingerprint fp = faulty_run(&ring, nullptr);
+
+  std::size_t round_events = 0;
+  std::uint64_t crash_events = 0;
+  std::uint64_t recover_events = 0;
+  for (const obs::TraceEvent& event : ring.events()) {
+    if (event.kind == "crash") {
+      ++crash_events;
+      continue;
+    }
+    if (event.kind == "recover") {
+      ++recover_events;
+      continue;
+    }
+    ASSERT_EQ(event.kind, "round");  // the only kinds the engine emits
+    ASSERT_LT(round_events, fp.per_round.size());
+    const RoundStats& stats = fp.per_round[round_events];
+    const obs::JsonValue doc = event.to_json();
+    EXPECT_EQ(event.round, stats.round);
+    EXPECT_EQ(doc.find("active")->as_u64(), stats.active_nodes);
+    EXPECT_EQ(doc.find("proposals")->as_u64(), stats.proposals);
+    EXPECT_EQ(doc.find("connections")->as_u64(), stats.connections);
+    EXPECT_EQ(doc.find("dropped")->as_u64(), stats.dropped);
+    EXPECT_EQ(doc.find("crashes")->as_u64(), stats.crashes);
+    EXPECT_EQ(doc.find("recoveries")->as_u64(), stats.recoveries);
+    ++round_events;
+  }
+  EXPECT_EQ(round_events, fp.per_round.size());
+  EXPECT_EQ(round_events, fp.rounds);
+  EXPECT_EQ(crash_events, fp.crashes);
+  EXPECT_EQ(recover_events, fp.recoveries);
+}
+
+TEST(ZeroPerturbation, GoldenTraceOfSeededThreeNodeRun) {
+  // 3-node clique, no faults, no failure injection: the stream is exactly
+  // one "round" event per executed round, and the serialized form is the
+  // pinned golden format — kind and round first, then the counter deltas
+  // in emission order.
+  StaticGraphProvider topo(make_clique(3));
+  BlindGossip proto({30, 10, 20});
+  EngineConfig cfg;
+  cfg.seed = 5;
+  cfg.record_rounds = true;
+  Engine engine(topo, proto, cfg);
+  obs::RingTraceSink ring;
+  engine.set_trace_sink(&ring);
+  const RunResult result = run_until_stabilized(engine, 64);
+  ASSERT_TRUE(result.converged);
+
+  const Telemetry& t = engine.telemetry();
+  ASSERT_EQ(ring.events().size(), t.per_round().size());
+  for (std::size_t i = 0; i < ring.events().size(); ++i) {
+    const RoundStats& stats = t.per_round()[i];
+    std::ostringstream expected;
+    expected << R"({"kind":"round","round":)" << stats.round
+             << R"(,"active":)" << stats.active_nodes << R"(,"proposals":)"
+             << stats.proposals << R"(,"connections":)" << stats.connections
+             << R"(,"dropped":0,"crashes":0,"recoveries":0})";
+    EXPECT_EQ(ring.events()[i].to_jsonl(), expected.str());
+    EXPECT_EQ(ring.events()[i].to_json().find("active")->as_u64(), 3u);
+  }
+}
+
+TEST(ZeroPerturbation, JsonlFileIsByteIdenticalAcrossRuns) {
+  const auto write_trace = [](const std::string& path) {
+    obs::JsonlTraceSink sink(path);
+    faulty_run(&sink, nullptr);
+    sink.flush();
+  };
+  const std::string a = testing::TempDir() + "trace_run_a.jsonl";
+  const std::string b = testing::TempDir() + "trace_run_b.jsonl";
+  write_trace(a);
+  write_trace(b);
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+  };
+  const std::string text = slurp(a);
+  EXPECT_FALSE(text.empty());
+  EXPECT_EQ(text, slurp(b));
+}
+
+}  // namespace
+}  // namespace mtm

@@ -52,10 +52,10 @@ TEST_P(LeaderConvergence, StabilizesToGlobalMinimum) {
   spec.network_size_bound = n;
   spec.topology = tau == 0 ? static_topology(std::move(g))
                            : relabeling_topology(std::move(g), tau);
-  spec.max_rounds = 3000000;
-  spec.trials = 4;
-  spec.seed = 0xc0ffee;
-  spec.threads = 4;
+  spec.controls.max_rounds = 3000000;
+  spec.controls.trials = 4;
+  spec.controls.seed = 0xc0ffee;
+  spec.controls.threads = 4;
   const auto results = run_leader_experiment(spec);
   for (const RunResult& r : results) {
     EXPECT_TRUE(r.converged) << leader_algo_name(algo) << " on " << topo_name
@@ -94,10 +94,10 @@ TEST_P(RumorConvergence, InformsEveryone) {
   spec.algo = algo;
   spec.node_count = g.node_count();
   spec.topology = static_topology(std::move(g));
-  spec.max_rounds = 2000000;
-  spec.trials = 4;
-  spec.seed = 0xfeed;
-  spec.threads = 4;
+  spec.controls.max_rounds = 2000000;
+  spec.controls.trials = 4;
+  spec.controls.seed = 0xfeed;
+  spec.controls.threads = 4;
   const auto results = run_rumor_experiment(spec);
   for (const RunResult& r : results) {
     EXPECT_TRUE(r.converged) << rumor_algo_name(algo) << " on " << topo_name;
@@ -119,9 +119,9 @@ TEST(ConvergenceEdgeCases, TwoNodePath) {
     spec.algo = static_cast<LeaderAlgo>(algo_index);
     spec.node_count = 2;
     spec.topology = static_topology(make_path(2));
-    spec.max_rounds = 100000;
-    spec.trials = 3;
-    spec.seed = 3;
+    spec.controls.max_rounds = 100000;
+    spec.controls.trials = 3;
+    spec.controls.seed = 3;
     const auto results = run_leader_experiment(spec);
     for (const RunResult& r : results) {
       EXPECT_TRUE(r.converged)
@@ -144,9 +144,9 @@ TEST(ConvergenceEdgeCases, MobilityTopology) {
     cfg.seed = seed;
     return std::make_unique<MobilityGraphProvider>(cfg);
   };
-  spec.max_rounds = 1000000;
-  spec.trials = 3;
-  spec.seed = 5;
+  spec.controls.max_rounds = 1000000;
+  spec.controls.trials = 3;
+  spec.controls.seed = 5;
   const auto results = run_leader_experiment(spec);
   for (const RunResult& r : results) EXPECT_TRUE(r.converged);
 }

@@ -18,10 +18,10 @@ std::vector<Round> rounds_for(LeaderAlgo algo, std::size_t threads,
   spec.max_degree_bound = 13;
   spec.network_size_bound = 14;
   spec.topology = static_topology(make_clique(14));
-  spec.max_rounds = 1u << 22;
-  spec.trials = 5;
-  spec.seed = seed;
-  spec.threads = threads;
+  spec.controls.max_rounds = 1u << 22;
+  spec.controls.trials = 5;
+  spec.controls.seed = seed;
+  spec.controls.threads = threads;
   std::vector<Round> out;
   for (const RunResult& r : run_leader_experiment(spec)) {
     out.push_back(r.rounds);
@@ -59,10 +59,10 @@ std::vector<Round> rumor_rounds_for(RumorAlgo algo, std::size_t threads,
   spec.algo = algo;
   spec.node_count = 14;
   spec.topology = static_topology(make_star_line(2, 6));
-  spec.max_rounds = 1u << 22;
-  spec.trials = 5;
-  spec.seed = seed;
-  spec.threads = threads;
+  spec.controls.max_rounds = 1u << 22;
+  spec.controls.trials = 5;
+  spec.controls.seed = seed;
+  spec.controls.threads = threads;
   std::vector<Round> out;
   for (const RunResult& r : run_rumor_experiment(spec)) {
     out.push_back(r.rounds);

@@ -51,9 +51,9 @@ std::vector<Round> leader_rounds(LeaderAlgo algo, Graph g,
   spec.max_degree_bound = g.max_degree();
   spec.network_size_bound = g.node_count();
   spec.topology = static_topology(std::move(g));
-  spec.max_rounds = 1u << 22;
-  spec.trials = 3;
-  spec.seed = seed;
+  spec.controls.max_rounds = 1u << 22;
+  spec.controls.trials = 3;
+  spec.controls.seed = seed;
   std::vector<Round> out;
   for (const RunResult& r : run_leader_experiment(spec)) {
     out.push_back(r.rounds);
@@ -95,9 +95,9 @@ TEST(Golden, PpushStarLine3x4) {
   spec.algo = RumorAlgo::kPpush;
   spec.node_count = 15;
   spec.topology = static_topology(make_star_line(3, 4));
-  spec.max_rounds = 1u << 22;
-  spec.trials = 3;
-  spec.seed = 106;
+  spec.controls.max_rounds = 1u << 22;
+  spec.controls.trials = 3;
+  spec.controls.seed = 106;
   std::vector<Round> out;
   for (const RunResult& r : run_rumor_experiment(spec)) {
     out.push_back(r.rounds);

@@ -71,10 +71,10 @@ TEST_P(FailureConvergence, AllLeaderAlgosSurviveHeavyLoss) {
   spec.max_degree_bound = 11;
   spec.network_size_bound = 12;
   spec.topology = static_topology(make_clique(12));
-  spec.max_rounds = 1u << 23;
-  spec.trials = 3;
-  spec.seed = 4;
-  spec.connection_failure_prob = 0.7;
+  spec.controls.max_rounds = 1u << 23;
+  spec.controls.trials = 3;
+  spec.controls.seed = 4;
+  spec.controls.connection_failure_prob = 0.7;
   for (const RunResult& r : run_leader_experiment(spec)) {
     EXPECT_TRUE(r.converged) << leader_algo_name(algo);
   }
@@ -93,10 +93,10 @@ TEST(FailureInjection, LossSlowsConvergence) {
     spec.algo = LeaderAlgo::kBlindGossip;
     spec.node_count = 16;
     spec.topology = static_topology(make_clique(16));
-    spec.max_rounds = 1u << 23;
-    spec.trials = 8;
-    spec.seed = 5;
-    spec.connection_failure_prob = p;
+    spec.controls.max_rounds = 1u << 23;
+    spec.controls.trials = 8;
+    spec.controls.seed = 5;
+    spec.controls.connection_failure_prob = p;
     return measure_leader(spec).mean;
   };
   EXPECT_GT(mean_rounds(0.8), mean_rounds(0.0));

@@ -51,6 +51,83 @@ TEST(Runner, PerRoundCallbackInvoked) {
   EXPECT_EQ(callbacks, result.rounds);
 }
 
+// The Runner.PerRound* tests pin the observer contract documented in
+// runner.hpp: `per_round` fires after EVERY executed round — including the
+// stabilization round's final state and the max_rounds-exhaustion round —
+// and never fires when zero rounds execute.
+
+TEST(Runner, PerRoundObservesStabilizationRoundFinalState) {
+  StaticGraphProvider topo(make_clique(6));
+  BlindGossip proto(BlindGossip::shuffled_uids(6, 21));
+  EngineConfig cfg;
+  cfg.seed = 21;
+  Engine engine(topo, proto, cfg);
+  Round callbacks = 0;
+  bool last_seen_stabilized = false;
+  Round last_seen_round = 0;
+  const RunResult result = run_until_stabilized(
+      engine, 10000, [&](const Engine& e) {
+        ++callbacks;
+        last_seen_stabilized = proto.stabilized();
+        last_seen_round = e.rounds_executed();
+      });
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(callbacks, result.rounds);
+  // The final callback ran AFTER the stabilizing step, on its final state.
+  EXPECT_TRUE(last_seen_stabilized);
+  EXPECT_EQ(last_seen_round, result.rounds);
+}
+
+TEST(Runner, PerRoundObservesMaxRoundsExhaustionRound) {
+  StaticGraphProvider topo(make_star_line(8, 8));
+  BlindGossip proto(BlindGossip::shuffled_uids(72, 22));
+  Engine engine(topo, proto, EngineConfig{});
+  Round callbacks = 0;
+  Round last_seen_round = 0;
+  const RunResult result = run_until_stabilized(
+      engine, 5, [&](const Engine& e) {
+        ++callbacks;
+        last_seen_round = e.rounds_executed();
+      });
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(callbacks, 5u);  // the exhaustion round is observed too
+  EXPECT_EQ(last_seen_round, 5u);
+}
+
+TEST(Runner, PerRoundObservesCoincidentStabilizationAtCap) {
+  // Stabilization in exactly the round that exhausts the cap: the observer
+  // must still fire on that round and the result must report convergence.
+  const auto run_with_cap = [](Round cap, Round* callbacks) {
+    StaticGraphProvider topo(make_clique(5));
+    BlindGossip proto(BlindGossip::shuffled_uids(5, 23));
+    EngineConfig cfg;
+    cfg.seed = 23;
+    Engine engine(topo, proto, cfg);
+    return run_until_stabilized(engine, cap, [callbacks](const Engine&) {
+      if (callbacks != nullptr) ++*callbacks;
+    });
+  };
+  const RunResult free_run = run_with_cap(10000, nullptr);
+  ASSERT_TRUE(free_run.converged);
+  Round callbacks = 0;
+  const RunResult capped = run_with_cap(free_run.rounds, &callbacks);
+  EXPECT_TRUE(capped.converged);
+  EXPECT_EQ(capped.rounds, free_run.rounds);
+  EXPECT_EQ(callbacks, free_run.rounds);
+}
+
+TEST(Runner, PerRoundNeverFiresWhenZeroRoundsExecute) {
+  StaticGraphProvider topo(Graph::empty(1));
+  PushPull proto({0});
+  Engine engine(topo, proto, EngineConfig{});
+  Round callbacks = 0;
+  const RunResult result = run_until_stabilized(
+      engine, 100, [&callbacks](const Engine&) { ++callbacks; });
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_EQ(callbacks, 0u);
+}
+
 TEST(Runner, TrivialSingleNodeAlreadyStable) {
   StaticGraphProvider topo(Graph::empty(1));
   PushPull proto({0});
@@ -76,8 +153,13 @@ TEST(RunTrials, DeterministicAndThreadInvariant) {
     Engine engine(topo, proto, cfg);
     return run_until_stabilized(engine, 10000);
   };
-  TrialSpec serial{10000, 8, 77, 1};
-  TrialSpec parallel{10000, 8, 77, 4};
+  TrialSpec serial;
+  serial.controls.max_rounds = 10000;
+  serial.controls.trials = 8;
+  serial.controls.seed = 77;
+  serial.controls.threads = 1;
+  TrialSpec parallel = serial;
+  parallel.controls.threads = 4;
   const auto a = run_trials(serial, body);
   const auto b = run_trials(parallel, body);
   ASSERT_EQ(a.size(), b.size());
@@ -95,7 +177,12 @@ TEST(RunTrials, DifferentTrialsDiffer) {
     Engine engine(topo, proto, cfg);
     return run_until_stabilized(engine, 100000);
   };
-  const auto results = run_trials(TrialSpec{100000, 8, 5, 2}, body);
+  TrialSpec spec;
+  spec.controls.max_rounds = 100000;
+  spec.controls.trials = 8;
+  spec.controls.seed = 5;
+  spec.controls.threads = 2;
+  const auto results = run_trials(spec, body);
   bool any_differ = false;
   for (std::size_t i = 1; i < results.size(); ++i) {
     any_differ |= results[i].rounds != results[0].rounds;

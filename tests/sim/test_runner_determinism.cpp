@@ -20,10 +20,10 @@ bool identical(const RunResult& a, const RunResult& b) {
 std::vector<RunResult> trials_with_threads(std::size_t threads,
                                            std::uint64_t seed) {
   TrialSpec spec;
-  spec.max_rounds = 1u << 20;
-  spec.trials = 16;
-  spec.seed = seed;
-  spec.threads = threads;
+  spec.controls.max_rounds = 1u << 20;
+  spec.controls.trials = 16;
+  spec.controls.seed = seed;
+  spec.controls.threads = threads;
   return run_trials(spec, [](std::uint64_t trial_seed) {
     const Graph g = make_star_line(3, 4);
     StaticGraphProvider topo(g);
@@ -56,15 +56,15 @@ TEST(RunnerDeterminism, TrialsAreIdenticalAcrossThreadCounts) {
 
 TEST(RunnerDeterminism, TrialSeedScheduleIsThreadAndOrderInvariant) {
   // Pins the derive_seed(seed, {"trial", t}) schedule itself: the seed a
-  // trial body receives depends only on (spec.seed, trial index), never on
+  // trial body receives depends only on (spec.controls.seed, trial index), never on
   // which worker ran it or in what order.
   const auto seeds_with_threads = [](std::size_t threads) {
     TrialSpec spec;
-    spec.max_rounds = 1;
-    spec.trials = 64;
-    spec.seed = 123;
-    spec.threads = threads;
-    std::vector<std::uint64_t> seeds(spec.trials);
+    spec.controls.max_rounds = 1;
+    spec.controls.trials = 64;
+    spec.controls.seed = 123;
+    spec.controls.threads = threads;
+    std::vector<std::uint64_t> seeds(spec.controls.trials);
     run_trials(spec, [&seeds](std::uint64_t trial_seed) {
       // Recover the trial index from the known derivation to store the
       // seed at its slot without racing.

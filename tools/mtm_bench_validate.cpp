@@ -1,0 +1,69 @@
+// mtm_bench_validate — schema-check unified bench JSON artifacts.
+//
+// Examples:
+//   mtm_bench_validate BENCH_engine_throughput.json
+//   mtm_bench_validate BENCH_*.json        (shell-expanded; all must pass)
+//   mtm_bench_validate --help
+//
+// Exit status: 0 when every file validates against the mtm-bench/1 schema
+// (obs/bench_report.hpp), 1 otherwise — the bench-smoke CI job gates on it.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(mtm_bench_validate: bench JSON schema checker
+
+usage: mtm_bench_validate FILE...
+
+Validates each FILE against the unified bench-output schema (mtm-bench/1):
+schema/name/manifest/series are required; phases, metrics and extra are
+optional but type-checked. Prints every violation and exits non-zero if
+any file fails.
+)";
+
+int validate_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::vector<std::string> errors =
+      mtm::obs::validate_bench_report_text(text.str());
+  if (errors.empty()) {
+    std::cout << path << ": ok\n";
+    return 0;
+  }
+  for (const std::string& error : errors) {
+    std::cerr << path << ": " << error << "\n";
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    files.push_back(arg);
+  }
+  if (files.empty()) {
+    std::cerr << kUsage;
+    return 1;
+  }
+  int failures = 0;
+  for (const std::string& file : files) failures += validate_file(file);
+  return failures == 0 ? 0 : 1;
+}

@@ -17,12 +17,13 @@
 #include <string>
 
 #include "core/cli.hpp"
+#include "sim/fault_cli.hpp"
 #include "testing/fuzz.hpp"
 
 namespace mtm {
 namespace {
 
-constexpr const char* kUsage = R"(mtm_replay: differential harness replay/fuzz driver
+constexpr const char* kUsageHead = R"(mtm_replay: differential harness replay/fuzz driver
 
 options:
   --case=TUPLE      replay one recorded fuzz tuple (the "key=value ..." form
@@ -44,7 +45,14 @@ options:
   --no-shrink       report original failing tuples without minimizing
   --out=PATH        append failing shrunk tuples to PATH (CI artifact)
   --help            this text
+
+With --case, the shared fault flags override the tuple's fault dimensions
+(the flag names ARE the tuple keys — see sim/fault_cli.hpp):
 )";
+
+std::string usage() {
+  return std::string(kUsageHead) + fault_flags_help();
+}
 
 testing::ReferenceMutation parse_mutation(const std::string& name) {
   using testing::ReferenceMutation;
@@ -61,9 +69,26 @@ testing::ReferenceMutation parse_mutation(const std::string& name) {
 int replay_case(const CliArgs& args, const std::string& case_text) {
   const bool trace = args.has("trace");
   const auto mutation = parse_mutation(args.get_string("mutation", "none"));
+
+  testing::FuzzCase fuzz_case = testing::parse_fuzz_case(case_text);
+  // Shared fault flags override the tuple's fault dimensions — flag names
+  // and tuple keys are the same strings by construction (sim/fault_cli.hpp),
+  // so "what the fuzzer recorded" and "what the CLI accepts" cannot drift.
+  fuzz_case.crash_prob = args.get_double("crash", fuzz_case.crash_prob);
+  fuzz_case.recovery_prob = args.get_double("recover", fuzz_case.recovery_prob);
+  fuzz_case.burst = static_cast<int>(
+      args.get_u64("burst", static_cast<std::uint64_t>(fuzz_case.burst)));
+  burst_preset(fuzz_case.burst);  // range-check the override
+  fuzz_case.edge_degradation =
+      args.get_double("degrade", fuzz_case.edge_degradation);
+  if (args.has("oracle")) {
+    fuzz_case.targeting =
+        parse_crash_targeting(args.get_string("oracle", "none"));
+    if (fuzz_case.target_every == 0) fuzz_case.target_every = 16;
+  }
+  fuzz_case.target_every = args.get_u64("oracle-every", fuzz_case.target_every);
   args.check_unused();
 
-  const testing::FuzzCase fuzz_case = testing::parse_fuzz_case(case_text);
   std::cout << "replaying: " << testing::to_string(fuzz_case) << "\n";
   if (mutation != testing::ReferenceMutation::kNone) {
     std::cout << "reference mutation: " << testing::to_string(mutation)
@@ -145,12 +170,12 @@ int main(int argc, char** argv) {
   try {
     mtm::CliArgs args(argc, argv);
     if (args.has("help")) {
-      std::cout << mtm::kUsage;
+      std::cout << mtm::usage();
       return 0;
     }
     return mtm::run(args);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n\n" << mtm::kUsage;
+    std::cerr << "error: " << e.what() << "\n\n" << mtm::usage();
     return 1;
   }
 }

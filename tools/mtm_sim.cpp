@@ -20,12 +20,15 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "harness/experiment.hpp"
+#include "sim/fault_cli.hpp"
 #include "sim/mobility.hpp"
 
 namespace mtm {
 namespace {
 
-constexpr const char* kUsage = R"(mtm_sim: mobile telephone model simulator
+// The fault flags are shared with mtm_replay (sim/fault_cli.hpp) and
+// spliced into the usage text at print time.
+constexpr const char* kUsageHead = R"(mtm_sim: mobile telephone model simulator
 
 options:
   --algo=NAME       blind-gossip | bit-convergence | async-bit-convergence |
@@ -49,15 +52,10 @@ options:
   --max-rounds=M    per-trial round cap                          [default 2^24]
   --failure-prob=P  connection failure injection, P in [0, 1)    [default 0]
   --acceptance=X    uniform | smallest-id | largest-id           [default uniform]
-  --crash=P         per-round node crash probability             [default 0]
-  --recover=P       per-round crashed-node recovery probability  [default 0]
-  --min-alive=K     crash floor: never fewer than K alive nodes  [default 1]
-  --burst=B         burst link loss preset: 0 off | 1 mild | 2 harsh [default 0]
-  --degrade=D       per-edge degradation cap, D in [0, 1)        [default 0]
-  --oracle=MODE     adversarial crash oracle:
-                    none | random | min-holder | leader          [default none]
-  --oracle-every=K  oracle kill period in rounds                 [default 16]
-  --epoch-timeout=T stable-leader re-election silence timeout    [default 24]
+)";
+
+constexpr const char* kUsageTail =
+    R"(  --epoch-timeout=T stable-leader re-election silence timeout    [default 24]
   --csv=PATH        also write per-trial rounds as CSV (converged trials;
                     censored trials get rounds=-1)
   --help            this text
@@ -66,6 +64,10 @@ With faults enabled, trials may legitimately fail to stabilize within
 --max-rounds; the summary then covers converged trials only and reports
 the convergence rate.
 )";
+
+std::string usage() {
+  return std::string(kUsageHead) + fault_flags_help() + kUsageTail;
+}
 
 Graph build_graph(const CliArgs& args, const std::string& topology,
                   std::uint64_t seed) {
@@ -108,30 +110,8 @@ int run(const CliArgs& args) {
   const std::string csv = args.get_string("csv", "");
   const std::string acceptance_name = args.get_string("acceptance", "uniform");
 
-  FaultPlanConfig faults;
-  faults.crash_prob = args.get_double("crash", 0.0);
-  faults.recovery_prob = args.get_double("recover", 0.0);
-  faults.min_alive = args.get_u32("min-alive", 1);
-  faults.edge_degradation = args.get_double("degrade", 0.0);
-  const std::uint64_t burst_preset = args.get_u64("burst", 0);
-  if (burst_preset == 1) {
-    faults.burst = GilbertElliott{0.1, 0.3, 0.0, 1.0};
-  } else if (burst_preset >= 2) {
-    faults.burst = GilbertElliott{0.2, 0.2, 0.05, 0.9};
-  }
-  const std::string oracle_name = args.get_string("oracle", "none");
-  const Round oracle_every = args.get_u64("oracle-every", 16);
-  if (oracle_name == "random") faults.targeting = CrashTargeting::kRandomAlive;
-  else if (oracle_name == "min-holder") faults.targeting = CrashTargeting::kMinUidHolder;
-  else if (oracle_name == "leader") faults.targeting = CrashTargeting::kLeaderNode;
-  else if (oracle_name != "none") {
-    throw std::invalid_argument("unknown --oracle=" + oracle_name);
-  }
-  if (faults.targeting != CrashTargeting::kNone) {
-    faults.target_every = oracle_every;
-  }
+  const FaultPlanConfig faults = parse_fault_flags(args);
   const Round epoch_timeout = args.get_u64("epoch-timeout", 24);
-  validate(faults);
   // Note: the acceptance policy and failure probability flow through the
   // experiment harness into EngineConfig; the harness currently exposes
   // only failure injection, so non-uniform acceptance is rejected here
@@ -178,12 +158,12 @@ int run(const CliArgs& args) {
     else spec.algo = RumorAlgo::kClassicalPushPull;
     spec.node_count = node_count;
     spec.topology = std::move(factory);
-    spec.max_rounds = max_rounds;
-    spec.trials = trials;
-    spec.seed = seed;
-    spec.threads = ThreadPool::default_thread_count();
-    spec.connection_failure_prob = failure_prob;
-    spec.faults = faults;
+    spec.controls.max_rounds = max_rounds;
+    spec.controls.trials = trials;
+    spec.controls.seed = seed;
+    spec.controls.threads = ThreadPool::default_thread_count();
+    spec.controls.connection_failure_prob = failure_prob;
+    spec.controls.faults = faults;
     results = run_rumor_experiment(spec);
   } else {
     LeaderExperiment spec;
@@ -195,12 +175,12 @@ int run(const CliArgs& args) {
     else throw std::invalid_argument("unknown --algo=" + algo_name);
     spec.node_count = node_count;
     spec.topology = std::move(factory);
-    spec.max_rounds = max_rounds;
-    spec.trials = trials;
-    spec.seed = seed;
-    spec.threads = ThreadPool::default_thread_count();
-    spec.connection_failure_prob = failure_prob;
-    spec.faults = faults;
+    spec.controls.max_rounds = max_rounds;
+    spec.controls.trials = trials;
+    spec.controls.seed = seed;
+    spec.controls.threads = ThreadPool::default_thread_count();
+    spec.controls.connection_failure_prob = failure_prob;
+    spec.controls.faults = faults;
     spec.epoch_timeout = epoch_timeout;
     results = run_leader_experiment(spec);
   }
@@ -257,12 +237,12 @@ int main(int argc, char** argv) {
   try {
     mtm::CliArgs args(argc, argv);
     if (args.has("help")) {
-      std::cout << mtm::kUsage;
+      std::cout << mtm::usage();
       return 0;
     }
     return mtm::run(args);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n\n" << mtm::kUsage;
+    std::cerr << "error: " << e.what() << "\n\n" << mtm::usage();
     return 1;
   }
 }
