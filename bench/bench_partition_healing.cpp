@@ -1,0 +1,190 @@
+// E18 — partition healing: split-brain duration and heal-to-reconvergence
+// latency vs partition width and window length (sim/faults.hpp partition
+// schedules + sim/invariants.hpp monitor + stable-leader).
+//
+// A clique of n = 32 runs the epoch-based stable-leader protocol until the
+// initial election settles, then a one-shot partition window splits the
+// network into `parts` label classes for `duration` rounds. While the
+// window is open, components that lost the leader time out (epoch timeout
+// 16 here) and elect their own — transient split-brain by design. When the
+// window heals, the highest epoch must win everywhere; the invariant
+// monitor measures how long that takes.
+//
+// Sweep: parts in {2, 4} x duration in {8, 24, 48}. Expected shape:
+//
+//   duration < epoch timeout — no component ever times out, so no
+//   split-brain and effectively instant reconvergence (the monitor's
+//   latency only covers gossip re-mixing);
+//   duration >= epoch timeout — every leaderless component re-elects, so
+//   split-brain rounds grow with the window and with parts (more
+//   components re-elect more rivals), while heal latency stays bounded:
+//   one epoch-comparison gossip spread, roughly diameter-sized on a
+//   clique, independent of how long the partition lasted.
+//
+// Output: the standard series tables plus a "healing_sweep" extra section
+// in the unified bench JSON (--out=PATH or $MTM_BENCH_JSON) — the
+// machine-readable artifact EXPERIMENTS.md records.
+#include "bench_common.hpp"
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/stable_leader.hpp"
+#include "sim/engine.hpp"
+#include "sim/invariants.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr NodeId kN = 32;
+constexpr std::size_t kTrials = 12;
+constexpr Round kEpochTimeout = 16;
+constexpr Round kCutRound = 48;     // well after the initial election
+constexpr Round kHealBudget = 256;  // rounds allowed after the heal
+const std::uint64_t kSeed = bench::bench_seed(0x9a47e);
+
+struct HealTrial {
+  std::uint64_t split_brain_rounds = 0;
+  Round heal_latency = 0;
+  bool reconverged = false;
+};
+
+struct HealRow {
+  NodeId parts = 0;
+  Round duration = 0;
+  std::size_t reconverged = 0;
+  std::size_t trials = 0;
+  Summary split_brain;    ///< split-brain rounds per trial
+  Summary heal_latency;   ///< heal-to-reconvergence latency (reconverged)
+};
+
+std::vector<HealRow>& heal_rows() {
+  static std::vector<HealRow> rows;
+  return rows;
+}
+
+HealTrial healing_trial(NodeId parts, Round duration,
+                        std::uint64_t trial_seed) {
+  StaticGraphProvider topology(make_clique(kN));
+  const std::vector<Uid> uids = BlindGossip::shuffled_uids(kN, trial_seed);
+  StableLeader protocol(uids, kEpochTimeout);
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = trial_seed;
+  cfg.faults.partition.mode = PartitionMode::kOneShot;
+  cfg.faults.partition.parts = parts;
+  cfg.faults.partition.start = kCutRound;
+  cfg.faults.partition.duration = duration;
+  cfg.faults.seed = derive_seed(trial_seed, {0x9a47u});
+  Engine engine(topology, protocol, cfg);
+
+  // Record-only monitor; the settle window is irrelevant here (we read the
+  // split-brain accounting, not the agreement alarm) but kept generous.
+  InvariantMonitor monitor(InvariantConfig{false, 8 * kN});
+  monitor.set_expected_uids(uids);
+  engine.set_invariant_monitor(&monitor);
+
+  engine.run_rounds(kCutRound + duration + kHealBudget);
+
+  const InvariantReport& report = monitor.report();
+  HealTrial out;
+  out.split_brain_rounds = report.split_brain_rounds;
+  out.reconverged = report.reconvergences > 0;
+  if (out.reconverged) out.heal_latency = report.heal_latencies.front();
+  return out;
+}
+
+void BM_PartitionHealing(benchmark::State& state) {
+  const auto parts = static_cast<NodeId>(state.range(0));
+  const auto duration = static_cast<Round>(state.range(1));
+  HealRow row;
+  row.parts = parts;
+  row.duration = duration;
+  for (auto _ : state) {
+    std::vector<double> split_brain;
+    std::vector<double> latencies;
+    for (std::size_t t = 0; t < kTrials; ++t) {
+      const std::uint64_t trial_seed = derive_seed(
+          kSeed, {static_cast<std::uint64_t>(parts), duration, t});
+      const HealTrial trial = healing_trial(parts, duration, trial_seed);
+      split_brain.push_back(static_cast<double>(trial.split_brain_rounds));
+      if (trial.reconverged) {
+        latencies.push_back(static_cast<double>(trial.heal_latency));
+        ++row.reconverged;
+      }
+    }
+    row.trials = kTrials;
+    row.split_brain = summarize(split_brain);
+    row.heal_latency = summarize(
+        latencies.empty() ? std::vector<double>{0.0} : latencies);
+  }
+  state.counters["split_brain_mean"] = row.split_brain.mean;
+  state.counters["heal_latency_mean"] = row.heal_latency.mean;
+  state.counters["reconverged"] = static_cast<double>(row.reconverged);
+
+  // One series per partition width: heal latency vs window duration. The
+  // "prediction" is a constant gossip spread (clique diameter-ish), i.e.
+  // latency should NOT scale with duration. Windows shorter than the epoch
+  // timeout reconverge instantly (latency 0); those points cannot enter the
+  // log-log exponent fit and live only in the healing_sweep section.
+  if (row.heal_latency.mean > 0.0) {
+    bench::record_point(
+        "heal_latency_parts" + std::to_string(parts), "duration",
+        SeriesPoint{static_cast<double>(duration), row.heal_latency,
+                    static_cast<double>(4), ""});
+  }
+  heal_rows().push_back(std::move(row));
+}
+
+BENCHMARK(BM_PartitionHealing)
+    ->Args({2, 8})
+    ->Args({2, 24})
+    ->Args({2, 48})
+    ->Args({4, 8})
+    ->Args({4, 24})
+    ->Args({4, 48})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void register_extra_sections() {
+  using obs::JsonValue;
+  JsonValue setup = JsonValue::object();
+  setup.set("topology", JsonValue::string("clique"));
+  setup.set("n", JsonValue::unsigned_number(kN));
+  setup.set("epoch_timeout", JsonValue::unsigned_number(kEpochTimeout));
+  setup.set("cut_round", JsonValue::unsigned_number(kCutRound));
+  setup.set("heal_budget", JsonValue::unsigned_number(kHealBudget));
+  setup.set("trials", JsonValue::unsigned_number(kTrials));
+  bench::set_extra_section("setup", std::move(setup));
+
+  JsonValue sweep = JsonValue::array();
+  for (const HealRow& row : heal_rows()) {
+    JsonValue entry = JsonValue::object();
+    entry.set("parts", JsonValue::unsigned_number(row.parts));
+    entry.set("duration", JsonValue::unsigned_number(row.duration));
+    entry.set("trials", JsonValue::unsigned_number(row.trials));
+    entry.set("reconverged", JsonValue::unsigned_number(row.reconverged));
+    entry.set("split_brain_mean", JsonValue::number(row.split_brain.mean));
+    entry.set("split_brain_p95", JsonValue::number(row.split_brain.p95));
+    entry.set("heal_latency_mean", JsonValue::number(row.heal_latency.mean));
+    entry.set("heal_latency_p95", JsonValue::number(row.heal_latency.p95));
+    sweep.push_back(std::move(entry));
+  }
+  bench::set_extra_section("healing_sweep", std::move(sweep));
+}
+
+}  // namespace
+}  // namespace mtm
+
+int main(int argc, char** argv) {
+  const std::string out = ::mtm::bench::consume_out_flag(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  ::mtm::bench::report_all_series();
+  ::mtm::register_extra_sections();
+  return ::mtm::bench::finalize_report(argv[0], out);
+}

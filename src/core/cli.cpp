@@ -12,15 +12,23 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
                                   "' (expected --key=value or --flag)");
     }
     const std::size_t eq = arg.find('=');
+    std::string key;
+    std::string value;
     if (eq == std::string::npos) {
-      values_[arg.substr(2)] = "";
+      key = arg.substr(2);
     } else {
-      const std::string key = arg.substr(2, eq - 2);
+      key = arg.substr(2, eq - 2);
       if (key.empty()) {
         throw std::invalid_argument("empty option name in '" + arg + "'");
       }
-      values_[key] = arg.substr(eq + 1);
+      value = arg.substr(eq + 1);
     }
+    // A repeated option is contradictory: one occurrence would silently win,
+    // and which one is a map-implementation detail the user cannot see.
+    if (values_.count(key) != 0) {
+      throw std::invalid_argument("duplicate option --" + key);
+    }
+    values_[key] = std::move(value);
   }
   for (const auto& [key, value] : values_) consumed_[key] = false;
 }

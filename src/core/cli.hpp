@@ -17,7 +17,9 @@ namespace mtm {
 class CliArgs {
  public:
   /// Parses "--key=value" and bare "--flag" arguments; anything else throws
-  /// std::invalid_argument (examples have no positional arguments).
+  /// std::invalid_argument (examples have no positional arguments). A
+  /// repeated option also throws — silently letting one occurrence win
+  /// hides contradictory command lines.
   CliArgs(int argc, const char* const* argv);
 
   bool has(const std::string& key) const;

@@ -30,6 +30,33 @@ Components connected_components(const Graph& g) {
   return result;
 }
 
+Components filtered_components(
+    const Graph& g, const std::function<bool(NodeId)>& node_ok,
+    const std::function<bool(NodeId, NodeId)>& edge_ok) {
+  MTM_REQUIRE(node_ok != nullptr);
+  MTM_REQUIRE(edge_ok != nullptr);
+  Components result;
+  result.label.assign(g.node_count(), kUnreachable);
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (result.label[s] != kUnreachable || !node_ok(s)) continue;
+    const NodeId id = result.count++;
+    result.label[s] = id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : g.neighbors(u)) {
+        if (result.label[v] != kUnreachable || !node_ok(v)) continue;
+        if (!edge_ok(std::min(u, v), std::max(u, v))) continue;
+        result.label[v] = id;
+        stack.push_back(v);
+      }
+    }
+  }
+  return result;
+}
+
 bool is_connected(const Graph& g) {
   return connected_components(g).count == 1;
 }

@@ -5,6 +5,7 @@
 // (and the mobility provider to repair) generated topologies.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -18,6 +19,16 @@ struct Components {
 };
 
 Components connected_components(const Graph& g);
+
+/// Components of the subgraph induced by `node_ok` nodes and `edge_ok`
+/// edges. Excluded nodes keep label kUnreachable and do not count toward
+/// `count`. `edge_ok(u, v)` is queried once per undirected edge with
+/// u < v; it must be symmetric in intent (the caller sees each pair in
+/// canonical order). This is the primitive the runtime invariant monitor
+/// uses to evaluate per-component safety under crashes and partitions.
+Components filtered_components(
+    const Graph& g, const std::function<bool(NodeId)>& node_ok,
+    const std::function<bool(NodeId, NodeId)>& edge_ok);
 
 /// True iff the graph is connected (always true for n == 1).
 bool is_connected(const Graph& g);

@@ -1,6 +1,9 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
+
 #include "core/assert.hpp"
+#include "sim/invariants.hpp"
 #include "protocols/async_bit_convergence.hpp"
 #include "protocols/bit_convergence.hpp"
 #include "protocols/blind_gossip.hpp"
@@ -14,8 +17,10 @@ namespace mtm {
 
 namespace {
 
-// Stream-id tag for the per-trial fault plan seed (fixed forever).
+// Stream-id tags for the per-trial fault and Byzantine plan seeds (fixed
+// forever).
 constexpr std::uint64_t kTrialFaultSeedTag = 0x7472666c74ULL;  // "trflt"
+constexpr std::uint64_t kTrialByzSeedTag = 0x747262797aULL;    // "trbyz"
 
 /// Per-trial fault plan: same dimensions, trial-specific streams.
 FaultPlanConfig trial_faults(const FaultPlanConfig& base,
@@ -23,6 +28,14 @@ FaultPlanConfig trial_faults(const FaultPlanConfig& base,
   FaultPlanConfig faults = base;
   faults.seed = derive_seed(trial_seed, {kTrialFaultSeedTag});
   return faults;
+}
+
+/// Per-trial Byzantine plan: same dimensions, trial-specific selection.
+ByzantinePlanConfig trial_byzantine(const ByzantinePlanConfig& base,
+                                    std::uint64_t trial_seed) {
+  ByzantinePlanConfig byz = base;
+  byz.seed = derive_seed(trial_seed, {kTrialByzSeedTag});
+  return byz;
 }
 
 }  // namespace
@@ -63,6 +76,8 @@ struct LeaderProtocolBundle {
   std::unique_ptr<LeaderElectionProtocol> protocol;
   int tag_bits = 0;
   bool classical = false;
+  /// The injected UID universe (the invariant monitor's validity oracle).
+  std::vector<Uid> uids;
 };
 
 LeaderProtocolBundle make_leader_protocol(const LeaderExperiment& spec,
@@ -76,6 +91,7 @@ LeaderProtocolBundle make_leader_protocol(const LeaderExperiment& spec,
   auto uids = BlindGossip::shuffled_uids(n, trial_seed);
 
   LeaderProtocolBundle bundle;
+  bundle.uids = uids;  // copy before the moves below consume it
   switch (spec.algo) {
     case LeaderAlgo::kBlindGossip:
       bundle.protocol = std::make_unique<BlindGossip>(std::move(uids));
@@ -140,8 +156,23 @@ std::vector<RunResult> run_leader_experiment(const LeaderExperiment& spec) {
     cfg.connection_failure_prob = spec.controls.connection_failure_prob;
     if (spec.controls.faults.enabled())
       cfg.faults = trial_faults(spec.controls.faults, trial_seed);
+    if (spec.byzantine.enabled())
+      cfg.byzantine = trial_byzantine(spec.byzantine, trial_seed);
     Engine engine(*topology, *bundle.protocol, cfg);
-    return run_until_stabilized(engine, spec.controls.max_rounds);
+    InvariantMonitor monitor(InvariantConfig{
+        false, spec.settle_rounds > 0
+                   ? spec.settle_rounds
+                   : std::max<Round>(64, 8 * spec.node_count)});
+    if (spec.check_invariants) {
+      monitor.set_expected_uids(bundle.uids);
+      engine.set_invariant_monitor(&monitor);
+    }
+    RunResult result = run_until_stabilized(engine, spec.controls.max_rounds);
+    if (spec.check_invariants) {
+      result.invariant_violations = monitor.report().violations();
+      result.split_brain_rounds = monitor.report().split_brain_rounds;
+    }
+    return result;
   });
 }
 

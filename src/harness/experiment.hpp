@@ -56,6 +56,15 @@ struct LeaderExperiment {
   TrialControls controls;
   /// Epoch timeout for kStableLeader (ignored by the other algorithms).
   Round epoch_timeout = 24;
+  /// Byzantine plan passthrough (see sim/byzantine.hpp). The per-trial plan
+  /// seed is derived from the trial seed, like the fault plan's.
+  ByzantinePlanConfig byzantine;
+  /// Attach a record-only InvariantMonitor (sim/invariants.hpp) to every
+  /// trial and copy its hard-violation and split-brain counts into the
+  /// trial's RunResult. Zero-perturbation: results are otherwise identical.
+  bool check_invariants = false;
+  /// Agreement settle window for the monitor; 0 picks max(64, 8n).
+  Round settle_rounds = 0;
   /// Optional per-trial wall-time metrics (see TrialSpec::metrics).
   obs::MetricRegistry* metrics = nullptr;
 };

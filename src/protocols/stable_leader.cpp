@@ -68,9 +68,15 @@ void StableLeader::receive_payload(NodeId u, NodeId /*peer*/,
   if (p_epoch > epoch_[u]) {
     // A newer epoch dominates: join it and re-enter the election with our
     // own UID as a candidate (the dead leader's UID must not survive).
+    // The age resets to 0 rather than adopting p_age: after a partition
+    // heals, the higher-epoch side's ages may be near the timeout, and
+    // adopting them would make freshly-converted nodes time out and bump
+    // the epoch again before the merged election settles — an unbounded
+    // split-brain window. A fresh grace period bounds reconvergence at
+    // one cross-network gossip spread.
     epoch_[u] = p_epoch;
     min_seen_[u] = std::min(p_min, uids_[u]);
-    age_[u] = p_age;
+    age_[u] = 0;
   } else if (p_epoch == epoch_[u]) {
     if (p_min < min_seen_[u]) min_seen_[u] = p_min;
     if (p_age < age_[u]) age_[u] = p_age;  // fresher liveness evidence
@@ -157,6 +163,11 @@ NodeId StableLeader::leader_node() const {
 std::uint32_t StableLeader::epoch_of(NodeId u) const {
   MTM_REQUIRE(u < node_count_);
   return epoch_[u];
+}
+
+bool StableLeader::claims_leadership(NodeId u) const {
+  MTM_REQUIRE(u < node_count_);
+  return !crashed_[u] && believes_leader(u);
 }
 
 Round StableLeader::age_of(NodeId u) const {

@@ -26,6 +26,16 @@
 // the network (a few diameters of gossip rounds) or healthy executions
 // spuriously re-elect; bench_fault_tolerance sweeps this trade-off.
 //
+// Partition healing: while the graph is split, each component times out on
+// the absent leader and elects its own (a transient, detectable
+// split-brain). After the heal, epoch comparison resolves the conflict —
+// the highest epoch dominates, ties elect the minimum UID — and a node
+// that joins a newer epoch restarts its silence age at 0 (a fresh grace
+// period), so the merged election settles within one gossip spread instead
+// of cascading timeouts. bench_partition_healing (E18) measures the
+// reconvergence latency; sim/invariants.hpp accounts the split-brain
+// window.
+//
 // Requires b >= 1 (the heartbeat bit). Stabilization is defined over the
 // nodes the fault hooks report alive and is NOT monotone under faults: a
 // leader crash un-stabilizes the run until the next epoch settles.
@@ -60,7 +70,8 @@ class StableLeader final : public LeaderElectionProtocol {
   NodeId leader_node() const override;
 
   Round epoch_timeout() const noexcept { return epoch_timeout_; }
-  std::uint32_t epoch_of(NodeId u) const;
+  std::uint32_t epoch_of(NodeId u) const override;
+  bool claims_leadership(NodeId u) const override;
   Round age_of(NodeId u) const;
   bool crashed(NodeId u) const;
   /// Highest epoch any alive node is in (0 before init).

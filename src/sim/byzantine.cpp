@@ -1,0 +1,151 @@
+#include "sim/byzantine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+#include "core/rng.hpp"
+
+namespace mtm {
+
+namespace {
+
+// Stream-id tags for derive_seed (arbitrary, fixed forever).
+constexpr std::uint64_t kByzSelectSeedTag = 0x62797a73ULL;  // "byzs"
+constexpr std::uint64_t kByzAssignSeedTag = 0x62797a61ULL;  // "byza"
+constexpr std::uint64_t kByzCoinSeedTag = 0x62797a63ULL;    // "byzc"
+
+/// Copies a payload verbatim except uid 0, which becomes `spoof`.
+Payload spoof_first_uid(const Payload& honest, Uid spoof) {
+  Payload out;
+  for (std::size_t i = 0; i < honest.uid_count(); ++i) {
+    out.push_uid(i == 0 ? spoof : honest.uid(i));
+  }
+  if (honest.uid_count() == 0) out.push_uid(spoof);
+  for (int offset = 0; offset < honest.extra_bit_count(); offset += 64) {
+    const int bits = std::min(64, honest.extra_bit_count() - offset);
+    out.push_bits(honest.read_bits(offset, bits), bits);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(ByzBehavior behavior) {
+  switch (behavior) {
+    case ByzBehavior::kUidSpoof:
+      return "spoof";
+    case ByzBehavior::kEquivocate:
+      return "equivocate";
+    case ByzBehavior::kSilentAccept:
+      return "silent";
+    case ByzBehavior::kStaleReplay:
+      return "replay";
+    case ByzBehavior::kMix:
+      return "mix";
+  }
+  return "?";
+}
+
+void validate(const ByzantinePlanConfig& config) {
+  MTM_REQUIRE_MSG(config.fraction >= 0.0 && config.fraction < 1.0,
+                  "byzantine fraction must be in [0, 1)");
+}
+
+ByzantinePlan::ByzantinePlan(ByzantinePlanConfig config, NodeId node_count,
+                             Tag tag_limit)
+    : config_(config),
+      node_count_(node_count),
+      tag_limit_(tag_limit),
+      byzantine_(node_count, 0),
+      has_snapshot_(node_count, 0),
+      snapshot_(node_count) {
+  validate(config_);
+  MTM_REQUIRE(tag_limit_ >= 1);
+  MTM_REQUIRE_MSG(node_count >= 2,
+                  "a byzantine plan needs at least 2 nodes");
+  if (!config_.enabled()) return;
+  const double exact = config_.fraction * static_cast<double>(node_count);
+  const auto rounded = static_cast<NodeId>(std::llround(exact));
+  byzantine_count_ = std::clamp<NodeId>(rounded, 1, node_count - 1);
+  // Hash-ranked selection: order nodes by a pure hash of (seed, node) and
+  // take the lowest ranks. No Rng stream is consumed, so honest nodes'
+  // randomness is untouched whatever the fraction.
+  std::vector<std::pair<std::uint64_t, NodeId>> ranked;
+  ranked.reserve(node_count);
+  for (NodeId u = 0; u < node_count; ++u) {
+    ranked.emplace_back(derive_seed(config_.seed, {kByzSelectSeedTag, u}), u);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (NodeId i = 0; i < byzantine_count_; ++i) {
+    byzantine_[ranked[i].second] = 1;
+  }
+}
+
+ByzBehavior ByzantinePlan::behavior_of(NodeId u) const {
+  MTM_REQUIRE(u < node_count_ && is_byzantine(u));
+  if (config_.behavior != ByzBehavior::kMix) return config_.behavior;
+  const std::uint64_t h = derive_seed(config_.seed, {kByzAssignSeedTag, u});
+  switch (h % 4) {
+    case 0:
+      return ByzBehavior::kUidSpoof;
+    case 1:
+      return ByzBehavior::kEquivocate;
+    case 2:
+      return ByzBehavior::kSilentAccept;
+    default:
+      return ByzBehavior::kStaleReplay;
+  }
+}
+
+Tag ByzantinePlan::observed_tag(NodeId advertiser, NodeId observer, Round r,
+                                Tag honest_tag) const {
+  if (!is_byzantine(advertiser)) return honest_tag;
+  switch (behavior_of(advertiser)) {
+    case ByzBehavior::kUidSpoof:
+      return config_.spoof_tag & (tag_limit_ - 1);
+    case ByzBehavior::kEquivocate:
+      // A fresh per-(advertiser, observer, round) hash: two observers of
+      // the same node in the same round see independent tags.
+      return derive_seed(config_.seed,
+                         {kByzCoinSeedTag, advertiser, observer, r}) &
+             (tag_limit_ - 1);
+    case ByzBehavior::kSilentAccept:
+    case ByzBehavior::kStaleReplay:
+      return honest_tag;
+    case ByzBehavior::kMix:
+      break;  // behavior_of never returns kMix
+  }
+  MTM_ENSURE_MSG(false, "unresolved byzantine behavior");
+  return honest_tag;
+}
+
+bool ByzantinePlan::suppresses_payload(NodeId sender) const {
+  return is_byzantine(sender) &&
+         behavior_of(sender) == ByzBehavior::kSilentAccept;
+}
+
+Payload ByzantinePlan::outgoing_payload(NodeId sender, NodeId receiver,
+                                        const Payload& honest) {
+  (void)receiver;
+  if (!is_byzantine(sender)) return honest;
+  switch (behavior_of(sender)) {
+    case ByzBehavior::kUidSpoof:
+      return spoof_first_uid(honest, config_.spoof_uid);
+    case ByzBehavior::kStaleReplay:
+      if (!has_snapshot_[sender]) {
+        has_snapshot_[sender] = 1;
+        snapshot_[sender] = honest;
+      }
+      return snapshot_[sender];
+    case ByzBehavior::kEquivocate:
+    case ByzBehavior::kSilentAccept:
+      return honest;
+    case ByzBehavior::kMix:
+      break;  // behavior_of never returns kMix
+  }
+  MTM_ENSURE_MSG(false, "unresolved byzantine behavior");
+  return honest;
+}
+
+}  // namespace mtm

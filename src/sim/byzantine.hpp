@@ -1,0 +1,121 @@
+// Byzantine node behaviors: a deterministic, seeded plan of misbehaving
+// nodes layered on the engine's advertise and exchange phases.
+//
+// The paper's guarantees assume every node follows the protocol; real
+// smartphone meshes contain buggy, stale, or outright hostile peers. A
+// ByzantinePlan marks a fixed subset of nodes as misbehaving and rewrites
+// what *other* nodes observe from them:
+//
+//   * UID spoofing   — the node advertises `spoof_tag` (e.g. the stable
+//     leader heartbeat) and replaces the first UID of every payload it
+//     sends with `spoof_uid`, falsely claiming an identity/minimum;
+//   * equivocation   — the node shows a *different* tag to each neighbor
+//     in the same round (tags are per-observer hashes, not a broadcast);
+//   * silent accept  — the node participates in discovery and accepts
+//     connections normally but never delivers a payload (its peer's send
+//     is consumed; nothing arrives back);
+//   * stale replay   — the node snapshots the first payload it ever sends
+//     and replays it verbatim forever (for stable_leader: a frozen epoch);
+//   * mix            — each Byzantine node gets one of the four behaviors,
+//     hash-assigned.
+//
+// Zero-perturbation contract (same as fault plans and the obs layer): the
+// plan never draws from the engine's node streams or the fault streams.
+// Node selection and every per-(sender, receiver, round) equivocation coin
+// are pure hashes of the plan seed, so honest nodes' randomness — and any
+// run with the plan disabled — is byte-identical to a run without the
+// plan compiled in at all. Protocol state of a Byzantine node stays
+// *honest* (the protocol object is never told it is lying); only the
+// engine-side observation of the node is rewritten. Both the optimized
+// Engine and the ReferenceEngine own one plan instance constructed from
+// the same config and apply it at the same points, so the differential
+// harness checks the adversary too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/model.hpp"
+
+namespace mtm {
+
+/// What a Byzantine node does to its observers.
+enum class ByzBehavior {
+  kUidSpoof,      ///< advertise spoof_tag, rewrite payload uid 0
+  kEquivocate,    ///< per-neighbor tag (different story to each observer)
+  kSilentAccept,  ///< connect normally, deliver nothing
+  kStaleReplay,   ///< replay the first payload forever (stale epoch)
+  kMix,           ///< hash-assign one of the four per Byzantine node
+};
+
+const char* to_string(ByzBehavior behavior);
+
+struct ByzantinePlanConfig {
+  /// Fraction of nodes that misbehave; 0 disables the plan. The realized
+  /// count is round(fraction * n) clamped to [1, n - 1], so a tiny
+  /// fraction still yields one adversary and at least one honest node
+  /// always remains.
+  double fraction = 0.0;
+  ByzBehavior behavior = ByzBehavior::kUidSpoof;
+  /// The UID a kUidSpoof node writes over uid 0 of its payloads. Under
+  /// shuffled 0..n-1 universes, 0 is the true global minimum — spoofing it
+  /// forges the strongest possible leadership claim while staying inside
+  /// the UID universe; an out-of-universe value exercises the monitor's
+  /// validity check instead.
+  Uid spoof_uid = 0;
+  /// The tag a kUidSpoof node advertises (masked to the engine's b bits).
+  Tag spoof_tag = 1;
+  /// Selection/equivocation hash seed, independent of every other stream.
+  std::uint64_t seed = 1;
+
+  bool enabled() const noexcept { return fraction > 0.0; }
+
+  friend bool operator==(const ByzantinePlanConfig&,
+                         const ByzantinePlanConfig&) = default;
+};
+
+/// Validates the config (MTM_REQUIRE on failure).
+void validate(const ByzantinePlanConfig& config);
+
+/// Per-execution Byzantine state. Construction selects the misbehaving
+/// subset by hash rank; the only mutable state is the stale-replay
+/// snapshot, which evolves identically in both engines because the
+/// sequence of outgoing payloads is part of the differential contract.
+class ByzantinePlan {
+ public:
+  /// `tag_limit` is the engine's 2^b (advertised tags must stay below it).
+  ByzantinePlan(ByzantinePlanConfig config, NodeId node_count, Tag tag_limit);
+
+  bool is_byzantine(NodeId u) const { return byzantine_[u] != 0; }
+  NodeId byzantine_count() const noexcept { return byzantine_count_; }
+  /// The realized behavior of node u (resolves kMix); u must be Byzantine.
+  ByzBehavior behavior_of(NodeId u) const;
+
+  /// The tag `observer` sees from `advertiser` in round r, given the tag
+  /// the honest protocol chose. Identity for honest advertisers. Pure.
+  Tag observed_tag(NodeId advertiser, NodeId observer, Round r,
+                   Tag honest_tag) const;
+
+  /// True when `sender`'s payload over an established connection is
+  /// silently withheld (kSilentAccept). Pure.
+  bool suppresses_payload(NodeId sender) const;
+
+  /// Rewrites the payload `sender` ships to `receiver`; identity for
+  /// honest senders. Mutates only the replay snapshot (first call per
+  /// kStaleReplay sender records it).
+  Payload outgoing_payload(NodeId sender, NodeId receiver,
+                           const Payload& honest);
+
+  const ByzantinePlanConfig& config() const noexcept { return config_; }
+
+ private:
+  ByzantinePlanConfig config_;
+  NodeId node_count_;
+  Tag tag_limit_;
+  NodeId byzantine_count_ = 0;
+  std::vector<char> byzantine_;
+  std::vector<char> has_snapshot_;
+  std::vector<Payload> snapshot_;
+};
+
+}  // namespace mtm

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/assert.hpp"
+#include "sim/invariants.hpp"
 
 namespace mtm {
 
@@ -39,6 +40,11 @@ Engine::Engine(DynamicGraphProvider& topology, Protocol& protocol,
   validate(config_.faults);
   if (config_.faults.enabled()) {
     fault_plan_ = std::make_unique<FaultPlan>(config_.faults, node_count_);
+  }
+  validate(config_.byzantine);
+  if (config_.byzantine.enabled()) {
+    byz_plan_ = std::make_unique<ByzantinePlan>(config_.byzantine,
+                                                node_count_, tag_limit_);
   }
 
   node_rngs_ = make_node_streams(config_.seed, node_count_);
@@ -94,10 +100,26 @@ void Engine::exchange(NodeId u, NodeId v, Round global_round) {
   // payload depends on mutable state, e.g. pairwise averaging).
   Payload from_u = protocol_.make_payload(u, v, local_round(u, global_round));
   Payload from_v = protocol_.make_payload(v, u, local_round(v, global_round));
-  telemetry_.count_payload_uids(from_u.uid_count());
-  telemetry_.count_payload_uids(from_v.uid_count());
-  protocol_.receive_payload(v, u, from_u, local_round(v, global_round));
-  protocol_.receive_payload(u, v, from_v, local_round(u, global_round));
+  // Byzantine senders may rewrite or withhold their payload; the honest
+  // make_payload calls above still happen (protocol state stays honest and
+  // the stale-replay snapshot tracks what an honest node would have sent).
+  // Telemetry counts UIDs actually delivered over the wire.
+  bool u_sends = true;
+  bool v_sends = true;
+  if (byz_plan_ != nullptr) {
+    from_u = byz_plan_->outgoing_payload(u, v, from_u);
+    from_v = byz_plan_->outgoing_payload(v, u, from_v);
+    u_sends = !byz_plan_->suppresses_payload(u);
+    v_sends = !byz_plan_->suppresses_payload(v);
+  }
+  if (u_sends) {
+    telemetry_.count_payload_uids(from_u.uid_count());
+    protocol_.receive_payload(v, u, from_u, local_round(v, global_round));
+  }
+  if (v_sends) {
+    telemetry_.count_payload_uids(from_v.uid_count());
+    protocol_.receive_payload(u, v, from_v, local_round(u, global_round));
+  }
 }
 
 void Engine::step() {
@@ -152,7 +174,16 @@ void Engine::step() {
       obs::ScopedPhaseTimer timer(phase_profile_, obs::Phase::kScan);
       view_.clear();
       for (NodeId v : graph.neighbors(u)) {
-        if (active_in(v, r)) view_.push_back(NeighborInfo{v, tags_[v]});
+        if (!active_in(v, r)) continue;
+        // Partition windows make cross-class neighbors mutually invisible.
+        if (fault_plan_ != nullptr && fault_plan_->edge_blocked(u, v)) {
+          continue;
+        }
+        // Byzantine advertisers may show this observer a different tag.
+        const Tag tag = byz_plan_ != nullptr
+                            ? byz_plan_->observed_tag(v, u, r, tags_[v])
+                            : tags_[v];
+        view_.push_back(NeighborInfo{v, tag});
       }
     }
     obs::ScopedPhaseTimer timer(phase_profile_, obs::Phase::kDecide);
@@ -273,6 +304,13 @@ void Engine::step() {
         .with("crashes", telemetry_.crashes() - crashes_before)
         .with("recoveries", telemetry_.recoveries() - recoveries_before);
     trace_sink_->emit(event);
+  }
+
+  // Runtime safety checks observe the finished round last, so they see the
+  // same post-round state a caller polling the engine would. May throw
+  // InvariantViolation in fail-fast mode.
+  if (invariant_monitor_ != nullptr) {
+    invariant_monitor_->observe_round(*this, graph);
   }
 }
 

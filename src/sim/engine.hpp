@@ -27,7 +27,15 @@
 // connections right after the i.i.d. failure-injection check. A crashed
 // node is treated exactly like a not-yet-activated one; a recovered node
 // re-enters through the activation machinery with its local rounds
-// restarting at 1.
+// restarting at 1. Partition schedules block cross-class edges at scan
+// time, so partitioned neighbors are mutually invisible (no tag seen, no
+// proposal possible) until the window heals.
+//
+// Byzantine plans (sim/byzantine.hpp) rewrite what honest nodes observe
+// from misbehaving ones: advertised tags are filtered per observer during
+// scan, and payloads are transformed or withheld during exchange. The
+// protocol object itself stays honest; only the engine-side observation
+// lies.
 #pragma once
 
 #include <memory>
@@ -36,12 +44,15 @@
 #include "core/rng.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/trace_sink.hpp"
+#include "sim/byzantine.hpp"
 #include "sim/dynamic_graph.hpp"
 #include "sim/faults.hpp"
 #include "sim/protocol.hpp"
 #include "sim/telemetry.hpp"
 
 namespace mtm {
+
+class InvariantMonitor;
 
 /// How a receiving node selects among incoming proposals. The paper
 /// (Section III) notes "there are different ways to model how v selects a
@@ -75,10 +86,14 @@ struct EngineConfig {
   double connection_failure_prob = 0.0;
   /// Receiver-side proposal selection (see AcceptancePolicy).
   AcceptancePolicy acceptance = AcceptancePolicy::kUniformRandom;
-  /// Node churn, burst link loss, and adversarial crash oracles (see
-  /// sim/faults.hpp). Disabled by default; a disabled plan is byte-identical
-  /// to no plan (no extra randomness is drawn).
+  /// Node churn, burst link loss, partition schedules, and adversarial
+  /// crash oracles (see sim/faults.hpp). Disabled by default; a disabled
+  /// plan is byte-identical to no plan (no extra randomness is drawn).
   FaultPlanConfig faults;
+  /// Byzantine node behaviors (see sim/byzantine.hpp). Disabled by
+  /// default; selection and equivocation coins are pure hashes, so honest
+  /// nodes' RNG streams are untouched whatever the setting.
+  ByzantinePlanConfig byzantine;
 };
 
 class Engine {
@@ -99,6 +114,7 @@ class Engine {
   const EngineConfig& config() const noexcept { return config_; }
   const Telemetry& telemetry() const noexcept { return telemetry_; }
   Protocol& protocol() noexcept { return protocol_; }
+  const Protocol& protocol() const noexcept { return protocol_; }
 
   /// True if node u has activated by the *last executed* round and is not
   /// currently crashed.
@@ -111,6 +127,11 @@ class Engine {
   /// The fault plan state, or nullptr when no fault dimension is enabled.
   const FaultPlan* fault_plan() const noexcept { return fault_plan_.get(); }
 
+  /// The Byzantine plan, or nullptr when no adversary is configured.
+  const ByzantinePlan* byzantine_plan() const noexcept {
+    return byz_plan_.get();
+  }
+
   /// Observability attachments (both non-owning, both nullptr by default;
   /// pass nullptr to detach). Zero-perturbation contract: attaching either
   /// changes NO simulation result — trace events carry only deterministic
@@ -121,6 +142,16 @@ class Engine {
   void set_trace_sink(obs::TraceSink* sink) noexcept { trace_sink_ = sink; }
   void set_phase_profile(obs::PhaseProfile* profile) noexcept {
     phase_profile_ = profile;
+  }
+
+  /// Runtime invariant monitor (sim/invariants.hpp; non-owning, nullptr
+  /// detaches). Called once at the end of every step() with the engine and
+  /// the round's graph. The monitor obeys the same zero-perturbation
+  /// contract as the trace sink: it only reads deterministic state, so
+  /// attaching it changes no simulation result. In fail-fast mode it may
+  /// throw InvariantViolation out of step().
+  void set_invariant_monitor(InvariantMonitor* monitor) noexcept {
+    invariant_monitor_ = monitor;
   }
 
  private:
@@ -143,9 +174,11 @@ class Engine {
   std::vector<Round> activation_;
   std::vector<Rng> node_rngs_;
   std::unique_ptr<FaultPlan> fault_plan_;  // null when faults are disabled
+  std::unique_ptr<ByzantinePlan> byz_plan_;  // null when no adversary
   Telemetry telemetry_;
   obs::TraceSink* trace_sink_ = nullptr;       // non-owning
   obs::PhaseProfile* phase_profile_ = nullptr; // non-owning
+  InvariantMonitor* invariant_monitor_ = nullptr;  // non-owning
 
   // Per-round scratch, reused across steps to avoid allocation churn.
   std::vector<Tag> tags_;

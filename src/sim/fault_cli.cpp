@@ -8,11 +8,23 @@ const char* fault_flags_help() {
   return R"(  --crash=P         per-round node crash probability             [default 0]
   --recover=P       per-round crashed-node recovery probability  [default 0]
   --min-alive=K     crash floor: never fewer than K alive nodes  [default 1]
-  --burst=B         burst link loss preset: 0 off | 1 mild | 2 harsh [default 0]
+  --burst=B         burst link loss preset:
+                    0 off | 1 mild | 2 harsh | 3 lingering       [default 0]
   --degrade=D       per-edge degradation cap, D in [0, 1)        [default 0]
   --oracle=MODE     adversarial crash oracle:
                     none | random | min-holder | leader          [default none]
   --oracle-every=K  oracle kill period in rounds                 [default 16]
+  --partition=MODE  partition schedule:
+                    none | one-shot | periodic | flapping        [default none]
+  --parts=K         label classes while a window is open         [default 2]
+  --partition-start=R      first round a window may open         [default 8]
+  --partition-duration=R   rounds each window stays open         [default 8]
+  --partition-period=R     periodic mode: window spacing         [default 32]
+  --byz=F           Byzantine node fraction, F in [0, 1)         [default 0]
+  --byz-mode=MODE   Byzantine behavior:
+                    spoof | equivocate | silent | replay | mix   [default spoof]
+  --byz-spoof-uid=U UID a spoofing node writes over payloads     [default 0]
+  --byz-tag=T       tag a spoofing node advertises               [default 1]
 )";
 }
 
@@ -26,9 +38,15 @@ GilbertElliott burst_preset(int preset) {
     case 2:
       // Harsh: flapping channel with residual loss even in GOOD.
       return GilbertElliott{0.2, 0.2, 0.05, 0.9};
+    case 3:
+      // Lingering: long symmetric dwell times (mean 20 rounds per state)
+      // with near-total loss while BAD — the "walked behind a wall"
+      // channel. Stationary P(BAD) = 0.05 / (0.05 + 0.05) = 1/2.
+      return GilbertElliott{0.05, 0.05, 0.02, 0.98};
     default:
       throw std::invalid_argument(
-          "burst preset must be 0 (off), 1 (mild) or 2 (harsh): " +
+          "burst preset must be 0 (off), 1 (mild), 2 (harsh) or "
+          "3 (lingering): " +
           std::to_string(preset));
   }
 }
@@ -39,6 +57,22 @@ CrashTargeting parse_crash_targeting(const std::string& name) {
     if (name == to_string(targeting)) return targeting;
   }
   throw std::invalid_argument("unknown crash targeting: " + name);
+}
+
+PartitionMode parse_partition_mode(const std::string& name) {
+  for (int m = 0; m <= static_cast<int>(PartitionMode::kFlapping); ++m) {
+    const auto mode = static_cast<PartitionMode>(m);
+    if (name == to_string(mode)) return mode;
+  }
+  throw std::invalid_argument("unknown partition mode: " + name);
+}
+
+ByzBehavior parse_byz_behavior(const std::string& name) {
+  for (int b = 0; b <= static_cast<int>(ByzBehavior::kMix); ++b) {
+    const auto behavior = static_cast<ByzBehavior>(b);
+    if (name == to_string(behavior)) return behavior;
+  }
+  throw std::invalid_argument("unknown byzantine behavior: " + name);
 }
 
 FaultPlanConfig parse_fault_flags(const CliArgs& args) {
@@ -57,8 +91,59 @@ FaultPlanConfig parse_fault_flags(const CliArgs& args) {
     // command line with the oracle toggled off.
     args.get_u64("oracle-every", 16);
   }
+  // Contradiction check: --recover alone schedules recoveries for crashes
+  // that can never happen — almost certainly a dropped --crash/--oracle.
+  if (faults.recovery_prob > 0.0 && faults.crash_prob == 0.0 &&
+      faults.targeting == CrashTargeting::kNone) {
+    throw std::invalid_argument(
+        "--recover requires a crash mechanism (--crash or --oracle)");
+  }
+  faults.partition.mode =
+      parse_partition_mode(args.get_string("partition", "none"));
+  if (faults.partition.enabled()) {
+    faults.partition.parts = args.get_u32("parts", 2);
+    faults.partition.start = args.get_u64("partition-start", 8);
+    faults.partition.duration = args.get_u64("partition-duration", 8);
+    if (faults.partition.mode == PartitionMode::kPeriodic) {
+      faults.partition.period = args.get_u64(
+          "partition-period", 4 * faults.partition.duration);
+    } else if (args.has("partition-period")) {
+      throw std::invalid_argument(
+          "--partition-period only applies to --partition=periodic");
+    }
+  } else {
+    // Partition parameters without a mode are a dropped --partition flag.
+    for (const char* flag :
+         {"parts", "partition-start", "partition-duration",
+          "partition-period"}) {
+      if (args.has(flag)) {
+        throw std::invalid_argument(std::string("--") + flag +
+                                    " requires --partition=MODE");
+      }
+    }
+  }
   validate(faults);
   return faults;
+}
+
+ByzantinePlanConfig parse_byz_flags(const CliArgs& args) {
+  ByzantinePlanConfig byz;
+  byz.fraction = args.get_double("byz", 0.0);
+  if (byz.fraction > 0.0) {
+    byz.behavior = parse_byz_behavior(args.get_string("byz-mode", "spoof"));
+    byz.spoof_uid = args.get_u64("byz-spoof-uid", 0);
+    byz.spoof_tag = args.get_u64("byz-tag", 1);
+  } else {
+    // Behavior flags without --byz are a dropped fraction.
+    for (const char* flag : {"byz-mode", "byz-spoof-uid", "byz-tag"}) {
+      if (args.has(flag)) {
+        throw std::invalid_argument(std::string("--") + flag +
+                                    " requires --byz=F with F > 0");
+      }
+    }
+  }
+  validate(byz);
+  return byz;
 }
 
 }  // namespace mtm

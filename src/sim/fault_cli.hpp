@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/cli.hpp"
+#include "sim/byzantine.hpp"
 #include "sim/faults.hpp"
 
 namespace mtm {
@@ -17,11 +18,12 @@ namespace mtm {
 /// two-column option blocks the tools print.
 const char* fault_flags_help();
 
-/// Burst link-loss presets: 0 = off, 1 = mild, 2 = harsh. Presets (not raw
-/// Gilbert–Elliott parameters) keep fuzz tuples shrinkable and CLI flags
-/// terse; the parameter values are pinned here forever because recorded
-/// fuzz tuples reference them by number.
-inline constexpr int kBurstPresetMax = 2;
+/// Burst link-loss presets: 0 = off, 1 = mild, 2 = harsh, 3 = lingering
+/// (long symmetric dwell times with near-total loss while BAD). Presets
+/// (not raw Gilbert–Elliott parameters) keep fuzz tuples shrinkable and CLI
+/// flags terse; the parameter values are pinned here forever because
+/// recorded fuzz tuples reference them by number.
+inline constexpr int kBurstPresetMax = 3;
 
 /// Maps a preset id to its channel; throws std::invalid_argument outside
 /// [0, kBurstPresetMax]. Preset 0 returns a disabled channel.
@@ -32,9 +34,27 @@ GilbertElliott burst_preset(int preset);
 /// std::invalid_argument on anything else.
 CrashTargeting parse_crash_targeting(const std::string& name);
 
+/// Parses the partition-mode names ("none" | "one-shot" | "periodic" |
+/// "flapping" — the to_string(PartitionMode) spellings); throws
+/// std::invalid_argument on anything else.
+PartitionMode parse_partition_mode(const std::string& name);
+
+/// Parses the Byzantine behavior names ("spoof" | "equivocate" | "silent" |
+/// "replay" | "mix" — the to_string(ByzBehavior) spellings); throws
+/// std::invalid_argument on anything else.
+ByzBehavior parse_byz_behavior(const std::string& name);
+
 /// Consumes the shared fault flags from `args` and returns a validated
 /// FaultPlanConfig. The plan seed is left at its default — callers derive
-/// per-trial seeds (see harness/experiment.cpp).
+/// per-trial seeds (see harness/experiment.cpp). Contradictory flag sets
+/// (--recover without any crash mechanism, partition parameters without a
+/// --partition mode, --partition-period outside periodic mode) are rejected
+/// with a one-line std::invalid_argument.
 FaultPlanConfig parse_fault_flags(const CliArgs& args);
+
+/// Consumes the shared Byzantine flags (--byz, --byz-mode, --byz-spoof-uid,
+/// --byz-tag) and returns a validated ByzantinePlanConfig. Behavior flags
+/// without --byz > 0 are rejected with a one-line std::invalid_argument.
+ByzantinePlanConfig parse_byz_flags(const CliArgs& args);
 
 }  // namespace mtm

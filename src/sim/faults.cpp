@@ -11,6 +11,33 @@ namespace {
 constexpr std::uint64_t kNodeFaultSeedTag = 0x66617563ULL;   // "fauc"
 constexpr std::uint64_t kOracleSeedTag = 0x6661756fULL;      // "fauo"
 constexpr std::uint64_t kEdgeSeedTag = 0x66617565ULL;        // "faue"
+constexpr std::uint64_t kPartitionSeedTag = 0x66617570ULL;   // "faup"
+
+/// Window index of round r under the schedule, or no value when no window
+/// is open at r. Window indices key the per-window label shuffle, so every
+/// open stretch cuts along a fresh line.
+struct WindowQuery {
+  bool open = false;
+  std::uint64_t index = 0;
+};
+
+WindowQuery partition_window(const PartitionSchedule& s, Round r) {
+  if (!s.enabled() || r < s.start) return {};
+  const Round offset = r - s.start;
+  switch (s.mode) {
+    case PartitionMode::kNone:
+      return {};
+    case PartitionMode::kOneShot:
+      return {offset < s.duration, 0};
+    case PartitionMode::kPeriodic:
+      return {offset % s.period < s.duration, offset / s.period};
+    case PartitionMode::kFlapping: {
+      const std::uint64_t slot = offset / s.duration;
+      return {slot % 2 == 0, slot / 2};
+    }
+  }
+  return {};
+}
 
 /// Deterministic hash of edge {u, v} into [0, 1).
 double edge_hash_unit(std::uint64_t seed, NodeId u, NodeId v) {
@@ -21,6 +48,20 @@ double edge_hash_unit(std::uint64_t seed, NodeId u, NodeId v) {
 }
 
 }  // namespace
+
+const char* to_string(PartitionMode mode) {
+  switch (mode) {
+    case PartitionMode::kNone:
+      return "none";
+    case PartitionMode::kOneShot:
+      return "one-shot";
+    case PartitionMode::kPeriodic:
+      return "periodic";
+    case PartitionMode::kFlapping:
+      return "flapping";
+  }
+  return "?";
+}
 
 const char* to_string(CrashTargeting targeting) {
   switch (targeting) {
@@ -59,6 +100,18 @@ void validate(const FaultPlanConfig& config) {
       config.targeting == CrashTargeting::kNone || config.target_every > 0,
       "an oracle targeting mode needs target_every > 0");
   MTM_REQUIRE_MSG(config.target_start >= 1, "target_start is a round (>= 1)");
+  if (config.partition.enabled()) {
+    MTM_REQUIRE_MSG(config.partition.parts >= 2,
+                    "a partition needs at least 2 parts");
+    MTM_REQUIRE_MSG(config.partition.start >= 1,
+                    "partition start is a round (>= 1)");
+    MTM_REQUIRE_MSG(config.partition.duration >= 1,
+                    "partition duration must be at least 1 round");
+    if (config.partition.mode == PartitionMode::kPeriodic) {
+      MTM_REQUIRE_MSG(config.partition.period > config.partition.duration,
+                      "partition period must exceed the duration");
+    }
+  }
 }
 
 FaultPlan::FaultPlan(FaultPlanConfig config, NodeId node_count)
@@ -75,6 +128,27 @@ FaultPlan::FaultPlan(FaultPlanConfig config, NodeId node_count)
   for (NodeId u = 0; u < node_count; ++u) {
     fault_rngs_.emplace_back(derive_seed(config.seed, {kNodeFaultSeedTag, u}));
   }
+  if (config_.partition.enabled()) {
+    MTM_REQUIRE_MSG(config_.partition.parts <= node_count,
+                    "partition parts exceed the node count");
+    partition_label_.assign(node_count, 0);
+  }
+}
+
+void FaultPlan::refresh_partition(Round r) {
+  const WindowQuery w = partition_window(config_.partition, r);
+  partition_active_ = w.open;
+  if (!w.open || w.index == partition_window_) return;
+  partition_window_ = w.index;
+  // Balanced labels: shuffle the node ids with a window-keyed stream, then
+  // deal them round-robin into the label classes. A dedicated one-shot Rng
+  // per window keeps the per-node and oracle streams untouched, so turning
+  // partitions on cannot shift any churn or burst draw.
+  Rng shuffle_rng(derive_seed(config_.seed, {kPartitionSeedTag, w.index}));
+  const std::vector<NodeId> order = shuffle_rng.permutation(node_count_);
+  for (NodeId i = 0; i < node_count_; ++i) {
+    partition_label_[order[i]] = i % config_.partition.parts;
+  }
 }
 
 bool FaultPlan::oracle_due(Round r) const noexcept {
@@ -88,6 +162,9 @@ void FaultPlan::round_start(Round r,
                             const TargetOracle& oracle,
                             const CrashHook& on_crash,
                             const RecoveryHook& on_recovery) {
+  // 0. Partition window refresh (dedicated stream, see refresh_partition).
+  if (config_.partition.enabled()) refresh_partition(r);
+
   // 1. Burst-channel transitions: one draw per node per round, so the fault
   // streams stay aligned regardless of which connections form later.
   if (config_.burst.enabled()) {

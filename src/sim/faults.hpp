@@ -25,7 +25,18 @@
 //     state-oracle pattern, every `target_every` rounds the plan kills the
 //     node the targeting mode names: the holder of the smallest seen UID,
 //     the elected leader, or a random alive node. This is the worst-case
-//     schedule for self-healing leader election (protocols/stable_leader).
+//     schedule for self-healing leader election (protocols/stable_leader);
+//   * partition schedules — a seeded plan splits the node set into k label
+//     classes and, while a partition window is open, blocks every edge
+//     whose endpoints carry different labels. Windows open one-shot
+//     ([start, start+duration)), periodically (every `period` rounds), or
+//     flapping (alternating cut/healed stretches of `duration` rounds).
+//     Labels are reshuffled per window from the partition stream, so
+//     repeated windows cut along different lines. On a sparse topology a
+//     label class may itself be disconnected — the plan guarantees at
+//     *least* k components among alive nodes on a clique, not exactly k
+//     everywhere; that is faithful to real meshes and the invariant
+//     monitor recomputes true components anyway.
 //
 // Determinism contract: every fault draw comes from dedicated per-node
 // fault streams (plus one oracle stream) derived from FaultPlanConfig::seed
@@ -71,6 +82,32 @@ struct GilbertElliott {
   bool enabled() const noexcept { return good_to_bad > 0.0; }
 };
 
+/// How partition windows recur over the execution.
+enum class PartitionMode {
+  kNone,      ///< no partition schedule
+  kOneShot,   ///< one window [start, start + duration), then healed forever
+  kPeriodic,  ///< a window every `period` rounds starting at `start`
+  kFlapping,  ///< cut for `duration`, healed for `duration`, repeating
+};
+
+const char* to_string(PartitionMode mode);
+
+/// A deterministic seeded partition schedule: while a window is open the
+/// node set is split into `parts` label classes and cross-class edges are
+/// blocked at scan time (no advertisement seen, no connection possible).
+struct PartitionSchedule {
+  PartitionMode mode = PartitionMode::kNone;
+  NodeId parts = 2;        ///< number of label classes while cut (>= 2)
+  Round start = 1;         ///< first round a window may open (>= 1)
+  Round duration = 1;      ///< rounds each window stays open (>= 1)
+  Round period = 0;        ///< kPeriodic only: window spacing (> duration)
+
+  bool enabled() const noexcept { return mode != PartitionMode::kNone; }
+
+  friend bool operator==(const PartitionSchedule&,
+                         const PartitionSchedule&) = default;
+};
+
 struct FaultPlanConfig {
   /// Per-round crash probability of each alive, activated node.
   double crash_prob = 0.0;
@@ -89,6 +126,8 @@ struct FaultPlanConfig {
   CrashTargeting targeting = CrashTargeting::kNone;
   Round target_every = 0;
   Round target_start = 1;
+  /// Partition schedule (see PartitionSchedule).
+  PartitionSchedule partition;
   /// Fault stream seed, independent of the engine seed.
   std::uint64_t seed = 1;
 
@@ -97,7 +136,8 @@ struct FaultPlanConfig {
   bool enabled() const noexcept {
     return crash_prob > 0.0 || recovery_prob > 0.0 || burst.enabled() ||
            edge_degradation > 0.0 ||
-           (targeting != CrashTargeting::kNone && target_every > 0);
+           (targeting != CrashTargeting::kNone && target_every > 0) ||
+           partition.enabled();
   }
   /// True when established connections can be dropped by this plan.
   bool has_link_faults() const noexcept {
@@ -127,6 +167,10 @@ class FaultPlan {
   FaultPlan(FaultPlanConfig config, NodeId node_count);
 
   /// Applies one round of faults. Pinned order (the model contract):
+  ///   0. partition window refresh (no draws from the per-node or oracle
+  ///      streams: window labels come from a dedicated stream keyed by the
+  ///      window index, so partitions compose with churn without shifting
+  ///      any existing draw);
   ///   1. burst-channel transitions, nodes ascending (one draw per node);
   ///   2. recoveries, crashed nodes ascending (one draw each);
   ///   3. random crashes, alive activated nodes ascending (one draw each;
@@ -159,7 +203,22 @@ class FaultPlan {
   /// The oracle's dedicated stream (for select_crash_target's random mode).
   Rng& oracle_rng() noexcept { return oracle_rng_; }
 
+  /// True while the current round (as of the last round_start) falls inside
+  /// an open partition window.
+  bool partition_active() const noexcept { return partition_active_; }
+  /// Label class of node u in the current window; meaningful only while
+  /// partition_active(). Labels are in [0, parts).
+  NodeId partition_label(NodeId u) const { return partition_label_[u]; }
+  /// True when edge {u, v} is blocked by the open partition window. Always
+  /// false while no window is open. Pure (no stream draws) — callable any
+  /// number of times without perturbing fault streams.
+  bool edge_blocked(NodeId u, NodeId v) const {
+    return partition_active_ && partition_label_[u] != partition_label_[v];
+  }
+
  private:
+  void refresh_partition(Round r);
+
   FaultPlanConfig config_;
   NodeId node_count_;
   NodeId alive_count_;
@@ -167,6 +226,9 @@ class FaultPlan {
   std::vector<char> burst_bad_;
   std::vector<Rng> fault_rngs_;
   Rng oracle_rng_;
+  bool partition_active_ = false;
+  std::uint64_t partition_window_ = ~std::uint64_t{0};
+  std::vector<NodeId> partition_label_;
 };
 
 /// Shared oracle-target selection so both engines resolve targeting

@@ -1,0 +1,251 @@
+#include "sim/invariants.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "graph/connectivity.hpp"
+#include "sim/engine.hpp"
+
+namespace mtm {
+
+namespace {
+
+constexpr double kLatencyBucketLo = 1.0;
+constexpr double kLatencyBucketFactor = 2.0;
+constexpr std::size_t kLatencyBucketCount = 12;
+
+}  // namespace
+
+InvariantMonitor::InvariantMonitor(InvariantConfig config)
+    : config_(config) {}
+
+void InvariantMonitor::set_expected_uids(const std::vector<Uid>& uids) {
+  owners_.clear();
+  owners_.reserve(uids.size());
+  for (NodeId u = 0; u < static_cast<NodeId>(uids.size()); ++u) {
+    owners_.emplace_back(uids[u], u);
+  }
+  std::sort(owners_.begin(), owners_.end());
+  has_universe_ = true;
+}
+
+/// The node owning `uid`, or kNoNode when the UID was never injected.
+NodeId InvariantMonitor::owner_of(Uid uid) const {
+  const auto it = std::lower_bound(
+      owners_.begin(), owners_.end(), uid,
+      [](const std::pair<Uid, NodeId>& e, Uid v) { return e.first < v; });
+  if (it == owners_.end() || it->first != uid) return kNoNode;
+  return it->second;
+}
+
+void InvariantMonitor::hard_violation(const std::string& check, Round round,
+                                      const std::string& detail) {
+  if (trace_sink_ != nullptr) {
+    trace_sink_->emit(obs::TraceEvent("invariant", round)
+                          .with("check", check)
+                          .with("detail", detail));
+  }
+  if (config_.fail_fast) throw InvariantViolation(check, round, detail);
+}
+
+void InvariantMonitor::observe_round(const Engine& engine,
+                                     const Graph& graph) {
+  const auto* leader = dynamic_cast<const LeaderElectionProtocol*>(
+      &engine.protocol().unwrap());
+  if (leader == nullptr) return;  // nothing to check for rumor protocols
+
+  const Round r = engine.rounds_executed();
+  const NodeId n = engine.node_count();
+  const FaultPlan* faults = engine.fault_plan();
+  const ByzantinePlan* byz = engine.byzantine_plan();
+
+  if (prev_epoch_.empty()) {
+    prev_epoch_.assign(n, 0);
+    prev_active_.assign(n, 0);
+  }
+
+  // The honest subgraph: alive, activated, non-Byzantine nodes, with
+  // partition-blocked edges removed. A Byzantine node may physically relay
+  // traffic, but it forwards nothing trustworthy (silent nodes forward
+  // nothing at all), so safety is only claimed per honestly-connected
+  // component — the standard notion for gossip with adversaries.
+  const std::function<bool(NodeId)> honest = [&](NodeId u) {
+    return engine.node_active(u) && (byz == nullptr || !byz->is_byzantine(u));
+  };
+  const std::function<bool(NodeId, NodeId)> edge_ok = [&](NodeId u,
+                                                          NodeId v) {
+    return faults == nullptr || !faults->edge_blocked(u, v);
+  };
+  const Components comps = filtered_components(graph, honest, edge_ok);
+
+  // Leadership claimants, grouped by component.
+  std::vector<std::vector<NodeId>> claimants(comps.count);
+  std::uint64_t total_claimants = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (!honest(u) || !leader->claims_leadership(u)) continue;
+    claimants[comps.label[u]].push_back(u);
+    ++total_claimants;
+  }
+
+  // --- Agreement: >= 2 same-epoch claimants in one component, persisting
+  // beyond the settle window.
+  bool contested = false;
+  NodeId contested_a = 0;
+  NodeId contested_b = 0;
+  for (NodeId c = 0; c < comps.count && !contested; ++c) {
+    const std::vector<NodeId>& list = claimants[c];
+    for (std::size_t i = 0; i < list.size() && !contested; ++i) {
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        if (leader->epoch_of(list[i]) == leader->epoch_of(list[j])) {
+          contested = true;
+          contested_a = list[i];
+          contested_b = list[j];
+          break;
+        }
+      }
+    }
+  }
+  if (contested) {
+    ++multi_claimant_run_;
+    if (multi_claimant_run_ > config_.settle_rounds) {
+      ++report_.agreement_violations;
+      metrics_.counter("invariants.agreement_violations").increment();
+      multi_claimant_run_ = 0;  // re-arm instead of firing every round
+      hard_violation(
+          "agreement", r,
+          "nodes " + std::to_string(contested_a) + " and " +
+              std::to_string(contested_b) +
+              " both claim leadership in epoch " +
+              std::to_string(leader->epoch_of(contested_a)) +
+              " of one component beyond the settle window");
+    }
+  } else {
+    multi_claimant_run_ = 0;
+  }
+
+  // --- Validity and dead-leader occupancy.
+  bool spoofed_this_round = false;
+  bool ghost_this_round = false;
+  for (NodeId u = 0; u < n && has_universe_; ++u) {
+    if (!honest(u)) continue;
+    const Uid believed = leader->leader_of(u);
+    const NodeId owner = owner_of(believed);
+    if (owner == kNoNode) {
+      if (byz != nullptr) {
+        // The model has no UID authentication: a spoofed minimum spreading
+        // is expected adversary damage, recorded, not a protocol bug.
+        spoofed_this_round = true;
+        continue;
+      }
+      ++report_.validity_violations;
+      metrics_.counter("invariants.validity_violations").increment();
+      hard_violation("validity", r,
+                     "node " + std::to_string(u) + " believes in UID " +
+                         std::to_string(believed) +
+                         " which was never injected");
+      continue;
+    }
+    // Ghost following: the believed leader's node is currently dead.
+    // Gossip legitimately lags behind liveness, so this is record-only.
+    if (!engine.node_active(owner)) ghost_this_round = true;
+  }
+  if (spoofed_this_round) {
+    ++report_.spoofed_uid_rounds;
+    metrics_.counter("invariants.spoofed_uid_rounds").increment();
+  }
+  if (ghost_this_round) {
+    ++report_.dead_leader_rounds;
+    metrics_.counter("invariants.dead_leader_rounds").increment();
+  }
+
+  // --- Epoch monotonicity for continuously-active honest nodes. A crashed
+  // node is observed inactive for at least one round before any recovery,
+  // so restart resets never trip the continuity gate.
+  for (NodeId u = 0; u < n; ++u) {
+    const bool active_now = engine.node_active(u);
+    if (active_now && prev_active_[u] != 0 &&
+        (byz == nullptr || !byz->is_byzantine(u))) {
+      const std::uint32_t e = leader->epoch_of(u);
+      if (e < prev_epoch_[u]) {
+        ++report_.epoch_regressions;
+        metrics_.counter("invariants.epoch_regressions").increment();
+        hard_violation("epoch-monotonicity", r,
+                       "node " + std::to_string(u) + " regressed from epoch " +
+                           std::to_string(prev_epoch_[u]) + " to " +
+                           std::to_string(e) + " while continuously active");
+      }
+    }
+    prev_active_[u] = active_now ? 1 : 0;
+    if (active_now) prev_epoch_[u] = leader->epoch_of(u);
+  }
+
+  // --- Split-brain accounting: rounds with >= 2 simultaneous claimants.
+  if (total_claimants >= 2) {
+    ++report_.split_brain_rounds;
+    metrics_.counter("invariants.split_brain_rounds").increment();
+    ++split_brain_run_;
+    if (split_brain_run_ > report_.max_split_brain_run) {
+      report_.max_split_brain_run = split_brain_run_;
+      metrics_.gauge("invariants.max_split_brain_run")
+          .set(static_cast<double>(split_brain_run_));
+    }
+  } else {
+    split_brain_run_ = 0;
+  }
+
+  // --- Heal-to-reconvergence latency.
+  const bool partition_now = faults != nullptr && faults->partition_active();
+  if (prev_partition_active_ && !partition_now) {
+    ++report_.heals;
+    metrics_.counter("invariants.heals").increment();
+    heal_pending_ = true;
+    heal_round_ = r;
+    if (trace_sink_ != nullptr) {
+      trace_sink_->emit(obs::TraceEvent("heal", r));
+    }
+  } else if (!prev_partition_active_ && partition_now) {
+    heal_pending_ = false;  // a new window opened before reconvergence
+  }
+  prev_partition_active_ = partition_now;
+
+  if (heal_pending_ && !partition_now) {
+    // Reconverged: every honest active node believes the same leader in
+    // the same epoch, and at most one node claims the title.
+    bool agreed = total_claimants <= 1;
+    bool seen = false;
+    Uid believed = 0;
+    std::uint32_t epoch = 0;
+    for (NodeId u = 0; u < n && agreed; ++u) {
+      if (!honest(u)) continue;
+      if (!seen) {
+        seen = true;
+        believed = leader->leader_of(u);
+        epoch = leader->epoch_of(u);
+      } else if (leader->leader_of(u) != believed ||
+                 leader->epoch_of(u) != epoch) {
+        agreed = false;
+      }
+    }
+    if (agreed && seen) {
+      const Round latency = r - heal_round_;
+      ++report_.reconvergences;
+      report_.heal_latencies.push_back(latency);
+      metrics_.counter("invariants.reconvergences").increment();
+      metrics_
+          .histogram("invariants.heal_latency_rounds",
+                     obs::FixedHistogram::exponential_bounds(
+                         kLatencyBucketLo, kLatencyBucketFactor,
+                         kLatencyBucketCount))
+          .record(static_cast<double>(latency));
+      heal_pending_ = false;
+      if (trace_sink_ != nullptr) {
+        trace_sink_->emit(obs::TraceEvent("reconverged", r)
+                              .with("latency", latency)
+                              .with("epoch", std::uint64_t{epoch}));
+      }
+    }
+  }
+}
+
+}  // namespace mtm

@@ -1,0 +1,153 @@
+// Runtime invariant monitor: per-round safety checks for leader election
+// under partitions, churn, and Byzantine peers.
+//
+// The paper proves agreement and validity assuming a connected graph of
+// honest nodes; the adversarial layers (sim/faults.hpp partitions,
+// sim/byzantine.hpp misbehavior) deliberately break those assumptions.
+// InvariantMonitor watches an Engine execution and checks, every round,
+// what safety *should* still mean:
+//
+//   * agreement   — within one connected component of the honest subgraph
+//     (alive, activated, non-Byzantine nodes; partition-blocked edges
+//     removed), at most one node may claim leadership per epoch. Transient
+//     multi-claimant states are normal (initial election, post-heal
+//     merges); the check fires only when some component holds >= 2
+//     same-epoch claimants for more than `settle_rounds` consecutive
+//     rounds — a split-brain that is not healing;
+//   * validity    — an honest node's believed leader UID must belong to
+//     the injected UID universe (set_expected_uids). A forged UID can
+//     only appear via spoofing, so with no Byzantine plan attached it is
+//     a hard violation; with an adversary present it is recorded (the
+//     protocol cannot authenticate UIDs — the paper's model has no
+//     signatures). A believed leader whose node is currently dead is
+//     always record-only: gossip protocols legitimately follow a ghost
+//     until re-election;
+//   * epoch monotonicity — a node's election epoch must never decrease
+//     while the node stays continuously active (restart resets are
+//     excluded by the continuity requirement: a crashed node is inactive
+//     for at least one observed round before it recovers);
+//   * split-brain accounting — rounds with >= 2 simultaneous honest
+//     claimants, the longest such run, partition heal events, and the
+//     heal-to-reconvergence latency (rounds from a window closing until
+//     all honest active nodes agree on one leader again).
+//
+// Hard violations are counted, emitted as "invariant" TraceEvents, and —
+// in fail-fast mode — thrown as InvariantViolation out of Engine::step().
+// Everything else is record-only telemetry in the monitor's MetricRegistry.
+//
+// Zero-perturbation contract (tests/sim/test_invariant_zero_perturbation):
+// the monitor only READS engine state after the round has fully executed;
+// it draws from no RNG stream and feeds nothing back, so attaching it
+// changes no simulation result. Attached to a protocol that is not a
+// LeaderElectionProtocol it observes nothing at all.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/model.hpp"
+
+namespace mtm {
+
+class Engine;
+
+struct InvariantConfig {
+  /// Throw InvariantViolation out of Engine::step() on a hard violation
+  /// (agreement, validity-without-adversary, epoch regression). When
+  /// false, violations are only counted and traced.
+  bool fail_fast = false;
+  /// Consecutive rounds a component may hold >= 2 same-epoch leadership
+  /// claimants before the agreement check fires. Must cover the initial
+  /// election and one post-heal reconvergence; scale with the network
+  /// (harness code uses max(64, 8n)).
+  Round settle_rounds = 64;
+};
+
+/// Thrown by fail-fast monitors from inside Engine::step().
+class InvariantViolation : public std::runtime_error {
+ public:
+  InvariantViolation(std::string check, Round round, const std::string& what)
+      : std::runtime_error("invariant '" + check + "' violated in round " +
+                           std::to_string(round) + ": " + what),
+        check_(std::move(check)),
+        round_(round) {}
+
+  const std::string& check() const noexcept { return check_; }
+  Round round() const noexcept { return round_; }
+
+ private:
+  std::string check_;
+  Round round_;
+};
+
+/// Aggregated results of one monitored execution.
+struct InvariantReport {
+  std::uint64_t agreement_violations = 0;
+  std::uint64_t validity_violations = 0;
+  std::uint64_t epoch_regressions = 0;
+  std::uint64_t split_brain_rounds = 0;   ///< rounds with >= 2 claimants
+  std::uint64_t max_split_brain_run = 0;  ///< longest consecutive such run
+  std::uint64_t dead_leader_rounds = 0;   ///< record-only ghost following
+  std::uint64_t spoofed_uid_rounds = 0;   ///< record-only under adversary
+  std::uint64_t heals = 0;                ///< partition windows closed
+  std::uint64_t reconvergences = 0;       ///< heals that reached agreement
+  /// Reconvergence latencies in rounds, one entry per completed heal.
+  std::vector<Round> heal_latencies;
+
+  /// Total hard violations.
+  std::uint64_t violations() const noexcept {
+    return agreement_violations + validity_violations + epoch_regressions;
+  }
+};
+
+class InvariantMonitor {
+ public:
+  explicit InvariantMonitor(InvariantConfig config = {});
+
+  /// The UID universe the protocol was constructed with; enables the
+  /// validity check. Without it, unknown-UID detection is off.
+  void set_expected_uids(const std::vector<Uid>& uids);
+
+  /// Optional trace sink for "invariant" / "heal" / "reconverged" events
+  /// (non-owning; nullptr detaches).
+  void set_trace_sink(obs::TraceSink* sink) noexcept { trace_sink_ = sink; }
+
+  /// Called by the engine at the end of every step() (see
+  /// Engine::set_invariant_monitor). Reads engine state only; may throw
+  /// InvariantViolation in fail-fast mode.
+  void observe_round(const Engine& engine, const Graph& graph);
+
+  const InvariantReport& report() const noexcept { return report_; }
+  /// Counter/gauge/histogram mirror of the report, for unified snapshots.
+  obs::MetricRegistry& metrics() noexcept { return metrics_; }
+  const InvariantConfig& config() const noexcept { return config_; }
+
+ private:
+  void hard_violation(const std::string& check, Round round,
+                      const std::string& detail);
+  NodeId owner_of(Uid uid) const;
+
+  InvariantConfig config_;
+  InvariantReport report_;
+  obs::MetricRegistry metrics_;
+  obs::TraceSink* trace_sink_ = nullptr;  // non-owning
+
+  std::vector<std::pair<Uid, NodeId>> owners_;  // sorted by UID
+  bool has_universe_ = false;
+
+  // Cross-round state for the persistence/monotonicity/heal checks.
+  Round multi_claimant_run_ = 0;
+  std::uint64_t split_brain_run_ = 0;
+  std::vector<std::uint32_t> prev_epoch_;
+  std::vector<char> prev_active_;
+  bool prev_partition_active_ = false;
+  bool heal_pending_ = false;
+  Round heal_round_ = 0;
+};
+
+}  // namespace mtm

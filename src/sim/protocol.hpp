@@ -84,6 +84,18 @@ class LeaderElectionProtocol : public Protocol {
   /// (used by the adversarial crash oracle's leader targeting). Default:
   /// no identifiable leader node (the sentinel defined in sim/faults.hpp).
   virtual NodeId leader_node() const { return ~NodeId{0}; }
+
+  /// Node u's election epoch, for protocols with epoch-numbered elections
+  /// (protocols/stable_leader). Single-shot elections live in epoch 0
+  /// forever; the invariant monitor uses this for its epoch-monotonicity
+  /// check, which is vacuous at the default.
+  virtual std::uint32_t epoch_of(NodeId /*u*/) const { return 0; }
+
+  /// True when node u currently claims to BE the leader (believes its own
+  /// UID won). The invariant monitor counts same-epoch claimants per
+  /// connected component; the default (no node ever claims) makes the
+  /// agreement check vacuous for protocols without an explicit claim.
+  virtual bool claims_leadership(NodeId /*u*/) const { return false; }
 };
 
 /// Extension interface for rumor spreading algorithms (paper Section V).

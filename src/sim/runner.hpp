@@ -29,6 +29,11 @@ struct RunResult {
   /// fewer productive connections per round.
   std::uint64_t connections = 0;
   std::uint64_t proposals = 0;
+  /// Invariant-monitor summary (sim/invariants.hpp), filled only when the
+  /// experiment attached a monitor (LeaderExperiment::check_invariants):
+  /// hard safety violations and rounds spent with >= 2 leadership claimants.
+  std::uint64_t invariant_violations = 0;
+  std::uint64_t split_brain_rounds = 0;
 };
 
 /// Steps `engine` until stabilized() or `max_rounds` rounds have run.

@@ -1,8 +1,10 @@
 #include "testing/differential.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/assert.hpp"
+#include "sim/invariants.hpp"
 
 namespace mtm::testing {
 
@@ -226,6 +228,20 @@ std::optional<Divergence> run_differential(const Scenario& scenario,
                             options.mutation);
 
   const NodeId n = engine.node_count();
+
+  // Record-only safety monitoring on the optimized engine: the monitor is
+  // zero-perturbation, so the lockstep streams are unaffected and any
+  // violation surfaces once, after the run.
+  InvariantMonitor monitor(InvariantConfig{
+      false, options.settle_rounds > 0 ? options.settle_rounds
+                                       : std::max<Round>(64, 8 * n)});
+  if (options.check_invariants) {
+    if (!scenario.uid_universe.empty()) {
+      monitor.set_expected_uids(scenario.uid_universe);
+    }
+    engine.set_invariant_monitor(&monitor);
+  }
+
   std::size_t events_seen = 0;
 
   for (Round r = 1; r <= scenario.rounds; ++r) {
@@ -294,6 +310,17 @@ std::optional<Divergence> run_differential(const Scenario& scenario,
     }
 
     events_seen = engine_rec.events().size();
+  }
+
+  if (options.check_invariants && monitor.report().violations() > 0) {
+    const InvariantReport& rep = monitor.report();
+    std::ostringstream detail;
+    detail << "agreement=" << rep.agreement_violations
+           << " validity=" << rep.validity_violations
+           << " epoch=" << rep.epoch_regressions
+           << " (split_brain_rounds=" << rep.split_brain_rounds
+           << ", max_run=" << rep.max_split_brain_run << ")";
+    return Divergence{scenario.rounds, "invariant", detail.str()};
   }
 
   return std::nullopt;

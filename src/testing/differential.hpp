@@ -112,6 +112,11 @@ struct Scenario {
   std::function<std::unique_ptr<DynamicGraphProvider>()> make_topology;
   EngineConfig config;
   Round rounds = 48;
+  /// The UID universe make_protocol injects (leader protocols only; empty
+  /// means unknown). Enables the invariant monitor's validity check — the
+  /// universe cannot be recovered from leader_of() mid-run, so the
+  /// scenario author must declare it.
+  std::vector<Uid> uid_universe;
 };
 
 /// First observable mismatch between the two executions.
@@ -129,6 +134,13 @@ struct DifferentialOptions {
   /// When set, a per-round trace (events, counters, state hashes) is
   /// streamed here — the replay tool's trace dump.
   std::ostream* trace = nullptr;
+  /// Attach a record-only InvariantMonitor (sim/invariants.hpp) to the
+  /// optimized engine; any hard safety violation at the end of the run is
+  /// reported as a Divergence in field "invariant". Zero-perturbation, so
+  /// the lockstep comparison is unaffected.
+  bool check_invariants = false;
+  /// Agreement settle window for the monitor; 0 picks max(64, 8n).
+  Round settle_rounds = 0;
 };
 
 /// Runs both engines in lockstep for scenario.rounds rounds; returns the

@@ -27,6 +27,7 @@ constexpr std::uint64_t kUidSeedTag = 0x66757a7a756964ULL;       // "fuzzuid"
 constexpr std::uint64_t kActivationSeedTag = 0x66757a7a616374ULL;
 constexpr std::uint64_t kCaseSeedTag = 0x66757a7a63617365ULL;
 constexpr std::uint64_t kFaultSeedTag = 0x66757a7a666c74ULL;  // "fuzzflt"
+constexpr std::uint64_t kByzSeedTag = 0x66757a7a62797aULL;    // "fuzzbyz"
 
 /// Epoch timeout the fuzzer fixes for stable-leader cases (long enough for
 /// age gossip to cross every fuzzed topology, short enough to re-elect
@@ -168,6 +169,19 @@ std::string to_string(const FuzzCase& fuzz_case) {
     out << " oracle=" << mtm::to_string(fuzz_case.targeting)
         << " oracle-every=" << fuzz_case.target_every;
   }
+  if (fuzz_case.partition != PartitionMode::kNone) {
+    out << " partition=" << mtm::to_string(fuzz_case.partition)
+        << " parts=" << fuzz_case.parts
+        << " partition-start=" << fuzz_case.partition_start
+        << " partition-duration=" << fuzz_case.partition_duration;
+    if (fuzz_case.partition == PartitionMode::kPeriodic) {
+      out << " partition-period=" << fuzz_case.partition_period;
+    }
+  }
+  if (fuzz_case.byz_fraction > 0.0) {
+    out << " byz=" << fuzz_case.byz_fraction
+        << " byz-mode=" << mtm::to_string(fuzz_case.byz_mode);
+  }
   return out.str();
 }
 
@@ -198,6 +212,21 @@ FuzzCase parse_fuzz_case(const std::string& text) {
       else if (key == "degrade") out.edge_degradation = std::stod(value);
       else if (key == "oracle") out.targeting = parse_crash_targeting(value);
       else if (key == "oracle-every") out.target_every = std::stoull(value);
+      else if (key == "partition") out.partition = parse_partition_mode(value);
+      else if (key == "parts") {
+        out.parts = static_cast<NodeId>(std::stoul(value));
+      }
+      else if (key == "partition-start") {
+        out.partition_start = std::stoull(value);
+      }
+      else if (key == "partition-duration") {
+        out.partition_duration = std::stoull(value);
+      }
+      else if (key == "partition-period") {
+        out.partition_period = std::stoull(value);
+      }
+      else if (key == "byz") out.byz_fraction = std::stod(value);
+      else if (key == "byz-mode") out.byz_mode = parse_byz_behavior(value);
       else throw std::invalid_argument("unknown fuzz case key: " + key);
     } catch (const std::invalid_argument&) {
       throw;
@@ -237,6 +266,20 @@ Scenario make_scenario(const FuzzCase& fuzz_case) {
   faults.target_start = 2;  // let round 1 establish some protocol state
   faults.seed = derive_seed(fuzz_case.seed, {kFaultSeedTag});
   faults.burst = burst_preset(fuzz_case.burst);
+  faults.partition.mode = fuzz_case.partition;
+  // The family may shape n below case.parts; the plan requires parts <= n.
+  faults.partition.parts = std::min<NodeId>(fuzz_case.parts, n);
+  faults.partition.start = fuzz_case.partition_start;
+  faults.partition.duration = fuzz_case.partition_duration;
+  faults.partition.period = fuzz_case.partition_period;
+
+  if (fuzz_case.byz_fraction > 0.0) {
+    ByzantinePlanConfig& byz = scenario.config.byzantine;
+    byz.fraction = fuzz_case.byz_fraction;
+    byz.behavior = fuzz_case.byz_mode;
+    byz.spoof_uid = 0;  // the true minimum of every shuffled universe
+    byz.seed = derive_seed(fuzz_case.seed, {kByzSeedTag});
+  }
 
   switch (fuzz_case.protocol) {
     case FuzzProtocol::kBlindGossip:
@@ -298,6 +341,15 @@ Scenario make_scenario(const FuzzCase& fuzz_case) {
       break;
   }
 
+  switch (fuzz_case.protocol) {
+    case FuzzProtocol::kPushPull:
+    case FuzzProtocol::kPpush:
+      break;  // rumor protocols: no UID universe to validate against
+    default:
+      scenario.uid_universe = BlindGossip::shuffled_uids(n, uid_seed);
+      break;
+  }
+
   if (fuzz_case.async_activation) {
     // Staggered activations within the first half of the budget so every
     // node is live for at least half the rounds.
@@ -327,9 +379,10 @@ Scenario make_scenario(const FuzzCase& fuzz_case) {
   return scenario;
 }
 
-FuzzCase random_fuzz_case(Rng& rng, bool with_faults) {
+FuzzCase random_fuzz_case(Rng& rng, bool with_faults, bool with_adversary) {
   FuzzCase out;
-  out.protocol = static_cast<FuzzProtocol>(rng.uniform(with_faults ? 7 : 6));
+  out.protocol = static_cast<FuzzProtocol>(
+      rng.uniform(with_faults || with_adversary ? 7 : 6));
   out.generator = kGenerators[rng.uniform(std::size(kGenerators))];
   out.n = static_cast<NodeId>(4 + rng.uniform(25));  // 4..28 before clamping
   out.seed = rng.next_u64();
@@ -408,6 +461,43 @@ FuzzCase random_fuzz_case(Rng& rng, bool with_faults) {
     out.target_every =
         out.targeting == CrashTargeting::kNone ? 0 : 4 + rng.uniform(9);
   }
+  if (with_adversary) {
+    out.partition = static_cast<PartitionMode>(rng.uniform(4));
+    if (out.partition != PartitionMode::kNone) {
+      out.parts = static_cast<NodeId>(2 + rng.uniform(2));  // 2 or 3
+      out.partition_start = 2 + rng.uniform(8);             // 2..9
+      out.partition_duration = 2 + rng.uniform(7);          // 2..8
+      if (out.partition == PartitionMode::kPeriodic) {
+        // Validated constraint: period > duration.
+        out.partition_period = out.partition_duration + 4 + rng.uniform(9);
+      }
+    }
+    // Honest-majority adversaries only, and only for protocols whose
+    // payloads tolerate foreign UIDs (the rumor protocols assert
+    // payload.uid(0) == rumor).
+    const bool rumor_protocol = out.protocol == FuzzProtocol::kPushPull ||
+                                out.protocol == FuzzProtocol::kPpush;
+    switch (rng.uniform(3)) {
+      case 0:
+        out.byz_fraction = 0.0;
+        break;
+      case 1:
+        out.byz_fraction = 0.1;
+        break;
+      default:
+        out.byz_fraction = 0.25;
+        break;
+    }
+    // Draw the mode unconditionally so the stream layout is stable, then
+    // normalize adversary-free cases back to the defaults: to_string only
+    // emits byz keys when the fraction is positive, so a non-default mode
+    // behind fraction 0 would break the serialization round trip.
+    out.byz_mode = static_cast<ByzBehavior>(rng.uniform(5));
+    if (rumor_protocol || out.byz_fraction == 0.0) {
+      out.byz_fraction = 0.0;
+      out.byz_mode = ByzBehavior::kUidSpoof;
+    }
+  }
   return out;
 }
 
@@ -468,6 +558,29 @@ FuzzCase shrink_fuzz_case(FuzzCase fuzz_case,
     }
     {
       FuzzCase candidate = fuzz_case;
+      candidate.byz_fraction = 0.0;
+      candidate.byz_mode = ByzBehavior::kUidSpoof;
+      try_simplify(candidate);
+    }
+    {
+      FuzzCase candidate = fuzz_case;
+      candidate.partition = PartitionMode::kNone;
+      candidate.parts = 2;
+      candidate.partition_start = 1;
+      candidate.partition_duration = 1;
+      candidate.partition_period = 0;
+      try_simplify(candidate);
+    }
+    if (fuzz_case.partition == PartitionMode::kPeriodic ||
+        fuzz_case.partition == PartitionMode::kFlapping) {
+      // A single window is simpler than a recurring schedule.
+      FuzzCase candidate = fuzz_case;
+      candidate.partition = PartitionMode::kOneShot;
+      candidate.partition_period = 0;
+      try_simplify(candidate);
+    }
+    {
+      FuzzCase candidate = fuzz_case;
       candidate.async_activation = false;
       try_simplify(candidate);
     }
@@ -504,9 +617,14 @@ std::vector<FuzzFailure> run_fuzz(const FuzzOptions& options) {
   std::vector<FuzzFailure> failures;
   DifferentialOptions diff_options;
   diff_options.mutation = options.mutation;
+  // The monitor is zero-perturbation and its settle window exceeds every
+  // fuzzed round budget, so honest configurations can never trip it; a
+  // safety violation surfaces as an "invariant" divergence.
+  diff_options.check_invariants = true;
   for (std::size_t i = 0; i < options.cases; ++i) {
     Rng case_rng(derive_seed(options.seed, {kCaseSeedTag, i}));
-    const FuzzCase fuzz_case = random_fuzz_case(case_rng, options.with_faults);
+    const FuzzCase fuzz_case =
+        random_fuzz_case(case_rng, options.with_faults, options.with_adversary);
     if (options.on_case) options.on_case(i, fuzz_case);
     auto divergence = run_differential(make_scenario(fuzz_case), diff_options);
     if (!divergence) continue;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/byzantine.hpp"
 #include "testing/differential.hpp"
 
 namespace mtm::testing {
@@ -61,6 +62,19 @@ struct FuzzCase {
   double edge_degradation = 0.0;
   CrashTargeting targeting = CrashTargeting::kNone;
   Round target_every = 0;
+  /// Partition-schedule dimensions (sim/faults.hpp). kNone keeps
+  /// pre-partition tuples byte-identical.
+  PartitionMode partition = PartitionMode::kNone;
+  NodeId parts = 2;
+  Round partition_start = 1;
+  Round partition_duration = 1;
+  Round partition_period = 0;  ///< kPeriodic only (> duration)
+  /// Byzantine dimensions (sim/byzantine.hpp); 0 disables. The fuzzer only
+  /// samples adversaries for leader-election protocols (the rumor protocols
+  /// assert on foreign payload UIDs) and always spoofs UID 0, the true
+  /// minimum of the shuffled universe.
+  double byz_fraction = 0.0;
+  ByzBehavior byz_mode = ByzBehavior::kUidSpoof;
 
   friend bool operator==(const FuzzCase&, const FuzzCase&) = default;
 };
@@ -77,8 +91,11 @@ Scenario make_scenario(const FuzzCase& fuzz_case);
 /// Samples one case spanning all model dimensions. With `with_faults`, the
 /// fault-plan dimensions (churn, burst loss, degradation, crash oracles)
 /// and the stable-leader protocol join the sampled space; without it, the
-/// pre-fault distribution is reproduced exactly.
-FuzzCase random_fuzz_case(Rng& rng, bool with_faults = false);
+/// pre-fault distribution is reproduced exactly. With `with_adversary`, the
+/// partition and Byzantine dimensions join too (honest-majority fractions
+/// only; leader-election protocols only).
+FuzzCase random_fuzz_case(Rng& rng, bool with_faults = false,
+                          bool with_adversary = false);
 
 /// Greedily minimizes a diverging case (fewer rounds, no failure injection,
 /// no fault plan, synchronized starts, uniform acceptance, static topology,
@@ -99,6 +116,9 @@ struct FuzzOptions {
   bool shrink = true;
   /// Sample fault-plan dimensions too (see random_fuzz_case).
   bool with_faults = false;
+  /// Sample partition + Byzantine dimensions too (implies the widened
+  /// protocol span of with_faults).
+  bool with_adversary = false;
   /// Fault seeded into the reference engine (harness validation only).
   ReferenceMutation mutation = ReferenceMutation::kNone;
   /// Progress hook, called before each case runs.

@@ -51,6 +51,11 @@ ReferenceEngine::ReferenceEngine(DynamicGraphProvider& topology,
   if (config_.faults.enabled()) {
     fault_plan_ = std::make_unique<FaultPlan>(config_.faults, node_count_);
   }
+  validate(config_.byzantine);
+  if (config_.byzantine.enabled()) {
+    byz_plan_ = std::make_unique<ByzantinePlan>(config_.byzantine,
+                                                node_count_, tag_limit_);
+  }
 
   node_rngs_ = make_node_streams(config_.seed, node_count_);
   protocol_.init(node_count_, node_rngs_);
@@ -113,7 +118,12 @@ std::vector<Decision> ReferenceEngine::phase_scan_and_decide(
     if (!active_in(u, r)) continue;
     std::vector<NeighborInfo> view;
     for (NodeId v : graph.neighbors(u)) {
-      if (active_in(v, r)) view.push_back(NeighborInfo{v, tags[v]});
+      if (!active_in(v, r)) continue;
+      if (fault_plan_ != nullptr && fault_plan_->edge_blocked(u, v)) continue;
+      const Tag tag = byz_plan_ != nullptr
+                          ? byz_plan_->observed_tag(v, u, r, tags[v])
+                          : tags[v];
+      view.push_back(NeighborInfo{v, tag});
     }
     const Decision d =
         protocol_.decide(u, local_round(u, r), view, node_rngs_[u]);
@@ -153,26 +163,55 @@ void ReferenceEngine::exchange(NodeId proposer, NodeId acceptor, Round r) {
     // already landed — observably wrong for any state-dependent payload.
     Payload from_proposer =
         protocol_.make_payload(proposer, acceptor, local_round(proposer, r));
-    telemetry_.count_payload_uids(from_proposer.uid_count());
-    protocol_.receive_payload(acceptor, proposer, from_proposer,
-                              local_round(acceptor, r));
+    if (byz_plan_ != nullptr) {
+      from_proposer =
+          byz_plan_->outgoing_payload(proposer, acceptor, from_proposer);
+    }
+    if (byz_plan_ == nullptr || !byz_plan_->suppresses_payload(proposer)) {
+      telemetry_.count_payload_uids(from_proposer.uid_count());
+      protocol_.receive_payload(acceptor, proposer, from_proposer,
+                                local_round(acceptor, r));
+    }
     Payload from_acceptor =
         protocol_.make_payload(acceptor, proposer, local_round(acceptor, r));
-    telemetry_.count_payload_uids(from_acceptor.uid_count());
-    protocol_.receive_payload(proposer, acceptor, from_acceptor,
-                              local_round(proposer, r));
+    if (byz_plan_ != nullptr) {
+      from_acceptor =
+          byz_plan_->outgoing_payload(acceptor, proposer, from_acceptor);
+    }
+    if (byz_plan_ == nullptr || !byz_plan_->suppresses_payload(acceptor)) {
+      telemetry_.count_payload_uids(from_acceptor.uid_count());
+      protocol_.receive_payload(proposer, acceptor, from_acceptor,
+                                local_round(proposer, r));
+    }
     return;
   }
   Payload from_proposer =
       protocol_.make_payload(proposer, acceptor, local_round(proposer, r));
   Payload from_acceptor =
       protocol_.make_payload(acceptor, proposer, local_round(acceptor, r));
-  telemetry_.count_payload_uids(from_proposer.uid_count());
-  telemetry_.count_payload_uids(from_acceptor.uid_count());
-  protocol_.receive_payload(acceptor, proposer, from_proposer,
-                            local_round(acceptor, r));
-  protocol_.receive_payload(proposer, acceptor, from_acceptor,
-                            local_round(proposer, r));
+  // Byzantine transforms apply after both honest snapshots; a silent
+  // sender's delivery (and its uid count) is skipped. Mirrors
+  // Engine::exchange draw-for-draw and count-for-count.
+  bool proposer_sends = true;
+  bool acceptor_sends = true;
+  if (byz_plan_ != nullptr) {
+    from_proposer =
+        byz_plan_->outgoing_payload(proposer, acceptor, from_proposer);
+    from_acceptor =
+        byz_plan_->outgoing_payload(acceptor, proposer, from_acceptor);
+    proposer_sends = !byz_plan_->suppresses_payload(proposer);
+    acceptor_sends = !byz_plan_->suppresses_payload(acceptor);
+  }
+  if (proposer_sends) {
+    telemetry_.count_payload_uids(from_proposer.uid_count());
+    protocol_.receive_payload(acceptor, proposer, from_proposer,
+                              local_round(acceptor, r));
+  }
+  if (acceptor_sends) {
+    telemetry_.count_payload_uids(from_acceptor.uid_count());
+    protocol_.receive_payload(proposer, acceptor, from_acceptor,
+                              local_round(proposer, r));
+  }
 }
 
 // Phase 4 (+5) — resolve proposals into connections and run each exchange

@@ -24,7 +24,10 @@
 //   phase 1   for u = 0..n-1 ascending, active u draws from streams[u] in
 //             protocol.advertise(u, ...);
 //   phase 2+3 for u = 0..n-1 ascending, active u draws from streams[u] in
-//             protocol.decide(u, ...);
+//             protocol.decide(u, ...). Views skip neighbors behind an open
+//             partition window's cut (FaultPlan::edge_blocked) and pass
+//             Byzantine advertisers' tags through
+//             ByzantinePlan::observed_tag — both pure w.r.t. every stream;
 //   phase 4   for v = 0..n-1 ascending, an accepting v draws ONE bounded
 //             sample uniform(|inbox|) from streams[v] iff the policy is
 //             kUniformRandom (deterministic policies draw nothing), then —
@@ -40,6 +43,10 @@
 //             immediately upon acceptance: make_payload(u, v) then
 //             make_payload(v, u) are both computed BEFORE either delivery
 //             (receive_payload(v, u, ...) then receive_payload(u, v, ...)).
+//             A Byzantine sender's payload is transformed by
+//             ByzantinePlan::outgoing_payload after both snapshots, and a
+//             silent-accept sender's delivery (and its payload-uid count)
+//             is skipped entirely — mirroring Engine::exchange.
 //   phase 6   for u = 0..n-1 ascending, active u gets finish_round.
 //
 // ReferenceMutation deliberately seeds a semantic fault into this oracle so
@@ -131,6 +138,7 @@ class ReferenceEngine {
   std::vector<Round> activation_;
   std::vector<Rng> node_rngs_;
   std::unique_ptr<FaultPlan> fault_plan_;  // null when faults are disabled
+  std::unique_ptr<ByzantinePlan> byz_plan_;  // null when no adversary
   Telemetry telemetry_;
 };
 

@@ -60,6 +60,16 @@ TEST(CliArgs, CheckUnusedPassesWhenAllConsumed) {
   EXPECT_NO_THROW(args.check_unused());
 }
 
+TEST(CliArgs, RejectsDuplicateOptions) {
+  // A repeated option is a contradiction (which value wins?), not a merge:
+  // "--crash=0.1 --crash=0.5" must die with a one-line error up front.
+  EXPECT_THROW(make_args({"--n=4", "--n=5"}), std::invalid_argument);
+  EXPECT_THROW(make_args({"--n=4", "--n=4"}), std::invalid_argument);
+  EXPECT_THROW(make_args({"--verbose", "--verbose"}), std::invalid_argument);
+  EXPECT_THROW(make_args({"--verbose", "--verbose=1"}),
+               std::invalid_argument);
+}
+
 TEST(CliArgs, U64RoundTrip) {
   const CliArgs args = make_args({"--seed=12345678901234"});
   EXPECT_EQ(args.get_u64("seed", 0), 12345678901234ull);

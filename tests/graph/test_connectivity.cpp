@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "core/assert.hpp"
 #include "graph/generators.hpp"
 
@@ -57,6 +60,54 @@ TEST(Connectivity, StarLineDiameter) {
   // Line of s stars: leaf -> center -> ... -> center -> leaf = s + 1 hops.
   const Graph g = make_star_line(5, 3);
   EXPECT_EQ(diameter(g), 6u);
+}
+
+TEST(Connectivity, FilteredComponentsMatchUnfilteredWhenEverythingOk) {
+  Graph g(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  const auto all_nodes = [](NodeId) { return true; };
+  const auto all_edges = [](NodeId, NodeId) { return true; };
+  const Components plain = connected_components(g);
+  const Components filtered = filtered_components(g, all_nodes, all_edges);
+  EXPECT_EQ(filtered.count, plain.count);
+  EXPECT_EQ(filtered.label, plain.label);
+}
+
+TEST(Connectivity, FilteredComponentsRelabelUnderMidRunEdgeRemoval) {
+  // The invariant monitor's exact usage: the Graph object never changes,
+  // the edge filter does as partition windows open mid-run. Removing one
+  // cycle edge keeps it connected; removing a second splits it in two.
+  const Graph g = make_cycle(6);
+  const auto alive = [](NodeId) { return true; };
+  std::set<std::pair<NodeId, NodeId>> cut;
+  const auto edge_ok = [&cut](NodeId u, NodeId v) {
+    return cut.count({u, v}) == 0;  // u < v by the filtered_components contract
+  };
+  EXPECT_EQ(filtered_components(g, alive, edge_ok).count, 1u);
+  cut.insert({0, 1});
+  EXPECT_EQ(filtered_components(g, alive, edge_ok).count, 1u);  // now a path
+  cut.insert({3, 4});
+  const Components split = filtered_components(g, alive, edge_ok);
+  EXPECT_EQ(split.count, 2u);
+  // The cycle 0-1-2-3-4-5-0 minus {0,1} and {3,4}: 1-2-3 versus 4-5-0.
+  EXPECT_EQ(split.label[1], split.label[2]);
+  EXPECT_EQ(split.label[2], split.label[3]);
+  EXPECT_EQ(split.label[4], split.label[5]);
+  EXPECT_EQ(split.label[5], split.label[0]);
+  EXPECT_NE(split.label[1], split.label[0]);
+}
+
+TEST(Connectivity, FilteredComponentsExcludedNodesStayUnlabeled) {
+  // A crashed middle node splits the path and keeps the kUnreachable label
+  // (it counts toward no component).
+  const Graph g = make_path(5);
+  const auto edge_ok = [](NodeId, NodeId) { return true; };
+  const auto node_ok = [](NodeId u) { return u != 2; };
+  const Components c = filtered_components(g, node_ok, edge_ok);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.label[2], kUnreachable);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[3]);
 }
 
 TEST(Connectivity, BfsSourceValidated) {

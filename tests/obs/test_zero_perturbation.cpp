@@ -16,6 +16,7 @@
 #include "obs/trace_sink.hpp"
 #include "protocols/blind_gossip.hpp"
 #include "sim/engine.hpp"
+#include "sim/invariants.hpp"
 #include "sim/runner.hpp"
 
 namespace mtm {
@@ -183,6 +184,61 @@ TEST(ZeroPerturbation, GoldenTraceOfSeededThreeNodeRun) {
     EXPECT_EQ(ring.events()[i].to_jsonl(), expected.str());
     EXPECT_EQ(ring.events()[i].to_json().find("active")->as_u64(), 3u);
   }
+}
+
+/// The faulty run with a periodic partition layered on, optionally watched
+/// by the invariant monitor. Fixed-length so the fingerprints line up
+/// round for round regardless of stabilization.
+Fingerprint partitioned_run(InvariantMonitor* monitor) {
+  StaticGraphProvider topo(make_clique(10));
+  const std::vector<Uid> uids = BlindGossip::shuffled_uids(10, 77);
+  BlindGossip proto(uids);
+  EngineConfig cfg;
+  cfg.seed = 77;
+  cfg.record_rounds = true;
+  cfg.connection_failure_prob = 0.1;
+  cfg.faults.crash_prob = 0.05;
+  cfg.faults.recovery_prob = 0.5;
+  cfg.faults.min_alive = 4;
+  cfg.faults.partition.mode = PartitionMode::kPeriodic;
+  cfg.faults.partition.parts = 2;
+  cfg.faults.partition.start = 8;
+  cfg.faults.partition.duration = 4;
+  cfg.faults.partition.period = 24;
+  cfg.faults.seed = derive_seed(77, {0xfau});
+  Engine engine(topo, proto, cfg);
+  if (monitor != nullptr) {
+    monitor->set_expected_uids(uids);
+    engine.set_invariant_monitor(monitor);
+  }
+  engine.run_rounds(256);
+
+  Fingerprint fp;
+  fp.rounds = engine.rounds_executed();
+  fp.converged = proto.stabilized();
+  const Telemetry& t = engine.telemetry();
+  fp.proposals = t.proposals();
+  fp.connections = t.connections();
+  fp.dropped = t.dropped();
+  fp.crashes = t.crashes();
+  fp.recoveries = t.recoveries();
+  fp.wasted_rounds = t.wasted_rounds();
+  fp.payload_uids = t.payload_uids();
+  fp.per_round = t.per_round();
+  return fp;
+}
+
+TEST(ZeroPerturbation, InvariantMonitorDoesNotPerturbExecution) {
+  // The monitor's contract (sim/invariants.hpp): it only READS engine state
+  // after each round, draws from no RNG stream and feeds nothing back, so a
+  // churning, partitioned run is byte-identical with and without it — while
+  // the monitor itself demonstrably observed the run (heal events landed).
+  const Fingerprint bare = partitioned_run(nullptr);
+  InvariantMonitor monitor(
+      InvariantConfig{/*fail_fast=*/false, /*settle_rounds=*/80});
+  const Fingerprint watched = partitioned_run(&monitor);
+  EXPECT_TRUE(same_fingerprint(bare, watched));
+  EXPECT_GT(monitor.report().heals, 0u);
 }
 
 TEST(ZeroPerturbation, JsonlFileIsByteIdenticalAcrossRuns) {

@@ -1,0 +1,236 @@
+// Byzantine plans (sim/byzantine.hpp): selection clamping and determinism,
+// the four behaviors at the observation layer (tags, payloads, suppression),
+// and the end-to-end spoofing run where the invariant monitor records an
+// out-of-universe UID spreading without calling it a protocol bug.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "sim/byzantine.hpp"
+#include "sim/engine.hpp"
+#include "sim/invariants.hpp"
+
+namespace mtm {
+namespace {
+
+ByzantinePlanConfig byz_config(double fraction, ByzBehavior behavior,
+                               std::uint64_t seed = 5) {
+  ByzantinePlanConfig cfg;
+  cfg.fraction = fraction;
+  cfg.behavior = behavior;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<NodeId> byzantine_set(const ByzantinePlan& plan, NodeId n) {
+  std::vector<NodeId> nodes;
+  for (NodeId u = 0; u < n; ++u) {
+    if (plan.is_byzantine(u)) nodes.push_back(u);
+  }
+  return nodes;
+}
+
+TEST(ByzantinePlanConfig, ValidateRejectsBadFractions) {
+  validate(ByzantinePlanConfig{});  // disabled default is valid
+  ByzantinePlanConfig bad;
+  bad.fraction = 1.0;  // everyone hostile leaves nobody to protect
+  EXPECT_THROW(validate(bad), ContractError);
+  bad.fraction = -0.1;
+  EXPECT_THROW(validate(bad), ContractError);
+}
+
+TEST(ByzantinePlan, CountIsRoundedAndClamped) {
+  const auto count = [](double fraction, NodeId n) {
+    return ByzantinePlan(byz_config(fraction, ByzBehavior::kUidSpoof), n, 2)
+        .byzantine_count();
+  };
+  EXPECT_EQ(count(0.5, 10), 5u);
+  EXPECT_EQ(count(0.01, 10), 1u);   // a tiny fraction still yields one
+  EXPECT_EQ(count(0.99, 10), 9u);   // at least one honest node remains
+  EXPECT_EQ(count(0.25, 2), 1u);
+  EXPECT_EQ(ByzantinePlan(ByzantinePlanConfig{}, 10, 2).byzantine_count(),
+            0u);
+}
+
+TEST(ByzantinePlan, SelectionIsSeededAndDeterministic) {
+  const ByzantinePlanConfig cfg = byz_config(0.5, ByzBehavior::kUidSpoof, 7);
+  const ByzantinePlan a(cfg, 12, 2);
+  const ByzantinePlan b(cfg, 12, 2);
+  EXPECT_EQ(byzantine_set(a, 12), byzantine_set(b, 12));
+
+  ByzantinePlanConfig reseeded = cfg;
+  reseeded.seed = 8;
+  const ByzantinePlan c(reseeded, 12, 2);
+  EXPECT_NE(byzantine_set(a, 12), byzantine_set(c, 12));
+}
+
+TEST(ByzantinePlan, MixAssignsConcreteBehaviors) {
+  const ByzantinePlan plan(byz_config(0.5, ByzBehavior::kMix, 3), 16, 2);
+  std::set<ByzBehavior> seen;
+  for (NodeId u : byzantine_set(plan, 16)) {
+    const ByzBehavior b = plan.behavior_of(u);
+    EXPECT_NE(b, ByzBehavior::kMix);  // always resolved to a concrete one
+    seen.insert(b);
+  }
+  EXPECT_GE(seen.size(), 2u);  // 8 hash-assigned nodes hit several behaviors
+
+  const ByzantinePlan uniform(byz_config(0.5, ByzBehavior::kStaleReplay), 16,
+                              2);
+  for (NodeId u : byzantine_set(uniform, 16)) {
+    EXPECT_EQ(uniform.behavior_of(u), ByzBehavior::kStaleReplay);
+  }
+}
+
+TEST(ByzantinePlan, SpoofedTagMasksToTheEngineWidth) {
+  ByzantinePlanConfig cfg = byz_config(0.25, ByzBehavior::kUidSpoof);
+  cfg.spoof_tag = 3;  // two bits, engine has one
+  const ByzantinePlan plan(cfg, 8, /*tag_limit=*/2);
+  const NodeId liar = byzantine_set(plan, 8).front();
+  for (Round r = 1; r <= 4; ++r) {
+    EXPECT_EQ(plan.observed_tag(liar, (liar + 1) % 8, r, /*honest_tag=*/0),
+              1u);  // 3 masked to b = 1
+  }
+}
+
+TEST(ByzantinePlan, HonestAdvertisersPassThrough) {
+  const ByzantinePlan plan(byz_config(0.25, ByzBehavior::kEquivocate), 8, 2);
+  for (NodeId u = 0; u < 8; ++u) {
+    if (plan.is_byzantine(u)) continue;
+    EXPECT_EQ(plan.observed_tag(u, (u + 1) % 8, 1, 1), 1u);
+    EXPECT_FALSE(plan.suppresses_payload(u));
+  }
+}
+
+TEST(ByzantinePlan, EquivocationIsPerObserverAndRepeatable) {
+  const ByzantinePlan plan(byz_config(0.25, ByzBehavior::kEquivocate, 11), 8,
+                           2);
+  const NodeId liar = byzantine_set(plan, 8).front();
+  // Same (observer, round) query always answers the same...
+  for (Round r = 1; r <= 8; ++r) {
+    for (NodeId obs = 0; obs < 8; ++obs) {
+      if (obs == liar) continue;
+      EXPECT_EQ(plan.observed_tag(liar, obs, r, 0),
+                plan.observed_tag(liar, obs, r, 0));
+    }
+  }
+  // ...but across observers and rounds both tags appear: the node tells
+  // different stories to different neighbors.
+  std::set<Tag> told;
+  for (Round r = 1; r <= 16; ++r) {
+    for (NodeId obs = 0; obs < 8; ++obs) {
+      if (obs != liar) told.insert(plan.observed_tag(liar, obs, r, 0));
+    }
+  }
+  EXPECT_EQ(told.size(), 2u);
+}
+
+TEST(ByzantinePlan, SilentAcceptSuppressesOnlyItsOwnPayloads) {
+  const ByzantinePlan plan(byz_config(0.25, ByzBehavior::kSilentAccept), 8,
+                           2);
+  for (NodeId u = 0; u < 8; ++u) {
+    EXPECT_EQ(plan.suppresses_payload(u), plan.is_byzantine(u));
+  }
+  const ByzantinePlan spoofers(byz_config(0.25, ByzBehavior::kUidSpoof), 8,
+                               2);
+  for (NodeId u = 0; u < 8; ++u) {
+    EXPECT_FALSE(spoofers.suppresses_payload(u));  // spoofing still delivers
+  }
+}
+
+TEST(ByzantinePlan, SpoofRewritesFirstUidOnly) {
+  ByzantinePlanConfig cfg = byz_config(0.25, ByzBehavior::kUidSpoof);
+  cfg.spoof_uid = 99;
+  ByzantinePlan plan(cfg, 8, 2);
+  const NodeId liar = byzantine_set(plan, 8).front();
+
+  Payload honest;
+  honest.push_uid(41);
+  honest.push_uid(42);
+  honest.push_bits(0b1011, 4);
+  const Payload forged = plan.outgoing_payload(liar, 0, honest);
+  ASSERT_EQ(forged.uid_count(), 2u);
+  EXPECT_EQ(forged.uid(0), 99u);
+  EXPECT_EQ(forged.uid(1), 42u);
+  ASSERT_EQ(forged.extra_bit_count(), 4);
+  EXPECT_EQ(forged.read_bits(0, 4), 0b1011u);
+
+  // An empty honest payload still gets the forged identity.
+  const Payload from_empty = plan.outgoing_payload(liar, 0, Payload{});
+  ASSERT_EQ(from_empty.uid_count(), 1u);
+  EXPECT_EQ(from_empty.uid(0), 99u);
+
+  // Honest senders pass through untouched.
+  const NodeId honest_node = plan.is_byzantine(0) ? 1 : 0;
+  const Payload kept = plan.outgoing_payload(honest_node, 2, honest);
+  EXPECT_EQ(kept.uid(0), 41u);
+}
+
+TEST(ByzantinePlan, StaleReplayFreezesTheFirstPayload) {
+  ByzantinePlan plan(byz_config(0.25, ByzBehavior::kStaleReplay), 8, 2);
+  const NodeId liar = byzantine_set(plan, 8).front();
+
+  Payload first;
+  first.push_uid(7);
+  Payload later;
+  later.push_uid(8);
+  later.push_bits(1, 1);
+
+  const Payload sent_first = plan.outgoing_payload(liar, 0, first);
+  EXPECT_EQ(sent_first.uid(0), 7u);
+  const Payload sent_later = plan.outgoing_payload(liar, 1, later);
+  ASSERT_EQ(sent_later.uid_count(), 1u);
+  EXPECT_EQ(sent_later.uid(0), 7u);  // the snapshot, not the fresh payload
+  EXPECT_EQ(sent_later.extra_bit_count(), 0);
+}
+
+TEST(EngineByzantine, SpoofedMinimumSpreadsAndTheMonitorRecordsIt) {
+  // UIDs 100..107 with a spoofed UID 3 outside the universe: the forged
+  // "minimum" wins the blind-gossip election. With an adversary attached
+  // this is recorded damage (spoofed_uid_rounds), NOT a validity violation
+  // — the model has no UID authentication to break.
+  const NodeId n = 8;
+  std::vector<Uid> uids;
+  for (NodeId u = 0; u < n; ++u) uids.push_back(100 + u);
+  StaticGraphProvider topo(make_clique(n));
+  BlindGossip proto(uids);
+  EngineConfig cfg;
+  cfg.seed = 31;
+  cfg.byzantine.fraction = 0.2;  // 2 of 8 nodes
+  cfg.byzantine.behavior = ByzBehavior::kUidSpoof;
+  cfg.byzantine.spoof_uid = 3;
+  cfg.byzantine.seed = 9;
+  Engine engine(topo, proto, cfg);
+  ASSERT_NE(engine.byzantine_plan(), nullptr);
+  EXPECT_EQ(engine.byzantine_plan()->byzantine_count(), 2u);
+
+  InvariantMonitor monitor(InvariantConfig{/*fail_fast=*/true,
+                                           /*settle_rounds=*/256});
+  monitor.set_expected_uids(uids);
+  engine.set_invariant_monitor(&monitor);
+
+  engine.run_rounds(64);  // fail-fast: record-only paths must not throw
+
+  const InvariantReport& report = monitor.report();
+  EXPECT_EQ(report.validity_violations, 0u);
+  EXPECT_GT(report.spoofed_uid_rounds, 0u);
+  bool any_honest_deceived = false;
+  for (NodeId u = 0; u < n; ++u) {
+    if (engine.byzantine_plan()->is_byzantine(u)) continue;
+    any_honest_deceived |= proto.leader_of(u) == 3u;
+  }
+  EXPECT_TRUE(any_honest_deceived);
+}
+
+TEST(EngineByzantine, DisabledPlanIsNotConstructed) {
+  StaticGraphProvider topo(make_clique(4));
+  BlindGossip proto(BlindGossip::shuffled_uids(4, 1));
+  Engine engine(topo, proto, EngineConfig{});
+  EXPECT_EQ(engine.byzantine_plan(), nullptr);
+}
+
+}  // namespace
+}  // namespace mtm

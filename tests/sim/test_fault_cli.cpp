@@ -1,0 +1,152 @@
+// The shared fault/adversary CLI surface (sim/fault_cli.hpp): flag
+// parsing into FaultPlanConfig / ByzantinePlanConfig, burst presets, the
+// enum spellings (which double as fuzz tuple keys and must never drift),
+// and the one-line contradiction rejections.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "sim/fault_cli.hpp"
+
+namespace mtm {
+namespace {
+
+CliArgs make_args(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FaultCli, PartitionFlagsParse) {
+  const CliArgs args = make_args({"--partition=periodic", "--parts=3",
+                                  "--partition-start=4",
+                                  "--partition-duration=6",
+                                  "--partition-period=20"});
+  const FaultPlanConfig faults = parse_fault_flags(args);
+  EXPECT_EQ(faults.partition.mode, PartitionMode::kPeriodic);
+  EXPECT_EQ(faults.partition.parts, 3u);
+  EXPECT_EQ(faults.partition.start, 4u);
+  EXPECT_EQ(faults.partition.duration, 6u);
+  EXPECT_EQ(faults.partition.period, 20u);
+  EXPECT_TRUE(faults.enabled());
+  args.check_unused();
+}
+
+TEST(FaultCli, PartitionDefaults) {
+  const FaultPlanConfig one_shot =
+      parse_fault_flags(make_args({"--partition=one-shot"}));
+  EXPECT_EQ(one_shot.partition.parts, 2u);
+  EXPECT_EQ(one_shot.partition.start, 8u);
+  EXPECT_EQ(one_shot.partition.duration, 8u);
+
+  // Periodic defaults its spacing to 4x the duration.
+  const FaultPlanConfig periodic = parse_fault_flags(
+      make_args({"--partition=periodic", "--partition-duration=5"}));
+  EXPECT_EQ(periodic.partition.period, 20u);
+
+  const FaultPlanConfig off = parse_fault_flags(make_args({}));
+  EXPECT_FALSE(off.partition.enabled());
+  EXPECT_FALSE(off.enabled());
+}
+
+TEST(FaultCli, PartitionContradictionsRejectedWithOneLiners) {
+  // Partition parameters without a mode are a dropped --partition flag.
+  for (const char* flag : {"--parts=3", "--partition-start=4",
+                           "--partition-duration=6",
+                           "--partition-period=20"}) {
+    EXPECT_THROW(parse_fault_flags(make_args({flag})), std::invalid_argument)
+        << flag;
+  }
+  // A period outside periodic mode is meaningless.
+  EXPECT_THROW(parse_fault_flags(make_args(
+                   {"--partition=one-shot", "--partition-period=20"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_flags(make_args(
+                   {"--partition=flapping", "--partition-period=20"})),
+               std::invalid_argument);
+  // Unknown mode.
+  EXPECT_THROW(parse_fault_flags(make_args({"--partition=moebius"})),
+               std::invalid_argument);
+}
+
+TEST(FaultCli, RecoverWithoutACrashMechanismRejected) {
+  EXPECT_THROW(parse_fault_flags(make_args({"--recover=0.5"})),
+               std::invalid_argument);
+  // Either crash mechanism legitimizes it.
+  EXPECT_EQ(parse_fault_flags(make_args({"--recover=0.5", "--crash=0.1"}))
+                .recovery_prob,
+            0.5);
+  const FaultPlanConfig with_oracle = parse_fault_flags(
+      make_args({"--recover=0.5", "--oracle=leader", "--oracle-every=8"}));
+  EXPECT_EQ(with_oracle.recovery_prob, 0.5);
+  EXPECT_EQ(with_oracle.targeting, CrashTargeting::kLeaderNode);
+}
+
+TEST(FaultCli, ByzFlagsParse) {
+  const CliArgs args =
+      make_args({"--byz=0.25", "--byz-mode=equivocate", "--byz-spoof-uid=7",
+                 "--byz-tag=0"});
+  const ByzantinePlanConfig byz = parse_byz_flags(args);
+  EXPECT_EQ(byz.fraction, 0.25);
+  EXPECT_EQ(byz.behavior, ByzBehavior::kEquivocate);
+  EXPECT_EQ(byz.spoof_uid, 7u);
+  EXPECT_EQ(byz.spoof_tag, 0u);
+  EXPECT_TRUE(byz.enabled());
+  args.check_unused();
+
+  EXPECT_FALSE(parse_byz_flags(make_args({})).enabled());
+}
+
+TEST(FaultCli, ByzFlagsWithoutAFractionRejected) {
+  for (const char* flag :
+       {"--byz-mode=silent", "--byz-spoof-uid=7", "--byz-tag=0"}) {
+    EXPECT_THROW(parse_byz_flags(make_args({flag})), std::invalid_argument)
+        << flag;
+  }
+  // An explicit zero fraction is the same contradiction.
+  EXPECT_THROW(
+      parse_byz_flags(make_args({"--byz=0", "--byz-mode=silent"})),
+      std::invalid_argument);
+  // Out-of-range fractions are caught by validate().
+  EXPECT_ANY_THROW(parse_byz_flags(make_args({"--byz=1.0"})));
+}
+
+TEST(FaultCli, BurstPresets) {
+  EXPECT_FALSE(burst_preset(0).enabled());
+  const GilbertElliott mild = burst_preset(1);
+  EXPECT_EQ(mild.good_to_bad, 0.1);
+  EXPECT_EQ(mild.bad_to_good, 0.3);
+  const GilbertElliott harsh = burst_preset(2);
+  EXPECT_EQ(harsh.loss_good, 0.05);
+  const GilbertElliott lingering = burst_preset(kBurstPresetMax);
+  EXPECT_EQ(lingering.good_to_bad, 0.05);
+  EXPECT_EQ(lingering.bad_to_good, 0.05);
+  EXPECT_EQ(lingering.loss_good, 0.02);
+  EXPECT_EQ(lingering.loss_bad, 0.98);
+  EXPECT_THROW(burst_preset(kBurstPresetMax + 1), std::invalid_argument);
+  EXPECT_THROW(burst_preset(-1), std::invalid_argument);
+}
+
+TEST(FaultCli, EnumSpellingsRoundTrip) {
+  // These strings are fuzz tuple keys and recorded artifacts; they are
+  // pinned forever.
+  for (PartitionMode mode :
+       {PartitionMode::kNone, PartitionMode::kOneShot,
+        PartitionMode::kPeriodic, PartitionMode::kFlapping}) {
+    EXPECT_EQ(parse_partition_mode(to_string(mode)), mode);
+  }
+  EXPECT_EQ(parse_partition_mode("one-shot"), PartitionMode::kOneShot);
+  for (ByzBehavior behavior :
+       {ByzBehavior::kUidSpoof, ByzBehavior::kEquivocate,
+        ByzBehavior::kSilentAccept, ByzBehavior::kStaleReplay,
+        ByzBehavior::kMix}) {
+    EXPECT_EQ(parse_byz_behavior(to_string(behavior)), behavior);
+  }
+  EXPECT_EQ(parse_byz_behavior("spoof"), ByzBehavior::kUidSpoof);
+  EXPECT_THROW(parse_byz_behavior("gremlin"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -10,6 +10,7 @@
 #include "protocols/blind_gossip.hpp"
 #include "protocols/push_pull.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault_cli.hpp"
 #include "sim/runner.hpp"
 
 namespace mtm {
@@ -290,6 +291,33 @@ TEST(EngineFaults, BurstLossDropsCountedSeparately) {
   EXPECT_EQ(engine.telemetry().fault_dropped(), engine.telemetry().dropped());
   EXPECT_EQ(engine.telemetry().delivered(), 0u);
   EXPECT_GT(engine.telemetry().wasted_rounds(), 0u);
+}
+
+TEST(GilbertElliott, StationaryBadOccupancyMatchesClosedForm) {
+  // The two-state chain's stationary BAD occupancy has the closed form
+  // pi(BAD) = g2b / (g2b + b2g); the empirical fraction of (node, round)
+  // samples each CLI burst preset spends in BAD must match it. This pins
+  // the channel's transition semantics (one flip draw per node per round,
+  // GOOD start) against silent drift.
+  const NodeId n = 64;
+  const Round rounds = 2000;
+  for (int preset = 1; preset <= kBurstPresetMax; ++preset) {
+    const GilbertElliott chain = burst_preset(preset);
+    FaultPlanConfig cfg;
+    cfg.burst = chain;
+    cfg.seed = 100 + static_cast<std::uint64_t>(preset);
+    FaultPlan plan(cfg, n);
+    std::uint64_t bad_samples = 0;
+    for (Round r = 1; r <= rounds; ++r) {
+      plan.round_start(r, kAlwaysActivated, nullptr, nullptr, nullptr);
+      for (NodeId u = 0; u < n; ++u) bad_samples += plan.burst_bad(u);
+    }
+    const double expected =
+        chain.good_to_bad / (chain.good_to_bad + chain.bad_to_good);
+    const double empirical = static_cast<double>(bad_samples) /
+                             (static_cast<double>(n) * rounds);
+    EXPECT_NEAR(empirical, expected, 0.02) << "preset " << preset;
+  }
 }
 
 TEST(EngineFaults, CrashedNodesAreInvisible) {

@@ -1,0 +1,165 @@
+// The invariant monitor (sim/invariants.hpp): fail-fast vs record-only
+// behavior, the agreement settle window, validity against the injected UID
+// universe, dead-leader (ghost) accounting, and the rumor-protocol no-op.
+// The partition heal/split-brain accounting is covered end to end in
+// tests/sim/test_partition.cpp; the zero-perturbation contract in
+// tests/obs/test_zero_perturbation.cpp.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/push_pull.hpp"
+#include "protocols/stable_leader.hpp"
+#include "sim/engine.hpp"
+#include "sim/invariants.hpp"
+
+namespace mtm {
+namespace {
+
+TEST(InvariantMonitor, FailFastAgreementFiresWithNoSettleWindow) {
+  // Round 1 of stable-leader on a clique: every node still claims its own
+  // UID won, so one component holds many same-epoch claimants. With
+  // settle_rounds = 0 the agreement check must fire on the very first
+  // observed round — out of Engine::step(), as the contract promises.
+  StaticGraphProvider topo(make_clique(8));
+  const std::vector<Uid> uids = BlindGossip::shuffled_uids(8, 3);
+  StableLeader proto(uids);
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 3;
+  Engine engine(topo, proto, cfg);
+  InvariantMonitor monitor(InvariantConfig{/*fail_fast=*/true,
+                                           /*settle_rounds=*/0});
+  monitor.set_expected_uids(uids);
+  engine.set_invariant_monitor(&monitor);
+  EXPECT_THROW(engine.run_rounds(1), InvariantViolation);
+  EXPECT_EQ(monitor.report().agreement_violations, 1u);
+}
+
+TEST(InvariantMonitor, RecordOnlyCountsInsteadOfThrowing) {
+  StaticGraphProvider topo(make_clique(8));
+  const std::vector<Uid> uids = BlindGossip::shuffled_uids(8, 3);
+  StableLeader proto(uids);
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 3;
+  Engine engine(topo, proto, cfg);
+  InvariantMonitor monitor(InvariantConfig{/*fail_fast=*/false,
+                                           /*settle_rounds=*/0});
+  monitor.set_expected_uids(uids);
+  engine.set_invariant_monitor(&monitor);
+  engine.run_rounds(64);
+  const InvariantReport& report = monitor.report();
+  // The initial election is a "violation" only because the settle window
+  // is zero; the point is that record-only mode keeps running and counts.
+  EXPECT_GE(report.agreement_violations, 1u);
+  EXPECT_GT(report.split_brain_rounds, 0u);
+  EXPECT_GE(report.max_split_brain_run, 1u);
+  EXPECT_EQ(report.validity_violations, 0u);
+  EXPECT_EQ(report.epoch_regressions, 0u);
+  EXPECT_EQ(
+      monitor.metrics().counter("invariants.agreement_violations").value(),
+      report.agreement_violations);
+}
+
+TEST(InvariantMonitor, GenerousSettleWindowToleratesTheInitialElection) {
+  StaticGraphProvider topo(make_clique(8));
+  const std::vector<Uid> uids = BlindGossip::shuffled_uids(8, 3);
+  StableLeader proto(uids);
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 3;
+  Engine engine(topo, proto, cfg);
+  InvariantMonitor monitor(InvariantConfig{/*fail_fast=*/true,
+                                           /*settle_rounds=*/64});
+  monitor.set_expected_uids(uids);
+  engine.set_invariant_monitor(&monitor);
+  engine.run_rounds(128);  // must not throw
+  EXPECT_EQ(monitor.report().violations(), 0u);
+  EXPECT_GT(monitor.report().split_brain_rounds, 0u);  // still accounted
+  EXPECT_TRUE(proto.stabilized());
+}
+
+TEST(InvariantMonitor, ValidityFiresOnAnUnknownUidWithoutAnAdversary) {
+  // Misdeclare the universe: the protocol's real UIDs are "never injected",
+  // so with no Byzantine plan attached the first observed round is a hard
+  // validity violation. This is exactly the check a spoofed UID would trip
+  // if an adversary were not declared.
+  StaticGraphProvider topo(make_clique(3));
+  BlindGossip proto({5, 6, 7});
+  EngineConfig cfg;
+  cfg.seed = 2;
+  Engine engine(topo, proto, cfg);
+  InvariantMonitor monitor(InvariantConfig{/*fail_fast=*/true,
+                                           /*settle_rounds=*/64});
+  monitor.set_expected_uids({100, 101, 102});
+  engine.set_invariant_monitor(&monitor);
+  EXPECT_THROW(engine.run_rounds(1), InvariantViolation);
+  EXPECT_GE(monitor.report().validity_violations, 1u);
+}
+
+TEST(InvariantMonitor, WithoutAUniverseValidityIsOff) {
+  StaticGraphProvider topo(make_clique(3));
+  BlindGossip proto({5, 6, 7});
+  EngineConfig cfg;
+  cfg.seed = 2;
+  Engine engine(topo, proto, cfg);
+  InvariantMonitor monitor(InvariantConfig{/*fail_fast=*/true,
+                                           /*settle_rounds=*/64});
+  engine.set_invariant_monitor(&monitor);  // no set_expected_uids
+  engine.run_rounds(32);                   // must not throw
+  EXPECT_EQ(monitor.report().violations(), 0u);
+}
+
+TEST(InvariantMonitor, GhostFollowingIsRecordOnly) {
+  // Blind gossip has no re-election: once the elected leader is crashed by
+  // the min-holder oracle, every survivor keeps following the ghost. That
+  // is legitimate protocol behavior, so it must be counted, never thrown.
+  StaticGraphProvider topo(make_clique(6));
+  const std::vector<Uid> uids = BlindGossip::shuffled_uids(6, 17);
+  BlindGossip proto(uids);
+  EngineConfig cfg;
+  cfg.seed = 17;
+  cfg.faults.targeting = CrashTargeting::kMinUidHolder;
+  cfg.faults.target_every = 8;
+  cfg.faults.target_start = 24;  // let the election finish first
+  cfg.faults.min_alive = 2;
+  cfg.faults.seed = 4;
+  Engine engine(topo, proto, cfg);
+  InvariantMonitor monitor(InvariantConfig{/*fail_fast=*/true,
+                                           /*settle_rounds=*/64});
+  monitor.set_expected_uids(uids);
+  engine.set_invariant_monitor(&monitor);
+  engine.run_rounds(64);  // must not throw
+  EXPECT_GT(monitor.report().dead_leader_rounds, 0u);
+  EXPECT_EQ(monitor.report().violations(), 0u);
+}
+
+TEST(InvariantMonitor, RumorProtocolsAreIgnored) {
+  StaticGraphProvider topo(make_clique(6));
+  PushPull proto({0});
+  EngineConfig cfg;
+  cfg.seed = 5;
+  Engine engine(topo, proto, cfg);
+  InvariantMonitor monitor(InvariantConfig{/*fail_fast=*/true,
+                                           /*settle_rounds=*/0});
+  engine.set_invariant_monitor(&monitor);
+  engine.run_rounds(32);  // a leaderless protocol trips nothing, ever
+  const InvariantReport& report = monitor.report();
+  EXPECT_EQ(report.violations(), 0u);
+  EXPECT_EQ(report.split_brain_rounds, 0u);
+  EXPECT_EQ(report.heals, 0u);
+}
+
+TEST(InvariantViolation, CarriesCheckAndRound) {
+  const InvariantViolation v("agreement", 42, "two claimants");
+  EXPECT_EQ(v.check(), "agreement");
+  EXPECT_EQ(v.round(), 42u);
+  EXPECT_NE(std::string(v.what()).find("agreement"), std::string::npos);
+  EXPECT_NE(std::string(v.what()).find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtm

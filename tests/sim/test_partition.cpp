@@ -1,0 +1,269 @@
+// Partition schedules (sim/faults.hpp): window timing for all three modes,
+// per-window label reshuffling, edge blocking, composition with churn, and
+// the end-to-end split-brain / heal demonstration: a one-shot partition on
+// stable-leader produces a transient split-brain that the epoch machinery
+// resolves after the heal, with the invariant monitor accounting both.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "graph/generators.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/stable_leader.hpp"
+#include "sim/engine.hpp"
+#include "sim/faults.hpp"
+#include "sim/invariants.hpp"
+
+namespace mtm {
+namespace {
+
+const auto kAlwaysActivated = [](NodeId) { return true; };
+
+void drive(FaultPlan& plan, Round r) {
+  plan.round_start(r, kAlwaysActivated, nullptr, nullptr, nullptr);
+}
+
+FaultPlanConfig partition_only(PartitionMode mode, NodeId parts, Round start,
+                               Round duration, Round period = 0,
+                               std::uint64_t seed = 9) {
+  FaultPlanConfig cfg;
+  cfg.partition.mode = mode;
+  cfg.partition.parts = parts;
+  cfg.partition.start = start;
+  cfg.partition.duration = duration;
+  cfg.partition.period = period;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(PartitionSchedule, ValidateRejectsBadWindows) {
+  auto reject = [](auto&& tweak) {
+    FaultPlanConfig bad = partition_only(PartitionMode::kOneShot, 2, 8, 8);
+    tweak(bad);
+    EXPECT_THROW(validate(bad), ContractError);
+  };
+  reject([](FaultPlanConfig& c) { c.partition.parts = 1; });
+  reject([](FaultPlanConfig& c) { c.partition.start = 0; });
+  reject([](FaultPlanConfig& c) { c.partition.duration = 0; });
+  reject([](FaultPlanConfig& c) {
+    c.partition.mode = PartitionMode::kPeriodic;
+    c.partition.period = c.partition.duration;  // must strictly exceed
+  });
+  // A disabled schedule is never inspected: bogus parameters are fine.
+  FaultPlanConfig off;
+  off.partition.parts = 0;
+  validate(off);
+  EXPECT_FALSE(off.enabled());
+}
+
+TEST(PartitionSchedule, PartsMustFitNodeCount) {
+  EXPECT_THROW(FaultPlan(partition_only(PartitionMode::kOneShot, 9, 1, 4), 8),
+               ContractError);
+  FaultPlan ok(partition_only(PartitionMode::kOneShot, 8, 1, 4), 8);
+  drive(ok, 1);
+  EXPECT_TRUE(ok.partition_active());
+}
+
+TEST(PartitionSchedule, OneShotWindowOpensExactlyOnce) {
+  FaultPlan plan(partition_only(PartitionMode::kOneShot, 2, 5, 3), 6);
+  for (Round r = 1; r <= 20; ++r) {
+    drive(plan, r);
+    EXPECT_EQ(plan.partition_active(), r >= 5 && r < 8) << "round " << r;
+  }
+}
+
+TEST(PartitionSchedule, PeriodicWindowsRecurEveryPeriod) {
+  FaultPlan plan(partition_only(PartitionMode::kPeriodic, 2, 4, 2, 10), 6);
+  for (Round r = 1; r <= 40; ++r) {
+    drive(plan, r);
+    const bool open = r >= 4 && (r - 4) % 10 < 2;  // [4,6), [14,16), ...
+    EXPECT_EQ(plan.partition_active(), open) << "round " << r;
+  }
+}
+
+TEST(PartitionSchedule, FlappingAlternatesCutAndHealed) {
+  FaultPlan plan(partition_only(PartitionMode::kFlapping, 2, 3, 4), 6);
+  for (Round r = 1; r <= 40; ++r) {
+    drive(plan, r);
+    // Cut for 4 rounds from round 3, healed for 4, repeating.
+    const bool open = r >= 3 && ((r - 3) / 4) % 2 == 0;
+    EXPECT_EQ(plan.partition_active(), open) << "round " << r;
+  }
+}
+
+TEST(PartitionSchedule, LabelsAreBalancedAndEveryClassOccupied) {
+  FaultPlan plan(partition_only(PartitionMode::kOneShot, 3, 1, 4), 10);
+  drive(plan, 1);
+  ASSERT_TRUE(plan.partition_active());
+  std::vector<NodeId> class_size(3, 0);
+  for (NodeId u = 0; u < 10; ++u) {
+    ASSERT_LT(plan.partition_label(u), 3u);
+    ++class_size[plan.partition_label(u)];
+  }
+  // Round-robin dealing over a permutation: sizes differ by at most one.
+  for (NodeId c = 0; c < 3; ++c) {
+    EXPECT_GE(class_size[c], 3u);
+    EXPECT_LE(class_size[c], 4u);
+  }
+}
+
+TEST(PartitionSchedule, LabelsAreDeterministicAndReshuffledPerWindow) {
+  const auto labels_at = [](FaultPlan& plan, Round upto) {
+    for (Round r = 1; r <= upto; ++r) drive(plan, r);
+    std::vector<NodeId> labels;
+    for (NodeId u = 0; u < 12; ++u) labels.push_back(plan.partition_label(u));
+    return labels;
+  };
+  const FaultPlanConfig cfg =
+      partition_only(PartitionMode::kPeriodic, 3, 2, 2, 8, /*seed=*/21);
+  FaultPlan a(cfg, 12);
+  FaultPlan b(cfg, 12);
+  const auto first_a = labels_at(a, 2);   // window 0 open at round 2
+  const auto first_b = labels_at(b, 2);
+  EXPECT_EQ(first_a, first_b);  // same seed, same cut
+
+  // The next window draws fresh labels from the window-indexed stream.
+  const auto second_a = labels_at(a, 10);  // window 1 open at round 10
+  EXPECT_NE(first_a, second_a);
+
+  // A different seed cuts along a different line.
+  FaultPlanConfig reseeded = cfg;
+  reseeded.seed = 22;
+  FaultPlan c(reseeded, 12);
+  EXPECT_NE(labels_at(c, 2), first_a);
+}
+
+TEST(PartitionSchedule, EdgeBlockedOnlyAcrossClassesWhileOpen) {
+  FaultPlan plan(partition_only(PartitionMode::kOneShot, 2, 3, 2), 8);
+  drive(plan, 1);
+  EXPECT_FALSE(plan.partition_active());
+  for (NodeId u = 0; u < 8; ++u) {
+    for (NodeId v = 0; v < 8; ++v) {
+      EXPECT_FALSE(plan.edge_blocked(u, v));  // closed window blocks nothing
+    }
+  }
+  drive(plan, 3);
+  ASSERT_TRUE(plan.partition_active());
+  std::size_t blocked = 0;
+  for (NodeId u = 0; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) {
+      const bool cross =
+          plan.partition_label(u) != plan.partition_label(v);
+      EXPECT_EQ(plan.edge_blocked(u, v), cross);
+      EXPECT_EQ(plan.edge_blocked(u, v), plan.edge_blocked(v, u));
+      blocked += plan.edge_blocked(u, v);
+    }
+  }
+  EXPECT_EQ(blocked, 16u);  // 4x4 split of K8: exactly 16 cross edges
+  drive(plan, 5);  // window over, healed forever
+  EXPECT_FALSE(plan.partition_active());
+  EXPECT_FALSE(plan.edge_blocked(0, 1));
+}
+
+TEST(PartitionSchedule, ComposesWithChurnWithoutShiftingDraws) {
+  // The partition stream is keyed by window index, not drawn from the
+  // per-node fault streams, so adding a partition schedule must leave the
+  // churn event log byte-identical.
+  FaultPlanConfig churn;
+  churn.crash_prob = 0.2;
+  churn.recovery_prob = 0.4;
+  churn.seed = 42;
+  FaultPlanConfig both = churn;
+  both.partition = partition_only(PartitionMode::kFlapping, 3, 2, 5).partition;
+
+  const auto churn_log = [](FaultPlan& plan) {
+    std::vector<std::pair<Round, NodeId>> events;
+    for (Round r = 1; r <= 100; ++r) {
+      plan.round_start(
+          r, kAlwaysActivated, nullptr,
+          [&events, r](NodeId u) { events.emplace_back(r, u); },
+          [&events, r](NodeId u) { events.emplace_back(r, u); });
+    }
+    return events;
+  };
+  FaultPlan plain(churn, 12);
+  FaultPlan partitioned(both, 12);
+  EXPECT_EQ(churn_log(plain), churn_log(partitioned));
+}
+
+TEST(EnginePartition, FullPartitionSilencesTheNetwork) {
+  // parts == n puts every node in its own class: all edges blocked, so no
+  // node sees a neighbor and no connection can form while the window is
+  // open; after the heal the election completes normally.
+  StaticGraphProvider topo(make_clique(4));
+  BlindGossip proto(BlindGossip::shuffled_uids(4, 23));
+  EngineConfig cfg;
+  cfg.seed = 23;
+  cfg.faults.partition.mode = PartitionMode::kOneShot;
+  cfg.faults.partition.parts = 4;
+  cfg.faults.partition.start = 1;
+  cfg.faults.partition.duration = 10;
+  Engine engine(topo, proto, cfg);
+  engine.run_rounds(10);
+  EXPECT_EQ(engine.telemetry().connections(), 0u);
+  EXPECT_EQ(engine.telemetry().proposals(), 0u);
+  EXPECT_FALSE(proto.stabilized());
+  engine.run_rounds(200);
+  EXPECT_TRUE(proto.stabilized());
+  EXPECT_GT(engine.telemetry().connections(), 0u);
+}
+
+TEST(EnginePartition, SplitBrainFormsAndHealsUnderStableLeader) {
+  // The tentpole scenario (EXPERIMENTS.md E18 in miniature): a clique runs
+  // stable-leader past its initial election, a one-shot partition outlasts
+  // the epoch timeout so the leaderless side re-elects (split-brain), and
+  // after the heal the higher epoch wins everywhere. The monitor must see
+  // the split-brain rounds, exactly one heal, and a reconvergence latency,
+  // with zero hard violations.
+  StaticGraphProvider topo(make_clique(16));
+  const std::vector<Uid> uids = BlindGossip::shuffled_uids(16, 77);
+  StableLeader proto(uids, /*epoch_timeout=*/8);
+  EngineConfig cfg;
+  cfg.tag_bits = 1;
+  cfg.seed = 77;
+  cfg.faults.partition.mode = PartitionMode::kOneShot;
+  cfg.faults.partition.parts = 2;
+  cfg.faults.partition.start = 32;
+  cfg.faults.partition.duration = 40;
+  cfg.faults.seed = derive_seed(77, {0x9a47u});
+  Engine engine(topo, proto, cfg);
+
+  InvariantMonitor monitor(InvariantConfig{/*fail_fast=*/false,
+                                           /*settle_rounds=*/128});
+  monitor.set_expected_uids(uids);
+  engine.set_invariant_monitor(&monitor);
+
+  engine.run_rounds(32 + 40 + 200);
+
+  const InvariantReport& report = monitor.report();
+  EXPECT_EQ(report.violations(), 0u);
+  EXPECT_EQ(report.epoch_regressions, 0u);
+  EXPECT_GT(report.split_brain_rounds, 0u);  // both sides claimed a leader
+  EXPECT_GT(report.max_split_brain_run, 0u);
+  EXPECT_EQ(report.heals, 1u);
+  EXPECT_EQ(report.reconvergences, 1u);
+  ASSERT_EQ(report.heal_latencies.size(), 1u);
+  EXPECT_GT(report.heal_latencies.front(), 0u);
+  EXPECT_LT(report.heal_latencies.front(), 200u);
+
+  // The re-election actually happened (epoch moved past 0) and resolved:
+  // every node follows the same leader in the same epoch.
+  EXPECT_GT(proto.current_epoch(), 0u);
+  EXPECT_TRUE(proto.stabilized());
+  const Uid agreed = proto.leader_of(0);
+  for (NodeId u = 1; u < 16; ++u) {
+    EXPECT_EQ(proto.leader_of(u), agreed);
+    EXPECT_EQ(proto.epoch_of(u), proto.epoch_of(0));
+  }
+
+  // The metric mirror of the report is populated alongside it.
+  EXPECT_EQ(monitor.metrics().counter("invariants.heals").value(), 1u);
+  EXPECT_EQ(monitor.metrics().counter("invariants.reconvergences").value(),
+            1u);
+}
+
+}  // namespace
+}  // namespace mtm

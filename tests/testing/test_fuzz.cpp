@@ -69,6 +69,48 @@ TEST(FuzzCase, FaultKeysParse) {
                std::invalid_argument);
 }
 
+TEST(FuzzCase, AdversaryTupleSerializationRoundTrips) {
+  for (std::size_t i = 0; i < 200; ++i) {
+    Rng rng(derive_seed(0xad5a7, {i}));
+    const FuzzCase original =
+        random_fuzz_case(rng, /*with_faults=*/true, /*with_adversary=*/true);
+    const FuzzCase parsed = parse_fuzz_case(to_string(original));
+    EXPECT_EQ(parsed, original) << to_string(original);
+  }
+}
+
+TEST(FuzzCase, AdversaryKeysParse) {
+  const FuzzCase parsed = parse_fuzz_case(
+      "protocol=stable-leader generator=clique n=8 seed=2 rounds=32 "
+      "partition=periodic parts=3 partition-start=4 partition-duration=6 "
+      "partition-period=20 byz=0.25 byz-mode=equivocate");
+  EXPECT_EQ(parsed.partition, PartitionMode::kPeriodic);
+  EXPECT_EQ(parsed.parts, 3u);
+  EXPECT_EQ(parsed.partition_start, 4u);
+  EXPECT_EQ(parsed.partition_duration, 6u);
+  EXPECT_EQ(parsed.partition_period, 20u);
+  EXPECT_EQ(parsed.byz_fraction, 0.25);
+  EXPECT_EQ(parsed.byz_mode, ByzBehavior::kEquivocate);
+  EXPECT_EQ(parse_fuzz_case(to_string(parsed)), parsed);
+  EXPECT_THROW(parse_fuzz_case("generator=clique partition=moebius"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fuzz_case("generator=clique byz-mode=gremlin"),
+               std::invalid_argument);
+}
+
+TEST(FuzzCase, PreAdversaryTuplesKeepTheirHistoricalByteForm) {
+  // A fault-era tuple (no partition/byz keys) must still serialize without
+  // the new keys: they are emitted only when non-default.
+  const std::string historical =
+      "protocol=stable-leader generator=clique n=8 tau=0 seed=2 "
+      "acceptance=uniform async=0 failure=0 rounds=32 crash=0.5 "
+      "recover=0.25";
+  const FuzzCase parsed = parse_fuzz_case(historical);
+  EXPECT_EQ(to_string(parsed), historical);
+  EXPECT_EQ(parsed.partition, PartitionMode::kNone);
+  EXPECT_EQ(parsed.byz_fraction, 0.0);
+}
+
 TEST(RunFuzz, FaultDimensionsSweepCleanly) {
   // The in-tree smoke version of the CI fault-fuzz job (which runs >= 500
   // cases): a fault-sampling sweep must produce zero divergences and must
@@ -91,6 +133,54 @@ TEST(RunFuzz, FaultDimensionsSweepCleanly) {
   EXPECT_GT(with_links, 0u);
   EXPECT_GT(with_oracle, 0u);
   EXPECT_GT(stable_leader, 0u);
+}
+
+TEST(RunFuzz, AdversaryDimensionsSweepCleanly) {
+  // The in-tree smoke version of the CI partition-fuzz job (which runs
+  // >= 1000 cases): partition and Byzantine sampling under the record-only
+  // invariant monitor must produce zero divergences — and zero safety
+  // violations, since a monitor violation IS a divergence in this mode.
+  FuzzOptions options;
+  options.cases = 80;
+  options.seed = 0xad0b5;
+  options.with_faults = true;
+  options.with_adversary = true;
+  std::size_t with_partition = 0, with_byz = 0, periodic_or_flapping = 0;
+  options.on_case = [&](std::size_t, const FuzzCase& fuzz_case) {
+    with_partition += fuzz_case.partition != PartitionMode::kNone;
+    with_byz += fuzz_case.byz_fraction > 0.0;
+    periodic_or_flapping += fuzz_case.partition == PartitionMode::kPeriodic ||
+                            fuzz_case.partition == PartitionMode::kFlapping;
+  };
+  const auto failures = run_fuzz(options);
+  EXPECT_TRUE(failures.empty());
+  EXPECT_GT(with_partition, 0u);
+  EXPECT_GT(with_byz, 0u);
+  EXPECT_GT(periodic_or_flapping, 0u);
+}
+
+TEST(Shrink, StripsIncidentalAdversaryDimensions) {
+  // kAcceptFirstProposal has nothing to do with partitions or Byzantine
+  // nodes, so the shrinker must strip both from a diverging tuple.
+  DifferentialOptions options;
+  options.mutation = ReferenceMutation::kAcceptFirstProposal;
+  FuzzCase original;
+  original.protocol = FuzzProtocol::kBlindGossip;
+  original.generator = "star";
+  original.n = 24;
+  original.seed = 7;
+  original.rounds = 64;
+  original.partition = PartitionMode::kFlapping;
+  original.parts = 3;
+  original.partition_start = 4;
+  original.partition_duration = 6;
+  original.byz_fraction = 0.25;
+  original.byz_mode = ByzBehavior::kEquivocate;
+  ASSERT_TRUE(run_differential(make_scenario(original), options).has_value());
+  const FuzzCase shrunk = shrink_fuzz_case(original, options);
+  EXPECT_TRUE(run_differential(make_scenario(shrunk), options).has_value());
+  EXPECT_EQ(shrunk.partition, PartitionMode::kNone);
+  EXPECT_EQ(shrunk.byz_fraction, 0.0);
 }
 
 TEST(Shrink, StripsIncidentalFaultDimensions) {

@@ -41,10 +41,17 @@ options:
                     churn, burst loss, edge degradation, crash oracles;
                     tuple keys crash/recover/burst/degrade/oracle/
                     oracle-every — replayed by --case automatically)
+  --adversary       with --fuzz: sample partition and Byzantine dimensions
+                    too (tuple keys partition/parts/partition-start/
+                    partition-duration/partition-period/byz/byz-mode)
   --seed=S          fuzz stream seed                              [default 0xf0c5]
   --no-shrink       report original failing tuples without minimizing
   --out=PATH        append failing shrunk tuples to PATH (CI artifact)
   --help            this text
+
+Every checked case also runs under the record-only invariant monitor
+(sim/invariants.hpp); a hard safety violation is reported as an
+"invariant" divergence and exits with status 1 like any other mismatch.
 
 With --case, the shared fault flags override the tuple's fault dimensions
 (the flag names ARE the tuple keys — see sim/fault_cli.hpp):
@@ -87,6 +94,22 @@ int replay_case(const CliArgs& args, const std::string& case_text) {
     if (fuzz_case.target_every == 0) fuzz_case.target_every = 16;
   }
   fuzz_case.target_every = args.get_u64("oracle-every", fuzz_case.target_every);
+  if (args.has("partition")) {
+    fuzz_case.partition =
+        parse_partition_mode(args.get_string("partition", "none"));
+  }
+  fuzz_case.parts = args.get_u32("parts", fuzz_case.parts);
+  fuzz_case.partition_start =
+      args.get_u64("partition-start", fuzz_case.partition_start);
+  fuzz_case.partition_duration =
+      args.get_u64("partition-duration", fuzz_case.partition_duration);
+  fuzz_case.partition_period =
+      args.get_u64("partition-period", fuzz_case.partition_period);
+  fuzz_case.byz_fraction = args.get_double("byz", fuzz_case.byz_fraction);
+  if (args.has("byz-mode")) {
+    fuzz_case.byz_mode =
+        parse_byz_behavior(args.get_string("byz-mode", "spoof"));
+  }
   args.check_unused();
 
   std::cout << "replaying: " << testing::to_string(fuzz_case) << "\n";
@@ -97,6 +120,7 @@ int replay_case(const CliArgs& args, const std::string& case_text) {
 
   testing::DifferentialOptions options;
   options.mutation = mutation;
+  options.check_invariants = true;
   if (trace) options.trace = &std::cout;
   const auto divergence =
       testing::run_differential(testing::make_scenario(fuzz_case), options);
@@ -115,6 +139,7 @@ int run_fuzz_budget(const CliArgs& args, std::uint64_t budget) {
   options.seed = args.get_u64("seed", 0xf0c5);
   options.shrink = !args.has("no-shrink");
   options.with_faults = args.has("faults");
+  options.with_adversary = args.has("adversary");
   options.mutation = parse_mutation(args.get_string("mutation", "none"));
   const std::string out_path = args.get_string("out", "");
   args.check_unused();

@@ -56,6 +56,9 @@ options:
 
 constexpr const char* kUsageTail =
     R"(  --epoch-timeout=T stable-leader re-election silence timeout    [default 24]
+  --no-invariants   disable the per-trial safety monitor. Leader-election
+                    algorithms run it by default (record-only); any hard
+                    violation makes mtm_sim exit with status 2.
   --csv=PATH        also write per-trial rounds as CSV (converged trials;
                     censored trials get rounds=-1)
   --help            this text
@@ -111,6 +114,8 @@ int run(const CliArgs& args) {
   const std::string acceptance_name = args.get_string("acceptance", "uniform");
 
   const FaultPlanConfig faults = parse_fault_flags(args);
+  const ByzantinePlanConfig byzantine = parse_byz_flags(args);
+  const bool check_invariants = !args.has("no-invariants");
   const Round epoch_timeout = args.get_u64("epoch-timeout", 24);
   // Note: the acceptance policy and failure probability flow through the
   // experiment harness into EngineConfig; the harness currently exposes
@@ -152,6 +157,10 @@ int run(const CliArgs& args) {
 
   std::vector<RunResult> results;
   if (is_rumor) {
+    if (byzantine.enabled()) {
+      throw std::invalid_argument(
+          "--byz applies to leader-election algorithms only");
+    }
     RumorExperiment spec;
     if (algo_name == "push-pull") spec.algo = RumorAlgo::kPushPull;
     else if (algo_name == "ppush") spec.algo = RumorAlgo::kPpush;
@@ -182,6 +191,8 @@ int run(const CliArgs& args) {
     spec.controls.connection_failure_prob = failure_prob;
     spec.controls.faults = faults;
     spec.epoch_timeout = epoch_timeout;
+    spec.byzantine = byzantine;
+    spec.check_invariants = check_invariants;
     results = run_leader_experiment(spec);
   }
 
@@ -226,6 +237,26 @@ int run(const CliArgs& args) {
       }
     }
     std::cout << "wrote " << csv << "\n";
+  }
+
+  // Safety-monitor summary (leader algorithms; see --no-invariants). A hard
+  // violation means the protocol broke agreement/validity/monotonicity — the
+  // run "succeeded" numerically but the result cannot be trusted, so the
+  // exit status says so for scripts and CI.
+  if (!is_rumor && check_invariants) {
+    std::uint64_t violations = 0;
+    std::uint64_t split_brain = 0;
+    for (const RunResult& r : results) {
+      violations += r.invariant_violations;
+      split_brain += r.split_brain_rounds;
+    }
+    std::cout << "invariants: " << violations << " violation(s), "
+              << split_brain << " split-brain round(s) across "
+              << results.size() << " trial(s)\n";
+    if (violations > 0) {
+      std::cerr << "error: safety invariant violated\n";
+      return 2;
+    }
   }
   return 0;
 }
