@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -166,12 +165,12 @@ inline int finalize_report(const char* argv0, std::string out_path) {
   for (auto& [key, value] : extra_sections()) extra.set(key, value);
   report.extra = std::move(extra);
 
-  std::ofstream out(out_path);
-  if (!out) {
+  // Crash-safe emission: a reader (or a CI job racing the bench) can only
+  // ever see the previous complete artifact or the new complete one.
+  if (!obs::write_json_atomic(out_path, report.to_json())) {
     std::cerr << "cannot write " << out_path << "\n";
     return 1;
   }
-  out << report.to_json().dump(2) << "\n";
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }

@@ -1,0 +1,41 @@
+// Cooperative cancellation primitive for the experiment harness.
+//
+// A CancelToken is a lock-free boolean flag shared between a producer that
+// requests cancellation (a watchdog monitor thread past a trial deadline, a
+// SIGINT/SIGTERM handler) and a consumer that polls it at safe points (the
+// trial runner checks between simulation rounds). Cancellation is a request,
+// never preemption: the consumer finishes its current round, records a
+// clean partial result, and returns — no thread is ever killed mid-step, so
+// journals and telemetry stay consistent.
+//
+// All operations are lock-free atomic loads/stores, which also makes
+// cancel() legal inside a POSIX signal handler (C++ guarantees signal
+// safety for lock-free atomics; harness/interrupt.cpp relies on this).
+#pragma once
+
+#include <atomic>
+
+namespace mtm {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent, lock-free, signal-safe.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the token (watchdog slot reuse between trials). Only call when
+  /// no consumer can still observe the old request.
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace mtm

@@ -76,6 +76,15 @@ double CliArgs::get_double(const std::string& key, double fallback) const {
   }
 }
 
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const std::string* raw = find(key);
+  if (raw == nullptr) return fallback;
+  if (raw->empty() || *raw == "true" || *raw == "1") return true;
+  if (*raw == "false" || *raw == "0") return false;
+  throw std::invalid_argument("--" + key + " expects true/false/1/0, got '" +
+                              *raw + "'");
+}
+
 std::string CliArgs::get_string(const std::string& key,
                                 const std::string& fallback) const {
   const std::string* raw = find(key);

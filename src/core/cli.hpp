@@ -31,6 +31,9 @@ class CliArgs {
   double get_double(const std::string& key, double fallback) const;
   std::string get_string(const std::string& key,
                          const std::string& fallback) const;
+  /// Boolean flag: bare "--flag" and "--flag=true|1" are true,
+  /// "--flag=false|0" is false; anything else throws.
+  bool get_bool(const std::string& key, bool fallback) const;
 
   /// Throws std::invalid_argument naming any provided key never consumed by
   /// a getter — catches misspelled options.

@@ -1,0 +1,259 @@
+#include "harness/checkpoint.hpp"
+
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace mtm {
+
+namespace {
+
+using obs::JsonValue;
+
+/// Canonical (pre-checksum) serialization of one record. Field order is
+/// pinned forever: the checksum is recomputed from this exact layout on
+/// load, so reordering a field would invalidate every journal on disk.
+JsonValue record_json(const JournalRecord& r) {
+  JsonValue doc = JsonValue::object();
+  doc.set("point", JsonValue::unsigned_number(r.point));
+  doc.set("trial", JsonValue::unsigned_number(r.trial));
+  doc.set("seed", JsonValue::unsigned_number(r.seed));
+  doc.set("rounds", JsonValue::unsigned_number(r.result.rounds));
+  doc.set("converged", JsonValue::boolean(r.result.converged));
+  doc.set("after_activation",
+          JsonValue::unsigned_number(r.result.rounds_after_last_activation));
+  doc.set("connections", JsonValue::unsigned_number(r.result.connections));
+  doc.set("proposals", JsonValue::unsigned_number(r.result.proposals));
+  doc.set("invariant_violations",
+          JsonValue::unsigned_number(r.result.invariant_violations));
+  doc.set("split_brain_rounds",
+          JsonValue::unsigned_number(r.result.split_brain_rounds));
+  doc.set("attempts", JsonValue::unsigned_number(r.attempts));
+  doc.set("quarantined", JsonValue::boolean(r.quarantined));
+  return doc;
+}
+
+JsonValue header_json(const std::string& fingerprint,
+                      const JsonValue& manifest) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue::string(kJournalSchemaVersion));
+  doc.set("fingerprint", JsonValue::string(fingerprint));
+  doc.set("manifest", manifest);
+  return doc;
+}
+
+std::string with_crc(JsonValue doc) {
+  const std::string crc = obs::fnv1a64_hex(doc.dump());
+  doc.set("crc", JsonValue::string(crc));
+  return doc.dump();
+}
+
+const JsonValue& require_field(const JsonValue& doc, const char* key) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) {
+    throw JournalError(std::string("journal record missing field '") + key +
+                       "'");
+  }
+  return *v;
+}
+
+std::uint64_t require_u64(const JsonValue& doc, const char* key) {
+  const JsonValue& v = require_field(doc, key);
+  if (v.kind() != JsonValue::Kind::kUnsigned) {
+    throw JournalError(std::string("journal field '") + key +
+                       "' must be an unsigned integer");
+  }
+  return v.as_u64();
+}
+
+bool require_bool(const JsonValue& doc, const char* key) {
+  const JsonValue& v = require_field(doc, key);
+  if (!v.is_bool()) {
+    throw JournalError(std::string("journal field '") + key +
+                       "' must be a boolean");
+  }
+  return v.as_bool();
+}
+
+/// Verifies the "crc" field of a parsed line against the canonical
+/// re-serialization `canonical` (the document minus its crc).
+void check_crc(const JsonValue& parsed, const JsonValue& canonical,
+               const char* what) {
+  const JsonValue* crc = parsed.find("crc");
+  if (crc == nullptr || !crc->is_string()) {
+    throw JournalError(std::string(what) + ": missing crc");
+  }
+  if (crc->as_string() != obs::fnv1a64_hex(canonical.dump())) {
+    throw JournalError(std::string(what) + ": checksum mismatch");
+  }
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JournalError("cannot open journal: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string journal_record_line(const JournalRecord& record) {
+  return with_crc(record_json(record));
+}
+
+JournalRecord parse_journal_record(const std::string& line) {
+  JsonValue doc = JsonValue::object();
+  try {
+    doc = obs::parse_json(line);
+  } catch (const std::exception& e) {
+    throw JournalError(std::string("unparseable journal record: ") + e.what());
+  }
+  if (!doc.is_object()) throw JournalError("journal record must be an object");
+  JournalRecord r;
+  r.point = require_u64(doc, "point");
+  r.trial = require_u64(doc, "trial");
+  r.seed = require_u64(doc, "seed");
+  r.result.rounds = require_u64(doc, "rounds");
+  r.result.converged = require_bool(doc, "converged");
+  r.result.rounds_after_last_activation = require_u64(doc, "after_activation");
+  r.result.connections = require_u64(doc, "connections");
+  r.result.proposals = require_u64(doc, "proposals");
+  r.result.invariant_violations = require_u64(doc, "invariant_violations");
+  r.result.split_brain_rounds = require_u64(doc, "split_brain_rounds");
+  r.attempts = static_cast<std::uint32_t>(require_u64(doc, "attempts"));
+  r.quarantined = require_bool(doc, "quarantined");
+  check_crc(doc, record_json(r), "journal record");
+  return r;
+}
+
+TrialJournal::Contents TrialJournal::load(const std::string& path) {
+  const std::vector<std::string> lines = read_lines(path);
+  if (lines.empty()) throw JournalError("empty journal: " + path);
+
+  Contents contents;
+  {
+    // The header must be intact: without the fingerprint the journal keys
+    // nothing, so a truncated header is unrecoverable (unlike a tail
+    // record, which only loses one trial).
+    JsonValue doc = JsonValue::object();
+    try {
+      doc = obs::parse_json(lines.front());
+    } catch (const std::exception& e) {
+      throw JournalError(std::string("corrupt journal header: ") + e.what());
+    }
+    const JsonValue* schema = doc.find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->as_string() != kJournalSchemaVersion) {
+      throw JournalError(std::string("journal schema must be \"") +
+                         kJournalSchemaVersion + "\"");
+    }
+    const JsonValue* fingerprint = doc.find("fingerprint");
+    const JsonValue* manifest = doc.find("manifest");
+    if (fingerprint == nullptr || !fingerprint->is_string() ||
+        manifest == nullptr || !manifest->is_object()) {
+      throw JournalError("journal header missing fingerprint/manifest");
+    }
+    check_crc(doc, header_json(fingerprint->as_string(), *manifest),
+              "journal header");
+    contents.fingerprint = fingerprint->as_string();
+    contents.manifest = *manifest;
+  }
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    try {
+      contents.records.push_back(parse_journal_record(lines[i]));
+    } catch (const JournalError&) {
+      // A failing LAST line is the signature of a process killed
+      // mid-append: drop it and keep everything before it. A failing
+      // interior line means the file was damaged after the fact — abort
+      // rather than silently shifting aggregates.
+      if (i + 1 == lines.size()) break;
+      throw JournalError("corrupt journal record at line " +
+                         std::to_string(i + 1) + " of " + path +
+                         " (not a truncated tail; refusing to resume)");
+    }
+  }
+  return contents;
+}
+
+TrialJournal TrialJournal::create(const std::string& path,
+                                  const obs::RunManifest& manifest) {
+  TrialJournal journal;
+  journal.path_ = path;
+  journal.manifest_ = manifest.to_json();
+  journal.fingerprint_ = obs::manifest_fingerprint(journal.manifest_);
+  if (!obs::write_text_atomic(path, journal.serialized())) {
+    throw JournalError("cannot write journal: " + path);
+  }
+  journal.reopen_append();
+  return journal;
+}
+
+TrialJournal TrialJournal::open(const std::string& path,
+                                const obs::RunManifest* expected_manifest) {
+  Contents contents = load(path);
+  if (expected_manifest != nullptr) {
+    const obs::JsonValue expected_json = expected_manifest->to_json();
+    const std::string expected = obs::manifest_fingerprint(expected_json);
+    if (expected != contents.fingerprint) {
+      throw JournalError(
+          "journal manifest fingerprint mismatch: journal " +
+          contents.fingerprint + ", current run " + expected +
+          " — refusing to resume a different configuration.\n"
+          "Manifest diff (+ current run, - journal):\n" +
+          obs::manifest_diff(expected_json, contents.manifest));
+    }
+  }
+  TrialJournal journal;
+  journal.path_ = path;
+  journal.fingerprint_ = std::move(contents.fingerprint);
+  journal.manifest_ = std::move(contents.manifest);
+  journal.records_ = std::move(contents.records);
+  // Squash any dropped tail out of the on-disk file before appending again,
+  // so the file is whole-record-clean from here on.
+  if (!obs::write_text_atomic(path, journal.serialized())) {
+    throw JournalError("cannot rewrite journal: " + path);
+  }
+  journal.reopen_append();
+  return journal;
+}
+
+std::string TrialJournal::serialized() const {
+  std::string text = with_crc(header_json(fingerprint_, manifest_));
+  text += '\n';
+  for (const JournalRecord& record : records_) {
+    text += journal_record_line(record);
+    text += '\n';
+  }
+  return text;
+}
+
+void TrialJournal::reopen_append() {
+  out_ = std::make_unique<std::ofstream>(path_,
+                                         std::ios::binary | std::ios::app);
+  if (!*out_) throw JournalError("cannot append to journal: " + path_);
+}
+
+void TrialJournal::append(const JournalRecord& record) {
+  const std::string line = journal_record_line(record);
+  std::lock_guard<std::mutex> lock(*mutex_);
+  records_.push_back(record);
+  *out_ << line << '\n';
+  out_->flush();
+}
+
+void TrialJournal::checkpoint() {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  out_.reset();  // close the append stream before renaming over the file
+  if (!obs::write_text_atomic(path_, serialized())) {
+    throw JournalError("cannot checkpoint journal: " + path_);
+  }
+  reopen_append();
+}
+
+}  // namespace mtm

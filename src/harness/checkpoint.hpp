@@ -1,0 +1,133 @@
+// Crash-safe per-trial result journal: the experiment harness's write-ahead
+// log (schema mtm-journal/1).
+//
+// Hours-long Monte-Carlo sweeps used to be all-or-nothing: an OOM kill,
+// Ctrl-C, or power loss threw every completed trial away. A TrialJournal
+// makes each trial durable the moment it finishes:
+//
+//   * append-only JSONL — line 1 is a header record carrying the schema
+//     version, the run-manifest fingerprint (obs::manifest_fingerprint) and
+//     the full manifest echo; every following line is one completed trial's
+//     JournalRecord;
+//   * per-record checksum — every line carries a "crc" field (FNV-1a 64 of
+//     the record serialized without it). On load, a bad checksum on the
+//     LAST line means the process died mid-append: the truncated tail is
+//     dropped and the journal is still usable. A bad checksum anywhere
+//     else means real corruption and loading aborts with JournalError —
+//     silently skipping interior records would change aggregates;
+//   * atomic checkpoint — checkpoint() rewrites the validated contents via
+//     temp-file + std::rename (obs::write_text_atomic), so the on-disk file
+//     is periodically squashed back to a provably intact state;
+//   * fingerprint keying — resuming against a journal whose fingerprint
+//     does not match the current run's manifest is a hard error carrying a
+//     manifest_diff of the two configurations. Trial seeds derive only from
+//     (master seed, trial index), so a resumed sweep's aggregates are
+//     byte-identical to an uninterrupted run's.
+//
+// Thread safety: append() may be called concurrently from trial workers;
+// everything else is single-threaded (call between sweeps/points).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "sim/runner.hpp"
+
+namespace mtm {
+
+inline constexpr const char* kJournalSchemaVersion = "mtm-journal/1";
+
+/// Journal corruption, schema, or resume-mismatch failure.
+class JournalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One durable trial outcome. `point` is the sweep-point index (segment,
+/// cell, ...; 0 for a flat run_trials-style sweep), `trial` the trial index
+/// within the point; together they key the record. `seed` is recorded for
+/// audit and quarantine reporting, never re-derived from the journal.
+struct JournalRecord {
+  std::uint64_t point = 0;
+  std::uint64_t trial = 0;
+  std::uint64_t seed = 0;
+  RunResult result;
+  /// 1 + retries actually spent on this trial (watchdog resilience).
+  std::uint32_t attempts = 1;
+  /// Deadline-killed on every attempt; result is censored and the seed is
+  /// surfaced in the bench report's quarantined_seeds list.
+  bool quarantined = false;
+};
+
+class TrialJournal {
+ public:
+  /// Creates (truncating any previous file) a journal for `manifest` and
+  /// writes the header. Throws JournalError when the file cannot be opened.
+  static TrialJournal create(const std::string& path,
+                             const obs::RunManifest& manifest);
+
+  /// Opens an existing journal for resume: validates the header and every
+  /// record, drops a checksum-failing tail record (interrupted append),
+  /// aborts with JournalError on interior corruption, then atomically
+  /// rewrites the validated contents and reopens for append. When
+  /// `expected_manifest` is non-null its fingerprint must match the
+  /// journal's; a mismatch throws JournalError embedding manifest_diff.
+  static TrialJournal open(const std::string& path,
+                           const obs::RunManifest* expected_manifest);
+
+  /// Read-only parse with the same validation rules as open().
+  struct Contents {
+    std::string fingerprint;
+    obs::JsonValue manifest = obs::JsonValue::object();
+    std::vector<JournalRecord> records;
+  };
+  static Contents load(const std::string& path);
+
+  TrialJournal(TrialJournal&&) = default;
+  TrialJournal& operator=(TrialJournal&&) = default;
+
+  /// Durably appends one record: serialize with checksum, write the line,
+  /// flush the stream. Thread-safe.
+  void append(const JournalRecord& record);
+
+  /// Atomically rewrites the whole journal (header + records) via
+  /// temp-file + rename and reopens the append stream. Call between sweep
+  /// points / segments; cheap at harness scale.
+  void checkpoint();
+
+  /// Records loaded at open() plus everything appended since, in durable
+  /// order. First-wins per (point, trial) key is the caller's job (see
+  /// SweepRunner) — the journal itself never re-runs anything.
+  const std::vector<JournalRecord>& records() const noexcept {
+    return records_;
+  }
+  const std::string& fingerprint() const noexcept { return fingerprint_; }
+  const obs::JsonValue& manifest_json() const noexcept { return manifest_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  TrialJournal() = default;
+  void reopen_append();
+  std::string serialized() const;
+
+  std::string path_;
+  std::string fingerprint_;
+  obs::JsonValue manifest_ = obs::JsonValue::object();
+  std::vector<JournalRecord> records_;
+  std::unique_ptr<std::ofstream> out_;  // append stream (movable wrapper)
+  std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
+};
+
+/// One journal line for `record` (checksummed, no trailing newline) and its
+/// inverse. Exposed for the corruption tests; throws JournalError on a
+/// malformed or checksum-failing line.
+std::string journal_record_line(const JournalRecord& record);
+JournalRecord parse_journal_record(const std::string& line);
+
+}  // namespace mtm

@@ -135,6 +135,42 @@ LeaderProtocolBundle make_leader_protocol(const LeaderExperiment& spec,
 
 }  // namespace
 
+RunResult run_leader_trial(const LeaderExperiment& spec, std::uint64_t seed,
+                           const TrialCancel* cancel) {
+  MTM_REQUIRE(spec.topology != nullptr);
+  MTM_REQUIRE(spec.node_count >= 1);
+  MTM_REQUIRE(spec.controls.max_rounds >= 1);
+  auto topology = spec.topology(seed);
+  MTM_ENSURE(topology->node_count() == spec.node_count);
+  LeaderProtocolBundle bundle = make_leader_protocol(spec, seed);
+  EngineConfig cfg;
+  cfg.tag_bits = bundle.tag_bits;
+  cfg.classical_mode = bundle.classical;
+  cfg.seed = seed;
+  cfg.activation_rounds = spec.activation_rounds;
+  cfg.connection_failure_prob = spec.controls.connection_failure_prob;
+  if (spec.controls.faults.enabled())
+    cfg.faults = trial_faults(spec.controls.faults, seed);
+  if (spec.byzantine.enabled())
+    cfg.byzantine = trial_byzantine(spec.byzantine, seed);
+  Engine engine(*topology, *bundle.protocol, cfg);
+  InvariantMonitor monitor(InvariantConfig{
+      false, spec.settle_rounds > 0
+                 ? spec.settle_rounds
+                 : std::max<Round>(64, 8 * spec.node_count)});
+  if (spec.check_invariants) {
+    monitor.set_expected_uids(bundle.uids);
+    engine.set_invariant_monitor(&monitor);
+  }
+  RunResult result =
+      run_until_stabilized(engine, spec.controls.max_rounds, {}, cancel);
+  if (spec.check_invariants) {
+    result.invariant_violations = monitor.report().violations();
+    result.split_brain_rounds = monitor.report().split_brain_rounds;
+  }
+  return result;
+}
+
 std::vector<RunResult> run_leader_experiment(const LeaderExperiment& spec) {
   MTM_REQUIRE(spec.topology != nullptr);
   MTM_REQUIRE(spec.node_count >= 1);
@@ -145,35 +181,47 @@ std::vector<RunResult> run_leader_experiment(const LeaderExperiment& spec) {
   trial_spec.metrics = spec.metrics;
 
   return run_trials(trial_spec, [&spec](std::uint64_t trial_seed) {
-    auto topology = spec.topology(trial_seed);
-    MTM_ENSURE(topology->node_count() == spec.node_count);
-    LeaderProtocolBundle bundle = make_leader_protocol(spec, trial_seed);
-    EngineConfig cfg;
-    cfg.tag_bits = bundle.tag_bits;
-    cfg.classical_mode = bundle.classical;
-    cfg.seed = trial_seed;
-    cfg.activation_rounds = spec.activation_rounds;
-    cfg.connection_failure_prob = spec.controls.connection_failure_prob;
-    if (spec.controls.faults.enabled())
-      cfg.faults = trial_faults(spec.controls.faults, trial_seed);
-    if (spec.byzantine.enabled())
-      cfg.byzantine = trial_byzantine(spec.byzantine, trial_seed);
-    Engine engine(*topology, *bundle.protocol, cfg);
-    InvariantMonitor monitor(InvariantConfig{
-        false, spec.settle_rounds > 0
-                   ? spec.settle_rounds
-                   : std::max<Round>(64, 8 * spec.node_count)});
-    if (spec.check_invariants) {
-      monitor.set_expected_uids(bundle.uids);
-      engine.set_invariant_monitor(&monitor);
-    }
-    RunResult result = run_until_stabilized(engine, spec.controls.max_rounds);
-    if (spec.check_invariants) {
-      result.invariant_violations = monitor.report().violations();
-      result.split_brain_rounds = monitor.report().split_brain_rounds;
-    }
-    return result;
+    return run_leader_trial(spec, trial_seed);
   });
+}
+
+RunResult run_rumor_trial(const RumorExperiment& spec, std::uint64_t seed,
+                          const TrialCancel* cancel) {
+  MTM_REQUIRE(spec.topology != nullptr);
+  MTM_REQUIRE(spec.node_count >= 1);
+  MTM_REQUIRE(spec.controls.max_rounds >= 1);
+  MTM_REQUIRE(!spec.sources.empty());
+  auto topology = spec.topology(seed);
+  MTM_ENSURE(topology->node_count() == spec.node_count);
+  std::unique_ptr<RumorProtocol> protocol;
+  int tag_bits = 0;
+  bool classical = false;
+  switch (spec.algo) {
+    case RumorAlgo::kPushPull:
+      protocol = std::make_unique<PushPull>(spec.sources);
+      break;
+    case RumorAlgo::kPpush:
+      protocol = std::make_unique<Ppush>(spec.sources);
+      tag_bits = 1;
+      break;
+    case RumorAlgo::kClassicalPushPull:
+      protocol = std::make_unique<ClassicalPushPull>(spec.sources);
+      classical = true;
+      break;
+    case RumorAlgo::kProductivePushPull:
+      protocol = std::make_unique<ProductivePushPull>(spec.sources);
+      tag_bits = 1;
+      break;
+  }
+  EngineConfig cfg;
+  cfg.tag_bits = tag_bits;
+  cfg.classical_mode = classical;
+  cfg.seed = seed;
+  cfg.connection_failure_prob = spec.controls.connection_failure_prob;
+  if (spec.controls.faults.enabled())
+    cfg.faults = trial_faults(spec.controls.faults, seed);
+  Engine engine(*topology, *protocol, cfg);
+  return run_until_stabilized(engine, spec.controls.max_rounds, {}, cancel);
 }
 
 std::vector<RunResult> run_rumor_experiment(const RumorExperiment& spec) {
@@ -187,37 +235,7 @@ std::vector<RunResult> run_rumor_experiment(const RumorExperiment& spec) {
   trial_spec.metrics = spec.metrics;
 
   return run_trials(trial_spec, [&spec](std::uint64_t trial_seed) {
-    auto topology = spec.topology(trial_seed);
-    MTM_ENSURE(topology->node_count() == spec.node_count);
-    std::unique_ptr<RumorProtocol> protocol;
-    int tag_bits = 0;
-    bool classical = false;
-    switch (spec.algo) {
-      case RumorAlgo::kPushPull:
-        protocol = std::make_unique<PushPull>(spec.sources);
-        break;
-      case RumorAlgo::kPpush:
-        protocol = std::make_unique<Ppush>(spec.sources);
-        tag_bits = 1;
-        break;
-      case RumorAlgo::kClassicalPushPull:
-        protocol = std::make_unique<ClassicalPushPull>(spec.sources);
-        classical = true;
-        break;
-      case RumorAlgo::kProductivePushPull:
-        protocol = std::make_unique<ProductivePushPull>(spec.sources);
-        tag_bits = 1;
-        break;
-    }
-    EngineConfig cfg;
-    cfg.tag_bits = tag_bits;
-    cfg.classical_mode = classical;
-    cfg.seed = trial_seed;
-    cfg.connection_failure_prob = spec.controls.connection_failure_prob;
-    if (spec.controls.faults.enabled())
-      cfg.faults = trial_faults(spec.controls.faults, trial_seed);
-    Engine engine(*topology, *protocol, cfg);
-    return run_until_stabilized(engine, spec.controls.max_rounds);
+    return run_rumor_trial(spec, trial_seed);
   });
 }
 

@@ -72,6 +72,14 @@ struct LeaderExperiment {
 /// Runs the experiment; element t is trial t's result.
 std::vector<RunResult> run_leader_experiment(const LeaderExperiment& spec);
 
+/// One trial of `spec` under `seed` (the fully derived trial seed — see
+/// trial_seed() in sim/runner.hpp). `cancel` (optional) is polled between
+/// rounds for cooperative watchdog/interrupt eviction. This is the body
+/// run_leader_experiment fans out, exposed so the resumable SweepRunner
+/// (harness/sweep.hpp) can drive the exact same execution per trial.
+RunResult run_leader_trial(const LeaderExperiment& spec, std::uint64_t seed,
+                           const TrialCancel* cancel = nullptr);
+
 struct RumorExperiment {
   RumorAlgo algo = RumorAlgo::kPushPull;
   TopologyFactory topology;
@@ -84,6 +92,11 @@ struct RumorExperiment {
 };
 
 std::vector<RunResult> run_rumor_experiment(const RumorExperiment& spec);
+
+/// One trial of `spec` under `seed`; the rumor counterpart of
+/// run_leader_trial.
+RunResult run_rumor_trial(const RumorExperiment& spec, std::uint64_t seed,
+                          const TrialCancel* cancel = nullptr);
 
 /// Shorthand: run a leader experiment and summarize the stabilization
 /// rounds (throws if any trial hit max_rounds).

@@ -1,0 +1,37 @@
+#include "harness/interrupt.hpp"
+
+#include <csignal>
+
+namespace mtm {
+
+namespace {
+
+CancelToken g_interrupt;
+
+extern "C" void interrupt_handler(int sig) {
+  // Signal-handler contract: only lock-free atomic stores and async-safe
+  // calls below. The token's cancel() is a relaxed atomic store.
+  if (g_interrupt.cancelled()) {
+    // Second signal: the graceful path is apparently stuck — restore the
+    // default disposition and re-raise so the process actually dies.
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+    return;
+  }
+  g_interrupt.cancel();
+}
+
+}  // namespace
+
+void install_interrupt_handler() {
+  std::signal(SIGINT, interrupt_handler);
+  std::signal(SIGTERM, interrupt_handler);
+}
+
+const CancelToken& interrupt_token() { return g_interrupt; }
+
+bool interrupt_requested() { return g_interrupt.cancelled(); }
+
+void reset_interrupt_for_tests() { g_interrupt.reset(); }
+
+}  // namespace mtm

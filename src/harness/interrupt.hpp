@@ -1,0 +1,40 @@
+// Graceful SIGINT/SIGTERM handling for long-running harness tools.
+//
+// A Ctrl-C in hour three of a soak used to mean data loss: the process died
+// wherever it stood, possibly mid-write. install_interrupt_handler() turns
+// the first SIGINT/SIGTERM into a cooperative shutdown request instead —
+// the handler only sets a process-wide lock-free CancelToken (the one
+// operation C++ guarantees is signal-safe), and the harness observes it at
+// its existing cancellation boundaries: between simulation rounds inside a
+// trial, between trials, and between sweep points. Tools then flush the
+// trial journal and emit a valid partial bench report marked
+// "partial": true before exiting.
+//
+// A SECOND signal restores the default disposition and re-raises, so a
+// wedged shutdown can still be killed the old-fashioned way.
+#pragma once
+
+#include "core/cancel.hpp"
+
+namespace mtm {
+
+/// Installs the SIGINT and SIGTERM handlers (idempotent).
+void install_interrupt_handler();
+
+/// The process-wide interrupt token; pass it as TrialCancel::interrupt and
+/// ResilienceOptions::interrupt. Valid whether or not the handler is
+/// installed (it simply never fires then).
+const CancelToken& interrupt_token();
+
+/// True once a SIGINT/SIGTERM has been received.
+bool interrupt_requested();
+
+/// Clears the flag — for tests that simulate an interrupt.
+void reset_interrupt_for_tests();
+
+/// Conventional exit status for an interrupted-but-graceful run (128 + 2,
+/// what a shell reports for death by SIGINT); tools return it after writing
+/// their partial artifacts.
+inline constexpr int kInterruptExitCode = 130;
+
+}  // namespace mtm

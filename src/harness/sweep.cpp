@@ -1,10 +1,16 @@
 #include "harness/sweep.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <iostream>
+#include <map>
+#include <thread>
+#include <utility>
 
 #include "core/assert.hpp"
+#include "core/thread_pool.hpp"
 
 namespace mtm {
 
@@ -99,6 +105,150 @@ void ScalingSeries::report() const {
     if (!(std::isalnum(static_cast<unsigned char>(c)) != 0)) c = '_';
   }
   (void)table.maybe_write_csv(file_name);
+}
+
+// ---------------------------------------------------------------------------
+// SweepRunner
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> SweepReport::quarantined_seeds() const {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(quarantined.size());
+  for (const QuarantinedTrial& q : quarantined) seeds.push_back(q.seed);
+  return seeds;
+}
+
+SweepRunner::SweepRunner(const obs::RunManifest& manifest,
+                         ResilienceOptions options)
+    : options_(std::move(options)) {
+  if (options_.journal_path.empty()) {
+    MTM_REQUIRE_MSG(!options_.resume,
+                    "resume requires a journal path (ResilienceOptions)");
+    return;
+  }
+  if (options_.resume) {
+    journal_ = TrialJournal::open(options_.journal_path, &manifest);
+  } else {
+    journal_ = TrialJournal::create(options_.journal_path, manifest);
+  }
+}
+
+namespace {
+
+/// Exponential backoff before retry attempt `attempt` (1-based): the first
+/// retry sleeps base, the k-th base << (k-1), shift-capped so a large retry
+/// budget can't overflow into a zero (or absurd) sleep.
+void backoff_sleep(std::uint64_t base_ms, std::uint32_t attempt) {
+  if (base_ms == 0) return;
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt - 1, 10);
+  std::this_thread::sleep_for(std::chrono::milliseconds(base_ms << shift));
+}
+
+}  // namespace
+
+SweepReport SweepRunner::run(const std::vector<SweepPoint>& points,
+                             std::size_t threads) {
+  MTM_REQUIRE(threads >= 1);
+  SweepReport report;
+  if (journal_.has_value()) report.journal_fingerprint = journal_->fingerprint();
+
+  // First-wins index of durable results per (point, trial), copied out of
+  // the journal (append() reallocates its record vector, so references into
+  // it would dangle). Duplicate keys can only arise from a crashed retry
+  // wave; the first record is the one the original run would have produced.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, JournalRecord> done;
+  if (journal_.has_value()) {
+    for (const JournalRecord& r : journal_->records()) {
+      done.emplace(std::make_pair(r.point, r.trial), r);
+    }
+  }
+
+  TrialWatchdog watchdog(
+      WatchdogOptions{options_.trial_deadline_ms, /*poll_ms=*/5});
+  std::atomic<bool> interrupted{false};
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const SweepPoint& point = points[p];
+    MTM_REQUIRE(point.trials >= 1);
+    MTM_REQUIRE(point.body != nullptr);
+
+    std::vector<RunResult> results(point.trials);
+    std::vector<std::uint8_t> have(point.trials, 0);
+    std::vector<std::size_t> pending;
+    for (std::size_t t = 0; t < point.trials; ++t) {
+      const auto it = done.find({p, t});
+      if (it != done.end()) {
+        results[t] = it->second.result;
+        have[t] = 1;
+        ++report.resumed_trials;
+        if (it->second.quarantined) {
+          report.quarantined.push_back(QuarantinedTrial{
+              p, t, it->second.seed, it->second.attempts});
+        }
+      } else {
+        pending.push_back(t);
+      }
+    }
+
+    std::mutex report_mutex;  // guards report counters + quarantine list
+    parallel_for(threads, pending.size(), [&](std::size_t i) {
+      if (interrupted.load(std::memory_order_relaxed)) return;
+      const std::size_t t = pending[i];
+      JournalRecord rec;
+      rec.point = p;
+      rec.trial = t;
+      rec.seed = trial_seed(point.master_seed, t);
+      std::uint32_t attempt = 1;
+      for (;;) {
+        TrialWatchdog::Lease lease = watchdog.arm();
+        const TrialCancel cancel{lease.token(), options_.interrupt};
+        RunResult r = point.body(rec.seed, &cancel);
+        if (cancel.interrupted()) {
+          // Incomplete by the user's hand, not the trial's: never journal
+          // it — the resumed run must re-execute it in full.
+          interrupted.store(true, std::memory_order_relaxed);
+          return;
+        }
+        const bool deadline_killed = r.cancelled;
+        const bool retryable =
+            deadline_killed || (!r.converged && options_.retry_censored);
+        if (retryable && attempt <= options_.retries) {
+          backoff_sleep(options_.backoff_ms, attempt);
+          ++attempt;
+          continue;
+        }
+        rec.attempts = attempt;
+        rec.quarantined = deadline_killed;
+        rec.result = r;
+        break;
+      }
+      results[t] = rec.result;
+      have[t] = 1;
+      if (journal_.has_value()) journal_->append(rec);
+      {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        ++report.executed_trials;
+        if (rec.attempts > 1) ++report.retried_trials;
+        if (rec.quarantined) {
+          report.quarantined.push_back(
+              QuarantinedTrial{p, t, rec.seed, rec.attempts});
+        }
+      }
+    });
+
+    // Squash the journal to a whole-record-clean state at the checkpoint
+    // boundary, even when we are about to stop early.
+    if (journal_.has_value()) journal_->checkpoint();
+
+    if (interrupted.load(std::memory_order_relaxed) ||
+        std::find(have.begin(), have.end(), 0) != have.end()) {
+      report.interrupted = true;
+      break;
+    }
+    report.points.push_back(std::move(results));
+    report.labels.push_back(point.label);
+  }
+  return report;
 }
 
 }  // namespace mtm

@@ -1,14 +1,26 @@
 // Scaling-series helper: collects (x, measured, predicted) points for one
 // experiment sweep, fits log-log growth exponents, and renders the table
 // every bench prints (the "figure data" of the reproduction).
+//
+// This header also hosts SweepRunner, the resilient Monte-Carlo driver that
+// layers crash-safe checkpointing (harness/checkpoint.hpp), per-trial
+// watchdog deadlines with retry/backoff/quarantine (harness/watchdog.hpp),
+// and cooperative SIGINT/SIGTERM shutdown (harness/interrupt.hpp) on top of
+// the plain run_trials fan-out.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/stats.hpp"
 #include "core/table.hpp"
+#include "harness/checkpoint.hpp"
+#include "harness/watchdog.hpp"
+#include "sim/fault_cli.hpp"  // ResilienceOptions (shared CLI surface)
+#include "sim/runner.hpp"
 
 namespace mtm {
 
@@ -54,6 +66,91 @@ class ScalingSeries {
   std::string name_;
   std::string x_label_;
   std::vector<SeriesPoint> points_;
+};
+
+// ---------------------------------------------------------------------------
+// SweepRunner: resumable, watchdog-guarded Monte-Carlo sweeps.
+// ---------------------------------------------------------------------------
+
+/// One unit of sweep work: `trials` Monte-Carlo trials of `body`, each fed
+/// the fully derived trial seed trial_seed(master_seed, t). Points are the
+/// checkpoint granularity — the journal is squashed after each one.
+struct SweepPoint {
+  std::string label;             ///< annotation for reports/logs
+  std::size_t trials = 0;        ///< >= 1
+  std::uint64_t master_seed = 0; ///< per-point master; trial t derives its own
+  /// The trial body; must poll `cancel` between rounds (pass it through to
+  /// run_until_stabilized / run_leader_trial / run_rumor_trial).
+  std::function<RunResult(std::uint64_t seed, const TrialCancel* cancel)> body;
+};
+
+/// A quarantined trial: deadline-killed on every attempt; its (censored)
+/// result still participates in the point's results so trial counts stay
+/// honest, and the seed is surfaced for offline reproduction.
+struct QuarantinedTrial {
+  std::uint64_t point = 0;
+  std::uint64_t trial = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t attempts = 0;
+};
+
+struct SweepReport {
+  /// results[p][t] is point p's trial t. Only FULLY completed points appear;
+  /// an interrupted sweep truncates here (its finished trials are in the
+  /// journal, ready for --resume).
+  std::vector<std::vector<RunResult>> points;
+  /// Labels of the completed points, parallel to `points`.
+  std::vector<std::string> labels;
+  /// Trials satisfied from the resumed journal instead of being re-run.
+  std::size_t resumed_trials = 0;
+  /// Trials actually executed by this process (includes quarantined ones).
+  std::size_t executed_trials = 0;
+  /// Trials that needed more than one attempt.
+  std::size_t retried_trials = 0;
+  /// Deadline-killed trials that exhausted their retry budget.
+  std::vector<QuarantinedTrial> quarantined;
+  /// True when SIGINT/SIGTERM stopped the sweep early; `points` then holds
+  /// only the fully completed prefix and the caller should mark its bench
+  /// report "partial": true and exit with kInterruptExitCode.
+  bool interrupted = false;
+  /// Journal manifest fingerprint ("" when journaling is disabled).
+  std::string journal_fingerprint;
+
+  std::vector<std::uint64_t> quarantined_seeds() const;
+};
+
+/// Drives a sequence of SweepPoints with durability and liveness guarantees:
+///
+///   * every finished trial is appended to the journal (when configured)
+///     the moment it completes, and the journal is checkpointed (squashed
+///     atomically) after each point;
+///   * resumed journal records satisfy trials first-wins per (point, trial)
+///     — the body is only invoked for missing trials;
+///   * each attempt runs under a watchdog lease; deadline-killed attempts
+///     retry with exponential backoff and quarantine on exhaustion;
+///   * the process interrupt token stops the sweep between rounds/trials;
+///     interrupted (incomplete) trials are never journaled.
+///
+/// Trials within a point run in parallel on `threads` workers; points are
+/// sequential. Results are deterministic in (master_seed, trial index)
+/// regardless of thread count, retries, or how many times the sweep was
+/// interrupted and resumed.
+class SweepRunner {
+ public:
+  /// `manifest` keys the journal; see ResilienceOptions for the rest.
+  /// Throws JournalError on an unusable or mismatched journal.
+  SweepRunner(const obs::RunManifest& manifest, ResilienceOptions options);
+
+  /// Runs the sweep. Reentrant only sequentially (one run at a time).
+  SweepReport run(const std::vector<SweepPoint>& points,
+                  std::size_t threads = 1);
+
+  bool journaling() const noexcept { return journal_.has_value(); }
+  const ResilienceOptions& options() const noexcept { return options_; }
+
+ private:
+  ResilienceOptions options_;
+  std::optional<TrialJournal> journal_;
 };
 
 }  // namespace mtm

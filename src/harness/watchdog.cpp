@@ -1,0 +1,90 @@
+#include "harness/watchdog.hpp"
+
+#include <utility>
+
+namespace mtm {
+
+TrialWatchdog::TrialWatchdog(WatchdogOptions options)
+    : options_(options) {
+  if (enabled()) {
+    monitor_ = std::thread([this] { monitor_loop(); });
+  }
+}
+
+TrialWatchdog::~TrialWatchdog() {
+  if (monitor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    monitor_.join();
+  }
+}
+
+TrialWatchdog::Lease TrialWatchdog::arm() {
+  if (!enabled()) return Lease{};
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t slot = slots_.size();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i]->armed) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == slots_.size()) slots_.push_back(std::make_unique<Slot>());
+  Slot& s = *slots_[slot];
+  s.token.reset();
+  s.deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(options_.deadline_ms);
+  s.armed = true;
+  return Lease{this, slot};
+}
+
+void TrialWatchdog::disarm(std::size_t slot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_[slot]->armed = false;
+}
+
+void TrialWatchdog::monitor_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    wake_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms));
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& slot : slots_) {
+      if (slot->armed && now >= slot->deadline) slot->token.cancel();
+    }
+  }
+}
+
+TrialWatchdog::Lease::~Lease() {
+  if (owner_ != nullptr) owner_->disarm(slot_);
+}
+
+TrialWatchdog::Lease::Lease(Lease&& other) noexcept
+    : owner_(std::exchange(other.owner_, nullptr)), slot_(other.slot_) {}
+
+TrialWatchdog::Lease& TrialWatchdog::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    if (owner_ != nullptr) owner_->disarm(slot_);
+    owner_ = std::exchange(other.owner_, nullptr);
+    slot_ = other.slot_;
+  }
+  return *this;
+}
+
+const CancelToken* TrialWatchdog::Lease::token() const noexcept {
+  if (owner_ == nullptr) return nullptr;
+  // Guard the slots_ vector against a concurrent arm() reallocation; the
+  // Slot itself is heap-pinned, so the returned pointer stays valid for the
+  // lease's lifetime.
+  std::lock_guard<std::mutex> lock(owner_->mutex_);
+  return &owner_->slots_[slot_]->token;
+}
+
+bool TrialWatchdog::Lease::expired() const noexcept {
+  const CancelToken* t = token();
+  return t != nullptr && t->cancelled();
+}
+
+}  // namespace mtm

@@ -1,0 +1,97 @@
+// Trial watchdog: wall-clock deadlines for Monte-Carlo trials.
+//
+// A wedged trial (pathological seed, runaway fault schedule, an engine bug
+// under a sanitizer) used to hang the whole sweep: run_trials joins every
+// worker, so one stuck trial held the result of thousands hostage. The
+// watchdog runs ONE monitor thread beside the existing ThreadPool workers;
+// each trial arms a slot carrying a CancelToken and a steady-clock deadline
+// before it starts and disarms it when it finishes. The monitor wakes every
+// `poll_ms` and cancels the token of any armed slot past its deadline; the
+// trial observes the token between simulation rounds (sim/runner.hpp
+// TrialCancel) and returns a clean, cancelled partial result.
+//
+// This is cooperative eviction, not thread murder: memory stays valid,
+// telemetry stays consistent, and the worker immediately moves on to retry
+// or to the next trial. Retry/backoff/quarantine policy on top of these
+// deadlines lives in SweepRunner (harness/sweep.hpp).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/cancel.hpp"
+
+namespace mtm {
+
+struct WatchdogOptions {
+  /// Wall-clock budget per trial attempt; 0 disables the monitor entirely
+  /// (arm() then hands out inactive leases with a null token).
+  std::uint64_t deadline_ms = 0;
+  /// Monitor wake-up granularity — deadlines are enforced within one poll.
+  std::uint64_t poll_ms = 5;
+};
+
+class TrialWatchdog {
+ public:
+  explicit TrialWatchdog(WatchdogOptions options);
+  ~TrialWatchdog();
+
+  TrialWatchdog(const TrialWatchdog&) = delete;
+  TrialWatchdog& operator=(const TrialWatchdog&) = delete;
+
+  /// RAII arm/disarm of one monitored trial attempt. Default-constructed
+  /// (or from a disabled watchdog) it is inactive: token() is null and
+  /// expired() is false, so callers need no special-casing.
+  class Lease {
+   public:
+    Lease() = default;
+    ~Lease();
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    /// The deadline token to poll from the trial body; null when inactive.
+    const CancelToken* token() const noexcept;
+    /// True once the monitor cancelled this attempt (deadline passed).
+    bool expired() const noexcept;
+
+   private:
+    friend class TrialWatchdog;
+    Lease(TrialWatchdog* owner, std::size_t slot)
+        : owner_(owner), slot_(slot) {}
+    TrialWatchdog* owner_ = nullptr;
+    std::size_t slot_ = 0;
+  };
+
+  /// Arms a slot whose deadline is now + deadline_ms. Leases must not
+  /// outlive the watchdog. Thread-safe; slots are pooled and reused.
+  Lease arm();
+
+  bool enabled() const noexcept { return options_.deadline_ms > 0; }
+  const WatchdogOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Slot {
+    CancelToken token;
+    std::chrono::steady_clock::time_point deadline;
+    bool armed = false;
+  };
+
+  void disarm(std::size_t slot);
+  void monitor_loop();
+
+  WatchdogOptions options_;
+  std::vector<std::unique_ptr<Slot>> slots_;  // stable addresses for tokens
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace mtm

@@ -42,6 +42,22 @@ JsonValue BenchReport::to_json() const {
     doc.set("phases", phases->to_json());
   }
   if (metrics != nullptr) doc.set("metrics", metrics->snapshot());
+  if (resilience.enabled) {
+    doc.set("partial", JsonValue::boolean(resilience.partial));
+    doc.set("resumed_trials",
+            JsonValue::unsigned_number(resilience.resumed_trials));
+    doc.set("trials_recorded",
+            JsonValue::unsigned_number(resilience.trials_recorded));
+    JsonValue seeds = JsonValue::array();
+    for (std::uint64_t seed : resilience.quarantined_seeds) {
+      seeds.push_back(JsonValue::unsigned_number(seed));
+    }
+    doc.set("quarantined_seeds", std::move(seeds));
+    if (!resilience.journal_fingerprint.empty()) {
+      doc.set("journal_fingerprint",
+              JsonValue::string(resilience.journal_fingerprint));
+    }
+  }
   if (extra.is_object() && !extra.members().empty()) doc.set("extra", extra);
   return doc;
 }
@@ -67,6 +83,7 @@ class Validator {
     if (const JsonValue* metrics = doc.find("metrics")) {
       if (!metrics->is_object()) error("metrics", "must be an object");
     }
+    check_resilience(doc);
     if (const JsonValue* extra = doc.find("extra")) {
       if (!extra->is_object()) error("extra", "must be an object");
     }
@@ -190,6 +207,45 @@ class Validator {
           check_numeric(p, key, pwhere);
         }
         check_unsigned(p, "count", pwhere);
+      }
+    }
+  }
+
+  /// The resilience echo (SweepRunner-driven benches): optional as a block,
+  /// but once "partial" appears the companion fields are required — a report
+  /// claiming partiality without its trial accounting is unusable for the
+  /// resume-diff CI check.
+  void check_resilience(const JsonValue& doc) {
+    const JsonValue* partial = doc.find("partial");
+    const bool present =
+        partial != nullptr || doc.find("resumed_trials") != nullptr ||
+        doc.find("quarantined_seeds") != nullptr ||
+        doc.find("trials_recorded") != nullptr ||
+        doc.find("journal_fingerprint") != nullptr;
+    if (!present) return;
+    if (partial == nullptr || !partial->is_bool()) {
+      error("partial", "must be a boolean when resilience fields are present");
+    }
+    check_unsigned(doc, "resumed_trials", "report");
+    check_unsigned(doc, "trials_recorded", "report");
+    const JsonValue* seeds = doc.find("quarantined_seeds");
+    if (seeds == nullptr || !seeds->is_array()) {
+      error("quarantined_seeds", "must be an array of unsigned seeds");
+    } else {
+      for (std::size_t i = 0; i < seeds->size(); ++i) {
+        if (seeds->at(i).kind() != JsonValue::Kind::kUnsigned) {
+          error("quarantined_seeds[" + std::to_string(i) + "]",
+                "must be an unsigned integer");
+        }
+      }
+    }
+    if (const JsonValue* fp = doc.find("journal_fingerprint")) {
+      const bool ok =
+          fp->is_string() && fp->as_string().size() == 16 &&
+          fp->as_string().find_first_not_of("0123456789abcdef") ==
+              std::string::npos;
+      if (!ok) {
+        error("journal_fingerprint", "must be a 16-hex-digit FNV-1a digest");
       }
     }
   }

@@ -33,12 +33,35 @@ namespace mtm::obs {
 
 inline constexpr const char* kBenchJsonSchemaVersion = "mtm-bench/1";
 
+/// Harness-resilience echo for reports produced by a SweepRunner: whether
+/// the run was interrupted (partial), how much work the journal saved, and
+/// which seeds were quarantined by the trial watchdog. Emitted only when
+/// `enabled` (plain benches keep their old shape byte-for-byte).
+struct BenchResilience {
+  bool enabled = false;
+  /// True when SIGINT/SIGTERM stopped the sweep early; the report then
+  /// holds only the fully completed prefix of the sweep.
+  bool partial = false;
+  /// Trials satisfied from a resumed journal instead of being re-run.
+  std::uint64_t resumed_trials = 0;
+  /// Total trials contributing to this report (resumed + executed). A
+  /// journal-carrying report must agree with its journal's record count —
+  /// mtm_bench_validate --journal hard-fails on a mismatch.
+  std::uint64_t trials_recorded = 0;
+  /// Seeds of deadline-quarantined trials (censored after retry exhaustion).
+  std::vector<std::uint64_t> quarantined_seeds;
+  /// Manifest fingerprint of the journal ("" when journaling was off).
+  std::string journal_fingerprint;
+};
+
 struct BenchReport {
   std::string name;  ///< bench name without the "bench_" prefix
   RunManifest manifest;
   std::vector<const ScalingSeries*> series;  ///< non-owning
   const PhaseProfile* phases = nullptr;      ///< optional, non-owning
   const MetricRegistry* metrics = nullptr;   ///< optional, non-owning
+  /// Resilience echo (partial/resume/quarantine); omitted unless enabled.
+  BenchResilience resilience;
   /// Bench-specific payload (sweep rows etc.); omitted when empty.
   JsonValue extra = JsonValue::object();
 

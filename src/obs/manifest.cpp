@@ -1,5 +1,10 @@
 #include "obs/manifest.hpp"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
 #include "sim/engine.hpp"
 
 namespace mtm::obs {
@@ -33,6 +38,79 @@ RunManifest make_run_manifest(std::string tool, std::uint64_t seed,
   manifest.compiler = "unknown";
 #endif
   return manifest;
+}
+
+bool write_text_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << text;
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool write_json_atomic(const std::string& path, const JsonValue& doc) {
+  return write_text_atomic(path, doc.dump(2) + "\n");
+}
+
+std::string fnv1a64_hex(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+std::string manifest_fingerprint(const JsonValue& manifest_json) {
+  // Over the compact dump: stable because JsonValue preserves insertion
+  // order, number serialization round-trips, and manifests carry no
+  // timestamps.
+  return fnv1a64_hex(manifest_json.dump());
+}
+
+namespace {
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+}  // namespace
+
+std::string manifest_diff(const JsonValue& ours, const JsonValue& theirs) {
+  const std::vector<std::string> a = split_lines(ours.dump(2));
+  const std::vector<std::string> b = split_lines(theirs.dump(2));
+  // Set difference by line content — manifests are small and the point is
+  // to name the knobs that differ, not to produce a minimal edit script.
+  const std::unordered_set<std::string> a_set(a.begin(), a.end());
+  const std::unordered_set<std::string> b_set(b.begin(), b.end());
+  std::string diff;
+  for (const std::string& line : a) {
+    if (b_set.find(line) == b_set.end()) diff += "+ " + line + "\n";
+  }
+  for (const std::string& line : b) {
+    if (a_set.find(line) == a_set.end()) diff += "- " + line + "\n";
+  }
+  return diff;
 }
 
 JsonValue fault_plan_config_json(const FaultPlanConfig& config) {

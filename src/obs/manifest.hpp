@@ -46,4 +46,31 @@ JsonValue engine_config_json(const EngineConfig& config);
 /// Full FaultPlanConfig echo.
 JsonValue fault_plan_config_json(const FaultPlanConfig& config);
 
+/// Writes `text` to `path` crash-safely: the bytes land in `path + ".tmp"`
+/// first and are moved over `path` with std::rename, so a reader (or a
+/// process killed mid-write) can only ever observe the old complete file or
+/// the new complete file — never a truncated artifact. Returns false on any
+/// I/O failure (the temp file is removed).
+bool write_text_atomic(const std::string& path, const std::string& text);
+
+/// Serializes `doc` (pretty-printed, trailing newline) and writes it
+/// atomically via write_text_atomic.
+bool write_json_atomic(const std::string& path, const JsonValue& doc);
+
+/// 16-hex-digit FNV-1a 64 digest of `text` — the checksum primitive shared
+/// by manifest fingerprints and the trial journal's per-record "crc" field.
+std::string fnv1a64_hex(const std::string& text);
+
+/// 16-hex-digit FNV-1a fingerprint of a manifest document (compact dump).
+/// Manifests carry no timestamps, so two runs of the same binary with the
+/// same configuration fingerprint identically — the key the trial journal
+/// (harness/checkpoint.hpp) uses to decide whether a resume is legal.
+std::string manifest_fingerprint(const JsonValue& manifest_json);
+
+/// Human-readable line diff of two manifest documents (pretty-printed):
+/// lines only in `ours` are prefixed "+", lines only in `theirs` "-",
+/// common lines are omitted. Empty string when the dumps are identical.
+/// Used to explain a fingerprint mismatch on --resume.
+std::string manifest_diff(const JsonValue& ours, const JsonValue& theirs);
+
 }  // namespace mtm::obs

@@ -146,4 +146,55 @@ ByzantinePlanConfig parse_byz_flags(const CliArgs& args) {
   return byz;
 }
 
+const char* resilience_flags_help() {
+  return R"(  --journal=PATH    crash-safe per-trial result journal (mtm-journal/1)
+  --resume=PATH     resume from PATH's journal; manifest must match
+  --trial-deadline-ms=N  wall-clock budget per trial attempt     [default off]
+  --retries=N       retry budget for deadline-killed trials      [default 0]
+  --backoff-ms=N    base retry backoff (doubles per attempt)     [default 25]
+  --retry-censored  also retry trials that hit max_rounds        [default off]
+)";
+}
+
+ResilienceOptions parse_resilience_flags(const CliArgs& args) {
+  ResilienceOptions options;
+  const bool has_journal = args.has("journal");
+  const bool has_resume = args.has("resume");
+  // One file cannot be both freshly created and resumed; requiring the user
+  // to pick exactly one keeps "did my old results survive?" unambiguous.
+  if (has_journal && has_resume) {
+    throw std::invalid_argument(
+        "--journal and --resume are mutually exclusive (--journal starts a "
+        "fresh journal, --resume continues an existing one)");
+  }
+  if (has_resume) {
+    options.journal_path = args.get_string("resume", "");
+    options.resume = true;
+    if (options.journal_path.empty()) {
+      throw std::invalid_argument("--resume requires a journal path");
+    }
+  } else if (has_journal) {
+    options.journal_path = args.get_string("journal", "");
+    if (options.journal_path.empty()) {
+      throw std::invalid_argument("--journal requires a file path");
+    }
+  }
+  options.trial_deadline_ms = args.get_u64("trial-deadline-ms", 0);
+  options.retries = args.get_u32("retries", 0);
+  if (options.retries > 0 && options.trial_deadline_ms == 0) {
+    throw std::invalid_argument(
+        "--retries requires --trial-deadline-ms (only deadline-killed trials "
+        "are retried)");
+  }
+  if (args.has("backoff-ms") && options.retries == 0) {
+    throw std::invalid_argument("--backoff-ms requires --retries");
+  }
+  options.backoff_ms = args.get_u64("backoff-ms", 25);
+  if (args.has("retry-censored") && options.retries == 0) {
+    throw std::invalid_argument("--retry-censored requires --retries");
+  }
+  options.retry_censored = args.get_bool("retry-censored", false);
+  return options;
+}
+
 }  // namespace mtm

@@ -6,8 +6,10 @@
 // and an mtm_sim invocation can never drift apart.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
+#include "core/cancel.hpp"
 #include "core/cli.hpp"
 #include "sim/byzantine.hpp"
 #include "sim/faults.hpp"
@@ -56,5 +58,48 @@ FaultPlanConfig parse_fault_flags(const CliArgs& args);
 /// --byz-tag) and returns a validated ByzantinePlanConfig. Behavior flags
 /// without --byz > 0 are rejected with a one-line std::invalid_argument.
 ByzantinePlanConfig parse_byz_flags(const CliArgs& args);
+
+/// Harness-resilience knobs consumed by SweepRunner (harness/sweep.hpp):
+/// crash-safe journaling/resume, per-trial watchdog deadlines, and the
+/// retry/backoff/quarantine policy on top of them. Defined here, beside the
+/// other shared CLI surfaces, so every tool spells the flags identically.
+struct ResilienceOptions {
+  /// Journal file for crash-safe per-trial results; empty disables
+  /// journaling (and with it, resume).
+  std::string journal_path;
+  /// Open journal_path as an existing journal and skip every trial it
+  /// already holds, instead of truncating it. The journal's manifest
+  /// fingerprint must match this run's (JournalError with a manifest diff
+  /// otherwise) — trial seeds derive only from (master seed, trial index),
+  /// so the merged aggregates are byte-identical to an uninterrupted run.
+  bool resume = false;
+  /// Wall-clock budget per trial attempt (watchdog); 0 disables deadlines.
+  std::uint64_t trial_deadline_ms = 0;
+  /// Extra attempts for a deadline-killed trial before it is quarantined.
+  std::uint32_t retries = 0;
+  /// First retry sleeps this long; retry k sleeps backoff_ms << (k-1).
+  std::uint64_t backoff_ms = 25;
+  /// Also retry trials that censored (hit max_rounds) without a deadline
+  /// kill. Off by default: censoring is deterministic in the seed, so a
+  /// retry only helps when the censoring came from environmental load
+  /// interacting with a deadline, not from the simulation itself.
+  bool retry_censored = false;
+  /// Process-wide interrupt token (harness/interrupt.hpp interrupt_token());
+  /// null means SIGINT/SIGTERM are not observed cooperatively. Not a CLI
+  /// flag — tools set it after install_interrupt_handler().
+  const CancelToken* interrupt = nullptr;
+};
+
+/// Help-text fragment for the resilience flags.
+const char* resilience_flags_help();
+
+/// Consumes the shared resilience flags (--journal, --resume,
+/// --trial-deadline-ms, --retries, --backoff-ms, --retry-censored).
+/// Contradictions are rejected with a one-line std::invalid_argument:
+/// --journal with --resume (one file cannot be both fresh and resumed),
+/// --retries without --trial-deadline-ms (nothing would ever be retried),
+/// and --backoff-ms or --retry-censored without --retries (no retry budget
+/// to shape).
+ResilienceOptions parse_resilience_flags(const CliArgs& args);
 
 }  // namespace mtm

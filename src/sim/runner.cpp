@@ -9,7 +9,8 @@ namespace mtm {
 
 RunResult run_until_stabilized(
     Engine& engine, Round max_rounds,
-    const std::function<void(const Engine&)>& per_round) {
+    const std::function<void(const Engine&)>& per_round,
+    const TrialCancel* cancel) {
   MTM_REQUIRE(max_rounds >= 1);
   RunResult result;
   if (engine.protocol().stabilized()) {
@@ -18,6 +19,13 @@ RunResult run_until_stabilized(
     return result;
   }
   while (engine.rounds_executed() < max_rounds) {
+    // Cooperative cancellation boundary: a watchdog deadline or SIGINT stops
+    // the run between rounds, never inside one, so the engine's state and
+    // telemetry describe a whole number of completed rounds.
+    if (cancel != nullptr && cancel->cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     engine.step();
     // Contract: the observer sees every executed round's final state —
     // fire BEFORE deciding whether to exit so the stabilization round (and
@@ -34,6 +42,10 @@ RunResult run_until_stabilized(
   result.connections = engine.telemetry().connections();
   result.proposals = engine.telemetry().proposals();
   return result;
+}
+
+std::uint64_t trial_seed(std::uint64_t master, std::uint64_t trial) {
+  return derive_seed(master, {0x747269616cULL /*"trial"*/, trial});
 }
 
 std::vector<RunResult> run_trials(const TrialSpec& spec,
@@ -54,10 +66,9 @@ std::vector<RunResult> run_trials(const TrialSpec& spec,
   std::vector<RunResult> results(spec.controls.trials);
   parallel_for(spec.controls.threads, spec.controls.trials,
                [&](std::size_t trial) {
-    const std::uint64_t trial_seed =
-        derive_seed(spec.controls.seed, {0x747269616cULL /*"trial"*/, trial});
+    const std::uint64_t seed = trial_seed(spec.controls.seed, trial);
     const auto start = std::chrono::steady_clock::now();
-    results[trial] = body(trial_seed);
+    results[trial] = body(seed);
     if (trial_ms != nullptr) {
       const auto elapsed = std::chrono::steady_clock::now() - start;
       trial_ms->record(

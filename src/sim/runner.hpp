@@ -9,10 +9,27 @@
 #include <functional>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace mtm {
+
+/// The two cancellation sources a trial observes, combined into one view:
+/// a per-trial watchdog deadline (harness/watchdog.hpp) and the process-wide
+/// SIGINT/SIGTERM flag (harness/interrupt.hpp). Either token may be absent.
+struct TrialCancel {
+  const CancelToken* deadline = nullptr;   ///< watchdog deadline, optional
+  const CancelToken* interrupt = nullptr;  ///< process interrupt, optional
+
+  bool cancelled() const noexcept {
+    return (deadline != nullptr && deadline->cancelled()) ||
+           (interrupt != nullptr && interrupt->cancelled());
+  }
+  bool interrupted() const noexcept {
+    return interrupt != nullptr && interrupt->cancelled();
+  }
+};
 
 struct RunResult {
   /// First round at the end of which the protocol reported stabilized().
@@ -34,6 +51,10 @@ struct RunResult {
   /// hard safety violations and rounds spent with >= 2 leadership claimants.
   std::uint64_t invariant_violations = 0;
   std::uint64_t split_brain_rounds = 0;
+  /// True when the run exited early because a cancel token fired (watchdog
+  /// deadline or process interrupt) — checked between rounds, so the last
+  /// executed round is always complete. A cancelled run never converged.
+  bool cancelled = false;
 };
 
 /// Steps `engine` until stabilized() or `max_rounds` rounds have run.
@@ -41,9 +62,18 @@ struct RunResult {
 /// including the stabilization round's final state and the round in which
 /// `max_rounds` is exhausted — in every code path. (The trivial
 /// already-stable case executes zero rounds, so the observer never fires.)
+/// `cancel` (optional) is polled between rounds: once it reports cancelled
+/// the loop stops cleanly and the result carries cancelled = true.
 RunResult run_until_stabilized(
     Engine& engine, Round max_rounds,
-    const std::function<void(const Engine&)>& per_round = {});
+    const std::function<void(const Engine&)>& per_round = {},
+    const TrialCancel* cancel = nullptr);
+
+/// The seed of trial `trial` under master seed `master` — the single
+/// derivation shared by run_trials and the resumable SweepRunner
+/// (harness/sweep.hpp), so a journaled trial and a freshly run one can never
+/// disagree about which execution index `trial` names.
+std::uint64_t trial_seed(std::uint64_t master, std::uint64_t trial);
 
 /// The trial-control knobs shared by every Monte-Carlo entry point
 /// (TrialSpec, LeaderExperiment, RumorExperiment). One struct, one set of

@@ -75,5 +75,23 @@ TEST(CliArgs, U64RoundTrip) {
   EXPECT_EQ(args.get_u64("seed", 0), 12345678901234ull);
 }
 
+TEST(CliArgs, GetBoolAcceptsFlagAndSpelledValues) {
+  const CliArgs args = make_args(
+      {"--bare", "--yes=true", "--one=1", "--no=false", "--zero=0"});
+  EXPECT_TRUE(args.get_bool("bare", false));
+  EXPECT_TRUE(args.get_bool("yes", false));
+  EXPECT_TRUE(args.get_bool("one", false));
+  EXPECT_FALSE(args.get_bool("no", true));
+  EXPECT_FALSE(args.get_bool("zero", true));
+  EXPECT_TRUE(args.get_bool("absent", true));
+  EXPECT_FALSE(args.get_bool("absent", false));
+  EXPECT_NO_THROW(args.check_unused());  // get_bool consumes its key
+}
+
+TEST(CliArgs, GetBoolRejectsNonBooleanValues) {
+  const CliArgs args = make_args({"--flag=maybe"});
+  EXPECT_THROW(args.get_bool("flag", false), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace mtm

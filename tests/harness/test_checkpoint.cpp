@@ -1,0 +1,201 @@
+// TrialJournal: round-trip fidelity, checksum semantics (truncated tail
+// dropped, interior corruption refused), fingerprint keying, and the
+// atomic checkpoint squash.
+#include "harness/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace mtm {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+obs::RunManifest test_manifest(std::uint64_t seed = 7) {
+  obs::RunManifest manifest = obs::make_run_manifest("journal_test", seed, 2);
+  obs::JsonValue config = obs::JsonValue::object();
+  config.set("n", obs::JsonValue::unsigned_number(16));
+  manifest.config = std::move(config);
+  return manifest;
+}
+
+JournalRecord sample_record(std::uint64_t point, std::uint64_t trial) {
+  JournalRecord r;
+  r.point = point;
+  r.trial = trial;
+  r.seed = trial_seed(7, trial);
+  r.result.rounds = 10 + trial;
+  r.result.converged = true;
+  r.result.rounds_after_last_activation = 10 + trial;
+  r.result.connections = 100 * (trial + 1);
+  r.result.proposals = 200 * (trial + 1);
+  r.result.invariant_violations = 0;
+  r.result.split_brain_rounds = trial;
+  r.attempts = 1;
+  return r;
+}
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(JournalRecordLine, RoundTripsEveryField) {
+  JournalRecord r = sample_record(3, 5);
+  r.attempts = 4;
+  r.quarantined = true;
+  r.result.converged = false;
+  r.result.cancelled = true;  // not serialized: durable records are final
+  const JournalRecord back = parse_journal_record(journal_record_line(r));
+  EXPECT_EQ(back.point, r.point);
+  EXPECT_EQ(back.trial, r.trial);
+  EXPECT_EQ(back.seed, r.seed);
+  EXPECT_EQ(back.result.rounds, r.result.rounds);
+  EXPECT_EQ(back.result.converged, r.result.converged);
+  EXPECT_EQ(back.result.connections, r.result.connections);
+  EXPECT_EQ(back.result.proposals, r.result.proposals);
+  EXPECT_EQ(back.result.split_brain_rounds, r.result.split_brain_rounds);
+  EXPECT_EQ(back.attempts, r.attempts);
+  EXPECT_EQ(back.quarantined, r.quarantined);
+}
+
+TEST(JournalRecordLine, RejectsTamperedLine) {
+  std::string line = journal_record_line(sample_record(0, 1));
+  // Flip the rounds value without recomputing the checksum.
+  const std::size_t pos = line.find("\"rounds\":");
+  ASSERT_NE(pos, std::string::npos);
+  line[pos + 10] = line[pos + 10] == '9' ? '8' : '9';
+  EXPECT_THROW(parse_journal_record(line), JournalError);
+}
+
+TEST(TrialJournal, CreateAppendLoadRoundTrip) {
+  const std::string path = temp_path("journal_roundtrip.jsonl");
+  const obs::RunManifest manifest = test_manifest();
+  {
+    TrialJournal journal = TrialJournal::create(path, manifest);
+    journal.append(sample_record(0, 0));
+    journal.append(sample_record(0, 1));
+    journal.append(sample_record(1, 0));
+  }
+  const TrialJournal::Contents contents = TrialJournal::load(path);
+  EXPECT_EQ(contents.fingerprint,
+            obs::manifest_fingerprint(manifest.to_json()));
+  ASSERT_EQ(contents.records.size(), 3u);
+  EXPECT_EQ(contents.records[0].trial, 0u);
+  EXPECT_EQ(contents.records[1].trial, 1u);
+  EXPECT_EQ(contents.records[2].point, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TrialJournal, TruncatedTailIsDroppedOnLoad) {
+  const std::string path = temp_path("journal_truncated.jsonl");
+  {
+    TrialJournal journal = TrialJournal::create(path, test_manifest());
+    journal.append(sample_record(0, 0));
+    journal.append(sample_record(0, 1));
+  }
+  // Simulate a kill mid-append: chop the last line in half.
+  std::string text = read_all(path);
+  text.resize(text.size() - text.size() / 6);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  const TrialJournal::Contents contents = TrialJournal::load(path);
+  ASSERT_EQ(contents.records.size(), 1u);
+  EXPECT_EQ(contents.records[0].trial, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TrialJournal, InteriorCorruptionRefusesToLoad) {
+  const std::string path = temp_path("journal_interior.jsonl");
+  {
+    TrialJournal journal = TrialJournal::create(path, test_manifest());
+    journal.append(sample_record(0, 0));
+    journal.append(sample_record(0, 1));
+  }
+  // Damage the FIRST record (line 2) while the tail stays valid: this is
+  // post-hoc file damage, not an interrupted append, and silently skipping
+  // it would shift every aggregate.
+  std::string text = read_all(path);
+  const std::size_t line2 = text.find('\n') + 1;
+  const std::size_t pos = text.find("\"seed\":", line2);
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 7] = text[pos + 7] == '1' ? '2' : '1';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  EXPECT_THROW(TrialJournal::load(path), JournalError);
+  std::remove(path.c_str());
+}
+
+TEST(TrialJournal, CorruptHeaderIsUnrecoverable) {
+  const std::string path = temp_path("journal_header.jsonl");
+  {
+    TrialJournal journal = TrialJournal::create(path, test_manifest());
+    journal.append(sample_record(0, 0));
+  }
+  std::string text = read_all(path);
+  text[text.find("fingerprint") + 14] = '!';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  EXPECT_THROW(TrialJournal::load(path), JournalError);
+  std::remove(path.c_str());
+}
+
+TEST(TrialJournal, OpenRejectsMismatchedManifestWithDiff) {
+  const std::string path = temp_path("journal_mismatch.jsonl");
+  { TrialJournal::create(path, test_manifest(7)); }
+  const obs::RunManifest other = test_manifest(8);  // different seed
+  try {
+    TrialJournal::open(path, &other);
+    FAIL() << "expected JournalError";
+  } catch (const JournalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fingerprint mismatch"), std::string::npos);
+    // The error must carry the manifest diff, not just the hashes.
+    EXPECT_NE(what.find("\"seed\": 7"), std::string::npos);
+    EXPECT_NE(what.find("\"seed\": 8"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TrialJournal, OpenSquashesTruncatedTailAndAppends) {
+  const std::string path = temp_path("journal_reopen.jsonl");
+  const obs::RunManifest manifest = test_manifest();
+  {
+    TrialJournal journal = TrialJournal::create(path, manifest);
+    journal.append(sample_record(0, 0));
+    journal.append(sample_record(0, 1));
+  }
+  std::string text = read_all(path);
+  text.resize(text.size() - 5);  // wound the tail record
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  {
+    TrialJournal journal = TrialJournal::open(path, &manifest);
+    ASSERT_EQ(journal.records().size(), 1u);  // tail dropped
+    journal.append(sample_record(0, 1));      // re-run lands again
+    journal.checkpoint();
+  }
+  const TrialJournal::Contents contents = TrialJournal::load(path);
+  ASSERT_EQ(contents.records.size(), 2u);
+  EXPECT_EQ(contents.records[1].trial, 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mtm

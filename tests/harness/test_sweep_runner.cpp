@@ -1,0 +1,218 @@
+// SweepRunner: resume merges journaled trials byte-identically, watchdog
+// deadlines retry then quarantine without stalling sibling trials, the
+// interrupt token stops the sweep without journaling incomplete work, and
+// journal seeds match the run_trials derivation.
+#include "harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mtm {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+obs::RunManifest sweep_manifest(std::uint64_t seed = 11) {
+  obs::RunManifest manifest = obs::make_run_manifest("sweep_test", seed, 1);
+  obs::JsonValue config = obs::JsonValue::object();
+  config.set("kind", obs::JsonValue::string("synthetic"));
+  manifest.config = std::move(config);
+  return manifest;
+}
+
+/// Deterministic synthetic trial: every field a pure function of the seed,
+/// so resumed and fresh executions are trivially comparable.
+RunResult synthetic_result(std::uint64_t seed) {
+  RunResult r;
+  r.rounds = seed % 97 + 1;
+  r.converged = true;
+  r.rounds_after_last_activation = r.rounds;
+  r.connections = seed % 31;
+  r.proposals = seed % 17;
+  return r;
+}
+
+std::vector<SweepPoint> synthetic_points(std::size_t points,
+                                         std::size_t trials,
+                                         std::uint64_t master) {
+  std::vector<SweepPoint> out;
+  for (std::size_t p = 0; p < points; ++p) {
+    SweepPoint point;
+    point.label = "p" + std::to_string(p);
+    point.trials = trials;
+    point.master_seed = master + p;
+    point.body = [](std::uint64_t seed, const TrialCancel*) {
+      return synthetic_result(seed);
+    };
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+void expect_same_results(const SweepReport& a, const SweepReport& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    ASSERT_EQ(a.points[p].size(), b.points[p].size());
+    for (std::size_t t = 0; t < a.points[p].size(); ++t) {
+      const RunResult& x = a.points[p][t];
+      const RunResult& y = b.points[p][t];
+      EXPECT_EQ(x.rounds, y.rounds) << "point " << p << " trial " << t;
+      EXPECT_EQ(x.converged, y.converged);
+      EXPECT_EQ(x.connections, y.connections);
+      EXPECT_EQ(x.proposals, y.proposals);
+    }
+  }
+}
+
+TEST(SweepRunner, RunsWithoutJournalAndMatchesTrialSeedDerivation) {
+  SweepRunner runner(sweep_manifest(), ResilienceOptions{});
+  std::vector<SweepPoint> points = synthetic_points(2, 4, 50);
+  const SweepReport report = runner.run(points, 2);
+  ASSERT_EQ(report.points.size(), 2u);
+  EXPECT_FALSE(report.interrupted);
+  EXPECT_EQ(report.executed_trials, 8u);
+  EXPECT_EQ(report.resumed_trials, 0u);
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      // The exact derivation run_trials uses — a journaled trial and a
+      // freshly run one can never disagree about what trial t means.
+      EXPECT_EQ(report.points[p][t].rounds,
+                synthetic_result(trial_seed(50 + p, t)).rounds);
+    }
+  }
+}
+
+TEST(SweepRunner, InterruptStopsEarlyAndResumeIsByteIdentical) {
+  const std::string journal = temp_path("sweep_resume.jsonl");
+  const obs::RunManifest manifest = sweep_manifest();
+
+  // Control: one uninterrupted run, no journal.
+  SweepRunner control(manifest, ResilienceOptions{});
+  const SweepReport full = control.run(synthetic_points(3, 4, 100), 1);
+  ASSERT_EQ(full.points.size(), 3u);
+
+  // Interrupted run: the "user" hits Ctrl-C inside point 1, trial 2.
+  CancelToken interrupt;
+  std::atomic<std::size_t> executed{0};
+  std::vector<SweepPoint> points = synthetic_points(3, 4, 100);
+  for (SweepPoint& point : points) {
+    point.body = [&](std::uint64_t seed, const TrialCancel* cancel) {
+      if (executed.fetch_add(1) == 5) interrupt.cancel();
+      if (cancel != nullptr && cancel->cancelled()) {
+        RunResult r;
+        r.cancelled = true;
+        return r;
+      }
+      return synthetic_result(seed);
+    };
+  }
+  ResilienceOptions interrupted_options;
+  interrupted_options.journal_path = journal;
+  interrupted_options.interrupt = &interrupt;
+  SweepRunner interrupted(manifest, interrupted_options);
+  const SweepReport partial = interrupted.run(points, 1);
+  EXPECT_TRUE(partial.interrupted);
+  ASSERT_LT(partial.points.size(), 3u);  // only fully completed points
+  // The journal holds every COMPLETED trial and nothing half-done.
+  const TrialJournal::Contents contents = TrialJournal::load(journal);
+  EXPECT_GE(contents.records.size(), 4u);
+  EXPECT_LT(contents.records.size(), 12u);
+
+  // Resume: merged aggregates must be identical to the uninterrupted run.
+  ResilienceOptions resume_options;
+  resume_options.journal_path = journal;
+  resume_options.resume = true;
+  SweepRunner resumed(manifest, resume_options);
+  const SweepReport rest = resumed.run(synthetic_points(3, 4, 100), 1);
+  EXPECT_FALSE(rest.interrupted);
+  EXPECT_EQ(rest.resumed_trials, contents.records.size());
+  EXPECT_EQ(rest.resumed_trials + rest.executed_trials, 12u);
+  expect_same_results(full, rest);
+  std::remove(journal.c_str());
+}
+
+TEST(SweepRunner, DeadlineRetriesThenQuarantinesWithoutStallingSiblings) {
+  const obs::RunManifest manifest = sweep_manifest();
+  ResilienceOptions options;
+  options.trial_deadline_ms = 25;
+  options.retries = 2;
+  options.backoff_ms = 1;
+  SweepRunner runner(manifest, options);
+
+  const std::uint64_t master = 77;
+  const std::uint64_t stuck_seed = trial_seed(master, 1);
+  SweepPoint point;
+  point.label = "quarantine";
+  point.trials = 3;
+  point.master_seed = master;
+  point.body = [&](std::uint64_t seed, const TrialCancel* cancel) {
+    if (seed == stuck_seed) {
+      // A wedged trial: spins until the watchdog evicts it, every attempt.
+      while (cancel == nullptr || !cancel->cancelled()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      RunResult r;
+      r.cancelled = true;
+      return r;
+    }
+    return synthetic_result(seed);
+  };
+  const SweepReport report = runner.run({point}, 2);
+  ASSERT_EQ(report.points.size(), 1u);
+  EXPECT_FALSE(report.interrupted);
+  // Siblings completed normally around the stuck trial.
+  EXPECT_TRUE(report.points[0][0].converged);
+  EXPECT_TRUE(report.points[0][2].converged);
+  // The stuck trial is censored, retried to exhaustion, and quarantined.
+  EXPECT_FALSE(report.points[0][1].converged);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].seed, stuck_seed);
+  EXPECT_EQ(report.quarantined[0].attempts, 3u);  // 1 initial + 2 retries
+  EXPECT_EQ(report.retried_trials, 1u);
+  EXPECT_EQ(report.quarantined_seeds(), std::vector<std::uint64_t>{stuck_seed});
+}
+
+TEST(SweepRunner, ResumedQuarantineIsNotReexecuted) {
+  const std::string journal = temp_path("sweep_quarantine.jsonl");
+  const obs::RunManifest manifest = sweep_manifest();
+  {
+    TrialJournal j = TrialJournal::create(journal, manifest);
+    JournalRecord rec;
+    rec.point = 0;
+    rec.trial = 0;
+    rec.seed = trial_seed(5, 0);
+    rec.result.converged = false;
+    rec.attempts = 3;
+    rec.quarantined = true;
+    j.append(rec);
+  }
+  ResilienceOptions options;
+  options.journal_path = journal;
+  options.resume = true;
+  SweepRunner runner(manifest, options);
+  std::atomic<std::size_t> executed{0};
+  SweepPoint point;
+  point.trials = 2;
+  point.master_seed = 5;
+  point.body = [&](std::uint64_t seed, const TrialCancel*) {
+    ++executed;
+    return synthetic_result(seed);
+  };
+  const SweepReport report = runner.run({point}, 1);
+  EXPECT_EQ(executed.load(), 1u);  // only the missing trial ran
+  EXPECT_EQ(report.resumed_trials, 1u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].attempts, 3u);
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace mtm

@@ -1,0 +1,64 @@
+// TrialWatchdog: deadlines cancel armed leases, disarm prevents firing,
+// slots are pooled across sequential leases, and a disabled watchdog hands
+// out inert leases.
+#include "harness/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace mtm {
+namespace {
+
+TEST(TrialWatchdog, DisabledWatchdogHandsOutInertLeases) {
+  TrialWatchdog watchdog(WatchdogOptions{0, 1});
+  EXPECT_FALSE(watchdog.enabled());
+  TrialWatchdog::Lease lease = watchdog.arm();
+  EXPECT_EQ(lease.token(), nullptr);
+  EXPECT_FALSE(lease.expired());
+}
+
+TEST(TrialWatchdog, DeadlineCancelsTheToken) {
+  TrialWatchdog watchdog(WatchdogOptions{/*deadline_ms=*/20, /*poll_ms=*/2});
+  TrialWatchdog::Lease lease = watchdog.arm();
+  ASSERT_NE(lease.token(), nullptr);
+  EXPECT_FALSE(lease.token()->cancelled());
+  // Poll like a trial would; generous bound so slow CI cannot flake.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!lease.expired() && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(lease.expired());
+}
+
+TEST(TrialWatchdog, DisarmedLeaseNeverFires) {
+  TrialWatchdog watchdog(WatchdogOptions{/*deadline_ms=*/10, /*poll_ms=*/2});
+  { TrialWatchdog::Lease lease = watchdog.arm(); }  // disarmed immediately
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // A fresh lease reuses the pooled slot; its token must have been reset
+  // even though the old deadline has long passed.
+  TrialWatchdog::Lease lease = watchdog.arm();
+  ASSERT_NE(lease.token(), nullptr);
+  EXPECT_FALSE(lease.token()->cancelled());
+}
+
+TEST(TrialWatchdog, MoveTransfersOwnership) {
+  TrialWatchdog watchdog(WatchdogOptions{/*deadline_ms=*/5000, /*poll_ms=*/5});
+  TrialWatchdog::Lease a = watchdog.arm();
+  const CancelToken* token = a.token();
+  TrialWatchdog::Lease b = std::move(a);
+  EXPECT_EQ(a.token(), nullptr);  // NOLINT(bugprone-use-after-move): contract
+  EXPECT_EQ(b.token(), token);
+}
+
+TEST(TrialWatchdog, ConcurrentLeasesGetIndependentTokens) {
+  TrialWatchdog watchdog(WatchdogOptions{/*deadline_ms=*/5000, /*poll_ms=*/5});
+  TrialWatchdog::Lease a = watchdog.arm();
+  TrialWatchdog::Lease b = watchdog.arm();
+  EXPECT_NE(a.token(), b.token());
+}
+
+}  // namespace
+}  // namespace mtm

@@ -166,5 +166,67 @@ TEST(BenchReportValidation, TextEntryPointReportsParseErrors) {
   EXPECT_EQ(errors.front().rfind("parse:", 0), 0u);
 }
 
+TEST(BenchReport, ResilienceEchoEmittedOnlyWhenEnabled) {
+  BenchReport report;
+  report.name = "soak";
+  report.manifest = make_run_manifest("mtm_soak", 1, 1);
+  // Disabled (the default): plain benches keep their old shape exactly.
+  EXPECT_EQ(report.to_json().find("partial"), nullptr);
+
+  report.resilience.enabled = true;
+  report.resilience.partial = true;
+  report.resilience.resumed_trials = 5;
+  report.resilience.trials_recorded = 12;
+  report.resilience.quarantined_seeds = {0xdeadull, 0xbeefull};
+  report.resilience.journal_fingerprint = "0123456789abcdef";
+  const JsonValue doc = report.to_json();
+  EXPECT_TRUE(validate_bench_report(doc).empty());
+  EXPECT_TRUE(doc.find("partial")->as_bool());
+  EXPECT_EQ(doc.find("resumed_trials")->as_u64(), 5u);
+  EXPECT_EQ(doc.find("trials_recorded")->as_u64(), 12u);
+  ASSERT_EQ(doc.find("quarantined_seeds")->size(), 2u);
+  EXPECT_EQ(doc.find("quarantined_seeds")->at(0).as_u64(), 0xdeadull);
+  EXPECT_EQ(doc.find("journal_fingerprint")->as_string(),
+            "0123456789abcdef");
+}
+
+TEST(BenchReportValidation, PartialRequiresCompanionFields) {
+  BenchReport base;
+  base.name = "soak";
+  base.manifest = make_run_manifest("mtm_soak", 1, 1);
+  JsonValue doc = base.to_json();
+  // A report claiming partiality without its trial accounting is unusable
+  // for the resume-diff CI check.
+  doc.set("partial", JsonValue::boolean(true));
+  const auto errors = validate_bench_report(doc);
+  EXPECT_TRUE(has_violation(errors, "resumed_trials"));
+  EXPECT_TRUE(has_violation(errors, "trials_recorded"));
+  EXPECT_TRUE(has_violation(errors, "quarantined_seeds"));
+}
+
+TEST(BenchReportValidation, ResilienceFieldTypesAreChecked) {
+  BenchReport base;
+  base.name = "soak";
+  base.manifest = make_run_manifest("mtm_soak", 1, 1);
+  base.resilience.enabled = true;
+  base.resilience.journal_fingerprint = "0123456789abcdef";
+
+  JsonValue bad_partial = base.to_json();
+  bad_partial.set("partial", JsonValue::string("yes"));
+  EXPECT_TRUE(has_violation(validate_bench_report(bad_partial), "partial"));
+
+  JsonValue bad_seeds = base.to_json();
+  JsonValue seeds = JsonValue::array();
+  seeds.push_back(JsonValue::string("not-a-seed"));
+  bad_seeds.set("quarantined_seeds", std::move(seeds));
+  EXPECT_TRUE(has_violation(validate_bench_report(bad_seeds),
+                            "quarantined_seeds[0]"));
+
+  JsonValue bad_fp = base.to_json();
+  bad_fp.set("journal_fingerprint", JsonValue::string("xyz"));
+  EXPECT_TRUE(
+      has_violation(validate_bench_report(bad_fp), "journal_fingerprint"));
+}
+
 }  // namespace
 }  // namespace mtm::obs

@@ -148,5 +148,55 @@ TEST(FaultCli, EnumSpellingsRoundTrip) {
   EXPECT_THROW(parse_byz_behavior("gremlin"), std::invalid_argument);
 }
 
+TEST(ResilienceCli, DefaultsAreAllOff) {
+  const ResilienceOptions options = parse_resilience_flags(make_args({}));
+  EXPECT_TRUE(options.journal_path.empty());
+  EXPECT_FALSE(options.resume);
+  EXPECT_EQ(options.trial_deadline_ms, 0u);
+  EXPECT_EQ(options.retries, 0u);
+  EXPECT_FALSE(options.retry_censored);
+}
+
+TEST(ResilienceCli, FullFlagSetParses) {
+  const CliArgs args = make_args(
+      {"--resume=run.journal", "--trial-deadline-ms=500", "--retries=3",
+       "--backoff-ms=10", "--retry-censored"});
+  const ResilienceOptions options = parse_resilience_flags(args);
+  EXPECT_EQ(options.journal_path, "run.journal");
+  EXPECT_TRUE(options.resume);
+  EXPECT_EQ(options.trial_deadline_ms, 500u);
+  EXPECT_EQ(options.retries, 3u);
+  EXPECT_EQ(options.backoff_ms, 10u);
+  EXPECT_TRUE(options.retry_censored);
+  args.check_unused();
+}
+
+TEST(ResilienceCli, JournalFlagStartsFresh) {
+  const ResilienceOptions options =
+      parse_resilience_flags(make_args({"--journal=run.journal"}));
+  EXPECT_EQ(options.journal_path, "run.journal");
+  EXPECT_FALSE(options.resume);
+}
+
+TEST(ResilienceCli, ContradictionsAreRejected) {
+  // One file cannot be both freshly created and resumed.
+  EXPECT_THROW(parse_resilience_flags(
+                   make_args({"--journal=a.jsonl", "--resume=b.jsonl"})),
+               std::invalid_argument);
+  // Retries without a deadline would never trigger.
+  EXPECT_THROW(parse_resilience_flags(make_args({"--retries=2"})),
+               std::invalid_argument);
+  // Backoff / retry-censored without a retry budget to shape.
+  EXPECT_THROW(parse_resilience_flags(make_args({"--backoff-ms=10"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_resilience_flags(make_args({"--retry-censored"})),
+               std::invalid_argument);
+  // Empty paths are dropped flags, not journals.
+  EXPECT_THROW(parse_resilience_flags(make_args({"--resume="})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_resilience_flags(make_args({"--journal="})),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace mtm

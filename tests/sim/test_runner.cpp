@@ -253,6 +253,53 @@ TEST(RoundsOf, ErrorPointsAtTheCensoringAwareAlternative) {
   }
 }
 
+TEST(Runner, CancelTokenStopsBetweenRounds) {
+  StaticGraphProvider topo(make_clique(16));
+  BlindGossip proto(BlindGossip::shuffled_uids(16, 3));
+  EngineConfig cfg;
+  cfg.seed = 3;
+  Engine engine(topo, proto, cfg);
+  CancelToken deadline;
+  TrialCancel cancel;
+  cancel.deadline = &deadline;
+  // Cancel after the second round via the per-round observer; the loop must
+  // notice at the next between-round boundary and stop with a clean state.
+  const RunResult result = run_until_stabilized(
+      engine, 10000,
+      [&](const Engine& e) {
+        if (e.rounds_executed() == 2) deadline.cancel();
+      },
+      &cancel);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.rounds, 2u);
+  EXPECT_EQ(result.rounds, engine.rounds_executed());  // whole rounds only
+}
+
+TEST(Runner, PreCancelledTokenExecutesNoRounds) {
+  StaticGraphProvider topo(make_clique(8));
+  BlindGossip proto(BlindGossip::shuffled_uids(8, 5));
+  EngineConfig cfg;
+  cfg.seed = 5;
+  Engine engine(topo, proto, cfg);
+  CancelToken interrupt;
+  interrupt.cancel();
+  TrialCancel cancel;
+  cancel.interrupt = &interrupt;
+  const RunResult result = run_until_stabilized(engine, 10000, {}, &cancel);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_TRUE(cancel.interrupted());
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(TrialSeed, MatchesDeriveSeedTagForever) {
+  // The derivation is shared by run_trials and SweepRunner resume; changing
+  // it would silently disown every journal on disk.
+  EXPECT_EQ(trial_seed(42, 7), derive_seed(42, {0x747269616cULL, 7}));
+  EXPECT_NE(trial_seed(42, 7), trial_seed(42, 8));
+  EXPECT_NE(trial_seed(42, 7), trial_seed(43, 7));
+}
+
 TEST(Runner, RoundsAfterLastActivation) {
   StaticGraphProvider topo(make_clique(6));
   BlindGossip proto(BlindGossip::shuffled_uids(6, 9));

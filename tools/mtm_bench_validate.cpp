@@ -3,6 +3,8 @@
 // Examples:
 //   mtm_bench_validate BENCH_engine_throughput.json
 //   mtm_bench_validate BENCH_*.json        (shell-expanded; all must pass)
+//   mtm_bench_validate --journal=soak.journal BENCH_soak.json
+//   mtm_bench_validate --same-aggregates control.json resumed.json
 //   mtm_bench_validate --help
 //
 // Exit status: 0 when every file validates against the mtm-bench/1 schema
@@ -13,36 +15,116 @@
 #include <string>
 #include <vector>
 
+#include "harness/checkpoint.hpp"
 #include "obs/bench_report.hpp"
 
 namespace {
 
 constexpr const char* kUsage = R"(mtm_bench_validate: bench JSON schema checker
 
-usage: mtm_bench_validate FILE...
+usage: mtm_bench_validate [--journal=PATH] FILE...
+       mtm_bench_validate --same-aggregates FILE_A FILE_B
 
 Validates each FILE against the unified bench-output schema (mtm-bench/1):
-schema/name/manifest/series are required; phases, metrics and extra are
-optional but type-checked. Prints every violation and exits non-zero if
-any file fails.
+schema/name/manifest/series are required; phases, metrics, extra and the
+resilience echo (partial / resumed_trials / trials_recorded /
+quarantined_seeds / journal_fingerprint) are optional but type-checked.
+
+--journal=PATH cross-checks each FILE against a trial journal
+(mtm-journal/1): the report's journal_fingerprint and trials_recorded must
+match the journal's header fingerprint and record count — a mismatch means
+the report and journal describe different runs, and the tool hard-fails.
+
+--same-aggregates compares the deterministic sections of two reports
+(manifest, series, extra) and fails when they differ — the resume-smoke CI
+check that an interrupted-then-resumed sweep reproduced the uninterrupted
+control byte-for-byte. Wall-clock sections (phases, metrics) and the
+resilience counters are excluded: they legitimately differ across runs.
+
+Prints every violation and exits non-zero if any check fails.
 )";
 
-int validate_file(const std::string& path) {
+std::string read_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) {
-    std::cerr << path << ": cannot open\n";
-    return 1;
-  }
+  if (!in) throw std::runtime_error(path + ": cannot open");
   std::ostringstream text;
   text << in.rdbuf();
-  const std::vector<std::string> errors =
-      mtm::obs::validate_bench_report_text(text.str());
-  if (errors.empty()) {
-    std::cout << path << ": ok\n";
-    return 0;
+  return text.str();
+}
+
+int validate_file(const std::string& path, const std::string& journal_path) {
+  std::string text;
+  try {
+    text = read_file(path);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
   }
-  for (const std::string& error : errors) {
-    std::cerr << path << ": " << error << "\n";
+  const std::vector<std::string> errors =
+      mtm::obs::validate_bench_report_text(text);
+  if (!errors.empty()) {
+    for (const std::string& error : errors) {
+      std::cerr << path << ": " << error << "\n";
+    }
+    return 1;
+  }
+  if (!journal_path.empty()) {
+    try {
+      const mtm::TrialJournal::Contents journal =
+          mtm::TrialJournal::load(journal_path);
+      const mtm::obs::JsonValue doc = mtm::obs::parse_json(text);
+      const mtm::obs::JsonValue* fp = doc.find("journal_fingerprint");
+      if (fp == nullptr || !fp->is_string() ||
+          fp->as_string() != journal.fingerprint) {
+        std::cerr << path << ": journal_fingerprint does not match "
+                  << journal_path << " (" << journal.fingerprint << ")\n";
+        return 1;
+      }
+      const mtm::obs::JsonValue* recorded = doc.find("trials_recorded");
+      const std::uint64_t journal_count = journal.records.size();
+      if (recorded == nullptr ||
+          recorded->kind() != mtm::obs::JsonValue::Kind::kUnsigned ||
+          recorded->as_u64() != journal_count) {
+        std::cerr << path << ": trials_recorded disagrees with " << journal_path
+                  << " (journal holds " << journal_count << " record(s))\n";
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << journal_path << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+  std::cout << path << ": ok\n";
+  return 0;
+}
+
+/// Compact dump of one deterministic section ("" when absent).
+std::string section_dump(const mtm::obs::JsonValue& doc, const char* key) {
+  const mtm::obs::JsonValue* v = doc.find(key);
+  return v == nullptr ? std::string() : v->dump();
+}
+
+int same_aggregates(const std::string& path_a, const std::string& path_b) {
+  mtm::obs::JsonValue a = mtm::obs::JsonValue::object();
+  mtm::obs::JsonValue b = mtm::obs::JsonValue::object();
+  try {
+    a = mtm::obs::parse_json(read_file(path_a));
+    b = mtm::obs::parse_json(read_file(path_b));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  int failures = 0;
+  for (const char* key : {"manifest", "series", "extra"}) {
+    if (section_dump(a, key) != section_dump(b, key)) {
+      std::cerr << "aggregate section \"" << key << "\" differs between "
+                << path_a << " and " << path_b << "\n";
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::cout << path_a << " and " << path_b << ": aggregates identical\n";
+    return 0;
   }
   return 1;
 }
@@ -51,19 +133,39 @@ int validate_file(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> files;
+  std::string journal_path;
+  bool compare = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::cout << kUsage;
       return 0;
     }
+    if (arg.rfind("--journal=", 0) == 0) {
+      journal_path = arg.substr(10);
+      continue;
+    }
+    if (arg == "--same-aggregates") {
+      compare = true;
+      continue;
+    }
     files.push_back(arg);
+  }
+  if (compare) {
+    if (files.size() != 2 || !journal_path.empty()) {
+      std::cerr << "--same-aggregates takes exactly two report files\n"
+                << kUsage;
+      return 1;
+    }
+    return same_aggregates(files[0], files[1]);
   }
   if (files.empty()) {
     std::cerr << kUsage;
     return 1;
   }
   int failures = 0;
-  for (const std::string& file : files) failures += validate_file(file);
+  for (const std::string& file : files) {
+    failures += validate_file(file, journal_path);
+  }
   return failures == 0 ? 0 : 1;
 }
