@@ -83,9 +83,9 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
   std::exception_ptr first_error;
-  std::atomic<std::size_t> remaining{workers};
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  std::size_t remaining = workers;  // guarded by done_mutex
 
   for (std::size_t w = 0; w < workers; ++w) {
     pool.submit([&] {
@@ -99,15 +99,19 @@ void parallel_for(ThreadPool& pool, std::size_t count,
           if (!first_error) first_error = std::current_exception();
         }
       }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_all();
-      }
+      // The whole completion signal lives under done_mutex: the waiter can
+      // only observe remaining == 0 after this critical section ends, so
+      // it cannot return (destroying the stack-local mutex and cv) while a
+      // worker still touches them. With the old atomic countdown a
+      // spurious wakeup could see 0 before the last worker reached
+      // notify_all on the soon-to-be-dead cv.
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (--remaining == 0) done_cv.notify_all();
     });
   }
   {
     std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+    done_cv.wait(lock, [&] { return remaining == 0; });
   }
   if (first_error) std::rethrow_exception(first_error);
 }

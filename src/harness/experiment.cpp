@@ -149,6 +149,7 @@ RunResult run_leader_trial(const LeaderExperiment& spec, std::uint64_t seed,
   cfg.seed = seed;
   cfg.activation_rounds = spec.activation_rounds;
   cfg.connection_failure_prob = spec.controls.connection_failure_prob;
+  cfg.intra_round_threads = spec.controls.engine_threads;
   if (spec.controls.faults.enabled())
     cfg.faults = trial_faults(spec.controls.faults, seed);
   if (spec.byzantine.enabled())
@@ -218,6 +219,7 @@ RunResult run_rumor_trial(const RumorExperiment& spec, std::uint64_t seed,
   cfg.classical_mode = classical;
   cfg.seed = seed;
   cfg.connection_failure_prob = spec.controls.connection_failure_prob;
+  cfg.intra_round_threads = spec.controls.engine_threads;
   if (spec.controls.faults.enabled())
     cfg.faults = trial_faults(spec.controls.faults, seed);
   Engine engine(*topology, *protocol, cfg);

@@ -11,6 +11,8 @@ const char* phase_name(Phase phase) {
     case Phase::kResolve: return "resolve";
     case Phase::kExchange: return "exchange";
     case Phase::kFinish: return "finish";
+    case Phase::kShardBuild: return "shard.build";
+    case Phase::kShardReduce: return "shard.reduce";
   }
   return "?";
 }

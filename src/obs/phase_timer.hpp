@@ -12,8 +12,12 @@
 // state, and never appears in trace events or golden pins. Attaching or
 // detaching a profile cannot change any simulation result.
 //
-// PhaseProfile is not thread-safe: use one profile per engine (engines are
-// single-threaded; parallelism in this codebase is across trials).
+// PhaseProfile is not thread-safe: use one profile per writer. A sharded
+// engine (EngineConfig::intra_round_threads > 1) keeps one private profile
+// per shard for the per-node scan/decide timers and merges them into the
+// attached profile at phase barriers, so parallel totals are summed CPU
+// time while coordinator-level phases remain wall time (see
+// docs/OBSERVABILITY.md).
 #pragma once
 
 #include <array>
@@ -32,9 +36,15 @@ enum class Phase : std::uint8_t {
   kResolve,  ///< proposal resolution into connections
   kExchange, ///< payload exchange over established connections
   kFinish,   ///< end-of-round protocol hooks
+  // Sharded-execution phases, recorded only when the engine runs with
+  // intra-round parallelism (EngineConfig::intra_round_threads > 1); both
+  // stay zero in sequential runs, where their work is billed to kResolve
+  // exactly as before.
+  kShardBuild,   ///< engine.shard.build — deterministic CSR inbox assembly
+  kShardReduce,  ///< engine.shard.reduce — sequential cross-shard reduction
 };
 
-inline constexpr std::size_t kPhaseCount = 7;
+inline constexpr std::size_t kPhaseCount = 9;
 
 const char* phase_name(Phase phase);
 

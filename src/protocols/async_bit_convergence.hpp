@@ -53,6 +53,9 @@ class AsyncBitConvergence final : public LeaderElectionProtocol {
   void receive_payload(NodeId u, NodeId peer, const Payload& payload,
                        Round local_round) override;
   bool stabilized() const override;
+  /// Phase callbacks touch only u-indexed state (or are pure): safe
+  /// for the engine's intra-round sharding.
+  bool parallel_phases_safe() const override { return true; }
 
   Uid leader_of(NodeId u) const override;
   IdPair smallest_pair(NodeId u) const;

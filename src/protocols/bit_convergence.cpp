@@ -63,9 +63,16 @@ void BitConvergence::adopt_phase_start(NodeId u, Round local_round) {
   //  leader ← Î_u."
   smallest_[u] = buffer_[u];
   if (leader_[u] != smallest_[u].uid) {
-    if (leader_[u] == min_pair_.uid) --leaders_at_min_;
+    // Runs inside advertise(), possibly concurrently for distinct u:
+    // relaxed is enough, the tally is an order-independent sum read only
+    // at phase barriers.
+    if (leader_[u] == min_pair_.uid) {
+      leaders_at_min_.fetch_sub(1, std::memory_order_relaxed);
+    }
     leader_[u] = smallest_[u].uid;
-    if (leader_[u] == min_pair_.uid) ++leaders_at_min_;
+    if (leader_[u] == min_pair_.uid) {
+      leaders_at_min_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -123,7 +130,8 @@ void BitConvergence::receive_payload(NodeId u, NodeId /*peer*/,
 bool BitConvergence::stabilized() const {
   // Once every buffer holds the global minimum pair and every leader
   // variable equals its UID, no leader can ever change again.
-  return buffers_at_min_ == node_count_ && leaders_at_min_ == node_count_;
+  return buffers_at_min_ == node_count_ &&
+         leaders_at_min_.load(std::memory_order_relaxed) == node_count_;
 }
 
 Uid BitConvergence::leader_of(NodeId u) const {

@@ -16,6 +16,7 @@
 // where τ̂ = min(τ, log Δ).
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "sim/protocol.hpp"
@@ -67,6 +68,10 @@ class BitConvergence final : public LeaderElectionProtocol {
   void receive_payload(NodeId u, NodeId peer, const Payload& payload,
                        Round local_round) override;
   bool stabilized() const override;
+  /// advertise() mutates only u-indexed state plus the relaxed-atomic
+  /// leaders-at-min tally (order-independent sum); decide() is pure per
+  /// node. Safe for the engine's intra-round sharding.
+  bool parallel_phases_safe() const override { return true; }
 
   Uid leader_of(NodeId u) const override;
   /// u's phase-locked smallest ID pair (Î_u, t̂_u).
@@ -92,7 +97,10 @@ class BitConvergence final : public LeaderElectionProtocol {
   std::vector<Uid> leader_;
   IdPair min_pair_{};
   NodeId buffers_at_min_ = 0;
-  NodeId leaders_at_min_ = 0;
+  /// Mutated from advertise() (phase-boundary adoption), which the engine
+  /// may run concurrently for distinct nodes: relaxed atomic, because only
+  /// the order-independent final count matters at the phase barrier.
+  std::atomic<NodeId> leaders_at_min_{0};
 };
 
 }  // namespace mtm

@@ -39,6 +39,9 @@ class BlindGossip final : public LeaderElectionProtocol {
   /// (the crash wiped everything u had learned).
   void on_restart(NodeId u, Rng& rng) override;
   bool stabilized() const override;
+  /// Phase callbacks touch only u-indexed state (or are pure): safe
+  /// for the engine's intra-round sharding.
+  bool parallel_phases_safe() const override { return true; }
 
   Uid leader_of(NodeId u) const override;
   /// The owner of the global minimum UID (the node every execution elects).

@@ -32,6 +32,9 @@ class ClassicalPushPull final : public RumorProtocol {
   void receive_payload(NodeId u, NodeId peer, const Payload& payload,
                        Round local_round) override;
   bool stabilized() const override;
+  /// Phase callbacks touch only u-indexed state (or are pure): safe
+  /// for the engine's intra-round sharding.
+  bool parallel_phases_safe() const override { return true; }
 
   bool informed(NodeId u) const override;
   NodeId informed_count() const override { return informed_count_; }
@@ -59,6 +62,9 @@ class ClassicalGossip final : public LeaderElectionProtocol {
   void receive_payload(NodeId u, NodeId peer, const Payload& payload,
                        Round local_round) override;
   bool stabilized() const override;
+  /// Phase callbacks touch only u-indexed state (or are pure): safe
+  /// for the engine's intra-round sharding.
+  bool parallel_phases_safe() const override { return true; }
 
   Uid leader_of(NodeId u) const override;
   Uid target_leader() const noexcept { return global_min_; }

@@ -30,6 +30,9 @@ class KGossip final : public Protocol {
   void receive_payload(NodeId u, NodeId peer, const Payload& payload,
                        Round local_round) override;
   bool stabilized() const override;
+  /// Phase callbacks touch only u-indexed state (or are pure): safe
+  /// for the engine's intra-round sharding.
+  bool parallel_phases_safe() const override { return true; }
 
   /// Number of distinct rumors node u knows.
   NodeId known_count(NodeId u) const;

@@ -39,6 +39,11 @@ class LeaderConsensus final : public LeaderElectionProtocol {
   void receive_payload(NodeId u, NodeId peer, const Payload& payload,
                        Round local_round) override;
   bool stabilized() const override;
+  /// Defers to the underlying election (all consensus-side state is
+  /// only mutated in receive_payload, which stays sequential).
+  bool parallel_phases_safe() const override {
+    return election_.parallel_phases_safe();
+  }
 
   Uid leader_of(NodeId u) const override;
   /// Node u's current decision value (its adopted pair owner's input).

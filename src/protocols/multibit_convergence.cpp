@@ -72,9 +72,14 @@ void MultibitConvergence::adopt_phase_start(NodeId u, Round local_round) {
   if ((local_round - 1) % phase_length() != 0) return;
   smallest_[u] = buffer_[u];
   if (leader_[u] != smallest_[u].uid) {
-    if (leader_[u] == min_pair_.uid) --leaders_at_min_;
+    // Runs inside advertise(), possibly concurrently for distinct u.
+    if (leader_[u] == min_pair_.uid) {
+      leaders_at_min_.fetch_sub(1, std::memory_order_relaxed);
+    }
     leader_[u] = smallest_[u].uid;
-    if (leader_[u] == min_pair_.uid) ++leaders_at_min_;
+    if (leader_[u] == min_pair_.uid) {
+      leaders_at_min_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -118,7 +123,8 @@ void MultibitConvergence::receive_payload(NodeId u, NodeId /*peer*/,
 }
 
 bool MultibitConvergence::stabilized() const {
-  return buffers_at_min_ == node_count_ && leaders_at_min_ == node_count_;
+  return buffers_at_min_ == node_count_ &&
+         leaders_at_min_.load(std::memory_order_relaxed) == node_count_;
 }
 
 Uid MultibitConvergence::leader_of(NodeId u) const {

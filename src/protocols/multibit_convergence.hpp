@@ -16,6 +16,7 @@
 // extra advertisement bits actually buy.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "sim/protocol.hpp"
@@ -53,6 +54,9 @@ class MultibitConvergence final : public LeaderElectionProtocol {
   void receive_payload(NodeId u, NodeId peer, const Payload& payload,
                        Round local_round) override;
   bool stabilized() const override;
+  /// Same argument as BitConvergence: per-node state plus a relaxed-atomic
+  /// order-independent tally.
+  bool parallel_phases_safe() const override { return true; }
 
   Uid leader_of(NodeId u) const override;
   IdPair smallest_pair(NodeId u) const;
@@ -79,7 +83,9 @@ class MultibitConvergence final : public LeaderElectionProtocol {
   std::vector<Uid> leader_;
   IdPair min_pair_{};
   NodeId buffers_at_min_ = 0;
-  NodeId leaders_at_min_ = 0;
+  /// See BitConvergence::leaders_at_min_: mutated from advertise(), which
+  /// the engine may run concurrently for distinct nodes.
+  std::atomic<NodeId> leaders_at_min_{0};
 };
 
 }  // namespace mtm

@@ -34,6 +34,9 @@ class PairwiseAveraging final : public Protocol {
   void receive_payload(NodeId u, NodeId peer, const Payload& payload,
                        Round local_round) override;
   bool stabilized() const override;
+  /// Phase callbacks touch only u-indexed state (or are pure): safe
+  /// for the engine's intra-round sharding.
+  bool parallel_phases_safe() const override { return true; }
 
   double value_of(NodeId u) const;
   /// The exact average of the inputs (the fixed point).

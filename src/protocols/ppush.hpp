@@ -37,6 +37,9 @@ class Ppush final : public RumorProtocol {
   void receive_payload(NodeId u, NodeId peer, const Payload& payload,
                        Round local_round) override;
   bool stabilized() const override;
+  /// Phase callbacks touch only u-indexed state (or are pure): safe
+  /// for the engine's intra-round sharding.
+  bool parallel_phases_safe() const override { return true; }
 
   bool informed(NodeId u) const override;
   NodeId informed_count() const override { return informed_count_; }

@@ -65,6 +65,9 @@ class StableLeader final : public LeaderElectionProtocol {
   void on_crash(NodeId u) override;
   void on_restart(NodeId u, Rng& rng) override;
   bool stabilized() const override;
+  /// Phase callbacks touch only u-indexed state (or are pure): safe
+  /// for the engine's intra-round sharding.
+  bool parallel_phases_safe() const override { return true; }
 
   Uid leader_of(NodeId u) const override;
   NodeId leader_node() const override;

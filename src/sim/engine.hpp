@@ -36,18 +36,42 @@
 // scan, and payloads are transformed or withheld during exchange. The
 // protocol object itself stays honest; only the engine-side observation
 // lies.
+//
+// Single-trial scale (ROADMAP north star, n = 10^6..10^7): the hot path
+// runs on structure-of-arrays scratch (sim/round_arena.hpp) — flat tag /
+// decision / winner arrays and a CSR inbox rebuilt in place each round —
+// instead of per-node heap containers. On top of that layout the engine can
+// shard nodes across an internal thread pool WITHIN a round
+// (EngineConfig::intra_round_threads): advertise, scan/decide, proposal
+// resolution, and finish run per-shard, while inbox assembly uses a
+// deterministic shard-blocked counting sort and everything order-sensitive
+// (telemetry counting, fault-plan link draws, payload exchange) runs as a
+// sequential cross-shard reduction in ascending node order.
+//
+// Determinism is free, not bolted on: the canonical RNG layout (see
+// testing/reference_engine.hpp) gives every node its own stream and pins
+// only per-stream draw order, never cross-node interleaving. A shard owns
+// its nodes' streams outright, so the sharded execution makes exactly the
+// draws the sequential one makes — results are bit-identical at every
+// shard and thread count, and identical to the seed engine's goldens.
+// Sharding engages only when the protocol opts in via
+// Protocol::parallel_phases_safe(); otherwise the engine silently runs
+// sequentially.
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/byzantine.hpp"
 #include "sim/dynamic_graph.hpp"
 #include "sim/faults.hpp"
 #include "sim/protocol.hpp"
+#include "sim/round_arena.hpp"
 #include "sim/telemetry.hpp"
 
 namespace mtm {
@@ -94,6 +118,14 @@ struct EngineConfig {
   /// default; selection and equivocation coins are pure hashes, so honest
   /// nodes' RNG streams are untouched whatever the setting.
   ByzantinePlanConfig byzantine;
+  /// Intra-round parallelism: shard the per-node phases of every round
+  /// across this many engine-owned worker threads. 1 (default) runs
+  /// sequentially with no pool; 0 means one shard per hardware thread.
+  /// Sharded results are bit-identical to sequential ones at any value —
+  /// per-node RNG streams ARE the shard streams — but sharding only
+  /// engages when the protocol declares Protocol::parallel_phases_safe();
+  /// otherwise the engine silently runs sequentially (check shard_count()).
+  std::size_t intra_round_threads = 1;
 };
 
 class Engine {
@@ -132,6 +164,19 @@ class Engine {
     return byz_plan_.get();
   }
 
+  /// Effective intra-round shard count: 1 when running sequentially
+  /// (requested threads <= 1, or the protocol did not opt in via
+  /// parallel_phases_safe). Tests assert on this to prove the parallel
+  /// path actually engaged.
+  std::size_t shard_count() const noexcept { return shard_count_; }
+
+  /// Bytes of per-round scratch currently reserved by the arena (the
+  /// shrink policy returns slack after a degree spike; see
+  /// sim/round_arena.hpp).
+  std::size_t scratch_reserved_bytes() const noexcept {
+    return arena_->reserved_bytes();
+  }
+
   /// Observability attachments (both non-owning, both nullptr by default;
   /// pass nullptr to detach). Zero-perturbation contract: attaching either
   /// changes NO simulation result — trace events carry only deterministic
@@ -164,6 +209,28 @@ class Engine {
   void apply_faults(Round r);
   void exchange(NodeId u, NodeId v, Round global_round);
 
+  /// Runs body(shard, lo, hi) over the static node shards: inline on the
+  /// caller when shard_count_ == 1 (no pool, no std::function, no
+  /// allocation), else fanned across the engine's pool with one task per
+  /// shard and a full barrier (parallel_for rethrows worker exceptions).
+  template <typename F>
+  void run_sharded(F&& body);
+
+  // Per-shard phase bodies. `plain` marks the fast path taken when no
+  // fault plan, no adversary, and every node has activated: activity and
+  // visibility checks vanish from the inner loops.
+  void advertise_range(Round r, bool plain, NodeId lo, NodeId hi);
+  void scan_decide_range(const Graph& graph, Round r, bool plain,
+                         std::size_t shard, NodeId lo, NodeId hi,
+                         obs::PhaseProfile* profile);
+  void build_inboxes();
+  void resolve_range(bool plain, NodeId lo, NodeId hi);
+  void reduce_and_exchange(Round r);
+
+  /// Folds the per-shard scan/decide profiles into the attached profile at
+  /// the phase barrier (parallel mode only; no-op when unattached).
+  void merge_shard_profiles();
+
   DynamicGraphProvider& topology_;
   Protocol& protocol_;
   EngineConfig config_;
@@ -180,11 +247,15 @@ class Engine {
   obs::PhaseProfile* phase_profile_ = nullptr; // non-owning
   InvariantMonitor* invariant_monitor_ = nullptr;  // non-owning
 
-  // Per-round scratch, reused across steps to avoid allocation churn.
-  std::vector<Tag> tags_;
-  std::vector<Decision> decisions_;
-  std::vector<std::vector<NodeId>> incoming_;
-  std::vector<NeighborInfo> view_;
+  // Intra-round sharding (see class comment). shard_count_ == 1 means the
+  // pool is never created and every phase runs inline on the caller.
+  std::size_t shard_count_ = 1;
+  std::vector<std::pair<NodeId, NodeId>> shard_ranges_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<obs::PhaseProfile> shard_profiles_;
+
+  // Per-round scratch, reused across steps (see sim/round_arena.hpp).
+  std::unique_ptr<RoundArena> arena_;
 };
 
 }  // namespace mtm

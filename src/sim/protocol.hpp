@@ -61,6 +61,18 @@ class Protocol {
   virtual void on_crash(NodeId /*u*/) {}
   virtual void on_restart(NodeId /*u*/, Rng& /*rng*/) {}
 
+  /// True when the per-node phase callbacks (advertise, decide,
+  /// finish_round) may be invoked concurrently for DISTINCT nodes. The
+  /// engine shards nodes across threads within a round only when this
+  /// returns true; otherwise it silently runs the round sequentially, so a
+  /// conservative default costs correctness nothing. An override promises:
+  /// each of those callbacks touches only per-node state (indexed by u) and
+  /// the passed Rng, or mutates shared aggregates with atomics whose final
+  /// value is order-independent. make_payload/receive_payload are exempt —
+  /// the exchange phase is always sequential. Decorators that record
+  /// callback order (testing::RecordingProtocol) must keep the default.
+  virtual bool parallel_phases_safe() const { return false; }
+
   /// The protocol that owns algorithm state. Transparent decorators
   /// (testing::RecordingProtocol) forward to the wrapped instance so
   /// capability queries — dynamic_casts to the extension interfaces below —

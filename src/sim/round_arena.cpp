@@ -1,0 +1,58 @@
+#include "sim/round_arena.hpp"
+
+#include <algorithm>
+
+namespace mtm {
+
+RoundArena::RoundArena(NodeId node_count, std::size_t shard_count,
+                       bool with_tags) {
+  if (with_tags) tags.resize(node_count);
+  decisions.resize(node_count);
+  active.resize(node_count);
+  winner.resize(node_count);
+  drop.resize(node_count);
+  inbox_start.resize(static_cast<std::size_t>(node_count) + 1);
+  inbox.resize(node_count);
+  shards.resize(std::max<std::size_t>(shard_count, 1));
+  for (Shard& shard : shards) shard.counts.resize(node_count);
+  shard_base.resize(shards.size());
+}
+
+void RoundArena::begin_round(NodeId max_degree) {
+  for (Shard& shard : shards) {
+    if (shard.view.size() < max_degree) shard.view.resize(max_degree);
+  }
+  view_high_water_ = std::max(view_high_water_, max_degree);
+  if (++rounds_since_check_ >= kShrinkInterval) maybe_shrink();
+}
+
+void RoundArena::maybe_shrink() {
+  rounds_since_check_ = 0;
+  const std::size_t keep = view_high_water_;
+  for (Shard& shard : shards) {
+    if (shard.view.capacity() > 2 * keep) {
+      // shrink_to_fit is only a request; swapping a right-sized vector in
+      // guarantees the slack actually goes back to the allocator.
+      std::vector<NeighborInfo> replacement(keep);
+      shard.view.swap(replacement);
+    }
+  }
+  view_high_water_ = 0;
+}
+
+std::size_t RoundArena::reserved_bytes() const noexcept {
+  std::size_t bytes = tags.capacity() * sizeof(Tag) +
+                      decisions.capacity() * sizeof(Decision) +
+                      active.capacity() + drop.capacity() +
+                      winner.capacity() * sizeof(NodeId) +
+                      inbox_start.capacity() * sizeof(std::uint32_t) +
+                      inbox.capacity() * sizeof(NodeId) +
+                      shard_base.capacity() * sizeof(std::uint32_t);
+  for (const Shard& shard : shards) {
+    bytes += shard.view.capacity() * sizeof(NeighborInfo) +
+             shard.counts.capacity() * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace mtm

@@ -1,0 +1,92 @@
+// Flat per-round scratch for the engine's hot path.
+//
+// The seed engine kept one std::vector<NodeId> inbox per node plus a shared
+// view buffer; at n = 10^6+ that layout pays an O(n) pointer-chasing sweep
+// just to clear the inboxes each round, scatters proposal pushes across a
+// million small heap blocks, and never returns capacity grabbed during a
+// high-degree round. RoundArena replaces all of it with structure-of-arrays
+// state sized once per trial:
+//
+//   - node SoA: advertised tags, decisions, per-round activity bytes, the
+//     accepted proposer per node (winner) and its failure coin (drop);
+//   - a CSR inbox: `inbox_start[v]..inbox_start[v+1]` indexes the flat
+//     `inbox` array, listing v's proposers in ascending id order. Every
+//     node sends at most one proposal per round, so the flat array is
+//     bounded by n and never reallocates after construction;
+//   - per-shard scratch: one scan-view buffer and one per-target counter
+//     array per shard, so intra-round parallel phases never share a
+//     mutable cache line.
+//
+// The counter arrays double as the scatter bases of a (shard-blocked)
+// counting sort: shard s counts its own senders per target, an exclusive
+// prefix sum with (target major, shard minor) ordering turns counts into
+// write positions, and each shard scatters its senders in ascending id
+// order — reproducing the sequential push_back order exactly, at any shard
+// count.
+//
+// Only the view buffers have data-dependent capacity (current graph's max
+// degree, which a dynamic topology can spike for a single round). A
+// windowed shrink policy returns that slack: every kShrinkInterval rounds
+// the arena compares each view's capacity against 2x the window's
+// high-water use and shrinks to the high-water mark, so one star-shaped
+// round no longer pins peak RSS for the rest of a million-round trial.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/model.hpp"
+
+namespace mtm {
+
+/// Sentinel in RoundArena::winner: no accepted proposal this round.
+inline constexpr NodeId kNoProposer = ~NodeId{0};
+
+class RoundArena {
+ public:
+  /// Rounds between shrink checks on the data-dependent buffers.
+  static constexpr Round kShrinkInterval = 64;
+
+  /// `shard_count` >= 1; `with_tags` skips the tag array when b = 0 (every
+  /// tag is provably 0, so the scan phase never reads it).
+  RoundArena(NodeId node_count, std::size_t shard_count, bool with_tags);
+
+  /// Grows every shard's view buffer to hold `max_degree` entries and
+  /// advances the shrink window. Allocation only happens while the degree
+  /// high-water rises (for a static topology: the first round only).
+  void begin_round(NodeId max_degree);
+
+  std::size_t shard_count() const noexcept { return shards.size(); }
+
+  /// Bytes currently reserved across all buffers — the number the shrink
+  /// policy drives back down after a degree spike.
+  std::size_t reserved_bytes() const noexcept;
+
+  // --- node SoA (all sized node_count, tags empty when b = 0) ---
+  std::vector<Tag> tags;
+  std::vector<Decision> decisions;
+  std::vector<std::uint8_t> active;  ///< per-round activity (non-plain rounds)
+  std::vector<NodeId> winner;        ///< accepted proposer per node
+  std::vector<std::uint8_t> drop;    ///< failure coin per node / inbox entry
+
+  // --- CSR inbox (start: node_count+1; flat entries bounded by n) ---
+  std::vector<std::uint32_t> inbox_start;
+  std::vector<NodeId> inbox;
+
+  struct Shard {
+    std::vector<NeighborInfo> view;       ///< scan view scratch
+    std::vector<std::uint32_t> counts;    ///< per-target counts / scatter bases
+    std::uint64_t proposals = 0;          ///< per-round tally, reduced at barrier
+  };
+  std::vector<Shard> shards;
+  std::vector<std::uint32_t> shard_base;  ///< prefix-sum scratch, one per shard
+
+ private:
+  void maybe_shrink();
+
+  NodeId view_high_water_ = 0;   ///< max degree seen in the current window
+  Round rounds_since_check_ = 0;
+};
+
+}  // namespace mtm

@@ -83,6 +83,12 @@ struct TrialControls {
   std::size_t trials = 32;    ///< independent Monte-Carlo trials
   std::uint64_t seed = 1;     ///< master seed; trial t derives its own
   std::size_t threads = 1;    ///< trial-level parallelism
+  /// Intra-trial parallelism: shards each round of each engine across this
+  /// many worker threads (0 = one per hardware thread). Results are
+  /// bit-identical at any value; composes with `threads`, so keep the
+  /// product within the machine. Forwarded into
+  /// EngineConfig::intra_round_threads by the experiment runners.
+  std::size_t engine_threads = 1;
   /// Failure injection passthrough (see EngineConfig).
   double connection_failure_prob = 0.0;
   /// Fault plan passthrough (see sim/faults.hpp). The per-trial plan seed

@@ -22,6 +22,13 @@ void Telemetry::count_proposal() {
   if (recording_current_round()) ++per_round_.back().proposals;
 }
 
+void Telemetry::count_proposals(std::uint64_t n) {
+  proposals_ += n;
+  if (recording_current_round()) {
+    per_round_.back().proposals += static_cast<std::uint32_t>(n);
+  }
+}
+
 void Telemetry::count_connection() {
   ++connections_;
   ++round_connections_;

@@ -32,6 +32,10 @@ class Telemetry {
   /// plan has applied churn (so it is set separately from begin_round).
   void set_active_nodes(std::uint32_t active_nodes);
   void count_proposal();
+  /// Bulk form: `n` proposals at once (the sharded engine reduces per-shard
+  /// proposal tallies at the phase barrier). Equivalent to n count_proposal()
+  /// calls.
+  void count_proposals(std::uint64_t n);
   void count_connection();
   void count_failed_connection();
   /// A connection dropped by the fault plan (burst loss / edge degradation).

@@ -51,6 +51,10 @@ options:
   --seed=S          master seed                                  [default 1]
   --max-rounds=M    per-trial round cap                          [default 2^24]
   --failure-prob=P  connection failure injection, P in [0, 1)    [default 0]
+  --engine-threads=T  shard each round across T worker threads (0 = one per
+                    hardware thread). Bit-identical results at any value;
+                    trials already run in parallel, so raise this only for
+                    few-trials/large-n runs.                     [default 1]
   --acceptance=X    uniform | smallest-id | largest-id           [default uniform]
 )";
 
@@ -110,6 +114,7 @@ int run(const CliArgs& args) {
   const std::uint64_t seed = args.get_u64("seed", 1);
   const Round max_rounds = args.get_u64("max-rounds", Round{1} << 24);
   const double failure_prob = args.get_double("failure-prob", 0.0);
+  const std::size_t engine_threads = args.get_u64("engine-threads", 1);
   const std::string csv = args.get_string("csv", "");
   const std::string acceptance_name = args.get_string("acceptance", "uniform");
 
@@ -172,6 +177,7 @@ int run(const CliArgs& args) {
     spec.controls.seed = seed;
     spec.controls.threads = ThreadPool::default_thread_count();
     spec.controls.connection_failure_prob = failure_prob;
+    spec.controls.engine_threads = engine_threads;
     spec.controls.faults = faults;
     results = run_rumor_experiment(spec);
   } else {
@@ -189,6 +195,7 @@ int run(const CliArgs& args) {
     spec.controls.seed = seed;
     spec.controls.threads = ThreadPool::default_thread_count();
     spec.controls.connection_failure_prob = failure_prob;
+    spec.controls.engine_threads = engine_threads;
     spec.controls.faults = faults;
     spec.epoch_timeout = epoch_timeout;
     spec.byzantine = byzantine;
