@@ -1,0 +1,1057 @@
+#include "harness/fabric.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <thread>
+#include <tuple>
+
+#include "core/assert.hpp"
+#include "core/rng.hpp"
+#include "harness/interrupt.hpp"
+
+namespace mtm {
+
+namespace {
+
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SocketTransport
+// ---------------------------------------------------------------------------
+
+SocketTransport::SocketTransport(int fd) : fd_(fd) {
+  MTM_REQUIRE(fd >= 0);
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+SocketTransport::~SocketTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool SocketTransport::send_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (fd_ < 0) return false;
+  const std::string payload = line + "\n";
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const ssize_t n = ::send(fd_, payload.data() + off, payload.size() - off,
+                             MSG_NOSIGNAL);
+    if (n >= 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Socket buffer full: wait for drain rather than dropping the line —
+      // the protocol has no retransmit, a lost result would look like a
+      // hung lease.
+      struct pollfd p = {fd_, POLLOUT, 0};
+      ::poll(&p, 1, 100);
+      continue;
+    }
+    // EPIPE/ECONNRESET and friends: the peer is gone.
+    return false;
+  }
+  return true;
+}
+
+void SocketTransport::pump() {
+  if (fd_ < 0 || peer_gone_) return;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rx_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      peer_gone_ = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    peer_gone_ = true;
+    break;
+  }
+  std::size_t pos;
+  while ((pos = rx_.find('\n')) != std::string::npos) {
+    lines_.push_back(rx_.substr(0, pos));
+    rx_.erase(0, pos + 1);
+  }
+}
+
+bool SocketTransport::poll_line(std::string* line) {
+  pump();
+  if (lines_.empty()) return false;
+  *line = std::move(lines_.front());
+  lines_.pop_front();
+  return true;
+}
+
+bool SocketTransport::wait_readable(int timeout_ms) {
+  if (!lines_.empty() || peer_gone_) return true;
+  struct pollfd p = {fd_, POLLIN, 0};
+  return ::poll(&p, 1, timeout_ms) > 0;
+}
+
+bool SocketTransport::closed() {
+  pump();
+  // A partial line with no terminator at EOF is a mid-write death; it is
+  // dropped, exactly like the journal drops a checksum-failing tail.
+  return peer_gone_ && lines_.empty();
+}
+
+void SocketTransport::sever() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  peer_gone_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Loopback transport (tests)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LoopbackState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::string> queues[2];  // queues[i] = lines readable by side i
+  bool gone[2] = {false, false};
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<LoopbackState> state, int side)
+      : state_(std::move(state)), side_(side) {}
+  ~LoopbackTransport() override { sever(); }
+
+  bool send_line(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->gone[0] || state_->gone[1]) return false;
+    state_->queues[1 - side_].push_back(line);
+    state_->cv.notify_all();
+    return true;
+  }
+
+  bool poll_line(std::string* line) override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->queues[side_].empty()) return false;
+    *line = std::move(state_->queues[side_].front());
+    state_->queues[side_].pop_front();
+    return true;
+  }
+
+  bool wait_readable(int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    return state_->cv.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms), [&] {
+          return !state_->queues[side_].empty() || state_->gone[0] ||
+                 state_->gone[1];
+        });
+  }
+
+  bool closed() override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return (state_->gone[0] || state_->gone[1]) &&
+           state_->queues[side_].empty();
+  }
+
+  void sever() override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->gone[side_] = true;
+    state_->cv.notify_all();
+  }
+
+  int fd() const override { return -1; }
+
+ private:
+  std::shared_ptr<LoopbackState> state_;
+  int side_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_transport() {
+  auto state = std::make_shared<LoopbackState>();
+  return {std::make_unique<LoopbackTransport>(state, 0),
+          std::make_unique<LoopbackTransport>(state, 1)};
+}
+
+// ---------------------------------------------------------------------------
+// Protocol messages
+// ---------------------------------------------------------------------------
+
+const char* to_string(FabricMessage::Type type) {
+  switch (type) {
+    case FabricMessage::Type::kHello: return "hello";
+    case FabricMessage::Type::kLease: return "lease";
+    case FabricMessage::Type::kHeartbeat: return "heartbeat";
+    case FabricMessage::Type::kResult: return "result";
+    case FabricMessage::Type::kShutdown: return "shutdown";
+    case FabricMessage::Type::kBye: return "bye";
+  }
+  return "?";
+}
+
+std::string encode_fabric_message(const FabricMessage& message) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("schema", obs::JsonValue::string(kFabricSchemaVersion));
+  doc.set("type", obs::JsonValue::string(to_string(message.type)));
+  doc.set("worker", obs::JsonValue::unsigned_number(message.worker));
+  doc.set("lease", obs::JsonValue::unsigned_number(message.lease));
+  doc.set("point", obs::JsonValue::unsigned_number(message.point));
+  if (!message.trials.empty()) {
+    obs::JsonValue trials = obs::JsonValue::array();
+    for (const std::uint64_t t : message.trials) {
+      trials.push_back(obs::JsonValue::unsigned_number(t));
+    }
+    doc.set("trials", std::move(trials));
+  }
+  doc.set("sent_ms", obs::JsonValue::unsigned_number(message.sent_ms));
+  if (!message.record.empty()) {
+    doc.set("record", obs::JsonValue::string(message.record));
+  }
+  return doc.dump();
+}
+
+FabricMessage parse_fabric_message(const std::string& line) {
+  obs::JsonValue doc;
+  try {
+    doc = obs::parse_json(line);
+  } catch (const std::invalid_argument& e) {
+    throw FabricError(std::string("malformed fabric message: ") + e.what());
+  }
+  if (!doc.is_object()) throw FabricError("fabric message is not an object");
+  const obs::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kFabricSchemaVersion) {
+    throw FabricError("fabric message schema mismatch");
+  }
+  const obs::JsonValue* type = doc.find("type");
+  if (type == nullptr || !type->is_string()) {
+    throw FabricError("fabric message missing type");
+  }
+  FabricMessage message;
+  bool known = false;
+  for (int t = static_cast<int>(FabricMessage::Type::kHello);
+       t <= static_cast<int>(FabricMessage::Type::kBye); ++t) {
+    const auto candidate = static_cast<FabricMessage::Type>(t);
+    if (type->as_string() == to_string(candidate)) {
+      message.type = candidate;
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    throw FabricError("unknown fabric message type: " + type->as_string());
+  }
+  const auto u64_field = [&doc](const char* name) -> std::uint64_t {
+    const obs::JsonValue* v = doc.find(name);
+    return (v != nullptr && v->is_numeric()) ? v->as_u64() : 0;
+  };
+  message.worker = u64_field("worker");
+  message.lease = u64_field("lease");
+  message.point = u64_field("point");
+  message.sent_ms = u64_field("sent_ms");
+  if (const obs::JsonValue* trials = doc.find("trials");
+      trials != nullptr && trials->is_array()) {
+    for (std::size_t i = 0; i < trials->size(); ++i) {
+      if (!trials->at(i).is_numeric()) {
+        throw FabricError("non-numeric trial index in lease");
+      }
+      message.trials.push_back(trials->at(i).as_u64());
+    }
+  }
+  if (const obs::JsonValue* record = doc.find("record");
+      record != nullptr && record->is_string()) {
+    message.record = record->as_string();
+  }
+  return message;
+}
+
+// ---------------------------------------------------------------------------
+// LeaseTable
+// ---------------------------------------------------------------------------
+
+LeaseTable::LeaseTable(std::uint64_t lease_ms) : lease_ms_(lease_ms) {
+  MTM_REQUIRE(lease_ms >= 1);
+}
+
+std::uint64_t LeaseTable::grant(std::uint64_t worker, std::uint64_t point,
+                                std::vector<std::uint64_t> trials,
+                                std::uint64_t now_ms) {
+  MTM_REQUIRE(!trials.empty());
+  Lease lease;
+  lease.id = next_id_++;
+  lease.worker = worker;
+  lease.point = point;
+  lease.deadline_ms = now_ms + lease_ms_;
+  lease.pending = std::move(trials);
+  open_.push_back(std::move(lease));
+  return open_.back().id;
+}
+
+bool LeaseTable::renew(std::uint64_t id, std::uint64_t now_ms) {
+  for (Lease& lease : open_) {
+    if (lease.id != id) continue;
+    // A renewal arriving exactly at the deadline still succeeds — expiry is
+    // strictly-past (see expire()); being late requires being LATE.
+    if (now_ms > lease.deadline_ms) return false;
+    lease.deadline_ms = now_ms + lease_ms_;
+    return true;
+  }
+  return false;
+}
+
+LeaseTable::CompleteStatus LeaseTable::complete(std::uint64_t id,
+                                                std::uint64_t point,
+                                                std::uint64_t trial,
+                                                std::uint64_t now_ms) {
+  for (std::size_t i = 0; i < open_.size(); ++i) {
+    Lease& lease = open_[i];
+    if (lease.id != id) continue;
+    if (now_ms > lease.deadline_ms || lease.point != point) {
+      return CompleteStatus::kStale;
+    }
+    const auto it =
+        std::find(lease.pending.begin(), lease.pending.end(), trial);
+    if (it == lease.pending.end()) return CompleteStatus::kStale;
+    lease.pending.erase(it);
+    if (lease.pending.empty()) {
+      open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
+      return CompleteStatus::kCompletedLease;
+    }
+    lease.deadline_ms = now_ms + lease_ms_;  // data is the strongest heartbeat
+    return CompleteStatus::kAccepted;
+  }
+  return CompleteStatus::kStale;  // retired or never granted
+}
+
+std::vector<LeaseTable::Expired> LeaseTable::expire(std::uint64_t now_ms) {
+  std::vector<Expired> expired;
+  for (std::size_t i = 0; i < open_.size();) {
+    if (now_ms > open_[i].deadline_ms) {
+      Expired e;
+      e.id = open_[i].id;
+      e.worker = open_[i].worker;
+      for (const std::uint64_t t : open_[i].pending) {
+        e.incomplete.emplace_back(open_[i].point, t);
+      }
+      expired.push_back(std::move(e));
+      open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return expired;
+}
+
+std::vector<LeaseTable::Expired> LeaseTable::expire_worker(
+    std::uint64_t worker) {
+  std::vector<Expired> expired;
+  for (std::size_t i = 0; i < open_.size();) {
+    if (open_[i].worker == worker) {
+      Expired e;
+      e.id = open_[i].id;
+      e.worker = worker;
+      for (const std::uint64_t t : open_[i].pending) {
+        e.incomplete.emplace_back(open_[i].point, t);
+      }
+      expired.push_back(std::move(e));
+      open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return expired;
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+void send_message(Transport& transport, FabricMessage message) {
+  message.sent_ms = steady_now_ms();
+  (void)transport.send_line(encode_fabric_message(message));
+}
+
+}  // namespace
+
+int run_fabric_worker(Transport& transport,
+                      const std::vector<SweepPoint>& points,
+                      const obs::RunManifest& manifest,
+                      const FabricOptions& options, std::size_t worker_index) {
+  const ResilienceOptions& resilience = options.resilience;
+
+  std::optional<TrialJournal> shard;
+  if (options.worker_shards && !resilience.journal_path.empty()) {
+    const std::string shard_path =
+        resilience.journal_path + ".w" + std::to_string(worker_index);
+    // On resume the shard keeps accumulating this worker's trials across
+    // runs (the permutation check spans all of them); a fresh run truncates.
+    if (resilience.resume && file_exists(shard_path)) {
+      shard = TrialJournal::open(shard_path, &manifest);
+    } else {
+      shard = TrialJournal::create(shard_path, manifest);
+    }
+  }
+
+  TrialWatchdog watchdog(
+      WatchdogOptions{resilience.trial_deadline_ms, /*poll_ms=*/5});
+
+  FabricMessage hello;
+  hello.type = FabricMessage::Type::kHello;
+  hello.worker = worker_index;
+  send_message(transport, hello);
+
+  // The heartbeat thread renews whichever lease the trial loop is currently
+  // executing; between leases there is nothing to renew and it stays quiet.
+  struct {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool stop = false;
+    std::uint64_t lease = 0;
+  } hb;
+  const std::uint64_t heartbeat_ms = std::max<std::uint64_t>(
+      1, options.heartbeat_ms != 0 ? options.heartbeat_ms
+                                   : options.lease_ms / 4);
+  std::thread heartbeat([&] {
+    std::unique_lock<std::mutex> lock(hb.mutex);
+    for (;;) {
+      hb.cv.wait_for(lock, std::chrono::milliseconds(heartbeat_ms));
+      if (hb.stop) return;
+      const std::uint64_t lease = hb.lease;
+      if (lease == 0) continue;
+      lock.unlock();
+      FabricMessage beat;
+      beat.type = FabricMessage::Type::kHeartbeat;
+      beat.worker = worker_index;
+      beat.lease = lease;
+      send_message(transport, beat);
+      lock.lock();
+    }
+  });
+  const auto set_current_lease = [&hb](std::uint64_t lease) {
+    std::lock_guard<std::mutex> lock(hb.mutex);
+    hb.lease = lease;
+  };
+
+  const CancelToken* interrupt = resilience.interrupt;
+  const auto interrupted_now = [interrupt] {
+    return interrupt != nullptr && interrupt->cancelled();
+  };
+
+  int exit_code = 1;
+  for (;;) {
+    if (interrupted_now()) {
+      exit_code = kInterruptExitCode;
+      break;
+    }
+    std::string line;
+    if (!transport.poll_line(&line)) {
+      if (transport.closed()) {
+        exit_code = 1;  // coordinator vanished
+        break;
+      }
+      transport.wait_readable(50);
+      continue;
+    }
+    FabricMessage msg;
+    try {
+      msg = parse_fabric_message(line);
+    } catch (const FabricError&) {
+      continue;  // garbage on the wire is the coordinator's bug, not fatal
+    }
+    if (msg.type == FabricMessage::Type::kShutdown) {
+      exit_code = 0;
+      break;
+    }
+    if (msg.type != FabricMessage::Type::kLease) continue;
+    if (msg.point >= points.size()) continue;
+    const SweepPoint& point = points[msg.point];
+
+    set_current_lease(msg.lease);
+    bool trial_interrupted = false;
+    for (const std::uint64_t t : msg.trials) {
+      if (t >= point.trials) continue;
+      if (interrupted_now()) {
+        trial_interrupted = true;
+        break;
+      }
+      const JournalRecord rec = execute_sweep_trial(
+          point, msg.point, t, watchdog, resilience, &trial_interrupted);
+      if (trial_interrupted) break;
+      if (shard.has_value()) shard->append(rec);
+      FabricMessage result;
+      result.type = FabricMessage::Type::kResult;
+      result.worker = worker_index;
+      result.lease = msg.lease;
+      result.point = msg.point;
+      result.record = journal_record_line(rec);
+      send_message(transport, result);
+    }
+    set_current_lease(0);
+    if (trial_interrupted) {
+      exit_code = kInterruptExitCode;
+      break;
+    }
+  }
+
+  if (shard.has_value()) shard->checkpoint();
+  FabricMessage bye;
+  bye.type = FabricMessage::Type::kBye;
+  bye.worker = worker_index;
+  send_message(transport, bye);
+  {
+    std::lock_guard<std::mutex> lock(hb.mutex);
+    hb.stop = true;
+    hb.cv.notify_all();
+  }
+  heartbeat.join();
+  return exit_code;
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+FabricCoordinator::FabricCoordinator(const obs::RunManifest& manifest,
+                                     FabricOptions options, Clock clock)
+    : options_(std::move(options)), clock_(std::move(clock)) {
+  if (options_.lease_ms == 0) throw FabricError("lease_ms must be >= 1");
+  if (options_.lease_batch == 0) {
+    throw FabricError("lease_batch must be >= 1");
+  }
+  if (!clock_) clock_ = [] { return steady_now_ms(); };
+  const ResilienceOptions& resilience = options_.resilience;
+  if (resilience.journal_path.empty()) {
+    if (resilience.resume) {
+      throw FabricError("resume requires a journal path");
+    }
+    return;
+  }
+  if (resilience.resume) {
+    journal_ = TrialJournal::open(resilience.journal_path, &manifest);
+  } else {
+    journal_ = TrialJournal::create(resilience.journal_path, manifest);
+  }
+}
+
+SweepReport FabricCoordinator::run(const std::vector<SweepPoint>& points,
+                                   std::vector<WorkerEndpoint> workers) {
+  if (workers.empty()) throw FabricError("fabric needs at least one worker");
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
+
+  SweepReport report;
+  if (journal_.has_value()) {
+    report.journal_fingerprint = journal_->fingerprint();
+  }
+
+  // First-wins index of durable results, exactly like SweepRunner's resume.
+  std::map<Key, JournalRecord> done;
+  if (journal_.has_value()) {
+    for (const JournalRecord& r : journal_->records()) {
+      done.emplace(Key{r.point, r.trial}, r);
+    }
+  }
+
+  std::vector<std::vector<RunResult>> results(points.size());
+  std::vector<std::vector<std::uint8_t>> have(points.size());
+  std::vector<std::size_t> point_remaining(points.size(), 0);
+  std::deque<Key> queue;  // point-major, trial-minor grant order
+  std::size_t pending = 0;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    MTM_REQUIRE(points[p].trials >= 1);
+    MTM_REQUIRE(points[p].body != nullptr);
+    results[p].resize(points[p].trials);
+    have[p].assign(points[p].trials, 0);
+    for (std::size_t t = 0; t < points[p].trials; ++t) {
+      const auto it = done.find(Key{p, t});
+      if (it != done.end()) {
+        results[p][t] = it->second.result;
+        have[p][t] = 1;
+        ++report.resumed_trials;
+        if (it->second.quarantined) {
+          report.quarantined.push_back(
+              QuarantinedTrial{p, t, it->second.seed, it->second.attempts});
+        }
+      } else {
+        queue.emplace_back(p, t);
+        ++point_remaining[p];
+        ++pending;
+      }
+    }
+  }
+
+  // Chaos schedule: kill triggers are distinct positions in the result
+  // stream, drawn from the first half so the drain path actually has work
+  // left to redistribute. Deterministic in (chaos_seed, pending).
+  std::vector<std::uint64_t> triggers;
+  if (options_.chaos_kills > 0 && pending > 0) {
+    const std::uint64_t hi = std::max<std::uint64_t>(
+        options_.chaos_kills, static_cast<std::uint64_t>(pending) / 2);
+    Rng rng(derive_seed(options_.chaos_seed, {0xFABu}));
+    std::set<std::uint64_t> picks;
+    while (picks.size() < std::min<std::uint64_t>(options_.chaos_kills, hi)) {
+      picks.insert(1 + rng.uniform(hi));
+    }
+    triggers.assign(picks.begin(), picks.end());
+  }
+  std::size_t next_trigger = 0;
+  std::uint64_t results_received = 0;
+
+  struct WorkerState {
+    bool alive = true;
+    bool ready = false;  // hello received
+    bool idle = true;    // no open lease
+  };
+  std::vector<WorkerState> state(workers.size());
+  std::map<Key, std::uint32_t> requeues;
+  LeaseTable leases(options_.lease_ms);
+
+  obs::FixedHistogram* hb_hist = nullptr;
+  if (options_.metrics != nullptr) {
+    hb_hist = &options_.metrics->histogram(
+        "fabric.heartbeat_latency_ms",
+        obs::FixedHistogram::exponential_bounds(1.0, 2.0, 12));
+  }
+
+  const auto alive_workers = [&state] {
+    std::size_t n = 0;
+    for (const WorkerState& s : state) {
+      if (s.alive) ++n;
+    }
+    return n;
+  };
+
+  const auto reap = [&](std::size_t w) {
+    if (workers[w].pid > 0) {
+      int status = 0;
+      ::waitpid(workers[w].pid, &status, 0);
+      unregister_interrupt_child(workers[w].pid);
+      workers[w].pid = -1;
+    }
+  };
+
+  // Stores one completed trial (worker result, resumed, or fabricated
+  // quarantine): results slot, merged journal, report counters. First-wins.
+  const auto accept_record = [&](const JournalRecord& rec) {
+    if (rec.point >= points.size() ||
+        rec.trial >= points[rec.point].trials) {
+      return;
+    }
+    if (have[rec.point][rec.trial] != 0) {
+      ++stats_.duplicate_results_discarded;
+      return;
+    }
+    results[rec.point][rec.trial] = rec.result;
+    have[rec.point][rec.trial] = 1;
+    if (journal_.has_value()) journal_->append(rec);
+    ++report.executed_trials;
+    if (rec.attempts > 1) ++report.retried_trials;
+    if (rec.quarantined) {
+      report.quarantined.push_back(
+          QuarantinedTrial{rec.point, rec.trial, rec.seed, rec.attempts});
+    }
+    --pending;
+    // Checkpoint at point completion, the same squash cadence SweepRunner
+    // uses between points.
+    if (--point_remaining[rec.point] == 0 && journal_.has_value()) {
+      journal_->checkpoint();
+    }
+  };
+
+  const auto requeue = [&](const Key& key) {
+    if (have[key.first][key.second] != 0) return;
+    const std::uint32_t count = ++requeues[key];
+    if (count > options_.max_requeues) {
+      // The trial has now outlived max_requeues leases: treat it like a
+      // poison seed and quarantine it with a censored record so the sweep
+      // can finish — mirroring the watchdog's retry-exhaustion policy.
+      ++stats_.fabric_quarantined;
+      JournalRecord rec;
+      rec.point = key.first;
+      rec.trial = key.second;
+      rec.seed = trial_seed(points[key.first].master_seed, key.second);
+      rec.attempts = count;
+      rec.quarantined = true;
+      rec.result.converged = false;
+      rec.result.cancelled = true;
+      accept_record(rec);
+      return;
+    }
+    queue.push_front(key);
+    ++stats_.trials_requeued;
+  };
+
+  const auto drain_worker_leases = [&](std::size_t w) {
+    for (const LeaseTable::Expired& e :
+         leases.expire_worker(static_cast<std::uint64_t>(w))) {
+      ++stats_.leases_expired;
+      for (const Key& key : e.incomplete) requeue(key);
+    }
+  };
+
+  const auto on_worker_down = [&](std::size_t w, bool chaos, bool clean) {
+    if (!state[w].alive) return;
+    state[w].alive = false;
+    state[w].idle = false;
+    if (!clean) ++stats_.worker_deaths;
+    if (chaos) ++stats_.chaos_kills;
+    drain_worker_leases(w);
+    reap(w);
+  };
+
+  const auto chaos_fire = [&](std::size_t sender) {
+    if (!state[sender].alive || alive_workers() <= 1) return;
+    if (workers[sender].pid > 0) ::kill(workers[sender].pid, SIGKILL);
+    workers[sender].transport->sever();
+    on_worker_down(sender, /*chaos=*/true, /*clean=*/false);
+  };
+
+  const auto handle_message = [&](std::size_t w, const FabricMessage& msg,
+                                  std::uint64_t now) {
+    switch (msg.type) {
+      case FabricMessage::Type::kHello:
+        state[w].ready = true;
+        break;
+      case FabricMessage::Type::kHeartbeat: {
+        ++stats_.heartbeats;
+        (void)leases.renew(msg.lease, now);
+        if (hb_hist != nullptr) {
+          hb_hist->record(now >= msg.sent_ms
+                              ? static_cast<double>(now - msg.sent_ms)
+                              : 0.0);
+        }
+        break;
+      }
+      case FabricMessage::Type::kResult: {
+        JournalRecord rec;
+        try {
+          rec = parse_journal_record(msg.record);
+        } catch (const JournalError&) {
+          break;  // checksum-failing result line: drop it, the lease expires
+        }
+        ++results_received;
+        const LeaseTable::CompleteStatus status =
+            leases.complete(msg.lease, rec.point, rec.trial, now);
+        if (status == LeaseTable::CompleteStatus::kStale) {
+          // Deterministic late-result rule: an expired/retired lease never
+          // lands data, even if the key is still open — the requeued grant
+          // will recompute the identical record from the same seed.
+          ++stats_.late_results_discarded;
+        } else {
+          accept_record(rec);
+          if (status == LeaseTable::CompleteStatus::kCompletedLease) {
+            ++stats_.leases_completed;
+            state[w].idle = true;
+          }
+        }
+        if (next_trigger < triggers.size() &&
+            results_received == triggers[next_trigger]) {
+          ++next_trigger;
+          chaos_fire(w);
+        }
+        break;
+      }
+      case FabricMessage::Type::kBye:
+        on_worker_down(w, /*chaos=*/false, /*clean=*/true);
+        break;
+      default:
+        break;
+    }
+  };
+
+  const auto pump_worker = [&](std::size_t w, std::uint64_t now) {
+    if (!state[w].alive) return;
+    std::string line;
+    while (workers[w].transport->poll_line(&line)) {
+      FabricMessage msg;
+      try {
+        msg = parse_fabric_message(line);
+      } catch (const FabricError&) {
+        continue;
+      }
+      handle_message(w, msg, now);
+      if (!state[w].alive) return;
+    }
+    if (workers[w].transport->closed()) {
+      on_worker_down(w, /*chaos=*/false, /*clean=*/false);
+    }
+  };
+
+  const CancelToken* interrupt = options_.resilience.interrupt;
+  bool interrupted = false;
+
+  for (;;) {
+    const std::uint64_t now = clock_();
+    for (std::size_t w = 0; w < workers.size(); ++w) pump_worker(w, now);
+
+    for (const LeaseTable::Expired& e : leases.expire(now)) {
+      ++stats_.leases_expired;
+      // The owner lost the lease but is (as far as we know) alive: it gets
+      // fresh work, and anything it still sends under the old id is stale.
+      if (e.worker < state.size() && state[e.worker].alive) {
+        state[e.worker].idle = true;
+      }
+      for (const Key& key : e.incomplete) requeue(key);
+    }
+
+    if (pending == 0) break;
+    if (interrupt != nullptr && interrupt->cancelled()) {
+      interrupted = true;
+      break;
+    }
+    if (alive_workers() == 0) {
+      // Total worker loss: stop granting, report the completed prefix as a
+      // partial sweep — everything durable is in the journal for --resume.
+      interrupted = true;
+      break;
+    }
+
+    for (std::size_t w = 0; w < workers.size() && !queue.empty(); ++w) {
+      if (!state[w].alive || !state[w].ready || !state[w].idle) continue;
+      while (!queue.empty() && have[queue.front().first][queue.front().second] != 0) {
+        queue.pop_front();
+      }
+      if (queue.empty()) break;
+      const std::uint64_t point = queue.front().first;
+      std::vector<std::uint64_t> trials;
+      while (!queue.empty() && trials.size() < options_.lease_batch &&
+             queue.front().first == point) {
+        const Key key = queue.front();
+        queue.pop_front();
+        if (have[key.first][key.second] == 0) trials.push_back(key.second);
+      }
+      if (trials.empty()) continue;
+      const std::uint64_t id =
+          leases.grant(static_cast<std::uint64_t>(w), point, trials, now);
+      ++stats_.leases_granted;
+      FabricMessage grant;
+      grant.type = FabricMessage::Type::kLease;
+      grant.worker = static_cast<std::uint64_t>(w);
+      grant.lease = id;
+      grant.point = point;
+      grant.trials = std::move(trials);
+      grant.sent_ms = now;
+      if (!workers[w].transport->send_line(encode_fabric_message(grant))) {
+        on_worker_down(w, /*chaos=*/false, /*clean=*/false);
+        continue;
+      }
+      state[w].idle = false;
+    }
+
+    // Sleep until something is readable (or a short tick for in-memory
+    // transports / timer-driven expiry).
+    std::vector<struct pollfd> fds;
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      if (state[w].alive && workers[w].transport->fd() >= 0) {
+        fds.push_back({workers[w].transport->fd(), POLLIN, 0});
+      }
+    }
+    if (!fds.empty()) {
+      ::poll(fds.data(), fds.size(), 10);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  // Shutdown: whatever is still leased is aborted (drained, not failed);
+  // give workers a short grace to flush in-flight results and say bye, then
+  // hard-stop stragglers.
+  stats_.leases_aborted += leases.open_leases();
+  next_trigger = triggers.size();  // no chaos during drain
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    if (!state[w].alive) continue;
+    FabricMessage shutdown;
+    shutdown.type = FabricMessage::Type::kShutdown;
+    shutdown.worker = static_cast<std::uint64_t>(w);
+    shutdown.sent_ms = clock_();
+    (void)workers[w].transport->send_line(encode_fabric_message(shutdown));
+  }
+  const std::uint64_t grace_deadline =
+      clock_() + std::min<std::uint64_t>(options_.lease_ms, 2000);
+  for (int spin = 0; spin < 100000; ++spin) {
+    const std::uint64_t now = clock_();
+    std::size_t alive = 0;
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      pump_worker(w, now);
+      if (state[w].alive) ++alive;
+    }
+    if (alive == 0 || now >= grace_deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    if (!state[w].alive) continue;
+    if (workers[w].pid > 0) ::kill(workers[w].pid, SIGKILL);
+    workers[w].transport->sever();
+    state[w].alive = false;
+    drain_worker_leases(w);
+    reap(w);
+  }
+
+  if (journal_.has_value()) journal_->checkpoint();
+
+  // Deterministic quarantine order regardless of arrival interleaving.
+  std::sort(report.quarantined.begin(), report.quarantined.end(),
+            [](const QuarantinedTrial& a, const QuarantinedTrial& b) {
+              return std::tie(a.point, a.trial) < std::tie(b.point, b.trial);
+            });
+
+  // Completed-prefix report, the SweepRunner contract: a point appears only
+  // when every one of its trials landed.
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    if (std::find(have[p].begin(), have[p].end(), 0) != have[p].end()) {
+      report.interrupted = true;
+      break;
+    }
+    report.points.push_back(std::move(results[p]));
+    report.labels.push_back(points[p].label);
+  }
+  if (interrupted) report.interrupted = true;
+
+  if (options_.metrics != nullptr) {
+    obs::MetricRegistry& m = *options_.metrics;
+    m.counter("fabric.leases_granted").increment(stats_.leases_granted);
+    m.counter("fabric.leases_completed").increment(stats_.leases_completed);
+    m.counter("fabric.leases_expired").increment(stats_.leases_expired);
+    m.counter("fabric.leases_aborted").increment(stats_.leases_aborted);
+    m.counter("fabric.trials_requeued").increment(stats_.trials_requeued);
+    m.counter("fabric.late_results_discarded")
+        .increment(stats_.late_results_discarded);
+    m.counter("fabric.duplicate_results_discarded")
+        .increment(stats_.duplicate_results_discarded);
+    m.counter("fabric.worker_deaths").increment(stats_.worker_deaths);
+    m.counter("fabric.chaos_kills").increment(stats_.chaos_kills);
+    m.counter("fabric.heartbeats").increment(stats_.heartbeats);
+    m.counter("fabric.quarantined").increment(stats_.fabric_quarantined);
+    m.gauge("fabric.workers").set(static_cast<double>(workers.size()));
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// FabricRunner
+// ---------------------------------------------------------------------------
+
+FabricRunner::FabricRunner(const obs::RunManifest& manifest,
+                           FabricOptions options)
+    : manifest_(manifest), options_(std::move(options)) {
+  if (options_.workers == 0) {
+    throw FabricError("fabric requires workers >= 1");
+  }
+  if (options_.chaos_kills >= options_.workers) {
+    throw FabricError(
+        "chaos_kills must be < workers (never kill the last worker)");
+  }
+  if (options_.worker_shards && options_.resilience.journal_path.empty()) {
+    throw FabricError("worker shards require a journal path");
+  }
+  if (options_.heartbeat_ms == 0) {
+    options_.heartbeat_ms = std::max<std::uint64_t>(1, options_.lease_ms / 4);
+  }
+  if (options_.heartbeat_ms >= options_.lease_ms) {
+    throw FabricError("heartbeat_ms must be < lease_ms");
+  }
+}
+
+SweepReport FabricRunner::run(const std::vector<SweepPoint>& points) {
+  // The coordinator (and its journal open/create, which can throw) comes
+  // first so a bad resume never forks anything.
+  FabricCoordinator coordinator(manifest_, options_);
+
+  std::vector<WorkerEndpoint> endpoints;
+  std::vector<int> parent_fds;  // coordinator-side fds a later child must close
+
+  const auto kill_spawned = [&endpoints] {
+    for (WorkerEndpoint& ep : endpoints) {
+      if (ep.pid > 0) {
+        ::kill(ep.pid, SIGKILL);
+        int status = 0;
+        ::waitpid(ep.pid, &status, 0);
+        unregister_interrupt_child(ep.pid);
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    int sv[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      kill_spawned();
+      throw FabricError("socketpair failed");
+    }
+    // Fork, not exec: SweepPoint bodies are std::function closures that
+    // cannot cross an exec boundary. Callers must not have started threads
+    // yet (the coordinator loop is single-threaded by design).
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      kill_spawned();
+      throw FabricError("fork failed");
+    }
+    if (pid == 0) {
+      // Child: own process group so a terminal Ctrl-C reaches only the
+      // coordinator (which forwards it once, cooperatively); PDEATHSIG so a
+      // SIGKILLed coordinator cannot leak orphans.
+      ::setpgid(0, 0);
+#ifdef __linux__
+      ::prctl(PR_SET_PDEATHSIG, SIGTERM);
+#endif
+      reset_interrupt_in_child();
+      ::close(sv[0]);
+      for (const int fd : parent_fds) ::close(fd);
+      int code = 1;
+      try {
+        SocketTransport transport(sv[1]);
+        code = run_fabric_worker(transport, points, manifest_, options_, i);
+      } catch (...) {
+        code = 1;
+      }
+      std::_Exit(code);
+    }
+    ::close(sv[1]);
+    parent_fds.push_back(sv[0]);
+    (void)register_interrupt_child(pid);
+    WorkerEndpoint ep;
+    ep.transport = std::make_unique<SocketTransport>(sv[0]);
+    ep.pid = pid;
+    endpoints.push_back(std::move(ep));
+  }
+
+  SweepReport report = coordinator.run(points, std::move(endpoints));
+  stats_ = coordinator.stats();
+  return report;
+}
+
+}  // namespace mtm

@@ -1,0 +1,356 @@
+// Distributed sweep fabric: coordinator/worker trial leasing with
+// crash-tolerant, byte-identical aggregation (schema mtm-fabric/1).
+//
+// A single SweepRunner process is the unit of correctness in this repo; the
+// fabric is how a sweep outgrows one process without giving any of that up.
+// The coordinator owns the merged trial journal and leases batches of
+// (point, trial) work to worker processes; workers execute each trial with
+// the exact same code path as an in-process sweep (execute_sweep_trial) and
+// stream checksummed journal-record lines back. Merged aggregates are
+// byte-identical to a single-process run because:
+//
+//   * trial seeds derive only from (master seed, trial index) — never from
+//     which worker ran the trial or when;
+//   * results land in results[point][trial] index slots, so arrival order
+//     cannot reorder aggregation;
+//   * duplicate deliveries (a lease expired, the trial was re-granted, and
+//     then BOTH executions reported) resolve first-wins per key, the same
+//     rule SweepRunner applies to resumed journals.
+//
+// Robustness model:
+//
+//   * every lease carries a deadline; workers renew it by heartbeat or by
+//     delivering results. A lease that goes strictly past its deadline is
+//     expired and its incomplete trials return to the front of the queue;
+//   * a dead worker (SIGKILL, OOM, chaos) is detected by transport EOF;
+//     its leases expire immediately and the sweep drains on the remaining
+//     workers. If ALL workers die, the coordinator stops granting and
+//     reports a partial (interrupted) sweep — completed points stay valid;
+//   * results arriving after their lease expired ("late results") are
+//     discarded deterministically unless the key is still unfilled — a
+//     stale lease id never overwrites anything;
+//   * a (point, trial) requeued more than max_requeues times is presumed
+//     poisonous to workers and is quarantined with a fabricated censored
+//     record, mirroring the watchdog's quarantine of poison seeds;
+//   * SIGINT/SIGTERM on the coordinator is forwarded to every live worker
+//     (harness/interrupt.hpp), which flush shard journals and exit; the
+//     coordinator drains, checkpoints, and reports partial;
+//   * --chaos-kill-workers SIGKILLs workers at deterministic points in the
+//     result stream (seeded schedule, never the last worker alive) so CI
+//     can prove the drain + requeue path keeps aggregates byte-identical.
+//
+// Transport is a small interface: production workers are forked children on
+// an AF_UNIX stream socketpair; tests drive the same coordinator and worker
+// loops over in-memory loopback transports (make_loopback_transport) with
+// an injected clock.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/checkpoint.hpp"
+#include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "sim/fault_cli.hpp"
+
+namespace mtm {
+
+inline constexpr const char* kFabricSchemaVersion = "mtm-fabric/1";
+
+/// Fabric protocol, transport, or spawn failure.
+class FabricError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+/// One bidirectional, line-delimited message channel between the
+/// coordinator and a worker. Implementations must make send_line
+/// thread-safe (the worker's heartbeat thread and trial loop share one
+/// transport); everything else is called from a single thread per side.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues/writes one line (no trailing newline in `line`). Returns false
+  /// once the peer is gone — the caller treats that as peer death, never as
+  /// an error to retry.
+  virtual bool send_line(const std::string& line) = 0;
+
+  /// Non-blocking: pops the next complete received line. False when no
+  /// complete line is buffered (closed() distinguishes EOF from "not yet").
+  virtual bool poll_line(std::string* line) = 0;
+
+  /// Blocks up to timeout_ms for readability (or EOF). Returns true when
+  /// poll_line/closed should be consulted, false on pure timeout.
+  virtual bool wait_readable(int timeout_ms) = 0;
+
+  /// True after EOF/severance AND the receive buffer has been drained.
+  virtual bool closed() = 0;
+
+  /// Hard-severs the channel from this side (chaos / teardown). The peer
+  /// observes EOF.
+  virtual void sever() = 0;
+
+  /// Pollable file descriptor, -1 for in-memory transports.
+  virtual int fd() const = 0;
+};
+
+/// Transport over a connected stream socket (AF_UNIX socketpair in the
+/// fabric). Owns the fd; non-blocking reads with an internal line buffer,
+/// blocking-ish writes (EAGAIN waits for POLLOUT), MSG_NOSIGNAL so a dead
+/// peer surfaces as false from send_line instead of SIGPIPE.
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(int fd);
+  ~SocketTransport() override;
+
+  bool send_line(const std::string& line) override;
+  bool poll_line(std::string* line) override;
+  bool wait_readable(int timeout_ms) override;
+  bool closed() override;
+  void sever() override;
+  int fd() const override { return fd_; }
+
+ private:
+  void pump();  // drain readable bytes into rx_
+
+  int fd_ = -1;
+  bool peer_gone_ = false;
+  std::string rx_;
+  std::deque<std::string> lines_;
+  std::mutex send_mutex_;
+};
+
+/// A connected pair of in-memory transports for same-process tests: lines
+/// sent on `first` arrive on `second` and vice versa. wait_readable blocks
+/// on a condition variable, so coordinator and worker loops can run on
+/// separate threads exactly as they would across processes.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_transport();
+
+// ---------------------------------------------------------------------------
+// Protocol messages
+// ---------------------------------------------------------------------------
+
+/// One mtm-fabric/1 message (a single JSONL line on the wire). The protocol
+/// is deliberately tiny — five message types and no negotiation:
+///
+///   worker -> coordinator: hello, heartbeat, result, bye
+///   coordinator -> worker: lease, shutdown
+///
+/// There is no lease-done message: the coordinator retires a lease the
+/// moment the last of its trials' results arrives, so a protocol state
+/// cannot drift from the data that defines it.
+struct FabricMessage {
+  enum class Type { kHello, kLease, kHeartbeat, kResult, kShutdown, kBye };
+
+  Type type = Type::kHello;
+  std::uint64_t worker = 0;  ///< sender/addressee worker index
+  std::uint64_t lease = 0;   ///< lease id (kLease, kHeartbeat, kResult)
+  std::uint64_t point = 0;   ///< sweep-point index of the lease's trials
+  std::vector<std::uint64_t> trials;  ///< granted trial indices (kLease)
+  /// Sender's steady-clock ms at send time; the coordinator's heartbeat
+  /// latency histogram is (receive - sent), clamped at 0 (the clocks share
+  /// CLOCK_MONOTONIC on one machine, but tests inject fake time).
+  std::uint64_t sent_ms = 0;
+  /// kResult payload: one checksummed journal_record_line — the wire reuses
+  /// the journal's serialization and checksum verbatim, so a corrupt
+  /// result line is rejected by the same code that rejects journal rot.
+  std::string record;
+};
+
+const char* to_string(FabricMessage::Type type);
+
+/// One JSONL line for `message` (no trailing newline) and its inverse;
+/// parse throws FabricError on malformed lines or unknown types/fields.
+std::string encode_fabric_message(const FabricMessage& message);
+FabricMessage parse_fabric_message(const std::string& line);
+
+// ---------------------------------------------------------------------------
+// LeaseTable
+// ---------------------------------------------------------------------------
+
+/// Pure lease bookkeeping — every operation takes the current time as a
+/// parameter, so expiry edge cases (heartbeat exactly at the deadline, a
+/// result one tick late) are deterministic and unit-testable without
+/// sleeping. Lease ids are monotonically increasing and never reused; a
+/// message carrying a retired/expired id is recognizably stale forever.
+class LeaseTable {
+ public:
+  explicit LeaseTable(std::uint64_t lease_ms);
+
+  struct Expired {
+    std::uint64_t id = 0;
+    std::uint64_t worker = 0;
+    /// (point, trial) keys granted but not completed before expiry.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> incomplete;
+  };
+
+  /// Grants `trials` of `point` to `worker`; the lease deadline is
+  /// now_ms + lease_ms. Returns the new lease id (ids start at 1).
+  std::uint64_t grant(std::uint64_t worker, std::uint64_t point,
+                      std::vector<std::uint64_t> trials, std::uint64_t now_ms);
+
+  /// Heartbeat: pushes the deadline to now_ms + lease_ms. False for an
+  /// unknown, retired, or already-expired lease (the worker lost it).
+  bool renew(std::uint64_t id, std::uint64_t now_ms);
+
+  enum class CompleteStatus {
+    kAccepted,        ///< result recorded, lease renewed, lease still open
+    kCompletedLease,  ///< result recorded and it was the lease's last trial
+    kStale,           ///< unknown/expired/retired lease, or key not granted
+  };
+
+  /// Records (point, trial) as delivered under lease `id`. Accepting a
+  /// result also renews the lease — data is the strongest heartbeat.
+  CompleteStatus complete(std::uint64_t id, std::uint64_t point,
+                          std::uint64_t trial, std::uint64_t now_ms);
+
+  /// Expires every lease whose deadline is STRICTLY before now_ms — a
+  /// heartbeat arriving exactly at the deadline still renews. Expired
+  /// leases are retired; their incomplete keys are returned for requeue.
+  std::vector<Expired> expire(std::uint64_t now_ms);
+
+  /// Immediately expires all of `worker`'s open leases (worker death).
+  std::vector<Expired> expire_worker(std::uint64_t worker);
+
+  std::size_t open_leases() const noexcept { return open_.size(); }
+
+ private:
+  struct Lease {
+    std::uint64_t id = 0;
+    std::uint64_t worker = 0;
+    std::uint64_t point = 0;
+    std::uint64_t deadline_ms = 0;
+    std::vector<std::uint64_t> pending;  // trials not yet completed
+  };
+
+  std::uint64_t lease_ms_;
+  std::uint64_t next_id_ = 1;
+  std::vector<Lease> open_;
+};
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+/// Runs the worker side of the protocol over `transport` until shutdown,
+/// interrupt, or transport EOF: announce with hello, then for each lease
+/// execute its trials via execute_sweep_trial (the SweepRunner inner loop —
+/// same watchdog, retry, backoff, and quarantine policy) and send one
+/// result per trial. A background heartbeat renews the current lease every
+/// options.heartbeat_ms. With options.worker_shards, every completed trial
+/// is also appended to the worker's own shard journal
+/// (<journal_path>.w<worker_index>), giving the validator an independent
+/// per-worker record set to check against the merged journal.
+///
+/// Returns a process exit code: 0 (clean shutdown), kInterruptExitCode
+/// (interrupt observed), 1 (coordinator vanished).
+int run_fabric_worker(Transport& transport,
+                      const std::vector<SweepPoint>& points,
+                      const obs::RunManifest& manifest,
+                      const FabricOptions& options, std::size_t worker_index);
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+/// Fabric-level robustness accounting, exported to the metric registry
+/// (fabric.* counters) and printed by the tools.
+struct FabricStats {
+  std::uint64_t leases_granted = 0;
+  std::uint64_t leases_completed = 0;
+  std::uint64_t leases_expired = 0;
+  /// Leases still open at shutdown (drained away, not failed).
+  std::uint64_t leases_aborted = 0;
+  std::uint64_t trials_requeued = 0;
+  std::uint64_t late_results_discarded = 0;
+  std::uint64_t duplicate_results_discarded = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t chaos_kills = 0;
+  std::uint64_t heartbeats = 0;
+  /// Trials quarantined at the fabric level (max_requeues exhausted).
+  std::uint64_t fabric_quarantined = 0;
+};
+
+/// One worker as the coordinator sees it: its message channel plus, for
+/// forked workers, the pid to reap (and for chaos to SIGKILL). pid < 0
+/// marks an in-process (test) worker — chaos then severs the transport.
+struct WorkerEndpoint {
+  std::unique_ptr<Transport> transport;
+  pid_t pid = -1;
+};
+
+/// The coordinator: owns the merged journal (created/resumed exactly like
+/// SweepRunner's), grants leases, merges results first-wins, and drives
+/// expiry/requeue/chaos. Single-threaded; the clock is injectable so tests
+/// can replay expiry schedules deterministically.
+class FabricCoordinator {
+ public:
+  using Clock = std::function<std::uint64_t()>;  ///< monotonic ms
+
+  /// Throws JournalError on an unusable/mismatched journal, FabricError on
+  /// invalid options. `clock` defaults to the steady clock.
+  FabricCoordinator(const obs::RunManifest& manifest, FabricOptions options,
+                    Clock clock = nullptr);
+
+  /// Runs `points` across `workers` and returns the same SweepReport a
+  /// SweepRunner over the same points would produce (modulo the
+  /// executed/resumed split, which reflects who did the work). Reaps forked
+  /// workers before returning; no orphans survive this call.
+  SweepReport run(const std::vector<SweepPoint>& points,
+                  std::vector<WorkerEndpoint> workers);
+
+  const FabricStats& stats() const noexcept { return stats_; }
+  bool journaling() const noexcept { return journal_.has_value(); }
+
+ private:
+  FabricOptions options_;
+  Clock clock_;
+  std::optional<TrialJournal> journal_;
+  FabricStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// FabricRunner: fork-based production entry point
+// ---------------------------------------------------------------------------
+
+/// Drop-in distributed SweepRunner: forks options.workers worker processes
+/// connected over AF_UNIX socketpairs and runs the coordinator in this
+/// process. Fork (not exec) because SweepPoint bodies are std::function
+/// closures; call run() before creating any threads. Workers get their own
+/// process group (a terminal Ctrl-C reaches only the coordinator, which
+/// forwards it — see harness/interrupt.hpp) and, on Linux, PDEATHSIG so a
+/// SIGKILLed coordinator cannot leak orphans.
+class FabricRunner {
+ public:
+  /// Validates options (workers >= 1, chaos_kills < workers, worker_shards
+  /// needs a journal path) — throws FabricError on violations.
+  FabricRunner(const obs::RunManifest& manifest, FabricOptions options);
+
+  /// Forks the workers, runs the coordinator, reaps everything.
+  SweepReport run(const std::vector<SweepPoint>& points);
+
+  const FabricStats& stats() const noexcept { return stats_; }
+
+ private:
+  obs::RunManifest manifest_;
+  FabricOptions options_;
+  FabricStats stats_;
+};
+
+}  // namespace mtm

@@ -1,5 +1,6 @@
 #include "harness/interrupt.hpp"
 
+#include <atomic>
 #include <csignal>
 
 namespace mtm {
@@ -8,17 +9,30 @@ namespace {
 
 CancelToken g_interrupt;
 
+// Registered worker pids, forwarded the first signal from the handler.
+// Lock-free fixed-size slots: the handler may only touch lock-free atomics,
+// so no vector/mutex. 0 = free slot.
+std::atomic<pid_t> g_children[kMaxInterruptChildren];
+
 extern "C" void interrupt_handler(int sig) {
-  // Signal-handler contract: only lock-free atomic stores and async-safe
-  // calls below. The token's cancel() is a relaxed atomic store.
+  // Signal-handler contract: only lock-free atomic loads/stores and
+  // async-signal-safe calls (kill, signal, raise) below.
   if (g_interrupt.cancelled()) {
     // Second signal: the graceful path is apparently stuck — restore the
     // default disposition and re-raise so the process actually dies.
+    // Registered children are left to their PDEATHSIG / pipe-EOF exits.
     std::signal(sig, SIG_DFL);
     std::raise(sig);
     return;
   }
   g_interrupt.cancel();
+  // First signal: forward it to every registered child so the whole fabric
+  // drains together. The children run the same handler, so they observe it
+  // as their own first (graceful) signal.
+  for (std::atomic<pid_t>& slot : g_children) {
+    const pid_t pid = slot.load(std::memory_order_relaxed);
+    if (pid > 0) kill(pid, sig);
+  }
 }
 
 }  // namespace
@@ -26,6 +40,33 @@ extern "C" void interrupt_handler(int sig) {
 void install_interrupt_handler() {
   std::signal(SIGINT, interrupt_handler);
   std::signal(SIGTERM, interrupt_handler);
+}
+
+bool register_interrupt_child(pid_t pid) {
+  if (pid <= 0) return false;
+  for (std::atomic<pid_t>& slot : g_children) {
+    pid_t expected = 0;
+    if (slot.compare_exchange_strong(expected, pid,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void unregister_interrupt_child(pid_t pid) {
+  if (pid <= 0) return;
+  for (std::atomic<pid_t>& slot : g_children) {
+    pid_t expected = pid;
+    slot.compare_exchange_strong(expected, 0, std::memory_order_relaxed);
+  }
+}
+
+void reset_interrupt_in_child() {
+  g_interrupt.reset();
+  for (std::atomic<pid_t>& slot : g_children) {
+    slot.store(0, std::memory_order_relaxed);
+  }
 }
 
 const CancelToken& interrupt_token() { return g_interrupt; }

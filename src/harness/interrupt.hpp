@@ -12,7 +12,15 @@
 //
 // A SECOND signal restores the default disposition and re-raises, so a
 // wedged shutdown can still be killed the old-fashioned way.
+//
+// Multi-process fabrics (harness/fabric.hpp) register their worker pids
+// here: the FIRST signal is forwarded to every registered child from inside
+// the handler (kill() is async-signal-safe), so Ctrl-C on the coordinator
+// tears the whole fabric down cooperatively — workers flush their shard
+// journals and exit, leaving no orphans.
 #pragma once
+
+#include <sys/types.h>
 
 #include "core/cancel.hpp"
 
@@ -20,6 +28,24 @@ namespace mtm {
 
 /// Installs the SIGINT and SIGTERM handlers (idempotent).
 void install_interrupt_handler();
+
+/// Registers a child process to receive the first SIGINT/SIGTERM this
+/// process gets (forwarded from inside the signal handler). Bounded
+/// capacity (kMaxInterruptChildren); returns false when the table is full —
+/// the caller should then deliver signals to the child itself.
+bool register_interrupt_child(pid_t pid);
+
+/// Removes a child registered above (call after reaping it). Unknown pids
+/// are ignored.
+void unregister_interrupt_child(pid_t pid);
+
+/// A forked child inherits the handler, the token state, and the registered
+/// sibling pids. Call this first thing in the child so it neither reports
+/// the parent's pending interrupt as its own nor forwards signals to its
+/// siblings (the coordinator already does that).
+void reset_interrupt_in_child();
+
+inline constexpr int kMaxInterruptChildren = 64;
 
 /// The process-wide interrupt token; pass it as TrialCancel::interrupt and
 /// ResilienceOptions::interrupt. Valid whether or not the handler is

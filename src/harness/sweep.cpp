@@ -146,6 +146,41 @@ void backoff_sleep(std::uint64_t base_ms, std::uint32_t attempt) {
 
 }  // namespace
 
+JournalRecord execute_sweep_trial(const SweepPoint& point,
+                                  std::uint64_t point_index,
+                                  std::uint64_t trial, TrialWatchdog& watchdog,
+                                  const ResilienceOptions& options,
+                                  bool* interrupted) {
+  JournalRecord rec;
+  rec.point = point_index;
+  rec.trial = trial;
+  rec.seed = trial_seed(point.master_seed, trial);
+  std::uint32_t attempt = 1;
+  for (;;) {
+    TrialWatchdog::Lease lease = watchdog.arm();
+    const TrialCancel cancel{lease.token(), options.interrupt};
+    RunResult r = point.body(rec.seed, &cancel);
+    if (cancel.interrupted()) {
+      // Incomplete by the user's hand, not the trial's: never journal it —
+      // a resumed run must re-execute it in full.
+      if (interrupted != nullptr) *interrupted = true;
+      return rec;
+    }
+    const bool deadline_killed = r.cancelled;
+    const bool retryable =
+        deadline_killed || (!r.converged && options.retry_censored);
+    if (retryable && attempt <= options.retries) {
+      backoff_sleep(options.backoff_ms, attempt);
+      ++attempt;
+      continue;
+    }
+    rec.attempts = attempt;
+    rec.quarantined = deadline_killed;
+    rec.result = r;
+    return rec;
+  }
+}
+
 SweepReport SweepRunner::run(const std::vector<SweepPoint>& points,
                              std::size_t threads) {
   MTM_REQUIRE(threads >= 1);
@@ -194,33 +229,12 @@ SweepReport SweepRunner::run(const std::vector<SweepPoint>& points,
     parallel_for(threads, pending.size(), [&](std::size_t i) {
       if (interrupted.load(std::memory_order_relaxed)) return;
       const std::size_t t = pending[i];
-      JournalRecord rec;
-      rec.point = p;
-      rec.trial = t;
-      rec.seed = trial_seed(point.master_seed, t);
-      std::uint32_t attempt = 1;
-      for (;;) {
-        TrialWatchdog::Lease lease = watchdog.arm();
-        const TrialCancel cancel{lease.token(), options_.interrupt};
-        RunResult r = point.body(rec.seed, &cancel);
-        if (cancel.interrupted()) {
-          // Incomplete by the user's hand, not the trial's: never journal
-          // it — the resumed run must re-execute it in full.
-          interrupted.store(true, std::memory_order_relaxed);
-          return;
-        }
-        const bool deadline_killed = r.cancelled;
-        const bool retryable =
-            deadline_killed || (!r.converged && options_.retry_censored);
-        if (retryable && attempt <= options_.retries) {
-          backoff_sleep(options_.backoff_ms, attempt);
-          ++attempt;
-          continue;
-        }
-        rec.attempts = attempt;
-        rec.quarantined = deadline_killed;
-        rec.result = r;
-        break;
+      bool trial_interrupted = false;
+      const JournalRecord rec = execute_sweep_trial(
+          point, p, t, watchdog, options_, &trial_interrupted);
+      if (trial_interrupted) {
+        interrupted.store(true, std::memory_order_relaxed);
+        return;
       }
       results[t] = rec.result;
       have[t] = 1;

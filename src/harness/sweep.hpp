@@ -119,6 +119,20 @@ struct SweepReport {
   std::vector<std::uint64_t> quarantined_seeds() const;
 };
 
+/// One trial of `point` under the full watchdog/retry/backoff/quarantine
+/// policy — the inner attempt loop shared by SweepRunner (in-process sweeps)
+/// and the fabric worker (harness/fabric.hpp), so a trial executed by a
+/// remote worker can never diverge from one executed locally. The returned
+/// record carries the derived trial seed, the attempt count, and the
+/// quarantine flag. When the process interrupt fires mid-trial the record is
+/// meaningless; `*interrupted` is set instead and the caller must not
+/// journal or report it.
+JournalRecord execute_sweep_trial(const SweepPoint& point,
+                                  std::uint64_t point_index,
+                                  std::uint64_t trial, TrialWatchdog& watchdog,
+                                  const ResilienceOptions& options,
+                                  bool* interrupted);
+
 /// Drives a sequence of SweepPoints with durability and liveness guarantees:
 ///
 ///   * every finished trial is appended to the journal (when configured)

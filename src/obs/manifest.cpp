@@ -5,6 +5,13 @@
 #include <sstream>
 #include <unordered_set>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
 #include "sim/engine.hpp"
 
 namespace mtm::obs {
@@ -40,8 +47,58 @@ RunManifest make_run_manifest(std::string tool, std::uint64_t seed,
   return manifest;
 }
 
+namespace {
+
+#if defined(__unix__) || defined(__APPLE__)
+/// Durably writes `text` to `tmp`: the data must be on stable storage (not
+/// just in the page cache) before the caller renames it into place, or a
+/// power loss shortly after the rename could leave a committed *name*
+/// pointing at missing *bytes*.
+bool write_and_fsync(const std::string& tmp, const std::string& text) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return false;
+  const char* data = text.data();
+  std::size_t remaining = text.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  return (::close(fd) == 0) && synced;
+}
+
+/// Fsyncs the directory holding `path` so the rename itself is durable.
+/// Best-effort: some filesystems refuse directory fsync; by then the file
+/// data is already synced, so failure here only narrows the power-loss
+/// window instead of reopening it.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+}
+#endif
+
+}  // namespace
+
 bool write_text_atomic(const std::string& path, const std::string& text) {
   const std::string tmp = path + ".tmp";
+#if defined(__unix__) || defined(__APPLE__)
+  if (!write_and_fsync(tmp, text)) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+#else
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return false;
@@ -53,10 +110,14 @@ bool write_text_atomic(const std::string& path, const std::string& text) {
       return false;
     }
   }
+#endif
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return false;
   }
+#if defined(__unix__) || defined(__APPLE__)
+  fsync_parent_dir(path);
+#endif
   return true;
 }
 

@@ -51,6 +51,14 @@ JsonValue fault_plan_config_json(const FaultPlanConfig& config);
 /// process killed mid-write) can only ever observe the old complete file or
 /// the new complete file — never a truncated artifact. Returns false on any
 /// I/O failure (the temp file is removed).
+///
+/// Durability: on POSIX the temp file is fsync'd before the rename and the
+/// parent directory is fsync'd after it, so the artifact survives power loss
+/// as well as process crashes — rename alone only orders the *names*, not
+/// the *bytes*, and an unsynced rename can leave the new name pointing at a
+/// zero-length file after a reboot. The directory fsync is best-effort
+/// (some filesystems reject it); the file fsync is load-bearing and failing
+/// it fails the write.
 bool write_text_atomic(const std::string& path, const std::string& text);
 
 /// Serializes `doc` (pretty-printed, trailing newline) and writes it

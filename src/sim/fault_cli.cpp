@@ -1,5 +1,6 @@
 #include "sim/fault_cli.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mtm {
@@ -194,6 +195,70 @@ ResilienceOptions parse_resilience_flags(const CliArgs& args) {
     throw std::invalid_argument("--retry-censored requires --retries");
   }
   options.retry_censored = args.get_bool("retry-censored", false);
+  return options;
+}
+
+const char* fabric_flags_help() {
+  return R"(  --workers=N       fork N worker processes (coordinator/worker)  [default 0]
+  --lease-ms=N      lease lifetime without heartbeat or result   [default 10000]
+  --heartbeat-ms=N  worker heartbeat period                      [default lease/4]
+  --lease-batch=N   max trials granted per lease                 [default 4]
+  --max-requeues=N  requeues before coordinator quarantine       [default 8]
+  --chaos-kill-workers=N  SIGKILL N workers on a seeded schedule [default 0]
+  --chaos-seed=S    seed of the chaos kill schedule              [default 1]
+  --worker-shards   each worker also journals to <journal>.w<i>  [default off]
+)";
+}
+
+FabricOptions parse_fabric_flags(const CliArgs& args,
+                                 const ResilienceOptions& resilience) {
+  FabricOptions options;
+  options.resilience = resilience;
+  options.workers = args.get_u64("workers", 0);
+  if (options.workers == 0) {
+    // Fabric tuning without --workers is a dropped flag, not a no-op.
+    for (const char* flag :
+         {"lease-ms", "heartbeat-ms", "lease-batch", "max-requeues",
+          "chaos-kill-workers", "chaos-seed", "worker-shards"}) {
+      if (args.has(flag)) {
+        throw std::invalid_argument(std::string("--") + flag +
+                                    " requires --workers=N with N >= 1");
+      }
+    }
+    return options;
+  }
+  options.lease_ms = args.get_u64("lease-ms", 10000);
+  if (options.lease_ms == 0) {
+    throw std::invalid_argument("--lease-ms must be >= 1");
+  }
+  options.heartbeat_ms = args.get_u64("heartbeat-ms", 0);
+  if (options.heartbeat_ms == 0) {
+    options.heartbeat_ms = std::max<std::uint64_t>(1, options.lease_ms / 4);
+  } else if (options.heartbeat_ms >= options.lease_ms) {
+    throw std::invalid_argument(
+        "--heartbeat-ms must be < --lease-ms (the lease would expire "
+        "between beats)");
+  }
+  options.lease_batch = args.get_u64("lease-batch", 4);
+  if (options.lease_batch == 0) {
+    throw std::invalid_argument("--lease-batch must be >= 1");
+  }
+  options.max_requeues = args.get_u32("max-requeues", 8);
+  options.chaos_kills = args.get_u64("chaos-kill-workers", 0);
+  if (options.chaos_kills >= options.workers) {
+    throw std::invalid_argument(
+        "--chaos-kill-workers must be < --workers (the schedule never kills "
+        "the last worker)");
+  }
+  if (args.has("chaos-seed") && options.chaos_kills == 0) {
+    throw std::invalid_argument("--chaos-seed requires --chaos-kill-workers");
+  }
+  options.chaos_seed = args.get_u64("chaos-seed", 1);
+  options.worker_shards = args.get_bool("worker-shards", false);
+  if (options.worker_shards && resilience.journal_path.empty()) {
+    throw std::invalid_argument(
+        "--worker-shards requires a journal (--journal or --resume)");
+  }
   return options;
 }
 

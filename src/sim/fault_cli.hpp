@@ -14,6 +14,10 @@
 #include "sim/byzantine.hpp"
 #include "sim/faults.hpp"
 
+namespace mtm::obs {
+class MetricRegistry;
+}  // namespace mtm::obs
+
 namespace mtm {
 
 /// Help-text fragment for the shared flags, formatted to line up with the
@@ -101,5 +105,55 @@ const char* resilience_flags_help();
 /// and --backoff-ms or --retry-censored without --retries (no retry budget
 /// to shape).
 ResilienceOptions parse_resilience_flags(const CliArgs& args);
+
+/// Distributed-fabric knobs consumed by FabricRunner (harness/fabric.hpp):
+/// how many worker processes to fork, the lease/heartbeat timing, and the
+/// deterministic chaos schedule. `workers == 0` (the default) means the
+/// fabric is off and tools take their single-process SweepRunner path.
+struct FabricOptions {
+  /// Worker processes to fork; 0 disables the fabric entirely.
+  std::size_t workers = 0;
+  /// Lease lifetime: a worker that neither heartbeats nor delivers a result
+  /// for strictly longer than this loses the lease and its incomplete
+  /// trials return to the queue.
+  std::uint64_t lease_ms = 10000;
+  /// Heartbeat period; 0 derives lease_ms / 4 (renew well before expiry).
+  std::uint64_t heartbeat_ms = 0;
+  /// Max trials granted per lease (all from the same sweep point).
+  std::size_t lease_batch = 4;
+  /// Times a single (point, trial) may be requeued (lease expiry or worker
+  /// death) before the coordinator quarantines it with a fabricated
+  /// censored record instead of retrying forever.
+  std::uint32_t max_requeues = 8;
+  /// Chaos hook: SIGKILL this many workers at deterministic points in the
+  /// result stream (never the last one alive). 0 disables chaos.
+  std::size_t chaos_kills = 0;
+  /// Seed of the chaos schedule (which workers die, and when).
+  std::uint64_t chaos_seed = 1;
+  /// Each worker journals its own trials to journal_path + ".w<index>" in
+  /// addition to the coordinator's merged journal — the shards feed
+  /// mtm_bench_validate's permutation check. Requires a journal path.
+  bool worker_shards = false;
+  /// The watchdog/retry/journal policy every worker applies in-process —
+  /// identical to the single-process path so results can never diverge.
+  ResilienceOptions resilience;
+  /// Optional sink for fabric.* counters and the heartbeat latency
+  /// histogram. Not a CLI flag — tools wire their registry in.
+  obs::MetricRegistry* metrics = nullptr;
+};
+
+/// Help-text fragment for the fabric flags.
+const char* fabric_flags_help();
+
+/// Consumes the shared fabric flags (--workers, --lease-ms, --heartbeat-ms,
+/// --lease-batch, --max-requeues, --chaos-kill-workers, --chaos-seed,
+/// --worker-shards) and folds in an already-parsed ResilienceOptions.
+/// Contradictions are rejected with a one-line std::invalid_argument: any
+/// fabric flag without --workers >= 1, --chaos-seed without
+/// --chaos-kill-workers, --chaos-kill-workers >= --workers (the schedule
+/// never kills the last worker), --worker-shards without a journal, and
+/// --heartbeat-ms >= --lease-ms (the lease would expire between beats).
+FabricOptions parse_fabric_flags(const CliArgs& args,
+                                 const ResilienceOptions& resilience);
 
 }  // namespace mtm

@@ -1,0 +1,505 @@
+// Distributed sweep fabric: protocol round-trips, LeaseTable expiry edge
+// cases (heartbeat exactly at the deadline, late results, worker death),
+// and coordinator/worker end-to-end runs over loopback transports that must
+// reproduce a single-process SweepRunner byte-for-byte — including through
+// a worker dying mid-batch and a journal resume.
+#include "harness/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mtm {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+obs::RunManifest fabric_manifest(std::uint64_t seed = 11) {
+  obs::RunManifest manifest = obs::make_run_manifest("fabric_test", seed, 1);
+  obs::JsonValue config = obs::JsonValue::object();
+  config.set("kind", obs::JsonValue::string("synthetic"));
+  manifest.config = std::move(config);
+  return manifest;
+}
+
+/// Deterministic synthetic trial: every field a pure function of the seed,
+/// so a worker-executed trial and a local one are trivially comparable.
+RunResult synthetic_result(std::uint64_t seed) {
+  RunResult r;
+  r.rounds = seed % 97 + 1;
+  r.converged = true;
+  r.rounds_after_last_activation = r.rounds;
+  r.connections = seed % 31;
+  r.proposals = seed % 17;
+  return r;
+}
+
+std::vector<SweepPoint> synthetic_points(std::size_t points,
+                                         std::size_t trials,
+                                         std::uint64_t master) {
+  std::vector<SweepPoint> out;
+  for (std::size_t p = 0; p < points; ++p) {
+    SweepPoint point;
+    point.label = "p" + std::to_string(p);
+    point.trials = trials;
+    point.master_seed = master + p;
+    point.body = [](std::uint64_t seed, const TrialCancel*) {
+      return synthetic_result(seed);
+    };
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+void expect_same_results(const SweepReport& a, const SweepReport& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    ASSERT_EQ(a.points[p].size(), b.points[p].size());
+    for (std::size_t t = 0; t < a.points[p].size(); ++t) {
+      const RunResult& x = a.points[p][t];
+      const RunResult& y = b.points[p][t];
+      EXPECT_EQ(x.rounds, y.rounds) << "point " << p << " trial " << t;
+      EXPECT_EQ(x.converged, y.converged);
+      EXPECT_EQ(x.connections, y.connections);
+      EXPECT_EQ(x.proposals, y.proposals);
+    }
+  }
+}
+
+/// The wire line a worker would send for (point, trial): the same checksummed
+/// journal serialization real workers produce from execute_sweep_trial.
+std::string result_line(const std::vector<SweepPoint>& points,
+                        std::uint64_t point, std::uint64_t trial) {
+  JournalRecord rec;
+  rec.point = point;
+  rec.trial = trial;
+  rec.seed = trial_seed(points[point].master_seed, trial);
+  rec.result = synthetic_result(rec.seed);
+  rec.attempts = 1;
+  return journal_record_line(rec);
+}
+
+/// Blocks until the peer sends a message or hangs up; nullopt on hangup.
+std::optional<FabricMessage> next_message(Transport& transport) {
+  std::string line;
+  for (;;) {
+    if (transport.poll_line(&line)) return parse_fabric_message(line);
+    if (transport.closed()) return std::nullopt;
+    transport.wait_readable(50);
+  }
+}
+
+void send(Transport& transport, const FabricMessage& message) {
+  (void)transport.send_line(encode_fabric_message(message));
+}
+
+FabricMessage make_message(FabricMessage::Type type, std::uint64_t worker,
+                           std::uint64_t lease = 0) {
+  FabricMessage m;
+  m.type = type;
+  m.worker = worker;
+  m.lease = lease;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol messages
+// ---------------------------------------------------------------------------
+
+TEST(FabricMessage, RoundTripsEveryTypeAndField) {
+  const FabricMessage::Type types[] = {
+      FabricMessage::Type::kHello,     FabricMessage::Type::kLease,
+      FabricMessage::Type::kHeartbeat, FabricMessage::Type::kResult,
+      FabricMessage::Type::kShutdown,  FabricMessage::Type::kBye,
+  };
+  for (const FabricMessage::Type type : types) {
+    FabricMessage m;
+    m.type = type;
+    m.worker = 3;
+    m.lease = 17;
+    m.point = 2;
+    m.trials = {5, 6, 7};
+    m.sent_ms = 123456;
+    m.record = "payload with \"quotes\" and \\ backslashes";
+    const FabricMessage back = parse_fabric_message(encode_fabric_message(m));
+    EXPECT_EQ(back.type, type) << to_string(type);
+    EXPECT_EQ(back.worker, 3u);
+    EXPECT_EQ(back.lease, 17u);
+    EXPECT_EQ(back.point, 2u);
+    EXPECT_EQ(back.trials, m.trials);
+    EXPECT_EQ(back.sent_ms, 123456u);
+    EXPECT_EQ(back.record, m.record);
+  }
+}
+
+TEST(FabricMessage, RejectsMalformedAndForeignLines) {
+  EXPECT_THROW(parse_fabric_message("not json"), FabricError);
+  EXPECT_THROW(parse_fabric_message("[1,2,3]"), FabricError);
+  // Wrong or missing schema tag: a journal line must never be mistaken for
+  // a protocol message, nor a message from an incompatible fabric version.
+  EXPECT_THROW(parse_fabric_message(R"({"type":"hello"})"), FabricError);
+  EXPECT_THROW(
+      parse_fabric_message(R"({"schema":"mtm-fabric/99","type":"hello"})"),
+      FabricError);
+  EXPECT_THROW(
+      parse_fabric_message(R"({"schema":"mtm-fabric/1","type":"gossip"})"),
+      FabricError);
+  EXPECT_THROW(parse_fabric_message(R"({"schema":"mtm-fabric/1"})"),
+               FabricError);
+  EXPECT_THROW(
+      parse_fabric_message(
+          R"({"schema":"mtm-fabric/1","type":"lease","trials":[1,"x"]})"),
+      FabricError);
+}
+
+// ---------------------------------------------------------------------------
+// LeaseTable edge cases
+// ---------------------------------------------------------------------------
+
+TEST(LeaseTable, HeartbeatExactlyAtDeadlineStillRenews) {
+  LeaseTable table(100);
+  const std::uint64_t id = table.grant(0, 0, {0, 1}, /*now=*/1000);
+  ASSERT_EQ(id, 1u);
+
+  // Expiry is strictly past-deadline: at the deadline the lease is alive
+  // and a heartbeat landing exactly then renews it.
+  EXPECT_TRUE(table.expire(1100).empty());
+  EXPECT_TRUE(table.renew(id, 1100));  // deadline is now 1200
+  EXPECT_TRUE(table.expire(1200).empty());
+  EXPECT_FALSE(table.renew(id, 1201));  // one tick late is late
+
+  const std::vector<LeaseTable::Expired> expired = table.expire(1201);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].id, id);
+  ASSERT_EQ(expired[0].incomplete.size(), 2u);
+  EXPECT_EQ(expired[0].incomplete[0], (std::pair<std::uint64_t,
+                                                 std::uint64_t>{0, 0}));
+  // Once expired the id is retired forever.
+  EXPECT_FALSE(table.renew(id, 1201));
+  EXPECT_EQ(table.complete(id, 0, 0, 1201), LeaseTable::CompleteStatus::kStale);
+  EXPECT_EQ(table.open_leases(), 0u);
+}
+
+TEST(LeaseTable, CompleteRenewsRetiresAndDetectsStaleKeys) {
+  LeaseTable table(100);
+  const std::uint64_t id = table.grant(0, 7, {3, 4}, /*now=*/0);
+
+  // Delivering data renews the deadline (data is the strongest heartbeat).
+  EXPECT_EQ(table.complete(id, 7, 3, 90), LeaseTable::CompleteStatus::kAccepted);
+  EXPECT_TRUE(table.expire(150).empty());  // deadline moved to 190
+
+  // A key the lease never granted — or already delivered — is stale.
+  EXPECT_EQ(table.complete(id, 7, 9, 150), LeaseTable::CompleteStatus::kStale);
+  EXPECT_EQ(table.complete(id, 7, 3, 150), LeaseTable::CompleteStatus::kStale);
+  EXPECT_EQ(table.complete(id, 8, 4, 150), LeaseTable::CompleteStatus::kStale);
+
+  // The last pending trial retires the lease; afterwards the id is dead.
+  EXPECT_EQ(table.complete(id, 7, 4, 185),
+            LeaseTable::CompleteStatus::kCompletedLease);
+  EXPECT_EQ(table.open_leases(), 0u);
+  EXPECT_EQ(table.complete(id, 7, 4, 185), LeaseTable::CompleteStatus::kStale);
+  EXPECT_FALSE(table.renew(id, 186));
+
+  // A result one tick past the deadline is stale even with the key pending.
+  const std::uint64_t late = table.grant(0, 7, {5}, /*now=*/1000);
+  EXPECT_EQ(table.complete(late, 7, 5, 1101),
+            LeaseTable::CompleteStatus::kStale);
+}
+
+TEST(LeaseTable, ExpireWorkerDrainsOnlyThatWorkerAndIdsNeverRecycle) {
+  LeaseTable table(1000);
+  const std::uint64_t a = table.grant(0, 0, {0, 1}, 0);
+  const std::uint64_t b = table.grant(1, 0, {2, 3}, 0);
+  ASSERT_NE(a, b);
+  EXPECT_EQ(table.complete(a, 0, 0, 1), LeaseTable::CompleteStatus::kAccepted);
+
+  const std::vector<LeaseTable::Expired> dead = table.expire_worker(0);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].id, a);
+  EXPECT_EQ(dead[0].worker, 0u);
+  // Only the undelivered key comes back for requeue.
+  ASSERT_EQ(dead[0].incomplete.size(), 1u);
+  EXPECT_EQ(dead[0].incomplete[0],
+            (std::pair<std::uint64_t, std::uint64_t>{0, 1}));
+
+  // Worker 1's lease is untouched and still completes.
+  EXPECT_EQ(table.open_leases(), 1u);
+  EXPECT_EQ(table.complete(b, 0, 2, 2), LeaseTable::CompleteStatus::kAccepted);
+
+  // Ids keep climbing after expiry — a stale id can never alias a new lease.
+  const std::uint64_t c = table.grant(0, 0, {1}, 3);
+  EXPECT_GT(c, b);
+  EXPECT_EQ(table.complete(a, 0, 1, 3), LeaseTable::CompleteStatus::kStale);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over loopback transports
+// ---------------------------------------------------------------------------
+
+TEST(Fabric, LoopbackWorkersReproduceSweepRunnerByteForByte) {
+  const obs::RunManifest manifest = fabric_manifest();
+  const std::vector<SweepPoint> points = synthetic_points(3, 4, 300);
+
+  SweepRunner control(manifest, ResilienceOptions{});
+  const SweepReport expected = control.run(synthetic_points(3, 4, 300), 2);
+
+  FabricOptions options;
+  options.workers = 2;
+  options.lease_ms = 60000;  // no expiry in a clean run
+  options.heartbeat_ms = 5;  // but plenty of heartbeats
+  options.lease_batch = 3;
+
+  obs::MetricRegistry metrics;
+  options.metrics = &metrics;
+
+  std::vector<WorkerEndpoint> endpoints;
+  std::vector<std::thread> threads;
+  std::vector<int> exit_codes(2, -1);
+  for (std::size_t w = 0; w < 2; ++w) {
+    auto [coord_side, worker_side] = make_loopback_transport();
+    endpoints.push_back(WorkerEndpoint{std::move(coord_side), -1});
+    threads.emplace_back(
+        [&, w, transport = std::move(worker_side)]() mutable {
+          exit_codes[w] = run_fabric_worker(*transport, points, manifest,
+                                            options, w);
+        });
+  }
+
+  FabricCoordinator coordinator(manifest, options);
+  const SweepReport report = coordinator.run(points, std::move(endpoints));
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(exit_codes[0], 0);
+  EXPECT_EQ(exit_codes[1], 0);
+  EXPECT_FALSE(report.interrupted);
+  EXPECT_EQ(report.executed_trials, 12u);
+  EXPECT_EQ(report.resumed_trials, 0u);
+  expect_same_results(report, expected);
+
+  const FabricStats& stats = coordinator.stats();
+  // Clean-run lease accounting: everything granted was completed.
+  EXPECT_EQ(stats.leases_granted,
+            stats.leases_completed + stats.leases_expired +
+                stats.leases_aborted);
+  EXPECT_EQ(stats.leases_expired, 0u);
+  EXPECT_EQ(stats.worker_deaths, 0u);
+  EXPECT_EQ(stats.late_results_discarded, 0u);
+  EXPECT_EQ(metrics.counter("fabric.leases_granted").value(),
+            stats.leases_granted);
+  EXPECT_EQ(metrics.counter("fabric.worker_deaths").value(), 0u);
+}
+
+TEST(Fabric, LateResultAfterExpiryIsDiscardedDeterministically) {
+  const obs::RunManifest manifest = fabric_manifest();
+  const std::vector<SweepPoint> points = synthetic_points(1, 2, 400);
+
+  // Injected clock: the scripted worker advances time instead of sleeping,
+  // so the expiry/regrant/late-result interleaving is fully deterministic.
+  auto now = std::make_shared<std::atomic<std::uint64_t>>(1);
+  FabricOptions options;
+  options.workers = 1;
+  options.lease_ms = 1000;
+
+  auto [coord_side, worker_side] = make_loopback_transport();
+  std::vector<WorkerEndpoint> endpoints;
+  endpoints.push_back(WorkerEndpoint{std::move(coord_side), -1});
+
+  std::thread worker([&, transport = std::move(worker_side)]() mutable {
+    Transport& t = *transport;
+    send(t, make_message(FabricMessage::Type::kHello, 0));
+
+    // Sit on the first lease until it expires under us...
+    const std::optional<FabricMessage> first = next_message(t);
+    ASSERT_TRUE(first.has_value());
+    ASSERT_EQ(first->type, FabricMessage::Type::kLease);
+    ASSERT_EQ(first->trials.size(), 2u);
+    now->fetch_add(options.lease_ms + 1);
+
+    // ...wait for the regrant, then deliver a LATE result under the dead
+    // lease id before the fresh results under the live one.
+    const std::optional<FabricMessage> second = next_message(t);
+    ASSERT_TRUE(second.has_value());
+    ASSERT_EQ(second->type, FabricMessage::Type::kLease);
+    ASSERT_NE(second->lease, first->lease);
+
+    FabricMessage late = make_message(FabricMessage::Type::kResult, 0,
+                                      first->lease);
+    late.record = result_line(points, first->point, first->trials[0]);
+    send(t, late);
+    for (const std::uint64_t trial : second->trials) {
+      FabricMessage result = make_message(FabricMessage::Type::kResult, 0,
+                                          second->lease);
+      result.record = result_line(points, second->point, trial);
+      send(t, result);
+    }
+
+    const std::optional<FabricMessage> fin = next_message(t);
+    ASSERT_TRUE(fin.has_value());
+    ASSERT_EQ(fin->type, FabricMessage::Type::kShutdown);
+    send(t, make_message(FabricMessage::Type::kBye, 0));
+  });
+
+  FabricCoordinator coordinator(manifest, options,
+                                [now] { return now->load(); });
+  const SweepReport report = coordinator.run(points, std::move(endpoints));
+  worker.join();
+
+  EXPECT_FALSE(report.interrupted);
+  ASSERT_EQ(report.points.size(), 1u);
+  for (std::size_t trial = 0; trial < 2; ++trial) {
+    EXPECT_EQ(report.points[0][trial].rounds,
+              synthetic_result(trial_seed(400, trial)).rounds);
+  }
+  const FabricStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.leases_granted, 2u);
+  EXPECT_EQ(stats.leases_expired, 1u);
+  EXPECT_EQ(stats.leases_completed, 1u);
+  EXPECT_EQ(stats.trials_requeued, 2u);
+  EXPECT_EQ(stats.late_results_discarded, 1u);
+  EXPECT_EQ(stats.worker_deaths, 0u);
+}
+
+TEST(Fabric, WorkerKilledMidBatchDrainsThenResumeCompletes) {
+  const std::string journal = temp_path("fabric_death.jsonl");
+  std::remove(journal.c_str());
+  const obs::RunManifest manifest = fabric_manifest();
+  const std::vector<SweepPoint> points = synthetic_points(1, 2, 500);
+
+  SweepRunner control(manifest, ResilienceOptions{});
+  const SweepReport expected = control.run(synthetic_points(1, 2, 500), 1);
+
+  FabricOptions options;
+  options.workers = 1;
+  options.lease_ms = 60000;
+  options.resilience.journal_path = journal;
+
+  // Phase 1: the only worker delivers half its batch and dies. The
+  // coordinator must keep the delivered half, requeue the rest, and report
+  // a partial (interrupted) sweep instead of hanging.
+  {
+    auto [coord_side, worker_side] = make_loopback_transport();
+    std::vector<WorkerEndpoint> endpoints;
+    endpoints.push_back(WorkerEndpoint{std::move(coord_side), -1});
+    std::thread worker([&, transport = std::move(worker_side)]() mutable {
+      Transport& t = *transport;
+      send(t, make_message(FabricMessage::Type::kHello, 0));
+      const std::optional<FabricMessage> lease = next_message(t);
+      ASSERT_TRUE(lease.has_value());
+      ASSERT_EQ(lease->trials.size(), 2u);
+      FabricMessage result = make_message(FabricMessage::Type::kResult, 0,
+                                          lease->lease);
+      result.record = result_line(points, lease->point, lease->trials[0]);
+      send(t, result);
+      t.sever();  // SIGKILL from the transport's point of view
+    });
+
+    FabricCoordinator coordinator(manifest, options);
+    const SweepReport partial = coordinator.run(points, std::move(endpoints));
+    worker.join();
+
+    EXPECT_TRUE(partial.interrupted);
+    EXPECT_TRUE(partial.points.empty());  // the point never completed
+    EXPECT_EQ(partial.executed_trials, 1u);
+    const FabricStats& stats = coordinator.stats();
+    EXPECT_EQ(stats.worker_deaths, 1u);
+    EXPECT_EQ(stats.leases_expired, 1u);
+    EXPECT_EQ(stats.trials_requeued, 1u);
+    EXPECT_EQ(stats.leases_completed, 0u);
+  }
+
+  // Phase 2: resume against the same journal with a real worker loop; the
+  // surviving trial is merged first-wins and only the missing one runs.
+  options.resilience.resume = true;
+  {
+    auto [coord_side, worker_side] = make_loopback_transport();
+    std::vector<WorkerEndpoint> endpoints;
+    endpoints.push_back(WorkerEndpoint{std::move(coord_side), -1});
+    int exit_code = -1;
+    std::thread worker([&, transport = std::move(worker_side)]() mutable {
+      exit_code = run_fabric_worker(*transport, points, manifest, options, 0);
+    });
+
+    FabricCoordinator coordinator(manifest, options);
+    const SweepReport resumed = coordinator.run(points, std::move(endpoints));
+    worker.join();
+
+    EXPECT_EQ(exit_code, 0);
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_EQ(resumed.resumed_trials, 1u);
+    EXPECT_EQ(resumed.executed_trials, 1u);
+    expect_same_results(resumed, expected);
+  }
+
+  // The merged journal holds exactly one record per key across both runs.
+  const TrialJournal::Contents merged = TrialJournal::load(journal);
+  EXPECT_EQ(merged.records.size(), 2u);
+  std::remove(journal.c_str());
+}
+
+TEST(Fabric, RequeueBudgetExhaustionQuarantinesTheTrial) {
+  const obs::RunManifest manifest = fabric_manifest();
+  const std::vector<SweepPoint> points = synthetic_points(1, 2, 600);
+
+  auto now = std::make_shared<std::atomic<std::uint64_t>>(1);
+  FabricOptions options;
+  options.workers = 1;
+  options.lease_ms = 1000;
+  options.max_requeues = 1;
+
+  auto [coord_side, worker_side] = make_loopback_transport();
+  std::vector<WorkerEndpoint> endpoints;
+  endpoints.push_back(WorkerEndpoint{std::move(coord_side), -1});
+
+  // A worker that accepts every lease and never delivers: each grant ages
+  // out, and after max_requeues the coordinator gives up on the keys.
+  std::thread worker([&, transport = std::move(worker_side)]() mutable {
+    Transport& t = *transport;
+    send(t, make_message(FabricMessage::Type::kHello, 0));
+    for (;;) {
+      const std::optional<FabricMessage> msg = next_message(t);
+      if (!msg.has_value()) return;
+      if (msg->type == FabricMessage::Type::kShutdown) {
+        send(t, make_message(FabricMessage::Type::kBye, 0));
+        return;
+      }
+      if (msg->type == FabricMessage::Type::kLease) {
+        now->fetch_add(options.lease_ms + 1);
+      }
+    }
+  });
+
+  FabricCoordinator coordinator(manifest, options,
+                                [now] { return now->load(); });
+  const SweepReport report = coordinator.run(points, std::move(endpoints));
+  worker.join();
+
+  // The sweep terminates — with every trial censored, not hung forever.
+  EXPECT_FALSE(report.interrupted);
+  ASSERT_EQ(report.points.size(), 1u);
+  ASSERT_EQ(report.quarantined.size(), 2u);
+  for (std::size_t trial = 0; trial < 2; ++trial) {
+    EXPECT_TRUE(report.points[0][trial].cancelled);
+    EXPECT_FALSE(report.points[0][trial].converged);
+    EXPECT_EQ(report.quarantined[trial].trial, trial);
+    EXPECT_EQ(report.quarantined[trial].seed, trial_seed(600, trial));
+  }
+  const FabricStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.fabric_quarantined, 2u);
+  EXPECT_EQ(stats.leases_granted, 2u);
+  EXPECT_EQ(stats.leases_expired, 2u);
+  EXPECT_EQ(stats.trials_requeued, 2u);
+  EXPECT_EQ(stats.leases_completed, 0u);
+}
+
+}  // namespace
+}  // namespace mtm

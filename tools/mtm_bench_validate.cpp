@@ -5,14 +5,19 @@
 //   mtm_bench_validate BENCH_*.json        (shell-expanded; all must pass)
 //   mtm_bench_validate --journal=soak.journal BENCH_soak.json
 //   mtm_bench_validate --same-aggregates control.json resumed.json
+//   mtm_bench_validate --ref-journal=fab.journal fab.journal.w0 fab.journal.w1
 //   mtm_bench_validate --help
 //
 // Exit status: 0 when every file validates against the mtm-bench/1 schema
 // (obs/bench_report.hpp), 1 otherwise — the bench-smoke CI job gates on it.
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/checkpoint.hpp"
@@ -24,6 +29,7 @@ constexpr const char* kUsage = R"(mtm_bench_validate: bench JSON schema checker
 
 usage: mtm_bench_validate [--journal=PATH] FILE...
        mtm_bench_validate --same-aggregates FILE_A FILE_B
+       mtm_bench_validate --ref-journal=REF SHARD...
 
 Validates each FILE against the unified bench-output schema (mtm-bench/1):
 schema/name/manifest/series are required; phases, metrics, extra and the
@@ -40,6 +46,15 @@ the report and journal describe different runs, and the tool hard-fails.
 check that an interrupted-then-resumed sweep reproduced the uninterrupted
 control byte-for-byte. Wall-clock sections (phases, metrics) and the
 resilience counters are excluded: they legitimately differ across runs.
+
+--ref-journal=REF treats each SHARD as a fabric worker's shard journal
+(<journal>.w<i>) and verifies the shards against the coordinator's merged
+journal REF: every shard must carry REF's manifest fingerprint, the union
+of shard (point, trial) keys must be a permutation of REF's key set (no
+lost keys, no unknown keys), and every REF record must be byte-identical
+to at least one shard record for its key. Duplicate keys across (or
+within) shards are legal — they are re-executions after a lease expiry or
+worker death — as long as they agree with REF.
 
 Prints every violation and exits non-zero if any check fails.
 )";
@@ -129,11 +144,83 @@ int same_aggregates(const std::string& path_a, const std::string& path_b) {
   return 1;
 }
 
+int shard_permutation(const std::string& ref_path,
+                      const std::vector<std::string>& shard_paths) {
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
+  mtm::TrialJournal::Contents ref;
+  try {
+    ref = mtm::TrialJournal::load(ref_path);
+  } catch (const std::exception& e) {
+    std::cerr << ref_path << ": " << e.what() << "\n";
+    return 1;
+  }
+  int failures = 0;
+  // Key -> every serialized shard record seen for it (across all shards).
+  std::map<Key, std::vector<std::string>> shard_lines;
+  for (const std::string& path : shard_paths) {
+    mtm::TrialJournal::Contents shard;
+    try {
+      shard = mtm::TrialJournal::load(path);
+    } catch (const std::exception& e) {
+      std::cerr << path << ": " << e.what() << "\n";
+      ++failures;
+      continue;
+    }
+    if (shard.fingerprint != ref.fingerprint) {
+      std::cerr << path << ": manifest fingerprint " << shard.fingerprint
+                << " does not match " << ref_path << " ("
+                << ref.fingerprint << ")\n";
+      ++failures;
+      continue;
+    }
+    for (const mtm::JournalRecord& r : shard.records) {
+      shard_lines[Key{r.point, r.trial}].push_back(
+          mtm::journal_record_line(r));
+    }
+  }
+  // First-wins per key, matching SweepRunner/fabric merge semantics.
+  std::map<Key, std::string> ref_lines;
+  for (const mtm::JournalRecord& r : ref.records) {
+    ref_lines.emplace(Key{r.point, r.trial}, mtm::journal_record_line(r));
+  }
+  for (const auto& [key, line] : ref_lines) {
+    const auto it = shard_lines.find(key);
+    if (it == shard_lines.end()) {
+      std::cerr << ref_path << ": record (point " << key.first << ", trial "
+                << key.second << ") appears in no shard (lost key)\n";
+      ++failures;
+      continue;
+    }
+    if (std::find(it->second.begin(), it->second.end(), line) ==
+        it->second.end()) {
+      std::cerr << ref_path << ": record (point " << key.first << ", trial "
+                << key.second
+                << ") differs from every shard record for that key\n";
+      ++failures;
+    }
+  }
+  for (const auto& [key, lines] : shard_lines) {
+    if (ref_lines.find(key) == ref_lines.end()) {
+      std::cerr << "shards carry (point " << key.first << ", trial "
+                << key.second << ") which " << ref_path
+                << " never recorded (unknown key)\n";
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::cout << shard_paths.size() << " shard(s) are a permutation of "
+              << ref_path << " (" << ref_lines.size() << " unique key(s))\n";
+    return 0;
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> files;
   std::string journal_path;
+  std::string ref_journal_path;
   bool compare = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -145,6 +232,10 @@ int main(int argc, char** argv) {
       journal_path = arg.substr(10);
       continue;
     }
+    if (arg.rfind("--ref-journal=", 0) == 0) {
+      ref_journal_path = arg.substr(14);
+      continue;
+    }
     if (arg == "--same-aggregates") {
       compare = true;
       continue;
@@ -152,12 +243,21 @@ int main(int argc, char** argv) {
     files.push_back(arg);
   }
   if (compare) {
-    if (files.size() != 2 || !journal_path.empty()) {
+    if (files.size() != 2 || !journal_path.empty() ||
+        !ref_journal_path.empty()) {
       std::cerr << "--same-aggregates takes exactly two report files\n"
                 << kUsage;
       return 1;
     }
     return same_aggregates(files[0], files[1]);
+  }
+  if (!ref_journal_path.empty()) {
+    if (!journal_path.empty()) {
+      std::cerr << "--ref-journal and --journal are mutually exclusive\n"
+                << kUsage;
+      return 1;
+    }
+    return shard_permutation(ref_journal_path, files);
   }
   if (files.empty()) {
     std::cerr << kUsage;

@@ -20,6 +20,9 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "harness/experiment.hpp"
+#include "harness/fabric.hpp"
+#include "harness/interrupt.hpp"
+#include "harness/sweep.hpp"
 #include "sim/fault_cli.hpp"
 #include "sim/mobility.hpp"
 
@@ -72,8 +75,15 @@ With faults enabled, trials may legitimately fail to stabilize within
 the convergence rate.
 )";
 
+constexpr const char* kUsageResilience = R"(
+resilience + distributed fabric (shared flags; --journal/--resume run the
+sweep through SweepRunner, --workers=N forks a coordinator/worker fabric;
+see docs/TESTING.md):
+)";
+
 std::string usage() {
-  return std::string(kUsageHead) + fault_flags_help() + kUsageTail;
+  return std::string(kUsageHead) + fault_flags_help() + kUsageTail +
+         kUsageResilience + resilience_flags_help() + fabric_flags_help();
 }
 
 Graph build_graph(const CliArgs& args, const std::string& topology,
@@ -120,6 +130,8 @@ int run(const CliArgs& args) {
 
   const FaultPlanConfig faults = parse_fault_flags(args);
   const ByzantinePlanConfig byzantine = parse_byz_flags(args);
+  ResilienceOptions resilience = parse_resilience_flags(args);
+  FabricOptions fabric = parse_fabric_flags(args, resilience);
   const bool check_invariants = !args.has("no-invariants");
   const Round epoch_timeout = args.get_u64("epoch-timeout", 24);
   // Note: the acceptance policy and failure probability flow through the
@@ -160,6 +172,52 @@ int run(const CliArgs& args) {
   }
   args.check_unused();
 
+  // When journaling or the fabric is requested, the experiment runs as one
+  // SweepPoint through the resilient sweep stack instead of the plain
+  // harness fan-out. Seeds derive identically either way (trial_seed of the
+  // master), so the per-trial results match the plain path.
+  const bool sweep_mode =
+      fabric.workers > 0 || !resilience.journal_path.empty();
+  bool sweep_interrupted = false;
+  const auto run_sweep_point = [&](SweepPoint point) {
+    install_interrupt_handler();
+    resilience.interrupt = &interrupt_token();
+    obs::RunManifest manifest = obs::make_run_manifest("mtm_sim", seed, 1);
+    obs::JsonValue config = obs::JsonValue::object();
+    config.set("algo", obs::JsonValue::string(algo_name));
+    config.set("topology", obs::JsonValue::string(topology));
+    config.set("n", obs::JsonValue::unsigned_number(node_count));
+    config.set("tau", obs::JsonValue::unsigned_number(tau));
+    config.set("trials", obs::JsonValue::unsigned_number(trials));
+    config.set("max_rounds", obs::JsonValue::unsigned_number(max_rounds));
+    config.set("failure_prob", obs::JsonValue::number(failure_prob));
+    manifest.config = std::move(config);
+    std::vector<SweepPoint> points;
+    points.push_back(std::move(point));
+    SweepReport sweep;
+    if (fabric.workers > 0) {
+      fabric.resilience = resilience;
+      FabricRunner runner(manifest, fabric);
+      sweep = runner.run(points);
+      const FabricStats& fs = runner.stats();
+      std::cout << "fabric: " << fabric.workers << " worker(s), "
+                << fs.leases_granted << " lease(s) granted, "
+                << fs.leases_expired << " expired, " << fs.trials_requeued
+                << " trial(s) requeued, " << fs.worker_deaths
+                << " worker death(s)\n";
+    } else {
+      SweepRunner runner(manifest, resilience);
+      sweep = runner.run(points, ThreadPool::default_thread_count());
+    }
+    if (sweep.resumed_trials > 0) {
+      std::cout << "resumed " << sweep.resumed_trials
+                << " trial(s) from the journal\n";
+    }
+    sweep_interrupted = sweep.interrupted;
+    return sweep.points.empty() ? std::vector<RunResult>{}
+                                : std::move(sweep.points[0]);
+  };
+
   std::vector<RunResult> results;
   if (is_rumor) {
     if (byzantine.enabled()) {
@@ -179,7 +237,19 @@ int run(const CliArgs& args) {
     spec.controls.connection_failure_prob = failure_prob;
     spec.controls.engine_threads = engine_threads;
     spec.controls.faults = faults;
-    results = run_rumor_experiment(spec);
+    if (sweep_mode) {
+      SweepPoint point;
+      point.label = algo_name;
+      point.trials = trials;
+      point.master_seed = seed;
+      point.body = [spec = std::move(spec)](std::uint64_t trial_seed,
+                                            const TrialCancel* cancel) {
+        return run_rumor_trial(spec, trial_seed, cancel);
+      };
+      results = run_sweep_point(std::move(point));
+    } else {
+      results = run_rumor_experiment(spec);
+    }
   } else {
     LeaderExperiment spec;
     if (algo_name == "blind-gossip") spec.algo = LeaderAlgo::kBlindGossip;
@@ -200,7 +270,25 @@ int run(const CliArgs& args) {
     spec.epoch_timeout = epoch_timeout;
     spec.byzantine = byzantine;
     spec.check_invariants = check_invariants;
-    results = run_leader_experiment(spec);
+    if (sweep_mode) {
+      SweepPoint point;
+      point.label = algo_name;
+      point.trials = trials;
+      point.master_seed = seed;
+      point.body = [spec = std::move(spec)](std::uint64_t trial_seed,
+                                            const TrialCancel* cancel) {
+        return run_leader_trial(spec, trial_seed, cancel);
+      };
+      results = run_sweep_point(std::move(point));
+    } else {
+      results = run_leader_experiment(spec);
+    }
+  }
+
+  if (sweep_interrupted) {
+    std::cout << "interrupted: every finished trial is in the journal; "
+                 "--resume continues the run\n";
+    return kInterruptExitCode;
   }
 
   // Fault plans can legitimately censor trials (a run may never stabilize

@@ -33,6 +33,7 @@
 #include "core/thread_pool.hpp"
 #include "graph/generators.hpp"
 #include "harness/experiment.hpp"
+#include "harness/fabric.hpp"
 #include "harness/interrupt.hpp"
 #include "harness/sweep.hpp"
 #include "obs/bench_report.hpp"
@@ -61,13 +62,18 @@ options:
 resilience (shared flags; see docs/TESTING.md "Harness resilience"):
 )";
 
+constexpr const char* kUsageFabric = R"(
+distributed fabric (shared flags; see docs/TESTING.md "Distributed fabric"):
+)";
+
 constexpr const char* kUsageTail = R"(
 Exit status: 0 clean, 1 usage/config error, 2 invariant violation,
 130 interrupted by SIGINT/SIGTERM (partial artifacts were written).
 )";
 
 std::string usage() {
-  return std::string(kUsageHead) + resilience_flags_help() + kUsageTail;
+  return std::string(kUsageHead) + resilience_flags_help() + kUsageFabric +
+         fabric_flags_help() + kUsageTail;
 }
 
 /// The chaos profile a segment runs under. kMixed is resolved per segment
@@ -189,6 +195,7 @@ int run(const CliArgs& args) {
   const bool fail_on_violation = args.get_bool("fail-on-violation", true);
   const std::string out_path = args.get_string("out", "");
   ResilienceOptions resilience = parse_resilience_flags(args);
+  FabricOptions fabric = parse_fabric_flags(args, resilience);
   args.check_unused();
   if (cfg.segments == 0 || cfg.trials == 0) {
     throw std::invalid_argument("--segments and --trials must be >= 1");
@@ -228,8 +235,32 @@ int run(const CliArgs& args) {
   }
 
   const obs::RunManifest manifest = soak_manifest(cfg);
-  SweepRunner runner(manifest, resilience);
-  const SweepReport sweep = runner.run(points, cfg.threads);
+  obs::MetricRegistry metrics;
+  SweepReport sweep;
+  FabricStats fabric_stats;
+  if (fabric.workers > 0) {
+    // Coordinator/worker mode: fork the workers (before any thread-pool
+    // threads exist) and let the coordinator merge. Aggregates are
+    // byte-identical to the SweepRunner path below — same seeds, same
+    // (point, trial) slots, same manifest.
+    fabric.resilience = resilience;
+    fabric.metrics = &metrics;
+    FabricRunner runner(manifest, fabric);
+    sweep = runner.run(points);
+    fabric_stats = runner.stats();
+    std::cout << "fabric: " << fabric.workers << " worker(s), "
+              << fabric_stats.leases_granted << " lease(s) granted, "
+              << fabric_stats.leases_expired << " expired, "
+              << fabric_stats.trials_requeued << " trial(s) requeued, "
+              << fabric_stats.worker_deaths << " worker death(s)";
+    if (fabric_stats.chaos_kills > 0) {
+      std::cout << " (" << fabric_stats.chaos_kills << " chaos kill(s))";
+    }
+    std::cout << "\n";
+  } else {
+    SweepRunner runner(manifest, resilience);
+    sweep = runner.run(points, cfg.threads);
+  }
 
   // Per-segment accounting table + bench series.
   ScalingSeries series("soak convergence", "segment");
@@ -300,6 +331,10 @@ int run(const CliArgs& args) {
     report.name = "soak";
     report.manifest = manifest;
     report.series.push_back(&series);
+    // fabric.* counters land in the metrics section, which --same-aggregates
+    // deliberately excludes: lease/requeue/death counts legitimately differ
+    // between a fabric run and its single-process control.
+    if (!metrics.empty()) report.metrics = &metrics;
     report.resilience.enabled = true;
     report.resilience.partial = sweep.interrupted;
     report.resilience.resumed_trials = sweep.resumed_trials;
