@@ -1,0 +1,161 @@
+// E22 — E6 under true asynchrony: the non-synchronized bit convergence
+// algorithm re-measured on the EventScheduler, with per-edge message
+// latency and per-node clock drift instead of the sync round barrier.
+//
+// Theorem VIII.2's guarantee is stated for the asynchronous activation
+// model; the sync engine approximates it with staggered activation rounds.
+// The event scheduler removes the approximation: nodes tick on drifted
+// local clocks and payloads arrive after sampled delays. The stabilization
+// SHAPE must survive the change of runtime:
+//   (a) activation-window sweep: rounds after the last activation stay
+//       roughly flat in W — the algorithm still does not pay for stagger;
+//   (b) n sweep at fixed stagger: growth stays within the theorem bound;
+//   (c) latency sweep: stabilization degrades smoothly with the mean
+//       message delay (no cliff — delayed payloads are reordered, not
+//       lost, so convergence slows but is never broken).
+// Everything is seed-deterministic: the event queue orders on (tick, seq)
+// and latencies/drift are pure hashes of (seed, edge, sequence).
+#include "bench_common.hpp"
+
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/predictions.hpp"
+#include "sim/scheduler.hpp"
+
+namespace mtm {
+namespace {
+
+constexpr std::size_t kTrials = 8;
+const std::uint64_t kSeed = bench::bench_seed(0xe22a);
+
+SchedulerSpec event_spec(double latency_mean, double clock_drift,
+                         LatencyDist dist = LatencyDist::kConstant) {
+  SchedulerSpec spec;
+  spec.kind = SchedulerKind::kEvent;
+  spec.latency_dist = dist;
+  spec.latency_mean = latency_mean;
+  spec.clock_drift = clock_drift;
+  return spec;
+}
+
+std::vector<Round> staggered_activations(NodeId n, Round window,
+                                         std::uint64_t seed) {
+  std::vector<Round> act(n, 1);
+  if (window > 1) {
+    Rng rng(derive_seed(seed, {0xacde, window}));
+    for (NodeId u = 0; u < n; ++u) act[u] = 1 + rng.uniform(window);
+    act[0] = window;  // pin the max so "after last activation" is exact
+  }
+  return act;
+}
+
+/// Rounds after the last activation for async bit convergence on a clique
+/// of size n, run on the EventScheduler under `spec`.
+Summary measure_event(NodeId n, Round window, const SchedulerSpec& scheduler,
+                      std::uint64_t seed) {
+  TrialSpec spec;
+  spec.controls.trials = kTrials;
+  spec.controls.seed = seed;
+  spec.controls.threads = bench::trial_threads();
+  spec.controls.max_rounds = Round{1} << 24;
+  const Graph g = make_clique(n);
+  const auto results = run_trials(spec, [&](std::uint64_t trial_seed) {
+    LeaderExperiment le;
+    le.algo = LeaderAlgo::kAsyncBitConvergence;
+    le.node_count = n;
+    le.max_degree_bound = n - 1;
+    le.network_size_bound = n;
+    le.topology = static_topology(g);
+    le.activation_rounds = staggered_activations(n, window, trial_seed);
+    le.controls.max_rounds = spec.controls.max_rounds;
+    le.controls.trials = 1;
+    le.controls.seed = trial_seed;
+    le.controls.scheduler = scheduler;
+    return run_leader_experiment(le).front();
+  });
+  std::vector<double> after;
+  for (const RunResult& r : results) {
+    MTM_REQUIRE(r.converged);
+    after.push_back(static_cast<double>(r.rounds_after_last_activation));
+  }
+  return summarize(after);
+}
+
+void BM_EventActivationWindow(benchmark::State& state) {
+  const auto window = static_cast<Round>(state.range(0));
+  const NodeId n = 32;
+  Summary s;
+  for (auto _ : state) {
+    s = measure_event(n, window, event_spec(0.5, 0.1), kSeed + window);
+  }
+  const double bound = async_bit_convergence_bound(
+      n, family_alpha(GraphFamily::kClique, n), n - 1, Round{1} << 20);
+  bench::set_counters(state, s, bound);
+  bench::record_point(
+      "E22a event-scheduler async bitconv: rounds after last activation vs "
+      "stagger window (Thm VIII.2 under true asynchrony)",
+      "window",
+      SeriesPoint{static_cast<double>(window), s, bound,
+                  "n=32 latency=0.5 drift=0.1"});
+}
+BENCHMARK(BM_EventActivationWindow)
+    ->Arg(1)
+    ->Arg(50)
+    ->Arg(200)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EventSizeSweep(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Summary s;
+  for (auto _ : state) {
+    s = measure_event(n, 100, event_spec(0.5, 0.1), kSeed + 31 * n);
+  }
+  const double bound = async_bit_convergence_bound(
+      n, family_alpha(GraphFamily::kClique, n), n - 1, Round{1} << 20);
+  bench::set_counters(state, s, bound);
+  bench::record_point(
+      "E22b event-scheduler async bitconv: rounds after last activation vs n",
+      "n",
+      SeriesPoint{static_cast<double>(n), s, bound,
+                  "window=100 latency=0.5 drift=0.1"});
+}
+BENCHMARK(BM_EventSizeSweep)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EventLatencySweep(benchmark::State& state) {
+  // Mean exponential message delay in units of the nominal round period.
+  const double latency_mean = static_cast<double>(state.range(0)) / 4.0;
+  const NodeId n = 32;
+  Summary s;
+  for (auto _ : state) {
+    s = measure_event(n, 100,
+                      event_spec(latency_mean, 0.1, LatencyDist::kExponential),
+                      kSeed + 7 * static_cast<std::uint64_t>(state.range(0)));
+  }
+  const double bound = async_bit_convergence_bound(
+      n, family_alpha(GraphFamily::kClique, n), n - 1, Round{1} << 20);
+  bench::set_counters(state, s, bound);
+  bench::record_point(
+      "E22c event-scheduler async bitconv: rounds after last activation vs "
+      "mean message latency (exponential, round periods)",
+      "latency_mean_quarters",
+      SeriesPoint{latency_mean, s, bound, "n=32 window=100 drift=0.1"});
+}
+BENCHMARK(BM_EventLatencySweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mtm
+
+MTM_BENCH_MAIN()

@@ -39,13 +39,13 @@ std::vector<double> run_many(const Graph& g, NodeId n, std::size_t trials,
     cfg.seed = derive_seed(seed, {trial});
     Engine engine(topo, proto, cfg);
     ProgressTrace trace({{"informed",
-                          [&proto](const Engine&) {
+                          [&proto](const Scheduler&) {
                             return static_cast<double>(proto.informed_count());
                           }},
                          ProgressTrace::connections_total()});
     const RunResult result = run_until_stabilized(
         engine, Round{1} << 24,
-        [&trace](const Engine& e) { trace.sample(e); });
+        [&trace](const Scheduler& e) { trace.sample(e); });
     if (!result.converged) {
       throw std::runtime_error("trial failed to converge");
     }
@@ -98,10 +98,10 @@ int run(const CliArgs& args) {
             << static_cast<unsigned>(stars) << " crowd pockets (max degree "
             << g.max_degree() << ").\n\n";
 
-  ProgressTrace pushpull_trace({{"informed", [](const Engine&) { return 0.0; }}});
+  ProgressTrace pushpull_trace({{"informed", [](const Scheduler&) { return 0.0; }}});
   const auto pushpull = run_many<PushPull>(g, g.node_count(), trials, 0,
                                            seed, &pushpull_trace);
-  ProgressTrace ppush_trace({{"informed", [](const Engine&) { return 0.0; }}});
+  ProgressTrace ppush_trace({{"informed", [](const Scheduler&) { return 0.0; }}});
   const auto ppush = run_many<Ppush>(g, g.node_count(), trials, 1, seed + 1,
                                      &ppush_trace);
 

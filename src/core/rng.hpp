@@ -15,6 +15,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <initializer_list>
 #include <vector>
@@ -142,11 +143,21 @@ class Rng {
   /// Fair coin: true with probability 1/2.
   bool coin() { return (gen_() >> 63) != 0; }
 
-  /// Bernoulli(p) for p in [0,1].
-  bool bernoulli(double p) {
+  /// Integer acceptance threshold for Bernoulli(p): drawing one word and
+  /// testing (word >> 11) < bernoulli_threshold(p) is exactly equivalent to
+  /// bernoulli(p). Proof: uniform_double() < p ⇔ (x >> 11)·2⁻⁵³ < p, the
+  /// scaling is exact (53-bit integer times a power of two), so the test is
+  /// x' < p·2⁵³ over the reals ⇔ x' < ⌈p·2⁵³⌉ for integer x'; p·2⁵³ is
+  /// itself an exact double for p in [0, 1]. Hot accept loops hoist this
+  /// threshold (and the generator state) so the per-draw cost is one xoshiro
+  /// step and one integer compare — no int→double conversion.
+  static std::uint64_t bernoulli_threshold(double p) {
     MTM_REQUIRE(p >= 0.0 && p <= 1.0);
-    return uniform_double() < p;
+    return static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
   }
+
+  /// Bernoulli(p) for p in [0,1]. Consumes exactly one next_u64.
+  bool bernoulli(double p) { return (gen_() >> 11) < bernoulli_threshold(p); }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
   double uniform_double() {

@@ -149,22 +149,24 @@ RunResult run_leader_trial(const LeaderExperiment& spec, std::uint64_t seed,
   cfg.seed = seed;
   cfg.activation_rounds = spec.activation_rounds;
   cfg.connection_failure_prob = spec.controls.connection_failure_prob;
+  cfg.scheduler = spec.controls.scheduler;
   cfg.intra_round_threads = spec.controls.engine_threads;
   if (spec.controls.faults.enabled())
     cfg.faults = trial_faults(spec.controls.faults, seed);
   if (spec.byzantine.enabled())
     cfg.byzantine = trial_byzantine(spec.byzantine, seed);
-  Engine engine(*topology, *bundle.protocol, cfg);
+  std::unique_ptr<Scheduler> engine =
+      make_scheduler(*topology, *bundle.protocol, cfg);
   InvariantMonitor monitor(InvariantConfig{
       false, spec.settle_rounds > 0
                  ? spec.settle_rounds
                  : std::max<Round>(64, 8 * spec.node_count)});
   if (spec.check_invariants) {
     monitor.set_expected_uids(bundle.uids);
-    engine.set_invariant_monitor(&monitor);
+    engine->set_invariant_monitor(&monitor);
   }
   RunResult result =
-      run_until_stabilized(engine, spec.controls.max_rounds, {}, cancel);
+      run_until_stabilized(*engine, spec.controls.max_rounds, {}, cancel);
   if (spec.check_invariants) {
     result.invariant_violations = monitor.report().violations();
     result.split_brain_rounds = monitor.report().split_brain_rounds;
@@ -219,11 +221,12 @@ RunResult run_rumor_trial(const RumorExperiment& spec, std::uint64_t seed,
   cfg.classical_mode = classical;
   cfg.seed = seed;
   cfg.connection_failure_prob = spec.controls.connection_failure_prob;
+  cfg.scheduler = spec.controls.scheduler;
   cfg.intra_round_threads = spec.controls.engine_threads;
   if (spec.controls.faults.enabled())
     cfg.faults = trial_faults(spec.controls.faults, seed);
-  Engine engine(*topology, *protocol, cfg);
-  return run_until_stabilized(engine, spec.controls.max_rounds, {}, cancel);
+  std::unique_ptr<Scheduler> engine = make_scheduler(*topology, *protocol, cfg);
+  return run_until_stabilized(*engine, spec.controls.max_rounds, {}, cancel);
 }
 
 std::vector<RunResult> run_rumor_experiment(const RumorExperiment& spec) {

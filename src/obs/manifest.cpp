@@ -216,6 +216,18 @@ JsonValue engine_config_json(const EngineConfig& config) {
   }
   doc.set("activation_rounds", std::move(activations));
   doc.set("faults", fault_plan_config_json(config.faults));
+  doc.set("scheduler", scheduler_spec_json(config.scheduler));
+  return doc;
+}
+
+JsonValue scheduler_spec_json(const SchedulerSpec& spec) {
+  JsonValue doc = JsonValue::object();
+  doc.set("kind", JsonValue::string(to_string(spec.kind)));
+  doc.set("threads", JsonValue::unsigned_number(
+                         static_cast<std::uint64_t>(spec.threads)));
+  doc.set("latency_dist", JsonValue::string(to_string(spec.latency_dist)));
+  doc.set("latency_mean", JsonValue::number(spec.latency_mean));
+  doc.set("clock_drift", JsonValue::number(spec.clock_drift));
   return doc;
 }
 

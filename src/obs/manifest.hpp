@@ -19,6 +19,7 @@
 namespace mtm {
 struct EngineConfig;
 struct FaultPlanConfig;
+struct SchedulerSpec;
 }  // namespace mtm
 
 namespace mtm::obs {
@@ -40,11 +41,16 @@ struct RunManifest {
 RunManifest make_run_manifest(std::string tool, std::uint64_t seed,
                               std::size_t threads);
 
-/// Full EngineConfig echo (including the embedded fault plan), suitable for
-/// RunManifest::config.
+/// Full EngineConfig echo (including the embedded fault plan and scheduler
+/// spec), suitable for RunManifest::config.
 JsonValue engine_config_json(const EngineConfig& config);
 /// Full FaultPlanConfig echo.
 JsonValue fault_plan_config_json(const FaultPlanConfig& config);
+/// Full SchedulerSpec echo (kind, threads, latency model, clock drift).
+/// Tools put this under a "scheduler" key in their manifests, so a journal
+/// resumed under a different scheduler spec fails the fingerprint check
+/// with a manifest diff instead of silently mixing executions.
+JsonValue scheduler_spec_json(const SchedulerSpec& spec);
 
 /// Writes `text` to `path` crash-safely: the bytes land in `path + ".tmp"`
 /// first and are moved over `path` with std::rename, so a reader (or a

@@ -13,6 +13,8 @@ const char* phase_name(Phase phase) {
     case Phase::kFinish: return "finish";
     case Phase::kShardBuild: return "shard.build";
     case Phase::kShardReduce: return "shard.reduce";
+    case Phase::kEventQueue: return "event.queue";
+    case Phase::kEventDispatch: return "event.dispatch";
   }
   return "?";
 }

@@ -42,9 +42,13 @@ enum class Phase : std::uint8_t {
   // exactly as before.
   kShardBuild,   ///< engine.shard.build — deterministic CSR inbox assembly
   kShardReduce,  ///< engine.shard.reduce — sequential cross-shard reduction
+  // Event-scheduler phases (sim/event_scheduler.hpp), recorded only in
+  // event mode; both stay zero under the sync scheduler.
+  kEventQueue,     ///< engine.event.queue — priority-queue maintenance
+  kEventDispatch,  ///< engine.event.dispatch — event handler execution
 };
 
-inline constexpr std::size_t kPhaseCount = 9;
+inline constexpr std::size_t kPhaseCount = 11;
 
 const char* phase_name(Phase phase);
 

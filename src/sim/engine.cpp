@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 
 #include "core/assert.hpp"
@@ -8,12 +9,39 @@
 
 namespace mtm {
 
+EngineConfig normalize_scheduler_spec(EngineConfig config) {
+  // Deprecation shim: intra_round_threads was the pre-split way to request
+  // intra-round sharding. Fold it into the one authoritative knob
+  // (scheduler.threads); after normalization both fields mirror the
+  // resolved value so config echoes stay consistent.
+  const bool legacy_set = config.intra_round_threads != 1;
+  const bool spec_set = config.scheduler.threads != 1;
+  if (legacy_set && spec_set &&
+      config.intra_round_threads != config.scheduler.threads) {
+    throw std::invalid_argument(
+        "conflicting execution-thread settings: intra_round_threads=" +
+        std::to_string(config.intra_round_threads) +
+        " vs scheduler.threads=" + std::to_string(config.scheduler.threads) +
+        " (intra_round_threads is a deprecated alias; set only "
+        "scheduler.threads)");
+  }
+  const std::size_t resolved =
+      legacy_set ? config.intra_round_threads : config.scheduler.threads;
+  config.scheduler.threads = resolved;
+  config.intra_round_threads = resolved;
+  validate(config.scheduler);
+  return config;
+}
+
 Engine::Engine(DynamicGraphProvider& topology, Protocol& protocol,
                EngineConfig config)
     : topology_(topology),
       protocol_(protocol),
-      config_(std::move(config)),
+      config_(normalize_scheduler_spec(std::move(config))),
       node_count_(topology.node_count()) {
+  MTM_REQUIRE_MSG(config_.scheduler.kind == SchedulerKind::kSync,
+                  "Engine is the synchronous scheduler; use make_scheduler() "
+                  "to construct the scheduler kind the config selects");
   MTM_REQUIRE(config_.tag_bits >= 0 && config_.tag_bits <= 63);
   MTM_REQUIRE(config_.connection_failure_prob >= 0.0 &&
               config_.connection_failure_prob < 1.0);
@@ -54,9 +82,9 @@ Engine::Engine(DynamicGraphProvider& topology, Protocol& protocol,
   // shard. Engages only when requested AND the protocol's per-node
   // callbacks are declared reentrant; the silent sequential fallback keeps
   // every protocol runnable under any configuration.
-  std::size_t requested = config_.intra_round_threads == 0
+  std::size_t requested = config_.scheduler.threads == 0
                               ? ThreadPool::default_thread_count()
-                              : config_.intra_round_threads;
+                              : config_.scheduler.threads;
   if (requested > 1 && protocol_.parallel_phases_safe() && node_count_ > 0) {
     shard_count_ = std::min<std::size_t>(requested, node_count_);
   }
@@ -309,14 +337,22 @@ void Engine::resolve_range(bool plain, NodeId lo, NodeId hi) {
   const double fail_p = config_.connection_failure_prob;
   if (config_.classical_mode) {
     // Classical telephone model: every proposal connects; only the i.i.d.
-    // failure coin is drawn, one per inbox entry in inbox order.
+    // failure coin is drawn, one per inbox entry in inbox order. The coins
+    // are batched per inbox segment: the acceptor's generator state is
+    // hoisted into locals for the whole segment and the Bernoulli test runs
+    // in the integer domain (Rng::bernoulli_threshold) — same single draw
+    // per entry, so the stream is bit-identical to per-call bernoulli().
     if (fail_p <= 0.0) return;
+    const std::uint64_t threshold = Rng::bernoulli_threshold(fail_p);
     for (NodeId v = lo; v < hi; ++v) {
       const std::uint32_t begin = arena.inbox_start[v];
       const std::uint32_t end = arena.inbox_start[v + 1];
+      if (begin == end) continue;
+      Xoshiro256 gen = node_rngs_[v].generator();
       for (std::uint32_t i = begin; i < end; ++i) {
-        arena.drop[i] = node_rngs_[v].bernoulli(fail_p) ? 1 : 0;
+        arena.drop[i] = (gen() >> 11) < threshold ? 1 : 0;
       }
+      node_rngs_[v].generator() = gen;
     }
     return;
   }
@@ -324,6 +360,8 @@ void Engine::resolve_range(bool plain, NodeId lo, NodeId hi) {
   // a receiving node accepts one incoming proposal per the acceptance
   // policy (inbox segments are sorted by proposer id, so the deterministic
   // policies are O(1) lookups).
+  const std::uint64_t threshold =
+      fail_p > 0.0 ? Rng::bernoulli_threshold(fail_p) : 0;
   for (NodeId v = lo; v < hi; ++v) {
     arena.winner[v] = kNoProposer;
     if (!plain && !arena.active[v]) continue;
@@ -346,7 +384,8 @@ void Engine::resolve_range(bool plain, NodeId lo, NodeId hi) {
     }
     arena.winner[v] = u;
     arena.drop[v] =
-        (fail_p > 0.0 && node_rngs_[v].bernoulli(fail_p)) ? 1 : 0;
+        (fail_p > 0.0 &&
+         (node_rngs_[v].generator()() >> 11) < threshold) ? 1 : 0;
   }
 }
 
@@ -566,10 +605,6 @@ void Engine::step() {
   if (invariant_monitor_ != nullptr) {
     invariant_monitor_->observe_round(*this, graph);
   }
-}
-
-void Engine::run_rounds(Round count) {
-  for (Round i = 0; i < count; ++i) step();
 }
 
 }  // namespace mtm

@@ -42,7 +42,7 @@
 // decision / winner arrays and a CSR inbox rebuilt in place each round —
 // instead of per-node heap containers. On top of that layout the engine can
 // shard nodes across an internal thread pool WITHIN a round
-// (EngineConfig::intra_round_threads): advertise, scan/decide, proposal
+// (EngineConfig::scheduler.threads): advertise, scan/decide, proposal
 // resolution, and finish run per-shard, while inbox assembly uses a
 // deterministic shard-blocked counting sort and everything order-sensitive
 // (telemetry counting, fault-plan link draws, payload exchange) runs as a
@@ -72,6 +72,7 @@
 #include "sim/faults.hpp"
 #include "sim/protocol.hpp"
 #include "sim/round_arena.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/telemetry.hpp"
 
 namespace mtm {
@@ -118,49 +119,65 @@ struct EngineConfig {
   /// default; selection and equivocation coins are pure hashes, so honest
   /// nodes' RNG streams are untouched whatever the setting.
   ByzantinePlanConfig byzantine;
-  /// Intra-round parallelism: shard the per-node phases of every round
-  /// across this many engine-owned worker threads. 1 (default) runs
-  /// sequentially with no pool; 0 means one shard per hardware thread.
-  /// Sharded results are bit-identical to sequential ones at any value —
-  /// per-node RNG streams ARE the shard streams — but sharding only
-  /// engages when the protocol declares Protocol::parallel_phases_safe();
-  /// otherwise the engine silently runs sequentially (check shard_count()).
+  /// How to execute: scheduler kind, execution threads, and the event
+  /// scheduler's latency/drift model (see sim/scheduler.hpp). For the sync
+  /// scheduler, scheduler.threads is the intra-round shard count: 1
+  /// (default) runs sequentially with no pool; 0 means one shard per
+  /// hardware thread. Sharded results are bit-identical to sequential ones
+  /// at any value — per-node RNG streams ARE the shard streams — but
+  /// sharding only engages when the protocol declares
+  /// Protocol::parallel_phases_safe(); otherwise the engine silently runs
+  /// sequentially (check shard_count()).
+  SchedulerSpec scheduler;
+  /// Deprecated alias for scheduler.threads, kept so pre-split callers
+  /// keep compiling: a non-default value folds into scheduler.threads at
+  /// construction (setting both to different values is rejected). New code
+  /// must use scheduler.threads; this field will be removed.
   std::size_t intra_round_threads = 1;
 };
 
-class Engine {
+/// Folds the deprecated intra_round_threads shim into config.scheduler and
+/// validates the spec. Returns the normalized config (both thread fields
+/// mirror the resolved value). Throws std::invalid_argument when the two
+/// fields are set to conflicting values.
+EngineConfig normalize_scheduler_spec(EngineConfig config);
+
+class Engine : public Scheduler {
  public:
   /// Engine keeps references to `topology` and `protocol`; both must outlive
-  /// it. Calls protocol.init() with per-node RNG streams.
+  /// it. Calls protocol.init() with per-node RNG streams. The config's
+  /// scheduler spec must be (or default to) SchedulerKind::kSync — event
+  /// execution lives in EventScheduler; use make_scheduler() to dispatch.
   Engine(DynamicGraphProvider& topology, Protocol& protocol,
          EngineConfig config);
 
   /// Executes one round of the model.
-  void step();
+  void step() override;
 
-  /// Runs `count` additional rounds.
-  void run_rounds(Round count);
-
-  Round rounds_executed() const noexcept { return round_; }
-  NodeId node_count() const noexcept { return node_count_; }
-  const EngineConfig& config() const noexcept { return config_; }
-  const Telemetry& telemetry() const noexcept { return telemetry_; }
-  Protocol& protocol() noexcept { return protocol_; }
-  const Protocol& protocol() const noexcept { return protocol_; }
+  Round rounds_executed() const noexcept override { return round_; }
+  NodeId node_count() const noexcept override { return node_count_; }
+  const EngineConfig& config() const noexcept override { return config_; }
+  const Telemetry& telemetry() const noexcept override { return telemetry_; }
+  Protocol& protocol() noexcept override { return protocol_; }
+  const Protocol& protocol() const noexcept override { return protocol_; }
 
   /// True if node u has activated by the *last executed* round and is not
   /// currently crashed.
-  bool node_active(NodeId u) const;
+  bool node_active(NodeId u) const override;
 
   /// The round in which every node is active (max activation round of the
   /// configured schedule; fault-plan recoveries do not move it).
-  Round all_active_round() const noexcept { return all_active_round_; }
+  Round all_active_round() const noexcept override {
+    return all_active_round_;
+  }
 
   /// The fault plan state, or nullptr when no fault dimension is enabled.
-  const FaultPlan* fault_plan() const noexcept { return fault_plan_.get(); }
+  const FaultPlan* fault_plan() const noexcept override {
+    return fault_plan_.get();
+  }
 
   /// The Byzantine plan, or nullptr when no adversary is configured.
-  const ByzantinePlan* byzantine_plan() const noexcept {
+  const ByzantinePlan* byzantine_plan() const noexcept override {
     return byz_plan_.get();
   }
 
@@ -184,8 +201,10 @@ class Engine {
   /// write wall-clock totals into the external profile; neither touches the
   /// engine's RNG streams, telemetry counters, or protocol state. The
   /// differential test in tests/obs/test_zero_perturbation.cpp enforces it.
-  void set_trace_sink(obs::TraceSink* sink) noexcept { trace_sink_ = sink; }
-  void set_phase_profile(obs::PhaseProfile* profile) noexcept {
+  void set_trace_sink(obs::TraceSink* sink) noexcept override {
+    trace_sink_ = sink;
+  }
+  void set_phase_profile(obs::PhaseProfile* profile) noexcept override {
     phase_profile_ = profile;
   }
 
@@ -195,7 +214,7 @@ class Engine {
   /// contract as the trace sink: it only reads deterministic state, so
   /// attaching it changes no simulation result. In fail-fast mode it may
   /// throw InvariantViolation out of step().
-  void set_invariant_monitor(InvariantMonitor* monitor) noexcept {
+  void set_invariant_monitor(InvariantMonitor* monitor) noexcept override {
     invariant_monitor_ = monitor;
   }
 
@@ -257,5 +276,10 @@ class Engine {
   // Per-round scratch, reused across steps (see sim/round_arena.hpp).
   std::unique_ptr<RoundArena> arena_;
 };
+
+/// The synchronous scheduler IS the engine: the alias states the post-split
+/// role without perturbing a single byte of the hot path (goldens, traces,
+/// and bench fingerprints stay identical by construction).
+using SyncScheduler = Engine;
 
 }  // namespace mtm

@@ -1,0 +1,194 @@
+// Discrete-event asynchronous scheduler (ROADMAP item 2; paper Section
+// VIII's asynchronous setting executed as real asynchrony).
+//
+// Virtual time is measured in integer ticks, kTicksPerRound per nominal
+// round. Each node runs its own round clock: node u fires every
+// period(u) = kTicksPerRound * (1 + drift * h(u)) ticks, where h(u) is a
+// seeded hash in [-1, 1) (SchedulerSpec::clock_drift), starting from a
+// seeded phase offset inside its activation round — so even at zero drift
+// the per-node rounds interleave instead of running in lockstep. Messages
+// (advertisements, connection proposals, exchanged payloads) travel over
+// per-edge latency draws from SchedulerSpec::{latency_dist, latency_mean}.
+// Latencies are pure hashes of (seed, edge, transmission) — the haya/algys
+// delay-matrix design without storing a matrix, so the model scales to the
+// same node counts as the sync engine.
+//
+// One local round of node u at tick t:
+//   1. resolve — if u's previous decision was "receive", the proposals that
+//      arrived since its last round form the inbox; u accepts one per the
+//      acceptance policy (all of them in classical mode), draws the
+//      i.i.d. failure coin and the fault plan's link-fault draws, and the
+//      accepted connection exchanges payload snapshots (delivered after
+//      per-direction latency). Stale proposals are then discarded.
+//   2. advertise — u picks its b-bit tag; the advertisement reaches each
+//      neighbor v at t + latency(u, v).
+//   3. scan — u sees neighbor v's LAST advertisement iff it has arrived by
+//      t and v is currently up and not partitioned away. Byzantine
+//      advertisers lie per observer exactly as in the sync engine.
+//   4. decide — send one proposal (arrives at the target after latency) or
+//      receive.
+//   5. finish_round.
+//
+// step() advances one GLOBAL round window of kTicksPerRound ticks,
+// draining every event inside the window. All synchronous observers keep
+// their shape: telemetry rounds are windows, the fault plan applies at
+// window starts (phase-0 parity with the sync engine), trace sinks get one
+// "round" event per window (plus event-mode depth/dispatch counts), and
+// the invariant monitor observes window boundaries.
+//
+// Determinism: the event queue is totally ordered by (tick, sequence
+// number); per-node draws come from the same canonical per-node streams as
+// the sync engine, in each node's own event order. Same seed => same event
+// order => same results, independent of platform. The fault plan's link
+// draws follow resolution order (event order) rather than the sync
+// engine's ascending-acceptor order — deterministic, but a different
+// stream schedule, which is why sync and event executions are not expected
+// to produce identical telemetry (only identical *distributional* shape;
+// see EXPERIMENTS.md E22).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/byzantine.hpp"
+#include "sim/dynamic_graph.hpp"
+#include "sim/engine.hpp"
+#include "sim/faults.hpp"
+#include "sim/protocol.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/telemetry.hpp"
+
+namespace mtm {
+
+class EventScheduler : public Scheduler {
+ public:
+  /// Virtual-time resolution: ticks per nominal round period.
+  static constexpr std::uint64_t kTicksPerRound = std::uint64_t{1} << 20;
+
+  /// Keeps references to `topology` and `protocol`; both must outlive it.
+  /// The config's scheduler spec must select SchedulerKind::kEvent (use
+  /// make_scheduler() to dispatch). Calls protocol.init() with the same
+  /// canonical per-node streams the sync engine uses.
+  EventScheduler(DynamicGraphProvider& topology, Protocol& protocol,
+                 EngineConfig config);
+
+  /// Drains one global round window of the event queue.
+  void step() override;
+
+  Round rounds_executed() const noexcept override { return round_; }
+  NodeId node_count() const noexcept override { return node_count_; }
+  const EngineConfig& config() const noexcept override { return config_; }
+  const Telemetry& telemetry() const noexcept override { return telemetry_; }
+  Protocol& protocol() noexcept override { return protocol_; }
+  const Protocol& protocol() const noexcept override { return protocol_; }
+  bool node_active(NodeId u) const override;
+  Round all_active_round() const noexcept override {
+    return all_active_round_;
+  }
+  const FaultPlan* fault_plan() const noexcept override {
+    return fault_plan_.get();
+  }
+  const ByzantinePlan* byzantine_plan() const noexcept override {
+    return byz_plan_.get();
+  }
+  void set_trace_sink(obs::TraceSink* sink) noexcept override {
+    trace_sink_ = sink;
+  }
+  void set_phase_profile(obs::PhaseProfile* profile) noexcept override {
+    phase_profile_ = profile;
+  }
+  void set_invariant_monitor(InvariantMonitor* monitor) noexcept override {
+    invariant_monitor_ = monitor;
+  }
+
+  /// Events dispatched / enqueued across the execution and the current
+  /// queue depth (deterministic; exported as engine.event.* trace fields).
+  std::uint64_t events_dispatched() const noexcept {
+    return events_dispatched_;
+  }
+  std::uint64_t events_enqueued() const noexcept { return events_enqueued_; }
+  std::size_t queue_depth() const noexcept { return queue_.size(); }
+
+  /// Node u's round period in ticks (kTicksPerRound stretched by drift).
+  std::uint64_t period_ticks(NodeId u) const { return period_[u]; }
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kNodeRound,  ///< node a executes one local round
+    kProposal,   ///< connection proposal from a arriving at b
+    kPayload,    ///< exchanged payload from a arriving at b
+  };
+
+  struct Event {
+    std::uint64_t tick = 0;
+    std::uint64_t seq = 0;  // deterministic FIFO tiebreak at equal ticks
+    EventKind kind = EventKind::kNodeRound;
+    NodeId a = 0;
+    NodeId b = 0;
+    Payload payload;
+  };
+
+  struct EventAfter {
+    bool operator()(const Event& x, const Event& y) const noexcept {
+      if (x.tick != y.tick) return x.tick > y.tick;
+      return x.seq > y.seq;
+    }
+  };
+
+  bool active_now(NodeId u, Round r) const {
+    return r >= activation_[u] &&
+           (fault_plan_ == nullptr || fault_plan_->alive(u));
+  }
+  void push(std::uint64_t tick, EventKind kind, NodeId a, NodeId b,
+            const Payload& payload = Payload{});
+  /// Hash in [0, 1) keyed by (tag, a, b) off the scheduler's seed.
+  double hash_unit(std::uint64_t tag, std::uint64_t a, std::uint64_t b) const;
+  /// Latency in ticks for one transmission over edge a -> b; `nonce`
+  /// distinguishes repeated transmissions for the random distributions.
+  std::uint64_t latency_ticks(NodeId a, NodeId b, std::uint64_t nonce) const;
+  void apply_faults(Round r);
+  void node_round(NodeId u, std::uint64_t now, Round window,
+                  const Graph& graph);
+  void resolve_inbox(NodeId u, std::uint64_t now, Round window);
+  void connect(NodeId proposer, NodeId acceptor, std::uint64_t now);
+  void deliver_payload(const Event& event, Round window);
+
+  DynamicGraphProvider& topology_;
+  Protocol& protocol_;
+  EngineConfig config_;
+  NodeId node_count_;
+  Round round_ = 0;
+  Round all_active_round_ = 1;
+  Tag tag_limit_;
+  std::uint64_t async_seed_;  // latency / drift / phase hash key
+  std::vector<Round> activation_;
+  std::vector<Rng> node_rngs_;
+  std::unique_ptr<FaultPlan> fault_plan_;
+  std::unique_ptr<ByzantinePlan> byz_plan_;
+  Telemetry telemetry_;
+  obs::TraceSink* trace_sink_ = nullptr;           // non-owning
+  obs::PhaseProfile* phase_profile_ = nullptr;     // non-owning
+  InvariantMonitor* invariant_monitor_ = nullptr;  // non-owning
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_dispatched_ = 0;
+  std::uint64_t events_enqueued_ = 0;
+
+  // Per-node asynchronous state.
+  static constexpr std::uint64_t kNeverTick = ~std::uint64_t{0};
+  std::vector<std::uint64_t> period_;       // drifted round period in ticks
+  std::vector<Round> local_round_;          // rounds completed by u's clock
+  std::vector<Decision> decision_;          // u's last decide() outcome
+  std::vector<std::uint64_t> last_ad_tick_; // when u last advertised
+  std::vector<Tag> last_tag_;               // the tag it advertised
+  std::vector<std::vector<NodeId>> inbox_;  // proposals in arrival order
+  std::vector<NeighborInfo> view_;          // scan scratch
+};
+
+}  // namespace mtm

@@ -262,4 +262,63 @@ FabricOptions parse_fabric_flags(const CliArgs& args,
   return options;
 }
 
+const char* scheduler_flags_help() {
+  return R"(  --scheduler=KIND  execution model: sync (round loop) | event
+                    (discrete-event queue with latency + drift) [default sync]
+  --scheduler-threads=T  sync mode: shard each round across T worker
+                    threads (0 = one per hardware thread; results are
+                    bit-identical at any value)                 [default 1]
+  --engine-threads=T     deprecated alias for --scheduler-threads
+  --latency-dist=D  event mode: per-edge delivery latency distribution:
+                    constant | uniform | exponential        [default constant]
+  --latency-mean=L  event mode: mean delivery latency in round
+                    periods                                     [default 0]
+  --clock-drift=C   event mode: per-node round-period drift,
+                    C in [0, 0.5)                               [default 0]
+)";
+}
+
+SchedulerSpec parse_scheduler_flags(const CliArgs& args) {
+  SchedulerSpec spec;
+  spec.kind = parse_scheduler_kind(args.get_string("scheduler", "sync"));
+  if (args.has("engine-threads") && args.has("scheduler-threads")) {
+    throw std::invalid_argument(
+        "--engine-threads is a deprecated alias for --scheduler-threads; "
+        "set only one of them");
+  }
+  const bool threads_set =
+      args.has("scheduler-threads") || args.has("engine-threads");
+  const std::uint64_t threads = args.has("scheduler-threads")
+                                    ? args.get_u64("scheduler-threads", 1)
+                                    : args.get_u64("engine-threads", 1);
+  if (spec.kind == SchedulerKind::kEvent) {
+    if (threads_set && threads != 1) {
+      throw std::invalid_argument(
+          "--scheduler-threads does not apply to --scheduler=event (the "
+          "event scheduler is inherently sequential)");
+    }
+    spec.latency_dist =
+        parse_latency_dist(args.get_string("latency-dist", "constant"));
+    spec.latency_mean = args.get_double("latency-mean", 0.0);
+    spec.clock_drift = args.get_double("clock-drift", 0.0);
+    if (args.has("latency-dist") && spec.latency_mean == 0.0) {
+      throw std::invalid_argument(
+          "--latency-dist requires a nonzero --latency-mean (the "
+          "distribution would never be sampled)");
+    }
+  } else {
+    // Latency/drift parameters without event mode are a dropped
+    // --scheduler=event.
+    for (const char* flag : {"latency-dist", "latency-mean", "clock-drift"}) {
+      if (args.has(flag)) {
+        throw std::invalid_argument(std::string("--") + flag +
+                                    " requires --scheduler=event");
+      }
+    }
+    spec.threads = threads;
+  }
+  validate(spec);
+  return spec;
+}
+
 }  // namespace mtm

@@ -13,6 +13,7 @@
 #include "core/cli.hpp"
 #include "sim/byzantine.hpp"
 #include "sim/faults.hpp"
+#include "sim/scheduler.hpp"
 
 namespace mtm::obs {
 class MetricRegistry;
@@ -155,5 +156,21 @@ const char* fabric_flags_help();
 /// --heartbeat-ms >= --lease-ms (the lease would expire between beats).
 FabricOptions parse_fabric_flags(const CliArgs& args,
                                  const ResilienceOptions& resilience);
+
+/// Help-text fragment for the scheduler flags.
+const char* scheduler_flags_help();
+
+/// Consumes the shared scheduler flags (--scheduler=sync|event,
+/// --scheduler-threads, --latency-dist, --latency-mean, --clock-drift) and
+/// returns a validated SchedulerSpec. --engine-threads is accepted as a
+/// deprecated alias for --scheduler-threads. Contradictions are rejected
+/// with a one-line std::invalid_argument: --latency-dist/--latency-mean/
+/// --clock-drift without --scheduler=event (the sync round loop delivers
+/// everything within the round), --scheduler-threads with --scheduler=event
+/// (the event scheduler is sequential), --latency-dist without a nonzero
+/// --latency-mean (the distribution would never be sampled), and
+/// --engine-threads together with --scheduler-threads (one knob, one
+/// spelling).
+SchedulerSpec parse_scheduler_flags(const CliArgs& args);
 
 }  // namespace mtm

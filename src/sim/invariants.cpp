@@ -6,6 +6,7 @@
 
 #include "graph/connectivity.hpp"
 #include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 
 namespace mtm {
 
@@ -49,7 +50,7 @@ void InvariantMonitor::hard_violation(const std::string& check, Round round,
   if (config_.fail_fast) throw InvariantViolation(check, round, detail);
 }
 
-void InvariantMonitor::observe_round(const Engine& engine,
+void InvariantMonitor::observe_round(const Scheduler& engine,
                                      const Graph& graph) {
   const auto* leader = dynamic_cast<const LeaderElectionProtocol*>(
       &engine.protocol().unwrap());

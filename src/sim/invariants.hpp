@@ -54,7 +54,7 @@
 
 namespace mtm {
 
-class Engine;
+class Scheduler;
 
 struct InvariantConfig {
   /// Throw InvariantViolation out of Engine::step() on a hard violation
@@ -117,10 +117,11 @@ class InvariantMonitor {
   /// (non-owning; nullptr detaches).
   void set_trace_sink(obs::TraceSink* sink) noexcept { trace_sink_ = sink; }
 
-  /// Called by the engine at the end of every step() (see
-  /// Engine::set_invariant_monitor). Reads engine state only; may throw
-  /// InvariantViolation in fail-fast mode.
-  void observe_round(const Engine& engine, const Graph& graph);
+  /// Called by the scheduler at the end of every step() (see
+  /// Scheduler::set_invariant_monitor). Reads scheduler state only; may
+  /// throw InvariantViolation in fail-fast mode. Works against any
+  /// Scheduler implementation (sync round loop or event-driven).
+  void observe_round(const Scheduler& engine, const Graph& graph);
 
   const InvariantReport& report() const noexcept { return report_; }
   /// Counter/gauge/histogram mirror of the report, for unified snapshots.

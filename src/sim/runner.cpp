@@ -8,8 +8,8 @@
 namespace mtm {
 
 RunResult run_until_stabilized(
-    Engine& engine, Round max_rounds,
-    const std::function<void(const Engine&)>& per_round,
+    Scheduler& engine, Round max_rounds,
+    const std::function<void(const Scheduler&)>& per_round,
     const TrialCancel* cancel) {
   MTM_REQUIRE(max_rounds >= 1);
   RunResult result;

@@ -57,16 +57,18 @@ struct RunResult {
   bool cancelled = false;
 };
 
-/// Steps `engine` until stabilized() or `max_rounds` rounds have run.
-/// `per_round` (optional) observes the engine after EVERY executed round —
-/// including the stabilization round's final state and the round in which
+/// Steps `engine` until stabilized() or `max_rounds` round windows have
+/// run. Works against any Scheduler implementation (the sync round loop or
+/// the event scheduler; stabilization is polled at window boundaries).
+/// `per_round` (optional) observes the scheduler after EVERY executed round
+/// — including the stabilization round's final state and the round in which
 /// `max_rounds` is exhausted — in every code path. (The trivial
 /// already-stable case executes zero rounds, so the observer never fires.)
 /// `cancel` (optional) is polled between rounds: once it reports cancelled
 /// the loop stops cleanly and the result carries cancelled = true.
 RunResult run_until_stabilized(
-    Engine& engine, Round max_rounds,
-    const std::function<void(const Engine&)>& per_round = {},
+    Scheduler& engine, Round max_rounds,
+    const std::function<void(const Scheduler&)>& per_round = {},
     const TrialCancel* cancel = nullptr);
 
 /// The seed of trial `trial` under master seed `master` — the single
@@ -83,11 +85,16 @@ struct TrialControls {
   std::size_t trials = 32;    ///< independent Monte-Carlo trials
   std::uint64_t seed = 1;     ///< master seed; trial t derives its own
   std::size_t threads = 1;    ///< trial-level parallelism
-  /// Intra-trial parallelism: shards each round of each engine across this
-  /// many worker threads (0 = one per hardware thread). Results are
-  /// bit-identical at any value; composes with `threads`, so keep the
-  /// product within the machine. Forwarded into
-  /// EngineConfig::intra_round_threads by the experiment runners.
+  /// Execution selection for each trial's engine (scheduler kind, engine
+  /// threads, event-mode latency/drift), forwarded verbatim into
+  /// EngineConfig::scheduler by the experiment runners. scheduler.threads
+  /// is the intra-trial parallelism (0 = one shard per hardware thread;
+  /// results are bit-identical at any value); it composes with `threads`,
+  /// so keep the product within the machine.
+  SchedulerSpec scheduler;
+  /// Deprecated alias for scheduler.threads (the pre-split spelling); a
+  /// non-default value folds into the spec via normalize_scheduler_spec.
+  /// Setting both to different values is rejected at engine construction.
   std::size_t engine_threads = 1;
   /// Failure injection passthrough (see EngineConfig).
   double connection_failure_prob = 0.0;

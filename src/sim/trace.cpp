@@ -17,7 +17,7 @@ ProgressTrace::ProgressTrace(std::vector<TraceColumn> columns)
   }
 }
 
-void ProgressTrace::sample(const Engine& engine) {
+void ProgressTrace::sample(const Scheduler& engine) {
   rounds_.push_back(engine.rounds_executed());
   for (std::size_t c = 0; c < columns_.size(); ++c) {
     data_[c].push_back(columns_[c].probe(engine));
@@ -52,13 +52,13 @@ void ProgressTrace::write_csv(const std::string& path) const {
 }
 
 TraceColumn ProgressTrace::connections_total() {
-  return {"connections", [](const Engine& e) {
+  return {"connections", [](const Scheduler& e) {
             return static_cast<double>(e.telemetry().connections());
           }};
 }
 
 TraceColumn ProgressTrace::proposals_total() {
-  return {"proposals", [](const Engine& e) {
+  return {"proposals", [](const Scheduler& e) {
             return static_cast<double>(e.telemetry().proposals());
           }};
 }

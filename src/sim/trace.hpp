@@ -14,7 +14,7 @@ namespace mtm {
 /// One named scalar probed after every round.
 struct TraceColumn {
   std::string name;
-  std::function<double(const Engine&)> probe;
+  std::function<double(const Scheduler&)> probe;
 };
 
 class ProgressTrace {
@@ -23,7 +23,7 @@ class ProgressTrace {
 
   /// Samples every column; pass as (or call from) the runner's per-round
   /// callback.
-  void sample(const Engine& engine);
+  void sample(const Scheduler& engine);
 
   std::size_t row_count() const noexcept { return rounds_.size(); }
   const std::vector<Round>& rounds() const noexcept { return rounds_; }

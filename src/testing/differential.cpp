@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/assert.hpp"
 #include "sim/invariants.hpp"
@@ -182,7 +183,7 @@ std::optional<Divergence> compare_events(const RecordingProtocol& engine_rec,
 }
 
 void dump_round_trace(std::ostream& out, Round round,
-                      const Engine& engine,
+                      const Scheduler& engine,
                       const RecordingProtocol& engine_rec,
                       std::size_t events_before,
                       std::uint64_t engine_state,
@@ -215,6 +216,20 @@ std::optional<Divergence> run_differential(const Scenario& scenario,
   EngineConfig config = scenario.config;
   config.record_rounds = true;
 
+  // Sync scenarios check Engine against the independently derived
+  // ReferenceEngine. Event scenarios have no second derivation of the
+  // asynchronous semantics, so they check the strongest property the
+  // harness can still falsify: two independently constructed
+  // EventSchedulers over the same seed must produce bit-identical event
+  // streams, telemetry, and protocol state (plus the invariant monitor on
+  // top). Reference mutations live in the sync-only oracle, so an event
+  // scenario with a mutation could never demonstrate detection — reject it.
+  const bool event_mode = config.scheduler.kind == SchedulerKind::kEvent;
+  if (event_mode && options.mutation != ReferenceMutation::kNone) {
+    throw std::invalid_argument(
+        "reference mutations require the sync scheduler");
+  }
+
   auto engine_protocol = scenario.make_protocol();
   auto reference_protocol = scenario.make_protocol();
   auto engine_topology = scenario.make_topology();
@@ -223,11 +238,21 @@ std::optional<Divergence> run_differential(const Scenario& scenario,
   RecordingProtocol engine_rec(*engine_protocol);
   RecordingProtocol reference_rec(*reference_protocol);
 
-  Engine engine(*engine_topology, engine_rec, config);
-  ReferenceEngine reference(*reference_topology, reference_rec, config,
-                            options.mutation);
+  std::unique_ptr<Scheduler> engine =
+      make_scheduler(*engine_topology, engine_rec, config);
+  std::unique_ptr<Scheduler> event_reference;
+  std::unique_ptr<ReferenceEngine> reference;
+  if (event_mode) {
+    event_reference = make_scheduler(*reference_topology, reference_rec,
+                                     config);
+  } else {
+    reference = std::make_unique<ReferenceEngine>(
+        *reference_topology, reference_rec, config, options.mutation);
+  }
+  const Telemetry& reference_telemetry =
+      event_mode ? event_reference->telemetry() : reference->telemetry();
 
-  const NodeId n = engine.node_count();
+  const NodeId n = engine->node_count();
 
   // Record-only safety monitoring on the optimized engine: the monitor is
   // zero-perturbation, so the lockstep streams are unaffected and any
@@ -239,19 +264,23 @@ std::optional<Divergence> run_differential(const Scenario& scenario,
     if (!scenario.uid_universe.empty()) {
       monitor.set_expected_uids(scenario.uid_universe);
     }
-    engine.set_invariant_monitor(&monitor);
+    engine->set_invariant_monitor(&monitor);
   }
 
   std::size_t events_seen = 0;
 
   for (Round r = 1; r <= scenario.rounds; ++r) {
     try {
-      engine.step();
+      engine->step();
     } catch (const std::exception& e) {
       return Divergence{r, "engine-exception", e.what()};
     }
     try {
-      reference.step();
+      if (event_mode) {
+        event_reference->step();
+      } else {
+        reference->step();
+      }
     } catch (const std::exception& e) {
       return Divergence{r, "reference-exception", e.what()};
     }
@@ -261,8 +290,8 @@ std::optional<Divergence> run_differential(const Scenario& scenario,
     }
 
     std::optional<Divergence> out;
-    const Telemetry& et = engine.telemetry();
-    const Telemetry& rt = reference.telemetry();
+    const Telemetry& et = engine->telemetry();
+    const Telemetry& rt = reference_telemetry;
     if (!counters_match("proposals", et.proposals(), rt.proposals(), r, out) ||
         !counters_match("connections", et.connections(), rt.connections(), r,
                         out) ||
@@ -299,7 +328,7 @@ std::optional<Divergence> run_differential(const Scenario& scenario,
     const std::uint64_t reference_state =
         protocol_state_hash(*reference_protocol, n);
     if (options.trace != nullptr) {
-      dump_round_trace(*options.trace, r, engine, engine_rec, events_seen,
+      dump_round_trace(*options.trace, r, *engine, engine_rec, events_seen,
                        engine_state, reference_state);
     }
     if (engine_state != reference_state) {

@@ -13,6 +13,15 @@
 // The harness is itself validated by mutation testing: run_differential with
 // a ReferenceMutation must report a divergence (see tests/testing/
 // test_differential.cpp), proving the oracle has teeth.
+//
+// Event-scheduler scenarios (EngineConfig::scheduler.kind == kEvent) have no
+// independent second derivation of the asynchronous semantics, so for them
+// run_differential degrades to the strongest property it can still falsify:
+// two independently constructed EventSchedulers over the same seed must
+// produce bit-identical protocol-event streams, telemetry, and state hashes
+// (determinism), with the invariant monitor layered on top. Reference
+// mutations are rejected in event mode (std::invalid_argument) — they live
+// in the sync-only oracle.
 #pragma once
 
 #include <cstdint>
@@ -130,6 +139,7 @@ std::string to_string(const Divergence& divergence);
 
 struct DifferentialOptions {
   /// Fault seeded into the REFERENCE engine (harness validation only).
+  /// Sync scenarios only — event-mode scenarios reject mutations.
   ReferenceMutation mutation = ReferenceMutation::kNone;
   /// When set, a per-round trace (events, counters, state hashes) is
   /// streamed here — the replay tool's trace dump.

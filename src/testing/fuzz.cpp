@@ -182,6 +182,16 @@ std::string to_string(const FuzzCase& fuzz_case) {
     out << " byz=" << fuzz_case.byz_fraction
         << " byz-mode=" << mtm::to_string(fuzz_case.byz_mode);
   }
+  if (fuzz_case.scheduler != SchedulerKind::kSync) {
+    out << " scheduler=" << mtm::to_string(fuzz_case.scheduler);
+    if (fuzz_case.latency_mean > 0.0) {
+      out << " latency-dist=" << mtm::to_string(fuzz_case.latency_dist)
+          << " latency-mean=" << fuzz_case.latency_mean;
+    }
+    if (fuzz_case.clock_drift > 0.0) {
+      out << " clock-drift=" << fuzz_case.clock_drift;
+    }
+  }
   return out.str();
 }
 
@@ -227,6 +237,12 @@ FuzzCase parse_fuzz_case(const std::string& text) {
       }
       else if (key == "byz") out.byz_fraction = std::stod(value);
       else if (key == "byz-mode") out.byz_mode = parse_byz_behavior(value);
+      else if (key == "scheduler") out.scheduler = parse_scheduler_kind(value);
+      else if (key == "latency-dist") {
+        out.latency_dist = parse_latency_dist(value);
+      }
+      else if (key == "latency-mean") out.latency_mean = std::stod(value);
+      else if (key == "clock-drift") out.clock_drift = std::stod(value);
       else throw std::invalid_argument("unknown fuzz case key: " + key);
     } catch (const std::invalid_argument&) {
       throw;
@@ -256,6 +272,10 @@ Scenario make_scenario(const FuzzCase& fuzz_case) {
   scenario.config.seed = fuzz_case.seed;
   scenario.config.acceptance = fuzz_case.acceptance;
   scenario.config.connection_failure_prob = fuzz_case.failure_prob;
+  scenario.config.scheduler.kind = fuzz_case.scheduler;
+  scenario.config.scheduler.latency_dist = fuzz_case.latency_dist;
+  scenario.config.scheduler.latency_mean = fuzz_case.latency_mean;
+  scenario.config.scheduler.clock_drift = fuzz_case.clock_drift;
 
   FaultPlanConfig& faults = scenario.config.faults;
   faults.crash_prob = fuzz_case.crash_prob;
@@ -379,7 +399,8 @@ Scenario make_scenario(const FuzzCase& fuzz_case) {
   return scenario;
 }
 
-FuzzCase random_fuzz_case(Rng& rng, bool with_faults, bool with_adversary) {
+FuzzCase random_fuzz_case(Rng& rng, bool with_faults, bool with_adversary,
+                          bool with_event) {
   FuzzCase out;
   out.protocol = static_cast<FuzzProtocol>(
       rng.uniform(with_faults || with_adversary ? 7 : 6));
@@ -498,6 +519,21 @@ FuzzCase random_fuzz_case(Rng& rng, bool with_faults, bool with_adversary) {
       out.byz_mode = ByzBehavior::kUidSpoof;
     }
   }
+  if (with_event) {
+    // Draw every dimension unconditionally (stable stream layout), then
+    // normalize sync cases back to the defaults so to_string round-trips.
+    const bool event = rng.uniform(3) == 0;
+    const auto dist = static_cast<LatencyDist>(rng.uniform(3));
+    const double mean = 0.25 * static_cast<double>(1 + rng.uniform(4));
+    constexpr double kDrifts[] = {0.0, 0.05, 0.2};
+    const double drift = kDrifts[rng.uniform(3)];
+    if (event) {
+      out.scheduler = SchedulerKind::kEvent;
+      out.latency_dist = dist;
+      out.latency_mean = mean;  // always > 0 so latency-dist round-trips
+      out.clock_drift = drift;
+    }
+  }
   return out;
 }
 
@@ -581,6 +617,27 @@ FuzzCase shrink_fuzz_case(FuzzCase fuzz_case,
     }
     {
       FuzzCase candidate = fuzz_case;
+      candidate.clock_drift = 0.0;
+      try_simplify(candidate);
+    }
+    {
+      FuzzCase candidate = fuzz_case;
+      candidate.latency_dist = LatencyDist::kConstant;
+      candidate.latency_mean = 0.0;
+      try_simplify(candidate);
+    }
+    {
+      // All the way back to the synchronous round loop (and the sync
+      // reference oracle) when the divergence survives the switch.
+      FuzzCase candidate = fuzz_case;
+      candidate.scheduler = SchedulerKind::kSync;
+      candidate.latency_dist = LatencyDist::kConstant;
+      candidate.latency_mean = 0.0;
+      candidate.clock_drift = 0.0;
+      try_simplify(candidate);
+    }
+    {
+      FuzzCase candidate = fuzz_case;
       candidate.async_activation = false;
       try_simplify(candidate);
     }
@@ -621,10 +678,15 @@ std::vector<FuzzFailure> run_fuzz(const FuzzOptions& options) {
   // fuzzed round budget, so honest configurations can never trip it; a
   // safety violation surfaces as an "invariant" divergence.
   diff_options.check_invariants = true;
+  // Mutations live in the sync-only reference engine, so a mutation run
+  // must not sample event cases (they would pass vacuously).
+  const bool with_event = options.with_event_scheduler &&
+                          options.mutation == ReferenceMutation::kNone;
   for (std::size_t i = 0; i < options.cases; ++i) {
     Rng case_rng(derive_seed(options.seed, {kCaseSeedTag, i}));
     const FuzzCase fuzz_case =
-        random_fuzz_case(case_rng, options.with_faults, options.with_adversary);
+        random_fuzz_case(case_rng, options.with_faults, options.with_adversary,
+                         with_event);
     if (options.on_case) options.on_case(i, fuzz_case);
     auto divergence = run_differential(make_scenario(fuzz_case), diff_options);
     if (!divergence) continue;

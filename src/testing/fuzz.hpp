@@ -75,6 +75,14 @@ struct FuzzCase {
   /// minimum of the shuffled universe.
   double byz_fraction = 0.0;
   ByzBehavior byz_mode = ByzBehavior::kUidSpoof;
+  /// Scheduler dimensions (sim/scheduler.hpp). The sync defaults keep
+  /// pre-split tuples byte-identical. scheduler=event switches the check to
+  /// twin-scheduler determinism (see run_differential) because the
+  /// reference engine derives only the synchronous semantics.
+  SchedulerKind scheduler = SchedulerKind::kSync;
+  LatencyDist latency_dist = LatencyDist::kConstant;
+  double latency_mean = 0.0;  ///< event only; round periods
+  double clock_drift = 0.0;   ///< event only; in [0, 0.5)
 
   friend bool operator==(const FuzzCase&, const FuzzCase&) = default;
 };
@@ -93,9 +101,13 @@ Scenario make_scenario(const FuzzCase& fuzz_case);
 /// and the stable-leader protocol join the sampled space; without it, the
 /// pre-fault distribution is reproduced exactly. With `with_adversary`, the
 /// partition and Byzantine dimensions join too (honest-majority fractions
-/// only; leader-election protocols only).
+/// only; leader-election protocols only). With `with_event`, roughly a
+/// third of the cases run on the event scheduler with sampled latency and
+/// drift; the extra draws happen after every older dimension, so the
+/// pre-event streams are reproduced exactly.
 FuzzCase random_fuzz_case(Rng& rng, bool with_faults = false,
-                          bool with_adversary = false);
+                          bool with_adversary = false,
+                          bool with_event = false);
 
 /// Greedily minimizes a diverging case (fewer rounds, no failure injection,
 /// no fault plan, synchronized starts, uniform acceptance, static topology,
@@ -119,6 +131,11 @@ struct FuzzOptions {
   /// Sample partition + Byzantine dimensions too (implies the widened
   /// protocol span of with_faults).
   bool with_adversary = false;
+  /// Sample event-scheduler dimensions too (scheduler / latency-dist /
+  /// latency-mean / clock-drift). Ignored while `mutation` is set: the
+  /// mutations live in the sync-only reference engine, so an event case
+  /// could never demonstrate detection.
+  bool with_event_scheduler = false;
   /// Fault seeded into the reference engine (harness validation only).
   ReferenceMutation mutation = ReferenceMutation::kNone;
   /// Progress hook, called before each case runs.

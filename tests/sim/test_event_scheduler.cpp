@@ -1,0 +1,202 @@
+// EventScheduler (sim/event_scheduler.hpp): determinism, asynchronous
+// semantics, and the zero-perturbation observability contract.
+//
+// The event scheduler's reproducibility promise mirrors the sync engine's:
+// same seed => same event order => same results, on every platform. Two
+// fingerprints are pinned as literals below; a failure means the event
+// queue ordering, the latency/drift hashing, or a per-node stream schedule
+// changed — which invalidates every recorded E22 measurement. Regenerate
+// only for an INTENTIONAL model change.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace_sink.hpp"
+#include "protocols/blind_gossip.hpp"
+#include "protocols/classical.hpp"
+#include "sim/event_scheduler.hpp"
+#include "sim/invariants.hpp"
+#include "sim/runner.hpp"
+#include "sim/scheduler.hpp"
+#include "testing/differential.hpp"
+
+namespace mtm {
+namespace {
+
+EngineConfig event_config(std::uint64_t seed, double latency_mean,
+                          double clock_drift,
+                          LatencyDist dist = LatencyDist::kConstant) {
+  EngineConfig cfg;
+  cfg.seed = seed;
+  cfg.record_rounds = true;
+  cfg.scheduler.kind = SchedulerKind::kEvent;
+  cfg.scheduler.latency_dist = dist;
+  cfg.scheduler.latency_mean = latency_mean;
+  cfg.scheduler.clock_drift = clock_drift;
+  return cfg;
+}
+
+/// Full observable fingerprint of an execution: telemetry counters, event
+/// accounting, and protocol state, folded order-sensitively.
+std::uint64_t fingerprint(const EventScheduler& scheduler) {
+  const Telemetry& t = scheduler.telemetry();
+  std::uint64_t h = mix64(t.proposals());
+  h = mix64(h ^ t.connections());
+  h = mix64(h ^ t.failed_connections());
+  h = mix64(h ^ t.fault_dropped());
+  h = mix64(h ^ t.crashes());
+  h = mix64(h ^ t.recoveries());
+  h = mix64(h ^ t.payload_uids());
+  h = mix64(h ^ t.wasted_rounds());
+  h = mix64(h ^ scheduler.events_dispatched());
+  h = mix64(h ^ testing::protocol_state_hash(scheduler.protocol().unwrap(),
+                                             scheduler.node_count()));
+  return h;
+}
+
+/// Runs BlindGossip on `g` under `cfg` for `rounds` windows.
+std::uint64_t run_case(const Graph& g, EngineConfig cfg, Round rounds) {
+  StaticGraphProvider topo(g);
+  BlindGossip proto(BlindGossip::shuffled_uids(g.node_count(), cfg.seed));
+  EventScheduler scheduler(topo, proto, cfg);
+  scheduler.run_rounds(rounds);
+  return fingerprint(scheduler);
+}
+
+TEST(EventScheduler, SameSeedSameExecution) {
+  const Graph g = make_star_line(3, 3);
+  const EngineConfig cfg =
+      event_config(42, 0.75, 0.1, LatencyDist::kExponential);
+  EXPECT_EQ(run_case(g, cfg, 48), run_case(g, cfg, 48));
+}
+
+TEST(EventScheduler, DifferentSeedsDiverge) {
+  const Graph g = make_clique(10);
+  EXPECT_NE(run_case(g, event_config(1, 0.5, 0.1), 32),
+            run_case(g, event_config(2, 0.5, 0.1), 32));
+}
+
+// Pinned literals: regenerate ONLY for an intentional model change (see the
+// file comment). The two points cover both latency families and both the
+// drift-free and drifted clocks.
+TEST(EventScheduler, PinnedFingerprintConstantLatency) {
+  EXPECT_EQ(run_case(make_clique(12), event_config(2024, 0.5, 0.0), 40),
+            0x47d50269ca8d93f2ULL);
+}
+
+TEST(EventScheduler, PinnedFingerprintExponentialLatencyWithDrift) {
+  EXPECT_EQ(run_case(make_star_line(3, 4),
+                     event_config(7, 1.0, 0.2, LatencyDist::kExponential), 64),
+            0x16ff58d012f87565ULL);
+}
+
+TEST(EventScheduler, DriftStretchesPeriods) {
+  const Graph g = make_clique(8);
+  StaticGraphProvider topo(g);
+  BlindGossip proto(BlindGossip::shuffled_uids(8, 3));
+  EventScheduler drifted(topo, proto, event_config(3, 0.0, 0.25));
+  bool any_stretched = false;
+  for (NodeId u = 0; u < 8; ++u) {
+    EXPECT_GE(drifted.period_ticks(u),
+              EventScheduler::kTicksPerRound * 3 / 4);
+    EXPECT_LE(drifted.period_ticks(u),
+              EventScheduler::kTicksPerRound * 5 / 4);
+    any_stretched =
+        any_stretched || drifted.period_ticks(u) != EventScheduler::kTicksPerRound;
+  }
+  EXPECT_TRUE(any_stretched);
+
+  StaticGraphProvider topo_b(g);
+  BlindGossip proto_b(BlindGossip::shuffled_uids(8, 3));
+  EventScheduler steady(topo_b, proto_b, event_config(3, 0.0, 0.0));
+  for (NodeId u = 0; u < 8; ++u) {
+    EXPECT_EQ(steady.period_ticks(u), EventScheduler::kTicksPerRound);
+  }
+}
+
+TEST(EventScheduler, StabilizesAndElectsTrueMinimum) {
+  const Graph g = make_clique(10);
+  StaticGraphProvider topo(g);
+  const auto uids = BlindGossip::shuffled_uids(10, 9);
+  BlindGossip proto(uids);
+  EventScheduler scheduler(topo, proto, event_config(9, 0.5, 0.1));
+  const RunResult result = run_until_stabilized(scheduler, 1u << 14);
+  ASSERT_TRUE(result.converged);
+  Uid expected = uids[0];
+  for (const Uid uid : uids) expected = std::min(expected, uid);
+  for (NodeId u = 0; u < 10; ++u) EXPECT_EQ(proto.leader_of(u), expected);
+}
+
+TEST(EventScheduler, EventAccountingIsCoherent) {
+  const Graph g = make_cycle(9);
+  StaticGraphProvider topo(g);
+  BlindGossip proto(BlindGossip::shuffled_uids(9, 5));
+  EventScheduler scheduler(topo, proto, event_config(5, 1.0, 0.05));
+  scheduler.run_rounds(16);
+  EXPECT_GT(scheduler.events_dispatched(), 0u);
+  EXPECT_GE(scheduler.events_enqueued(),
+            scheduler.events_dispatched());
+  // Undelivered in-flight events (future node rounds at minimum) remain.
+  EXPECT_GT(scheduler.queue_depth(), 0u);
+  EXPECT_EQ(scheduler.rounds_executed(), 16u);
+  EXPECT_EQ(scheduler.telemetry().per_round().size(), 16u);
+}
+
+TEST(EventScheduler, ZeroPerturbationObservers) {
+  const Graph g = make_star_line(3, 3);
+  const EngineConfig cfg = event_config(11, 0.5, 0.1);
+  const std::uint64_t bare = run_case(g, cfg, 32);
+
+  StaticGraphProvider topo(g);
+  BlindGossip proto(BlindGossip::shuffled_uids(g.node_count(), cfg.seed));
+  EventScheduler scheduler(topo, proto, cfg);
+  obs::RingTraceSink trace(64);
+  obs::PhaseProfile profile;
+  InvariantMonitor monitor(InvariantConfig{false, 1u << 12});
+  scheduler.set_trace_sink(&trace);
+  scheduler.set_phase_profile(&profile);
+  scheduler.set_invariant_monitor(&monitor);
+  scheduler.run_rounds(32);
+  EXPECT_EQ(fingerprint(scheduler), bare);
+  EXPECT_EQ(monitor.report().violations(), 0u);
+}
+
+TEST(EventScheduler, FaultPlanAppliesAtWindowStarts) {
+  EngineConfig cfg = event_config(21, 0.5, 0.1);
+  cfg.faults.crash_prob = 0.1;
+  cfg.faults.recovery_prob = 0.5;
+  cfg.faults.seed = derive_seed(21, {0xfa});
+  const Graph g = make_clique(12);
+  StaticGraphProvider topo(g);
+  BlindGossip proto(BlindGossip::shuffled_uids(12, 21));
+  EventScheduler scheduler(topo, proto, cfg);
+  scheduler.run_rounds(64);
+  EXPECT_GT(scheduler.telemetry().crashes(), 0u);
+  EXPECT_GT(scheduler.telemetry().recoveries(), 0u);
+  ASSERT_NE(scheduler.fault_plan(), nullptr);
+}
+
+TEST(EventScheduler, ClassicalModeRunsUnderEvents) {
+  EngineConfig cfg = event_config(31, 0.25, 0.05);
+  cfg.classical_mode = true;
+  const Graph g = make_clique(8);
+  StaticGraphProvider topo(g);
+  ClassicalGossip proto(BlindGossip::shuffled_uids(8, 31));
+  EventScheduler scheduler(topo, proto, cfg);
+  const RunResult result = run_until_stabilized(scheduler, 1u << 12);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(EventScheduler, MakeSchedulerDispatchesOnKind) {
+  const Graph g = make_clique(6);
+  StaticGraphProvider topo(g);
+  BlindGossip proto(BlindGossip::shuffled_uids(6, 1));
+  const auto scheduler =
+      make_scheduler(topo, proto, event_config(1, 0.0, 0.0));
+  EXPECT_NE(dynamic_cast<EventScheduler*>(scheduler.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -47,7 +47,7 @@ TEST(Runner, PerRoundCallbackInvoked) {
   Engine engine(topo, proto, EngineConfig{});
   Round callbacks = 0;
   const RunResult result = run_until_stabilized(
-      engine, 1000, [&callbacks](const Engine&) { ++callbacks; });
+      engine, 1000, [&callbacks](const Scheduler&) { ++callbacks; });
   EXPECT_EQ(callbacks, result.rounds);
 }
 
@@ -66,7 +66,7 @@ TEST(Runner, PerRoundObservesStabilizationRoundFinalState) {
   bool last_seen_stabilized = false;
   Round last_seen_round = 0;
   const RunResult result = run_until_stabilized(
-      engine, 10000, [&](const Engine& e) {
+      engine, 10000, [&](const Scheduler& e) {
         ++callbacks;
         last_seen_stabilized = proto.stabilized();
         last_seen_round = e.rounds_executed();
@@ -85,7 +85,7 @@ TEST(Runner, PerRoundObservesMaxRoundsExhaustionRound) {
   Round callbacks = 0;
   Round last_seen_round = 0;
   const RunResult result = run_until_stabilized(
-      engine, 5, [&](const Engine& e) {
+      engine, 5, [&](const Scheduler& e) {
         ++callbacks;
         last_seen_round = e.rounds_executed();
       });
@@ -103,7 +103,7 @@ TEST(Runner, PerRoundObservesCoincidentStabilizationAtCap) {
     EngineConfig cfg;
     cfg.seed = 23;
     Engine engine(topo, proto, cfg);
-    return run_until_stabilized(engine, cap, [callbacks](const Engine&) {
+    return run_until_stabilized(engine, cap, [callbacks](const Scheduler&) {
       if (callbacks != nullptr) ++*callbacks;
     });
   };
@@ -122,7 +122,7 @@ TEST(Runner, PerRoundNeverFiresWhenZeroRoundsExecute) {
   Engine engine(topo, proto, EngineConfig{});
   Round callbacks = 0;
   const RunResult result = run_until_stabilized(
-      engine, 100, [&callbacks](const Engine&) { ++callbacks; });
+      engine, 100, [&callbacks](const Scheduler&) { ++callbacks; });
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(result.rounds, 0u);
   EXPECT_EQ(callbacks, 0u);
@@ -266,7 +266,7 @@ TEST(Runner, CancelTokenStopsBetweenRounds) {
   // notice at the next between-round boundary and stop with a clean state.
   const RunResult result = run_until_stabilized(
       engine, 10000,
-      [&](const Engine& e) {
+      [&](const Scheduler& e) {
         if (e.rounds_executed() == 2) deadline.cancel();
       },
       &cancel);

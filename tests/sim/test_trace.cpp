@@ -21,12 +21,12 @@ TEST(ProgressTrace, SamplesPerRound) {
   Engine engine(topo, proto, cfg);
 
   ProgressTrace trace({{"informed",
-                        [&proto](const Engine&) {
+                        [&proto](const Scheduler&) {
                           return static_cast<double>(proto.informed_count());
                         }},
                        ProgressTrace::connections_total()});
   const RunResult result = run_until_stabilized(
-      engine, 10000, [&trace](const Engine& e) { trace.sample(e); });
+      engine, 10000, [&trace](const Scheduler& e) { trace.sample(e); });
   ASSERT_TRUE(result.converged);
   EXPECT_EQ(trace.row_count(), result.rounds);
   // Informed counts are monotone and end at n.
@@ -44,7 +44,7 @@ TEST(ProgressTrace, CsvFormat) {
   StaticGraphProvider topo(make_path(2));
   PushPull proto({0});
   Engine engine(topo, proto, EngineConfig{});
-  ProgressTrace trace({{"x", [](const Engine&) { return 1.5; }}});
+  ProgressTrace trace({{"x", [](const Scheduler&) { return 1.5; }}});
   engine.step();
   trace.sample(engine);
   const std::string csv = trace.to_csv();
@@ -76,7 +76,7 @@ TEST(ProgressTrace, WriteCsvFailureThrows) {
 TEST(ProgressTrace, ValidatesColumns) {
   EXPECT_THROW(ProgressTrace({}), ContractError);
   EXPECT_THROW(ProgressTrace({{"x", nullptr}}), ContractError);
-  EXPECT_THROW(ProgressTrace({{"", [](const Engine&) { return 0.0; }}}),
+  EXPECT_THROW(ProgressTrace({{"", [](const Scheduler&) { return 0.0; }}}),
                ContractError);
 }
 

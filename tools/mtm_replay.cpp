@@ -14,9 +14,11 @@
 // 1 on any divergence (or usage error) — so CI can gate on it directly.
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/cli.hpp"
+#include "obs/manifest.hpp"
 #include "sim/fault_cli.hpp"
 #include "testing/fuzz.hpp"
 
@@ -37,6 +39,10 @@ options:
                     accept-first-proposal | skip-payload-snapshot |
                     skip-restart-reset
   --fuzz=N          run N random differential cases               [default 0]
+  --event           with --fuzz: sample event-scheduler dimensions too
+                    (tuple keys scheduler/latency-dist/latency-mean/
+                    clock-drift); event cases are checked as twin-scheduler
+                    determinism plus invariants (no sync reference exists)
   --faults          with --fuzz: sample fault-plan dimensions too (node
                     churn, burst loss, edge degradation, crash oracles;
                     tuple keys crash/recover/burst/degrade/oracle/
@@ -47,14 +53,20 @@ options:
   --seed=S          fuzz stream seed                              [default 0xf0c5]
   --no-shrink       report original failing tuples without minimizing
   --out=PATH        append failing shrunk tuples to PATH (CI artifact)
+  --manifest=PATH   with --case: echo the replay's run manifest (full config
+                    including the scheduler spec) to PATH; when PATH already
+                    holds a recorded manifest the replay refuses to run under
+                    a different configuration and prints the manifest diff
   --help            this text
 
 Every checked case also runs under the record-only invariant monitor
 (sim/invariants.hpp); a hard safety violation is reported as an
 "invariant" divergence and exits with status 1 like any other mismatch.
 
-With --case, the shared fault flags override the tuple's fault dimensions
-(the flag names ARE the tuple keys — see sim/fault_cli.hpp):
+With --case, the shared fault flags override the tuple's fault dimensions,
+and the scheduler keys (scheduler / latency-dist / latency-mean /
+clock-drift) override the tuple's scheduler dimensions (the flag names ARE
+the tuple keys — see sim/fault_cli.hpp):
 )";
 
 std::string usage() {
@@ -110,6 +122,18 @@ int replay_case(const CliArgs& args, const std::string& case_text) {
     fuzz_case.byz_mode =
         parse_byz_behavior(args.get_string("byz-mode", "spoof"));
   }
+  if (args.has("scheduler")) {
+    fuzz_case.scheduler =
+        parse_scheduler_kind(args.get_string("scheduler", "sync"));
+  }
+  if (args.has("latency-dist")) {
+    fuzz_case.latency_dist =
+        parse_latency_dist(args.get_string("latency-dist", "constant"));
+  }
+  fuzz_case.latency_mean =
+      args.get_double("latency-mean", fuzz_case.latency_mean);
+  fuzz_case.clock_drift = args.get_double("clock-drift", fuzz_case.clock_drift);
+  const std::string manifest_path = args.get_string("manifest", "");
   args.check_unused();
 
   std::cout << "replaying: " << testing::to_string(fuzz_case) << "\n";
@@ -118,12 +142,44 @@ int replay_case(const CliArgs& args, const std::string& case_text) {
               << "\n";
   }
 
+  const testing::Scenario scenario = testing::make_scenario(fuzz_case);
+
+  if (!manifest_path.empty()) {
+    // Echo the full configuration — scheduler spec included — so a replayed
+    // case provably reproduces under the same execution model. A recorded
+    // manifest that fingerprints differently means this invocation would
+    // NOT reproduce that run; refuse and name the differing knobs.
+    obs::RunManifest manifest =
+        obs::make_run_manifest("mtm_replay", fuzz_case.seed, 1);
+    obs::JsonValue config = obs::JsonValue::object();
+    config.set("case", obs::JsonValue::string(testing::to_string(fuzz_case)));
+    config.set("rounds", obs::JsonValue::unsigned_number(scenario.rounds));
+    config.set("engine", obs::engine_config_json(scenario.config));
+    manifest.config = std::move(config);
+    const obs::JsonValue ours = manifest.to_json();
+    std::ifstream recorded(manifest_path);
+    if (recorded) {
+      std::ostringstream buffer;
+      buffer << recorded.rdbuf();
+      const obs::JsonValue theirs = obs::parse_json(buffer.str());
+      if (obs::manifest_fingerprint(theirs) !=
+          obs::manifest_fingerprint(ours)) {
+        std::cerr << "manifest mismatch: this replay would not reproduce "
+                  << manifest_path << "\n"
+                  << obs::manifest_diff(ours, theirs);
+        return 1;
+      }
+    } else if (!obs::write_json_atomic(manifest_path, ours)) {
+      std::cerr << "cannot write " << manifest_path << "\n";
+      return 1;
+    }
+  }
+
   testing::DifferentialOptions options;
   options.mutation = mutation;
   options.check_invariants = true;
   if (trace) options.trace = &std::cout;
-  const auto divergence =
-      testing::run_differential(testing::make_scenario(fuzz_case), options);
+  const auto divergence = testing::run_differential(scenario, options);
   if (!divergence) {
     std::cout << "no divergence: engine matches reference over "
               << fuzz_case.rounds << " rounds\n";
@@ -140,6 +196,7 @@ int run_fuzz_budget(const CliArgs& args, std::uint64_t budget) {
   options.shrink = !args.has("no-shrink");
   options.with_faults = args.has("faults");
   options.with_adversary = args.has("adversary");
+  options.with_event_scheduler = args.has("event");
   options.mutation = parse_mutation(args.get_string("mutation", "none"));
   const std::string out_path = args.get_string("out", "");
   args.check_unused();

@@ -54,10 +54,6 @@ options:
   --seed=S          master seed                                  [default 1]
   --max-rounds=M    per-trial round cap                          [default 2^24]
   --failure-prob=P  connection failure injection, P in [0, 1)    [default 0]
-  --engine-threads=T  shard each round across T worker threads (0 = one per
-                    hardware thread). Bit-identical results at any value;
-                    trials already run in parallel, so raise this only for
-                    few-trials/large-n runs.                     [default 1]
   --acceptance=X    uniform | smallest-id | largest-id           [default uniform]
 )";
 
@@ -82,8 +78,9 @@ see docs/TESTING.md):
 )";
 
 std::string usage() {
-  return std::string(kUsageHead) + fault_flags_help() + kUsageTail +
-         kUsageResilience + resilience_flags_help() + fabric_flags_help();
+  return std::string(kUsageHead) + scheduler_flags_help() +
+         fault_flags_help() + kUsageTail + kUsageResilience +
+         resilience_flags_help() + fabric_flags_help();
 }
 
 Graph build_graph(const CliArgs& args, const std::string& topology,
@@ -124,7 +121,7 @@ int run(const CliArgs& args) {
   const std::uint64_t seed = args.get_u64("seed", 1);
   const Round max_rounds = args.get_u64("max-rounds", Round{1} << 24);
   const double failure_prob = args.get_double("failure-prob", 0.0);
-  const std::size_t engine_threads = args.get_u64("engine-threads", 1);
+  const SchedulerSpec scheduler = parse_scheduler_flags(args);
   const std::string csv = args.get_string("csv", "");
   const std::string acceptance_name = args.get_string("acceptance", "uniform");
 
@@ -191,6 +188,10 @@ int run(const CliArgs& args) {
     config.set("trials", obs::JsonValue::unsigned_number(trials));
     config.set("max_rounds", obs::JsonValue::unsigned_number(max_rounds));
     config.set("failure_prob", obs::JsonValue::number(failure_prob));
+    // Scheduler echo: resuming a journal under a different scheduler spec
+    // must fail the fingerprint check with a manifest diff, not silently
+    // mix sync and event executions.
+    config.set("scheduler", obs::scheduler_spec_json(scheduler));
     manifest.config = std::move(config);
     std::vector<SweepPoint> points;
     points.push_back(std::move(point));
@@ -235,7 +236,7 @@ int run(const CliArgs& args) {
     spec.controls.seed = seed;
     spec.controls.threads = ThreadPool::default_thread_count();
     spec.controls.connection_failure_prob = failure_prob;
-    spec.controls.engine_threads = engine_threads;
+    spec.controls.scheduler = scheduler;
     spec.controls.faults = faults;
     if (sweep_mode) {
       SweepPoint point;
@@ -265,7 +266,7 @@ int run(const CliArgs& args) {
     spec.controls.seed = seed;
     spec.controls.threads = ThreadPool::default_thread_count();
     spec.controls.connection_failure_prob = failure_prob;
-    spec.controls.engine_threads = engine_threads;
+    spec.controls.scheduler = scheduler;
     spec.controls.faults = faults;
     spec.epoch_timeout = epoch_timeout;
     spec.byzantine = byzantine;
