@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "graph/generators.hpp"
 #include "harness/experiment.hpp"
@@ -300,6 +301,14 @@ const int kEngineScalingRegistered = [] {
     b->Args({1000000, threads});
     if (huge) b->Args({10000000, threads});
   }
+  // threads=max rows are only comparable between hosts of the same width:
+  // record this host's core count (and whether the $MTM_BENCH_HUGE point
+  // ran) so the CI gate can tell a perf regression from a narrower runner.
+  const unsigned cores = std::thread::hardware_concurrency();
+  JsonValue host = JsonValue::object();
+  host.set("cores", JsonValue::unsigned_number(cores == 0 ? 1 : cores));
+  host.set("huge", JsonValue::boolean(huge));
+  bench::set_extra_section("bench_host", std::move(host));
   return 0;
 }();
 

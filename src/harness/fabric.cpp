@@ -16,6 +16,7 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <map>
+#include <random>
 #include <set>
 #include <thread>
 #include <tuple>
@@ -23,6 +24,7 @@
 #include "core/assert.hpp"
 #include "core/rng.hpp"
 #include "harness/interrupt.hpp"
+#include "obs/manifest.hpp"
 
 namespace mtm {
 
@@ -38,170 +40,6 @@ std::uint64_t steady_now_ms() {
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// SocketTransport
-// ---------------------------------------------------------------------------
-
-SocketTransport::SocketTransport(int fd) : fd_(fd) {
-  MTM_REQUIRE(fd >= 0);
-  const int flags = ::fcntl(fd_, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
-}
-
-SocketTransport::~SocketTransport() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-bool SocketTransport::send_line(const std::string& line) {
-  std::lock_guard<std::mutex> lock(send_mutex_);
-  if (fd_ < 0) return false;
-  const std::string payload = line + "\n";
-  std::size_t off = 0;
-  while (off < payload.size()) {
-    const ssize_t n = ::send(fd_, payload.data() + off, payload.size() - off,
-                             MSG_NOSIGNAL);
-    if (n >= 0) {
-      off += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      // Socket buffer full: wait for drain rather than dropping the line —
-      // the protocol has no retransmit, a lost result would look like a
-      // hung lease.
-      struct pollfd p = {fd_, POLLOUT, 0};
-      ::poll(&p, 1, 100);
-      continue;
-    }
-    // EPIPE/ECONNRESET and friends: the peer is gone.
-    return false;
-  }
-  return true;
-}
-
-void SocketTransport::pump() {
-  if (fd_ < 0 || peer_gone_) return;
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-    if (n > 0) {
-      rx_.append(buf, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n == 0) {
-      peer_gone_ = true;
-      break;
-    }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    peer_gone_ = true;
-    break;
-  }
-  std::size_t pos;
-  while ((pos = rx_.find('\n')) != std::string::npos) {
-    lines_.push_back(rx_.substr(0, pos));
-    rx_.erase(0, pos + 1);
-  }
-}
-
-bool SocketTransport::poll_line(std::string* line) {
-  pump();
-  if (lines_.empty()) return false;
-  *line = std::move(lines_.front());
-  lines_.pop_front();
-  return true;
-}
-
-bool SocketTransport::wait_readable(int timeout_ms) {
-  if (!lines_.empty() || peer_gone_) return true;
-  struct pollfd p = {fd_, POLLIN, 0};
-  return ::poll(&p, 1, timeout_ms) > 0;
-}
-
-bool SocketTransport::closed() {
-  pump();
-  // A partial line with no terminator at EOF is a mid-write death; it is
-  // dropped, exactly like the journal drops a checksum-failing tail.
-  return peer_gone_ && lines_.empty();
-}
-
-void SocketTransport::sever() {
-  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
-  peer_gone_ = true;
-}
-
-// ---------------------------------------------------------------------------
-// Loopback transport (tests)
-// ---------------------------------------------------------------------------
-
-namespace {
-
-struct LoopbackState {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<std::string> queues[2];  // queues[i] = lines readable by side i
-  bool gone[2] = {false, false};
-};
-
-class LoopbackTransport final : public Transport {
- public:
-  LoopbackTransport(std::shared_ptr<LoopbackState> state, int side)
-      : state_(std::move(state)), side_(side) {}
-  ~LoopbackTransport() override { sever(); }
-
-  bool send_line(const std::string& line) override {
-    std::lock_guard<std::mutex> lock(state_->mutex);
-    if (state_->gone[0] || state_->gone[1]) return false;
-    state_->queues[1 - side_].push_back(line);
-    state_->cv.notify_all();
-    return true;
-  }
-
-  bool poll_line(std::string* line) override {
-    std::lock_guard<std::mutex> lock(state_->mutex);
-    if (state_->queues[side_].empty()) return false;
-    *line = std::move(state_->queues[side_].front());
-    state_->queues[side_].pop_front();
-    return true;
-  }
-
-  bool wait_readable(int timeout_ms) override {
-    std::unique_lock<std::mutex> lock(state_->mutex);
-    return state_->cv.wait_for(
-        lock, std::chrono::milliseconds(timeout_ms), [&] {
-          return !state_->queues[side_].empty() || state_->gone[0] ||
-                 state_->gone[1];
-        });
-  }
-
-  bool closed() override {
-    std::lock_guard<std::mutex> lock(state_->mutex);
-    return (state_->gone[0] || state_->gone[1]) &&
-           state_->queues[side_].empty();
-  }
-
-  void sever() override {
-    std::lock_guard<std::mutex> lock(state_->mutex);
-    state_->gone[side_] = true;
-    state_->cv.notify_all();
-  }
-
-  int fd() const override { return -1; }
-
- private:
-  std::shared_ptr<LoopbackState> state_;
-  int side_;
-};
-
-}  // namespace
-
-std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
-make_loopback_transport() {
-  auto state = std::make_shared<LoopbackState>();
-  return {std::make_unique<LoopbackTransport>(state, 0),
-          std::make_unique<LoopbackTransport>(state, 1)};
-}
-
-// ---------------------------------------------------------------------------
 // Protocol messages
 // ---------------------------------------------------------------------------
 
@@ -213,6 +51,7 @@ const char* to_string(FabricMessage::Type type) {
     case FabricMessage::Type::kResult: return "result";
     case FabricMessage::Type::kShutdown: return "shutdown";
     case FabricMessage::Type::kBye: return "bye";
+    case FabricMessage::Type::kWelcome: return "welcome";
   }
   return "?";
 }
@@ -235,6 +74,17 @@ std::string encode_fabric_message(const FabricMessage& message) {
   if (!message.record.empty()) {
     doc.set("record", obs::JsonValue::string(message.record));
   }
+  // mtm-fabric/2 fields are omitted at their defaults, so a legacy-shaped
+  // message encodes to the same keys /1 used (plus the schema bump).
+  if (message.session != 0) {
+    doc.set("session", obs::JsonValue::unsigned_number(message.session));
+  }
+  if (message.seq != 0) {
+    doc.set("seq", obs::JsonValue::unsigned_number(message.seq));
+  }
+  if (!message.fingerprint.empty()) {
+    doc.set("fingerprint", obs::JsonValue::string(message.fingerprint));
+  }
   return doc.dump();
 }
 
@@ -248,7 +98,8 @@ FabricMessage parse_fabric_message(const std::string& line) {
   if (!doc.is_object()) throw FabricError("fabric message is not an object");
   const obs::JsonValue* schema = doc.find("schema");
   if (schema == nullptr || !schema->is_string() ||
-      schema->as_string() != kFabricSchemaVersion) {
+      (schema->as_string() != kFabricSchemaVersion &&
+       schema->as_string() != kFabricSchemaVersionLegacy)) {
     throw FabricError("fabric message schema mismatch");
   }
   const obs::JsonValue* type = doc.find("type");
@@ -258,7 +109,7 @@ FabricMessage parse_fabric_message(const std::string& line) {
   FabricMessage message;
   bool known = false;
   for (int t = static_cast<int>(FabricMessage::Type::kHello);
-       t <= static_cast<int>(FabricMessage::Type::kBye); ++t) {
+       t <= static_cast<int>(FabricMessage::Type::kWelcome); ++t) {
     const auto candidate = static_cast<FabricMessage::Type>(t);
     if (type->as_string() == to_string(candidate)) {
       message.type = candidate;
@@ -277,6 +128,12 @@ FabricMessage parse_fabric_message(const std::string& line) {
   message.lease = u64_field("lease");
   message.point = u64_field("point");
   message.sent_ms = u64_field("sent_ms");
+  message.session = u64_field("session");
+  message.seq = u64_field("seq");
+  if (const obs::JsonValue* fp = doc.find("fingerprint");
+      fp != nullptr && fp->is_string()) {
+    message.fingerprint = fp->as_string();
+  }
   if (const obs::JsonValue* trials = doc.find("trials");
       trials != nullptr && trials->is_array()) {
     for (std::size_t i = 0; i < trials->size(); ++i) {
@@ -297,8 +154,45 @@ FabricMessage parse_fabric_message(const std::string& line) {
 // LeaseTable
 // ---------------------------------------------------------------------------
 
-LeaseTable::LeaseTable(std::uint64_t lease_ms) : lease_ms_(lease_ms) {
+LeaseTable::LeaseTable(std::uint64_t lease_ms, std::uint64_t liveness_ms)
+    : lease_ms_(lease_ms), liveness_ms_(liveness_ms) {
   MTM_REQUIRE(lease_ms >= 1);
+}
+
+void LeaseTable::note_peer_alive(std::uint64_t worker, std::uint64_t now_ms) {
+  if (liveness_ms_ == 0) return;
+  for (auto& [w, t] : last_alive_) {
+    if (w == worker) {
+      t = std::max(t, now_ms);
+      return;
+    }
+  }
+  last_alive_.emplace_back(worker, now_ms);
+}
+
+std::vector<std::uint64_t> LeaseTable::lifeless_peers(std::uint64_t now_ms) {
+  std::vector<std::uint64_t> dead;
+  if (liveness_ms_ == 0) return dead;
+  for (std::size_t i = 0; i < last_alive_.size();) {
+    // Strictly-past, like lease expiry: a heartbeat landing exactly at the
+    // deadline still counts as alive.
+    if (now_ms > last_alive_[i].second + liveness_ms_) {
+      dead.push_back(last_alive_[i].first);
+      last_alive_.erase(last_alive_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return dead;
+}
+
+void LeaseTable::drop_peer(std::uint64_t worker) {
+  for (std::size_t i = 0; i < last_alive_.size(); ++i) {
+    if (last_alive_[i].first == worker) {
+      last_alive_.erase(last_alive_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
 }
 
 std::uint64_t LeaseTable::grant(std::uint64_t worker, std::uint64_t point,
@@ -400,23 +294,41 @@ bool file_exists(const std::string& path) {
   return ::access(path.c_str(), F_OK) == 0;
 }
 
-void send_message(Transport& transport, FabricMessage message) {
-  message.sent_ms = steady_now_ms();
-  (void)transport.send_line(encode_fabric_message(message));
-}
-
 }  // namespace
 
-int run_fabric_worker(Transport& transport,
-                      const std::vector<SweepPoint>& points,
-                      const obs::RunManifest& manifest,
-                      const FabricOptions& options, std::size_t worker_index) {
+namespace {
+
+int run_fabric_worker_impl(std::shared_ptr<Transport> initial,
+                           const std::vector<SweepPoint>& points,
+                           const obs::RunManifest& manifest,
+                           const FabricOptions& options,
+                           std::size_t worker_index, FabricWorkerNet* net) {
   const ResilienceOptions& resilience = options.resilience;
+  const std::uint64_t session = net != nullptr ? net->session : 0;
+
+  // The link: the transport currently carrying the session. On a fork
+  // fabric it is fixed for life; a network worker swaps in a fresh
+  // connection on send failure or EOF (reconnect + re-hello + replay).
+  // shared_ptr so the receive loop can keep polling a snapshot while the
+  // heartbeat thread is mid-reconnect.
+  std::mutex link_mutex;
+  std::shared_ptr<Transport> link = std::move(initial);
+  bool link_dead = false;       // reconnect exhausted: coordinator vanished
+  bool welcomed = session == 0; // v2 waits for the coordinator's welcome
+  std::uint64_t out_seq = 0;    // per-connection, freshly stamped per send
+  std::size_t index = worker_index;
+  std::vector<FabricMessage> replay;  // current lease's unretired results
 
   std::optional<TrialJournal> shard;
-  if (options.worker_shards && !resilience.journal_path.empty()) {
+  const auto open_shard = [&] {
+    // Index may be adopted from the welcome (network workers), so the shard
+    // opens lazily the moment the index is known.
+    if (shard.has_value() || !options.worker_shards ||
+        resilience.journal_path.empty() || index == kUnassignedWorker) {
+      return;
+    }
     const std::string shard_path =
-        resilience.journal_path + ".w" + std::to_string(worker_index);
+        resilience.journal_path + ".w" + std::to_string(index);
     // On resume the shard keeps accumulating this worker's trials across
     // runs (the permutation check spans all of them); a fresh run truncates.
     if (resilience.resume && file_exists(shard_path)) {
@@ -424,18 +336,79 @@ int run_fabric_worker(Transport& transport,
     } else {
       shard = TrialJournal::create(shard_path, manifest);
     }
-  }
+  };
+  open_shard();
 
   TrialWatchdog watchdog(
       WatchdogOptions{resilience.trial_deadline_ms, /*poll_ms=*/5});
 
-  FabricMessage hello;
-  hello.type = FabricMessage::Type::kHello;
-  hello.worker = worker_index;
-  send_message(transport, hello);
+  // --- send path (all lambdas below take link_mutex themselves) ---
+
+  const auto raw_send = [&](FabricMessage msg) -> bool {
+    // link_mutex held by caller. Session/seq are stamped at TRANSMISSION
+    // time — a replayed result gets a fresh seq, so the receiver's window
+    // only ever discards wire duplicates, never legitimate replays.
+    msg.worker = index == kUnassignedWorker ? 0 : index;
+    msg.session = session;
+    msg.seq = session != 0 ? ++out_seq : 0;
+    msg.sent_ms = steady_now_ms();
+    return link->send_line(encode_fabric_message(msg));
+  };
+
+  const auto make_hello = [&] {
+    FabricMessage hello;
+    hello.type = FabricMessage::Type::kHello;
+    if (net != nullptr) hello.fingerprint = net->fingerprint;
+    return hello;
+  };
+
+  // Dials a replacement connection (blocking through the factory's backoff
+  // schedule), re-hellos with the session id, and replays the current
+  // lease's results. link_mutex held. False = coordinator unreachable.
+  const auto reconnect_locked = [&]() -> bool {
+    if (net == nullptr || !net->reconnect || session == 0) {
+      link_dead = true;
+      return false;
+    }
+    while (net->reconnects < net->max_reconnects) {
+      link->sever();
+      std::unique_ptr<Transport> fresh = net->reconnect();
+      if (fresh == nullptr) break;
+      link = std::shared_ptr<Transport>(std::move(fresh));
+      out_seq = 0;
+      welcomed = false;
+      ++net->reconnects;
+      if (!raw_send(make_hello())) continue;  // stillborn connection: redial
+      bool ok = true;
+      for (const FabricMessage& m : replay) {
+        if (!raw_send(m)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return true;
+    }
+    link_dead = true;
+    return false;
+  };
+
+  const auto send_msg = [&](const FabricMessage& msg,
+                            bool replayable) -> bool {
+    std::lock_guard<std::mutex> lock(link_mutex);
+    if (link_dead) return false;
+    if (replayable) replay.push_back(msg);
+    if (raw_send(msg)) return true;
+    return reconnect_locked();  // msg is in the replay buffer if it mattered
+  };
+
+  send_msg(make_hello(), /*replayable=*/false);
 
   // The heartbeat thread renews whichever lease the trial loop is currently
-  // executing; between leases there is nothing to renew and it stays quiet.
+  // executing. A fork-fabric worker stays quiet between leases (the /1
+  // contract tests rely on); a session worker beats unconditionally — the
+  // leaseless beat is the liveness keepalive that proves a quiet TCP peer
+  // is not half-open — and re-hellos instead while its welcome is missing
+  // (a wire-dropped hello would otherwise strand it forever).
   struct {
     std::mutex mutex;
     std::condition_variable cv;
@@ -451,13 +424,21 @@ int run_fabric_worker(Transport& transport,
       hb.cv.wait_for(lock, std::chrono::milliseconds(heartbeat_ms));
       if (hb.stop) return;
       const std::uint64_t lease = hb.lease;
-      if (lease == 0) continue;
+      if (session == 0 && lease == 0) continue;
       lock.unlock();
-      FabricMessage beat;
-      beat.type = FabricMessage::Type::kHeartbeat;
-      beat.worker = worker_index;
-      beat.lease = lease;
-      send_message(transport, beat);
+      bool need_hello = false;
+      if (session != 0) {
+        std::lock_guard<std::mutex> l(link_mutex);
+        need_hello = !welcomed && !link_dead;
+      }
+      if (need_hello) {
+        send_msg(make_hello(), /*replayable=*/false);
+      } else {
+        FabricMessage beat;
+        beat.type = FabricMessage::Type::kHeartbeat;
+        beat.lease = lease;
+        send_msg(beat, /*replayable=*/false);
+      }
       lock.lock();
     }
   });
@@ -477,13 +458,26 @@ int run_fabric_worker(Transport& transport,
       exit_code = kInterruptExitCode;
       break;
     }
+    std::shared_ptr<Transport> t;
+    {
+      std::lock_guard<std::mutex> lock(link_mutex);
+      if (link_dead) break;  // exit_code = 1: coordinator vanished
+      t = link;
+    }
     std::string line;
-    if (!transport.poll_line(&line)) {
-      if (transport.closed()) {
-        exit_code = 1;  // coordinator vanished
-        break;
+    if (!t->poll_line(&line)) {
+      if (t->closed()) {
+        std::lock_guard<std::mutex> lock(link_mutex);
+        if (link == t) {
+          // EOF on the live link: redial (network) or give up (fork).
+          if (!reconnect_locked()) {
+            exit_code = 1;
+            break;
+          }
+        }
+        continue;  // a sender already swapped in a fresh connection
       }
-      transport.wait_readable(50);
+      t->wait_readable(50);
       continue;
     }
     FabricMessage msg;
@@ -491,6 +485,15 @@ int run_fabric_worker(Transport& transport,
       msg = parse_fabric_message(line);
     } catch (const FabricError&) {
       continue;  // garbage on the wire is the coordinator's bug, not fatal
+    }
+    if (msg.type == FabricMessage::Type::kWelcome) {
+      {
+        std::lock_guard<std::mutex> lock(link_mutex);
+        welcomed = true;
+        if (index == kUnassignedWorker) index = msg.worker;
+      }
+      open_shard();
+      continue;
     }
     if (msg.type == FabricMessage::Type::kShutdown) {
       exit_code = 0;
@@ -500,25 +503,31 @@ int run_fabric_worker(Transport& transport,
     if (msg.point >= points.size()) continue;
     const SweepPoint& point = points[msg.point];
 
+    {
+      // A fresh lease retires the previous lease's replay buffer: those
+      // results were either completed (coordinator has them) or expired
+      // (the grant moved on; a replay would be stale-discarded anyway).
+      std::lock_guard<std::mutex> lock(link_mutex);
+      replay.clear();
+    }
     set_current_lease(msg.lease);
     bool trial_interrupted = false;
-    for (const std::uint64_t t : msg.trials) {
-      if (t >= point.trials) continue;
+    for (const std::uint64_t t_idx : msg.trials) {
+      if (t_idx >= point.trials) continue;
       if (interrupted_now()) {
         trial_interrupted = true;
         break;
       }
       const JournalRecord rec = execute_sweep_trial(
-          point, msg.point, t, watchdog, resilience, &trial_interrupted);
+          point, msg.point, t_idx, watchdog, resilience, &trial_interrupted);
       if (trial_interrupted) break;
       if (shard.has_value()) shard->append(rec);
       FabricMessage result;
       result.type = FabricMessage::Type::kResult;
-      result.worker = worker_index;
       result.lease = msg.lease;
       result.point = msg.point;
       result.record = journal_record_line(rec);
-      send_message(transport, result);
+      send_msg(result, /*replayable=*/true);
     }
     set_current_lease(0);
     if (trial_interrupted) {
@@ -530,8 +539,7 @@ int run_fabric_worker(Transport& transport,
   if (shard.has_value()) shard->checkpoint();
   FabricMessage bye;
   bye.type = FabricMessage::Type::kBye;
-  bye.worker = worker_index;
-  send_message(transport, bye);
+  send_msg(bye, /*replayable=*/false);
   {
     std::lock_guard<std::mutex> lock(hb.mutex);
     hb.stop = true;
@@ -539,6 +547,32 @@ int run_fabric_worker(Transport& transport,
   }
   heartbeat.join();
   return exit_code;
+}
+
+}  // namespace
+
+int run_fabric_worker(Transport& transport,
+                      const std::vector<SweepPoint>& points,
+                      const obs::RunManifest& manifest,
+                      const FabricOptions& options, std::size_t worker_index) {
+  // Borrowed transport (fork fabric, scripted tests): aliasing shared_ptr
+  // with a no-op deleter; no network identity, /1 semantics.
+  std::shared_ptr<Transport> borrowed(&transport, [](Transport*) {});
+  return run_fabric_worker_impl(std::move(borrowed), points, manifest,
+                                options, worker_index, nullptr);
+}
+
+int run_fabric_worker(std::unique_ptr<Transport> transport,
+                      const std::vector<SweepPoint>& points,
+                      const obs::RunManifest& manifest,
+                      const FabricOptions& options, std::size_t worker_index,
+                      FabricWorkerNet* net) {
+  MTM_REQUIRE(transport != nullptr);
+  if (worker_index == kUnassignedWorker) {
+    MTM_REQUIRE(net != nullptr && net->session != 0);
+  }
+  return run_fabric_worker_impl(std::shared_ptr<Transport>(std::move(transport)),
+                                points, manifest, options, worker_index, net);
 }
 
 // ---------------------------------------------------------------------------
@@ -553,6 +587,7 @@ FabricCoordinator::FabricCoordinator(const obs::RunManifest& manifest,
     throw FabricError("lease_batch must be >= 1");
   }
   if (!clock_) clock_ = [] { return steady_now_ms(); };
+  manifest_fingerprint_ = obs::manifest_fingerprint(manifest.to_json());
   const ResilienceOptions& resilience = options_.resilience;
   if (resilience.journal_path.empty()) {
     if (resilience.resume) {
@@ -568,9 +603,21 @@ FabricCoordinator::FabricCoordinator(const obs::RunManifest& manifest,
 }
 
 SweepReport FabricCoordinator::run(const std::vector<SweepPoint>& points,
-                                   std::vector<WorkerEndpoint> workers) {
-  if (workers.empty()) throw FabricError("fabric needs at least one worker");
+                                   std::vector<WorkerEndpoint> workers,
+                                   FabricListener* listener) {
+  if (workers.empty() && listener == nullptr) {
+    throw FabricError("fabric needs at least one worker");
+  }
   using Key = std::pair<std::uint64_t, std::uint64_t>;
+
+  // Worker death policy: a fork fabric (no listener) keeps the /1 rule —
+  // EOF is death, liveness disabled. A listener fabric arms the per-peer
+  // heartbeat-liveness deadline instead, because a TCP half-open peer
+  // never EOFs and an EOF peer may be about to reconnect.
+  const std::uint64_t liveness_ms =
+      options_.liveness_ms != 0
+          ? options_.liveness_ms
+          : (listener != nullptr ? 2 * options_.lease_ms : 0);
 
   SweepReport report;
   if (journal_.has_value()) {
@@ -632,12 +679,18 @@ SweepReport FabricCoordinator::run(const std::vector<SweepPoint>& points,
 
   struct WorkerState {
     bool alive = true;
-    bool ready = false;  // hello received
-    bool idle = true;    // no open lease
+    bool ready = false;      // hello received
+    bool idle = true;        // no open lease
+    bool connected = true;   // transport currently usable (v2 may reconnect)
+    std::uint64_t session = 0;  // nonzero = mtm-fabric/2 network worker
+    std::uint64_t out_seq = 0;  // coordinator->worker seq, per connection
+    SeqWindow window;           // worker->coordinator wire-dup suppression
   };
   std::vector<WorkerState> state(workers.size());
   std::map<Key, std::uint32_t> requeues;
-  LeaseTable leases(options_.lease_ms);
+  LeaseTable leases(options_.lease_ms, liveness_ms);
+  // Accepted connections whose hello has not arrived yet (listener only).
+  std::vector<std::unique_ptr<Transport>> pending_conns;
 
   obs::FixedHistogram* hb_hist = nullptr;
   if (options_.metrics != nullptr) {
@@ -652,6 +705,14 @@ SweepReport FabricCoordinator::run(const std::vector<SweepPoint>& points,
       if (s.alive) ++n;
     }
     return n;
+  };
+
+  const auto send_to = [&](std::size_t w, FabricMessage msg) -> bool {
+    msg.worker = static_cast<std::uint64_t>(w);
+    msg.session = state[w].session;
+    msg.seq = state[w].session != 0 ? ++state[w].out_seq : 0;
+    msg.sent_ms = clock_();
+    return workers[w].transport->send_line(encode_fabric_message(msg));
   };
 
   const auto reap = [&](std::size_t w) {
@@ -726,8 +787,10 @@ SweepReport FabricCoordinator::run(const std::vector<SweepPoint>& points,
     if (!state[w].alive) return;
     state[w].alive = false;
     state[w].idle = false;
+    state[w].connected = false;
     if (!clean) ++stats_.worker_deaths;
     if (chaos) ++stats_.chaos_kills;
+    leases.drop_peer(static_cast<std::uint64_t>(w));
     drain_worker_leases(w);
     reap(w);
   };
@@ -741,9 +804,28 @@ SweepReport FabricCoordinator::run(const std::vector<SweepPoint>& points,
 
   const auto handle_message = [&](std::size_t w, const FabricMessage& msg,
                                   std::uint64_t now) {
+    leases.note_peer_alive(static_cast<std::uint64_t>(w), now);
     switch (msg.type) {
       case FabricMessage::Type::kHello:
+        // A network hello must prove it was built from the same flags: the
+        // manifest fingerprint is deterministic (no timestamps), so any
+        // mismatch means this worker would compute different trials.
+        if (!msg.fingerprint.empty() &&
+            msg.fingerprint != manifest_fingerprint_) {
+          ++stats_.manifest_rejects;
+          workers[w].transport->sever();
+          on_worker_down(w, /*chaos=*/false, /*clean=*/true);
+          break;
+        }
         state[w].ready = true;
+        state[w].session = msg.session;
+        if (msg.session != 0) {
+          // Welcome assigns/confirms the slot (and re-acks a re-hello whose
+          // first welcome was lost on the wire).
+          FabricMessage welcome;
+          welcome.type = FabricMessage::Type::kWelcome;
+          (void)send_to(w, welcome);
+        }
         break;
       case FabricMessage::Type::kHeartbeat: {
         ++stats_.heartbeats;
@@ -793,28 +875,134 @@ SweepReport FabricCoordinator::run(const std::vector<SweepPoint>& points,
   };
 
   const auto pump_worker = [&](std::size_t w, std::uint64_t now) {
-    if (!state[w].alive) return;
+    if (!state[w].alive || !state[w].connected) return;
     std::string line;
     while (workers[w].transport->poll_line(&line)) {
       FabricMessage msg;
       try {
         msg = parse_fabric_message(line);
       } catch (const FabricError&) {
+        continue;  // wire-truncated/garbled line: the parse is the CRC
+      }
+      if (!state[w].window.accept(msg.seq)) {
+        ++stats_.stale_seq_discarded;  // wire-duplicated line
         continue;
       }
       handle_message(w, msg, now);
-      if (!state[w].alive) return;
+      if (!state[w].alive || !state[w].connected) return;
     }
     if (workers[w].transport->closed()) {
-      on_worker_down(w, /*chaos=*/false, /*clean=*/false);
+      if (state[w].session != 0 && listener != nullptr) {
+        // EOF on a session worker is a broken connection, not a death: its
+        // leases keep running while it redials; the liveness deadline — not
+        // EOF — declares it dead if it never comes back.
+        state[w].connected = false;
+      } else {
+        on_worker_down(w, /*chaos=*/false, /*clean=*/false);
+      }
+    }
+  };
+
+  // Adopts a pending connection whose hello just arrived: a session match
+  // transplants the connection into the existing slot (reconnect/resume);
+  // anything else becomes a new worker slot.
+  const auto adopt_hello = [&](std::unique_ptr<Transport> conn,
+                               const FabricMessage& msg, std::uint64_t now) {
+    if (!msg.fingerprint.empty() && msg.fingerprint != manifest_fingerprint_) {
+      ++stats_.manifest_rejects;
+      conn->sever();
+      return;
+    }
+    if (msg.session != 0) {
+      for (std::size_t w = 0; w < state.size(); ++w) {
+        if (state[w].session != msg.session) continue;
+        // Reconnect: same session, fresh connection. Live leases keep
+        // running — the worker replays its unretired results itself. A
+        // liveness-declared "dead" worker that comes back is resurrected
+        // (its old leases were already requeued; late results under the
+        // old ids stay stale).
+        //
+        // Drain the dying connection first: results that landed just
+        // before the break are already in its buffer, and discarding them
+        // with the transport would turn a clean resume into a requeue.
+        pump_worker(w, now);
+        const bool was_alive = state[w].alive;
+        workers[w].transport = std::move(conn);
+        workers[w].pid = -1;
+        state[w].alive = true;
+        state[w].ready = true;
+        state[w].connected = true;
+        if (!was_alive) state[w].idle = true;
+        state[w].out_seq = 0;
+        state[w].window.reset();
+        state[w].window.accept(msg.seq);
+        ++stats_.reconnects;
+        leases.note_peer_alive(static_cast<std::uint64_t>(w), now);
+        FabricMessage welcome;
+        welcome.type = FabricMessage::Type::kWelcome;
+        (void)send_to(w, welcome);
+        return;
+      }
+    }
+    const std::size_t w = workers.size();
+    WorkerEndpoint ep;
+    ep.transport = std::move(conn);
+    ep.pid = -1;
+    workers.push_back(std::move(ep));
+    WorkerState fresh;
+    fresh.ready = true;
+    fresh.session = msg.session;
+    fresh.window.accept(msg.seq);
+    state.push_back(fresh);
+    leases.note_peer_alive(static_cast<std::uint64_t>(w), now);
+    if (msg.session != 0) {
+      FabricMessage welcome;
+      welcome.type = FabricMessage::Type::kWelcome;
+      (void)send_to(w, welcome);
+    }
+  };
+
+  const auto pump_pending = [&](std::uint64_t now) {
+    if (listener == nullptr) return;
+    while (std::unique_ptr<Transport> conn = listener->accept()) {
+      pending_conns.push_back(std::move(conn));
+    }
+    for (std::size_t i = 0; i < pending_conns.size();) {
+      std::string line;
+      if (pending_conns[i]->poll_line(&line)) {
+        std::unique_ptr<Transport> conn = std::move(pending_conns[i]);
+        pending_conns.erase(pending_conns.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        FabricMessage msg;
+        try {
+          msg = parse_fabric_message(line);
+        } catch (const FabricError&) {
+          conn->sever();  // not a fabric peer
+          continue;
+        }
+        if (msg.type != FabricMessage::Type::kHello) {
+          conn->sever();  // protocol requires hello first
+          continue;
+        }
+        adopt_hello(std::move(conn), msg, now);
+        continue;
+      }
+      if (pending_conns[i]->closed()) {
+        pending_conns.erase(pending_conns.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      ++i;
     }
   };
 
   const CancelToken* interrupt = options_.resilience.interrupt;
   bool interrupted = false;
+  std::uint64_t no_worker_since = 0;
 
   for (;;) {
     const std::uint64_t now = clock_();
+    pump_pending(now);
     for (std::size_t w = 0; w < workers.size(); ++w) pump_worker(w, now);
 
     for (const LeaseTable::Expired& e : leases.expire(now)) {
@@ -827,20 +1015,45 @@ SweepReport FabricCoordinator::run(const std::vector<SweepPoint>& points,
       for (const Key& key : e.incomplete) requeue(key);
     }
 
+    // Heartbeat-liveness deadline: the ONLY death verdict for half-open
+    // connections, which never EOF. Strictly-past semantics match lease
+    // expiry; a declared death drains the peer's leases for requeue.
+    for (const std::uint64_t w : leases.lifeless_peers(now)) {
+      if (w < state.size() && state[w].alive) {
+        ++stats_.liveness_deaths;
+        workers[w].transport->sever();
+        on_worker_down(w, /*chaos=*/false, /*clean=*/false);
+      }
+    }
+
     if (pending == 0) break;
     if (interrupt != nullptr && interrupt->cancelled()) {
       interrupted = true;
       break;
     }
     if (alive_workers() == 0) {
-      // Total worker loss: stop granting, report the completed prefix as a
-      // partial sweep — everything durable is in the journal for --resume.
-      interrupted = true;
-      break;
+      if (listener == nullptr) {
+        // Total worker loss: stop granting, report the completed prefix as
+        // a partial sweep — everything durable is journaled for --resume.
+        interrupted = true;
+        break;
+      }
+      // A listener fabric waits out one liveness window for workers to dial
+      // (back) in before declaring the sweep stranded.
+      if (no_worker_since == 0) no_worker_since = now;
+      if (now - no_worker_since > liveness_ms) {
+        interrupted = true;
+        break;
+      }
+    } else {
+      no_worker_since = 0;
     }
 
     for (std::size_t w = 0; w < workers.size() && !queue.empty(); ++w) {
-      if (!state[w].alive || !state[w].ready || !state[w].idle) continue;
+      if (!state[w].alive || !state[w].ready || !state[w].idle ||
+          !state[w].connected) {
+        continue;
+      }
       while (!queue.empty() && have[queue.front().first][queue.front().second] != 0) {
         queue.pop_front();
       }
@@ -859,13 +1072,18 @@ SweepReport FabricCoordinator::run(const std::vector<SweepPoint>& points,
       ++stats_.leases_granted;
       FabricMessage grant;
       grant.type = FabricMessage::Type::kLease;
-      grant.worker = static_cast<std::uint64_t>(w);
       grant.lease = id;
       grant.point = point;
       grant.trials = std::move(trials);
-      grant.sent_ms = now;
-      if (!workers[w].transport->send_line(encode_fabric_message(grant))) {
-        on_worker_down(w, /*chaos=*/false, /*clean=*/false);
+      if (!send_to(w, std::move(grant))) {
+        if (state[w].session != 0 && listener != nullptr) {
+          // Broken connection, not a death: the lease expires and requeues
+          // on its own clock while the worker redials.
+          state[w].connected = false;
+          state[w].idle = false;
+        } else {
+          on_worker_down(w, /*chaos=*/false, /*clean=*/false);
+        }
         continue;
       }
       state[w].idle = false;
@@ -875,9 +1093,16 @@ SweepReport FabricCoordinator::run(const std::vector<SweepPoint>& points,
     // transports / timer-driven expiry).
     std::vector<struct pollfd> fds;
     for (std::size_t w = 0; w < workers.size(); ++w) {
-      if (state[w].alive && workers[w].transport->fd() >= 0) {
+      if (state[w].alive && state[w].connected &&
+          workers[w].transport->fd() >= 0) {
         fds.push_back({workers[w].transport->fd(), POLLIN, 0});
       }
+    }
+    if (listener != nullptr && listener->fd() >= 0) {
+      fds.push_back({listener->fd(), POLLIN, 0});
+    }
+    for (const std::unique_ptr<Transport>& conn : pending_conns) {
+      if (conn->fd() >= 0) fds.push_back({conn->fd(), POLLIN, 0});
     }
     if (!fds.empty()) {
       ::poll(fds.data(), fds.size(), 10);
@@ -892,21 +1117,36 @@ SweepReport FabricCoordinator::run(const std::vector<SweepPoint>& points,
   stats_.leases_aborted += leases.open_leases();
   next_trigger = triggers.size();  // no chaos during drain
   for (std::size_t w = 0; w < workers.size(); ++w) {
-    if (!state[w].alive) continue;
+    if (!state[w].alive || !state[w].connected) continue;
     FabricMessage shutdown;
     shutdown.type = FabricMessage::Type::kShutdown;
-    shutdown.worker = static_cast<std::uint64_t>(w);
-    shutdown.sent_ms = clock_();
-    (void)workers[w].transport->send_line(encode_fabric_message(shutdown));
+    (void)send_to(w, shutdown);
   }
+  const auto shutdown_stray = [&](Transport& conn) {
+    // A worker dialing in (or reconnecting) during the drain gets told to
+    // go home instead of being left to redial a corpse.
+    FabricMessage shutdown;
+    shutdown.type = FabricMessage::Type::kShutdown;
+    shutdown.sent_ms = clock_();
+    (void)conn.send_line(encode_fabric_message(shutdown));
+  };
   const std::uint64_t grace_deadline =
       clock_() + std::min<std::uint64_t>(options_.lease_ms, 2000);
   for (int spin = 0; spin < 100000; ++spin) {
     const std::uint64_t now = clock_();
+    if (listener != nullptr) {
+      while (std::unique_ptr<Transport> conn = listener->accept()) {
+        shutdown_stray(*conn);
+      }
+      for (const std::unique_ptr<Transport>& conn : pending_conns) {
+        shutdown_stray(*conn);
+      }
+      pending_conns.clear();
+    }
     std::size_t alive = 0;
     for (std::size_t w = 0; w < workers.size(); ++w) {
       pump_worker(w, now);
-      if (state[w].alive) ++alive;
+      if (state[w].alive && state[w].connected) ++alive;
     }
     if (alive == 0 || now >= grace_deadline) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -955,6 +1195,12 @@ SweepReport FabricCoordinator::run(const std::vector<SweepPoint>& points,
     m.counter("fabric.chaos_kills").increment(stats_.chaos_kills);
     m.counter("fabric.heartbeats").increment(stats_.heartbeats);
     m.counter("fabric.quarantined").increment(stats_.fabric_quarantined);
+    m.counter("fabric.reconnects").increment(stats_.reconnects);
+    m.counter("fabric.liveness_deaths").increment(stats_.liveness_deaths);
+    m.counter("fabric.net.stale_seq_discarded")
+        .increment(stats_.stale_seq_discarded);
+    m.counter("fabric.net.manifest_rejects")
+        .increment(stats_.manifest_rejects);
     m.gauge("fabric.workers").set(static_cast<double>(workers.size()));
   }
   return report;
@@ -967,10 +1213,20 @@ SweepReport FabricCoordinator::run(const std::vector<SweepPoint>& points,
 FabricRunner::FabricRunner(const obs::RunManifest& manifest,
                            FabricOptions options)
     : manifest_(manifest), options_(std::move(options)) {
-  if (options_.workers == 0) {
-    throw FabricError("fabric requires workers >= 1");
+  const bool net = !options_.listen.empty();
+  if (options_.workers == 0 && !net) {
+    throw FabricError("fabric requires workers >= 1 or a listen address");
   }
-  if (options_.chaos_kills >= options_.workers) {
+  if (net && options_.workers > 0) {
+    throw FabricError("listen mode accepts remote workers; workers must be 0");
+  }
+  if (net && options_.chaos_kills > 0) {
+    throw FabricError("chaos kills need forked workers (no pid to SIGKILL)");
+  }
+  if (net && options_.worker_shards) {
+    throw FabricError("worker shards are written worker-side, not in listen mode");
+  }
+  if (!net && options_.chaos_kills >= options_.workers) {
     throw FabricError(
         "chaos_kills must be < workers (never kill the last worker)");
   }
@@ -983,9 +1239,25 @@ FabricRunner::FabricRunner(const obs::RunManifest& manifest,
   if (options_.heartbeat_ms >= options_.lease_ms) {
     throw FabricError("heartbeat_ms must be < lease_ms");
   }
+  if (net) {
+    // Bind now, not in run(): tools print bound_port() between construction
+    // and run() so workers know where to dial (matters for ephemeral :0).
+    listener_ = std::make_unique<TcpListener>(parse_host_port(options_.listen));
+    bound_port_ = listener_->port();
+  }
 }
 
 SweepReport FabricRunner::run(const std::vector<SweepPoint>& points) {
+  if (listener_ != nullptr) {
+    // Network coordinator: wait for workers to dial in. No forking — remote
+    // workers are their own processes (mtm_soak/mtm_sim --connect)
+    // rebuilding identical points from identical flags.
+    FabricCoordinator coordinator(manifest_, options_);
+    SweepReport report = coordinator.run(points, {}, listener_.get());
+    stats_ = coordinator.stats();
+    return report;
+  }
+
   // The coordinator (and its journal open/create, which can throw) comes
   // first so a bad resume never forks anything.
   FabricCoordinator coordinator(manifest_, options_);
@@ -1052,6 +1324,66 @@ SweepReport FabricRunner::run(const std::vector<SweepPoint>& points) {
   SweepReport report = coordinator.run(points, std::move(endpoints));
   stats_ = coordinator.stats();
   return report;
+}
+
+// ---------------------------------------------------------------------------
+// Network worker entry point
+// ---------------------------------------------------------------------------
+
+int run_fabric_net_worker(const std::vector<SweepPoint>& points,
+                          const obs::RunManifest& manifest,
+                          const FabricOptions& options) {
+  MTM_REQUIRE(!options.connect.empty());
+  const HostPort peer = parse_host_port(options.connect);
+
+  // Session ids must be unique across worker processes and restarts of the
+  // same machine; pid + wall-progress + entropy mixed through derive_seed.
+  std::random_device rd;
+  std::uint64_t session = derive_seed(
+      static_cast<std::uint64_t>(::getpid()),
+      {steady_now_ms(),
+       (static_cast<std::uint64_t>(rd()) << 32) ^ static_cast<std::uint64_t>(rd())});
+  if (session == 0) session = 1;
+
+  TcpConnectOptions dial;
+  dial.connect_timeout_ms = options.net_connect_timeout_ms;
+  dial.attempts = options.net_reconnect_attempts;
+  dial.backoff_ms = options.net_backoff_ms;
+  dial.backoff_max_ms = options.net_backoff_max_ms;
+  dial.jitter_seed = derive_seed(session, {0x6a6974u});
+
+  std::uint64_t connections = 0;
+  const auto dial_once = [&, peer]() -> std::unique_ptr<Transport> {
+    std::unique_ptr<Transport> t = tcp_connect(peer, dial);
+    if (t == nullptr) return nullptr;
+    const std::uint64_t conn = connections++;
+    if (options.net_chaos.any()) {
+      WireFaultConfig cfg = options.net_chaos;
+      // Fresh fault stream per connection (deterministic in (seed, conn)),
+      // and the forced sever fires on the FIRST connection only — exactly
+      // one deterministic reconnect, not an endless sever loop.
+      cfg.seed = derive_seed(options.net_chaos.seed, {0x6e6574u, conn});
+      if (conn > 0) cfg.sever_after = 0;
+      t = std::make_unique<FaultyTransport>(std::move(t), cfg,
+                                            options.metrics);
+    }
+    return t;
+  };
+
+  std::unique_ptr<Transport> first = dial_once();
+  if (first == nullptr) return 1;  // coordinator unreachable
+
+  FabricWorkerNet net;
+  net.session = session;
+  net.reconnect = dial_once;
+  net.fingerprint = obs::manifest_fingerprint(manifest.to_json());
+
+  const int code = run_fabric_worker(std::move(first), points, manifest,
+                                     options, kUnassignedWorker, &net);
+  if (options.metrics != nullptr) {
+    options.metrics->counter("fabric.reconnects").increment(net.reconnects);
+  }
+  return code;
 }
 
 }  // namespace mtm

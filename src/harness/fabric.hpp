@@ -1,5 +1,6 @@
 // Distributed sweep fabric: coordinator/worker trial leasing with
-// crash-tolerant, byte-identical aggregation (schema mtm-fabric/1).
+// crash-tolerant, byte-identical aggregation (schema mtm-fabric/2,
+// mtm-fabric/1 still accepted).
 //
 // A single SweepRunner process is the unit of correctness in this repo; the
 // fabric is how a sweep outgrows one process without giving any of that up.
@@ -39,10 +40,24 @@
 //     result stream (seeded schedule, never the last worker alive) so CI
 //     can prove the drain + requeue path keeps aggregates byte-identical.
 //
-// Transport is a small interface: production workers are forked children on
-// an AF_UNIX stream socketpair; tests drive the same coordinator and worker
-// loops over in-memory loopback transports (make_loopback_transport) with
-// an injected clock.
+// Network hardening (mtm-fabric/2, PR 9): TCP workers carry a session id in
+// every message plus a per-message sequence number. A worker whose
+// connection breaks redials with capped backoff, re-hellos with its session
+// id, and resumes its live leases — the coordinator transplants the new
+// connection into the same worker slot and a sequence window discards any
+// stale duplicates from the old connection. Because a half-open TCP
+// connection never EOFs, worker DEATH on a listener fabric is declared by a
+// per-peer heartbeat-liveness deadline in LeaseTable, not by EOF; EOF on a
+// session-bearing peer merely marks it disconnected (leases keep running
+// until liveness expires). Forked AF_UNIX workers keep the /1 semantics:
+// session 0, EOF = death.
+//
+// Transport is a small interface (harness/net_transport.hpp): production
+// workers are forked children on an AF_UNIX stream socketpair or remote
+// processes dialing in over TCP; tests drive the same coordinator and
+// worker loops over in-memory loopback transports (make_loopback_transport)
+// with an injected clock, and FaultyTransport injects deterministic wire
+// faults under all of it.
 #pragma once
 
 #include <sys/types.h>
@@ -59,13 +74,16 @@
 #include <vector>
 
 #include "harness/checkpoint.hpp"
+#include "harness/net_transport.hpp"
 #include "harness/sweep.hpp"
 #include "obs/metrics.hpp"
 #include "sim/fault_cli.hpp"
 
 namespace mtm {
 
-inline constexpr const char* kFabricSchemaVersion = "mtm-fabric/1";
+inline constexpr const char* kFabricSchemaVersion = "mtm-fabric/2";
+/// Still parsed (PR 7 peers); encode always writes /2.
+inline constexpr const char* kFabricSchemaVersionLegacy = "mtm-fabric/1";
 
 /// Fabric protocol, transport, or spawn failure.
 class FabricError : public std::runtime_error {
@@ -73,90 +91,33 @@ class FabricError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-// ---------------------------------------------------------------------------
-// Transport
-// ---------------------------------------------------------------------------
-
-/// One bidirectional, line-delimited message channel between the
-/// coordinator and a worker. Implementations must make send_line
-/// thread-safe (the worker's heartbeat thread and trial loop share one
-/// transport); everything else is called from a single thread per side.
-class Transport {
- public:
-  virtual ~Transport() = default;
-
-  /// Queues/writes one line (no trailing newline in `line`). Returns false
-  /// once the peer is gone — the caller treats that as peer death, never as
-  /// an error to retry.
-  virtual bool send_line(const std::string& line) = 0;
-
-  /// Non-blocking: pops the next complete received line. False when no
-  /// complete line is buffered (closed() distinguishes EOF from "not yet").
-  virtual bool poll_line(std::string* line) = 0;
-
-  /// Blocks up to timeout_ms for readability (or EOF). Returns true when
-  /// poll_line/closed should be consulted, false on pure timeout.
-  virtual bool wait_readable(int timeout_ms) = 0;
-
-  /// True after EOF/severance AND the receive buffer has been drained.
-  virtual bool closed() = 0;
-
-  /// Hard-severs the channel from this side (chaos / teardown). The peer
-  /// observes EOF.
-  virtual void sever() = 0;
-
-  /// Pollable file descriptor, -1 for in-memory transports.
-  virtual int fd() const = 0;
-};
-
-/// Transport over a connected stream socket (AF_UNIX socketpair in the
-/// fabric). Owns the fd; non-blocking reads with an internal line buffer,
-/// blocking-ish writes (EAGAIN waits for POLLOUT), MSG_NOSIGNAL so a dead
-/// peer surfaces as false from send_line instead of SIGPIPE.
-class SocketTransport final : public Transport {
- public:
-  explicit SocketTransport(int fd);
-  ~SocketTransport() override;
-
-  bool send_line(const std::string& line) override;
-  bool poll_line(std::string* line) override;
-  bool wait_readable(int timeout_ms) override;
-  bool closed() override;
-  void sever() override;
-  int fd() const override { return fd_; }
-
- private:
-  void pump();  // drain readable bytes into rx_
-
-  int fd_ = -1;
-  bool peer_gone_ = false;
-  std::string rx_;
-  std::deque<std::string> lines_;
-  std::mutex send_mutex_;
-};
-
-/// A connected pair of in-memory transports for same-process tests: lines
-/// sent on `first` arrive on `second` and vice versa. wait_readable blocks
-/// on a condition variable, so coordinator and worker loops can run on
-/// separate threads exactly as they would across processes.
-std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
-make_loopback_transport();
+/// The fabric's stream transport has always been socket-backed; the class
+/// now lives in harness/net_transport.hpp under its layer-accurate name.
+using SocketTransport = StreamTransport;
 
 // ---------------------------------------------------------------------------
 // Protocol messages
 // ---------------------------------------------------------------------------
 
-/// One mtm-fabric/1 message (a single JSONL line on the wire). The protocol
-/// is deliberately tiny — five message types and no negotiation:
+/// One mtm-fabric/2 message (a single JSONL line on the wire). The protocol
+/// is deliberately tiny — seven message types and no negotiation:
 ///
 ///   worker -> coordinator: hello, heartbeat, result, bye
-///   coordinator -> worker: lease, shutdown
+///   coordinator -> worker: welcome, lease, shutdown
 ///
 /// There is no lease-done message: the coordinator retires a lease the
 /// moment the last of its trials' results arrives, so a protocol state
 /// cannot drift from the data that defines it.
 struct FabricMessage {
-  enum class Type { kHello, kLease, kHeartbeat, kResult, kShutdown, kBye };
+  enum class Type {
+    kHello,
+    kLease,
+    kHeartbeat,
+    kResult,
+    kShutdown,
+    kBye,
+    kWelcome,  ///< coordinator ack of hello: assigns/confirms worker index
+  };
 
   Type type = Type::kHello;
   std::uint64_t worker = 0;  ///< sender/addressee worker index
@@ -171,14 +132,59 @@ struct FabricMessage {
   /// the journal's serialization and checksum verbatim, so a corrupt
   /// result line is rejected by the same code that rejects journal rot.
   std::string record;
+  /// mtm-fabric/2: worker session id, nonzero for network workers. A
+  /// reconnecting worker re-hellos with the same session and the
+  /// coordinator transplants the new connection into its old slot.
+  /// Session 0 = legacy (forked socketpair) semantics: EOF is death.
+  std::uint64_t session = 0;
+  /// mtm-fabric/2: per-connection-send monotone sequence number (1-based;
+  /// 0 = unsequenced/legacy). Freshly stamped on every transmission,
+  /// including replays, so the receiver's window only ever discards lines
+  /// duplicated by the WIRE, never replayed results.
+  std::uint64_t seq = 0;
+  /// kHello (network workers): manifest_fingerprint of the worker's locally
+  /// rebuilt RunManifest; the coordinator refuses mismatched peers before
+  /// granting them work. Empty = not checked (legacy/forked workers share
+  /// the coordinator's memory image).
+  std::string fingerprint;
 };
 
 const char* to_string(FabricMessage::Type type);
 
 /// One JSONL line for `message` (no trailing newline) and its inverse;
 /// parse throws FabricError on malformed lines or unknown types/fields.
+/// parse accepts schemas mtm-fabric/2 and mtm-fabric/1; encode writes /2.
 std::string encode_fabric_message(const FabricMessage& message);
 FabricMessage parse_fabric_message(const std::string& line);
+
+/// Receiver-side duplicate suppression for wire-duplicated/reordered lines:
+/// a 64-deep sliding bitmap over sequence numbers. accept(seq) returns true
+/// exactly once per seq value; seq 0 (unsequenced/legacy) is always fresh.
+/// Reset on reconnect — each connection numbers its sends from 1.
+struct SeqWindow {
+  std::uint64_t last = 0;      ///< highest seq accepted
+  std::uint64_t window = 0;    ///< bit k set = (last - 1 - k) seen
+  static constexpr std::uint64_t kDepth = 64;
+
+  bool accept(std::uint64_t seq) {
+    if (seq == 0) return true;
+    if (seq > last) {
+      const std::uint64_t shift = seq - last;
+      window = shift >= kDepth ? 0 : (window << shift) | (1ull << (shift - 1));
+      last = seq;
+      return true;
+    }
+    const std::uint64_t back = last - seq;
+    if (back == 0) return false;           // exact duplicate of newest
+    if (back > kDepth) return false;       // beyond window: presumed stale
+    const std::uint64_t bit = 1ull << (back - 1);
+    if (window & bit) return false;
+    window |= bit;
+    return true;
+  }
+
+  void reset() { last = 0; window = 0; }
+};
 
 // ---------------------------------------------------------------------------
 // LeaseTable
@@ -191,7 +197,12 @@ FabricMessage parse_fabric_message(const std::string& line);
 /// message carrying a retired/expired id is recognizably stale forever.
 class LeaseTable {
  public:
-  explicit LeaseTable(std::uint64_t lease_ms);
+  /// liveness_ms > 0 arms per-peer heartbeat-liveness deadlines: a peer
+  /// that neither heartbeats nor delivers for strictly longer than
+  /// liveness_ms is reported by lifeless_peers(). This — not EOF — is how
+  /// worker death is declared on a network fabric, because a TCP half-open
+  /// connection never EOFs. 0 disables (forked workers die by EOF).
+  explicit LeaseTable(std::uint64_t lease_ms, std::uint64_t liveness_ms = 0);
 
   struct Expired {
     std::uint64_t id = 0;
@@ -228,7 +239,22 @@ class LeaseTable {
   /// Immediately expires all of `worker`'s open leases (worker death).
   std::vector<Expired> expire_worker(std::uint64_t worker);
 
+  /// Marks `worker` as heard-from at now_ms (hello, heartbeat, or result).
+  /// No-op when liveness is disabled.
+  void note_peer_alive(std::uint64_t worker, std::uint64_t now_ms);
+
+  /// Peers whose last sign of life is STRICTLY more than liveness_ms before
+  /// now_ms — a heartbeat landing exactly at the deadline still counts, the
+  /// same edge rule as lease expiry. Reported peers are dropped from the
+  /// liveness table (death is declared once); callers expire their leases.
+  std::vector<std::uint64_t> lifeless_peers(std::uint64_t now_ms);
+
+  /// Forgets `worker`'s liveness state (clean shutdown / EOF-declared
+  /// death) so it cannot be re-reported.
+  void drop_peer(std::uint64_t worker);
+
   std::size_t open_leases() const noexcept { return open_.size(); }
+  std::uint64_t liveness_ms() const noexcept { return liveness_ms_; }
 
  private:
   struct Lease {
@@ -240,8 +266,11 @@ class LeaseTable {
   };
 
   std::uint64_t lease_ms_;
+  std::uint64_t liveness_ms_;
   std::uint64_t next_id_ = 1;
   std::vector<Lease> open_;
+  /// worker -> last heard-from time (only when liveness_ms_ > 0).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> last_alive_;
 };
 
 // ---------------------------------------------------------------------------
@@ -265,6 +294,36 @@ int run_fabric_worker(Transport& transport,
                       const obs::RunManifest& manifest,
                       const FabricOptions& options, std::size_t worker_index);
 
+/// Sentinel worker index for network workers that learn their slot from the
+/// coordinator's welcome instead of being told at fork time.
+inline constexpr std::size_t kUnassignedWorker = ~static_cast<std::size_t>(0);
+
+/// mtm-fabric/2 network identity for a worker: a nonzero session id plus a
+/// redial factory. When the transport breaks (send failure or EOF), the
+/// worker calls reconnect() — which should block through its own backoff
+/// schedule and return nullptr only when the coordinator is truly
+/// unreachable — then re-hellos with the same session and resends the
+/// unacknowledged results of its current lease.
+struct FabricWorkerNet {
+  std::uint64_t session = 0;
+  std::function<std::unique_ptr<Transport>()> reconnect;
+  /// Give up after this many successful reconnects (runaway guard).
+  std::uint64_t max_reconnects = 32;
+  /// manifest fingerprint to present in hello ("" = skip the check).
+  std::string fingerprint;
+  /// Observed reconnect count, for stats export by the driver.
+  std::uint64_t reconnects = 0;
+};
+
+/// Network-worker variant: owns the transport so it can be swapped out on
+/// reconnect. worker_index may be kUnassignedWorker when net.session != 0 —
+/// the index (and thus the shard-journal path) is adopted from the welcome.
+int run_fabric_worker(std::unique_ptr<Transport> transport,
+                      const std::vector<SweepPoint>& points,
+                      const obs::RunManifest& manifest,
+                      const FabricOptions& options, std::size_t worker_index,
+                      FabricWorkerNet* net);
+
 // ---------------------------------------------------------------------------
 // Coordinator
 // ---------------------------------------------------------------------------
@@ -285,6 +344,15 @@ struct FabricStats {
   std::uint64_t heartbeats = 0;
   /// Trials quarantined at the fabric level (max_requeues exhausted).
   std::uint64_t fabric_quarantined = 0;
+  /// mtm-fabric/2: successful session-resuming reconnects.
+  std::uint64_t reconnects = 0;
+  /// Workers declared dead by the heartbeat-liveness deadline (half-open
+  /// connections; EOF deaths are counted in worker_deaths only).
+  std::uint64_t liveness_deaths = 0;
+  /// Lines discarded by the per-connection sequence window (wire dups).
+  std::uint64_t stale_seq_discarded = 0;
+  /// Network hellos refused for a mismatched manifest fingerprint.
+  std::uint64_t manifest_rejects = 0;
 };
 
 /// One worker as the coordinator sees it: its message channel plus, for
@@ -312,8 +380,14 @@ class FabricCoordinator {
   /// SweepRunner over the same points would produce (modulo the
   /// executed/resumed split, which reflects who did the work). Reaps forked
   /// workers before returning; no orphans survive this call.
+  ///
+  /// With a listener, additional workers may dial in at any time (workers
+  /// may then start empty); session-bearing peers get reconnect/resume and
+  /// liveness-deadline death detection (effective liveness defaults to
+  /// 2 * lease_ms on a listener fabric when options.liveness_ms is 0).
   SweepReport run(const std::vector<SweepPoint>& points,
-                  std::vector<WorkerEndpoint> workers);
+                  std::vector<WorkerEndpoint> workers,
+                  FabricListener* listener = nullptr);
 
   const FabricStats& stats() const noexcept { return stats_; }
   bool journaling() const noexcept { return journal_.has_value(); }
@@ -323,6 +397,10 @@ class FabricCoordinator {
   Clock clock_;
   std::optional<TrialJournal> journal_;
   FabricStats stats_;
+  /// Expected hello fingerprint for network workers (manifest_fingerprint
+  /// of the coordinator's manifest; workers rebuilt theirs from the same
+  /// flags, and manifests carry no timestamps, so equality is exact).
+  std::string manifest_fingerprint_;
 };
 
 // ---------------------------------------------------------------------------
@@ -338,19 +416,46 @@ class FabricCoordinator {
 /// SIGKILLed coordinator cannot leak orphans.
 class FabricRunner {
  public:
-  /// Validates options (workers >= 1, chaos_kills < workers, worker_shards
-  /// needs a journal path) — throws FabricError on violations.
+  /// Validates options (workers >= 1 or a listen address, chaos_kills <
+  /// workers, worker_shards needs a journal path) — throws FabricError on
+  /// violations. With options.listen set, binds the TCP listener here (so
+  /// bound_port() is valid before run() blocks — tools print it for
+  /// workers to dial); throws TransportError when the bind fails.
   FabricRunner(const obs::RunManifest& manifest, FabricOptions options);
 
-  /// Forks the workers, runs the coordinator, reaps everything.
+  /// Forks the workers, runs the coordinator, reaps everything. With
+  /// options.listen set, accepts remote workers instead of forking —
+  /// workers are remote processes running run_fabric_net_worker
+  /// (mtm_soak/mtm_sim --connect).
   SweepReport run(const std::vector<SweepPoint>& points);
 
   const FabricStats& stats() const noexcept { return stats_; }
+  /// Actual bound port in listen mode (resolves an ephemeral :0 bind).
+  std::uint16_t bound_port() const noexcept { return bound_port_; }
 
  private:
   obs::RunManifest manifest_;
   FabricOptions options_;
   FabricStats stats_;
+  std::unique_ptr<TcpListener> listener_;
+  std::uint16_t bound_port_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Network worker entry point
+// ---------------------------------------------------------------------------
+
+/// Runs one TCP worker process: dials options.connect with backoff + seeded
+/// jitter, wraps the connection in a FaultyTransport when any --net-chaos-*
+/// is set (chaos seed re-derived per connection attempt so reconnect fault
+/// schedules stay deterministic), rebuilds nothing — `points` and
+/// `manifest` must be constructed from the same CLI flags as the
+/// coordinator's (manifests carry no timestamps, so equal flags give equal
+/// fingerprints, which the hello presents for verification). Returns a
+/// process exit code like run_fabric_worker; 1 also covers "could not
+/// connect". Exports fabric.reconnects to options.metrics when set.
+int run_fabric_net_worker(const std::vector<SweepPoint>& points,
+                          const obs::RunManifest& manifest,
+                          const FabricOptions& options);
 
 }  // namespace mtm

@@ -1,0 +1,534 @@
+#include "harness/net_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <tuple>
+
+#include "core/assert.hpp"
+
+namespace mtm {
+
+namespace {
+
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StreamTransport
+// ---------------------------------------------------------------------------
+
+StreamTransport::StreamTransport(int fd) : fd_(fd) {
+  MTM_REQUIRE(fd >= 0);
+  set_nonblocking(fd_);
+}
+
+StreamTransport::~StreamTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool StreamTransport::send_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (fd_ < 0) return false;
+  const std::string payload = line + "\n";
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const ssize_t n = ::send(fd_, payload.data() + off, payload.size() - off,
+                             MSG_NOSIGNAL);
+    if (n >= 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Socket buffer full: wait for drain rather than dropping the line —
+      // the protocol has no retransmit, a lost result would look like a
+      // hung lease.
+      struct pollfd p = {fd_, POLLOUT, 0};
+      ::poll(&p, 1, 100);
+      continue;
+    }
+    // EPIPE/ECONNRESET and friends: the peer is gone.
+    return false;
+  }
+  return true;
+}
+
+void StreamTransport::pump() {
+  if (fd_ < 0 || peer_gone_) return;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rx_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      peer_gone_ = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    peer_gone_ = true;
+    break;
+  }
+  std::size_t pos;
+  while ((pos = rx_.find('\n')) != std::string::npos) {
+    lines_.push_back(rx_.substr(0, pos));
+    rx_.erase(0, pos + 1);
+  }
+}
+
+bool StreamTransport::wait_readable(int timeout_ms) {
+  if (!lines_.empty() || peer_gone_) return true;
+  // poll() needs EINTR retries (SIGCHLD from a dying chaos-killed worker
+  // lands here) and must report POLLERR/POLLHUP as "consult closed()", not
+  // as a timeout — sleeping out the full deadline on a dead peer is how
+  // half-open bugs hide.
+  const std::uint64_t start = steady_now_ms();
+  int remaining = timeout_ms;
+  for (;;) {
+    struct pollfd p = {fd_, POLLIN, 0};
+    const int rc = ::poll(&p, 1, remaining);
+    if (rc > 0) return true;  // POLLIN, POLLERR, or POLLHUP — all readable
+    if (rc == 0) return false;
+    if (errno != EINTR) return true;  // poll itself failed: consult closed()
+    if (timeout_ms < 0) continue;
+    const std::uint64_t elapsed = steady_now_ms() - start;
+    if (elapsed >= static_cast<std::uint64_t>(timeout_ms)) return false;
+    remaining = timeout_ms - static_cast<int>(elapsed);
+  }
+}
+
+bool StreamTransport::poll_line(std::string* line) {
+  pump();
+  if (lines_.empty()) return false;
+  *line = std::move(lines_.front());
+  lines_.pop_front();
+  return true;
+}
+
+bool StreamTransport::closed() {
+  pump();
+  // A partial line with no terminator at EOF is a mid-write death; it is
+  // dropped, exactly like the journal drops a checksum-failing tail.
+  return peer_gone_ && lines_.empty();
+}
+
+void StreamTransport::sever() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  peer_gone_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Loopback transport (tests)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LoopbackState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::string> queues[2];  // queues[i] = lines readable by side i
+  bool gone[2] = {false, false};
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<LoopbackState> state, int side)
+      : state_(std::move(state)), side_(side) {}
+  ~LoopbackTransport() override { sever(); }
+
+  bool send_line(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->gone[0] || state_->gone[1]) return false;
+    state_->queues[1 - side_].push_back(line);
+    state_->cv.notify_all();
+    return true;
+  }
+
+  bool poll_line(std::string* line) override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->queues[side_].empty()) return false;
+    *line = std::move(state_->queues[side_].front());
+    state_->queues[side_].pop_front();
+    return true;
+  }
+
+  bool wait_readable(int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    return state_->cv.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms), [&] {
+          return !state_->queues[side_].empty() || state_->gone[0] ||
+                 state_->gone[1];
+        });
+  }
+
+  bool closed() override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return (state_->gone[0] || state_->gone[1]) &&
+           state_->queues[side_].empty();
+  }
+
+  void sever() override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->gone[side_] = true;
+    state_->cv.notify_all();
+  }
+
+  int fd() const override { return -1; }
+
+ private:
+  std::shared_ptr<LoopbackState> state_;
+  int side_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_transport() {
+  auto state = std::make_shared<LoopbackState>();
+  return {std::make_unique<LoopbackTransport>(state, 0),
+          std::make_unique<LoopbackTransport>(state, 1)};
+}
+
+// ---------------------------------------------------------------------------
+// TCP listener / dialer
+// ---------------------------------------------------------------------------
+
+HostPort parse_host_port(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    throw TransportError("expected host:port, got \"" + spec + "\"");
+  }
+  HostPort hp;
+  hp.host = spec.substr(0, colon);
+  const std::string port_str = spec.substr(colon + 1);
+  if (port_str.empty() ||
+      port_str.find_first_not_of("0123456789") != std::string::npos) {
+    throw TransportError("invalid port in \"" + spec + "\"");
+  }
+  const unsigned long port = std::strtoul(port_str.c_str(), nullptr, 10);
+  if (port > 65535) {
+    throw TransportError("port out of range in \"" + spec + "\"");
+  }
+  hp.port = static_cast<std::uint16_t>(port);
+  return hp;
+}
+
+namespace {
+
+sockaddr_in resolve_ipv4(const HostPort& hp) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(hp.port);
+  const std::string host = (hp.host == "localhost") ? "127.0.0.1" : hp.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw TransportError("cannot resolve host \"" + hp.host +
+                         "\" (IPv4 dotted quad or localhost)");
+  }
+  return addr;
+}
+
+}  // namespace
+
+TcpListener::TcpListener(const HostPort& bind_addr) {
+  sockaddr_in addr = resolve_ipv4(bind_addr);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw TransportError("socket() failed");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("bind " + bind_addr.host + ":" +
+                         std::to_string(bind_addr.port) + " failed: " +
+                         std::strerror(err));
+  }
+  if (::listen(fd_, 64) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  set_nonblocking(fd_);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Transport> TcpListener::accept() {
+  if (fd_ < 0) return nullptr;
+  for (;;) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) {
+      set_nodelay(conn);
+      return std::make_unique<StreamTransport>(conn);
+    }
+    if (errno == EINTR) continue;
+    return nullptr;  // EAGAIN / transient accept failure: nothing pending
+  }
+}
+
+std::unique_ptr<Transport> tcp_connect(const HostPort& peer,
+                                       const TcpConnectOptions& options) {
+  const sockaddr_in addr = resolve_ipv4(peer);
+  const std::uint64_t attempts = std::max<std::uint64_t>(1, options.attempts);
+  Rng jitter(derive_seed(options.jitter_seed, {0x746370u}));
+  const auto sleep_for = [&](std::uint64_t ms) {
+    if (ms == 0) return;
+    if (options.sleep_ms) {
+      options.sleep_ms(ms);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  };
+  for (std::uint64_t attempt = 1; attempt <= attempts; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      set_nonblocking(fd);
+      int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr));
+      if (rc != 0 && errno == EINPROGRESS) {
+        struct pollfd p = {fd, POLLOUT, 0};
+        const int timeout =
+            static_cast<int>(std::min<std::uint64_t>(options.connect_timeout_ms,
+                                                     1u << 30));
+        if (::poll(&p, 1, timeout) > 0) {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 &&
+              err == 0) {
+            rc = 0;
+          }
+        }
+      }
+      if (rc == 0) {
+        set_nodelay(fd);
+        return std::make_unique<StreamTransport>(fd);
+      }
+      ::close(fd);
+    }
+    if (attempt == attempts) break;
+    // Capped exponential backoff with seeded jitter: base * 2^(attempt-1),
+    // clamped, plus uniform[0, base_of_attempt) — deterministic given
+    // jitter_seed, never synchronized across workers with distinct seeds.
+    std::uint64_t base = options.backoff_ms;
+    for (std::uint64_t i = 1; i < attempt && base < options.backoff_max_ms;
+         ++i) {
+      base *= 2;
+    }
+    base = std::min(base, options.backoff_max_ms);
+    sleep_for(base + (base > 0 ? jitter.uniform(base) : 0));
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// FaultyTransport
+// ---------------------------------------------------------------------------
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
+                                 WireFaultConfig config,
+                                 obs::MetricRegistry* metrics,
+                                 std::function<std::uint64_t()> clock)
+    : inner_(std::move(inner)),
+      config_(config),
+      metrics_(metrics),
+      clock_(clock ? std::move(clock) : steady_now_ms),
+      rng_(derive_seed(config.seed, {0x6661756cu})) {
+  MTM_REQUIRE(inner_ != nullptr);
+  MTM_REQUIRE(config_.drop >= 0.0 && config_.drop < 1.0);
+  MTM_REQUIRE(config_.truncate >= 0.0 && config_.truncate < 1.0);
+  MTM_REQUIRE(config_.reorder >= 0.0 && config_.reorder < 1.0);
+  MTM_REQUIRE(config_.duplicate >= 0.0 && config_.duplicate < 1.0);
+}
+
+FaultyTransport::~FaultyTransport() { flush_all(); }
+
+void FaultyTransport::deliver(const std::string& line) {
+  inner_->send_line(line);
+}
+
+void FaultyTransport::flush_due(std::uint64_t now_ms) {
+  if (delayed_.empty()) return;
+  // Release every line whose time has come, in (release_ms, order) order so
+  // equal release times keep send order — the schedule stays deterministic.
+  std::vector<Delayed> due;
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (it->release_ms <= now_ms) {
+      due.push_back(std::move(*it));
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(due.begin(), due.end(), [](const Delayed& a, const Delayed& b) {
+    return std::tie(a.release_ms, a.order) < std::tie(b.release_ms, b.order);
+  });
+  for (const Delayed& d : due) deliver(d.line);
+}
+
+void FaultyTransport::flush_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::sort(delayed_.begin(), delayed_.end(),
+            [](const Delayed& a, const Delayed& b) {
+              return std::tie(a.release_ms, a.order) <
+                     std::tie(b.release_ms, b.order);
+            });
+  for (const Delayed& d : delayed_) deliver(d.line);
+  delayed_.clear();
+  for (const std::string& line : held_) deliver(line);
+  held_.clear();
+}
+
+bool FaultyTransport::send_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t now = clock_();
+  flush_due(now);
+  ++counts_.lines;
+  auto bump = [&](const char* name, std::uint64_t& c) {
+    ++c;
+    if (metrics_ != nullptr) metrics_->counter(name).increment();
+  };
+  if (metrics_ != nullptr) metrics_->counter("fabric.net.lines").increment();
+
+  if (config_.sever_after > 0 && counts_.lines > config_.sever_after) {
+    // Already severed below on the trigger line; pretend-send thereafter so
+    // the caller discovers the break via closed(), like a real half-close.
+    return false;
+  }
+
+  // Fixed draw order per line — drop, truncate, reorder, duplicate, delay —
+  // so a given (seed, line index) always yields the same fault schedule.
+  const bool drop = config_.drop > 0.0 && rng_.bernoulli(config_.drop);
+  const bool trunc = config_.truncate > 0.0 && rng_.bernoulli(config_.truncate);
+  const bool reorder = config_.reorder > 0.0 && rng_.bernoulli(config_.reorder);
+  const bool dup = config_.duplicate > 0.0 && rng_.bernoulli(config_.duplicate);
+  const std::uint64_t delay =
+      config_.delay_ms > 0 ? rng_.uniform(config_.delay_ms + 1) : 0;
+  // Truncation cut point is drawn unconditionally when enabled, so whether
+  // a line is ALSO dropped cannot shift later lines' schedules.
+  const std::uint64_t cut =
+      config_.truncate > 0.0 && line.size() > 1
+          ? 1 + rng_.uniform(static_cast<std::uint64_t>(line.size() - 1))
+          : 0;
+
+  if (drop) {
+    bump("fabric.net.dropped", counts_.dropped);
+    // The line vanishes; the caller believes it was sent (a real network
+    // gives no ack either). Release any holdback so it cannot strand.
+    if (!held_.empty()) {
+      for (const std::string& h : held_) deliver(h);
+      held_.clear();
+    }
+    return true;
+  }
+
+  std::string wire = line;
+  if (trunc && cut > 0) {
+    bump("fabric.net.truncated", counts_.truncated);
+    wire = line.substr(0, cut);
+  }
+
+  bool ok = true;
+  auto emit = [&](const std::string& l) {
+    if (delay > 0) {
+      bump("fabric.net.delayed", counts_.delayed);
+      delayed_.push_back(Delayed{now + delay, delay_order_++, l});
+    } else {
+      ok = inner_->send_line(l) && ok;
+    }
+  };
+
+  if (reorder && held_.empty()) {
+    // Hold this line back one slot; it goes out after the NEXT line.
+    bump("fabric.net.reordered", counts_.reordered);
+    held_.push_back(wire);
+    if (dup) {
+      bump("fabric.net.duplicated", counts_.duplicated);
+      held_.push_back(wire);
+    }
+  } else {
+    emit(wire);
+    if (dup) {
+      bump("fabric.net.duplicated", counts_.duplicated);
+      emit(wire);
+    }
+    if (!held_.empty()) {
+      for (const std::string& h : held_) emit(h);
+      held_.clear();
+    }
+  }
+
+  if (config_.sever_after > 0 && counts_.lines == config_.sever_after) {
+    bump("fabric.net.severed", counts_.severed);
+    flush_due(~0ull);
+    for (const std::string& h : held_) deliver(h);
+    held_.clear();
+    inner_->sever();
+    return false;
+  }
+  return ok;
+}
+
+bool FaultyTransport::poll_line(std::string* line) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    flush_due(clock_());
+  }
+  return inner_->poll_line(line);
+}
+
+bool FaultyTransport::wait_readable(int timeout_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    flush_due(clock_());
+  }
+  return inner_->wait_readable(timeout_ms);
+}
+
+bool FaultyTransport::closed() { return inner_->closed(); }
+
+void FaultyTransport::sever() {
+  flush_all();
+  inner_->sever();
+}
+
+int FaultyTransport::fd() const { return inner_->fd(); }
+
+}  // namespace mtm

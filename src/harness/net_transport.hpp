@@ -1,0 +1,268 @@
+// Network transport stack for the sweep fabric.
+//
+// Layering (DESIGN.md "Transport stack"):
+//
+//   Transport                  — abstract line channel (fabric protocol's view)
+//   ├── StreamTransport        — any connected stream fd: AF_UNIX socketpair
+//   │                            (forked workers) or TCP (multi-host workers)
+//   ├── loopback pair          — in-memory, for same-process tests
+//   └── FaultyTransport        — decorator injecting deterministic wire faults
+//
+//   FabricListener / TcpListener — coordinator-side accept surface
+//   tcp_connect                  — worker-side dial with capped backoff + jitter
+//
+// The fabric protocol code (fabric.{hpp,cpp}) never names a concrete
+// transport; everything network-shaped lives here. Faults are injected on
+// the SEND side of the decorated endpoint: a dropped line simply never
+// reaches the peer, a truncated line arrives as a short prefix and is
+// rejected by the per-record CRC / message parse on the far side — the
+// fault decorator can corrupt delivery, never results.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "obs/metrics.hpp"
+
+namespace mtm {
+
+/// Transport construction/addressing failure (bad host:port, bind failure).
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+/// One bidirectional, line-delimited message channel between the
+/// coordinator and a worker. Implementations must make send_line
+/// thread-safe (the worker's heartbeat thread and trial loop share one
+/// transport); everything else is called from a single thread per side.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues/writes one line (no trailing newline in `line`). Returns false
+  /// once the peer is gone — the caller treats that as peer death, never as
+  /// an error to retry.
+  virtual bool send_line(const std::string& line) = 0;
+
+  /// Non-blocking: pops the next complete received line. False when no
+  /// complete line is buffered (closed() distinguishes EOF from "not yet").
+  virtual bool poll_line(std::string* line) = 0;
+
+  /// Blocks up to timeout_ms for readability (or EOF). Returns true when
+  /// poll_line/closed should be consulted, false on pure timeout.
+  virtual bool wait_readable(int timeout_ms) = 0;
+
+  /// True after EOF/severance AND the receive buffer has been drained.
+  virtual bool closed() = 0;
+
+  /// Hard-severs the channel from this side (chaos / teardown). The peer
+  /// observes EOF.
+  virtual void sever() = 0;
+
+  /// Pollable file descriptor, -1 for in-memory transports.
+  virtual int fd() const = 0;
+};
+
+/// Transport over any connected stream socket — AF_UNIX socketpair for
+/// forked workers, TCP for multi-host ones; the framing is identical.
+/// Owns the fd; non-blocking reads with an internal line buffer,
+/// blocking-ish writes (EAGAIN waits for POLLOUT), MSG_NOSIGNAL so a dead
+/// peer surfaces as false from send_line instead of SIGPIPE.
+class StreamTransport final : public Transport {
+ public:
+  explicit StreamTransport(int fd);
+  ~StreamTransport() override;
+
+  bool send_line(const std::string& line) override;
+  bool poll_line(std::string* line) override;
+  bool wait_readable(int timeout_ms) override;
+  bool closed() override;
+  void sever() override;
+  int fd() const override { return fd_; }
+
+ private:
+  void pump();  // drain readable bytes into rx_
+
+  int fd_ = -1;
+  /// Atomic because sever() may be called by a sender thread (worker-side
+  /// reconnect) while the receive thread is polling.
+  std::atomic<bool> peer_gone_{false};
+  std::string rx_;
+  std::deque<std::string> lines_;
+  std::mutex send_mutex_;
+};
+
+/// A connected pair of in-memory transports for same-process tests: lines
+/// sent on `first` arrive on `second` and vice versa. wait_readable blocks
+/// on a condition variable, so coordinator and worker loops can run on
+/// separate threads exactly as they would across processes.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_transport();
+
+// ---------------------------------------------------------------------------
+// Listener / dialer
+// ---------------------------------------------------------------------------
+
+/// Coordinator-side accept surface. Non-blocking: accept() returns the next
+/// pending connection or nullptr. fd() (when >= 0) is pollable for accept
+/// readiness alongside the worker transports.
+class FabricListener {
+ public:
+  virtual ~FabricListener() = default;
+  virtual std::unique_ptr<Transport> accept() = 0;
+  virtual int fd() const { return -1; }
+};
+
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" ("127.0.0.1:7700", "0.0.0.0:0"). Throws
+/// TransportError on a missing/empty host, missing colon, or a port
+/// outside [0, 65535]. Port 0 is valid for --listen (ephemeral bind).
+HostPort parse_host_port(const std::string& spec);
+
+/// TCP listener bound to host:port (IPv4). Port 0 binds an ephemeral port;
+/// port() reports the actual one. Accepted transports get TCP_NODELAY —
+/// the fabric's lines are small and latency-sensitive.
+class TcpListener final : public FabricListener {
+ public:
+  explicit TcpListener(const HostPort& bind_addr);
+  ~TcpListener() override;
+
+  std::unique_ptr<Transport> accept() override;
+  int fd() const override { return fd_; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+struct TcpConnectOptions {
+  /// Per-attempt connect timeout.
+  std::uint64_t connect_timeout_ms = 5000;
+  /// Total connection attempts before giving up (>= 1).
+  std::uint64_t attempts = 8;
+  /// Backoff before retry k (1-based) is min(backoff_ms << (k - 1),
+  /// backoff_max_ms), plus seeded jitter in [0, backoff of that attempt).
+  std::uint64_t backoff_ms = 50;
+  std::uint64_t backoff_max_ms = 2000;
+  /// Seed for the jitter stream — deterministic reconnect schedules.
+  std::uint64_t jitter_seed = 1;
+  /// Injectable sleeper for tests; nullptr sleeps for real.
+  std::function<void(std::uint64_t)> sleep_ms;
+};
+
+/// Dials host:port with capped exponential backoff plus seeded jitter.
+/// Returns the connected transport (TCP_NODELAY set) or nullptr once every
+/// attempt is exhausted. Throws TransportError only on an unresolvable
+/// address — refusals and timeouts are retried, not thrown.
+std::unique_ptr<Transport> tcp_connect(const HostPort& peer,
+                                       const TcpConnectOptions& options);
+
+// ---------------------------------------------------------------------------
+// FaultyTransport: deterministic wire fault injection
+// ---------------------------------------------------------------------------
+
+/// Per-line fault probabilities, all applied on the send side of the
+/// decorated endpoint. Probabilities are in [0, 1); draws come from one
+/// seeded stream in a fixed order per line (drop, truncate, reorder,
+/// duplicate, delay), so a given (seed, line sequence) always produces the
+/// same fault schedule — chaos runs replay bit-identically.
+struct WireFaultConfig {
+  double drop = 0.0;       ///< line vanishes entirely
+  double truncate = 0.0;   ///< line is cut mid-record (CRC/parse rejects it)
+  double reorder = 0.0;    ///< line is held back one slot and swaps with next
+  double duplicate = 0.0;  ///< line is delivered twice
+  /// Max per-line delivery delay; each line is delayed uniform[0, delay_ms]
+  /// milliseconds (0 disables delay injection).
+  std::uint64_t delay_ms = 0;
+  std::uint64_t seed = 1;
+  /// Hard-sever the underlying transport after this many sent lines
+  /// (0 = never): deterministically forces the reconnect path.
+  std::uint64_t sever_after = 0;
+
+  bool any() const {
+    return drop > 0.0 || truncate > 0.0 || reorder > 0.0 || duplicate > 0.0 ||
+           delay_ms > 0 || sever_after > 0;
+  }
+};
+
+/// Injected-fault tallies (also exported as fabric.net.* counters when a
+/// registry is attached).
+struct WireFaultCounts {
+  std::uint64_t lines = 0;      ///< lines offered to the decorator
+  std::uint64_t dropped = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t severed = 0;
+};
+
+/// Decorates a transport with deterministic wire faults on the send path.
+/// Receive-side methods delegate untouched (decorate both endpoints to
+/// fault both directions). Thread-safe like send_line itself. Delayed
+/// lines are flushed opportunistically on every subsequent send/poll/wait
+/// call once their release time passes, and unconditionally on sever and
+/// destruction (a delayed line is late, never lost).
+class FaultyTransport final : public Transport {
+ public:
+  /// `clock` defaults to the steady clock (tests inject fake time);
+  /// `metrics` may be nullptr.
+  FaultyTransport(std::unique_ptr<Transport> inner, WireFaultConfig config,
+                  obs::MetricRegistry* metrics = nullptr,
+                  std::function<std::uint64_t()> clock = nullptr);
+  ~FaultyTransport() override;
+
+  bool send_line(const std::string& line) override;
+  bool poll_line(std::string* line) override;
+  bool wait_readable(int timeout_ms) override;
+  bool closed() override;
+  void sever() override;
+  int fd() const override;
+
+  const WireFaultCounts& counts() const noexcept { return counts_; }
+
+ private:
+  // All called with mutex_ held.
+  void deliver(const std::string& line);
+  void flush_due(std::uint64_t now_ms);
+  void flush_all();
+
+  std::unique_ptr<Transport> inner_;
+  WireFaultConfig config_;
+  obs::MetricRegistry* metrics_;
+  std::function<std::uint64_t()> clock_;
+  Rng rng_;
+  WireFaultCounts counts_;
+  /// One-slot reorder holdback: the held line is sent after the next one.
+  std::vector<std::string> held_;
+  /// Delay queue ordered by release time (stable for equal times).
+  struct Delayed {
+    std::uint64_t release_ms = 0;
+    std::uint64_t order = 0;
+    std::string line;
+  };
+  std::vector<Delayed> delayed_;
+  std::uint64_t delay_order_ = 0;
+  std::mutex mutex_;
+};
+
+}  // namespace mtm

@@ -207,6 +207,22 @@ const char* fabric_flags_help() {
   --chaos-kill-workers=N  SIGKILL N workers on a seeded schedule [default 0]
   --chaos-seed=S    seed of the chaos kill schedule              [default 1]
   --worker-shards   each worker also journals to <journal>.w<i>  [default off]
+  --listen=H:P      coordinate remote TCP workers (port 0 = ephemeral)
+  --connect=H:P     run as a TCP worker for a remote coordinator
+  --liveness-ms=N   listen mode: declare a silent worker dead    [default 2*lease]
+  --net-connect-timeout-ms=N  per-attempt dial timeout           [default 5000]
+  --net-reconnect-attempts=N  dial/redial attempts before giving up  [default 8]
+  --net-backoff-ms=N          redial backoff base (doubles, capped
+                              at --net-backoff-max-ms, + jitter) [default 50]
+  --net-backoff-max-ms=N      redial backoff cap                 [default 2000]
+  --net-chaos-drop=P      drop each sent line with prob. P       [default 0]
+  --net-chaos-truncate=P  cut each sent line short with prob. P  [default 0]
+  --net-chaos-reorder=P   swap a sent line with the next one     [default 0]
+  --net-chaos-dup=P       deliver a sent line twice              [default 0]
+  --net-chaos-delay-ms=N  delay each line uniform[0,N] ms        [default 0]
+  --net-chaos-seed=S      seed of the wire-fault schedule        [default 1]
+  --net-chaos-sever-after=N  hard-sever after N sent lines (forces
+                              one reconnect)                     [default 0]
 )";
 }
 
@@ -215,14 +231,44 @@ FabricOptions parse_fabric_flags(const CliArgs& args,
   FabricOptions options;
   options.resilience = resilience;
   options.workers = args.get_u64("workers", 0);
-  if (options.workers == 0) {
-    // Fabric tuning without --workers is a dropped flag, not a no-op.
+  options.listen = args.get_string("listen", "");
+  options.connect = args.get_string("connect", "");
+  if (!options.listen.empty() && !options.connect.empty()) {
+    throw std::invalid_argument(
+        "--listen and --connect are mutually exclusive (one process is "
+        "either the coordinator or a worker)");
+  }
+  if (!options.listen.empty() && options.workers > 0) {
+    throw std::invalid_argument(
+        "--listen accepts remote workers; --workers forks local ones — "
+        "pick one fabric form");
+  }
+  if (!options.connect.empty() && options.workers > 0) {
+    throw std::invalid_argument(
+        "--connect runs this process as a worker; it cannot also fork "
+        "--workers of its own");
+  }
+  // Malformed addresses fail at flag-parse time like every other bad flag.
+  try {
+    if (!options.listen.empty()) parse_host_port(options.listen);
+    if (!options.connect.empty()) parse_host_port(options.connect);
+  } catch (const TransportError& e) {
+    throw std::invalid_argument(e.what());
+  }
+  const bool net_worker = !options.connect.empty();
+  if (options.workers == 0 && options.listen.empty() && !net_worker) {
+    // Fabric tuning without a fabric role is a dropped flag, not a no-op.
     for (const char* flag :
          {"lease-ms", "heartbeat-ms", "lease-batch", "max-requeues",
-          "chaos-kill-workers", "chaos-seed", "worker-shards"}) {
+          "chaos-kill-workers", "chaos-seed", "worker-shards", "liveness-ms",
+          "net-connect-timeout-ms", "net-reconnect-attempts", "net-backoff-ms",
+          "net-backoff-max-ms", "net-chaos-drop", "net-chaos-truncate",
+          "net-chaos-reorder", "net-chaos-dup", "net-chaos-delay-ms",
+          "net-chaos-seed", "net-chaos-sever-after"}) {
       if (args.has(flag)) {
-        throw std::invalid_argument(std::string("--") + flag +
-                                    " requires --workers=N with N >= 1");
+        throw std::invalid_argument(
+            std::string("--") + flag +
+            " requires a fabric role (--workers=N, --listen, or --connect)");
       }
     }
     return options;
@@ -245,7 +291,13 @@ FabricOptions parse_fabric_flags(const CliArgs& args,
   }
   options.max_requeues = args.get_u32("max-requeues", 8);
   options.chaos_kills = args.get_u64("chaos-kill-workers", 0);
-  if (options.chaos_kills >= options.workers) {
+  if (options.chaos_kills > 0 && options.workers == 0) {
+    throw std::invalid_argument(
+        "--chaos-kill-workers requires forked workers (--workers); remote "
+        "workers have no local pid to SIGKILL — use --net-chaos-* on the "
+        "workers instead");
+  }
+  if (options.workers > 0 && options.chaos_kills >= options.workers) {
     throw std::invalid_argument(
         "--chaos-kill-workers must be < --workers (the schedule never kills "
         "the last worker)");
@@ -255,9 +307,78 @@ FabricOptions parse_fabric_flags(const CliArgs& args,
   }
   options.chaos_seed = args.get_u64("chaos-seed", 1);
   options.worker_shards = args.get_bool("worker-shards", false);
+  if (options.worker_shards && !options.listen.empty()) {
+    throw std::invalid_argument(
+        "--worker-shards is written worker-side; pass it to the --connect "
+        "workers, not to --listen");
+  }
   if (options.worker_shards && resilience.journal_path.empty()) {
     throw std::invalid_argument(
         "--worker-shards requires a journal (--journal or --resume)");
+  }
+  if (args.has("liveness-ms")) {
+    if (options.listen.empty()) {
+      throw std::invalid_argument(
+          "--liveness-ms requires --listen (forked workers die by EOF; only "
+          "TCP half-open connections need a liveness deadline)");
+    }
+    options.liveness_ms = args.get_u64("liveness-ms", 0);
+    if (options.liveness_ms <= options.heartbeat_ms) {
+      throw std::invalid_argument(
+          "--liveness-ms must be > the heartbeat period (" +
+          std::to_string(options.heartbeat_ms) +
+          " ms here), or every worker is declared dead between beats");
+    }
+  }
+  // Dial/reconnect shaping and wire chaos only make sense on the process
+  // that owns the client end of the connection.
+  for (const char* flag :
+       {"net-connect-timeout-ms", "net-reconnect-attempts", "net-backoff-ms",
+        "net-backoff-max-ms", "net-chaos-drop", "net-chaos-truncate",
+        "net-chaos-reorder", "net-chaos-dup", "net-chaos-delay-ms",
+        "net-chaos-seed", "net-chaos-sever-after"}) {
+    if (args.has(flag) && !net_worker) {
+      throw std::invalid_argument(std::string("--") + flag +
+                                  " requires --connect (it shapes this "
+                                  "worker's side of the wire)");
+    }
+  }
+  if (net_worker) {
+    options.net_connect_timeout_ms =
+        args.get_u64("net-connect-timeout-ms", 5000);
+    if (options.net_connect_timeout_ms == 0) {
+      throw std::invalid_argument("--net-connect-timeout-ms must be >= 1");
+    }
+    options.net_reconnect_attempts = args.get_u64("net-reconnect-attempts", 8);
+    if (options.net_reconnect_attempts == 0) {
+      throw std::invalid_argument("--net-reconnect-attempts must be >= 1");
+    }
+    options.net_backoff_ms = args.get_u64("net-backoff-ms", 50);
+    options.net_backoff_max_ms = args.get_u64("net-backoff-max-ms", 2000);
+    if (options.net_backoff_max_ms < options.net_backoff_ms) {
+      throw std::invalid_argument(
+          "--net-backoff-max-ms must be >= --net-backoff-ms");
+    }
+    const auto probability = [&](const char* flag) {
+      const double p = args.get_double(flag, 0.0);
+      if (p < 0.0 || p >= 1.0) {
+        throw std::invalid_argument(std::string("--") + flag +
+                                    " must be a probability in [0, 1)");
+      }
+      return p;
+    };
+    options.net_chaos.drop = probability("net-chaos-drop");
+    options.net_chaos.truncate = probability("net-chaos-truncate");
+    options.net_chaos.reorder = probability("net-chaos-reorder");
+    options.net_chaos.duplicate = probability("net-chaos-dup");
+    options.net_chaos.delay_ms = args.get_u64("net-chaos-delay-ms", 0);
+    options.net_chaos.sever_after = args.get_u64("net-chaos-sever-after", 0);
+    if (args.has("net-chaos-seed") && !options.net_chaos.any()) {
+      throw std::invalid_argument(
+          "--net-chaos-seed requires an enabled net fault (--net-chaos-drop/"
+          "truncate/reorder/dup/delay-ms/sever-after)");
+    }
+    options.net_chaos.seed = args.get_u64("net-chaos-seed", 1);
   }
   return options;
 }

@@ -11,6 +11,7 @@
 
 #include "core/cancel.hpp"
 #include "core/cli.hpp"
+#include "harness/net_transport.hpp"
 #include "sim/byzantine.hpp"
 #include "sim/faults.hpp"
 #include "sim/scheduler.hpp"
@@ -141,6 +142,31 @@ struct FabricOptions {
   /// Optional sink for fabric.* counters and the heartbeat latency
   /// histogram. Not a CLI flag — tools wire their registry in.
   obs::MetricRegistry* metrics = nullptr;
+
+  // --- network fabric (mtm-fabric/2, TCP multi-host) ---
+
+  /// Coordinator: bind a TCP listener at host:port and accept remote
+  /// workers instead of forking local ones ("" disables). Port 0 binds an
+  /// ephemeral port (printed by the tools).
+  std::string listen;
+  /// Worker: dial a remote coordinator at host:port and run trials for it
+  /// ("" disables). Mutually exclusive with listen and workers.
+  std::string connect;
+  /// Coordinator: per-peer heartbeat-liveness deadline — a network worker
+  /// silent for strictly longer than this is declared dead (TCP half-open
+  /// connections never EOF). 0 derives 2 * lease_ms in listen mode and
+  /// disables liveness on a forked fabric (EOF is death there).
+  std::uint64_t liveness_ms = 0;
+  /// Worker: per-attempt dial timeout / total attempts / capped-exponential
+  /// backoff shape for --connect and every reconnect.
+  std::uint64_t net_connect_timeout_ms = 5000;
+  std::uint64_t net_reconnect_attempts = 8;
+  std::uint64_t net_backoff_ms = 50;
+  std::uint64_t net_backoff_max_ms = 2000;
+  /// Worker: deterministic wire-fault injection on this worker's sends
+  /// (drop/truncate/reorder/duplicate/delay + forced sever; see
+  /// harness/net_transport.hpp). All-zero disables the decorator.
+  WireFaultConfig net_chaos;
 };
 
 /// Help-text fragment for the fabric flags.
@@ -148,12 +174,21 @@ const char* fabric_flags_help();
 
 /// Consumes the shared fabric flags (--workers, --lease-ms, --heartbeat-ms,
 /// --lease-batch, --max-requeues, --chaos-kill-workers, --chaos-seed,
-/// --worker-shards) and folds in an already-parsed ResilienceOptions.
+/// --worker-shards, --listen, --connect, --liveness-ms, --net-*,
+/// --net-chaos-*) and folds in an already-parsed ResilienceOptions.
 /// Contradictions are rejected with a one-line std::invalid_argument: any
-/// fabric flag without --workers >= 1, --chaos-seed without
-/// --chaos-kill-workers, --chaos-kill-workers >= --workers (the schedule
-/// never kills the last worker), --worker-shards without a journal, and
-/// --heartbeat-ms >= --lease-ms (the lease would expire between beats).
+/// fabric flag without a fabric role (--workers >= 1, --listen, or
+/// --connect), --chaos-seed without --chaos-kill-workers,
+/// --chaos-kill-workers >= --workers (the schedule never kills the last
+/// worker), --worker-shards without a journal, --heartbeat-ms >= --lease-ms
+/// (the lease would expire between beats), --listen with --connect or
+/// --workers (one process, one role), --chaos-kill-workers with --listen
+/// (remote workers have no local pid to SIGKILL), --worker-shards with
+/// --listen (shards are written worker-side; pass it to --connect
+/// workers), --net-chaos-*/--net-*
+/// dial knobs without --connect (they shape the worker's wire),
+/// --net-chaos-seed without any net fault enabled, and
+/// --liveness-ms without --listen or <= the effective heartbeat period.
 FabricOptions parse_fabric_flags(const CliArgs& args,
                                  const ResilienceOptions& resilience);
 

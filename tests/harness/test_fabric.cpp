@@ -1,16 +1,21 @@
-// Distributed sweep fabric: protocol round-trips, LeaseTable expiry edge
-// cases (heartbeat exactly at the deadline, late results, worker death),
-// and coordinator/worker end-to-end runs over loopback transports that must
-// reproduce a single-process SweepRunner byte-for-byte — including through
-// a worker dying mid-batch and a journal resume.
+// Distributed sweep fabric: protocol round-trips (mtm-fabric/2 and the
+// accepted /1 legacy), LeaseTable expiry and heartbeat-liveness edge cases,
+// the per-connection sequence window, and coordinator/worker end-to-end
+// runs — over loopback transports, under deterministic wire faults, through
+// a forced mid-lease reconnect, past a half-open (silent) worker, and over
+// real TCP with chaos-decorated network workers — all of which must
+// reproduce a single-process SweepRunner byte-for-byte.
 #include "harness/fabric.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -499,6 +504,415 @@ TEST(Fabric, RequeueBudgetExhaustionQuarantinesTheTrial) {
   EXPECT_EQ(stats.leases_expired, 2u);
   EXPECT_EQ(stats.trials_requeued, 2u);
   EXPECT_EQ(stats.leases_completed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// mtm-fabric/2: session / seq / fingerprint, legacy acceptance, SeqWindow
+// ---------------------------------------------------------------------------
+
+TEST(FabricMessage, RoundTripsSessionSeqFingerprintAndWelcome) {
+  FabricMessage m;
+  m.type = FabricMessage::Type::kHello;
+  m.worker = 2;
+  m.session = 0xfeedface;
+  m.seq = 41;
+  m.fingerprint = "abc123";
+  const std::string line = encode_fabric_message(m);
+  EXPECT_NE(line.find("mtm-fabric/2"), std::string::npos);
+  const FabricMessage back = parse_fabric_message(line);
+  EXPECT_EQ(back.type, FabricMessage::Type::kHello);
+  EXPECT_EQ(back.session, 0xfeedfaceu);
+  EXPECT_EQ(back.seq, 41u);
+  EXPECT_EQ(back.fingerprint, "abc123");
+
+  FabricMessage welcome;
+  welcome.type = FabricMessage::Type::kWelcome;
+  welcome.worker = 5;
+  const FabricMessage wback =
+      parse_fabric_message(encode_fabric_message(welcome));
+  EXPECT_EQ(wback.type, FabricMessage::Type::kWelcome);
+  EXPECT_EQ(wback.worker, 5u);
+
+  // The /2 fields are omitted at their defaults: a legacy-shaped message
+  // encodes to exactly the keys /1 used (plus the schema bump).
+  FabricMessage legacy;
+  legacy.type = FabricMessage::Type::kHeartbeat;
+  legacy.lease = 9;
+  const std::string legacy_line = encode_fabric_message(legacy);
+  EXPECT_EQ(legacy_line.find("session"), std::string::npos);
+  EXPECT_EQ(legacy_line.find("seq"), std::string::npos);
+  EXPECT_EQ(legacy_line.find("fingerprint"), std::string::npos);
+}
+
+TEST(FabricMessage, StillAcceptsLegacySchemaVersionOne) {
+  const FabricMessage m = parse_fabric_message(
+      R"({"schema":"mtm-fabric/1","type":"heartbeat","worker":3,"lease":9})");
+  EXPECT_EQ(m.type, FabricMessage::Type::kHeartbeat);
+  EXPECT_EQ(m.worker, 3u);
+  EXPECT_EQ(m.lease, 9u);
+  EXPECT_EQ(m.session, 0u);  // legacy peers are session 0 by construction
+  EXPECT_EQ(m.seq, 0u);
+}
+
+TEST(SeqWindow, AcceptsEachSeqOnceToleratesReorderAndAlwaysPassesZero) {
+  SeqWindow w;
+  // In-order stream.
+  EXPECT_TRUE(w.accept(1));
+  EXPECT_TRUE(w.accept(2));
+  EXPECT_FALSE(w.accept(2));  // wire duplicate of the newest line
+  EXPECT_TRUE(w.accept(3));
+  EXPECT_FALSE(w.accept(1));  // older duplicate within the window
+  // Reordered arrival: 6 lands before 4 and 5; all three pass exactly once.
+  EXPECT_TRUE(w.accept(6));
+  EXPECT_TRUE(w.accept(4));
+  EXPECT_TRUE(w.accept(5));
+  EXPECT_FALSE(w.accept(4));
+  EXPECT_FALSE(w.accept(6));
+  // Unsequenced (legacy) lines are never suppressed.
+  EXPECT_TRUE(w.accept(0));
+  EXPECT_TRUE(w.accept(0));
+  // Beyond the 64-deep window everything older is presumed stale.
+  EXPECT_TRUE(w.accept(200));
+  EXPECT_FALSE(w.accept(100));
+  // reset() starts a fresh connection's numbering.
+  w.reset();
+  EXPECT_TRUE(w.accept(1));
+}
+
+TEST(LeaseTable, LivenessDeadlineIsStrictlyPastAndReportsOnce) {
+  LeaseTable table(100, /*liveness_ms=*/500);
+  EXPECT_EQ(table.liveness_ms(), 500u);
+  table.note_peer_alive(0, 1000);
+  table.note_peer_alive(1, 1200);
+
+  // Exactly at the deadline is still alive (same edge rule as leases).
+  EXPECT_TRUE(table.lifeless_peers(1500).empty());
+  // One tick past: only worker 0 is dead, and death is declared once.
+  std::vector<std::uint64_t> dead = table.lifeless_peers(1501);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], 0u);
+  EXPECT_TRUE(table.lifeless_peers(1501).empty());
+
+  // A sign of life pushes the deadline; stale updates never move it back.
+  table.note_peer_alive(1, 1600);
+  table.note_peer_alive(1, 1300);  // out-of-order observation
+  EXPECT_TRUE(table.lifeless_peers(2100).empty());
+  EXPECT_EQ(table.lifeless_peers(2101), std::vector<std::uint64_t>{1});
+
+  // drop_peer forgets the worker entirely (clean shutdown path).
+  table.note_peer_alive(2, 3000);
+  table.drop_peer(2);
+  EXPECT_TRUE(table.lifeless_peers(10000).empty());
+
+  // liveness_ms = 0 disables the whole mechanism (forked fabric).
+  LeaseTable off(100);
+  off.note_peer_alive(0, 0);
+  EXPECT_TRUE(off.lifeless_peers(1u << 30).empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end under deterministic wire faults (loopback)
+// ---------------------------------------------------------------------------
+
+TEST(Fabric, LoopbackWorkersUnderWireFaultsReproduceSweepRunnerByteForByte) {
+  const obs::RunManifest manifest = fabric_manifest();
+  const std::vector<SweepPoint> points = synthetic_points(3, 4, 800);
+
+  SweepRunner control(manifest, ResilienceOptions{});
+  const SweepReport expected = control.run(synthetic_points(3, 4, 800), 2);
+
+  FabricOptions options;
+  options.workers = 2;
+  options.lease_ms = 400;   // dropped results recover via expiry + requeue
+  options.heartbeat_ms = 10;  // fast re-hello when the hello is dropped
+  options.lease_batch = 3;
+
+  obs::MetricRegistry metrics;
+  options.metrics = &metrics;
+
+  // Each worker is a session peer whose SENDS pass through a seeded fault
+  // decorator: ~10% of its lines are dropped, duplicated, or reordered.
+  // Dropped hellos are re-sent by the heartbeat thread, dropped results
+  // recover through lease expiry + requeue (same seed, identical record),
+  // and wire duplicates are discarded by the coordinator's seq window — so
+  // the merged aggregates still match the clean single-process run exactly.
+  std::vector<WorkerEndpoint> endpoints;
+  std::vector<std::thread> threads;
+  std::vector<int> exit_codes(2, -1);
+  std::vector<FabricWorkerNet> nets(2);
+  for (std::size_t w = 0; w < 2; ++w) {
+    auto [coord_side, worker_side] = make_loopback_transport();
+    endpoints.push_back(WorkerEndpoint{std::move(coord_side), -1});
+    WireFaultConfig chaos;
+    chaos.drop = 0.1;
+    chaos.duplicate = 0.1;
+    chaos.reorder = 0.1;
+    chaos.seed = 100 + w;
+    auto faulty = std::make_unique<FaultyTransport>(std::move(worker_side),
+                                                    chaos, &metrics);
+    nets[w].session = 1000 + w;
+    threads.emplace_back([&, w, transport = std::move(faulty)]() mutable {
+      exit_codes[w] = run_fabric_worker(std::move(transport), points,
+                                        manifest, options, w, &nets[w]);
+    });
+  }
+
+  FabricCoordinator coordinator(manifest, options);
+  const SweepReport report = coordinator.run(points, std::move(endpoints));
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(exit_codes[0], 0);
+  EXPECT_EQ(exit_codes[1], 0);
+  EXPECT_FALSE(report.interrupted);
+  expect_same_results(report, expected);
+
+  const FabricStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.leases_granted,
+            stats.leases_completed + stats.leases_expired +
+                stats.leases_aborted);
+  EXPECT_GT(metrics.counter("fabric.net.lines").value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Reconnect / resume and half-open death (scripted listener)
+// ---------------------------------------------------------------------------
+
+/// Test listener: hands out connections queued by the test, so reconnect
+/// scenarios are scripted instead of raced.
+class ManualListener final : public FabricListener {
+ public:
+  std::unique_ptr<Transport> accept() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return nullptr;
+    std::unique_ptr<Transport> t = std::move(queue_.front());
+    queue_.pop_front();
+    return t;
+  }
+  void offer(std::unique_ptr<Transport> t) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(t));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::deque<std::unique_ptr<Transport>> queue_;
+};
+
+TEST(Fabric, ReconnectMidLeaseResumesWithoutRequeueAndDropsWireDuplicates) {
+  const obs::RunManifest manifest = fabric_manifest();
+  const std::vector<SweepPoint> points = synthetic_points(1, 2, 900);
+
+  FabricOptions options;
+  options.lease_ms = 10000;  // nothing expires during the scripted exchange
+  options.lease_batch = 2;
+
+  auto now = std::make_shared<std::atomic<std::uint64_t>>(1000);
+  ManualListener listener;
+  const std::uint64_t kSession = 77;
+
+  std::thread worker([&] {
+    const auto stamped = [&](FabricMessage m, std::uint64_t seq) {
+      m.session = kSession;
+      m.seq = seq;
+      return m;
+    };
+
+    // Connection A: hello, take the lease, deliver HALF of it, then break.
+    auto [a_coord, a_worker] = make_loopback_transport();
+    listener.offer(std::move(a_coord));
+    send(*a_worker, stamped(make_message(FabricMessage::Type::kHello, 0), 1));
+    const std::optional<FabricMessage> welcome_a = next_message(*a_worker);
+    ASSERT_TRUE(welcome_a.has_value());
+    ASSERT_EQ(welcome_a->type, FabricMessage::Type::kWelcome);
+    const std::optional<FabricMessage> lease = next_message(*a_worker);
+    ASSERT_TRUE(lease.has_value());
+    ASSERT_EQ(lease->type, FabricMessage::Type::kLease);
+    ASSERT_EQ(lease->trials.size(), 2u);
+    FabricMessage first = make_message(FabricMessage::Type::kResult, 0,
+                                       lease->lease);
+    first.record = result_line(points, lease->point, lease->trials[0]);
+    send(*a_worker, stamped(first, 2));
+    a_worker->sever();  // the network eats the connection mid-lease
+
+    // Connection B: same session re-hellos; the coordinator transplants it
+    // into the same slot and the LIVE lease keeps running — the second
+    // trial is delivered under the original lease id, no requeue.
+    auto [b_coord, b_worker] = make_loopback_transport();
+    listener.offer(std::move(b_coord));
+    send(*b_worker, stamped(make_message(FabricMessage::Type::kHello, 0), 1));
+    const std::optional<FabricMessage> welcome_b = next_message(*b_worker);
+    ASSERT_TRUE(welcome_b.has_value());
+    ASSERT_EQ(welcome_b->type, FabricMessage::Type::kWelcome);
+    FabricMessage second = make_message(FabricMessage::Type::kResult, 0,
+                                        lease->lease);
+    second.record = result_line(points, lease->point, lease->trials[1]);
+    const std::string wire = encode_fabric_message(stamped(second, 2));
+    // The wire duplicates the line: the seq window must discard the copy.
+    (void)b_worker->send_line(wire);
+    (void)b_worker->send_line(wire);
+
+    const std::optional<FabricMessage> fin = next_message(*b_worker);
+    ASSERT_TRUE(fin.has_value());
+    ASSERT_EQ(fin->type, FabricMessage::Type::kShutdown);
+    send(*b_worker, stamped(make_message(FabricMessage::Type::kBye, 0), 3));
+  });
+
+  FabricCoordinator coordinator(manifest, options,
+                                [now] { return now->load(); });
+  const SweepReport report = coordinator.run(points, {}, &listener);
+  worker.join();
+
+  EXPECT_FALSE(report.interrupted);
+  ASSERT_EQ(report.points.size(), 1u);
+  for (std::size_t trial = 0; trial < 2; ++trial) {
+    EXPECT_EQ(report.points[0][trial].rounds,
+              synthetic_result(trial_seed(900, trial)).rounds);
+  }
+  const FabricStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.reconnects, 1u);
+  EXPECT_EQ(stats.trials_requeued, 0u);   // the lease survived the break
+  EXPECT_EQ(stats.leases_granted, 1u);
+  EXPECT_EQ(stats.leases_completed, 1u);
+  EXPECT_EQ(stats.leases_expired, 0u);
+  EXPECT_EQ(stats.stale_seq_discarded, 1u);  // the duplicated result line
+  EXPECT_EQ(stats.worker_deaths, 0u);
+  EXPECT_EQ(stats.liveness_deaths, 0u);
+}
+
+TEST(Fabric, HalfOpenWorkerIsDeclaredDeadByLivenessAndTrialsRequeue) {
+  const obs::RunManifest manifest = fabric_manifest();
+  const std::vector<SweepPoint> points = synthetic_points(1, 2, 950);
+
+  FabricOptions options;
+  options.lease_ms = 10000;   // the lease deadline is far away...
+  options.liveness_ms = 500;  // ...so death can only come from liveness
+  options.lease_batch = 2;
+
+  auto now = std::make_shared<std::atomic<std::uint64_t>>(1000);
+  ManualListener listener;
+
+  std::thread worker([&] {
+    auto [coord_side, worker_side] = make_loopback_transport();
+    listener.offer(std::move(coord_side));
+    FabricMessage hello = make_message(FabricMessage::Type::kHello, 0);
+    hello.session = 55;
+    hello.seq = 1;
+    send(*worker_side, hello);
+    const std::optional<FabricMessage> welcome = next_message(*worker_side);
+    ASSERT_TRUE(welcome.has_value());
+    const std::optional<FabricMessage> lease = next_message(*worker_side);
+    ASSERT_TRUE(lease.has_value());
+    ASSERT_EQ(lease->type, FabricMessage::Type::kLease);
+    ASSERT_EQ(lease->trials.size(), 2u);
+
+    // Half-open: the worker goes silent but its connection never EOFs.
+    // Advance past the liveness deadline; the coordinator must sever us.
+    now->store(2003);  // 1003ms since the hello, liveness is 500
+    while (!worker_side->closed()) {
+      worker_side->wait_readable(10);
+      std::string drained;
+      while (worker_side->poll_line(&drained)) {
+      }
+    }
+    // No worker ever comes back: after one more liveness window the
+    // coordinator declares the sweep stranded instead of waiting forever.
+    now->store(2604);
+  });
+
+  FabricCoordinator coordinator(manifest, options,
+                                [now] { return now->load(); });
+  const SweepReport report = coordinator.run(points, {}, &listener);
+  worker.join();
+
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_TRUE(report.points.empty());
+  EXPECT_EQ(report.executed_trials, 0u);
+  const FabricStats& stats = coordinator.stats();
+  EXPECT_EQ(stats.liveness_deaths, 1u);
+  EXPECT_EQ(stats.worker_deaths, 1u);  // a liveness death is a death
+  EXPECT_EQ(stats.leases_expired, 1u);
+  EXPECT_EQ(stats.trials_requeued, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over real TCP with chaos-decorated network workers
+// ---------------------------------------------------------------------------
+
+TEST(Fabric, TcpWorkersUnderWireChaosReproduceSweepRunnerByteForByte) {
+  const obs::RunManifest manifest = fabric_manifest();
+  // The trials carry a few ms of (result-neutral) work each: an instant
+  // sweep can drain entirely before the severing worker's reconnect lands,
+  // which would make the reconnect assertion below a coin flip on slow
+  // hosts. ~60ms of serialized work guarantees the sweep is still running
+  // when the redial (1-2ms backoff) arrives.
+  std::vector<SweepPoint> points = synthetic_points(2, 10, 1100);
+  for (SweepPoint& p : points) {
+    auto inner = p.body;
+    p.body = [inner](std::uint64_t seed, const TrialCancel* cancel) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      return inner(seed, cancel);
+    };
+  }
+
+  SweepRunner control(manifest, ResilienceOptions{});
+  const SweepReport expected = control.run(synthetic_points(2, 10, 1100), 2);
+
+  FabricOptions options;
+  options.lease_ms = 600;
+  options.heartbeat_ms = 20;
+  options.lease_batch = 2;
+
+  TcpListener listener(parse_host_port("127.0.0.1:0"));
+  const std::string addr = "127.0.0.1:" + std::to_string(listener.port());
+
+  obs::MetricRegistry coord_metrics;
+  options.metrics = &coord_metrics;
+  FabricCoordinator coordinator(manifest, options);
+  SweepReport report;
+  std::thread coord([&] { report = coordinator.run(points, {}, &listener); });
+
+  // Three real network workers: one under drop+dup+reorder wire chaos, one
+  // clean, one with a forced deterministic mid-run sever (exactly one
+  // reconnect). All dial the coordinator like `mtm_soak --connect` would.
+  std::vector<std::thread> threads;
+  std::vector<int> exit_codes(3, -1);
+  for (std::size_t w = 0; w < 3; ++w) {
+    threads.emplace_back([&, w] {
+      FabricOptions wopts = options;
+      wopts.metrics = nullptr;
+      wopts.connect = addr;
+      if (w == 0) {
+        wopts.net_chaos.drop = 0.1;
+        wopts.net_chaos.duplicate = 0.1;
+        wopts.net_chaos.reorder = 0.1;
+        wopts.net_chaos.seed = 21;
+      } else if (w == 2) {
+        // Severed holding a live lease (line 4 falls inside its second
+        // lease); the near-instant redial must be transplanted back into
+        // the same slot for the sweep to finish before that lease expires.
+        wopts.net_chaos.sever_after = 4;
+        wopts.net_chaos.seed = 22;
+        wopts.net_backoff_ms = 1;
+        wopts.net_backoff_max_ms = 2;
+      }
+      exit_codes[w] = run_fabric_net_worker(points, manifest, wopts);
+    });
+  }
+
+  for (std::thread& t : threads) t.join();
+  coord.join();
+
+  EXPECT_EQ(exit_codes[0], 0);
+  EXPECT_EQ(exit_codes[1], 0);
+  EXPECT_EQ(exit_codes[2], 0);
+  EXPECT_FALSE(report.interrupted);
+  expect_same_results(report, expected);
+
+  const FabricStats& stats = coordinator.stats();
+  EXPECT_GE(stats.reconnects, 1u);  // worker 2's forced sever came back
+  EXPECT_EQ(stats.leases_granted,
+            stats.leases_completed + stats.leases_expired +
+                stats.leases_aborted);
 }
 
 }  // namespace

@@ -1,0 +1,404 @@
+// Network transport stack: host:port parsing, the StreamTransport
+// wait_readable EINTR/POLLHUP regression, TCP listener/dialer round-trips
+// on 127.0.0.1, deterministic dial backoff, and the FaultyTransport wire
+// fault decorator (bit-identical schedules per seed, truncations always
+// caught by the journal-record parse, every fault counted).
+#include "harness/net_transport.hpp"
+
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "harness/checkpoint.hpp"
+#include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
+
+namespace mtm {
+namespace {
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// parse_host_port
+// ---------------------------------------------------------------------------
+
+TEST(ParseHostPort, AcceptsHostColonPortIncludingEphemeralZero) {
+  const HostPort a = parse_host_port("127.0.0.1:7700");
+  EXPECT_EQ(a.host, "127.0.0.1");
+  EXPECT_EQ(a.port, 7700);
+  const HostPort b = parse_host_port("0.0.0.0:0");
+  EXPECT_EQ(b.host, "0.0.0.0");
+  EXPECT_EQ(b.port, 0);
+  EXPECT_EQ(parse_host_port("localhost:65535").port, 65535);
+}
+
+TEST(ParseHostPort, RejectsMissingPartsAndBadPorts) {
+  EXPECT_THROW(parse_host_port("127.0.0.1"), TransportError);
+  EXPECT_THROW(parse_host_port(":7700"), TransportError);
+  EXPECT_THROW(parse_host_port("host:"), TransportError);
+  EXPECT_THROW(parse_host_port("host:port"), TransportError);
+  EXPECT_THROW(parse_host_port("host:65536"), TransportError);
+  EXPECT_THROW(parse_host_port("host:-1"), TransportError);
+}
+
+// ---------------------------------------------------------------------------
+// StreamTransport wait_readable (EINTR / hangup regression)
+// ---------------------------------------------------------------------------
+
+void noop_handler(int) {}
+
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() {
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  }
+  ~SocketPair() {
+    // fds handed to a StreamTransport are owned (and closed) by it.
+    for (const int fd : fds) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+  int take(int side) {
+    const int fd = fds[side];
+    fds[side] = -1;
+    return fd;
+  }
+};
+
+TEST(StreamTransport, WaitReadableSurvivesEintrUntilDataArrives) {
+  // Regression: the old implementation returned poll() > 0 directly, so a
+  // signal landing mid-wait (SIGCHLD from a dying worker) turned into a
+  // spurious timeout — and a caller sleeping out a long deadline would
+  // never see data that arrived right after the signal.
+  struct sigaction sa = {};
+  struct sigaction old = {};
+  sa.sa_handler = noop_handler;  // deliberately no SA_RESTART
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  SocketPair pair;
+  StreamTransport transport(pair.take(0));
+  const int peer = pair.take(1);
+  const pthread_t waiter = ::pthread_self();
+
+  std::thread prodder([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ::pthread_kill(waiter, SIGUSR1);  // interrupts the poll
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_EQ(::write(peer, "ping\n", 5), 5);
+  });
+
+  const std::uint64_t start = now_ms();
+  EXPECT_TRUE(transport.wait_readable(5000));
+  EXPECT_LT(now_ms() - start, 4000u);  // data, not the timeout, woke us
+  prodder.join();
+  std::string line;
+  ASSERT_TRUE(transport.poll_line(&line));
+  EXPECT_EQ(line, "ping");
+  ::close(peer);
+  ::sigaction(SIGUSR1, &old, nullptr);
+}
+
+TEST(StreamTransport, WaitReadableHonorsTotalTimeoutAcrossEintr) {
+  struct sigaction sa = {};
+  struct sigaction old = {};
+  sa.sa_handler = noop_handler;
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  SocketPair pair;
+  StreamTransport transport(pair.take(0));
+  const int peer = pair.take(1);
+  const pthread_t waiter = ::pthread_self();
+
+  std::atomic<bool> stop{false};
+  std::thread prodder([&] {
+    // A stream of interruptions must not extend (or abort) the deadline.
+    while (!stop.load()) {
+      ::pthread_kill(waiter, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  const std::uint64_t start = now_ms();
+  EXPECT_FALSE(transport.wait_readable(80));  // pure timeout: no data
+  const std::uint64_t elapsed = now_ms() - start;
+  stop.store(true);
+  prodder.join();
+  EXPECT_GE(elapsed, 75u);
+  EXPECT_LT(elapsed, 3000u);
+  ::close(peer);
+  ::sigaction(SIGUSR1, &old, nullptr);
+}
+
+TEST(StreamTransport, WaitReadableReportsPeerHangupImmediately) {
+  SocketPair pair;
+  StreamTransport transport(pair.take(0));
+  const int peer = pair.take(1);
+  ASSERT_EQ(::write(peer, "tail\n", 5), 5);
+  ::close(peer);  // POLLHUP (+ pending data) from now on
+
+  const std::uint64_t start = now_ms();
+  EXPECT_TRUE(transport.wait_readable(5000));
+  EXPECT_LT(now_ms() - start, 1000u);
+  std::string line;
+  ASSERT_TRUE(transport.poll_line(&line));
+  EXPECT_EQ(line, "tail");
+  EXPECT_TRUE(transport.closed());
+}
+
+// ---------------------------------------------------------------------------
+// TCP listener / dialer
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Transport> accept_one(TcpListener& listener) {
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (std::unique_ptr<Transport> conn = listener.accept()) return conn;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return nullptr;
+}
+
+TEST(TcpTransport, LoopbackRoundTripOnEphemeralPort) {
+  TcpListener listener(parse_host_port("127.0.0.1:0"));
+  ASSERT_GT(listener.port(), 0);
+
+  TcpConnectOptions dial;
+  dial.attempts = 3;
+  std::unique_ptr<Transport> client =
+      tcp_connect(HostPort{"127.0.0.1", listener.port()}, dial);
+  ASSERT_NE(client, nullptr);
+  std::unique_ptr<Transport> server = accept_one(listener);
+  ASSERT_NE(server, nullptr);
+
+  ASSERT_TRUE(client->send_line("hello over tcp"));
+  ASSERT_TRUE(server->wait_readable(5000));
+  std::string line;
+  ASSERT_TRUE(server->poll_line(&line));
+  EXPECT_EQ(line, "hello over tcp");
+
+  ASSERT_TRUE(server->send_line("right back"));
+  ASSERT_TRUE(client->wait_readable(5000));
+  ASSERT_TRUE(client->poll_line(&line));
+  EXPECT_EQ(line, "right back");
+
+  // Severing one side surfaces as EOF on the other.
+  client->sever();
+  for (int spin = 0; spin < 2000 && !server->closed(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(server->closed());
+}
+
+TEST(TcpTransport, ConnectExhaustionReturnsNullWithDeterministicBackoff) {
+  // Bind an ephemeral port, then close it: connecting there is refused.
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener scratch(parse_host_port("127.0.0.1:0"));
+    dead_port = scratch.port();
+  }
+  const auto dial_and_record = [dead_port](std::uint64_t seed) {
+    std::vector<std::uint64_t> sleeps;
+    TcpConnectOptions dial;
+    dial.attempts = 4;
+    dial.backoff_ms = 10;
+    dial.backoff_max_ms = 25;
+    dial.jitter_seed = seed;
+    dial.sleep_ms = [&sleeps](std::uint64_t ms) { sleeps.push_back(ms); };
+    EXPECT_EQ(tcp_connect(HostPort{"127.0.0.1", dead_port}, dial), nullptr);
+    return sleeps;
+  };
+
+  const std::vector<std::uint64_t> first = dial_and_record(7);
+  // attempts-1 backoffs; base doubles 10 -> 20 -> capped 25, plus jitter
+  // in [0, base).
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_GE(first[0], 10u);
+  EXPECT_LT(first[0], 20u);
+  EXPECT_GE(first[1], 20u);
+  EXPECT_LT(first[1], 40u);
+  EXPECT_GE(first[2], 25u);
+  EXPECT_LT(first[2], 50u);
+  // The jitter stream is seeded: the schedule replays bit-identically.
+  EXPECT_EQ(dial_and_record(7), first);
+  EXPECT_NE(dial_and_record(8), first);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyTransport
+// ---------------------------------------------------------------------------
+
+/// Send-side recorder: captures exactly what the decorator delivers.
+class RecordingTransport final : public Transport {
+ public:
+  bool send_line(const std::string& line) override {
+    sent.push_back(line);
+    return !severed;
+  }
+  bool poll_line(std::string*) override { return false; }
+  bool wait_readable(int) override { return false; }
+  bool closed() override { return severed; }
+  void sever() override { severed = true; }
+  int fd() const override { return -1; }
+
+  std::vector<std::string> sent;
+  bool severed = false;
+};
+
+WireFaultConfig chaos_config(std::uint64_t seed) {
+  WireFaultConfig cfg;
+  cfg.drop = 0.15;
+  cfg.truncate = 0.15;
+  cfg.reorder = 0.15;
+  cfg.duplicate = 0.15;
+  cfg.delay_ms = 20;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Runs `lines` through a FaultyTransport over a fake clock and returns
+/// what reached the wire (decorator flushed via sever at the end).
+std::pair<std::vector<std::string>, WireFaultCounts> run_schedule(
+    const WireFaultConfig& cfg, const std::vector<std::string>& lines,
+    obs::MetricRegistry* metrics = nullptr) {
+  auto inner = std::make_unique<RecordingTransport>();
+  RecordingTransport* recorder = inner.get();
+  auto clock_value = std::make_shared<std::uint64_t>(1000);
+  FaultyTransport faulty(std::move(inner), cfg, metrics,
+                         [clock_value] { return *clock_value; });
+  for (const std::string& line : lines) {
+    (void)faulty.send_line(line);
+    *clock_value += 7;  // fake time marches; delayed lines come due
+  }
+  const WireFaultCounts counts = faulty.counts();
+  faulty.sever();  // flush every held/delayed line
+  return {recorder->sent, counts};
+}
+
+TEST(FaultyTransport, SameSeedProducesBitIdenticalSchedules) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 200; ++i) {
+    lines.push_back("line payload number " + std::to_string(i));
+  }
+  const auto [wire_a, counts_a] = run_schedule(chaos_config(42), lines);
+  const auto [wire_b, counts_b] = run_schedule(chaos_config(42), lines);
+  EXPECT_EQ(wire_a, wire_b);
+  EXPECT_EQ(counts_a.lines, 200u);
+  EXPECT_EQ(counts_a.dropped, counts_b.dropped);
+  EXPECT_EQ(counts_a.truncated, counts_b.truncated);
+  EXPECT_EQ(counts_a.reordered, counts_b.reordered);
+  EXPECT_EQ(counts_a.duplicated, counts_b.duplicated);
+  EXPECT_EQ(counts_a.delayed, counts_b.delayed);
+  // Every fault class actually fired at these rates over 200 lines.
+  EXPECT_GT(counts_a.dropped, 0u);
+  EXPECT_GT(counts_a.truncated, 0u);
+  EXPECT_GT(counts_a.reordered, 0u);
+  EXPECT_GT(counts_a.duplicated, 0u);
+  EXPECT_GT(counts_a.delayed, 0u);
+  // Nothing vanished except the drops: delivered >= offered - dropped
+  // (duplicates add lines on top).
+  EXPECT_GE(wire_a.size(), lines.size() - counts_a.dropped);
+
+  const auto [wire_c, counts_c] = run_schedule(chaos_config(43), lines);
+  EXPECT_NE(wire_a, wire_c);  // a different seed is a different schedule
+  (void)counts_c;
+}
+
+TEST(FaultyTransport, TruncatedRecordLinesAlwaysFailTheJournalParse) {
+  // The wire payload workers actually send: a checksummed journal record.
+  JournalRecord rec;
+  rec.point = 3;
+  rec.trial = 9;
+  rec.seed = 12345;
+  rec.attempts = 1;
+  rec.result.rounds = 17;
+  rec.result.converged = true;
+  const std::string line = journal_record_line(rec);
+
+  WireFaultConfig cfg;
+  cfg.truncate = 0.9;
+  cfg.seed = 5;
+  const auto [wire, counts] =
+      run_schedule(cfg, std::vector<std::string>(60, line));
+  ASSERT_GT(counts.truncated, 0u);
+  std::uint64_t rejected = 0;
+  for (const std::string& delivered : wire) {
+    if (delivered == line) {
+      EXPECT_NO_THROW(parse_journal_record(delivered));
+    } else {
+      // Any cut, anywhere in the line, must be caught — the record's
+      // checksum/parse is the fabric's CRC against mid-line truncation.
+      EXPECT_THROW(parse_journal_record(delivered), JournalError);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, counts.truncated);
+}
+
+TEST(FaultyTransport, SeverAfterSeversExactlyOnceAtTheConfiguredLine) {
+  auto inner = std::make_unique<RecordingTransport>();
+  RecordingTransport* recorder = inner.get();
+  WireFaultConfig cfg;
+  cfg.sever_after = 3;
+  FaultyTransport faulty(std::move(inner), cfg, nullptr, [] {
+    return std::uint64_t{0};
+  });
+  EXPECT_TRUE(faulty.send_line("one"));
+  EXPECT_TRUE(faulty.send_line("two"));
+  EXPECT_FALSE(faulty.send_line("three"));  // trigger line: sent, then cut
+  EXPECT_FALSE(faulty.send_line("four"));   // dead thereafter
+  EXPECT_TRUE(recorder->severed);
+  EXPECT_EQ(faulty.counts().severed, 1u);
+  ASSERT_EQ(recorder->sent.size(), 3u);
+  EXPECT_EQ(recorder->sent[2], "three");
+}
+
+TEST(FaultyTransport, ExportsEveryFaultToMetricsRegistry) {
+  obs::MetricRegistry metrics;
+  std::vector<std::string> lines;
+  for (int i = 0; i < 150; ++i) {
+    lines.push_back("metric probe " + std::to_string(i));
+  }
+  const auto [wire, counts] = run_schedule(chaos_config(9), lines, &metrics);
+  (void)wire;
+  EXPECT_EQ(metrics.counter("fabric.net.lines").value(), counts.lines);
+  EXPECT_EQ(metrics.counter("fabric.net.dropped").value(), counts.dropped);
+  EXPECT_EQ(metrics.counter("fabric.net.truncated").value(),
+            counts.truncated);
+  EXPECT_EQ(metrics.counter("fabric.net.reordered").value(),
+            counts.reordered);
+  EXPECT_EQ(metrics.counter("fabric.net.duplicated").value(),
+            counts.duplicated);
+  EXPECT_EQ(metrics.counter("fabric.net.delayed").value(), counts.delayed);
+}
+
+TEST(FaultyTransport, RejectsProbabilityOutsideHalfOpenUnitInterval) {
+  WireFaultConfig cfg;
+  cfg.drop = 1.0;  // would loop forever: every line vanishes
+  EXPECT_THROW(
+      FaultyTransport(std::make_unique<RecordingTransport>(), cfg),
+      ContractError);
+  cfg.drop = 0.0;
+  cfg.truncate = -0.1;
+  EXPECT_THROW(
+      FaultyTransport(std::make_unique<RecordingTransport>(), cfg),
+      ContractError);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -173,9 +173,11 @@ int run(const CliArgs& args) {
   // SweepPoint through the resilient sweep stack instead of the plain
   // harness fan-out. Seeds derive identically either way (trial_seed of the
   // master), so the per-trial results match the plain path.
-  const bool sweep_mode =
-      fabric.workers > 0 || !resilience.journal_path.empty();
+  const bool sweep_mode = fabric.workers > 0 || !fabric.listen.empty() ||
+                          !fabric.connect.empty() ||
+                          !resilience.journal_path.empty();
   bool sweep_interrupted = false;
+  int net_worker_rc = -1;
   const auto run_sweep_point = [&](SweepPoint point) {
     install_interrupt_handler();
     resilience.interrupt = &interrupt_token();
@@ -196,16 +198,38 @@ int run(const CliArgs& args) {
     std::vector<SweepPoint> points;
     points.push_back(std::move(point));
     SweepReport sweep;
-    if (fabric.workers > 0) {
+    if (!fabric.connect.empty()) {
+      // Network worker: execute leased trials for a remote coordinator and
+      // exit — the coordinator owns the merged results, so there is nothing
+      // to summarize locally.
+      fabric.resilience = resilience;
+      net_worker_rc = run_fabric_net_worker(points, manifest, fabric);
+      return std::vector<RunResult>{};
+    }
+    if (fabric.workers > 0 || !fabric.listen.empty()) {
       fabric.resilience = resilience;
       FabricRunner runner(manifest, fabric);
+      if (!fabric.listen.empty()) {
+        // Printed (and flushed) before run() blocks so workers can scrape
+        // the port even under an ephemeral :0 bind.
+        std::cout << "fabric: listening on port " << runner.bound_port()
+                  << std::endl;
+      }
       sweep = runner.run(points);
       const FabricStats& fs = runner.stats();
-      std::cout << "fabric: " << fabric.workers << " worker(s), "
+      std::cout << "fabric: "
+                << (fabric.listen.empty()
+                        ? std::to_string(fabric.workers) + " worker(s), "
+                        : std::string("network coordinator, "))
                 << fs.leases_granted << " lease(s) granted, "
                 << fs.leases_expired << " expired, " << fs.trials_requeued
                 << " trial(s) requeued, " << fs.worker_deaths
-                << " worker death(s)\n";
+                << " worker death(s)";
+      if (fs.reconnects > 0) std::cout << ", " << fs.reconnects
+                                       << " reconnect(s)";
+      if (fs.liveness_deaths > 0) std::cout << ", " << fs.liveness_deaths
+                                            << " liveness death(s)";
+      std::cout << "\n";
     } else {
       SweepRunner runner(manifest, resilience);
       sweep = runner.run(points, ThreadPool::default_thread_count());
@@ -284,6 +308,11 @@ int run(const CliArgs& args) {
     } else {
       results = run_leader_experiment(spec);
     }
+  }
+
+  if (net_worker_rc >= 0) {
+    std::cout << "net worker: done (exit " << net_worker_rc << ")\n";
+    return net_worker_rc;
   }
 
   if (sweep_interrupted) {

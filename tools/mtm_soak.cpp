@@ -236,25 +236,61 @@ int run(const CliArgs& args) {
 
   const obs::RunManifest manifest = soak_manifest(cfg);
   obs::MetricRegistry metrics;
+
+  if (!fabric.connect.empty()) {
+    // Network-worker mode: dial the coordinator, execute leased trials, and
+    // exit. There is no report to write — the coordinator owns the merged
+    // aggregates; this process only contributes results over the wire.
+    fabric.resilience = resilience;
+    fabric.metrics = &metrics;
+    const int rc = run_fabric_net_worker(points, manifest, fabric);
+    std::cout << "net worker: done (exit " << rc << "), "
+              << metrics.counter("fabric.reconnects").value()
+              << " reconnect(s)";
+    if (fabric.net_chaos.any()) {
+      std::cout << ", wire chaos on (seed " << fabric.net_chaos.seed << ")";
+    }
+    std::cout << "\n";
+    return rc;
+  }
+
   SweepReport sweep;
   FabricStats fabric_stats;
-  if (fabric.workers > 0) {
+  if (fabric.workers > 0 || !fabric.listen.empty()) {
     // Coordinator/worker mode: fork the workers (before any thread-pool
-    // threads exist) and let the coordinator merge. Aggregates are
-    // byte-identical to the SweepRunner path below — same seeds, same
-    // (point, trial) slots, same manifest.
+    // threads exist) or, with --listen, accept remote ones over TCP; the
+    // coordinator merges either way. Aggregates are byte-identical to the
+    // SweepRunner path below — same seeds, same (point, trial) slots, same
+    // manifest.
     fabric.resilience = resilience;
     fabric.metrics = &metrics;
     FabricRunner runner(manifest, fabric);
+    if (!fabric.listen.empty()) {
+      // Printed (and flushed) before run() blocks so workers can scrape the
+      // port from the coordinator's output even under an ephemeral :0 bind.
+      std::cout << "fabric: listening on port " << runner.bound_port()
+                << std::endl;
+    }
     sweep = runner.run(points);
     fabric_stats = runner.stats();
-    std::cout << "fabric: " << fabric.workers << " worker(s), "
-              << fabric_stats.leases_granted << " lease(s) granted, "
+    if (!fabric.listen.empty()) {
+      std::cout << "fabric: network coordinator, ";
+    } else {
+      std::cout << "fabric: " << fabric.workers << " worker(s), ";
+    }
+    std::cout << fabric_stats.leases_granted << " lease(s) granted, "
               << fabric_stats.leases_expired << " expired, "
               << fabric_stats.trials_requeued << " trial(s) requeued, "
               << fabric_stats.worker_deaths << " worker death(s)";
     if (fabric_stats.chaos_kills > 0) {
       std::cout << " (" << fabric_stats.chaos_kills << " chaos kill(s))";
+    }
+    if (fabric_stats.reconnects > 0) {
+      std::cout << ", " << fabric_stats.reconnects << " reconnect(s)";
+    }
+    if (fabric_stats.liveness_deaths > 0) {
+      std::cout << ", " << fabric_stats.liveness_deaths
+                << " liveness death(s)";
     }
     std::cout << "\n";
   } else {
