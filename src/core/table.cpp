@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <ostream>
 #include <sstream>
 
@@ -118,10 +119,19 @@ void Table::print(std::ostream& os, const std::string& title) const {
 bool Table::maybe_write_csv(const std::string& name) const {
   const char* dir = std::getenv("MTM_BENCH_CSV");
   if (dir == nullptr || *dir == '\0') return false;
-  std::ofstream out(std::string(dir) + "/" + name + ".csv");
-  if (!out) return false;
-  out << to_csv();
-  return static_cast<bool>(out);
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (out) {
+    out << to_csv();
+    out.flush();  // surface ENOSPC/EIO here, not at silent destructor time
+  }
+  if (!out) {
+    // The user explicitly asked for CSVs via MTM_BENCH_CSV; most callers
+    // discard the bool, so a quiet false would read as "wrote it".
+    std::cerr << "warning: cannot write CSV " << path << "\n";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace mtm

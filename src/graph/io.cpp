@@ -57,6 +57,9 @@ void save_edge_list(const std::string& path, const Graph& g) {
   std::ofstream out(path);
   if (!out) throw GraphParseError("cannot open for writing: " + path);
   write_edge_list(out, g);
+  // Drain the stream buffer before checking: a full disk discovered at
+  // implicit destructor-flush time would be swallowed silently.
+  out.flush();
   if (!out) throw GraphParseError("write failed: " + path);
 }
 

@@ -88,14 +88,33 @@ void check_crc(const JsonValue& parsed, const JsonValue& canonical,
   }
 }
 
-std::vector<std::string> read_lines(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw JournalError("cannot open journal: " + path);
+Storage& resolve_storage(Storage* storage) {
+  return storage != nullptr ? *storage : default_storage();
+}
+
+std::vector<std::string> read_lines(Storage& storage,
+                                    const std::string& path) {
+  std::string text;
+  try {
+    text = storage.read_file(path);
+  } catch (const StorageError& e) {
+    throw JournalError("cannot open journal: " + path + ": " + e.what());
+  }
+  // getline semantics: a trailing newline does not produce an empty final
+  // line, and a final line without one is still returned.
   std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) {
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    std::string line = text.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    lines.push_back(line);
+    if (end == std::string::npos) {
+      if (!line.empty()) lines.push_back(std::move(line));
+      break;
+    }
+    lines.push_back(std::move(line));
+    start = end + 1;
   }
   return lines;
 }
@@ -131,8 +150,10 @@ JournalRecord parse_journal_record(const std::string& line) {
   return r;
 }
 
-TrialJournal::Contents TrialJournal::load(const std::string& path) {
-  const std::vector<std::string> lines = read_lines(path);
+TrialJournal::Contents TrialJournal::load(const std::string& path,
+                                          Storage* storage) {
+  const std::vector<std::string> lines =
+      read_lines(resolve_storage(storage), path);
   if (lines.empty()) throw JournalError("empty journal: " + path);
 
   Contents contents;
@@ -182,12 +203,18 @@ TrialJournal::Contents TrialJournal::load(const std::string& path) {
 }
 
 TrialJournal TrialJournal::create(const std::string& path,
-                                  const obs::RunManifest& manifest) {
+                                  const obs::RunManifest& manifest,
+                                  Storage* storage,
+                                  JournalFsyncPolicy fsync_policy) {
   TrialJournal journal;
   journal.path_ = path;
+  journal.storage_ = &resolve_storage(storage);
+  journal.fsync_policy_ = fsync_policy;
   journal.manifest_ = manifest.to_json();
   journal.fingerprint_ = obs::manifest_fingerprint(journal.manifest_);
-  if (!obs::write_text_atomic(path, journal.serialized())) {
+  obs::remove_orphan_temps(*journal.storage_, path);
+  if (!obs::write_text_atomic(*journal.storage_, path,
+                              journal.serialized())) {
     throw JournalError("cannot write journal: " + path);
   }
   journal.reopen_append();
@@ -195,8 +222,10 @@ TrialJournal TrialJournal::create(const std::string& path,
 }
 
 TrialJournal TrialJournal::open(const std::string& path,
-                                const obs::RunManifest* expected_manifest) {
-  Contents contents = load(path);
+                                const obs::RunManifest* expected_manifest,
+                                Storage* storage,
+                                JournalFsyncPolicy fsync_policy) {
+  Contents contents = load(path, storage);
   if (expected_manifest != nullptr) {
     const obs::JsonValue expected_json = expected_manifest->to_json();
     const std::string expected = obs::manifest_fingerprint(expected_json);
@@ -211,12 +240,18 @@ TrialJournal TrialJournal::open(const std::string& path,
   }
   TrialJournal journal;
   journal.path_ = path;
+  journal.storage_ = &resolve_storage(storage);
+  journal.fsync_policy_ = fsync_policy;
   journal.fingerprint_ = std::move(contents.fingerprint);
   journal.manifest_ = std::move(contents.manifest);
   journal.records_ = std::move(contents.records);
+  // A writer that crashed mid-atomic-write left its unique temp file
+  // behind; sweep them before producing new ones.
+  obs::remove_orphan_temps(*journal.storage_, path);
   // Squash any dropped tail out of the on-disk file before appending again,
   // so the file is whole-record-clean from here on.
-  if (!obs::write_text_atomic(path, journal.serialized())) {
+  if (!obs::write_text_atomic(*journal.storage_, path,
+                              journal.serialized())) {
     throw JournalError("cannot rewrite journal: " + path);
   }
   journal.reopen_append();
@@ -234,23 +269,51 @@ std::string TrialJournal::serialized() const {
 }
 
 void TrialJournal::reopen_append() {
-  out_ = std::make_unique<std::ofstream>(path_,
-                                         std::ios::binary | std::ios::app);
-  if (!*out_) throw JournalError("cannot append to journal: " + path_);
+  try {
+    out_ = storage_->open(path_, Storage::OpenMode::kAppend);
+  } catch (const StorageError& e) {
+    throw JournalError("cannot append to journal: " + path_ + ": " +
+                       e.what());
+  }
+  unsynced_appends_ = 0;
 }
 
 void TrialJournal::append(const JournalRecord& record) {
-  const std::string line = journal_record_line(record);
+  const std::string line = journal_record_line(record) + "\n";
   std::lock_guard<std::mutex> lock(*mutex_);
+  try {
+    out_->append(line);
+    ++unsynced_appends_;
+    const bool sync =
+        fsync_policy_.mode == JournalFsyncPolicy::Mode::kRecord ||
+        (fsync_policy_.mode == JournalFsyncPolicy::Mode::kBatch &&
+         unsynced_appends_ >= fsync_policy_.batch);
+    if (sync) {
+      out_->fsync();
+      unsynced_appends_ = 0;
+    }
+  } catch (const StorageError& e) {
+    // ENOSPC/EIO/poisoned fsync: the caller believes this record is
+    // committed, so the failure must be loud — a silent drop here would
+    // surface much later as a resumed sweep quietly re-running (or worse,
+    // missing) trials. StorageCrash is not caught: simulated power loss
+    // propagates as itself.
+    throw JournalError("journal append failed: " + path_ + ": " + e.what());
+  }
   records_.push_back(record);
-  *out_ << line << '\n';
-  out_->flush();
 }
 
 void TrialJournal::checkpoint() {
   std::lock_guard<std::mutex> lock(*mutex_);
-  out_.reset();  // close the append stream before renaming over the file
-  if (!obs::write_text_atomic(path_, serialized())) {
+  // Close the append handle before renaming over the file. A close failure
+  // is loud too: buffered-at-the-kernel errors can surface here.
+  try {
+    std::unique_ptr<StorageFile> out = std::move(out_);
+    if (out != nullptr) out->close();
+  } catch (const StorageError& e) {
+    throw JournalError("journal close failed: " + path_ + ": " + e.what());
+  }
+  if (!obs::write_text_atomic(*storage_, path_, serialized())) {
     throw JournalError("cannot checkpoint journal: " + path_);
   }
   reopen_append();

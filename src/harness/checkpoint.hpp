@@ -16,8 +16,15 @@
 //     else means real corruption and loading aborts with JournalError —
 //     silently skipping interior records would change aggregates;
 //   * atomic checkpoint — checkpoint() rewrites the validated contents via
-//     temp-file + std::rename (obs::write_text_atomic), so the on-disk file
-//     is periodically squashed back to a provably intact state;
+//     temp-file + rename (obs::write_text_atomic), so the on-disk file is
+//     periodically squashed back to a provably intact state;
+//   * storage routing — every byte flows through a harness/storage.hpp
+//     Storage (default_storage() unless one is passed in), so the
+//     FaultyStorage chaos backend can exercise this exact code under torn
+//     writes, ENOSPC, failed fsync, and crash points. A failed append
+//     throws JournalError carrying path + errno (never a silent drop), and
+//     the JournalFsyncPolicy decides when appended records reach stable
+//     storage (record | batch:N | none; checkpoints are always durable);
 //   * fingerprint keying — resuming against a journal whose fingerprint
 //     does not match the current run's manifest is a hard error carrying a
 //     manifest_diff of the two configurations. Trial seeds derive only from
@@ -29,13 +36,13 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "harness/storage.hpp"
 #include "obs/manifest.hpp"
 #include "sim/runner.hpp"
 
@@ -68,18 +75,25 @@ struct JournalRecord {
 class TrialJournal {
  public:
   /// Creates (truncating any previous file) a journal for `manifest` and
-  /// writes the header. Throws JournalError when the file cannot be opened.
+  /// writes the header; orphaned temp files from a previously crashed
+  /// writer are removed first. `storage` null means default_storage().
+  /// Throws JournalError when the file cannot be written.
   static TrialJournal create(const std::string& path,
-                             const obs::RunManifest& manifest);
+                             const obs::RunManifest& manifest,
+                             Storage* storage = nullptr,
+                             JournalFsyncPolicy fsync_policy = {});
 
   /// Opens an existing journal for resume: validates the header and every
   /// record, drops a checksum-failing tail record (interrupted append),
   /// aborts with JournalError on interior corruption, then atomically
-  /// rewrites the validated contents and reopens for append. When
-  /// `expected_manifest` is non-null its fingerprint must match the
-  /// journal's; a mismatch throws JournalError embedding manifest_diff.
+  /// rewrites the validated contents and reopens for append (orphaned temp
+  /// files are removed first). When `expected_manifest` is non-null its
+  /// fingerprint must match the journal's; a mismatch throws JournalError
+  /// embedding manifest_diff.
   static TrialJournal open(const std::string& path,
-                           const obs::RunManifest* expected_manifest);
+                           const obs::RunManifest* expected_manifest,
+                           Storage* storage = nullptr,
+                           JournalFsyncPolicy fsync_policy = {});
 
   /// Read-only parse with the same validation rules as open().
   struct Contents {
@@ -87,13 +101,16 @@ class TrialJournal {
     obs::JsonValue manifest = obs::JsonValue::object();
     std::vector<JournalRecord> records;
   };
-  static Contents load(const std::string& path);
+  static Contents load(const std::string& path, Storage* storage = nullptr);
 
   TrialJournal(TrialJournal&&) = default;
   TrialJournal& operator=(TrialJournal&&) = default;
 
-  /// Durably appends one record: serialize with checksum, write the line,
-  /// flush the stream. Thread-safe.
+  /// Appends one record: serialize with checksum, write the line, and
+  /// fsync per the journal's JournalFsyncPolicy. A write or fsync failure
+  /// (ENOSPC, EIO, poisoned file) throws JournalError carrying the path
+  /// and errno — a record the caller believes committed is never silently
+  /// dropped. Thread-safe.
   void append(const JournalRecord& record);
 
   /// Atomically rewrites the whole journal (header + records) via
@@ -111,6 +128,10 @@ class TrialJournal {
   const obs::JsonValue& manifest_json() const noexcept { return manifest_; }
   const std::string& path() const noexcept { return path_; }
 
+  const JournalFsyncPolicy& fsync_policy() const noexcept {
+    return fsync_policy_;
+  }
+
  private:
   TrialJournal() = default;
   void reopen_append();
@@ -120,7 +141,10 @@ class TrialJournal {
   std::string fingerprint_;
   obs::JsonValue manifest_ = obs::JsonValue::object();
   std::vector<JournalRecord> records_;
-  std::unique_ptr<std::ofstream> out_;  // append stream (movable wrapper)
+  Storage* storage_ = nullptr;  // never null after create()/open()
+  JournalFsyncPolicy fsync_policy_;
+  std::uint32_t unsynced_appends_ = 0;
+  std::unique_ptr<StorageFile> out_;  // append handle
   std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
 };
 

@@ -332,9 +332,11 @@ int run_fabric_worker_impl(std::shared_ptr<Transport> initial,
     // On resume the shard keeps accumulating this worker's trials across
     // runs (the permutation check spans all of them); a fresh run truncates.
     if (resilience.resume && file_exists(shard_path)) {
-      shard = TrialJournal::open(shard_path, &manifest);
+      shard = TrialJournal::open(shard_path, &manifest, resilience.storage,
+                                 resilience.journal_fsync);
     } else {
-      shard = TrialJournal::create(shard_path, manifest);
+      shard = TrialJournal::create(shard_path, manifest, resilience.storage,
+                                   resilience.journal_fsync);
     }
   };
   open_shard();
@@ -596,9 +598,13 @@ FabricCoordinator::FabricCoordinator(const obs::RunManifest& manifest,
     return;
   }
   if (resilience.resume) {
-    journal_ = TrialJournal::open(resilience.journal_path, &manifest);
+    journal_ = TrialJournal::open(resilience.journal_path, &manifest,
+                                  resilience.storage,
+                                  resilience.journal_fsync);
   } else {
-    journal_ = TrialJournal::create(resilience.journal_path, manifest);
+    journal_ = TrialJournal::create(resilience.journal_path, manifest,
+                                    resilience.storage,
+                                    resilience.journal_fsync);
   }
 }
 

@@ -1,0 +1,670 @@
+#include "harness/storage.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "obs/metrics.hpp"
+
+namespace mtm {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string describe(const std::string& op, const std::string& path,
+                     int error_code, const std::string& detail) {
+  std::string msg = "storage " + op + " failed: " + path;
+  if (error_code != 0) {
+    msg += " (";
+    msg += std::strerror(error_code);
+    msg += ", errno " + std::to_string(error_code) + ")";
+  }
+  if (!detail.empty()) msg += ": " + detail;
+  return msg;
+}
+
+void count(obs::MetricRegistry* metrics, const char* name,
+           std::uint64_t delta = 1) {
+  if (metrics != nullptr) metrics->counter(name).increment(delta);
+}
+
+}  // namespace
+
+StorageError::StorageError(const std::string& op, const std::string& path,
+                           int error_code, const std::string& detail)
+    : std::runtime_error(describe(op, path, error_code, detail)),
+      op_(op),
+      path_(path),
+      error_code_(error_code) {}
+
+StorageCrash::StorageCrash(std::uint64_t op_index)
+    : std::runtime_error("simulated power loss: storage op " +
+                         std::to_string(op_index) +
+                         " is past the crash point"),
+      op_index_(op_index) {}
+
+std::string parent_dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string base_name_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string make_temp_path(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return path + ".tmp." + std::to_string(pid) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+// ---------------------------------------------------------------------------
+// PosixStorage
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class PosixStorageFile final : public StorageFile {
+ public:
+#if defined(__unix__) || defined(__APPLE__)
+  PosixStorageFile(std::string path, int fd, obs::MetricRegistry* metrics)
+      : path_(std::move(path)), fd_(fd), metrics_(metrics) {}
+#else
+  PosixStorageFile(std::string path, std::FILE* file,
+                   obs::MetricRegistry* metrics)
+      : path_(std::move(path)), file_(file), metrics_(metrics) {}
+#endif
+
+  ~PosixStorageFile() override {
+    try {
+      close();
+    } catch (...) {
+      // Destruction must not throw; an error here was already reported by
+      // an explicit close() in every caller that cares.
+    }
+  }
+
+  void append(const char* data, std::size_t size) override {
+#if defined(__unix__) || defined(__APPLE__)
+    if (fd_ < 0) throw StorageError("append", path_, EBADF, "file closed");
+    std::size_t remaining = size;
+    while (remaining > 0) {
+      const ssize_t n = ::write(fd_, data, remaining);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw StorageError("append", path_, errno);
+      }
+      data += n;
+      remaining -= static_cast<std::size_t>(n);
+    }
+#else
+    if (file_ == nullptr) {
+      throw StorageError("append", path_, EBADF, "file closed");
+    }
+    if (std::fwrite(data, 1, size, file_) != size) {
+      throw StorageError("append", path_, errno);
+    }
+#endif
+    count(metrics_, "storage.appends");
+    count(metrics_, "storage.append_bytes", size);
+  }
+
+  void fsync() override {
+#if defined(__unix__) || defined(__APPLE__)
+    if (fd_ < 0) throw StorageError("fsync", path_, EBADF, "file closed");
+    if (::fsync(fd_) != 0) throw StorageError("fsync", path_, errno);
+#else
+    if (file_ == nullptr) {
+      throw StorageError("fsync", path_, EBADF, "file closed");
+    }
+    if (std::fflush(file_) != 0) throw StorageError("fsync", path_, errno);
+#endif
+    count(metrics_, "storage.fsyncs");
+  }
+
+  void close() override {
+#if defined(__unix__) || defined(__APPLE__)
+    if (fd_ < 0) return;
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) throw StorageError("close", path_, errno);
+#else
+    if (file_ == nullptr) return;
+    std::FILE* file = file_;
+    file_ = nullptr;
+    if (std::fclose(file) != 0) throw StorageError("close", path_, errno);
+#endif
+  }
+
+  const std::string& path() const noexcept override { return path_; }
+
+ private:
+  std::string path_;
+#if defined(__unix__) || defined(__APPLE__)
+  int fd_ = -1;
+#else
+  std::FILE* file_ = nullptr;
+#endif
+  obs::MetricRegistry* metrics_;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageFile> PosixStorage::open(const std::string& path,
+                                                OpenMode mode) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int flags = O_WRONLY | O_CREAT | O_CLOEXEC |
+                    (mode == OpenMode::kTruncate ? O_TRUNC : O_APPEND);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) throw StorageError("open", path, errno);
+  return std::make_unique<PosixStorageFile>(path, fd, metrics_);
+#else
+  std::FILE* file =
+      std::fopen(path.c_str(), mode == OpenMode::kTruncate ? "wb" : "ab");
+  if (file == nullptr) throw StorageError("open", path, errno);
+  return std::make_unique<PosixStorageFile>(path, file, metrics_);
+#endif
+}
+
+std::string PosixStorage::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw StorageError("read", path, errno);
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) throw StorageError("read", path, errno);
+  return text.str();
+}
+
+bool PosixStorage::exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+std::uint64_t PosixStorage::file_size(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(path, ec);
+  if (ec) throw StorageError("stat", path, ec.value());
+  return static_cast<std::uint64_t>(size);
+}
+
+void PosixStorage::rename(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    throw StorageError("rename", from, errno, "to " + to);
+  }
+  count(metrics_, "storage.renames");
+}
+
+void PosixStorage::remove(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) {
+    throw StorageError("remove", path, errno);
+  }
+}
+
+void PosixStorage::truncate(const std::string& path, std::uint64_t size) {
+  std::error_code ec;
+  fs::resize_file(path, size, ec);
+  if (ec) throw StorageError("truncate", path, ec.value());
+}
+
+void PosixStorage::sync_dir(const std::string& path_in_dir) {
+#if defined(__unix__) || defined(__APPLE__)
+  // Best-effort: some filesystems refuse directory fsync. By the time this
+  // runs the file data is already synced, so failure only narrows the
+  // power-loss window instead of reopening it.
+  const std::string dir = parent_dir_of(path_in_dir);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+#else
+  (void)path_in_dir;
+#endif
+}
+
+std::vector<std::string> PosixStorage::list_dir(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) throw StorageError("list", dir, ec.value());
+  std::vector<std::string> names;
+  for (const fs::directory_entry& entry : it) {
+    if (entry.is_directory(ec)) continue;
+    names.push_back(entry.path().filename().string());
+  }
+  return names;
+}
+
+Storage& default_storage() {
+  static PosixStorage storage;
+  return storage;
+}
+
+// ---------------------------------------------------------------------------
+// FaultyStorage
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// splitmix64: the fault schedule only needs a small, seedable, well-mixed
+/// stream, not a simulation-grade generator.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+struct FaultyStorage::Impl {
+  Storage& inner;
+  StorageFaultConfig config;
+  obs::MetricRegistry* metrics;
+
+  std::mutex mutex;
+  std::uint64_t ops = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t rng_state;
+  bool crashed = false;
+  bool materialized = false;
+
+  /// Durability bookkeeping per live file name.
+  struct FileState {
+    std::uint64_t durable_size = 0;  ///< bytes that survive power loss
+    std::uint64_t live_size = 0;     ///< bytes the live process observes
+    bool ever_synced = false;
+    bool created = false;  ///< born through this storage (no prior bytes)
+    bool poisoned = false;  ///< a failed fsync froze durable_size forever
+  };
+  std::map<std::string, FileState> files;
+
+  /// A rename whose directory sync has not happened yet: power loss may
+  /// reveal the pre-rename directory (old target content, source file
+  /// still present).
+  struct RenameUndo {
+    std::string from;
+    std::string to;
+    std::string from_durable;
+    bool to_existed = false;
+    std::string to_durable;
+  };
+  std::vector<RenameUndo> undo;
+
+  Impl(Storage& inner_, const StorageFaultConfig& config_,
+       obs::MetricRegistry* metrics_)
+      : inner(inner_),
+        config(config_),
+        metrics(metrics_),
+        rng_state(config_.seed) {}
+
+  /// Advances the crash clock; throws StorageCrash once past the crash
+  /// point (the "disk" is gone — every later op fails the same way).
+  void next_op() {
+    if (crashed) throw StorageCrash(ops);
+    ++ops;
+    if (config.crash_after > 0 && ops > config.crash_after) {
+      crashed = true;
+      count(metrics, "storage.crash_points");
+      throw StorageCrash(ops);
+    }
+  }
+
+  void check_alive() const {
+    if (crashed) throw StorageCrash(ops);
+  }
+
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    const double unit =
+        static_cast<double>(splitmix64(rng_state) >> 11) * 0x1.0p-53;
+    return unit < p;
+  }
+
+  std::uint64_t next_u64() { return splitmix64(rng_state); }
+
+  /// The bytes of `path` that would survive power loss right now.
+  std::string durable_bytes(const std::string& path) {
+    std::string bytes = inner.exists(path) ? inner.read_file(path) : "";
+    const auto it = files.find(path);
+    if (it != files.end() && bytes.size() > it->second.durable_size) {
+      bytes.resize(it->second.durable_size);
+    }
+    return bytes;
+  }
+
+  void write_whole(const std::string& path, const std::string& bytes) {
+    std::unique_ptr<StorageFile> file =
+        inner.open(path, OpenMode::kTruncate);
+    file->append(bytes);
+    file->fsync();
+    file->close();
+  }
+};
+
+FaultyStorage::FaultyStorage(Storage& inner, const StorageFaultConfig& config,
+                             obs::MetricRegistry* metrics)
+    : impl_(std::make_unique<Impl>(inner, config, metrics)) {}
+
+FaultyStorage::~FaultyStorage() = default;
+
+class FaultyStorageFile final : public StorageFile {
+ public:
+  FaultyStorageFile(FaultyStorage::Impl* impl, std::string path,
+                    std::unique_ptr<StorageFile> inner)
+      : impl_(impl), path_(std::move(path)), inner_(std::move(inner)) {}
+
+  ~FaultyStorageFile() override {
+    try {
+      close();
+    } catch (...) {
+    }
+  }
+
+  void append(const char* data, std::size_t size) override {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->next_op();
+    auto& st = impl_->files[path_];
+    const auto& config = impl_->config;
+    if (config.enospc_after > 0 &&
+        impl_->bytes_written + size > config.enospc_after) {
+      // A real full disk takes the bytes that still fit, then fails.
+      const std::uint64_t room = config.enospc_after - impl_->bytes_written;
+      if (room > 0) {
+        inner_->append(data, static_cast<std::size_t>(room));
+        st.live_size += room;
+        impl_->bytes_written += room;
+        count(impl_->metrics, "storage.append_bytes", room);
+      }
+      count(impl_->metrics, "storage.enospc");
+      throw StorageError("append", path_, ENOSPC,
+                         "injected byte budget exhausted (" +
+                             std::to_string(config.enospc_after) + " bytes)");
+    }
+    if (size > 0 && impl_->chance(config.torn_write)) {
+      const std::size_t wrote =
+          static_cast<std::size_t>(impl_->next_u64() % size);
+      if (wrote > 0) {
+        inner_->append(data, wrote);
+        st.live_size += wrote;
+        impl_->bytes_written += wrote;
+        count(impl_->metrics, "storage.append_bytes", wrote);
+      }
+      count(impl_->metrics, "storage.torn_writes");
+      throw StorageError("append", path_, EIO,
+                         "injected torn write (" + std::to_string(wrote) +
+                             " of " + std::to_string(size) + " bytes)");
+    }
+    if (impl_->chance(config.eio)) {
+      count(impl_->metrics, "storage.eio");
+      throw StorageError("append", path_, EIO, "injected EIO");
+    }
+    inner_->append(data, size);
+    st.live_size += size;
+    impl_->bytes_written += size;
+    count(impl_->metrics, "storage.appends");
+    count(impl_->metrics, "storage.append_bytes", size);
+  }
+
+  void fsync() override {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->next_op();
+    auto& st = impl_->files[path_];
+    if (st.poisoned) {
+      count(impl_->metrics, "storage.fsync_failures");
+      throw StorageError("fsync", path_, EIO,
+                         "file poisoned by an earlier failed fsync "
+                         "(fsyncgate: un-synced bytes are gone for good)");
+    }
+    if (impl_->chance(impl_->config.fsync_fail)) {
+      st.poisoned = true;
+      count(impl_->metrics, "storage.fsync_failures");
+      throw StorageError("fsync", path_, EIO,
+                         "injected fsync failure (file is now poisoned)");
+    }
+    inner_->fsync();
+    st.durable_size = st.live_size;
+    st.ever_synced = true;
+    count(impl_->metrics, "storage.fsyncs");
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (closed_) return;
+    closed_ = true;
+    if (impl_->crashed) {
+      // The process is "dead": release the descriptor quietly so journal
+      // destructors unwinding through the crash do not terminate().
+      try {
+        inner_->close();
+      } catch (...) {
+      }
+      return;
+    }
+    inner_->close();
+  }
+
+  const std::string& path() const noexcept override { return path_; }
+
+ private:
+  FaultyStorage::Impl* impl_;
+  std::string path_;
+  std::unique_ptr<StorageFile> inner_;
+  bool closed_ = false;
+};
+
+std::unique_ptr<StorageFile> FaultyStorage::open(const std::string& path,
+                                                 OpenMode mode) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->next_op();
+  const bool existed = impl_->inner.exists(path);
+  if (mode == OpenMode::kTruncate) {
+    // O_TRUNC destroys the old bytes; modeled as immediately durable (the
+    // harness only ever truncates fresh temp names, never live artifacts).
+    Impl::FileState st;
+    st.created = !existed;
+    impl_->files[path] = st;
+  } else if (impl_->files.find(path) == impl_->files.end()) {
+    Impl::FileState st;
+    st.created = !existed;
+    st.durable_size = existed ? impl_->inner.file_size(path) : 0;
+    st.live_size = st.durable_size;  // pre-existing bytes presumed durable
+    impl_->files[path] = st;
+  }
+  return std::make_unique<FaultyStorageFile>(impl_.get(), path,
+                                             impl_->inner.open(path, mode));
+}
+
+std::string FaultyStorage::read_file(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->check_alive();
+  return impl_->inner.read_file(path);
+}
+
+bool FaultyStorage::exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->check_alive();
+  return impl_->inner.exists(path);
+}
+
+std::uint64_t FaultyStorage::file_size(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->check_alive();
+  return impl_->inner.file_size(path);
+}
+
+void FaultyStorage::rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->next_op();
+  Impl::RenameUndo undo;
+  undo.from = from;
+  undo.to = to;
+  undo.from_durable = impl_->durable_bytes(from);
+  undo.to_existed = impl_->inner.exists(to);
+  if (undo.to_existed) undo.to_durable = impl_->durable_bytes(to);
+  impl_->inner.rename(from, to);
+  Impl::FileState st;
+  const auto it = impl_->files.find(from);
+  if (it != impl_->files.end()) {
+    st = it->second;
+    impl_->files.erase(it);
+  } else {
+    st.durable_size = st.live_size = undo.from_durable.size();
+    st.ever_synced = true;
+  }
+  impl_->files[to] = st;
+  // The new directory entry is volatile until sync_dir: remember how to put
+  // the directory back the way a power loss would find it.
+  impl_->undo.push_back(std::move(undo));
+  count(impl_->metrics, "storage.renames");
+}
+
+void FaultyStorage::remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->next_op();
+  impl_->inner.remove(path);
+  impl_->files.erase(path);
+}
+
+void FaultyStorage::truncate(const std::string& path, std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->next_op();
+  impl_->inner.truncate(path, size);
+  const auto it = impl_->files.find(path);
+  if (it != impl_->files.end()) {
+    it->second.live_size = size;
+    it->second.durable_size = std::min(it->second.durable_size, size);
+  }
+}
+
+void FaultyStorage::sync_dir(const std::string& path_in_dir) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->next_op();
+  impl_->inner.sync_dir(path_in_dir);
+  // Renames into this directory are durable now.
+  const std::string dir = parent_dir_of(path_in_dir);
+  auto& undo = impl_->undo;
+  for (auto it = undo.begin(); it != undo.end();) {
+    if (parent_dir_of(it->to) == dir) {
+      it = undo.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::string> FaultyStorage::list_dir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->check_alive();
+  return impl_->inner.list_dir(dir);
+}
+
+std::uint64_t FaultyStorage::op_count() const noexcept {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->ops;
+}
+
+bool FaultyStorage::crashed() const noexcept {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->crashed;
+}
+
+void FaultyStorage::materialize_crash() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->materialized) return;
+  impl_->materialized = true;
+  // 1. Under the live names: drop every byte that never reached an fsync.
+  for (const auto& [path, st] : impl_->files) {
+    if (!impl_->inner.exists(path)) continue;
+    if (st.created && !st.ever_synced) {
+      impl_->inner.remove(path);
+      continue;
+    }
+    if (impl_->inner.file_size(path) > st.durable_size) {
+      impl_->inner.truncate(path, st.durable_size);
+    }
+  }
+  // 2. Undo renames whose directory sync never happened, newest first: the
+  // source file reappears with its durable bytes and the target reverts to
+  // its pre-rename durable content.
+  for (auto it = impl_->undo.rbegin(); it != impl_->undo.rend(); ++it) {
+    impl_->write_whole(it->from, it->from_durable);
+    if (it->to_existed) {
+      impl_->write_whole(it->to, it->to_durable);
+    } else if (impl_->inner.exists(it->to)) {
+      impl_->inner.remove(it->to);
+    }
+  }
+  impl_->undo.clear();
+}
+
+// ---------------------------------------------------------------------------
+// JournalFsyncPolicy
+// ---------------------------------------------------------------------------
+
+JournalFsyncPolicy parse_journal_fsync_policy(const std::string& spec) {
+  JournalFsyncPolicy policy;
+  if (spec == "record") {
+    policy.mode = JournalFsyncPolicy::Mode::kRecord;
+    return policy;
+  }
+  if (spec == "none") {
+    policy.mode = JournalFsyncPolicy::Mode::kNone;
+    return policy;
+  }
+  if (spec == "batch") return policy;  // default batch size
+  const std::string prefix = "batch:";
+  if (spec.rfind(prefix, 0) == 0) {
+    const std::string digits = spec.substr(prefix.size());
+    std::uint64_t batch = 0;
+    std::size_t consumed = 0;
+    try {
+      batch = std::stoull(digits, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed == digits.size() && !digits.empty() && batch >= 1 &&
+        batch <= 0xffffffffULL) {
+      policy.batch = static_cast<std::uint32_t>(batch);
+      return policy;
+    }
+  }
+  throw std::invalid_argument(
+      "journal fsync policy must be record, batch, batch:N (N >= 1), or "
+      "none: " +
+      spec);
+}
+
+std::string to_string(const JournalFsyncPolicy& policy) {
+  switch (policy.mode) {
+    case JournalFsyncPolicy::Mode::kRecord:
+      return "record";
+    case JournalFsyncPolicy::Mode::kNone:
+      return "none";
+    case JournalFsyncPolicy::Mode::kBatch:
+      break;
+  }
+  return "batch:" + std::to_string(policy.batch);
+}
+
+}  // namespace mtm

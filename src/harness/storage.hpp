@@ -1,0 +1,232 @@
+// Storage abstraction: every durable byte the harness writes goes through
+// one narrow surface (open/append/fsync/rename/truncate/remove/close over
+// opaque file handles), so filesystem failure can be injected exactly where
+// it happens in production — between the write and the fsync, between the
+// rename and the directory sync.
+//
+// Two backends:
+//
+//   * PosixStorage  — the real filesystem. append/fsync are fd-based (an
+//     ofstream would buffer in userspace and lie about durability);
+//     metadata ops go through std::filesystem. Optionally counts
+//     storage.appends / storage.fsyncs / storage.renames into a
+//     MetricRegistry.
+//   * FaultyStorage — a seeded decorator over any backend injecting
+//     deterministic faults: short/torn writes at byte granularity, ENOSPC
+//     after a byte budget, EIO, fsync failure with fsyncgate semantics (a
+//     failed fsync permanently poisons the file's un-synced bytes — no
+//     silent retry; later fsyncs keep failing), and crash points: after
+//     storage op N every further op throws StorageCrash, and
+//     materialize_crash() rewrites the underlying files to exactly the
+//     bytes a power loss at that instant would have preserved — appended
+//     but un-fsync'd bytes are discarded, files created but never synced
+//     disappear, and a rename whose directory was not yet synced is undone
+//     (the rename-before-dir-fsync window).
+//
+// Error taxonomy: StorageError (derives std::runtime_error) carries op,
+// path, and errno — callers that can degrade gracefully catch it.
+// StorageCrash does NOT derive from StorageError: simulated power loss must
+// never be swallowed by a "return false on I/O failure" path.
+//
+// Thread safety: FaultyStorage serializes every operation under one mutex
+// (the op counter is the crash clock, so ops must be totally ordered).
+// PosixStorage is as thread-safe as the underlying syscalls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mtm::obs {
+class MetricRegistry;
+}  // namespace mtm::obs
+
+namespace mtm {
+
+/// Recoverable storage failure (real or injected): op + path + errno.
+class StorageError : public std::runtime_error {
+ public:
+  StorageError(const std::string& op, const std::string& path, int error_code,
+               const std::string& detail = "");
+
+  const std::string& op() const noexcept { return op_; }
+  const std::string& path() const noexcept { return path_; }
+  int error_code() const noexcept { return error_code_; }
+
+ private:
+  std::string op_;
+  std::string path_;
+  int error_code_;
+};
+
+/// Simulated power loss (FaultyStorage crash point). Deliberately NOT a
+/// StorageError: nothing may catch-and-continue past a crash.
+class StorageCrash : public std::runtime_error {
+ public:
+  explicit StorageCrash(std::uint64_t op_index);
+  std::uint64_t op_index() const noexcept { return op_index_; }
+
+ private:
+  std::uint64_t op_index_;
+};
+
+/// Opaque append-only file handle. append() is durable only after a
+/// successful fsync(); close() is idempotent and never throws during
+/// destruction (destructors swallow).
+class StorageFile {
+ public:
+  virtual ~StorageFile() = default;
+  virtual void append(const char* data, std::size_t size) = 0;
+  void append(const std::string& text) { append(text.data(), text.size()); }
+  virtual void fsync() = 0;
+  virtual void close() = 0;
+  virtual const std::string& path() const noexcept = 0;
+};
+
+class Storage {
+ public:
+  enum class OpenMode { kTruncate, kAppend };
+
+  virtual ~Storage() = default;
+  virtual std::unique_ptr<StorageFile> open(const std::string& path,
+                                            OpenMode mode) = 0;
+  virtual std::string read_file(const std::string& path) = 0;
+  virtual bool exists(const std::string& path) = 0;
+  virtual std::uint64_t file_size(const std::string& path) = 0;
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+  virtual void remove(const std::string& path) = 0;
+  virtual void truncate(const std::string& path, std::uint64_t size) = 0;
+  /// Fsyncs the directory holding `path_in_dir` so a preceding rename is
+  /// durable. Best-effort on POSIX (some filesystems refuse directory
+  /// fsync); a FaultyStorage crash point between rename and sync_dir is
+  /// exactly the window where the rename is lost.
+  virtual void sync_dir(const std::string& path_in_dir) = 0;
+  /// Plain file names (no directories, no path prefix) in `dir`.
+  virtual std::vector<std::string> list_dir(const std::string& dir) = 0;
+};
+
+/// Process-global PosixStorage without metrics — the default every caller
+/// gets when no explicit Storage is wired in.
+Storage& default_storage();
+
+/// Directory part of `path` ("." when there is no slash).
+std::string parent_dir_of(const std::string& path);
+/// File-name part of `path`.
+std::string base_name_of(const std::string& path);
+/// Collision-free temp name beside `path`: "<path>.tmp.<pid>.<counter>".
+/// Two concurrent writers (coordinator + worker shards, or two resumed
+/// soaks) can never clobber each other's in-flight temp file.
+std::string make_temp_path(const std::string& path);
+
+/// The real filesystem. When `metrics` is non-null, counts storage.appends,
+/// storage.append_bytes, storage.fsyncs, and storage.renames.
+class PosixStorage final : public Storage {
+ public:
+  explicit PosixStorage(obs::MetricRegistry* metrics = nullptr)
+      : metrics_(metrics) {}
+
+  std::unique_ptr<StorageFile> open(const std::string& path,
+                                    OpenMode mode) override;
+  std::string read_file(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  std::uint64_t file_size(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& path) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  void sync_dir(const std::string& path_in_dir) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+
+ private:
+  obs::MetricRegistry* metrics_;
+};
+
+/// Deterministic fault plan for FaultyStorage. All-zero probabilities and
+/// budgets make the decorator a transparent (but op-counting) pass-through.
+struct StorageFaultConfig {
+  /// Probability an append is torn: a seeded prefix of the bytes reaches
+  /// the backend, then the append fails with EIO.
+  double torn_write = 0.0;
+  /// Probability an append fails EIO outright (no bytes written).
+  double eio = 0.0;
+  /// Probability an fsync fails; fsyncgate semantics — the file is
+  /// permanently poisoned and every later fsync on it fails too.
+  double fsync_fail = 0.0;
+  /// Total append-byte budget across the storage; once exhausted, appends
+  /// fail ENOSPC (the straddling append writes the remaining budget first,
+  /// like a real full disk). 0 disables.
+  std::uint64_t enospc_after = 0;
+  /// Simulate power loss after storage op N: every later op throws
+  /// StorageCrash. 0 disables.
+  std::uint64_t crash_after = 0;
+  /// Seed of the fault schedule.
+  std::uint64_t seed = 1;
+
+  bool any() const noexcept {
+    return torn_write > 0.0 || eio > 0.0 || fsync_fail > 0.0 ||
+           enospc_after > 0 || crash_after > 0;
+  }
+};
+
+/// Seeded fault-injection decorator. Mutating ops (open/append/fsync/
+/// rename/remove/truncate/sync_dir) advance the op clock; reads do not.
+/// When `metrics` is non-null, counts the PosixStorage op counters plus
+/// storage.torn_writes, storage.enospc, storage.eio,
+/// storage.fsync_failures, and storage.crash_points.
+class FaultyStorage final : public Storage {
+ public:
+  FaultyStorage(Storage& inner, const StorageFaultConfig& config,
+                obs::MetricRegistry* metrics = nullptr);
+  ~FaultyStorage() override;
+
+  std::unique_ptr<StorageFile> open(const std::string& path,
+                                    OpenMode mode) override;
+  std::string read_file(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  std::uint64_t file_size(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& path) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  void sync_dir(const std::string& path_in_dir) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+
+  /// Mutating storage ops observed so far (the crash clock).
+  std::uint64_t op_count() const noexcept;
+  /// True once the crash point fired.
+  bool crashed() const noexcept;
+  /// Rewrites the inner storage to the exact durable state at the crash:
+  /// un-fsync'd tails truncated away, never-synced files removed, renames
+  /// in the rename-before-dir-fsync window undone (old target content
+  /// restored, source file resurrected with its durable bytes). Idempotent;
+  /// only meaningful after crashed().
+  void materialize_crash();
+
+ private:
+  friend class FaultyStorageFile;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Append-durability policy for the trial journal: when does an appended
+/// record reach stable storage?
+///
+///   record   — fsync after every append (strongest, slowest);
+///   batch:N  — fsync after every N appended records (default, N = 8); a
+///              crash loses at most the last N-1 records, which resume
+///              simply re-runs;
+///   none     — never fsync on append; only checkpoint() and the atomic
+///              header rewrite are durable.
+struct JournalFsyncPolicy {
+  enum class Mode { kRecord, kBatch, kNone };
+  Mode mode = Mode::kBatch;
+  std::uint32_t batch = 8;
+};
+
+/// Parses "record" | "batch" | "batch:N" | "none"; throws
+/// std::invalid_argument on anything else (including batch:0).
+JournalFsyncPolicy parse_journal_fsync_policy(const std::string& spec);
+std::string to_string(const JournalFsyncPolicy& policy);
+
+}  // namespace mtm

@@ -127,9 +127,11 @@ SweepRunner::SweepRunner(const obs::RunManifest& manifest,
     return;
   }
   if (options_.resume) {
-    journal_ = TrialJournal::open(options_.journal_path, &manifest);
+    journal_ = TrialJournal::open(options_.journal_path, &manifest,
+                                  options_.storage, options_.journal_fsync);
   } else {
-    journal_ = TrialJournal::create(options_.journal_path, manifest);
+    journal_ = TrialJournal::create(options_.journal_path, manifest,
+                                    options_.storage, options_.journal_fsync);
   }
 }
 

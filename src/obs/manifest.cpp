@@ -1,17 +1,9 @@
 #include "obs/manifest.hpp"
 
-#include <cstdio>
-#include <fstream>
 #include <sstream>
 #include <unordered_set>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#endif
-
+#include "harness/storage.hpp"
 #include "sim/engine.hpp"
 
 namespace mtm::obs {
@@ -47,82 +39,67 @@ RunManifest make_run_manifest(std::string tool, std::uint64_t seed,
   return manifest;
 }
 
-namespace {
-
-#if defined(__unix__) || defined(__APPLE__)
-/// Durably writes `text` to `tmp`: the data must be on stable storage (not
-/// just in the page cache) before the caller renames it into place, or a
-/// power loss shortly after the rename could leave a committed *name*
-/// pointing at missing *bytes*.
-bool write_and_fsync(const std::string& tmp, const std::string& text) {
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                        0644);
-  if (fd < 0) return false;
-  const char* data = text.data();
-  std::size_t remaining = text.size();
-  while (remaining > 0) {
-    const ssize_t n = ::write(fd, data, remaining);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return false;
+bool write_text_atomic(mtm::Storage& storage, const std::string& path,
+                       const std::string& text) {
+  const std::string tmp = mtm::make_temp_path(path);
+  try {
+    // The data must be on stable storage (not just in the page cache)
+    // before the rename, or a power loss shortly after the rename could
+    // leave a committed *name* pointing at missing *bytes*.
+    std::unique_ptr<mtm::StorageFile> file =
+        storage.open(tmp, mtm::Storage::OpenMode::kTruncate);
+    file->append(text);
+    file->fsync();
+    file->close();
+    storage.rename(tmp, path);
+  } catch (const mtm::StorageError&) {
+    // Recoverable failure (real or injected): leave no temp file behind.
+    // StorageCrash deliberately falls through — simulated power loss must
+    // never be reported as a polite `false`.
+    try {
+      storage.remove(tmp);
+    } catch (const mtm::StorageError&) {
     }
-    data += n;
-    remaining -= static_cast<std::size_t>(n);
-  }
-  const bool synced = ::fsync(fd) == 0;
-  return (::close(fd) == 0) && synced;
-}
-
-/// Fsyncs the directory holding `path` so the rename itself is durable.
-/// Best-effort: some filesystems refuse directory fsync; by then the file
-/// data is already synced, so failure here only narrows the power-loss
-/// window instead of reopening it.
-void fsync_parent_dir(const std::string& path) {
-  const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
-                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) return;
-  (void)::fsync(fd);
-  ::close(fd);
-}
-#endif
-
-}  // namespace
-
-bool write_text_atomic(const std::string& path, const std::string& text) {
-  const std::string tmp = path + ".tmp";
-#if defined(__unix__) || defined(__APPLE__)
-  if (!write_and_fsync(tmp, text)) {
-    std::remove(tmp.c_str());
     return false;
   }
-#else
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out << text;
-    out.flush();
-    if (!out) {
-      out.close();
-      std::remove(tmp.c_str());
-      return false;
-    }
+  try {
+    storage.sync_dir(path);
+  } catch (const mtm::StorageError&) {
+    // Best-effort: the file bytes are already synced, so a refused
+    // directory fsync only narrows the power-loss window.
   }
-#endif
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-#if defined(__unix__) || defined(__APPLE__)
-  fsync_parent_dir(path);
-#endif
   return true;
 }
 
+bool write_text_atomic(const std::string& path, const std::string& text) {
+  return write_text_atomic(mtm::default_storage(), path, text);
+}
+
+bool write_json_atomic(mtm::Storage& storage, const std::string& path,
+                       const JsonValue& doc) {
+  return write_text_atomic(storage, path, doc.dump(2) + "\n");
+}
+
 bool write_json_atomic(const std::string& path, const JsonValue& doc) {
-  return write_text_atomic(path, doc.dump(2) + "\n");
+  return write_json_atomic(mtm::default_storage(), path, doc);
+}
+
+std::size_t remove_orphan_temps(mtm::Storage& storage,
+                                const std::string& path) {
+  const std::string dir = mtm::parent_dir_of(path);
+  const std::string prefix = mtm::base_name_of(path) + ".tmp";
+  std::size_t removed = 0;
+  try {
+    for (const std::string& name : storage.list_dir(dir)) {
+      if (name.rfind(prefix, 0) != 0) continue;
+      storage.remove(dir + "/" + name);
+      ++removed;
+    }
+  } catch (const mtm::StorageError&) {
+    // Hygiene only: a directory we cannot list or a file someone else
+    // already removed must not fail the journal open.
+  }
+  return removed;
 }
 
 std::string fnv1a64_hex(const std::string& text) {

@@ -20,6 +20,7 @@ namespace mtm {
 struct EngineConfig;
 struct FaultPlanConfig;
 struct SchedulerSpec;
+class Storage;
 }  // namespace mtm
 
 namespace mtm::obs {
@@ -52,24 +53,39 @@ JsonValue fault_plan_config_json(const FaultPlanConfig& config);
 /// with a manifest diff instead of silently mixing executions.
 JsonValue scheduler_spec_json(const SchedulerSpec& spec);
 
-/// Writes `text` to `path` crash-safely: the bytes land in `path + ".tmp"`
-/// first and are moved over `path` with std::rename, so a reader (or a
-/// process killed mid-write) can only ever observe the old complete file or
-/// the new complete file — never a truncated artifact. Returns false on any
-/// I/O failure (the temp file is removed).
+/// Writes `text` to `path` crash-safely through `storage`: the bytes land
+/// in a collision-free temp file first (mtm::make_temp_path — unique per
+/// pid and call, so concurrent writers can never clobber each other's
+/// in-flight temp) and are moved over `path` with one rename, so a reader
+/// (or a process killed mid-write) can only ever observe the old complete
+/// file or the new complete file — never a truncated artifact. Returns
+/// false on any recoverable I/O failure (the temp file is removed);
+/// mtm::StorageCrash (simulated power loss) always propagates.
 ///
-/// Durability: on POSIX the temp file is fsync'd before the rename and the
-/// parent directory is fsync'd after it, so the artifact survives power loss
-/// as well as process crashes — rename alone only orders the *names*, not
-/// the *bytes*, and an unsynced rename can leave the new name pointing at a
+/// Durability: the temp file is fsync'd before the rename and the parent
+/// directory is fsync'd after it, so the artifact survives power loss as
+/// well as process crashes — rename alone only orders the *names*, not the
+/// *bytes*, and an unsynced rename can leave the new name pointing at a
 /// zero-length file after a reboot. The directory fsync is best-effort
 /// (some filesystems reject it); the file fsync is load-bearing and failing
 /// it fails the write.
+bool write_text_atomic(mtm::Storage& storage, const std::string& path,
+                       const std::string& text);
+/// Same through the process-default storage (mtm::default_storage()).
 bool write_text_atomic(const std::string& path, const std::string& text);
 
 /// Serializes `doc` (pretty-printed, trailing newline) and writes it
 /// atomically via write_text_atomic.
+bool write_json_atomic(mtm::Storage& storage, const std::string& path,
+                       const JsonValue& doc);
 bool write_json_atomic(const std::string& path, const JsonValue& doc);
+
+/// Removes temp files a crashed writer left beside `path` (any sibling
+/// whose name starts with "<basename(path)>.tmp"). Returns how many were
+/// removed; listing/removal failures are swallowed — orphan cleanup is
+/// hygiene, not correctness. The journal calls this on create/open.
+std::size_t remove_orphan_temps(mtm::Storage& storage,
+                                const std::string& path);
 
 /// 16-hex-digit FNV-1a 64 digest of `text` — the checksum primitive shared
 /// by manifest fingerprints and the trial journal's per-record "crc" field.

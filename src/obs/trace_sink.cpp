@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "harness/storage.hpp"
+
 namespace mtm::obs {
 
 JsonValue TraceEvent::to_json() const {
@@ -27,19 +29,37 @@ void RingTraceSink::clear() {
   evicted_ = 0;
 }
 
-JsonlTraceSink::JsonlTraceSink(const std::string& path) : out_(path) {
-  if (!out_) {
-    throw std::runtime_error("JsonlTraceSink: cannot open '" + path + "'");
+JsonlTraceSink::JsonlTraceSink(const std::string& path,
+                               mtm::Storage* storage) {
+  mtm::Storage& backend =
+      storage != nullptr ? *storage : mtm::default_storage();
+  try {
+    out_ = backend.open(path, mtm::Storage::OpenMode::kTruncate);
+  } catch (const mtm::StorageError& e) {
+    throw std::runtime_error("JsonlTraceSink: cannot open '" + path +
+                             "': " + e.what());
   }
 }
 
-JsonlTraceSink::~JsonlTraceSink() { out_.flush(); }
+JsonlTraceSink::~JsonlTraceSink() {
+  try {
+    out_->close();
+  } catch (...) {
+    // Destruction must not throw; every write already failed loudly in
+    // emit(), so the only thing lost here is the close() confirmation.
+  }
+}
 
 void JsonlTraceSink::emit(const TraceEvent& event) {
-  out_ << event.to_jsonl() << '\n';
+  // Write failures (ENOSPC, EIO, injected faults) propagate as
+  // mtm::StorageError — they name the path and errno.
+  out_->append(event.to_jsonl() + "\n");
   ++events_written_;
 }
 
-void JsonlTraceSink::flush() { out_.flush(); }
+void JsonlTraceSink::flush() {
+  // StorageFile::append has no userspace buffer; the bytes are already
+  // with the kernel. flush() keeps the TraceSink contract a no-op here.
+}
 
 }  // namespace mtm::obs

@@ -19,12 +19,17 @@
 
 #include <cstdint>
 #include <deque>
-#include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/json.hpp"
+
+namespace mtm {
+class Storage;
+class StorageFile;
+}  // namespace mtm
 
 namespace mtm::obs {
 
@@ -95,11 +100,17 @@ class RingTraceSink final : public TraceSink {
   std::uint64_t evicted_ = 0;
 };
 
-/// Appends one JSON line per event to a file. Construction truncates the
-/// target; throws std::runtime_error when the file cannot be opened.
+/// Appends one JSON line per event to a file, routed through a
+/// harness/storage.hpp Storage (default_storage() unless one is passed).
+/// Construction truncates the target; throws std::runtime_error when the
+/// file cannot be opened. emit() propagates write failures loudly (a
+/// mtm::StorageError naming the path and errno) instead of silently
+/// truncating the trace — a golden-trace comparison against a file that
+/// quietly lost its tail would blame the simulation, not the disk.
 class JsonlTraceSink final : public TraceSink {
  public:
-  explicit JsonlTraceSink(const std::string& path);
+  explicit JsonlTraceSink(const std::string& path,
+                          mtm::Storage* storage = nullptr);
   ~JsonlTraceSink() override;
 
   void emit(const TraceEvent& event) override;
@@ -108,7 +119,7 @@ class JsonlTraceSink final : public TraceSink {
   std::uint64_t events_written() const noexcept { return events_written_; }
 
  private:
-  std::ofstream out_;
+  std::unique_ptr<mtm::StorageFile> out_;
   std::uint64_t events_written_ = 0;
 };
 

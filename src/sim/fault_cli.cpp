@@ -154,6 +154,7 @@ const char* resilience_flags_help() {
   --retries=N       retry budget for deadline-killed trials      [default 0]
   --backoff-ms=N    base retry backoff (doubles per attempt)     [default 25]
   --retry-censored  also retry trials that hit max_rounds        [default off]
+  --journal-fsync=P append durability: record | batch:N | none   [default batch:8]
 )";
 }
 
@@ -195,7 +196,73 @@ ResilienceOptions parse_resilience_flags(const CliArgs& args) {
     throw std::invalid_argument("--retry-censored requires --retries");
   }
   options.retry_censored = args.get_bool("retry-censored", false);
+  if (args.has("journal-fsync")) {
+    if (options.journal_path.empty()) {
+      throw std::invalid_argument(
+          "--journal-fsync requires a journal (--journal or --resume); "
+          "without one there are no appends to make durable");
+    }
+    options.journal_fsync =
+        parse_journal_fsync_policy(args.get_string("journal-fsync", "batch"));
+  }
   return options;
+}
+
+const char* storage_chaos_flags_help() {
+  return R"(  --storage-chaos-torn=P        torn-write probability per append   [default 0]
+  --storage-chaos-eio=P         EIO probability per append          [default 0]
+  --storage-chaos-fsync-fail=P  fsync-failure probability (a failed
+                                fsync poisons the file permanently) [default 0]
+  --storage-chaos-enospc-after=B  ENOSPC once B journal bytes are
+                                written (0 = unlimited)             [default 0]
+  --storage-chaos-crash-after=N simulate power loss after storage
+                                op N: non-fsynced bytes vanish      [default 0]
+  --storage-chaos-seed=S        seed of the storage fault schedule  [default 1]
+)";
+}
+
+StorageFaultConfig parse_storage_chaos_flags(
+    const CliArgs& args, const ResilienceOptions& resilience,
+    bool fabric_role) {
+  StorageFaultConfig config;
+  const bool any_flag =
+      args.has("storage-chaos-torn") || args.has("storage-chaos-eio") ||
+      args.has("storage-chaos-fsync-fail") ||
+      args.has("storage-chaos-enospc-after") ||
+      args.has("storage-chaos-crash-after") || args.has("storage-chaos-seed");
+  if (!any_flag) return config;
+  if (resilience.journal_path.empty()) {
+    throw std::invalid_argument(
+        "--storage-chaos-* requires a journal (--journal or --resume); the "
+        "journal is the surface the storage faults exercise");
+  }
+  if (fabric_role) {
+    throw std::invalid_argument(
+        "--storage-chaos-* is incompatible with a fabric role (--workers, "
+        "--listen, --connect): the storage op clock is per-process, so a "
+        "crash point would fire in whichever process happened to reach it "
+        "first — run storage chaos single-process");
+  }
+  const auto probability = [&](const char* flag) {
+    const double p = args.get_double(flag, 0.0);
+    if (p < 0.0 || p >= 1.0) {
+      throw std::invalid_argument(std::string("--") + flag +
+                                  " must be a probability in [0, 1)");
+    }
+    return p;
+  };
+  config.torn_write = probability("storage-chaos-torn");
+  config.eio = probability("storage-chaos-eio");
+  config.fsync_fail = probability("storage-chaos-fsync-fail");
+  config.enospc_after = args.get_u64("storage-chaos-enospc-after", 0);
+  config.crash_after = args.get_u64("storage-chaos-crash-after", 0);
+  if (args.has("storage-chaos-seed") && !config.any()) {
+    throw std::invalid_argument(
+        "--storage-chaos-seed requires an enabled storage fault "
+        "(--storage-chaos-torn/eio/fsync-fail/enospc-after/crash-after)");
+  }
+  config.seed = args.get_u64("storage-chaos-seed", 1);
+  return config;
 }
 
 const char* fabric_flags_help() {

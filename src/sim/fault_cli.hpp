@@ -12,6 +12,7 @@
 #include "core/cancel.hpp"
 #include "core/cli.hpp"
 #include "harness/net_transport.hpp"
+#include "harness/storage.hpp"
 #include "sim/byzantine.hpp"
 #include "sim/faults.hpp"
 #include "sim/scheduler.hpp"
@@ -90,6 +91,14 @@ struct ResilienceOptions {
   /// retry only helps when the censoring came from environmental load
   /// interacting with a deadline, not from the simulation itself.
   bool retry_censored = false;
+  /// Append-durability policy for the journal (--journal-fsync): when do
+  /// appended records reach stable storage? record = every append, batch:N
+  /// = every N appends (default batch:8), none = only at checkpoints.
+  JournalFsyncPolicy journal_fsync;
+  /// Storage backend the journal writes through; null means
+  /// default_storage(). Not a CLI flag — tools wire a FaultyStorage (or a
+  /// metrics-counting PosixStorage) in after parsing --storage-chaos-*.
+  Storage* storage = nullptr;
   /// Process-wide interrupt token (harness/interrupt.hpp interrupt_token());
   /// null means SIGINT/SIGTERM are not observed cooperatively. Not a CLI
   /// flag — tools set it after install_interrupt_handler().
@@ -100,13 +109,31 @@ struct ResilienceOptions {
 const char* resilience_flags_help();
 
 /// Consumes the shared resilience flags (--journal, --resume,
-/// --trial-deadline-ms, --retries, --backoff-ms, --retry-censored).
-/// Contradictions are rejected with a one-line std::invalid_argument:
-/// --journal with --resume (one file cannot be both fresh and resumed),
-/// --retries without --trial-deadline-ms (nothing would ever be retried),
-/// and --backoff-ms or --retry-censored without --retries (no retry budget
-/// to shape).
+/// --trial-deadline-ms, --retries, --backoff-ms, --retry-censored,
+/// --journal-fsync). Contradictions are rejected with a one-line
+/// std::invalid_argument: --journal with --resume (one file cannot be both
+/// fresh and resumed), --retries without --trial-deadline-ms (nothing
+/// would ever be retried), --backoff-ms or --retry-censored without
+/// --retries (no retry budget to shape), and --journal-fsync without a
+/// journal (no appends to make durable).
 ResilienceOptions parse_resilience_flags(const CliArgs& args);
+
+/// Help-text fragment for the storage-chaos flags.
+const char* storage_chaos_flags_help();
+
+/// Consumes the shared storage-chaos flags (--storage-chaos-torn,
+/// --storage-chaos-eio, --storage-chaos-fsync-fail,
+/// --storage-chaos-enospc-after, --storage-chaos-crash-after,
+/// --storage-chaos-seed) and returns the FaultyStorage plan. Contradictions
+/// are rejected with a one-line std::invalid_argument: any chaos flag
+/// without a journal (--journal or --resume; the journal path is what the
+/// faults harden), any chaos flag with a fabric role (the op clock is
+/// per-process; forked/remote workers would each count their own),
+/// probabilities outside [0, 1), and --storage-chaos-seed without an
+/// enabled fault.
+StorageFaultConfig parse_storage_chaos_flags(const CliArgs& args,
+                                             const ResilienceOptions& resilience,
+                                             bool fabric_role);
 
 /// Distributed-fabric knobs consumed by FabricRunner (harness/fabric.hpp):
 /// how many worker processes to fork, the lease/heartbeat timing, and the

@@ -171,6 +171,73 @@ TEST(TrialJournal, OpenRejectsMismatchedManifestWithDiff) {
   std::remove(path.c_str());
 }
 
+TEST(TrialJournal, TruncationAtEveryByteOffsetNeverShiftsRecords) {
+  // Property: however many trailing bytes a crash chops off, load() either
+  // returns a clean PREFIX of the original records (the torn tail dropped)
+  // or refuses with a diagnosable JournalError (header torn / interior
+  // abort). It must never return shifted, reinterpreted, or extra records —
+  // that would silently change resumed aggregates.
+  const std::string path = temp_path("journal_every_offset.jsonl");
+  {
+    TrialJournal journal = TrialJournal::create(path, test_manifest());
+    journal.append(sample_record(0, 0));
+    journal.append(sample_record(0, 1));
+    journal.append(sample_record(1, 0));
+  }
+  const TrialJournal::Contents full = TrialJournal::load(path);
+  ASSERT_EQ(full.records.size(), 3u);
+  const std::string text = read_all(path);
+  for (std::size_t len = 0; len <= text.size(); ++len) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << text.substr(0, len);
+    }
+    try {
+      const TrialJournal::Contents loaded = TrialJournal::load(path);
+      ASSERT_LE(loaded.records.size(), full.records.size())
+          << "extra records conjured at offset " << len;
+      for (std::size_t i = 0; i < loaded.records.size(); ++i) {
+        ASSERT_EQ(loaded.records[i].point, full.records[i].point)
+            << "offset " << len << " record " << i;
+        ASSERT_EQ(loaded.records[i].trial, full.records[i].trial)
+            << "offset " << len << " record " << i;
+        ASSERT_EQ(loaded.records[i].seed, full.records[i].seed)
+            << "offset " << len << " record " << i;
+        ASSERT_EQ(loaded.records[i].result.rounds,
+                  full.records[i].result.rounds)
+            << "offset " << len << " record " << i;
+      }
+    } catch (const JournalError&) {
+      // Diagnosable refusal is the other acceptable outcome.
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TrialJournal, CreateAndOpenSweepOrphanedTempFiles) {
+  // An atomic write killed between temp-file creation and rename leaves
+  // "<path>.tmp.<pid>.<counter>" behind; the next create/open removes them
+  // so they cannot accumulate across resumed runs.
+  const std::string path = temp_path("journal_orphans.jsonl");
+  const obs::RunManifest manifest = test_manifest();
+  const std::string orphan1 = path + ".tmp.4242.7";
+  const std::string orphan2 = path + ".tmp.1.1";
+  {
+    std::ofstream(orphan1) << "half-written";
+    std::ofstream(orphan2) << "half-written";
+  }
+  { TrialJournal::create(path, manifest); }
+  std::ifstream check1(orphan1);
+  EXPECT_FALSE(check1.good()) << "create left orphan temp behind";
+  {
+    std::ofstream(orphan1) << "half-written again";
+  }
+  { TrialJournal::open(path, &manifest); }
+  std::ifstream check2(orphan1);
+  EXPECT_FALSE(check2.good()) << "open left orphan temp behind";
+  std::remove(path.c_str());
+}
+
 TEST(TrialJournal, OpenSquashesTruncatedTailAndAppends) {
   const std::string path = temp_path("journal_reopen.jsonl");
   const obs::RunManifest manifest = test_manifest();

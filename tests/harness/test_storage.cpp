@@ -1,0 +1,340 @@
+// Storage abstraction: PosixStorage round-trips, FaultyStorage's seeded
+// fault taxonomy (torn writes, ENOSPC budgets, EIO, fsyncgate poisoning),
+// crash-point materialization (including the rename-before-dir-fsync
+// window), unique temp names, orphan-temp cleanup, and the fsync-policy
+// parser.
+#include "harness/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+
+namespace mtm {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+// Probability high enough that a seeded Bernoulli draw effectively always
+// fires, but still strictly < 1 (the documented domain).
+constexpr double kAlways = 0.999999999999;
+
+TEST(PosixStorage, AppendFsyncCloseRoundTrip) {
+  const std::string path = temp_path("posix_roundtrip.txt");
+  Storage& storage = default_storage();
+  {
+    auto file = storage.open(path, Storage::OpenMode::kTruncate);
+    file->append("hello ");
+    file->append("world");
+    file->fsync();
+    file->close();
+  }
+  EXPECT_TRUE(storage.exists(path));
+  EXPECT_EQ(storage.file_size(path), 11u);
+  EXPECT_EQ(storage.read_file(path), "hello world");
+  {
+    auto file = storage.open(path, Storage::OpenMode::kAppend);
+    file->append("!");
+    file->close();
+  }
+  EXPECT_EQ(storage.read_file(path), "hello world!");
+  storage.truncate(path, 5);
+  EXPECT_EQ(storage.read_file(path), "hello");
+  storage.remove(path);
+  EXPECT_FALSE(storage.exists(path));
+}
+
+TEST(PosixStorage, RenameReplacesTargetAndListDirSeesIt) {
+  Storage& storage = default_storage();
+  const std::string from = temp_path("posix_rename_from.txt");
+  const std::string to = temp_path("posix_rename_to.txt");
+  storage.open(from, Storage::OpenMode::kTruncate)->append("new");
+  storage.open(to, Storage::OpenMode::kTruncate)->append("old");
+  storage.rename(from, to);
+  EXPECT_FALSE(storage.exists(from));
+  EXPECT_EQ(storage.read_file(to), "new");
+  storage.sync_dir(to);  // best-effort; must not throw on a real fs
+  const std::vector<std::string> names = storage.list_dir(parent_dir_of(to));
+  EXPECT_NE(std::find(names.begin(), names.end(), base_name_of(to)),
+            names.end());
+  storage.remove(to);
+}
+
+TEST(PosixStorage, MissingFileFailuresCarryPathAndErrno) {
+  Storage& storage = default_storage();
+  const std::string path = temp_path("posix_missing_dir/nope.txt");
+  try {
+    storage.read_file(path);
+    FAIL() << "expected StorageError";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.path(), path);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  EXPECT_THROW(storage.open(path, Storage::OpenMode::kAppend), StorageError);
+}
+
+TEST(PosixStorage, CountsMetricsWhenWired) {
+  obs::MetricRegistry metrics;
+  PosixStorage storage(&metrics);
+  const std::string path = temp_path("posix_metrics.txt");
+  auto file = storage.open(path, Storage::OpenMode::kTruncate);
+  file->append("abcd");
+  file->fsync();
+  file->close();
+  EXPECT_EQ(metrics.counter("storage.appends").value(), 1u);
+  EXPECT_EQ(metrics.counter("storage.append_bytes").value(), 4u);
+  EXPECT_EQ(metrics.counter("storage.fsyncs").value(), 1u);
+  storage.remove(path);
+}
+
+TEST(MakeTempPath, NamesAreUniqueAndPrefixed) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 64; ++i) {
+    const std::string tmp = make_temp_path("/x/journal.jsonl");
+    EXPECT_EQ(tmp.rfind("/x/journal.jsonl.tmp.", 0), 0u) << tmp;
+    EXPECT_TRUE(seen.insert(tmp).second) << "duplicate temp name " << tmp;
+  }
+}
+
+TEST(FaultyStorage, TransparentPassThroughCountsOps) {
+  StorageFaultConfig config;  // all-zero: no faults
+  FaultyStorage storage(default_storage(), config);
+  const std::string path = temp_path("faulty_passthrough.txt");
+  auto file = storage.open(path, Storage::OpenMode::kTruncate);  // op 1
+  file->append("payload");                                       // op 2
+  file->fsync();                                                 // op 3
+  file->close();                                                 // not an op
+  EXPECT_EQ(storage.read_file(path), "payload");                 // not an op
+  EXPECT_EQ(storage.op_count(), 3u);
+  EXPECT_FALSE(storage.crashed());
+  storage.remove(path);  // op 4
+  EXPECT_EQ(storage.op_count(), 4u);
+}
+
+TEST(FaultyStorage, TornWriteLeavesStrictPrefixAndThrowsEio) {
+  obs::MetricRegistry metrics;
+  StorageFaultConfig config;
+  config.torn_write = kAlways;
+  config.seed = 7;
+  FaultyStorage storage(default_storage(), config, &metrics);
+  const std::string path = temp_path("faulty_torn.txt");
+  auto file = storage.open(path, Storage::OpenMode::kTruncate);
+  const std::string payload = "0123456789abcdef";
+  try {
+    file->append(payload);
+    FAIL() << "expected torn-write StorageError";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.error_code(), EIO);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  file->close();
+  // A strict prefix reached the backend — never the full payload.
+  const std::string on_disk = default_storage().read_file(path);
+  EXPECT_LT(on_disk.size(), payload.size());
+  EXPECT_EQ(on_disk, payload.substr(0, on_disk.size()));
+  EXPECT_EQ(metrics.counter("storage.torn_writes").value(), 1u);
+  default_storage().remove(path);
+}
+
+TEST(FaultyStorage, EnospcBudgetFillsTheDiskThenFails) {
+  obs::MetricRegistry metrics;
+  StorageFaultConfig config;
+  config.enospc_after = 10;  // bytes
+  FaultyStorage storage(default_storage(), config, &metrics);
+  const std::string path = temp_path("faulty_enospc.txt");
+  auto file = storage.open(path, Storage::OpenMode::kTruncate);
+  file->append("123456");  // 6 bytes, fits
+  try {
+    file->append("789abcdef");  // 9 more: only 4 fit, then ENOSPC
+    FAIL() << "expected ENOSPC StorageError";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.error_code(), ENOSPC);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  file->close();
+  // Like a real full disk: the bytes that fit were written first.
+  EXPECT_EQ(default_storage().read_file(path), "123456789a");
+  EXPECT_EQ(metrics.counter("storage.enospc").value(), 1u);
+  // The budget stays exhausted: every further append fails too.
+  auto more = storage.open(path, Storage::OpenMode::kAppend);
+  EXPECT_THROW(more->append("x"), StorageError);
+  default_storage().remove(path);
+}
+
+TEST(FaultyStorage, FsyncFailurePoisonsTheFilePermanently) {
+  StorageFaultConfig config;
+  config.fsync_fail = kAlways;
+  FaultyStorage storage(default_storage(), config);
+  const std::string path = temp_path("faulty_fsyncgate.txt");
+  auto file = storage.open(path, Storage::OpenMode::kTruncate);
+  file->append("doomed");
+  EXPECT_THROW(file->fsync(), StorageError);
+  // fsyncgate: the failure is sticky — no silent retry-and-succeed. The
+  // un-synced bytes stay un-durable forever.
+  EXPECT_THROW(file->fsync(), StorageError);
+  EXPECT_THROW(file->fsync(), StorageError);
+  file->close();
+  default_storage().remove(path);
+}
+
+TEST(FaultyStorage, CrashDiscardsUnsyncedTailOnMaterialize) {
+  StorageFaultConfig config;
+  config.crash_after = 4;  // open, append, fsync, append land; op 5 crashes
+  FaultyStorage storage(default_storage(), config);
+  const std::string path = temp_path("faulty_crash_tail.txt");
+  auto file = storage.open(path, Storage::OpenMode::kTruncate);  // op 1
+  file->append("durable|");                                      // op 2
+  file->fsync();                                                 // op 3
+  file->append("lost");                                          // op 4
+  EXPECT_THROW(file->fsync(), StorageCrash);                     // op 5
+  EXPECT_TRUE(storage.crashed());
+  // After the crash every further op is also a StorageCrash...
+  EXPECT_THROW(storage.open(path, Storage::OpenMode::kAppend), StorageCrash);
+  file->close();  // ...except close, which must stay unwinding-safe.
+  storage.materialize_crash();
+  EXPECT_EQ(default_storage().read_file(path), "durable|");
+  default_storage().remove(path);
+}
+
+TEST(FaultyStorage, CrashRemovesFilesCreatedButNeverSynced) {
+  StorageFaultConfig config;
+  config.crash_after = 2;  // open + append land; the next op crashes
+  FaultyStorage storage(default_storage(), config);
+  const std::string path = temp_path("faulty_crash_created.txt");
+  auto file = storage.open(path, Storage::OpenMode::kTruncate);  // op 1
+  file->append("never synced");                                  // op 2
+  EXPECT_THROW(file->fsync(), StorageCrash);                     // op 3
+  file->close();
+  storage.materialize_crash();
+  EXPECT_FALSE(default_storage().exists(path));
+}
+
+TEST(FaultyStorage, CrashInRenameWindowUndoesTheRename) {
+  StorageFaultConfig config;
+  config.crash_after = 4;
+  FaultyStorage storage(default_storage(), config);
+  const std::string target = temp_path("faulty_crash_target.txt");
+  const std::string tmp = target + ".tmp.rename";
+  default_storage().open(target, Storage::OpenMode::kTruncate)->append("old");
+  {
+    auto file = storage.open(tmp, Storage::OpenMode::kTruncate);  // op 1
+    file->append("new");                                          // op 2
+    file->fsync();                                                // op 3
+    file->close();
+  }
+  storage.rename(tmp, target);  // op 4 — durable only after sync_dir
+  EXPECT_EQ(storage.read_file(target), "new");  // live view sees the rename
+  storage.file_size(target);                    // reads don't tick the clock
+  EXPECT_THROW(storage.sync_dir(target), StorageCrash);  // op 5 crashes
+  storage.materialize_crash();
+  // The directory entry was never synced: power loss forgets the rename.
+  // The old target bytes come back and the temp file is resurrected with
+  // its durable contents.
+  EXPECT_EQ(default_storage().read_file(target), "old");
+  ASSERT_TRUE(default_storage().exists(tmp));
+  EXPECT_EQ(default_storage().read_file(tmp), "new");
+  default_storage().remove(target);
+  default_storage().remove(tmp);
+}
+
+TEST(FaultyStorage, SyncDirMakesRenameSurviveCrash) {
+  StorageFaultConfig config;
+  config.crash_after = 5;
+  FaultyStorage storage(default_storage(), config);
+  const std::string target = temp_path("faulty_synced_target.txt");
+  const std::string tmp = target + ".tmp.rename";
+  default_storage().open(target, Storage::OpenMode::kTruncate)->append("old");
+  {
+    auto file = storage.open(tmp, Storage::OpenMode::kTruncate);  // op 1
+    file->append("new");                                          // op 2
+    file->fsync();                                                // op 3
+    file->close();
+  }
+  storage.rename(tmp, target);                            // op 4
+  storage.sync_dir(target);                               // op 5 — durable now
+  EXPECT_THROW(storage.sync_dir(target), StorageCrash);   // op 6 crashes
+  storage.materialize_crash();
+  EXPECT_EQ(default_storage().read_file(target), "new");
+  EXPECT_FALSE(default_storage().exists(tmp));
+  default_storage().remove(target);
+}
+
+TEST(WriteTextAtomic, InjectedFailureReturnsFalseAndLeavesNoTemp) {
+  StorageFaultConfig config;
+  config.eio = kAlways;
+  FaultyStorage storage(default_storage(), config);
+  const std::string path = temp_path("atomic_eio.txt");
+  EXPECT_FALSE(obs::write_text_atomic(storage, path, "payload"));
+  EXPECT_FALSE(default_storage().exists(path));
+  // The torn temp file was cleaned up, not leaked beside the target.
+  for (const std::string& name :
+       default_storage().list_dir(parent_dir_of(path))) {
+    EXPECT_EQ(name.rfind(base_name_of(path) + ".tmp", 0), std::string::npos)
+        << "orphaned temp " << name;
+  }
+}
+
+TEST(WriteTextAtomic, SimulatedPowerLossIsNeverSwallowed) {
+  StorageFaultConfig config;
+  config.crash_after = 1;  // the open lands; the first append crashes
+  FaultyStorage storage(default_storage(), config);
+  const std::string path = temp_path("atomic_crash.txt");
+  // StorageCrash must NOT be converted into a false return — a "return
+  // false on I/O failure" path would let the harness keep running past a
+  // power loss.
+  EXPECT_THROW(obs::write_text_atomic(storage, path, "payload"),
+               StorageCrash);
+}
+
+TEST(RemoveOrphanTemps, RemovesOnlyThisPathsTemps) {
+  Storage& storage = default_storage();
+  const std::string path = temp_path("orphan_base.jsonl");
+  const std::string mine1 = path + ".tmp.123.4";
+  const std::string mine2 = path + ".tmp.99.1";
+  const std::string shard = path + ".w0.tmp.5.6";  // a shard's temp, not ours
+  storage.open(path, Storage::OpenMode::kTruncate)->append("keep");
+  storage.open(mine1, Storage::OpenMode::kTruncate)->append("stale");
+  storage.open(mine2, Storage::OpenMode::kTruncate)->append("stale");
+  storage.open(shard, Storage::OpenMode::kTruncate)->append("stale");
+  EXPECT_EQ(obs::remove_orphan_temps(storage, path), 2u);
+  EXPECT_TRUE(storage.exists(path));
+  EXPECT_FALSE(storage.exists(mine1));
+  EXPECT_FALSE(storage.exists(mine2));
+  EXPECT_TRUE(storage.exists(shard));
+  storage.remove(path);
+  storage.remove(shard);
+}
+
+TEST(JournalFsyncPolicy, ParsesTheThreeSpellings) {
+  EXPECT_EQ(parse_journal_fsync_policy("record").mode,
+            JournalFsyncPolicy::Mode::kRecord);
+  EXPECT_EQ(parse_journal_fsync_policy("none").mode,
+            JournalFsyncPolicy::Mode::kNone);
+  const JournalFsyncPolicy batch = parse_journal_fsync_policy("batch");
+  EXPECT_EQ(batch.mode, JournalFsyncPolicy::Mode::kBatch);
+  EXPECT_EQ(batch.batch, 8u);
+  const JournalFsyncPolicy batch3 = parse_journal_fsync_policy("batch:3");
+  EXPECT_EQ(batch3.mode, JournalFsyncPolicy::Mode::kBatch);
+  EXPECT_EQ(batch3.batch, 3u);
+  EXPECT_EQ(to_string(batch3), "batch:3");
+  EXPECT_EQ(to_string(parse_journal_fsync_policy("record")), "record");
+  EXPECT_EQ(to_string(parse_journal_fsync_policy("none")), "none");
+}
+
+TEST(JournalFsyncPolicy, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_journal_fsync_policy(""), std::invalid_argument);
+  EXPECT_THROW(parse_journal_fsync_policy("always"), std::invalid_argument);
+  EXPECT_THROW(parse_journal_fsync_policy("batch:0"), std::invalid_argument);
+  EXPECT_THROW(parse_journal_fsync_policy("batch:x"), std::invalid_argument);
+  EXPECT_THROW(parse_journal_fsync_policy("batch:"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtm

@@ -361,6 +361,13 @@ int run(const CliArgs& args) {
         out << t << ",-1\n";
       }
     }
+    // Drain before checking: ENOSPC/EIO discovered only at destructor-flush
+    // time would be swallowed and "wrote ..." printed over a torn file.
+    out.flush();
+    if (!out) {
+      std::cerr << "write failed: " << csv << "\n";
+      return 1;
+    }
     std::cout << "wrote " << csv << "\n";
   }
 

@@ -25,6 +25,7 @@
 #include <cmath>
 #include <cstdint>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,7 @@
 #include "harness/experiment.hpp"
 #include "harness/fabric.hpp"
 #include "harness/interrupt.hpp"
+#include "harness/storage.hpp"
 #include "harness/sweep.hpp"
 #include "obs/bench_report.hpp"
 #include "sim/fault_cli.hpp"
@@ -66,14 +68,21 @@ constexpr const char* kUsageFabric = R"(
 distributed fabric (shared flags; see docs/TESTING.md "Distributed fabric"):
 )";
 
+constexpr const char* kUsageStorage = R"(
+storage chaos (shared flags; see docs/TESTING.md "Storage faults"):
+)";
+
 constexpr const char* kUsageTail = R"(
 Exit status: 0 clean, 1 usage/config error, 2 invariant violation,
+3 simulated storage power loss (--storage-chaos-crash-after fired; the
+journal was rolled back to its durable prefix — --resume to continue),
 130 interrupted by SIGINT/SIGTERM (partial artifacts were written).
 )";
 
 std::string usage() {
   return std::string(kUsageHead) + resilience_flags_help() + kUsageFabric +
-         fabric_flags_help() + kUsageTail;
+         fabric_flags_help() + kUsageStorage + storage_chaos_flags_help() +
+         kUsageTail;
 }
 
 /// The chaos profile a segment runs under. kMixed is resolved per segment
@@ -196,6 +205,10 @@ int run(const CliArgs& args) {
   const std::string out_path = args.get_string("out", "");
   ResilienceOptions resilience = parse_resilience_flags(args);
   FabricOptions fabric = parse_fabric_flags(args, resilience);
+  const bool fabric_role =
+      fabric.workers > 0 || !fabric.listen.empty() || !fabric.connect.empty();
+  const StorageFaultConfig storage_chaos =
+      parse_storage_chaos_flags(args, resilience, fabric_role);
   args.check_unused();
   if (cfg.segments == 0 || cfg.trials == 0) {
     throw std::invalid_argument("--segments and --trials must be >= 1");
@@ -204,6 +217,24 @@ int run(const CliArgs& args) {
 
   install_interrupt_handler();
   resilience.interrupt = &interrupt_token();
+
+  obs::MetricRegistry metrics;
+
+  // Journal storage backend: a metrics-counting PosixStorage when
+  // journaling, wrapped in the seeded FaultyStorage decorator when any
+  // --storage-chaos-* fault is engaged. The chaos decorator sits over the
+  // plain default backend (metrics live at the chaos layer, so torn/ENOSPC
+  // counts and the op clock are what the journal actually experienced).
+  PosixStorage metered_storage(&metrics);
+  std::optional<FaultyStorage> faulty;
+  if (!resilience.journal_path.empty()) {
+    if (storage_chaos.any()) {
+      faulty.emplace(default_storage(), storage_chaos, &metrics);
+      resilience.storage = &*faulty;
+    } else {
+      resilience.storage = &metered_storage;
+    }
+  }
 
   // One sweep point per segment. Each point's body is a full stable-leader
   // trial under the segment's chaos profile, with the record-only invariant
@@ -235,7 +266,6 @@ int run(const CliArgs& args) {
   }
 
   const obs::RunManifest manifest = soak_manifest(cfg);
-  obs::MetricRegistry metrics;
 
   if (!fabric.connect.empty()) {
     // Network-worker mode: dial the coordinator, execute leased trials, and
@@ -294,8 +324,26 @@ int run(const CliArgs& args) {
     }
     std::cout << "\n";
   } else {
-    SweepRunner runner(manifest, resilience);
-    sweep = runner.run(points, cfg.threads);
+    try {
+      SweepRunner runner(manifest, resilience);
+      sweep = runner.run(points, cfg.threads);
+    } catch (const StorageCrash& crash) {
+      // Simulated power loss fired (--storage-chaos-crash-after). Rewrite
+      // the real files down to exactly what had reached stable storage, so
+      // a follow-up --resume sees what a rebooted machine would see.
+      if (faulty.has_value()) faulty->materialize_crash();
+      std::cerr << "storage: simulated power loss after storage op "
+                << crash.op_index()
+                << "; journal rolled back to its durable prefix — resume "
+                   "with --resume="
+                << resilience.journal_path << "\n";
+      return 3;
+    }
+  }
+  if (faulty.has_value()) {
+    // The op count is the crash-point enumeration bound: CI probes it with
+    // a never-firing --storage-chaos-crash-after, then replays every N.
+    std::cout << "storage ops: " << faulty->op_count() << "\n";
   }
 
   // Per-segment accounting table + bench series.
